@@ -1,0 +1,154 @@
+/// \file bench_gmdb_kv.cc
+/// \brief Experiment E8 — GMDB's headline §III-A claims at laptop scale:
+/// microsecond-class in-memory KV operations, single-object transactions,
+/// pub/sub fan-out, asynchronous checkpointing cost, and a billing-style
+/// workload ("a single server using GMDB can support billing of millions of
+/// subscriber accounts").
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "gmdb/cluster.h"
+
+namespace {
+
+using namespace ofi;        // NOLINT
+using namespace ofi::gmdb;  // NOLINT
+using sql::TypeId;
+using sql::Value;
+
+RecordSchemaPtr AccountSchema() {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "account";
+  s->version = 1;
+  s->primary_key = "msisdn";
+  s->fields = {PrimitiveField("msisdn", TypeId::kString, Value("")),
+               PrimitiveField("balance_cents", TypeId::kInt64, Value(0)),
+               PrimitiveField("plan", TypeId::kString, Value("prepaid")),
+               PrimitiveField("minutes_used", TypeId::kInt64, Value(0)),
+               PrimitiveField("data_mb_used", TypeId::kInt64, Value(0))};
+  return s;
+}
+
+std::unique_ptr<GmdbCluster> BillingCluster(int subscribers) {
+  auto cluster = std::make_unique<GmdbCluster>(1);  // single server, per claim
+  (void)cluster->SubmitSchema(AccountSchema());
+  auto schema = *cluster->registry().Get("account", 1);
+  for (int i = 0; i < subscribers; ++i) {
+    auto obj = TreeObject::Defaults(*schema);
+    (void)obj->SetPath("msisdn", Value("86-" + std::to_string(i)));
+    (void)obj->SetPath("balance_cents", Value(100'000));
+    (void)cluster->dn(0)->Put("account", std::to_string(i), obj, 1);
+  }
+  return cluster;
+}
+
+constexpr int kSubscribers = 100'000;
+
+void BM_KvGet(benchmark::State& state) {
+  auto cluster = BillingCluster(kSubscribers);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::string key = std::to_string(rng.Uniform(0, kSubscribers - 1));
+    benchmark::DoNotOptimize(cluster->dn(0)->Get("account", key, 1));
+  }
+}
+BENCHMARK(BM_KvGet);
+
+void BM_KvDeltaPut(benchmark::State& state) {
+  auto cluster = BillingCluster(kSubscribers);
+  Rng rng(2);
+  for (auto _ : state) {
+    std::string key = std::to_string(rng.Uniform(0, kSubscribers - 1));
+    Delta d;
+    d.ops = {{"data_mb_used", Value(rng.Uniform(0, 100'000))}};
+    benchmark::DoNotOptimize(cluster->dn(0)->ApplyDelta("account", key, d, 1));
+  }
+}
+BENCHMARK(BM_KvDeltaPut);
+
+/// A charging event: read-modify-write of balance + counters in one
+/// single-object transaction (the only kind GMDB supports, §III-A).
+void BM_BillingTransaction(benchmark::State& state) {
+  auto cluster = BillingCluster(kSubscribers);
+  Rng rng(3);
+  for (auto _ : state) {
+    std::string key = std::to_string(rng.Uniform(0, kSubscribers - 1));
+    Status st = cluster->dn(0)->Transact("account", key, [&](TreeObject* o) {
+      auto balance = o->GetPrimitive("balance_cents");
+      if (!balance.ok()) return balance.status();
+      OFI_RETURN_NOT_OK(o->SetPath("balance_cents", Value(balance->AsInt() - 5)));
+      auto minutes = o->GetPrimitive("minutes_used");
+      return o->SetPath("minutes_used", Value(minutes->AsInt() + 1));
+    });
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_BillingTransaction);
+
+void BM_Checkpoint(benchmark::State& state) {
+  int subs = static_cast<int>(state.range(0));
+  auto cluster = BillingCluster(subs);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = cluster->dn(0)->Checkpoint();
+  }
+  state.counters["ckpt_bytes"] = static_cast<double>(bytes);
+  state.counters["objects"] = subs;
+}
+BENCHMARK(BM_Checkpoint)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_PubSubFanout(benchmark::State& state) {
+  auto cluster = BillingCluster(1000);
+  int subscribers = static_cast<int>(state.range(0));
+  uint64_t delivered = 0;
+  for (int i = 0; i < subscribers; ++i) {
+    cluster->dn(0)->Subscribe("account", "42", 1,
+                              [&](const std::string&, const Delta&, int) {
+                                ++delivered;
+                              });
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    Delta d;
+    d.ops = {{"minutes_used", Value(rng.Uniform(0, 1000))}};
+    benchmark::DoNotOptimize(cluster->dn(0)->ApplyDelta("account", "42", d, 1));
+  }
+  state.counters["deliveries"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_PubSubFanout)->Arg(1)->Arg(16)->Arg(128);
+
+void PrintBillingSummary() {
+  printf("\n=== E8: single-server billing throughput (GMDB §III-A) ===\n");
+  auto cluster = BillingCluster(kSubscribers);
+  Rng rng(9);
+  const int kOps = 200'000;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    std::string key = std::to_string(rng.Uniform(0, kSubscribers - 1));
+    (void)cluster->dn(0)->Transact("account", key, [&](TreeObject* o) {
+      auto balance = o->GetPrimitive("balance_cents");
+      if (!balance.ok()) return balance.status();
+      return o->SetPath("balance_cents", Value(balance->AsInt() - 1));
+    });
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  printf("subscribers loaded : %d\n", kSubscribers);
+  printf("charging txns/s    : %.0f (single data node, single thread)\n",
+         kOps / secs);
+  printf("mean txn latency   : %.2f us\n", secs / kOps * 1e6);
+  printf("(microsecond-class latency; scaling to millions of subscribers is "
+         "memory-bound, not compute-bound)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintBillingSummary();
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file bench_mpp_aggregate.cc
+/// \brief The MPP execution claim of paper Fig. 1: distributed aggregation
+/// with partial/final decomposition ships only group-sized state to the
+/// coordinator. Reports bytes moved (partial vs naive ship-all-rows) and
+/// wall time across cluster sizes and group cardinalities.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "cluster/mpp_query.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+using sql::AggFunc;
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+std::unique_ptr<Cluster> BuildSalesCluster(int dns, int64_t rows,
+                                           int64_t groups) {
+  auto cluster = std::make_unique<Cluster>(dns, Protocol::kGtmLite);
+  Schema schema({Column{"k", TypeId::kInt64, ""},
+                 Column{"region", TypeId::kInt64, ""},
+                 Column{"amount", TypeId::kInt64, ""}});
+  (void)cluster->CreateTable("sales", schema);
+  Rng rng(3);
+  for (int64_t i = 0; i < rows; ++i) {
+    Txn t = cluster->Begin(TxnScope::kSingleShard);
+    (void)t.Insert("sales", Value(i),
+                   {Value(i), Value(i % groups), Value(rng.Uniform(1, 1000))});
+    (void)t.Commit();
+  }
+  return cluster;
+}
+
+void BM_DistributedGroupBy(benchmark::State& state) {
+  int dns = static_cast<int>(state.range(0));
+  int64_t groups = state.range(1);
+  auto cluster = BuildSalesCluster(dns, 20'000, groups);
+  DistributedResult last;
+  for (auto _ : state) {
+    auto r = DistributedAggregate(cluster.get(), "sales", nullptr, {"region"},
+                                  {{AggFunc::kSum, "amount", "total"},
+                                   {AggFunc::kCount, "", "n"}});
+    if (r.ok()) last = std::move(r).ValueOrDie();
+    benchmark::DoNotOptimize(last.table);
+  }
+  state.counters["partial_bytes"] = static_cast<double>(last.partial_bytes);
+  state.counters["naive_bytes"] = static_cast<double>(last.naive_bytes);
+}
+BENCHMARK(BM_DistributedGroupBy)
+    ->Args({2, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({4, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+void PrintMovementTable() {
+  printf("\n=== MPP partial/final aggregation: data moved DN -> CN ===\n");
+  printf("%-6s %-8s %14s %14s %10s\n", "DNs", "groups", "partial (B)",
+         "ship-rows (B)", "saving");
+  for (auto [dns, groups] : {std::pair<int, int64_t>{2, 10},
+                             {4, 10},
+                             {8, 10},
+                             {4, 1000},
+                             {4, 10000}}) {
+    auto cluster = BuildSalesCluster(dns, 20'000, groups);
+    auto r = DistributedAggregate(cluster.get(), "sales", nullptr, {"region"},
+                                  {{AggFunc::kSum, "amount", "total"},
+                                   {AggFunc::kCount, "", "n"}});
+    if (!r.ok()) continue;
+    printf("%-6d %-8lld %14zu %14zu %9.0fx\n", dns, (long long)groups,
+           r->partial_bytes, r->naive_bytes,
+           static_cast<double>(r->naive_bytes) /
+               static_cast<double>(std::max<size_t>(1, r->partial_bytes)));
+  }
+  printf("(partial state grows with groups x shards, never with row count — "
+         "the reason MPP engines push aggregation below the exchange)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintMovementTable();
+  return 0;
+}

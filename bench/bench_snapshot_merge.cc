@@ -1,0 +1,114 @@
+/// \file bench_snapshot_merge.cc
+/// \brief Experiment E2 — cost of Algorithm 1 (MergeSnapshot) and the rates
+/// of its UPGRADE/DOWNGRADE resolutions. The paper has no figure for this;
+/// we report the merge cost as a function of the commit-history size a DN
+/// retains (the LCO/xidMap the algorithm traverses), showing why the safe
+/// horizon pruning matters.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "txn/gtm.h"
+#include "txn/local_txn_manager.h"
+#include "txn/merge_snapshot.h"
+
+namespace {
+
+using namespace ofi::txn;  // NOLINT
+
+/// Builds a DN commit log with `history` committed transactions, a
+/// `multi_shard_fraction` of which carry gxids.
+LocalTxnManager BuildHistory(int history, double multi_shard_fraction,
+                             Gxid* next_gxid) {
+  LocalTxnManager mgr;
+  for (int i = 0; i < history; ++i) {
+    Xid x = mgr.Begin();
+    bool multi = (i % 100) < static_cast<int>(multi_shard_fraction * 100);
+    if (multi) {
+      Gxid g = (*next_gxid)++;
+      mgr.BindGxid(x, g);
+      mgr.Commit(x, g);
+    } else {
+      mgr.Commit(x);
+    }
+  }
+  return mgr;
+}
+
+void BM_MergeSnapshot(benchmark::State& state) {
+  int history = static_cast<int>(state.range(0));
+  Gxid next_gxid = 1;
+  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  Snapshot global{.xmin = next_gxid, .xmax = next_gxid, .active = {}};
+  Snapshot local = mgr.TakeSnapshot();
+  auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
+  for (auto _ : state) {
+    MergedSnapshot m = MergeSnapshots(global, local, mgr.clog(), waiter);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["lco_entries"] = static_cast<double>(mgr.clog().lco().size());
+}
+BENCHMARK(BM_MergeSnapshot)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_MergeSnapshotAfterPrune(benchmark::State& state) {
+  int history = static_cast<int>(state.range(0));
+  Gxid next_gxid = 1;
+  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  // Horizon pruning: everything committed is below the horizon.
+  mgr.mutable_clog().PruneBelowHorizon(next_gxid);
+  Snapshot global{.xmin = next_gxid, .xmax = next_gxid, .active = {}};
+  Snapshot local = mgr.TakeSnapshot();
+  auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
+  for (auto _ : state) {
+    MergedSnapshot m = MergeSnapshots(global, local, mgr.clog(), waiter);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["lco_entries"] = static_cast<double>(mgr.clog().lco().size());
+}
+BENCHMARK(BM_MergeSnapshotAfterPrune)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+/// Downgrade-heavy merge: the reader's global snapshot is older than the
+/// whole retained history, tainting the LCO early.
+void BM_MergeSnapshotWorstCaseDowngrade(benchmark::State& state) {
+  int history = static_cast<int>(state.range(0));
+  Gxid next_gxid = 1;
+  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  Snapshot global{.xmin = 1, .xmax = 2, .active = {1}};  // ancient snapshot
+  Snapshot local = mgr.TakeSnapshot();
+  auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
+  int downgrades = 0;
+  for (auto _ : state) {
+    MergedSnapshot m = MergeSnapshots(global, local, mgr.clog(), waiter);
+    downgrades = m.downgrades;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["downgrades"] = downgrades;
+}
+BENCHMARK(BM_MergeSnapshotWorstCaseDowngrade)->Arg(1'000);
+
+void PrintSummary() {
+  printf("\n=== E2: snapshot-merge resolution rates (10%% multi-shard) ===\n");
+  for (int history : {100, 1'000, 10'000}) {
+    Gxid next_gxid = 1;
+    LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+    // Old global snapshot that misses the last 10% of gxids.
+    Gxid cutoff = next_gxid - next_gxid / 10;
+    Snapshot global{.xmin = cutoff, .xmax = cutoff, .active = {}};
+    for (Gxid g = cutoff; g < next_gxid; ++g) global.active.insert(g);
+    Snapshot local = mgr.TakeSnapshot();
+    auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
+    MergedSnapshot m = MergeSnapshots(global, local, mgr.clog(), waiter);
+    printf("history=%6d  upgrades=%4d  downgrades=%6d (suffix rule)\n", history,
+           m.upgrades, m.downgrades);
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintSummary();
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file edge_sync_demo.cpp
+/// \brief The device-edge-cloud collaboration platform (paper §IV-B): a
+/// phone, a watch and a smart TV share data over an ad-hoc network without
+/// the cloud, resolve a concurrent edit deterministically, and catch the
+/// cloud up later — plus the "urgent message follows the user to the TV"
+/// vision via query-based subscriptions.
+///
+///   ./example_edge_sync_demo
+#include <cstdio>
+
+#include "edge/platform.h"
+
+using namespace ofi;        // NOLINT
+using namespace ofi::edge;  // NOLINT
+using sql::Value;
+
+int main() {
+  printf("== device-edge-cloud data collaboration ==\n\n");
+  Platform platform;
+  SyncNode* phone = platform.AddNode("phone", Tier::kDevice);
+  SyncNode* watch = platform.AddNode("watch", Tier::kDevice);
+  SyncNode* tv = platform.AddNode("tv", Tier::kDevice);
+  SyncNode* cloud = platform.AddNode("cloud", Tier::kCloud);
+
+  // The TV subscribes to urgent messages (query-based event subscription).
+  tv->Subscribe("messages/urgent/", [](const std::string& key, const Value& v) {
+    printf("  [tv popup] %s -> %s\n", key.c_str(),
+           v.is_null() ? "(deleted)" : v.AsString().c_str());
+  });
+
+  // Offline home scenario: the internet is down, devices sync directly.
+  phone->Put("photos/hike", Value("IMG_2931"));
+  phone->Put("messages/urgent/mom", Value("call me back!"));
+  watch->Put("health/steps", Value(8421));
+
+  printf("direct phone<->watch sync (Bluetooth-class link):\n");
+  SyncStats s1 = platform.SyncPair(phone->id(), watch->id());
+  printf("  %zu entries, %zu bytes, %lld us simulated\n", s1.entries_sent,
+         s1.bytes_on_wire, (long long)s1.latency_us);
+
+  printf("phone -> tv sync (urgent message reaches the TV while user watches):\n");
+  platform.SyncPair(phone->id(), tv->id());
+
+  // Concurrent edit: phone and watch both rename the same album offline.
+  phone->Put("albums/1/title", Value("Alps 2026"));
+  watch->Put("albums/1/title", Value("Hiking trip"));
+  SyncStats s2 = platform.SyncPair(phone->id(), watch->id());
+  printf("\nconcurrent edit resolved (%zu conflict): both now see \"%s\"\n",
+         s2.conflicts, phone->Get("albums/1/title").ValueOrDie().AsString().c_str());
+  printf("  (version vectors, not wall clocks — no time-drift problem)\n");
+
+  // The cloud reconnects and catches up in one session.
+  printf("\ncloud reconnects:\n");
+  SyncStats s3 = platform.SyncPair(watch->id(), cloud->id());
+  printf("  cloud received %zu entries; has photos/hike: %s\n", s3.entries_sent,
+         cloud->Get("photos/hike").ok() ? "yes" : "no");
+
+  // Compare the two routes for fresh data.
+  phone->Put("videos/clip", Value(std::string(8192, 'x')));
+  SyncNode* tablet = platform.AddNode("tablet", Tier::kDevice);
+  SyncStats direct = platform.SyncPair(phone->id(), tablet->id());
+  phone->Put("videos/clip2", Value(std::string(8192, 'y')));
+  auto via_cloud = platform.SyncThroughCloud(phone->id(), watch->id());
+  printf("\n8KB video share: direct %lld us vs through-cloud %lld us (%.0fx)\n",
+         (long long)direct.latency_us,
+         (long long)(via_cloud.ok() ? via_cloud->latency_us : 0),
+         via_cloud.ok() ? static_cast<double>(via_cloud->latency_us) /
+                              static_cast<double>(direct.latency_us)
+                        : 0.0);
+
+  // Resource sharing: the watch offloads old entries but can re-fetch.
+  printf("\nwatch store: %zu live keys; phone store: %zu live keys\n",
+         watch->store().live_size(), phone->store().live_size());
+  printf("re-sync ships nothing new: %zu entries\n",
+         platform.SyncPair(phone->id(), watch->id()).entries_sent);
+  return 0;
+}

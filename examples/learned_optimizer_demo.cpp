@@ -1,0 +1,106 @@
+/// \file learned_optimizer_demo.cpp
+/// \brief The learning-based query optimizer (paper §II-C) end to end:
+/// classic statistics mis-estimate a correlated predicate, the executor
+/// captures the actual cardinality into the plan store, and the very next
+/// planning of the same (canned) query — even with predicates reordered —
+/// uses the learned number and picks a better join order.
+///
+///   ./example_learned_optimizer_demo
+#include <cstdio>
+
+#include "common/md5.h"
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/step_text.h"
+
+using namespace ofi;             // NOLINT
+using namespace ofi::optimizer;  // NOLINT
+using sql::Column;
+using sql::Expr;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+int main() {
+  printf("== learning-based query optimizer ==\n\n");
+
+  // orders(customer, region, priority): region and priority are correlated —
+  // the classic trap for the independence assumption.
+  sql::Catalog catalog;
+  {
+    sql::Table orders{Schema({Column{"customer", TypeId::kInt64, "o"},
+                              Column{"region", TypeId::kInt64, "o"},
+                              Column{"priority", TypeId::kInt64, "o"}})};
+    Rng rng(41);
+    for (int64_t i = 0; i < 50'000; ++i) {
+      int64_t region = rng.Uniform(0, 19);
+      int64_t priority = rng.Chance(0.95) ? region % 5 : rng.Uniform(0, 4);
+      (void)orders.Append({Value(i % 2'000), Value(region), Value(priority)});
+    }
+    catalog.Register("orders", std::move(orders));
+
+    sql::Table customers{Schema({Column{"id", TypeId::kInt64, "cu"},
+                                 Column{"segment", TypeId::kString, "cu"}})};
+    for (int64_t i = 0; i < 2'000; ++i) {
+      (void)customers.Append({Value(i), Value(i % 2 ? "retail" : "corporate")});
+    }
+    catalog.Register("customers", std::move(customers));
+  }
+
+  StatsRegistry stats;
+  stats.AnalyzeAll(catalog);
+  PlanStore store(/*capture_threshold=*/0.5);
+  Optimizer opt(&catalog, &stats, &store);
+
+  auto canned_query = [&](bool reorder_predicates) {
+    auto p1 = Expr::Eq("o.region", Value(7));
+    auto p2 = Expr::Eq("o.priority", Value(2));
+    auto pred = reorder_predicates ? Expr::And(p2, p1) : Expr::And(p1, p2);
+    return opt.PlanJoinQuery({ScanSpec{"orders", pred, "o"},
+                              ScanSpec{"customers", nullptr, "cu"}},
+                             {Expr::EqCols("o.customer", "cu.id")});
+  };
+
+  // --- Round 1: classic statistics ------------------------------------------
+  auto plan1 = canned_query(false);
+  if (!plan1.ok()) return 1;
+  printf("round 1 plan (statistics only):\n%s\n", (*plan1)->ToString().c_str());
+  auto r1 = opt.ExecuteAndLearn(*plan1);
+  if (!r1.ok()) return 1;
+  printf("executed: %zu rows; max q-error %.2f\n", r1->num_rows(),
+         Optimizer::MaxQError(**plan1));
+  printf("plan store captured %zu step(s):\n%s\n", store.size(),
+         store.ToTableString().c_str());
+
+  // --- Round 2: same canned query, predicates REORDERED ---------------------
+  auto plan2 = canned_query(true);
+  if (!plan2.ok()) return 1;
+  printf("round 2 plan (after learning, predicates reordered):\n%s\n",
+         (*plan2)->ToString().c_str());
+  auto r2 = opt.ExecuteAndLearn(*plan2);
+  if (!r2.ok()) return 1;
+  printf("executed: %zu rows; max q-error %.2f (was %.2f)\n", r2->num_rows(),
+         Optimizer::MaxQError(**plan2), Optimizer::MaxQError(**plan1));
+  printf("store hit rate: %lu/%lu lookups\n\n", (unsigned long)store.hits(),
+         (unsigned long)store.lookups());
+
+  // The canonical step text that makes the match order-insensitive: find
+  // the filtered orders scan wherever the join order put it.
+  const sql::PlanNode* scan = plan2->get();
+  while (scan != nullptr && scan->kind != sql::PlanKind::kScan) {
+    const sql::PlanNode* next = nullptr;
+    for (const auto& c : scan->children) {
+      if (c->kind == sql::PlanKind::kScan && c->table_name == "orders") {
+        next = c.get();
+        break;
+      }
+      next = c.get();
+    }
+    scan = next;
+  }
+  if (scan != nullptr) {
+    printf("canonical scan step: %s\n", StepText(*scan).c_str());
+    printf("its MD5 key: %s\n", Md5::HexDigest(StepText(*scan)).c_str());
+  }
+  return 0;
+}

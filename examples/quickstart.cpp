@@ -1,0 +1,90 @@
+/// \file quickstart.cpp
+/// \brief openfidb in five minutes: spin up a sharded cluster with the
+/// GTM-lite transaction protocol (paper §II-A), run single-shard and
+/// multi-shard transactions, and watch the GTM stay idle for the former.
+///
+///   ./example_quickstart
+#include <cstdio>
+
+#include "cluster/cluster.h"
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+using sql::Column;
+using sql::Row;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+int main() {
+  printf("== openfidb quickstart ==\n\n");
+
+  // A 4-data-node cluster running the GTM-lite protocol.
+  Cluster cluster(4, Protocol::kGtmLite);
+  Schema accounts({Column{"id", TypeId::kInt64, ""},
+                   Column{"owner", TypeId::kString, ""},
+                   Column{"balance", TypeId::kInt64, ""}});
+  if (auto st = cluster.CreateTable("accounts", accounts); !st.ok()) {
+    printf("create table failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("created table accounts%s on 4 data nodes\n",
+         accounts.ToString().c_str());
+
+  // Load a few accounts with single-shard transactions (no GTM involved).
+  const char* owners[] = {"ada", "grace", "edsger", "barbara"};
+  for (int64_t i = 0; i < 4; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    Value key(i);
+    if (!t.Insert("accounts", key, {key, Value(owners[i]), Value(1000)}).ok() ||
+        !t.Commit().ok()) {
+      printf("load failed\n");
+      return 1;
+    }
+  }
+  printf("loaded 4 accounts; GTM requests so far: %lu (single-shard skips "
+         "the GTM)\n\n",
+         (unsigned long)cluster.gtm().requests_served());
+
+  // A cross-shard transfer must be declared multi-shard: it takes a global
+  // snapshot, merges it with each DN's local snapshot (Algorithm 1), and
+  // commits with two-phase commit.
+  Txn transfer = cluster.Begin(TxnScope::kMultiShard);
+  auto move_money = [&](int64_t from, int64_t to, int64_t amount) -> Status {
+    OFI_ASSIGN_OR_RETURN(Row src, transfer.Read("accounts", Value(from)));
+    OFI_ASSIGN_OR_RETURN(Row dst, transfer.Read("accounts", Value(to)));
+    src[2] = Value(src[2].AsInt() - amount);
+    dst[2] = Value(dst[2].AsInt() + amount);
+    OFI_RETURN_NOT_OK(transfer.Update("accounts", Value(from), src));
+    return transfer.Update("accounts", Value(to), dst);
+  };
+  if (Status st = move_money(0, 3, 250); !st.ok()) {
+    printf("transfer failed: %s\n", st.ToString().c_str());
+    (void)transfer.Abort();
+    return 1;
+  }
+  if (Status st = transfer.Commit(); !st.ok()) {
+    printf("commit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("moved 250 from ada to barbara (2PC across shards, gxid=%lu)\n",
+         (unsigned long)transfer.gxid());
+
+  // Verify with a consistent multi-shard reader.
+  Txn reader = cluster.Begin(TxnScope::kMultiShard);
+  for (int64_t i = 0; i < 4; ++i) {
+    auto row = reader.Read("accounts", Value(i));
+    if (row.ok()) {
+      printf("  account %ld (%s): balance %ld\n", (long)i,
+             (*row)[1].AsString().c_str(), (long)(*row)[2].AsInt());
+    }
+  }
+  (void)reader.Commit();
+
+  printf("\nGTM requests total: %lu; merge upgrades=%d downgrades=%d\n",
+         (unsigned long)cluster.gtm().requests_served(), reader.upgrades(),
+         reader.downgrades());
+  printf("simulated txn latency: transfer took %ld us of simulated time\n",
+         (long)transfer.now());
+  return 0;
+}

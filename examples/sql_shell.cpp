@@ -1,0 +1,63 @@
+/// \file sql_shell.cpp
+/// \brief A tiny interactive SQL shell over the analytic stack (parser ->
+/// rewriter -> learning optimizer -> executor). Reads statements from
+/// stdin; `EXPLAIN <select>` shows the plan with cardinality estimates,
+/// `\store` dumps the plan store (Table I style), `\q` quits.
+///
+///   echo "CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1),(2); \
+///         SELECT COUNT(*) FROM t;" | ./example_sql_shell
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "optimizer/sql_session.h"
+
+using namespace ofi;  // NOLINT
+
+int main() {
+  optimizer::SqlSession session;
+  printf("openfidb sql shell — end statements with ';', \\q to quit\n");
+
+  std::string buffer;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "\\q") break;
+    if (line == "\\store") {
+      printf("%s", session.plan_store().ToTableString().c_str());
+      continue;
+    }
+    buffer += line + "\n";
+    auto pos = buffer.find(';');
+    while (pos != std::string::npos) {
+      std::string stmt = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      pos = buffer.find(';');
+      // Trim whitespace-only statements.
+      if (stmt.find_first_not_of(" \t\n\r") == std::string::npos) continue;
+
+      if (stmt.find("EXPLAIN") == stmt.find_first_not_of(" \t\n\r")) {
+        std::string inner = stmt.substr(stmt.find("EXPLAIN") + 7);
+        auto plan = session.Explain(inner);
+        if (plan.ok()) {
+          printf("%s", plan->c_str());
+        } else {
+          printf("error: %s\n", plan.status().ToString().c_str());
+        }
+        continue;
+      }
+      auto result = session.Execute(stmt);
+      if (!result.ok()) {
+        printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      if (result->schema().num_columns() > 0) {
+        printf("%s(%zu rows, max q-error %.2f)\n",
+               result->ToString(50).c_str(), result->num_rows(),
+               session.last_max_qerror());
+      } else {
+        printf("ok\n");
+      }
+    }
+  }
+  return 0;
+}

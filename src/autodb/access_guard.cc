@@ -1,0 +1,80 @@
+#include "autodb/access_guard.h"
+
+#include <set>
+
+namespace ofi::autodb {
+
+void AccessGuard::Expire(PrincipalState* st, int64_t now) const {
+  while (!st->events.empty() && st->events.front().ts <= now - config_.window_us) {
+    st->events.pop_front();
+  }
+}
+
+AccessDecision AccessGuard::Evaluate(const PrincipalState& st) const {
+  uint64_t rows = 0, failures = 0;
+  std::set<std::string> tables;
+  for (const Event& e : st.events) {
+    if (e.failure) {
+      ++failures;
+    } else {
+      rows += e.rows;
+      tables.insert(e.table);
+    }
+  }
+  if (rows >= config_.block_rows || failures >= config_.max_failures) {
+    return AccessDecision::kBlock;
+  }
+  if (rows >= config_.throttle_rows || tables.size() > config_.max_distinct_tables) {
+    return AccessDecision::kThrottle;
+  }
+  return AccessDecision::kAllow;
+}
+
+void AccessGuard::Audit(int64_t ts, const std::string& principal,
+                        const std::string& table, uint64_t rows,
+                        AccessDecision decision, const std::string& reason) {
+  audit_.push_back(AuditRecord{ts, principal, table, rows, decision, reason});
+}
+
+AccessDecision AccessGuard::OnRead(const std::string& principal,
+                                   const std::string& table, uint64_t rows,
+                                   int64_t ts) {
+  PrincipalState& st = principals_[principal];
+  if (st.blocked) {
+    Audit(ts, principal, table, rows, AccessDecision::kBlock, "already blocked");
+    return AccessDecision::kBlock;
+  }
+  Expire(&st, ts);
+  st.events.push_back(Event{ts, table, rows, false});
+  AccessDecision decision = Evaluate(st);
+  if (decision == AccessDecision::kBlock) {
+    st.blocked = true;
+    Audit(ts, principal, table, rows, decision, "mass export quota exceeded");
+  } else if (decision == AccessDecision::kThrottle) {
+    Audit(ts, principal, table, rows, decision, "read volume / table spread");
+  }
+  return decision;
+}
+
+AccessDecision AccessGuard::OnFailure(const std::string& principal, int64_t ts) {
+  PrincipalState& st = principals_[principal];
+  if (st.blocked) return AccessDecision::kBlock;
+  Expire(&st, ts);
+  st.events.push_back(Event{ts, "", 0, true});
+  AccessDecision decision = Evaluate(st);
+  if (decision == AccessDecision::kBlock) {
+    st.blocked = true;
+    Audit(ts, principal, "", 0, decision, "failed-request burst (probing)");
+  }
+  return decision;
+}
+
+void AccessGuard::Unblock(const std::string& principal) {
+  auto it = principals_.find(principal);
+  if (it != principals_.end()) {
+    it->second.blocked = false;
+    it->second.events.clear();
+  }
+}
+
+}  // namespace ofi::autodb

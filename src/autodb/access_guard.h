@@ -1,0 +1,95 @@
+/// \file access_guard.h
+/// \brief The SELF-PROTECTING property of the autonomous database (paper
+/// §IV-A: "recognize and circumvent data, privacy and security threats").
+/// The guard watches per-principal access behaviour and intervenes on
+/// patterns that look like exfiltration or abuse:
+///  * mass export — rows read in a sliding window exceed a quota;
+///  * table scraping — too many distinct tables touched in the window;
+///  * brute probing — a burst of failed (denied / not-found) requests.
+/// Interventions escalate: observe -> throttle -> block; decisions are
+/// recorded for audit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ofi::autodb {
+
+enum class AccessDecision : uint8_t { kAllow, kThrottle, kBlock };
+
+struct AccessGuardConfig {
+  /// Sliding window length (microseconds of event time).
+  int64_t window_us = 60'000'000;
+  /// Rows a principal may read per window before throttling.
+  uint64_t throttle_rows = 100'000;
+  /// Rows per window before outright blocking.
+  uint64_t block_rows = 1'000'000;
+  /// Distinct tables per window before throttling (scraping detector).
+  size_t max_distinct_tables = 16;
+  /// Failed requests per window before blocking (probe detector).
+  uint64_t max_failures = 32;
+};
+
+/// One audit-trail record.
+struct AuditRecord {
+  int64_t ts = 0;
+  std::string principal;
+  std::string table;
+  uint64_t rows = 0;
+  AccessDecision decision = AccessDecision::kAllow;
+  std::string reason;
+};
+
+/// \brief Per-principal behavioural rate limiting.
+class AccessGuard {
+ public:
+  explicit AccessGuard(AccessGuardConfig config = AccessGuardConfig{})
+      : config_(config) {}
+
+  /// Records a (successful) read of `rows` rows from `table` and returns
+  /// the decision for THIS request. A blocked principal stays blocked until
+  /// Unblock().
+  AccessDecision OnRead(const std::string& principal, const std::string& table,
+                        uint64_t rows, int64_t ts);
+
+  /// Records a failed request (permission denied / missing object).
+  AccessDecision OnFailure(const std::string& principal, int64_t ts);
+
+  /// Clears a principal's block (operator override).
+  void Unblock(const std::string& principal);
+
+  bool IsBlocked(const std::string& principal) const {
+    auto it = principals_.find(principal);
+    return it != principals_.end() && it->second.blocked;
+  }
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_; }
+
+ private:
+  struct Event {
+    int64_t ts;
+    std::string table;
+    uint64_t rows;
+    bool failure;
+  };
+  struct PrincipalState {
+    std::deque<Event> events;
+    bool blocked = false;
+  };
+
+  void Expire(PrincipalState* st, int64_t now) const;
+  AccessDecision Evaluate(const PrincipalState& st) const;
+  void Audit(int64_t ts, const std::string& principal, const std::string& table,
+             uint64_t rows, AccessDecision decision, const std::string& reason);
+
+  AccessGuardConfig config_;
+  std::map<std::string, PrincipalState> principals_;
+  std::vector<AuditRecord> audit_;
+};
+
+}  // namespace ofi::autodb

@@ -1,0 +1,70 @@
+#include "autodb/anomaly_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofi::autodb {
+
+std::vector<Anomaly> AnomalyManager::Scan(int64_t from, int64_t to) const {
+  std::vector<Anomaly> out;
+  for (const auto& rule : rules_) {
+    auto series = info_->metrics().Get(rule.metric);
+    if (!series.ok()) continue;
+    auto samples = (*series)->Range(from, to);
+    std::vector<double> window;
+    for (const auto& s : samples) {
+      bool anomalous = false;
+      Anomaly a;
+      a.metric = rule.metric;
+      a.ts = s.ts;
+      a.observed = s.value;
+      if (rule.hard_ceiling > 0 && s.value > rule.hard_ceiling) {
+        a.severity = AnomalySeverity::kCritical;
+        a.expected = rule.hard_ceiling;
+        a.z_score = std::numeric_limits<double>::infinity();
+        a.description = rule.metric + " exceeded hard ceiling";
+        anomalous = true;
+      } else if (window.size() >= rule.window) {
+        WindowStats stats = ComputeWindowStats(window);
+        double z = ZScore(s.value, stats);
+        if (z >= rule.warn_z) {
+          a.severity = z >= rule.critical_z ? AnomalySeverity::kCritical
+                                            : AnomalySeverity::kWarning;
+          a.expected = stats.mean;
+          a.z_score = z;
+          a.description = rule.metric + " deviates from baseline";
+          anomalous = true;
+        }
+      }
+      if (anomalous) {
+        out.push_back(std::move(a));
+      } else {
+        // Only normal samples extend the baseline, so a sustained anomaly
+        // keeps firing instead of being absorbed into "normal".
+        window.push_back(s.value);
+        if (window.size() > rule.window) {
+          window.erase(window.begin());
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Anomaly& a, const Anomaly& b) { return a.ts < b.ts; });
+  return out;
+}
+
+std::string AnomalyManager::RecommendAction(const Anomaly& anomaly) {
+  const std::string& m = anomaly.metric;
+  auto contains = [&](const char* needle) {
+    return m.find(needle) != std::string::npos;
+  };
+  if (contains("heartbeat")) return "restart data node and fail over replicas";
+  if (contains("disk")) return "migrate partitions off the slow disk";
+  if (contains("memory")) return "grow memory quota / spill more aggressively";
+  if (contains("latency") || contains("response")) {
+    return "throttle background work and re-check workload manager queue";
+  }
+  return "collect diagnostics and page the (virtual) DBA";
+}
+
+}  // namespace ofi::autodb

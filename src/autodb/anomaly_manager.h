@@ -1,0 +1,63 @@
+/// \file anomaly_manager.h
+/// \brief The anomaly manager (paper Fig. 12): detects deviations from
+/// normal conditions — datanode failures, slow disks, insufficient memory —
+/// from the information store's metric streams, using sliding-window
+/// z-scores plus hard thresholds, and drives the self-healing loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autodb/info_store.h"
+#include "autodb/ml.h"
+
+namespace ofi::autodb {
+
+enum class AnomalySeverity : uint8_t { kWarning, kCritical };
+
+struct Anomaly {
+  std::string metric;
+  int64_t ts = 0;
+  double observed = 0;
+  double expected = 0;  // window mean
+  double z_score = 0;
+  AnomalySeverity severity = AnomalySeverity::kWarning;
+  std::string description;
+};
+
+/// One detection rule.
+struct DetectionRule {
+  std::string metric;
+  /// z-score above which a warning fires.
+  double warn_z = 3.0;
+  /// z-score above which the anomaly is critical.
+  double critical_z = 6.0;
+  /// Optional hard ceiling: observed > ceiling is critical regardless of
+  /// history (e.g. heartbeat gap = node failure). <= 0 disables.
+  double hard_ceiling = 0;
+  /// Sliding window length (samples) establishing "normal".
+  size_t window = 32;
+};
+
+/// \brief Scans metric streams against rules.
+class AnomalyManager {
+ public:
+  explicit AnomalyManager(const InformationStore* info) : info_(info) {}
+
+  void AddRule(DetectionRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Scans each rule's metric over [from, to): the first `window` samples
+  /// seed the baseline, later samples are scored against the trailing
+  /// window. Returns all anomalies found, oldest first.
+  std::vector<Anomaly> Scan(int64_t from, int64_t to) const;
+
+  /// Self-healing hook: a human-readable recommended action per anomaly
+  /// (restart DN, rebalance shard, grow memory...).
+  static std::string RecommendAction(const Anomaly& anomaly);
+
+ private:
+  const InformationStore* info_;
+  std::vector<DetectionRule> rules_;
+};
+
+}  // namespace ofi::autodb

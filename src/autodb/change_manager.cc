@@ -1,0 +1,82 @@
+#include "autodb/change_manager.h"
+
+#include <algorithm>
+
+namespace ofi::autodb {
+
+Status ChangeManager::DefineParameter(Parameter p) {
+  if (p.min_value > p.max_value) {
+    return Status::InvalidArgument("parameter range inverted: " + p.name);
+  }
+  if (p.value < p.min_value || p.value > p.max_value) {
+    return Status::OutOfRange("initial value outside range: " + p.name);
+  }
+  if (!params_.emplace(p.name, p).second) {
+    return Status::AlreadyExists("parameter exists: " + p.name);
+  }
+  return Status::OK();
+}
+
+Result<double> ChangeManager::Get(const std::string& name) const {
+  auto it = params_.find(name);
+  if (it == params_.end()) return Status::NotFound("no parameter: " + name);
+  return it->second.value;
+}
+
+Status ChangeManager::Set(const std::string& name, double value) {
+  auto it = params_.find(name);
+  if (it == params_.end()) return Status::NotFound("no parameter: " + name);
+  if (value < it->second.min_value || value > it->second.max_value) {
+    return Status::OutOfRange("value outside range: " + name);
+  }
+  it->second.value = value;
+  return Status::OK();
+}
+
+Result<double> ChangeManager::ApplyGuarded(const std::string& name, double value,
+                                           const std::function<double()>& objective,
+                                           double tolerance) {
+  OFI_ASSIGN_OR_RETURN(double old_value, Get(name));
+  double before = objective();
+  OFI_RETURN_NOT_OK(Set(name, value));
+  double after = objective();
+  ChangeRecord rec{name, old_value, value, before, after, false};
+  // Lower is better; regression beyond tolerance triggers rollback.
+  if (after > before * (1.0 + tolerance)) {
+    OFI_RETURN_NOT_OK(Set(name, old_value));
+    rec.rolled_back = true;
+    history_.push_back(rec);
+    return old_value;
+  }
+  history_.push_back(rec);
+  return value;
+}
+
+Result<double> ChangeManager::AutoTune(const std::string& name,
+                                       const std::function<double()>& objective,
+                                       double step, int iterations) {
+  OFI_ASSIGN_OR_RETURN(double current, Get(name));
+  auto it = params_.find(name);
+  double best = current;
+  double best_obj = objective();
+  for (int i = 0; i < iterations; ++i) {
+    bool improved = false;
+    for (double candidate : {best * step, best / step}) {
+      candidate = std::clamp(candidate, it->second.min_value, it->second.max_value);
+      if (candidate == best) continue;
+      OFI_RETURN_NOT_OK(Set(name, candidate));
+      double obj = objective();
+      history_.push_back(ChangeRecord{name, best, candidate, best_obj, obj, false});
+      if (obj < best_obj) {
+        best = candidate;
+        best_obj = obj;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  OFI_RETURN_NOT_OK(Set(name, best));
+  return best;
+}
+
+}  // namespace ofi::autodb

@@ -1,0 +1,65 @@
+/// \file change_manager.h
+/// \brief The change manager (paper Fig. 12): owns tunable configuration
+/// parameters, applies changes with full history, and rolls a change back
+/// when the observed objective regresses — the self-configuring /
+/// self-healing loop. Includes a hill-climbing auto-tuner (BestConfig-style
+/// search over one knob at a time).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ofi::autodb {
+
+/// One tunable knob.
+struct Parameter {
+  std::string name;
+  double value = 0;
+  double min_value = 0;
+  double max_value = 0;
+};
+
+/// One applied change (the audit trail).
+struct ChangeRecord {
+  std::string parameter;
+  double old_value = 0;
+  double new_value = 0;
+  double objective_before = 0;
+  double objective_after = 0;
+  bool rolled_back = false;
+};
+
+/// \brief Parameter registry + guarded change application + auto-tuner.
+class ChangeManager {
+ public:
+  Status DefineParameter(Parameter p);
+  Result<double> Get(const std::string& name) const;
+  /// Unconditional set (range-checked).
+  Status Set(const std::string& name, double value);
+
+  /// Applies a change, evaluates `objective` (lower is better) before and
+  /// after, and rolls back if it regressed by more than `tolerance`
+  /// (relative). Returns the final (kept) value.
+  Result<double> ApplyGuarded(const std::string& name, double value,
+                              const std::function<double()>& objective,
+                              double tolerance = 0.05);
+
+  /// Hill-climbs one knob: tries value*step and value/step repeatedly,
+  /// keeping improvements, for at most `iterations` rounds. Returns the best
+  /// value found.
+  Result<double> AutoTune(const std::string& name,
+                          const std::function<double()>& objective,
+                          double step = 2.0, int iterations = 8);
+
+  const std::vector<ChangeRecord>& history() const { return history_; }
+
+ private:
+  std::map<std::string, Parameter> params_;
+  std::vector<ChangeRecord> history_;
+};
+
+}  // namespace ofi::autodb

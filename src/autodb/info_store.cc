@@ -1,0 +1,25 @@
+#include "autodb/info_store.h"
+
+namespace ofi::autodb {
+
+Result<double> InformationStore::MetricMean(const std::string& metric,
+                                            int64_t from, int64_t to) const {
+  OFI_ASSIGN_OR_RETURN(const timeseries::Series* s, metrics_.Get(metric));
+  auto samples = s->Range(from, to);
+  if (samples.empty()) return Status::NotFound("no samples in range");
+  double sum = 0;
+  for (const auto& smp : samples) sum += smp.value;
+  return sum / static_cast<double>(samples.size());
+}
+
+std::vector<QueryRecord> InformationStore::RecentQueries(
+    const std::string& query_class, size_t limit) const {
+  std::vector<QueryRecord> out;
+  for (auto it = queries_.rbegin(); it != queries_.rend() && out.size() < limit;
+       ++it) {
+    if (it->query_class == query_class) out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace ofi::autodb

@@ -1,0 +1,54 @@
+/// \file info_store.h
+/// \brief The information store of the autonomous database (paper Fig. 12):
+/// continuously collected system performance and workload observations that
+/// every other manager (anomaly, workload, change) and the in-DB ML
+/// component read from.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "timeseries/timeseries.h"
+
+namespace ofi::autodb {
+
+/// One completed query observation.
+struct QueryRecord {
+  int64_t ts = 0;            // completion time (us)
+  std::string query_class;   // e.g. "point", "report", "etl"
+  double cost_units = 0;     // work units consumed
+  double response_time_us = 0;
+  bool met_sla = true;
+};
+
+/// \brief Metrics + workload history.
+class InformationStore {
+ public:
+  /// Records a system metric sample, e.g. ("dn0.disk_read_us", t, 150).
+  void RecordMetric(const std::string& metric, int64_t ts, double value) {
+    metrics_.Append(metric, ts, value);
+  }
+
+  /// Records a completed query.
+  void RecordQuery(QueryRecord record) { queries_.push_back(std::move(record)); }
+
+  const timeseries::MetricStore& metrics() const { return metrics_; }
+  timeseries::MetricStore& mutable_metrics() { return metrics_; }
+  const std::vector<QueryRecord>& queries() const { return queries_; }
+
+  /// Mean of a metric over [from, to); NotFound if the series is absent.
+  Result<double> MetricMean(const std::string& metric, int64_t from,
+                            int64_t to) const;
+
+  /// Queries of one class, most recent `limit`.
+  std::vector<QueryRecord> RecentQueries(const std::string& query_class,
+                                         size_t limit) const;
+
+ private:
+  timeseries::MetricStore metrics_;
+  std::vector<QueryRecord> queries_;
+};
+
+}  // namespace ofi::autodb

@@ -1,0 +1,131 @@
+#include "autodb/ml.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofi::autodb {
+
+Status LinearRegression::Fit(const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("fit: bad training set");
+  }
+  size_t d = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != d) return Status::InvalidArgument("fit: ragged features");
+  }
+  // Normal equations over augmented features [x, 1]: (A^T A) w = A^T y.
+  size_t n = d + 1;
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0));
+  std::vector<double> aty(n, 0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    std::vector<double> aug = x[r];
+    aug.push_back(1.0);
+    for (size_t i = 0; i < n; ++i) {
+      aty[i] += aug[i] * y[r];
+      for (size_t j = 0; j < n; ++j) ata[i][j] += aug[i] * aug[j];
+    }
+  }
+  // Gaussian elimination with partial pivoting; ridge jitter for stability.
+  for (size_t i = 0; i < n; ++i) ata[i][i] += 1e-9;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(ata[r][col]) > std::fabs(ata[pivot][col])) pivot = r;
+    }
+    if (std::fabs(ata[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("fit: singular system");
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(aty[col], aty[pivot]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double f = ata[r][col] / ata[col][col];
+      for (size_t c = col; c < n; ++c) ata[r][c] -= f * ata[col][c];
+      aty[r] -= f * aty[col];
+    }
+  }
+  weights_.assign(d, 0);
+  for (size_t i = 0; i < d; ++i) weights_[i] = aty[i] / ata[i][i];
+  bias_ = aty[d] / ata[d][d];
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LinearRegression::Predict(const std::vector<double>& features) const {
+  if (!fitted_) return Status::InvalidArgument("predict before fit");
+  if (features.size() != weights_.size()) {
+    return Status::InvalidArgument("predict: feature arity mismatch");
+  }
+  double out = bias_;
+  for (size_t i = 0; i < features.size(); ++i) out += weights_[i] * features[i];
+  return out;
+}
+
+Result<double> LinearRegression::Score(const std::vector<std::vector<double>>& x,
+                                       const std::vector<double>& y) const {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("score: bad dataset");
+  }
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    OFI_ASSIGN_OR_RETURN(double pred, Predict(x[i]));
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot == 0) return ss_res == 0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Status KnnRegressor::Fit(std::vector<std::vector<double>> x,
+                         std::vector<double> y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("knn fit: bad training set");
+  }
+  x_ = std::move(x);
+  y_ = std::move(y);
+  return Status::OK();
+}
+
+Result<double> KnnRegressor::Predict(const std::vector<double>& features) const {
+  if (x_.empty()) return Status::InvalidArgument("knn predict before fit");
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(x_.size());
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i].size() != features.size()) {
+      return Status::InvalidArgument("knn: feature arity mismatch");
+    }
+    double d2 = 0;
+    for (size_t j = 0; j < features.size(); ++j) {
+      double d = x_[i][j] - features[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, i);
+  }
+  size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  double sum = 0;
+  for (size_t i = 0; i < k; ++i) sum += y_[dist[i].second];
+  return sum / static_cast<double>(k);
+}
+
+WindowStats ComputeWindowStats(const std::vector<double>& values) {
+  WindowStats s;
+  if (values.empty()) return s;
+  for (double v : values) s.mean += v;
+  s.mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+double ZScore(double value, const WindowStats& stats) {
+  if (stats.stddev == 0) return 0;
+  return (value - stats.mean) / stats.stddev;
+}
+
+}  // namespace ofi::autodb

@@ -1,0 +1,65 @@
+/// \file ml.h
+/// \brief The in-DB machine learning component (paper Fig. 12): small,
+/// dependency-free learners the managers call — multivariate linear
+/// regression (normal equations via Gaussian elimination) for response-time
+/// prediction, a kNN regressor for non-linear surfaces, and z-score
+/// utilities shared with anomaly detection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ofi::autodb {
+
+/// \brief Ordinary least squares: y ≈ w·x + b.
+class LinearRegression {
+ public:
+  /// Fits on rows of features X and targets y. Requires |X| == |y| > 0 and
+  /// consistent feature arity.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Prediction; must be fitted first.
+  Result<double> Predict(const std::vector<double>& features) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  bool fitted() const { return fitted_; }
+
+  /// R² on a dataset.
+  Result<double> Score(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y) const;
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0;
+  bool fitted_ = false;
+};
+
+/// \brief k-nearest-neighbour regressor (Euclidean, mean of neighbours).
+class KnnRegressor {
+ public:
+  explicit KnnRegressor(size_t k = 3) : k_(k) {}
+
+  Status Fit(std::vector<std::vector<double>> x, std::vector<double> y);
+  Result<double> Predict(const std::vector<double>& features) const;
+
+ private:
+  size_t k_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+/// Mean and (population) standard deviation of a window.
+struct WindowStats {
+  double mean = 0;
+  double stddev = 0;
+};
+WindowStats ComputeWindowStats(const std::vector<double>& values);
+
+/// z-score of `value` against the window (0 when stddev == 0).
+double ZScore(double value, const WindowStats& stats);
+
+}  // namespace ofi::autodb

@@ -1,0 +1,94 @@
+#include "autodb/workload_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofi::autodb {
+
+void WorkloadManager::Drain(SimTime now) {
+  // Bookkeeping is interval-based (see Submit); periodically drop intervals
+  // that finished well before any plausible future arrival.
+  auto it = std::remove_if(running_.begin(), running_.end(),
+                           [&](const RunningQuery& q) { return q.finish <= now; });
+  running_.erase(it, running_.end());
+}
+
+Result<SimTime> WorkloadManager::Submit(const std::string& query_class,
+                                        SimTime arrival_us, double cost_units,
+                                        SimTime service_us) {
+  SimTime start = arrival_us;
+  SimTime service = service_us;
+
+  // Capacity in use at time t across every admitted query.
+  auto in_use_at = [&](SimTime t) {
+    double u = 0;
+    for (const auto& q : running_) {
+      if (q.start <= t && t < q.finish) u += q.cost;
+    }
+    return u;
+  };
+
+  if (config_.admission_control) {
+    // Queue bound: queries admitted but not yet started at this arrival.
+    size_t waiting = 0;
+    for (const auto& q : running_) {
+      if (q.start > arrival_us) ++waiting;
+    }
+    if (waiting >= config_.max_queue) {
+      ++rejected_;
+      return Status::ResourceExhausted("workload queue full");
+    }
+    // Earliest time with enough free capacity: test the arrival and every
+    // later finish event.
+    std::vector<SimTime> candidates = {arrival_us};
+    for (const auto& q : running_) {
+      if (q.finish > arrival_us) candidates.push_back(q.finish);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (SimTime t : candidates) {
+      if (in_use_at(t) + cost_units <= config_.capacity_units + 1e-9) {
+        start = t;
+        break;
+      }
+      start = candidates.back();
+    }
+    if (start > arrival_us) ++queued_;
+  } else {
+    // No admission control: everything runs at once; execution slows with
+    // oversubscription, super-linearly when thrashing (>2x capacity).
+    double load = (in_use_at(arrival_us) + cost_units) / config_.capacity_units;
+    if (load > 1.0) {
+      double factor = load <= 2.0 ? load : std::pow(load, 1.5);
+      service = static_cast<SimTime>(static_cast<double>(service) * factor);
+    }
+  }
+
+  ++admitted_;
+  SimTime finish = start + service;
+  running_.push_back(RunningQuery{start, finish, cost_units});
+  // Bound bookkeeping growth: drop long-finished intervals.
+  if (running_.size() > 4096) Drain(arrival_us - 1);
+
+  double response = static_cast<double>(finish - arrival_us);
+  latencies_[query_class].Record(static_cast<int64_t>(response));
+  if (info_ != nullptr) {
+    info_->RecordQuery(QueryRecord{finish, query_class, cost_units, response, true});
+    info_->RecordMetric("wm.response_us", finish, response);
+  }
+  return finish;
+}
+
+double WorkloadManager::AchievedP95(const std::string& query_class) const {
+  auto it = latencies_.find(query_class);
+  if (it == latencies_.end()) return 0;
+  return static_cast<double>(it->second.Percentile(95));
+}
+
+bool WorkloadManager::MeetsSla(const std::vector<SlaTarget>& targets) const {
+  for (const auto& t : targets) {
+    if (AchievedP95(t.query_class) > t.p95_response_us) return false;
+  }
+  return true;
+}
+
+}  // namespace ofi::autodb

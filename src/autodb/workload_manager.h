@@ -1,0 +1,74 @@
+/// \file workload_manager.h
+/// \brief The workload manager (paper Fig. 12): monitors and controls query
+/// execution so the system meets its SLA (e.g. p95 response time). Queries
+/// consume capacity units; when the system is saturated, arrivals queue (or
+/// are rejected past a queue bound) instead of overloading execution —
+/// admission control in the style of big MPP warehouses.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "autodb/info_store.h"
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+
+namespace ofi::autodb {
+
+/// SLA target for one query class.
+struct SlaTarget {
+  std::string query_class;
+  double p95_response_us = 0;
+};
+
+struct WorkloadManagerConfig {
+  /// Total concurrent capacity units the engine can execute.
+  double capacity_units = 8;
+  /// Queue bound; arrivals beyond it are rejected (ResourceExhausted).
+  size_t max_queue = 256;
+  /// When false, every query is admitted immediately (the "no manager"
+  /// baseline of experiment E10).
+  bool admission_control = true;
+};
+
+/// \brief Simulated admission-controlled execution.
+class WorkloadManager {
+ public:
+  WorkloadManager(WorkloadManagerConfig config, InformationStore* info)
+      : config_(config), info_(info) {}
+
+  /// Submits a query arriving at `arrival_us` needing `cost_units` capacity
+  /// for `service_us` of execution. Returns the completion time, or
+  /// ResourceExhausted when the queue is full.
+  Result<SimTime> Submit(const std::string& query_class, SimTime arrival_us,
+                         double cost_units, SimTime service_us);
+
+  /// Achieved p95 for a class (from the recorded history).
+  double AchievedP95(const std::string& query_class) const;
+
+  /// True if every target is met by the recorded history.
+  bool MeetsSla(const std::vector<SlaTarget>& targets) const;
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t queued() const { return queued_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct RunningQuery {
+    SimTime start;
+    SimTime finish;
+    double cost;
+  };
+
+  /// Drops bookkeeping for queries finished by `now`.
+  void Drain(SimTime now);
+
+  WorkloadManagerConfig config_;
+  InformationStore* info_;
+  std::vector<RunningQuery> running_;
+  std::map<std::string, LatencyHistogram> latencies_;
+  uint64_t admitted_ = 0, queued_ = 0, rejected_ = 0;
+};
+
+}  // namespace ofi::autodb

@@ -1,0 +1,365 @@
+#include "cluster/cluster.h"
+
+namespace ofi::cluster {
+
+Cluster::Cluster(int num_dns, Protocol protocol, LatencyModel latency)
+    : protocol_(protocol), latency_(latency) {
+  gtm_resource_ = scheduler_.AddResource();
+  for (int i = 0; i < num_dns; ++i) {
+    dns_.push_back(std::make_unique<DataNode>(i));
+    dn_resources_.push_back(scheduler_.AddResource());
+  }
+}
+
+Status Cluster::CreateTable(const std::string& name, const sql::Schema& schema) {
+  for (auto& dn : dns_) {
+    OFI_RETURN_NOT_OK(dn->CreateTable(name, schema));
+  }
+  return Status::OK();
+}
+
+SimTime Cluster::ChargeGtm(SimTime arrival) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime done = scheduler_.Charge(gtm_resource_, a, latency_.gtm_service_us);
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnStmt(int dn, SimTime arrival) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime done = scheduler_.Charge(dn_resources_[dn], a, latency_.dn_stmt_service_us);
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnCommit(int dn, SimTime arrival) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime done =
+      scheduler_.Charge(dn_resources_[dn], a, latency_.dn_commit_service_us);
+  return done + latency_.network_hop_us;
+}
+
+Status Cluster::EnableReplication() {
+  if (dns_.size() < 2) {
+    return Status::InvalidArgument("replication needs at least 2 data nodes");
+  }
+  replication_enabled_ = true;
+  down_.assign(dns_.size(), false);
+  shadows_.assign(dns_.size(), ShadowShard{});
+  return Status::OK();
+}
+
+void Cluster::ShipToBackup(int primary, const ReplicationRecord& record) {
+  shadows_[primary].Apply(record);
+  metrics_.Add("repl.records");
+  metrics_.Add("repl.bytes", static_cast<int64_t>(record.ByteSize()));
+}
+
+int Cluster::EffectiveDn(int shard) const {
+  if (!replication_enabled_ || down_.empty() || !down_[shard]) return shard;
+  return BackupOf(shard);
+}
+
+Status Cluster::FailDn(int dn) {
+  if (!replication_enabled_) {
+    return Status::InvalidArgument("replication is not enabled");
+  }
+  if (down_[dn]) return Status::InvalidArgument("dn already down");
+  int backup = BackupOf(dn);
+  if (down_[backup]) {
+    return Status::Unavailable("backup is down too: data loss");
+  }
+  down_[dn] = true;
+  // Promote: materialize the shadow into the backup's MVCC tables under a
+  // single committed recovery transaction. Keys are disjoint from the
+  // backup's own shard, so tables can be shared.
+  DataNode* node = dns_[backup].get();
+  txn::Xid rec_xid = node->txn_mgr().Begin();
+  txn::Snapshot snap = node->txn_mgr().TakeSnapshot();
+  txn::VisibilityChecker vis(&snap, &node->txn_mgr().clog(), rec_xid);
+  for (const auto& [table_name, rows] : shadows_[dn].tables()) {
+    auto table = node->GetTable(table_name);
+    if (!table.ok()) continue;
+    for (const auto& [key_str, rec] : rows) {
+      if (rec.deleted) continue;
+      (void)(*table)->Insert(rec.key, rec.row, rec_xid, vis);
+    }
+  }
+  OFI_RETURN_NOT_OK(node->txn_mgr().Commit(rec_xid));
+  metrics_.Add("ha.failovers");
+  return Status::OK();
+}
+
+size_t Cluster::Vacuum() {
+  size_t removed = 0;
+  for (auto& dn : dns_) {
+    // The DN-local horizon: the oldest xid any open local snapshot can
+    // reference. With no active transactions this is next_xid (everything
+    // committed is fair game).
+    txn::Snapshot snap = dn->txn_mgr().TakeSnapshot();
+    txn::Xid horizon = snap.xmin;
+    for (auto& [name, table] : dn->mutable_tables()) {
+      removed += table->Vacuum(horizon, dn->txn_mgr().clog());
+    }
+  }
+  metrics_.Add("vacuum.removed", static_cast<int64_t>(removed));
+  return removed;
+}
+
+int Cluster::RecoverInDoubtTransactions() {
+  int resolved = 0;
+  for (auto& dn : dns_) {
+    resolved += dn->RecoverInDoubt(gtm_);
+  }
+  return resolved;
+}
+
+Txn Cluster::Begin(TxnScope scope, SimTime start_time) {
+  // Periodic background maintenance: prune per-DN merge state below the
+  // global safe horizon so xidMap/LCO scans stay O(recent transactions).
+  if (++begins_since_maintenance_ >= 64) {
+    begins_since_maintenance_ = 0;
+    txn::Gxid horizon = gtm_.SafeHorizon();
+    for (auto& dn : dns_) {
+      dn->txn_mgr().mutable_clog().PruneBelowHorizon(horizon);
+    }
+  }
+  Txn t(this, scope, start_time);
+  bool needs_gtm =
+      protocol_ == Protocol::kBaselineGtm || scope == TxnScope::kMultiShard;
+  if (needs_gtm) {
+    // One round trip carrying two serialized GTM requests: GXID allocation
+    // and the global snapshot.
+    t.gxid_ = gtm_.BeginGlobal();
+    t.global_snapshot_ = gtm_.TakeGlobalSnapshot();
+    SimTime a = t.now_ + latency_.network_hop_us;
+    SimTime done = scheduler_.Charge(gtm_resource_, a, 2 * latency_.gtm_service_us);
+    t.now_ = done + latency_.network_hop_us;
+    metrics_.Add("gtm.begin");
+  }
+  metrics_.Add("txn.begin");
+  return t;
+}
+
+Txn::Txn(Cluster* cluster, TxnScope scope, SimTime start)
+    : cluster_(cluster), scope_(scope), now_(start) {}
+
+Result<Txn::DnContext*> Txn::Touch(int dn) {
+  if (cluster_->IsDown(dn)) {
+    return Status::Unavailable("dn" + std::to_string(dn) + " is down");
+  }
+  auto it = dns_.find(dn);
+  if (it != dns_.end()) return &it->second;
+
+  if (cluster_->protocol() == Protocol::kGtmLite &&
+      scope_ == TxnScope::kSingleShard && !dns_.empty()) {
+    return Status::InvalidArgument(
+        "single-shard transaction touched a second shard (dn" +
+        std::to_string(dn) + ")");
+  }
+
+  DataNode* node = cluster_->dn(dn);
+  DnContext ctx;
+  if (cluster_->protocol() == Protocol::kBaselineGtm) {
+    // The GXID doubles as this DN's xid; visibility uses the global snapshot.
+    node->BeginExternal(gxid_);
+    ctx.xid = gxid_;
+  } else if (scope_ == TxnScope::kSingleShard) {
+    ctx.xid = node->txn_mgr().Begin();
+    ctx.local_snapshot = node->txn_mgr().TakeSnapshot();
+  } else {
+    // Multi-shard GTM-lite: local xid + local snapshot, then Algorithm 1.
+    // The snapshot merge is real DN work (xidMap probe + LCO traversal):
+    // charge one statement's worth of service for it.
+    now_ = cluster_->ChargeDnStmt(dn, now_);
+    ctx.xid = node->txn_mgr().Begin();
+    node->txn_mgr().BindGxid(ctx.xid, gxid_);
+    ctx.local_snapshot = node->txn_mgr().TakeSnapshot();
+    auto waiter = [this, node](txn::Xid lxid, txn::Gxid) {
+      // UPGRADE: the reader waits out the commit-confirmation window.
+      now_ += cluster_->latency().commit_confirm_delay_us;
+      return node->FinishPendingCommit(lxid);
+    };
+    ctx.merged = txn::MergeSnapshots(*global_snapshot_, *ctx.local_snapshot,
+                                     node->txn_mgr().clog(), waiter);
+    upgrades_ += ctx.merged->upgrades;
+    downgrades_ += ctx.merged->downgrades;
+    cluster_->metrics().Add("merge.upgrades", ctx.merged->upgrades);
+    cluster_->metrics().Add("merge.downgrades", ctx.merged->downgrades);
+  }
+  auto [ins, _] = dns_.emplace(dn, std::move(ctx));
+  return &ins->second;
+}
+
+txn::VisibilityChecker Txn::CheckerFor(int dn, const DnContext& ctx) const {
+  const txn::CommitLog& clog = cluster_->dn(dn)->txn_mgr().clog();
+  if (cluster_->protocol() == Protocol::kBaselineGtm) {
+    return txn::VisibilityChecker(&*global_snapshot_, &clog, ctx.xid);
+  }
+  if (ctx.merged.has_value()) {
+    return txn::VisibilityChecker(&*ctx.merged, &clog, ctx.xid);
+  }
+  return txn::VisibilityChecker(&*ctx.local_snapshot, &clog, ctx.xid);
+}
+
+Result<sql::Row> Txn::Read(const std::string& table, const sql::Value& key) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  int dn = cluster_->EffectiveDn(cluster_->ShardFor(key));
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  now_ = cluster_->ChargeDnStmt(dn, now_);
+  return t->Read(key, CheckerFor(dn, *ctx));
+}
+
+Result<std::vector<sql::Row>> Txn::ScanShard(const std::string& table, int dn) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  now_ = cluster_->ChargeDnStmt(dn, now_);
+  return t->ScanVisible(CheckerFor(dn, *ctx));
+}
+
+Status Txn::Insert(const std::string& table, const sql::Value& key, sql::Row row) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  int dn = cluster_->EffectiveDn(cluster_->ShardFor(key));
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  now_ = cluster_->ChargeDnStmt(dn, now_);
+  sql::Row row_copy = row;
+  OFI_RETURN_NOT_OK(t->Insert(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
+  ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
+  return Status::OK();
+}
+
+Status Txn::Update(const std::string& table, const sql::Value& key, sql::Row row) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  int dn = cluster_->EffectiveDn(cluster_->ShardFor(key));
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  now_ = cluster_->ChargeDnStmt(dn, now_);
+  sql::Row row_copy = row;
+  OFI_RETURN_NOT_OK(t->Update(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
+  ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
+  return Status::OK();
+}
+
+Status Txn::Delete(const std::string& table, const sql::Value& key) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  int dn = cluster_->EffectiveDn(cluster_->ShardFor(key));
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  now_ = cluster_->ChargeDnStmt(dn, now_);
+  OFI_RETURN_NOT_OK(t->Delete(key, ctx->xid, CheckerFor(dn, *ctx)));
+  ctx->writes.push_back(WriteRecord{table, key, {}, true});
+  return Status::OK();
+}
+
+Status Txn::CommitSingleShard() {
+  // GTM-lite single-shard: one local commit message, zero GTM traffic.
+  for (auto& [dn, ctx] : dns_) {
+    now_ = cluster_->ChargeDnCommit(dn, now_);
+    OFI_RETURN_NOT_OK(cluster_->dn(dn)->txn_mgr().Commit(ctx.xid, txn::kNoGxid));
+  }
+  return Status::OK();
+}
+
+Status Txn::CommitTwoPhase() {
+  const bool baseline = cluster_->protocol() == Protocol::kBaselineGtm;
+  const bool single_dn = dns_.size() <= 1;
+
+  // Phase one: prepare every participant (skipped for a 1-DN transaction).
+  if (!single_dn) {
+    for (auto& [dn, ctx] : dns_) {
+      now_ = cluster_->ChargeDnCommit(dn, now_);
+      Status st = cluster_->dn(dn)->txn_mgr().Prepare(ctx.xid);
+      if (!st.ok()) {
+        Abort();
+        return st;
+      }
+    }
+  }
+
+  if (baseline) {
+    // PG-XC order: commit on every node, then dequeue from the GTM, so a
+    // fresh global snapshot never exposes a half-committed transaction.
+    for (auto& [dn, ctx] : dns_) {
+      now_ = cluster_->ChargeDnCommit(dn, now_);
+      OFI_RETURN_NOT_OK(cluster_->dn(dn)->txn_mgr().Commit(ctx.xid, gxid_));
+    }
+    now_ = cluster_->ChargeGtm(now_);
+    OFI_RETURN_NOT_OK(cluster_->gtm().CommitGlobal(gxid_));
+    return Status::OK();
+  }
+
+  // GTM-lite order (paper §II-A2): the GTM marks the transaction committed
+  // FIRST, then confirmations reach the DNs — the Anomaly1 window that
+  // UPGRADE closes on the reader side.
+  now_ = cluster_->ChargeGtm(now_);
+  OFI_RETURN_NOT_OK(cluster_->gtm().CommitGlobal(gxid_));
+  for (auto& [dn, ctx] : dns_) {
+    now_ = cluster_->ChargeDnCommit(dn, now_);
+    if (cluster_->delay_commit_confirmations() && !single_dn) {
+      cluster_->dn(dn)->EnqueuePendingCommit(ctx.xid, gxid_);
+    } else {
+      OFI_RETURN_NOT_OK(cluster_->dn(dn)->txn_mgr().Commit(ctx.xid, gxid_));
+    }
+  }
+  return Status::OK();
+}
+
+Status Txn::Commit() {
+  if (finished_) return Status::InvalidArgument("txn already finished");
+  finished_ = true;
+  Status st;
+  if (cluster_->protocol() == Protocol::kGtmLite &&
+      scope_ == TxnScope::kSingleShard) {
+    st = CommitSingleShard();
+  } else {
+    st = CommitTwoPhase();
+  }
+  if (st.ok()) {
+    committed_ = true;
+    cluster_->metrics().Add("txn.commit");
+    if (cluster_->replication_enabled()) {
+      // Synchronous logical replication of the committed write set to each
+      // touched primary's backup (one round trip per participant).
+      for (auto& [dn, ctx] : dns_) {
+        if (ctx.writes.empty()) continue;
+        for (const auto& w : ctx.writes) {
+          cluster_->ShipToBackup(dn, ReplicationRecord{w.table, w.key, w.row,
+                                                       w.deleted});
+        }
+        now_ = cluster_->ChargeDnCommit(cluster_->BackupOf(dn), now_);
+      }
+    }
+  } else {
+    cluster_->metrics().Add("txn.commit_failed");
+  }
+  return st;
+}
+
+Status Txn::Abort() {
+  // A committed transaction must never be rolled back: its version-chain
+  // edits are visible to others already.
+  if (committed_) {
+    return Status::InvalidArgument("cannot abort a committed transaction");
+  }
+  if (finished_ && dns_.empty()) return Status::OK();
+  finished_ = true;
+  for (auto& [dn, ctx] : dns_) {
+    DataNode* node = cluster_->dn(dn);
+    for (const auto& w : ctx.writes) {
+      auto t = node->GetTable(w.table);
+      if (t.ok()) (*t)->RollbackKey(w.key, ctx.xid);
+    }
+    now_ = cluster_->ChargeDnCommit(dn, now_);
+    // Abort may race with an earlier failure; ignore state errors.
+    (void)node->txn_mgr().Abort(ctx.xid);
+  }
+  if (gxid_ != txn::kNoGxid && !cluster_->gtm().IsCommitted(gxid_)) {
+    now_ = cluster_->ChargeGtm(now_);
+    (void)cluster_->gtm().AbortGlobal(gxid_);
+  }
+  cluster_->metrics().Add("txn.abort");
+  return Status::OK();
+}
+
+}  // namespace ofi::cluster

@@ -1,0 +1,211 @@
+/// \file cluster.h
+/// \brief The sharded OLTP cluster (paper Fig. 1): a coordinator routing
+/// statements to hash-sharded data nodes, a GTM, and two transaction
+/// protocols:
+///
+/// * kBaselineGtm — Postgres-XC style: every transaction takes a GXID and a
+///   global snapshot from the GTM and commits through it; GXIDs double as
+///   each DN's local xid.
+/// * kGtmLite — the paper's contribution: single-shard transactions never
+///   talk to the GTM (local xid + local snapshot + local commit); only
+///   multi-shard transactions take a GXID/global snapshot and use merged
+///   snapshots (Algorithm 1) for visibility, committing via 2PC.
+///
+/// Every GTM request, DN statement and commit message charges simulated
+/// time against serialized resources (see latency_model.h), which is what
+/// the Fig. 3 scalability bench measures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/data_node.h"
+#include "cluster/latency_model.h"
+#include "cluster/replication.h"
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "txn/gtm.h"
+#include "txn/merge_snapshot.h"
+
+namespace ofi::cluster {
+
+enum class Protocol { kBaselineGtm, kGtmLite };
+
+/// Declared scope of a transaction. Applications shard by design (paper:
+/// "database is designed with application sharding in mind"), so the CN
+/// knows upfront whether a transaction is single-shard.
+enum class TxnScope { kSingleShard, kMultiShard };
+
+class Cluster;
+
+/// \brief A coordinator-side transaction handle. Obtain from
+/// Cluster::Begin(); every operation routes by shard key, charges simulated
+/// time, and enforces the declared scope.
+class Txn {
+ public:
+  /// Point read of `key` in `table` on its owning shard.
+  Result<sql::Row> Read(const std::string& table, const sql::Value& key);
+  /// Visible-row scan of one shard (tests / examples).
+  Result<std::vector<sql::Row>> ScanShard(const std::string& table, int dn);
+
+  Status Insert(const std::string& table, const sql::Value& key, sql::Row row);
+  Status Update(const std::string& table, const sql::Value& key, sql::Row row);
+  Status Delete(const std::string& table, const sql::Value& key);
+
+  /// Commits: local commit for single-shard GTM-lite; 2PC + GTM otherwise.
+  Status Commit();
+  Status Abort();
+
+  /// Simulated time consumed so far by this transaction (its critical path
+  /// through network hops and serialized resources).
+  SimTime now() const { return now_; }
+  TxnScope scope() const { return scope_; }
+  bool finished() const { return finished_; }
+  txn::Gxid gxid() const { return gxid_; }
+
+  /// Merge statistics accumulated across DN first-touches (multi-shard
+  /// GTM-lite only).
+  int upgrades() const { return upgrades_; }
+  int downgrades() const { return downgrades_; }
+
+ private:
+  friend class Cluster;
+  Txn(Cluster* cluster, TxnScope scope, SimTime start);
+
+  struct WriteRecord {
+    std::string table;
+    sql::Value key;
+    sql::Row row;       // committed image (empty for deletes)
+    bool deleted = false;
+  };
+  struct DnContext {
+    txn::Xid xid = txn::kInvalidXid;
+    std::optional<txn::Snapshot> local_snapshot;
+    std::optional<txn::MergedSnapshot> merged;
+    // Write set: targeted rollback on abort, replication log on commit.
+    std::vector<WriteRecord> writes;
+  };
+
+  /// Lazily opens this transaction's context on DN `dn` (local xid, local
+  /// snapshot, snapshot merge for multi-shard GTM-lite).
+  Result<DnContext*> Touch(int dn);
+  txn::VisibilityChecker CheckerFor(int dn, const DnContext& ctx) const;
+  Status CommitSingleShard();
+  Status CommitTwoPhase();
+
+  Cluster* cluster_;
+  TxnScope scope_;
+  txn::Gxid gxid_ = txn::kNoGxid;
+  std::optional<txn::Snapshot> global_snapshot_;
+  std::unordered_map<int, DnContext> dns_;
+  SimTime now_ = 0;
+  bool finished_ = false;
+  bool committed_ = false;
+  int upgrades_ = 0;
+  int downgrades_ = 0;
+};
+
+/// \brief The cluster: GTM + N data nodes + routing + simulated resources.
+class Cluster {
+ public:
+  Cluster(int num_dns, Protocol protocol, LatencyModel latency = LatencyModel{});
+
+  /// Creates `name` on every DN; rows are hash-sharded by their key.
+  Status CreateTable(const std::string& name, const sql::Schema& schema);
+
+  /// Starts a transaction whose simulated clock begins at `start_time`
+  /// (closed-loop clients pass their own current time).
+  Txn Begin(TxnScope scope, SimTime start_time = 0);
+
+  int ShardFor(const sql::Value& key) const {
+    if (sharder_) return sharder_(key) % static_cast<int>(dns_.size());
+    return static_cast<int>(key.Hash() % dns_.size());
+  }
+
+  /// Overrides hash sharding with an application sharding function (the
+  /// paper assumes databases "designed with application sharding in mind",
+  /// e.g. TPC-C keys co-located by warehouse).
+  void set_sharder(std::function<int(const sql::Value&)> sharder) {
+    sharder_ = std::move(sharder);
+  }
+
+  int num_dns() const { return static_cast<int>(dns_.size()); }
+  Protocol protocol() const { return protocol_; }
+  DataNode* dn(int i) { return dns_[i].get(); }
+  txn::Gtm& gtm() { return gtm_; }
+  const LatencyModel& latency() const { return latency_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// When true, multi-shard commit confirmations queue on DNs instead of
+  /// applying immediately — opens the Anomaly1 window for tests.
+  void set_delay_commit_confirmations(bool v) { delay_commit_confirm_ = v; }
+  bool delay_commit_confirmations() const { return delay_commit_confirm_; }
+
+  // --- High availability (paper: "smart replication scheme") ----------------
+  /// Turns on primary/backup replication: DN i's shard is backed up on DN
+  /// (i+1) % N. Requires at least 2 DNs. Committed write sets ship to the
+  /// backup synchronously at commit time.
+  Status EnableReplication();
+  bool replication_enabled() const { return replication_enabled_; }
+
+  /// Simulates a data-node crash: the node stops serving, its backup
+  /// promotes (shadow rows materialize into the backup's MVCC tables under
+  /// a recovery transaction) and routing fails over. In-flight transactions
+  /// on the failed node are lost; committed ones survive.
+  Status FailDn(int dn);
+  bool IsDown(int dn) const { return down_.size() > static_cast<size_t>(dn) && down_[dn]; }
+  /// The node currently serving a shard (backup after failover).
+  int EffectiveDn(int shard) const;
+  int BackupOf(int dn) const { return (dn + 1) % static_cast<int>(dns_.size()); }
+  const ShadowShard& shadow(int primary) const { return shadows_[primary]; }
+  /// Applies one committed record to `primary`'s backup shadow.
+  void ShipToBackup(int primary, const ReplicationRecord& record);
+
+  /// 2PC recovery sweep (run after a coordinator failure): every in-doubt
+  /// prepared transaction on every DN consults the GTM for the global
+  /// outcome. Returns the number of transactions resolved.
+  int RecoverInDoubtTransactions();
+
+  /// Background garbage collection: vacuums dead tuple versions on every
+  /// DN below that DN's local visibility horizon (no open local snapshot
+  /// can still see them). Returns versions removed across the cluster.
+  size_t Vacuum();
+
+  // --- Simulated-resource charging (used by Txn) -----------------------------
+  /// One GTM round trip arriving at `arrival`; returns completion time.
+  SimTime ChargeGtm(SimTime arrival);
+  /// One DN statement round trip.
+  SimTime ChargeDnStmt(int dn, SimTime arrival);
+  /// One DN prepare/commit/abort message round trip.
+  SimTime ChargeDnCommit(int dn, SimTime arrival);
+
+  void ResetSimTime() { scheduler_.Reset(); }
+
+  SimScheduler& scheduler() { return scheduler_; }
+  int gtm_resource() const { return gtm_resource_; }
+  int dn_resource(int dn) const { return dn_resources_[dn]; }
+
+ private:
+  friend class Txn;
+
+  Protocol protocol_;
+  LatencyModel latency_;
+  txn::Gtm gtm_;
+  std::vector<std::unique_ptr<DataNode>> dns_;
+  SimScheduler scheduler_;
+  int gtm_resource_;
+  std::vector<int> dn_resources_;
+  MetricsRegistry metrics_;
+  bool delay_commit_confirm_ = false;
+  std::function<int(const sql::Value&)> sharder_;
+  int begins_since_maintenance_ = 0;
+  bool replication_enabled_ = false;
+  std::vector<bool> down_;
+  std::vector<ShadowShard> shadows_;  // indexed by primary DN
+};
+
+}  // namespace ofi::cluster

@@ -1,0 +1,77 @@
+/// \file data_node.h
+/// \brief One shard server: hosts MVCC tables and a local transaction
+/// manager, and models the commit-confirmation queue whose delivery delay
+/// creates the Anomaly1 window.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/mvcc_table.h"
+#include "txn/gtm.h"
+#include "txn/local_txn_manager.h"
+
+namespace ofi::cluster {
+
+/// \brief A data node (DN).
+class DataNode {
+ public:
+  explicit DataNode(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  /// Creates this DN's shard of `name`.
+  Status CreateTable(const std::string& name, const sql::Schema& schema);
+
+  Result<storage::MvccTable*> GetTable(const std::string& name);
+
+  txn::LocalTxnManager& txn_mgr() { return txn_mgr_; }
+  const txn::LocalTxnManager& txn_mgr() const { return txn_mgr_; }
+
+  /// Registers an externally allocated xid (baseline protocol: the GXID is
+  /// used directly as this DN's xid).
+  void BeginExternal(txn::Xid xid);
+
+  // --- Commit-confirmation queue (Anomaly1 window) --------------------------
+  /// Queues the commit of a prepared transaction instead of applying it.
+  void EnqueuePendingCommit(txn::Xid xid, txn::Gxid gxid) {
+    pending_commits_.push_back({xid, gxid});
+  }
+  /// Forces delivery of the pending commit for `xid` (the UPGRADE wait).
+  /// Returns the final state (kCommitted, or current state if not pending).
+  txn::TxnState FinishPendingCommit(txn::Xid xid);
+  /// Delivers every queued confirmation in order.
+  void DeliverAllPendingCommits();
+  size_t pending_commit_count() const { return pending_commits_.size(); }
+
+  const std::unordered_map<std::string, std::unique_ptr<storage::MvccTable>>&
+  tables() const {
+    return tables_;
+  }
+  std::unordered_map<std::string, std::unique_ptr<storage::MvccTable>>&
+  mutable_tables() {
+    return tables_;
+  }
+
+  /// 2PC in-doubt recovery: every prepared transaction asks the GTM for the
+  /// global outcome — commit if globally committed, roll back if globally
+  /// aborted, stay prepared while the global transaction is still live.
+  /// Returns the number of transactions resolved.
+  int RecoverInDoubt(const txn::Gtm& gtm);
+
+ private:
+  struct PendingCommit {
+    txn::Xid xid;
+    txn::Gxid gxid;
+  };
+
+  int id_;
+  txn::LocalTxnManager txn_mgr_;
+  std::unordered_map<std::string, std::unique_ptr<storage::MvccTable>> tables_;
+  std::deque<PendingCommit> pending_commits_;
+};
+
+}  // namespace ofi::cluster

@@ -1,0 +1,28 @@
+/// \file latency_model.h
+/// \brief Simulated cost parameters for the MPP cluster. The absolute
+/// values are loosely calibrated to a LAN (tens of microseconds per hop);
+/// what matters for reproducing Fig. 3 is the *structure*: GTM requests are
+/// serialized through one resource, data-node work is serialized per DN, so
+/// the protocol that skips the GTM scales with the DN count and the one
+/// that does not saturates at 1/gtm_service_us.
+#pragma once
+
+#include "common/sim_clock.h"
+
+namespace ofi::cluster {
+
+struct LatencyModel {
+  /// One-way network hop CN<->DN or CN<->GTM.
+  SimTime network_hop_us = 25;
+  /// Serialized GTM critical section per request (gxid+snapshot or commit).
+  SimTime gtm_service_us = 12;
+  /// Serialized DN work per read/write statement.
+  SimTime dn_stmt_service_us = 40;
+  /// Serialized DN work per prepare/commit/abort message.
+  SimTime dn_commit_service_us = 15;
+  /// Delay between the GTM marking a txn committed and the commit
+  /// confirmation landing on a DN — the Anomaly1 window (paper §II-A2).
+  SimTime commit_confirm_delay_us = 30;
+};
+
+}  // namespace ofi::cluster

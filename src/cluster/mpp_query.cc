@@ -1,0 +1,156 @@
+#include "cluster/mpp_query.h"
+
+#include "sql/executor.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::AggFunc;
+using sql::AggSpec;
+using sql::Expr;
+using sql::Row;
+using sql::Table;
+
+/// The partial aggregates one requested aggregate decomposes into, and how
+/// the final stage merges them.
+struct PartialPlan {
+  std::vector<AggSpec> partial;  // computed per shard
+  // Final-stage spec over the unioned partials; AVG needs a post-division.
+  std::vector<AggSpec> final_specs;
+  bool is_avg = false;
+  std::string sum_name, count_name;  // for AVG
+};
+
+PartialPlan DecomposeAgg(const DistributedAgg& agg) {
+  PartialPlan plan;
+  switch (agg.func) {
+    case AggFunc::kCount:
+      plan.partial = {AggSpec{AggFunc::kCount,
+                              agg.column.empty() ? nullptr
+                                                 : Expr::ColumnRef(agg.column),
+                              agg.name}};
+      // Final: COUNT partials SUM together.
+      plan.final_specs = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.name), agg.name}};
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      plan.partial = {AggSpec{agg.func, Expr::ColumnRef(agg.column), agg.name}};
+      plan.final_specs = {
+          AggSpec{agg.func == AggFunc::kSum ? AggFunc::kSum : agg.func,
+                  Expr::ColumnRef(agg.name), agg.name}};
+      break;
+    case AggFunc::kAvg:
+      // AVG decomposes into (SUM, COUNT); the CN divides at the end.
+      plan.is_avg = true;
+      plan.sum_name = agg.name + "$sum";
+      plan.count_name = agg.name + "$cnt";
+      plan.partial = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.column), plan.sum_name},
+          AggSpec{AggFunc::kCount, Expr::ColumnRef(agg.column), plan.count_name}};
+      plan.final_specs = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.sum_name), plan.sum_name},
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.count_name),
+                  plan.count_name}};
+      break;
+  }
+  return plan;
+}
+
+size_t TableBytes(const Table& t) {
+  size_t n = 0;
+  for (const auto& row : t.rows()) n += sql::RowByteSize(row);
+  return n;
+}
+
+}  // namespace
+
+Result<DistributedResult> DistributedAggregate(
+    Cluster* cluster, const std::string& table, sql::ExprPtr filter,
+    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs) {
+  DistributedResult out;
+
+  std::vector<PartialPlan> plans;
+  plans.reserve(aggs.size());
+  for (const auto& a : aggs) plans.push_back(DecomposeAgg(a));
+
+  // One consistent snapshot across every shard.
+  Txn reader = cluster->Begin(TxnScope::kMultiShard);
+
+  // Scatter: per-shard partial aggregation.
+  Table partial_union;
+  bool first_shard = true;
+  for (int dn = 0; dn < cluster->num_dns(); ++dn) {
+    OFI_ASSIGN_OR_RETURN(storage::MvccTable * shard_table,
+                         cluster->dn(dn)->GetTable(table));
+    OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, reader.ScanShard(table, dn));
+    out.naive_bytes += TableBytes(Table(shard_table->schema(), rows));
+
+    sql::Catalog shard_catalog;
+    shard_catalog.Register("shard",
+                           Table(shard_table->schema(), std::move(rows)));
+    sql::PlanPtr scan = sql::MakeScan("shard", filter);
+    std::vector<AggSpec> partial_specs;
+    for (const auto& p : plans) {
+      partial_specs.insert(partial_specs.end(), p.partial.begin(),
+                           p.partial.end());
+    }
+    sql::PlanPtr agg_plan = sql::MakeAggregate(scan, group_by, partial_specs);
+    sql::Executor exec(&shard_catalog);
+    OFI_ASSIGN_OR_RETURN(Table partial, exec.Execute(agg_plan));
+    out.partial_bytes += TableBytes(partial);
+    // Shipping the partial state costs one DN round trip.
+    out.sim_latency_us = cluster->ChargeDnStmt(dn, out.sim_latency_us);
+
+    if (first_shard) {
+      partial_union = std::move(partial);
+      first_shard = false;
+    } else {
+      for (auto& row : partial.mutable_rows()) {
+        OFI_RETURN_NOT_OK(partial_union.Append(std::move(row)));
+      }
+    }
+  }
+  OFI_RETURN_NOT_OK(reader.Commit());
+
+  // Gather: final aggregation over the partials at the CN.
+  sql::Catalog cn_catalog;
+  cn_catalog.Register("partials", std::move(partial_union));
+  std::vector<AggSpec> final_specs;
+  for (const auto& p : plans) {
+    final_specs.insert(final_specs.end(), p.final_specs.begin(),
+                       p.final_specs.end());
+  }
+  sql::PlanPtr final_plan =
+      sql::MakeAggregate(sql::MakeScan("partials"), group_by, final_specs);
+
+  // AVG post-processing: divide the merged sum by the merged count, and
+  // project the outputs back to the requested names/order.
+  std::vector<sql::ExprPtr> projections;
+  std::vector<std::string> names;
+  for (const auto& g : group_by) {
+    projections.push_back(Expr::ColumnRef(g));
+    std::string bare = g;
+    auto dot = bare.rfind('.');
+    if (dot != std::string::npos) bare = bare.substr(dot + 1);
+    names.push_back(bare);
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (plans[i].is_avg) {
+      projections.push_back(Expr::Arith(sql::ArithOp::kDiv,
+                                        Expr::ColumnRef(plans[i].sum_name),
+                                        Expr::ColumnRef(plans[i].count_name)));
+    } else {
+      projections.push_back(Expr::ColumnRef(aggs[i].name));
+    }
+    names.push_back(aggs[i].name);
+  }
+  sql::PlanPtr projected =
+      sql::MakeProject(final_plan, std::move(projections), std::move(names));
+  sql::Executor cn_exec(&cn_catalog);
+  OFI_ASSIGN_OR_RETURN(out.table, cn_exec.Execute(projected));
+  return out;
+}
+
+}  // namespace ofi::cluster

@@ -1,0 +1,46 @@
+/// \file mpp_query.h
+/// \brief MPP query execution over the sharded cluster (paper Fig. 1:
+/// "query planning and execution are optimized for large scale parallel
+/// processing... they exchange data on-demand and execute the query in
+/// parallel"). The classic scatter-gather pattern: each data node runs the
+/// filter and a PARTIAL aggregate over its shard inside one consistent
+/// multi-shard snapshot; the coordinator merges partials with the FINAL
+/// aggregation (COUNT→sum of counts, AVG→sum/count pair, ...), so only
+/// group-sized partial states — not rows — cross the network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sql/plan.h"
+
+namespace ofi::cluster {
+
+/// One requested aggregate.
+struct DistributedAgg {
+  sql::AggFunc func = sql::AggFunc::kCount;
+  std::string column;  // ignored for COUNT(*)
+  std::string name;
+};
+
+/// Result of a distributed aggregate, with the data-movement accounting the
+/// pattern exists to minimize.
+struct DistributedResult {
+  sql::Table table;
+  /// Bytes of partial state shipped DN -> CN.
+  size_t partial_bytes = 0;
+  /// Bytes that a naive ship-all-rows plan would have moved.
+  size_t naive_bytes = 0;
+  SimTime sim_latency_us = 0;
+};
+
+/// Runs `SELECT group_by..., aggs... FROM table [WHERE filter] GROUP BY
+/// group_by` across every shard with partial/final aggregation. The scan
+/// runs under one multi-shard transaction, so the answer is a consistent
+/// snapshot of the whole cluster.
+Result<DistributedResult> DistributedAggregate(
+    Cluster* cluster, const std::string& table, sql::ExprPtr filter,
+    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs);
+
+}  // namespace ofi::cluster

@@ -1,0 +1,21 @@
+#include "cluster/replication.h"
+
+namespace ofi::cluster {
+
+void ShadowShard::Apply(const ReplicationRecord& record) {
+  ++records_applied_;
+  bytes_received_ += record.ByteSize();
+  tables_[record.table][record.key.ToString()] = record;
+}
+
+size_t ShadowShard::live_rows() const {
+  size_t n = 0;
+  for (const auto& [table, rows] : tables_) {
+    for (const auto& [key, rec] : rows) {
+      if (!rec.deleted) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ofi::cluster

@@ -1,0 +1,67 @@
+/// \file tpcc_workload.h
+/// \brief The modified-TPC-C workload of the GTM-lite evaluation (paper
+/// §II-A2, Fig. 3): warehouse-sharded tables, a NewOrder / Payment /
+/// OrderStatus mix, and an explicit single-shard fraction knob — the paper
+/// runs 100% single-shard (SS) and 90% single-shard (MS).
+///
+/// The driver is a closed-loop simulated-time harness: each client issues
+/// transactions back to back; clients interleave on the shared simulated
+/// resources (GTM, DNs) via a smallest-time-first scheduler, and throughput
+/// is committed transactions per simulated second.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace ofi::cluster {
+
+struct TpccConfig {
+  int warehouses_per_dn = 4;
+  /// Concurrent closed-loop clients per DN.
+  int clients_per_dn = 4;
+  /// Fraction of transactions that touch a second shard (0.0 = SS, 0.1 = MS).
+  double multi_shard_fraction = 0.0;
+  /// Simulated run length.
+  SimTime duration_us = 2'000'000;
+  uint64_t seed = 42;
+  /// Customers / stock items per warehouse (scaled down from spec sizes).
+  int customers_per_warehouse = 300;
+  int stock_per_warehouse = 200;
+};
+
+struct TpccResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  /// Committed transactions per simulated second.
+  double throughput_tps = 0;
+  /// Serialized requests the GTM served during the run.
+  uint64_t gtm_requests = 0;
+  /// Snapshot-merge resolutions observed (GTM-lite only).
+  int64_t upgrades = 0;
+  int64_t downgrades = 0;
+};
+
+/// Loads the TPC-C-like tables into `cluster` (warehouse / district /
+/// customer / stock, co-located per warehouse) and installs the
+/// warehouse sharder. Call once per cluster before RunTpcc.
+Status LoadTpcc(Cluster* cluster, const TpccConfig& config);
+
+/// Runs the closed-loop workload and reports throughput.
+TpccResult RunTpcc(Cluster* cluster, const TpccConfig& config);
+
+/// Key layout helpers (exposed for tests).
+namespace tpcc {
+constexpr int64_t kKeySpace = 1'000'000;
+inline int64_t WarehouseKey(int64_t w) { return w * kKeySpace; }
+inline int64_t DistrictKey(int64_t w, int64_t d) { return w * kKeySpace + 1 + d; }
+inline int64_t CustomerKey(int64_t w, int64_t c) { return w * kKeySpace + 100 + c; }
+inline int64_t StockKey(int64_t w, int64_t i) { return w * kKeySpace + 100'000 + i; }
+inline int64_t OrderKey(int64_t w, int64_t seq) {
+  return w * kKeySpace + 500'000 + seq;
+}
+inline int64_t WarehouseOf(int64_t key) { return key / kKeySpace; }
+}  // namespace tpcc
+
+}  // namespace ofi::cluster

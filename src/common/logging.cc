@@ -1,0 +1,26 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ofi {
+namespace {
+
+LogLevel FromEnv() {
+  const char* env = std::getenv("OFI_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel g_level = FromEnv();
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+}  // namespace ofi

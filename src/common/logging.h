@@ -1,0 +1,57 @@
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr. Off by default so tests and
+/// benches stay quiet; enable with OFI_LOG_LEVEL env or SetLogLevel().
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ofi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      default: return "?";
+    }
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ofi
+
+#define OFI_LOG(level) \
+  ::ofi::internal::LogMessage(::ofi::LogLevel::k##level, __FILE__, __LINE__).stream()

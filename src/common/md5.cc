@@ -1,0 +1,135 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+namespace ofi {
+namespace {
+
+constexpr uint32_t kS[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr uint32_t kK[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline uint32_t Rotl(uint32_t x, uint32_t c) { return (x << c) | (x >> (32 - c)); }
+
+}  // namespace
+
+Md5::Md5() : a0_(0x67452301), b0_(0xefcdab89), c0_(0x98badcfe), d0_(0x10325476) {}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[i * 4]) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  uint32_t a = a0_, b = b0_, c = c0_, d = d0_;
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    f = f + a + kK[i] + m[g];
+    a = d;
+    d = c;
+    c = b;
+    b = b + Rotl(f, kS[i]);
+  }
+  a0_ += a;
+  b0_ += b;
+  c0_ += c;
+  d0_ += d;
+}
+
+void Md5::Update(std::string_view data) {
+  total_len_ += data.size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  if (buffer_len_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
+  }
+}
+
+std::array<uint8_t, 16> Md5::Digest() {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  Update(std::string_view(reinterpret_cast<const char*>(&pad), 1));
+  total_len_ -= 1;  // padding does not count toward message length
+  static const uint8_t kZeros[64] = {};
+  while (buffer_len_ != 56) {
+    size_t need = buffer_len_ < 56 ? 56 - buffer_len_ : 64 - buffer_len_ + 56;
+    size_t take = std::min<size_t>(need, 64);
+    Update(std::string_view(reinterpret_cast<const char*>(kZeros), take));
+    total_len_ -= take;
+  }
+  uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) len_le[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  Update(std::string_view(reinterpret_cast<const char*>(len_le), 8));
+
+  std::array<uint8_t, 16> out;
+  uint32_t regs[4] = {a0_, b0_, c0_, d0_};
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      out[r * 4 + i] = static_cast<uint8_t>(regs[r] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+std::string Md5::HexDigest(std::string_view data) {
+  Md5 h;
+  h.Update(data);
+  auto d = h.Digest();
+  static const char kHex[] = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[i * 2] = kHex[d[i] >> 4];
+    s[i * 2 + 1] = kHex[d[i] & 0xF];
+  }
+  return s;
+}
+
+}  // namespace ofi

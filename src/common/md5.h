@@ -1,0 +1,38 @@
+/// \file md5.h
+/// \brief From-scratch MD5 (RFC 1321). The learned optimizer's plan store
+/// keys canonical step text by its MD5 digest (32 hex chars) to bound key
+/// size for arbitrarily complex queries (paper §II-C).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ofi {
+
+/// \brief Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `data` into the digest state.
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 16-byte digest. The hasher must not be
+  /// updated afterwards.
+  std::array<uint8_t, 16> Digest();
+
+  /// One-shot convenience: 32-char lower-case hex digest of `data`.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t a0_, b0_, c0_, d0_;
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace ofi

@@ -1,0 +1,93 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random generation for workloads: splitmix64
+/// core, uniform/zipfian/NURand helpers. TPC-C's NURand is reproduced per
+/// the spec because the GTM-lite evaluation (Fig. 3) uses a modified TPC-C.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ofi {
+
+/// \brief splitmix64 PRNG: tiny, fast, and deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// TPC-C NURand(A, x, y) non-uniform distribution (spec clause 2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random lower-case alphanumeric string of length n.
+  std::string AlphaString(size_t n) {
+    static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(n, 'a');
+    for (auto& ch : s) ch = kChars[Next() % 36];
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Zipfian generator over [0, n) with parameter theta, using the
+/// Gray et al. method (as popularized by YCSB). Skewed access patterns are
+/// used by the learned-optimizer and GMDB workloads.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta = 0.99, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace ofi

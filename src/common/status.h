@@ -1,0 +1,141 @@
+/// \file status.h
+/// \brief Error model for openfidb: a lightweight Status type (RocksDB/Arrow
+/// idiom). Fallible APIs return Status or Result<T>; exceptions are not used
+/// on any hot path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ofi {
+
+/// Machine-inspectable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kAborted,          // transaction aborts, write-write conflicts
+  kUnavailable,      // node down / partitioned
+  kTimedOut,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+  kPermissionDenied,
+  kIncompatibleSchema,  // GMDB schema evolution rejections
+};
+
+/// \brief Return-value error carrier. OK is cheap (no allocation);
+/// failures carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status IncompatibleSchema(std::string msg) {
+    return Status(StatusCode::kIncompatibleSchema, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsIncompatibleSchema() const {
+    return code() == StatusCode::kIncompatibleSchema;
+  }
+
+  /// Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps copies cheap; Status is copied through Result<T> a lot.
+  std::shared_ptr<Rep> rep_;
+};
+
+/// Converts a code to its canonical upper-case token (e.g. "NOT_FOUND").
+std::string_view StatusCodeToString(StatusCode code);
+
+}  // namespace ofi
+
+/// Propagates a non-OK Status to the caller.
+#define OFI_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::ofi::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define OFI_CONCAT_IMPL(a, b) a##b
+#define OFI_CONCAT(a, b) OFI_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define OFI_ASSIGN_OR_RETURN(lhs, expr)                       \
+  OFI_ASSIGN_OR_RETURN_IMPL(OFI_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define OFI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();

@@ -1,0 +1,77 @@
+#include "edge/mbaas.h"
+
+namespace ofi::edge {
+
+void MbaasClient::Put(const std::string& collection, const std::string& id,
+                      const Record& record) {
+  std::string prefix = RecordPrefix(collection, id);
+  node_->Put(prefix, sql::Value(true));  // presence marker
+  for (const auto& [field, value] : record) {
+    node_->Put(prefix + "/" + field, value);
+  }
+}
+
+void MbaasClient::Delete(const std::string& collection, const std::string& id) {
+  std::string prefix = RecordPrefix(collection, id);
+  // Tombstone the marker and every live field key.
+  std::vector<std::string> to_delete = {prefix};
+  const auto& entries = node_->store().entries();
+  for (auto it = entries.lower_bound(prefix + "/");
+       it != entries.end() && it->first.rfind(prefix + "/", 0) == 0; ++it) {
+    if (!it->second.tombstone) to_delete.push_back(it->first);
+  }
+  for (const auto& key : to_delete) node_->Delete(key);
+}
+
+Result<Record> MbaasClient::Get(const std::string& collection,
+                                const std::string& id) const {
+  std::string prefix = RecordPrefix(collection, id);
+  if (!node_->store().Contains(prefix)) {
+    return Status::NotFound("no record " + collection + "/" + id);
+  }
+  Record record;
+  const auto& entries = node_->store().entries();
+  for (auto it = entries.lower_bound(prefix + "/");
+       it != entries.end() && it->first.rfind(prefix + "/", 0) == 0; ++it) {
+    if (it->second.tombstone) continue;
+    record[it->first.substr(prefix.size() + 1)] = it->second.value;
+  }
+  return record;
+}
+
+std::vector<std::string> MbaasClient::List(const std::string& collection) const {
+  std::string prefix = app_ + "/" + collection + "/";
+  std::vector<std::string> ids;
+  const auto& entries = node_->store().entries();
+  for (auto it = entries.lower_bound(prefix);
+       it != entries.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+    if (it->second.tombstone) continue;
+    // Presence markers have no '/' after the id.
+    std::string tail = it->first.substr(prefix.size());
+    if (tail.find('/') == std::string::npos) ids.push_back(tail);
+  }
+  return ids;
+}
+
+void MbaasClient::Listen(const std::string& collection, RecordListener listener) {
+  std::string prefix = app_ + "/" + collection + "/";
+  std::string coll = collection;
+  node_->Subscribe(
+      prefix, [prefix, coll, listener](const std::string& key,
+                                       const sql::Value& value) {
+        std::string tail = key.substr(prefix.size());
+        auto slash = tail.find('/');
+        if (slash == std::string::npos) {
+          // Presence marker changed: creation (TRUE) or deletion (NULL).
+          if (value.is_null()) listener(coll, tail, Record{});
+          return;
+        }
+        std::string id = tail.substr(0, slash);
+        std::string field = tail.substr(slash + 1);
+        Record changed;
+        if (!value.is_null()) changed[field] = value;
+        listener(coll, id, changed);
+      });
+}
+
+}  // namespace ofi::edge

@@ -1,0 +1,70 @@
+/// \file mbaas.h
+/// \brief Mobile Backend as a Service (paper §IV-B2): the Firebase /
+/// CloudKit-style developer API over the sync platform — apps work with
+/// named COLLECTIONS of RECORDS (field maps) on their local device, get
+/// change listeners, and the platform syncs: through the cloud like current
+/// MBaaS products, or directly device-to-device over the ad-hoc network
+/// (the paper's envisioned extension).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edge/platform.h"
+
+namespace ofi::edge {
+
+/// A record is a named bag of fields.
+using Record = std::map<std::string, sql::Value>;
+
+/// Change listener: (collection, record id, fields; empty = deleted).
+using RecordListener =
+    std::function<void(const std::string&, const std::string&, const Record&)>;
+
+/// \brief One app instance running on one node (usually a device).
+class MbaasClient {
+ public:
+  MbaasClient(Platform* platform, SyncNode* node, std::string app)
+      : platform_(platform), node_(node), app_(std::move(app)) {}
+
+  const std::string& app() const { return app_; }
+  SyncNode* node() { return node_; }
+
+  /// Writes (creates or replaces) a record.
+  void Put(const std::string& collection, const std::string& id,
+           const Record& record);
+  /// Deletes a record.
+  void Delete(const std::string& collection, const std::string& id);
+  /// Reads one record (NotFound if absent on this device).
+  Result<Record> Get(const std::string& collection, const std::string& id) const;
+  /// All record ids of a collection present on this device.
+  std::vector<std::string> List(const std::string& collection) const;
+
+  /// Fires on every change to `collection` (local or synced in).
+  void Listen(const std::string& collection, RecordListener listener);
+
+  /// Syncs this device with another app instance directly (D2D).
+  SyncStats SyncWith(MbaasClient* other) {
+    return platform_->SyncPair(node_->id(), other->node()->id());
+  }
+  /// Current-MBaaS behaviour: sync through the cloud.
+  Result<SyncStats> SyncViaCloud(MbaasClient* other) {
+    return platform_->SyncThroughCloud(node_->id(), other->node()->id());
+  }
+
+ private:
+  // Key layout: app/collection/id/field -> value, plus a presence marker
+  // app/collection/id -> TRUE so deletes and listing are well-defined.
+  std::string RecordPrefix(const std::string& collection,
+                           const std::string& id) const {
+    return app_ + "/" + collection + "/" + id;
+  }
+
+  Platform* platform_;
+  SyncNode* node_;
+  std::string app_;
+};
+
+}  // namespace ofi::edge

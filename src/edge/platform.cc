@@ -1,0 +1,153 @@
+#include "edge/platform.h"
+
+#include <algorithm>
+
+namespace ofi::edge {
+
+void SyncNode::Notify(const std::string& key, const sql::Value& value) {
+  for (const auto& [prefix, cb] : subscriptions_) {
+    if (key.rfind(prefix, 0) == 0) cb(key, value);
+  }
+}
+
+bool SyncPolicy::Allows(const std::string& key, Tier tier) const {
+  // Longest matching prefix wins; no match = allowed anywhere.
+  const PlacementRule* best = nullptr;
+  for (const auto& rule : rules_) {
+    if (key.rfind(rule.key_prefix, 0) != 0) continue;
+    if (best == nullptr || rule.key_prefix.size() > best->key_prefix.size()) {
+      best = &rule;
+    }
+  }
+  if (best == nullptr) return true;
+  return static_cast<int>(tier) <= static_cast<int>(best->max_tier);
+}
+
+int Platform::TierPairKey(Tier a, Tier b) {
+  int x = static_cast<int>(a), y = static_cast<int>(b);
+  if (x > y) std::swap(x, y);
+  return x * 16 + y;
+}
+
+Platform::Platform() {
+  // Defaults loosely modeling: Bluetooth/WLAN direct ~ low latency; WAN to
+  // the cloud ~ an order of magnitude slower (the paper's "at least 10X").
+  SetLink(Tier::kDevice, Tier::kDevice, LinkProfile{4'000, 30});
+  SetLink(Tier::kDevice, Tier::kEdge, LinkProfile{8'000, 40});
+  SetLink(Tier::kEdge, Tier::kEdge, LinkProfile{10'000, 20});
+  SetLink(Tier::kDevice, Tier::kCloud, LinkProfile{50'000, 100});
+  SetLink(Tier::kEdge, Tier::kCloud, LinkProfile{30'000, 50});
+  SetLink(Tier::kCloud, Tier::kCloud, LinkProfile{2'000, 5});
+}
+
+SyncNode* Platform::AddNode(const std::string& name, Tier tier) {
+  NodeId id = next_id_++;
+  auto node = std::make_unique<SyncNode>(id, name, tier);
+  SyncNode* raw = node.get();
+  nodes_[id] = std::move(node);
+  return raw;
+}
+
+Status Platform::RemoveNode(NodeId id) {
+  if (nodes_.erase(id) == 0) return Status::NotFound("no node");
+  return Status::OK();
+}
+
+SyncNode* Platform::node(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Platform::SetLink(Tier a, Tier b, LinkProfile profile) {
+  links_[TierPairKey(a, b)] = profile;
+}
+
+LinkProfile Platform::Link(Tier a, Tier b) const {
+  auto it = links_.find(TierPairKey(a, b));
+  return it == links_.end() ? LinkProfile{10'000, 50} : it->second;
+}
+
+SyncStats Platform::SyncPair(NodeId a, NodeId b) {
+  SyncStats stats;
+  SyncNode* na = node(a);
+  SyncNode* nb = node(b);
+  if (na == nullptr || nb == nullptr) return stats;
+  LinkProfile link = Link(na->tier(), nb->tier());
+
+  // Round 1: digest exchange.
+  auto digest_a = na->store().VersionSummary();
+  auto digest_b = nb->store().VersionSummary();
+  size_t digest_bytes = 0;
+  for (const auto& [k, vv] : digest_a) digest_bytes += k.size() + vv.ByteSize();
+  for (const auto& [k, vv] : digest_b) digest_bytes += k.size() + vv.ByteSize();
+  stats.bytes_on_wire += digest_bytes;
+  stats.latency_us += link.rtt_us;
+
+  // Round 2: ship deltas both ways, apply, fire subscriptions.
+  auto ship = [&](SyncNode* from, SyncNode* to,
+                  const std::map<std::string, VersionVector>& to_digest) {
+    for (const Entry& e : from->store().EntriesNewerThan(to_digest)) {
+      // Placement policy: the entry may be forbidden on the receiver's tier
+      // (e.g. private keys never leave the device tier).
+      if (!policy_.Allows(e.key, to->tier())) {
+        stats.blocked_by_policy++;
+        continue;
+      }
+      stats.entries_sent++;
+      stats.bytes_on_wire += e.ByteSize();
+      MergeResult r = to->store().Merge(e);
+      if (r == MergeResult::kApplied) {
+        to->Notify(e.key, e.tombstone ? sql::Value::Null() : e.value);
+      }
+      if (r == MergeResult::kConflictResolvedLocal) stats.conflicts++;
+    }
+  };
+  ship(na, nb, digest_b);
+  ship(nb, na, digest_a);
+  stats.latency_us += link.rtt_us;
+  stats.latency_us += static_cast<SimTime>(
+      static_cast<double>(stats.bytes_on_wire) / 1024.0 * link.us_per_kb);
+  return stats;
+}
+
+Result<SyncStats> Platform::SyncThroughCloud(NodeId a, NodeId b) {
+  OFI_ASSIGN_OR_RETURN(NodeId cloud, CloudNode());
+  SyncStats s1 = SyncPair(a, cloud);
+  SyncStats s2 = SyncPair(cloud, b);
+  // And the answer propagates back to a on its next poll.
+  SyncStats s3 = SyncPair(cloud, a);
+  SyncStats total;
+  total.entries_sent = s1.entries_sent + s2.entries_sent + s3.entries_sent;
+  total.bytes_on_wire = s1.bytes_on_wire + s2.bytes_on_wire + s3.bytes_on_wire;
+  total.conflicts = s1.conflicts + s2.conflicts + s3.conflicts;
+  total.blocked_by_policy =
+      s1.blocked_by_policy + s2.blocked_by_policy + s3.blocked_by_policy;
+  total.latency_us = s1.latency_us + s2.latency_us + s3.latency_us;
+  return total;
+}
+
+SyncStats Platform::SyncAllPairs() {
+  SyncStats total;
+  std::vector<NodeId> ids;
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      SyncStats s = SyncPair(ids[i], ids[j]);
+      total.entries_sent += s.entries_sent;
+      total.bytes_on_wire += s.bytes_on_wire;
+      total.conflicts += s.conflicts;
+      total.blocked_by_policy += s.blocked_by_policy;
+      total.latency_us += s.latency_us;
+    }
+  }
+  return total;
+}
+
+Result<NodeId> Platform::CloudNode() const {
+  for (const auto& [id, n] : nodes_) {
+    if (n->tier() == Tier::kCloud) return id;
+  }
+  return Status::NotFound("no cloud node in the platform");
+}
+
+}  // namespace ofi::edge

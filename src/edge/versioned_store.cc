@@ -1,0 +1,141 @@
+#include "edge/versioned_store.h"
+
+#include <algorithm>
+
+namespace ofi::edge {
+
+VersionVector::Order VersionVector::Compare(const VersionVector& other) const {
+  bool less = false, greater = false;
+  auto visit = [&](NodeId node) {
+    uint64_t a = Of(node), b = other.Of(node);
+    if (a < b) less = true;
+    if (a > b) greater = true;
+  };
+  for (const auto& [node, c] : counters_) visit(node);
+  for (const auto& [node, c] : other.counters_) visit(node);
+  if (less && greater) return Order::kConcurrent;
+  if (less) return Order::kBefore;
+  if (greater) return Order::kAfter;
+  return Order::kEqual;
+}
+
+void VersionVector::MergeMax(const VersionVector& other) {
+  for (const auto& [node, c] : other.counters_) {
+    counters_[node] = std::max(counters_[node], c);
+  }
+}
+
+uint64_t VersionVector::TotalEvents() const {
+  uint64_t total = 0;
+  for (const auto& [node, c] : counters_) total += c;
+  return total;
+}
+
+std::string VersionVector::ToString() const {
+  std::string out = "<";
+  bool first = true;
+  for (const auto& [node, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(node) + ":" + std::to_string(c);
+  }
+  return out + ">";
+}
+
+void ReplicatedStore::Put(const std::string& key, sql::Value value) {
+  Entry& e = entries_[key];
+  e.key = key;
+  e.value = std::move(value);
+  e.version.Bump(node_);
+  e.tombstone = false;
+  e.last_writer = node_;
+}
+
+void ReplicatedStore::Delete(const std::string& key) {
+  Entry& e = entries_[key];
+  e.key = key;
+  e.value = sql::Value::Null();
+  e.version.Bump(node_);
+  e.tombstone = true;
+  e.last_writer = node_;
+}
+
+Result<sql::Value> ReplicatedStore::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.tombstone) {
+    return Status::NotFound("no key: " + key);
+  }
+  return it->second.value;
+}
+
+bool ReplicatedStore::Contains(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second.tombstone;
+}
+
+MergeResult ReplicatedStore::Merge(const Entry& remote) {
+  auto it = entries_.find(remote.key);
+  if (it == entries_.end()) {
+    entries_[remote.key] = remote;
+    return MergeResult::kApplied;
+  }
+  Entry& local = it->second;
+  switch (local.version.Compare(remote.version)) {
+    case VersionVector::Order::kEqual:
+    case VersionVector::Order::kAfter:
+      return MergeResult::kStale;
+    case VersionVector::Order::kBefore:
+      local = remote;
+      return MergeResult::kApplied;
+    case VersionVector::Order::kConcurrent: {
+      // Deterministic resolution: higher (total events, last_writer) wins.
+      bool remote_wins =
+          std::make_pair(remote.version.TotalEvents(), remote.last_writer) >
+          std::make_pair(local.version.TotalEvents(), local.last_writer);
+      VersionVector merged = local.version;
+      merged.MergeMax(remote.version);
+      if (remote_wins) {
+        local = remote;
+        local.version = merged;
+        return MergeResult::kApplied;
+      }
+      local.version = merged;
+      return MergeResult::kConflictResolvedLocal;
+    }
+  }
+  return MergeResult::kStale;
+}
+
+std::vector<Entry> ReplicatedStore::EntriesNewerThan(
+    const std::map<std::string, VersionVector>& peer_versions) const {
+  std::vector<Entry> out;
+  for (const auto& [key, entry] : entries_) {
+    auto it = peer_versions.find(key);
+    if (it == peer_versions.end()) {
+      out.push_back(entry);
+      continue;
+    }
+    auto order = entry.version.Compare(it->second);
+    if (order == VersionVector::Order::kAfter ||
+        order == VersionVector::Order::kConcurrent) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, VersionVector> ReplicatedStore::VersionSummary() const {
+  std::map<std::string, VersionVector> out;
+  for (const auto& [key, entry] : entries_) out[key] = entry.version;
+  return out;
+}
+
+size_t ReplicatedStore::live_size() const {
+  size_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    if (!e.tombstone) ++n;
+  }
+  return n;
+}
+
+}  // namespace ofi::edge

@@ -1,0 +1,108 @@
+/// \file versioned_store.h
+/// \brief Versioned replicated KV state for the device-edge-cloud platform
+/// (paper §IV-B2). Causality is tracked with version vectors — the paper's
+/// "P2P sync algorithm to solve the time drift problem across devices":
+/// no wall clocks are compared, ever. Concurrent updates resolve
+/// deterministically on every replica (eventual consistency); the sync
+/// protocol ships only entries the peer has not seen (no data loss, no
+/// redundant data).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace ofi::edge {
+
+using NodeId = int32_t;
+
+/// \brief A version vector: node id -> update counter.
+class VersionVector {
+ public:
+  void Bump(NodeId node) { ++counters_[node]; }
+  uint64_t Of(NodeId node) const {
+    auto it = counters_.find(node);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  enum class Order { kEqual, kBefore, kAfter, kConcurrent };
+  /// Causal comparison of this vs other.
+  Order Compare(const VersionVector& other) const;
+
+  /// Pointwise maximum (used after conflict resolution so the merged entry
+  /// dominates both inputs).
+  void MergeMax(const VersionVector& other);
+
+  uint64_t TotalEvents() const;
+  const std::map<NodeId, uint64_t>& counters() const { return counters_; }
+  size_t ByteSize() const { return counters_.size() * 12; }
+  std::string ToString() const;
+
+ private:
+  std::map<NodeId, uint64_t> counters_;
+};
+
+/// One replicated entry.
+struct Entry {
+  std::string key;
+  sql::Value value;
+  VersionVector version;
+  bool tombstone = false;   // deletes replicate as tombstones
+  NodeId last_writer = -1;  // deterministic concurrent-update tiebreak
+
+  size_t ByteSize() const {
+    return key.size() + value.ByteSize() + version.ByteSize() + 6;
+  }
+};
+
+/// Outcome of merging a remote entry into a local store.
+enum class MergeResult {
+  kApplied,     // remote was causally newer (or won the conflict)
+  kStale,       // local already dominates; nothing changed
+  kConflictResolvedLocal,  // concurrent; local won deterministically
+};
+
+/// \brief One replica's key-value state.
+class ReplicatedStore {
+ public:
+  explicit ReplicatedStore(NodeId node) : node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  /// Local write: bumps this node's counter on the entry's version.
+  void Put(const std::string& key, sql::Value value);
+  /// Local delete (tombstone).
+  void Delete(const std::string& key);
+
+  /// Live value (NotFound for absent or tombstoned keys).
+  Result<sql::Value> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+
+  /// Merges a remote entry (the receive side of sync). Resolution:
+  /// dominance wins; concurrent updates pick the higher (TotalEvents,
+  /// last_writer) pair — identical on every replica, hence convergent.
+  MergeResult Merge(const Entry& remote);
+
+  /// Entries the peer (described by its per-key versions summary) has not
+  /// seen: every entry not dominated by the peer's version of that key.
+  std::vector<Entry> EntriesNewerThan(
+      const std::map<std::string, VersionVector>& peer_versions) const;
+
+  /// Per-key version summary (the sync digest).
+  std::map<std::string, VersionVector> VersionSummary() const;
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  /// Count of live (non-tombstone) keys.
+  size_t live_size() const;
+
+ private:
+  NodeId node_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ofi::edge

@@ -1,0 +1,79 @@
+#include "gmdb/cluster.h"
+
+namespace ofi::gmdb {
+
+GmdbCluster::GmdbCluster(int num_dns) {
+  for (int i = 0; i < num_dns; ++i) {
+    dns_.push_back(std::make_unique<GmdbStore>(&registry_));
+  }
+}
+
+Status GmdbCluster::SubmitSchema(RecordSchemaPtr schema) {
+  // Fig. 9: CN validates S, then dispatches to DNs. Our DNs share the
+  // registry pointer, so registration IS the dispatch.
+  return registry_.RegisterVersion(std::move(schema));
+}
+
+GmdbStore* GmdbCluster::ShardFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return dns_[h % dns_.size()].get();
+}
+
+GmdbClient::~GmdbClient() {
+  for (auto& [store, id] : subscriptions_) store->Unsubscribe(id);
+}
+
+Status GmdbClient::Create(const std::string& key, TreeObjectPtr obj) {
+  GmdbStore* dn = cluster_->ShardFor(key);
+  OFI_RETURN_NOT_OK(dn->Put(type_, key, obj->Clone(), version_));
+  cache_[key] = std::move(obj);
+  int id = dn->Subscribe(type_, key, version_,
+                         [this](const std::string& k, const Delta& d, int v) {
+                           OnChange(k, d, v);
+                         });
+  subscriptions_.emplace_back(dn, id);
+  return Status::OK();
+}
+
+Result<TreeObjectPtr> GmdbClient::Read(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  GmdbStore* dn = cluster_->ShardFor(key);
+  OFI_ASSIGN_OR_RETURN(TreeObjectPtr obj, dn->Get(type_, key, version_));
+  cache_[key] = obj;
+  int id = dn->Subscribe(type_, key, version_,
+                         [this](const std::string& k, const Delta& d, int v) {
+                           OnChange(k, d, v);
+                         });
+  subscriptions_.emplace_back(dn, id);
+  return obj;
+}
+
+Status GmdbClient::Write(const std::string& key, const Delta& delta) {
+  GmdbStore* dn = cluster_->ShardFor(key);
+  OFI_RETURN_NOT_OK(dn->ApplyDelta(type_, key, delta, version_));
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    OFI_RETURN_NOT_OK(delta.ApplyTo(it->second.get()));
+  }
+  return Status::OK();
+}
+
+void GmdbClient::OnChange(const std::string& key, const Delta& delta,
+                          int writer_version) {
+  ++notifications_;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  // Apply ops whose paths exist in this client's schema version; ops on
+  // fields this version does not know are skipped (they reappear if the
+  // client upgrades and re-reads).
+  for (const auto& op : delta.ops) {
+    (void)it->second->SetPath(op.path, op.value);
+  }
+}
+
+}  // namespace ofi::gmdb

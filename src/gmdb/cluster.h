@@ -1,0 +1,94 @@
+/// \file cluster.h
+/// \brief GMDB's distributed shape (paper Fig. 7): coordinator nodes own
+/// global metadata (the schema registry — clients submit new schema
+/// versions to the CN, which validates and dispatches them, Fig. 9), data
+/// nodes store the objects, and clients talk to DNs directly with a local
+/// cache in their own schema version.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gmdb/store.h"
+
+namespace ofi::gmdb {
+
+class GmdbCluster;
+
+/// \brief A GMDB client (the "Driver" of Fig. 7): pinned to one schema
+/// version, keeps a local object cache in that version, reads/writes
+/// through deltas, and receives pub/sub updates into the cache.
+class GmdbClient {
+ public:
+  /// \param version the schema version this application runs.
+  GmdbClient(GmdbCluster* cluster, std::string type, int version)
+      : cluster_(cluster), type_(std::move(type)), version_(version) {}
+  ~GmdbClient();
+
+  int version() const { return version_; }
+
+  /// Creates an object (stored at this client's version) and caches it.
+  Status Create(const std::string& key, TreeObjectPtr obj);
+
+  /// Reads `key` in this client's schema version. Cache hit avoids the DN
+  /// round trip; a miss fetches, converts, caches and subscribes.
+  Result<TreeObjectPtr> Read(const std::string& key);
+
+  /// Writes a delta: applied to the local cache AND shipped to the DN,
+  /// which republishes it to other subscribers.
+  Status Write(const std::string& key, const Delta& delta);
+
+  /// Drops the cached copy (tests).
+  void InvalidateCache(const std::string& key) { cache_.erase(key); }
+  bool IsCached(const std::string& key) const { return cache_.count(key) > 0; }
+
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t notifications_received() const { return notifications_; }
+
+ private:
+  void OnChange(const std::string& key, const Delta& delta, int writer_version);
+
+  GmdbCluster* cluster_;
+  std::string type_;
+  int version_;
+  std::map<std::string, TreeObjectPtr> cache_;
+  std::vector<std::pair<GmdbStore*, int>> subscriptions_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t notifications_ = 0;
+};
+
+/// \brief The cluster: schema registry at the CN + hash-sharded DNs.
+class GmdbCluster {
+ public:
+  explicit GmdbCluster(int num_dns);
+
+  // Data nodes hold a pointer into registry_; the cluster must stay put.
+  GmdbCluster(const GmdbCluster&) = delete;
+  GmdbCluster& operator=(const GmdbCluster&) = delete;
+  GmdbCluster(GmdbCluster&&) = delete;
+  GmdbCluster& operator=(GmdbCluster&&) = delete;
+
+  /// CN path (Fig. 9): validates the schema version and dispatches it.
+  Status SubmitSchema(RecordSchemaPtr schema);
+
+  const SchemaRegistry& registry() const { return registry_; }
+  SchemaRegistry& mutable_registry() { return registry_; }
+
+  GmdbStore* ShardFor(const std::string& key);
+  GmdbStore* dn(int i) { return dns_[i].get(); }
+  int num_dns() const { return static_cast<int>(dns_.size()); }
+
+  /// Creates a client pinned to `version` of `type`.
+  GmdbClient MakeClient(const std::string& type, int version) {
+    return GmdbClient(this, type, version);
+  }
+
+ private:
+  SchemaRegistry registry_;
+  std::vector<std::unique_ptr<GmdbStore>> dns_;
+};
+
+}  // namespace ofi::gmdb

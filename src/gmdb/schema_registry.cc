@@ -1,0 +1,229 @@
+#include "gmdb/schema_registry.h"
+
+namespace ofi::gmdb {
+
+Status SchemaRegistry::ValidateEvolution(const RecordSchema& older,
+                                         const RecordSchema& newer,
+                                         bool top_level) {
+  // Only the top-level object version must strictly increase; nested record
+  // schemas commonly stay at their own version across outer versions.
+  if (top_level && newer.version <= older.version) {
+    return Status::IncompatibleSchema("version must increase: " +
+                                      std::to_string(newer.version));
+  }
+  if (newer.primary_key != older.primary_key) {
+    return Status::IncompatibleSchema("primary key may not change");
+  }
+  if (newer.fields.size() < older.fields.size()) {
+    return Status::IncompatibleSchema("deleting fields is not allowed");
+  }
+  for (size_t i = 0; i < older.fields.size(); ++i) {
+    const FieldDef& of = older.fields[i];
+    const FieldDef& nf = newer.fields[i];
+    if (of.name != nf.name) {
+      // Either re-ordered or deleted-and-replaced; both are disallowed.
+      if (newer.Field(of.name) != nullptr) {
+        return Status::IncompatibleSchema("re-ordering fields is not allowed: " +
+                                          of.name);
+      }
+      return Status::IncompatibleSchema("deleting fields is not allowed: " +
+                                        of.name);
+    }
+    if (of.kind != nf.kind) {
+      return Status::IncompatibleSchema("field kind may not change: " + of.name);
+    }
+    if (of.kind == FieldKind::kPrimitive && of.primitive_type != nf.primitive_type) {
+      return Status::IncompatibleSchema("field type may not change: " + of.name);
+    }
+    if (of.kind != FieldKind::kPrimitive) {
+      OFI_RETURN_NOT_OK(ValidateEvolution(*of.record, *nf.record,
+                                          /*top_level=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status SchemaRegistry::RegisterVersion(RecordSchemaPtr schema) {
+  if (!schema) return Status::InvalidArgument("null schema");
+  auto& versions = schemas_[schema->name];
+  if (!versions.empty()) {
+    const RecordSchemaPtr& latest = versions.rbegin()->second;
+    OFI_RETURN_NOT_OK(ValidateEvolution(*latest, *schema));
+  } else if (schema->primary_key.empty() ||
+             schema->Field(schema->primary_key) == nullptr) {
+    return Status::InvalidArgument("schema needs a valid primary key field");
+  }
+  if (versions.count(schema->version)) {
+    return Status::AlreadyExists("version already registered");
+  }
+  versions[schema->version] = std::move(schema);
+  return Status::OK();
+}
+
+Result<RecordSchemaPtr> SchemaRegistry::Get(const std::string& name,
+                                            int version) const {
+  auto nit = schemas_.find(name);
+  if (nit == schemas_.end()) return Status::NotFound("no schema: " + name);
+  auto vit = nit->second.find(version);
+  if (vit == nit->second.end()) {
+    return Status::NotFound("no version " + std::to_string(version) + " of " + name);
+  }
+  return vit->second;
+}
+
+Result<int> SchemaRegistry::LatestVersion(const std::string& name) const {
+  auto nit = schemas_.find(name);
+  if (nit == schemas_.end() || nit->second.empty()) {
+    return Status::NotFound("no schema: " + name);
+  }
+  return nit->second.rbegin()->first;
+}
+
+std::vector<int> SchemaRegistry::Versions(const std::string& name) const {
+  std::vector<int> out;
+  auto nit = schemas_.find(name);
+  if (nit == schemas_.end()) return out;
+  for (const auto& [v, s] : nit->second) out.push_back(v);
+  return out;
+}
+
+ConversionKind SchemaRegistry::Classify(const std::string& name, int from,
+                                        int to) const {
+  if (from == to) return ConversionKind::kIdentity;
+  std::vector<int> versions = Versions(name);
+  int from_idx = -1, to_idx = -1;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i] == from) from_idx = static_cast<int>(i);
+    if (versions[i] == to) to_idx = static_cast<int>(i);
+  }
+  if (from_idx < 0 || to_idx < 0) return ConversionKind::kUnsupported;
+  if (to_idx == from_idx + 1) return ConversionKind::kUpgrade;
+  if (to_idx == from_idx - 1) return ConversionKind::kDowngrade;
+  return ConversionKind::kUnsupported;
+}
+
+TreeObjectPtr SchemaRegistry::UpgradeObject(const TreeObject& obj,
+                                            const RecordSchema& older,
+                                            const RecordSchema& newer) {
+  auto out = std::make_shared<TreeObject>();
+  for (size_t i = 0; i < newer.fields.size(); ++i) {
+    const FieldDef& nf = newer.fields[i];
+    bool existed = i < older.fields.size();
+    if (!existed || !obj.Has(nf.name)) {
+      // Added field: default value / empty record / empty array.
+      switch (nf.kind) {
+        case FieldKind::kPrimitive: out->Set(nf.name, nf.default_value); break;
+        case FieldKind::kRecord: out->Set(nf.name, TreeObject::Defaults(*nf.record)); break;
+        case FieldKind::kArray: out->Set(nf.name, std::vector<TreeObjectPtr>{}); break;
+      }
+      continue;
+    }
+    const FieldValue& fv = **obj.Get(nf.name);
+    const FieldDef& of = older.fields[i];
+    switch (nf.kind) {
+      case FieldKind::kPrimitive:
+        out->Set(nf.name, std::get<sql::Value>(fv));
+        break;
+      case FieldKind::kRecord:
+        out->Set(nf.name,
+                 UpgradeObject(*std::get<TreeObjectPtr>(fv), *of.record, *nf.record));
+        break;
+      case FieldKind::kArray: {
+        std::vector<TreeObjectPtr> arr;
+        for (const auto& e : std::get<std::vector<TreeObjectPtr>>(fv)) {
+          arr.push_back(UpgradeObject(*e, *of.record, *nf.record));
+        }
+        out->Set(nf.name, std::move(arr));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TreeObjectPtr SchemaRegistry::DowngradeObject(const TreeObject& obj,
+                                              const RecordSchema& newer,
+                                              const RecordSchema& older) {
+  auto out = std::make_shared<TreeObject>();
+  for (size_t i = 0; i < older.fields.size(); ++i) {
+    const FieldDef& of = older.fields[i];
+    if (!obj.Has(of.name)) {
+      if (of.kind == FieldKind::kPrimitive) out->Set(of.name, of.default_value);
+      continue;
+    }
+    const FieldValue& fv = **obj.Get(of.name);
+    const FieldDef& nf = newer.fields[i];
+    switch (of.kind) {
+      case FieldKind::kPrimitive:
+        out->Set(of.name, std::get<sql::Value>(fv));
+        break;
+      case FieldKind::kRecord:
+        out->Set(of.name, DowngradeObject(*std::get<TreeObjectPtr>(fv), *nf.record,
+                                          *of.record));
+        break;
+      case FieldKind::kArray: {
+        std::vector<TreeObjectPtr> arr;
+        for (const auto& e : std::get<std::vector<TreeObjectPtr>>(fv)) {
+          arr.push_back(DowngradeObject(*e, *nf.record, *of.record));
+        }
+        out->Set(of.name, std::move(arr));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<TreeObjectPtr> SchemaRegistry::Convert(const std::string& name,
+                                              const TreeObject& obj, int from,
+                                              int to) const {
+  switch (Classify(name, from, to)) {
+    case ConversionKind::kIdentity:
+      return obj.Clone();
+    case ConversionKind::kUpgrade: {
+      OFI_ASSIGN_OR_RETURN(RecordSchemaPtr older, Get(name, from));
+      OFI_ASSIGN_OR_RETURN(RecordSchemaPtr newer, Get(name, to));
+      return UpgradeObject(obj, *older, *newer);
+    }
+    case ConversionKind::kDowngrade: {
+      OFI_ASSIGN_OR_RETURN(RecordSchemaPtr newer, Get(name, from));
+      OFI_ASSIGN_OR_RETURN(RecordSchemaPtr older, Get(name, to));
+      return DowngradeObject(obj, *newer, *older);
+    }
+    case ConversionKind::kUnsupported:
+      return Status::IncompatibleSchema(
+          "no conversion path V" + std::to_string(from) + " -> V" +
+          std::to_string(to) + " (only adjacent versions convert)");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string SchemaRegistry::MatrixToString(const std::string& name) const {
+  std::vector<int> versions = Versions(name);
+  std::string out = name + ":";
+  for (int v : versions) out += "\tV" + std::to_string(v);
+  out += "\n";
+  int upgrade_id = 1, downgrade_id = 1;
+  for (int from : versions) {
+    out += "V" + std::to_string(from);
+    for (int to : versions) {
+      out += "\t";
+      switch (Classify(name, from, to)) {
+        case ConversionKind::kIdentity: out += "-"; break;
+        case ConversionKind::kUpgrade:
+          out += "U" + std::to_string(upgrade_id++) + "(" + std::to_string(from) +
+                 "->" + std::to_string(to) + ")";
+          break;
+        case ConversionKind::kDowngrade:
+          out += "D" + std::to_string(downgrade_id++) + "(" + std::to_string(from) +
+                 "->" + std::to_string(to) + ")";
+          break;
+        case ConversionKind::kUnsupported: out += "X"; break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ofi::gmdb

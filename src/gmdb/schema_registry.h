@@ -1,0 +1,77 @@
+/// \file schema_registry.h
+/// \brief Online schema evolution (paper §III-B). The registry holds every
+/// registered version of an object schema and enforces GMDB's evolution
+/// rules: fields may only be ADDED (at the end); deleting and re-ordering
+/// fields are disallowed; primitive types may not change. Data nodes store
+/// ONE copy of each object, and conversion happens on read: reading with a
+/// newer schema = upgrade evolution (new fields filled with defaults),
+/// reading with an older schema = downgrade evolution (trailing fields
+/// dropped). Conversion is only defined between ADJACENT registered
+/// versions — the Fig. 8 matrix (U/D on the adjacent diagonals, X
+/// elsewhere).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gmdb/tree_object.h"
+
+namespace ofi::gmdb {
+
+/// One cell of the Fig. 8 conversion matrix.
+enum class ConversionKind : uint8_t {
+  kIdentity,   // same version (the diagonal)
+  kUpgrade,    // U: from -> the next registered version
+  kDowngrade,  // D: from -> the previous registered version
+  kUnsupported // X: any non-adjacent pair
+};
+
+/// \brief Versioned schemas for one object type plus the conversion engine.
+class SchemaRegistry {
+ public:
+  /// Registers a new version. The first version of a name is accepted as-is;
+  /// later versions are validated against the latest registered one:
+  ///  * every existing field present, same position, same kind/type
+  ///  * new fields appended at the end only
+  ///  * primary key unchanged
+  /// Violations return IncompatibleSchema.
+  Status RegisterVersion(RecordSchemaPtr schema);
+
+  Result<RecordSchemaPtr> Get(const std::string& name, int version) const;
+  /// Latest registered version number for `name` (NotFound if none).
+  Result<int> LatestVersion(const std::string& name) const;
+  /// All registered version numbers, ascending.
+  std::vector<int> Versions(const std::string& name) const;
+
+  /// Fig. 8 cell for (from, to).
+  ConversionKind Classify(const std::string& name, int from, int to) const;
+
+  /// Converts `obj` (stored at version `from`) to version `to`.
+  /// Only identity/adjacent conversions succeed; X cells return
+  /// IncompatibleSchema. Upgrade fills added fields with their defaults
+  /// (recursing into nested records and array elements); downgrade drops
+  /// fields unknown to the older schema.
+  Result<TreeObjectPtr> Convert(const std::string& name, const TreeObject& obj,
+                                int from, int to) const;
+
+  /// Renders the Fig. 8 upgrade/downgrade matrix for `name`.
+  std::string MatrixToString(const std::string& name) const;
+
+ private:
+  static Status ValidateEvolution(const RecordSchema& older,
+                                  const RecordSchema& newer,
+                                  bool top_level = true);
+  static TreeObjectPtr UpgradeObject(const TreeObject& obj,
+                                     const RecordSchema& older,
+                                     const RecordSchema& newer);
+  static TreeObjectPtr DowngradeObject(const TreeObject& obj,
+                                       const RecordSchema& newer,
+                                       const RecordSchema& older);
+
+  // name -> version -> schema (ordered by version).
+  std::map<std::string, std::map<int, RecordSchemaPtr>> schemas_;
+};
+
+}  // namespace ofi::gmdb

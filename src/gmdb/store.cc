@@ -1,0 +1,182 @@
+#include "gmdb/store.h"
+
+namespace ofi::gmdb {
+
+Status GmdbStore::Put(const std::string& type, const std::string& key,
+                      TreeObjectPtr obj, int version) {
+  OFI_RETURN_NOT_OK(registry_->Get(type, version).status());
+  std::string fk = FullKey(type, key);
+  if (objects_.count(fk)) return Status::AlreadyExists("object exists: " + fk);
+  objects_[fk] = StoredObject{std::move(obj), version, 1};
+  ++mutations_since_ckpt_;
+  return Status::OK();
+}
+
+Result<TreeObjectPtr> GmdbStore::Get(const std::string& type,
+                                     const std::string& key,
+                                     int requested_version) {
+  auto it = objects_.find(FullKey(type, key));
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  const StoredObject& so = it->second;
+  if (so.version == requested_version) return so.obj;
+  ++conversions_;
+  return registry_->Convert(type, *so.obj, so.version, requested_version);
+}
+
+Result<int> GmdbStore::StoredVersion(const std::string& type,
+                                     const std::string& key) const {
+  auto it = objects_.find(FullKey(type, key));
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  return it->second.version;
+}
+
+Status GmdbStore::ApplyDelta(const std::string& type, const std::string& key,
+                             const Delta& delta, int writer_version) {
+  auto it = objects_.find(FullKey(type, key));
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  StoredObject& so = it->second;
+  if (writer_version > so.version) {
+    // Forward migration on write: upgrade the stored copy first.
+    OFI_ASSIGN_OR_RETURN(TreeObjectPtr upgraded,
+                         registry_->Convert(type, *so.obj, so.version,
+                                            writer_version));
+    so.obj = std::move(upgraded);
+    so.version = writer_version;
+    ++conversions_;
+  } else if (writer_version < so.version) {
+    // Older writers only know fields that still exist; verify the classify
+    // cell is not X so the deployment is a supported mix.
+    if (registry_->Classify(type, writer_version, so.version) ==
+        ConversionKind::kUnsupported) {
+      return Status::IncompatibleSchema("writer version too far behind");
+    }
+  }
+  OFI_RETURN_NOT_OK(delta.ApplyTo(so.obj.get()));
+  ++so.seq;
+  ++mutations_since_ckpt_;
+  Publish(type, key, delta, so.version);
+  return Status::OK();
+}
+
+Status GmdbStore::Transact(const std::string& type, const std::string& key,
+                           const std::function<Status(TreeObject*)>& mutator) {
+  auto it = objects_.find(FullKey(type, key));
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  StoredObject& so = it->second;
+  // Mutate a copy; install only on success (all-or-nothing per object).
+  TreeObjectPtr copy = so.obj->Clone();
+  OFI_RETURN_NOT_OK(mutator(copy.get()));
+  so.obj = std::move(copy);
+  ++so.seq;
+  ++mutations_since_ckpt_;
+  return Status::OK();
+}
+
+Status GmdbStore::Delete(const std::string& type, const std::string& key) {
+  if (objects_.erase(FullKey(type, key)) == 0) {
+    return Status::NotFound("no object: " + key);
+  }
+  ++mutations_since_ckpt_;
+  return Status::OK();
+}
+
+Status GmdbStore::SetExpiry(const std::string& type, const std::string& key,
+                            int64_t expires_at_us) {
+  auto it = objects_.find(FullKey(type, key));
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  it->second.expires_at_us = expires_at_us;
+  return Status::OK();
+}
+
+size_t GmdbStore::SweepExpired(int64_t now_us) {
+  size_t expired = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->second.expires_at_us != 0 && it->second.expires_at_us <= now_us) {
+      it = objects_.erase(it);
+      ++expired;
+      ++mutations_since_ckpt_;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+int GmdbStore::Subscribe(const std::string& type, const std::string& key,
+                         int subscriber_version, ChangeCallback cb) {
+  int id = next_subscription_++;
+  subscriptions_[id] =
+      Subscription{FullKey(type, key), subscriber_version, std::move(cb)};
+  return id;
+}
+
+void GmdbStore::Unsubscribe(int subscription_id) {
+  subscriptions_.erase(subscription_id);
+}
+
+void GmdbStore::Publish(const std::string& type, const std::string& key,
+                        const Delta& delta, int version) {
+  std::string fk = FullKey(type, key);
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.full_key != fk) continue;
+    delta_bytes_published_ += delta.ByteSize();
+    sub.cb(key, delta, version);
+  }
+}
+
+Result<sql::Table> GmdbStore::ObjectsAsTable(const std::string& type,
+                                             int version,
+                                             size_t* skipped) const {
+  OFI_ASSIGN_OR_RETURN(RecordSchemaPtr schema, registry_->Get(type, version));
+  std::vector<sql::Column> cols = {{"_key", sql::TypeId::kString, ""}};
+  for (const auto& f : schema->fields) {
+    if (f.kind == FieldKind::kPrimitive) {
+      cols.push_back({f.name, f.primitive_type, ""});
+    }
+  }
+  sql::Table out{sql::Schema(std::move(cols))};
+  std::string prefix = type + "/";
+  size_t skip_count = 0;
+  for (const auto& [fk, so] : objects_) {
+    if (fk.rfind(prefix, 0) != 0) continue;
+    Result<TreeObjectPtr> converted =
+        so.version == version
+            ? Result<TreeObjectPtr>(so.obj)
+            : registry_->Convert(type, *so.obj, so.version, version);
+    if (!converted.ok()) {
+      ++skip_count;
+      continue;
+    }
+    sql::Row row = {sql::Value(fk.substr(prefix.size()))};
+    for (const auto& f : schema->fields) {
+      if (f.kind != FieldKind::kPrimitive) continue;
+      auto v = (*converted)->GetPrimitive(f.name);
+      row.push_back(v.ok() ? *v : sql::Value::Null());
+    }
+    (void)out.Append(std::move(row));
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return out;
+}
+
+size_t GmdbStore::Checkpoint() {
+  checkpoint_.clear();
+  size_t bytes = 0;
+  for (const auto& [fk, so] : objects_) {
+    checkpoint_.push_back(CheckpointedObject{fk, so.obj->Clone(), so.version});
+    bytes += so.obj->ByteSize();
+  }
+  mutations_since_ckpt_ = 0;
+  return bytes;
+}
+
+size_t GmdbStore::RestoreFromCheckpoint() {
+  objects_.clear();
+  for (const auto& c : checkpoint_) {
+    objects_[c.full_key] = StoredObject{c.obj->Clone(), c.version, 1};
+  }
+  mutations_since_ckpt_ = 0;
+  return objects_.size();
+}
+
+}  // namespace ofi::gmdb

@@ -1,0 +1,131 @@
+/// \file store.h
+/// \brief One GMDB data node (paper §III, Fig. 7): an in-memory tree-object
+/// store with single-object transactions, on-read schema conversion,
+/// delta-based updates, pub/sub change notification, and asynchronous
+/// checkpointing (GMDB trades durability for latency: data is only flushed
+/// to disk periodically, and limited loss is compensated by application
+/// logic — §III-A).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gmdb/schema_registry.h"
+#include "sql/table.h"
+
+namespace ofi::gmdb {
+
+/// Subscription callback: (key, delta, writer_version).
+using ChangeCallback =
+    std::function<void(const std::string& key, const Delta& delta, int version)>;
+
+/// \brief A data node.
+class GmdbStore {
+ public:
+  /// \param registry shared schema registry (owned by the coordinator).
+  explicit GmdbStore(const SchemaRegistry* registry) : registry_(registry) {}
+
+  // --- Single-object transactions --------------------------------------------
+  /// Creates an object stored at `version`. AlreadyExists if present.
+  Status Put(const std::string& type, const std::string& key, TreeObjectPtr obj,
+             int version);
+
+  /// Reads, converting from the stored version to `requested_version`
+  /// (upgrade / downgrade schema evolution, Fig. 9/10). Identity reads do
+  /// not copy-convert.
+  Result<TreeObjectPtr> Get(const std::string& type, const std::string& key,
+                            int requested_version);
+
+  /// Stored version of an object.
+  Result<int> StoredVersion(const std::string& type, const std::string& key) const;
+
+  /// Applies a delta written by a client running `writer_version`. If the
+  /// writer runs a NEWER schema the stored object is upgraded first (this is
+  /// how data migrates forward without downtime); older writers' paths all
+  /// exist in the stored schema, so they apply directly.
+  Status ApplyDelta(const std::string& type, const std::string& key,
+                    const Delta& delta, int writer_version);
+
+  /// Atomic read-modify-write of one object (GMDB supports transactions on
+  /// single objects only, §III-A).
+  Status Transact(const std::string& type, const std::string& key,
+                  const std::function<Status(TreeObject*)>& mutator);
+
+  Status Delete(const std::string& type, const std::string& key);
+  size_t num_objects() const { return objects_.size(); }
+
+  // --- TTL / session expiry ----------------------------------------------------
+  /// Telecom session state is lease-based: sets (or refreshes) an absolute
+  /// expiry deadline for an object. 0 clears the lease (never expires).
+  Status SetExpiry(const std::string& type, const std::string& key,
+                   int64_t expires_at_us);
+  /// Drops every object whose deadline is <= now (the periodic session
+  /// reaper). Returns the number of objects expired.
+  size_t SweepExpired(int64_t now_us);
+
+  // --- Pub/sub ---------------------------------------------------------------
+  /// Subscribes to changes of one object; returns a subscription id.
+  int Subscribe(const std::string& type, const std::string& key,
+                int subscriber_version, ChangeCallback cb);
+  void Unsubscribe(int subscription_id);
+
+  // --- Asynchronous checkpointing ---------------------------------------------
+  /// Serializes every object to the (simulated) disk image; returns bytes
+  /// written. Called periodically, NOT on every commit.
+  size_t Checkpoint();
+  /// Rebuilds the store from the last checkpoint, dropping everything newer
+  /// (the bounded data-loss window the design accepts). Returns object count.
+  size_t RestoreFromCheckpoint();
+  uint64_t mutations_since_checkpoint() const { return mutations_since_ckpt_; }
+
+  // --- Relational view (the SQL interface of Fig. 7's Driver) -----------------
+  /// Flattens every object of `type` into a relational table at schema
+  /// version `version` (converting per object as needed): one column per
+  /// top-level primitive field plus a leading "_key" column. Objects whose
+  /// stored version cannot convert to `version` are skipped and counted in
+  /// `*skipped` (if provided).
+  Result<sql::Table> ObjectsAsTable(const std::string& type, int version,
+                                    size_t* skipped = nullptr) const;
+
+  // --- Sync accounting (Fig. 11) ----------------------------------------------
+  uint64_t delta_bytes_published() const { return delta_bytes_published_; }
+  uint64_t conversions_performed() const { return conversions_; }
+
+ private:
+  struct StoredObject {
+    TreeObjectPtr obj;
+    int version = 0;   // schema version the object is stored at
+    uint64_t seq = 0;  // bumped on every mutation
+    int64_t expires_at_us = 0;  // 0 = no lease
+  };
+  struct Subscription {
+    std::string full_key;
+    int version;
+    ChangeCallback cb;
+  };
+  struct CheckpointedObject {
+    std::string full_key;
+    TreeObjectPtr obj;  // deep copy at checkpoint time
+    int version;
+  };
+
+  static std::string FullKey(const std::string& type, const std::string& key) {
+    return type + "/" + key;
+  }
+  void Publish(const std::string& type, const std::string& key, const Delta& delta,
+               int version);
+
+  const SchemaRegistry* registry_;
+  std::map<std::string, StoredObject> objects_;  // by FullKey
+  std::map<int, Subscription> subscriptions_;
+  int next_subscription_ = 1;
+  std::vector<CheckpointedObject> checkpoint_;
+  uint64_t mutations_since_ckpt_ = 0;
+  uint64_t delta_bytes_published_ = 0;
+  mutable uint64_t conversions_ = 0;
+};
+
+}  // namespace ofi::gmdb

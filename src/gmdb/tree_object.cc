@@ -1,0 +1,262 @@
+#include "gmdb/tree_object.h"
+
+namespace ofi::gmdb {
+
+const FieldDef* RecordSchema::Field(const std::string& field_name) const {
+  for (const auto& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+int RecordSchema::FieldIndex(const std::string& field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TreeObjectPtr TreeObject::Defaults(const RecordSchema& schema) {
+  auto obj = std::make_shared<TreeObject>();
+  for (const auto& f : schema.fields) {
+    switch (f.kind) {
+      case FieldKind::kPrimitive:
+        obj->Set(f.name, f.default_value);
+        break;
+      case FieldKind::kRecord:
+        obj->Set(f.name, Defaults(*f.record));
+        break;
+      case FieldKind::kArray:
+        obj->Set(f.name, std::vector<TreeObjectPtr>{});
+        break;
+    }
+  }
+  return obj;
+}
+
+Result<const FieldValue*> TreeObject::Get(const std::string& field) const {
+  auto it = fields_.find(field);
+  if (it == fields_.end()) return Status::NotFound("no field: " + field);
+  return &it->second;
+}
+
+Result<sql::Value> TreeObject::GetPrimitive(const std::string& field) const {
+  OFI_ASSIGN_OR_RETURN(const FieldValue* fv, Get(field));
+  if (!std::holds_alternative<sql::Value>(*fv)) {
+    return Status::InvalidArgument("field not primitive: " + field);
+  }
+  return std::get<sql::Value>(*fv);
+}
+
+namespace {
+
+struct PathSegment {
+  std::string name;
+  int index = -1;  // >= 0 when the segment has [n]
+};
+
+Result<std::vector<PathSegment>> ParsePath(const std::string& path) {
+  std::vector<PathSegment> segments;
+  size_t i = 0;
+  while (i < path.size()) {
+    PathSegment seg;
+    while (i < path.size() && path[i] != '.' && path[i] != '[') {
+      seg.name += path[i++];
+    }
+    if (seg.name.empty()) return Status::InvalidArgument("bad path: " + path);
+    if (i < path.size() && path[i] == '[') {
+      size_t close = path.find(']', i);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unclosed index: " + path);
+      }
+      seg.index = std::stoi(path.substr(i + 1, close - i - 1));
+      i = close + 1;
+    }
+    if (i < path.size()) {
+      if (path[i] != '.') return Status::InvalidArgument("bad path: " + path);
+      ++i;
+    }
+    segments.push_back(std::move(seg));
+  }
+  if (segments.empty()) return Status::InvalidArgument("empty path");
+  return segments;
+}
+
+}  // namespace
+
+Result<sql::Value> TreeObject::GetPath(const std::string& path) const {
+  OFI_ASSIGN_OR_RETURN(std::vector<PathSegment> segments, ParsePath(path));
+  const TreeObject* cur = this;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const PathSegment& seg = segments[s];
+    OFI_ASSIGN_OR_RETURN(const FieldValue* fv, cur->Get(seg.name));
+    bool last = s + 1 == segments.size();
+    if (seg.index >= 0) {
+      if (!std::holds_alternative<std::vector<TreeObjectPtr>>(*fv)) {
+        return Status::InvalidArgument("not an array: " + seg.name);
+      }
+      const auto& arr = std::get<std::vector<TreeObjectPtr>>(*fv);
+      if (static_cast<size_t>(seg.index) >= arr.size()) {
+        return Status::OutOfRange("index out of range: " + path);
+      }
+      cur = arr[seg.index].get();
+      if (last) return Status::InvalidArgument("path ends at record: " + path);
+      continue;
+    }
+    if (std::holds_alternative<sql::Value>(*fv)) {
+      if (!last) return Status::InvalidArgument("primitive mid-path: " + path);
+      return std::get<sql::Value>(*fv);
+    }
+    if (std::holds_alternative<TreeObjectPtr>(*fv)) {
+      if (last) return Status::InvalidArgument("path ends at record: " + path);
+      cur = std::get<TreeObjectPtr>(*fv).get();
+      continue;
+    }
+    return Status::InvalidArgument("array needs index: " + seg.name);
+  }
+  return Status::InvalidArgument("bad path: " + path);
+}
+
+Status TreeObject::SetPath(const std::string& path, sql::Value value) {
+  OFI_ASSIGN_OR_RETURN(std::vector<PathSegment> segments, ParsePath(path));
+  TreeObject* cur = this;
+  for (size_t s = 0; s + 1 < segments.size(); ++s) {
+    const PathSegment& seg = segments[s];
+    auto it = cur->fields_.find(seg.name);
+    if (it == cur->fields_.end()) {
+      // Create intermediate record on demand (schema checks happen upstream).
+      if (seg.index >= 0) return Status::NotFound("no array field: " + seg.name);
+      auto rec = std::make_shared<TreeObject>();
+      cur->fields_[seg.name] = rec;
+      cur = rec.get();
+      continue;
+    }
+    FieldValue& fv = it->second;
+    if (seg.index >= 0) {
+      if (!std::holds_alternative<std::vector<TreeObjectPtr>>(fv)) {
+        return Status::InvalidArgument("not an array: " + seg.name);
+      }
+      auto& arr = std::get<std::vector<TreeObjectPtr>>(fv);
+      if (static_cast<size_t>(seg.index) >= arr.size()) {
+        return Status::OutOfRange("index out of range: " + path);
+      }
+      cur = arr[seg.index].get();
+    } else if (std::holds_alternative<TreeObjectPtr>(fv)) {
+      cur = std::get<TreeObjectPtr>(fv).get();
+    } else {
+      return Status::InvalidArgument("cannot descend into: " + seg.name);
+    }
+  }
+  const PathSegment& leaf = segments.back();
+  if (leaf.index >= 0) return Status::InvalidArgument("path ends at array element");
+  cur->fields_[leaf.name] = std::move(value);
+  return Status::OK();
+}
+
+TreeObjectPtr TreeObject::Clone() const {
+  auto copy = std::make_shared<TreeObject>();
+  for (const auto& [name, fv] : fields_) {
+    if (std::holds_alternative<sql::Value>(fv)) {
+      copy->fields_[name] = std::get<sql::Value>(fv);
+    } else if (std::holds_alternative<TreeObjectPtr>(fv)) {
+      copy->fields_[name] = std::get<TreeObjectPtr>(fv)->Clone();
+    } else {
+      std::vector<TreeObjectPtr> arr;
+      for (const auto& e : std::get<std::vector<TreeObjectPtr>>(fv)) {
+        arr.push_back(e->Clone());
+      }
+      copy->fields_[name] = std::move(arr);
+    }
+  }
+  return copy;
+}
+
+std::string TreeObject::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, fv] : fields_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    if (std::holds_alternative<sql::Value>(fv)) {
+      out += std::get<sql::Value>(fv).ToString();
+    } else if (std::holds_alternative<TreeObjectPtr>(fv)) {
+      out += std::get<TreeObjectPtr>(fv)->ToJson();
+    } else {
+      out += "[";
+      const auto& arr = std::get<std::vector<TreeObjectPtr>>(fv);
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += ",";
+        out += arr[i]->ToJson();
+      }
+      out += "]";
+    }
+  }
+  return out + "}";
+}
+
+bool TreeObject::Equals(const TreeObject& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (const auto& [name, fv] : fields_) {
+    auto it = other.fields_.find(name);
+    if (it == other.fields_.end()) return false;
+    const FieldValue& ofv = it->second;
+    if (fv.index() != ofv.index()) return false;
+    if (std::holds_alternative<sql::Value>(fv)) {
+      if (!std::get<sql::Value>(fv).Equals(std::get<sql::Value>(ofv))) return false;
+    } else if (std::holds_alternative<TreeObjectPtr>(fv)) {
+      if (!std::get<TreeObjectPtr>(fv)->Equals(*std::get<TreeObjectPtr>(ofv))) {
+        return false;
+      }
+    } else {
+      const auto& a = std::get<std::vector<TreeObjectPtr>>(fv);
+      const auto& b = std::get<std::vector<TreeObjectPtr>>(ofv);
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i]->Equals(*b[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t Delta::ByteSize() const {
+  size_t n = 0;
+  for (const auto& op : ops) n += op.path.size() + op.value.ByteSize() + 2;
+  return n;
+}
+
+Status Delta::ApplyTo(TreeObject* obj) const {
+  for (const auto& op : ops) {
+    OFI_RETURN_NOT_OK(obj->SetPath(op.path, op.value));
+  }
+  return Status::OK();
+}
+
+FieldDef PrimitiveField(std::string name, sql::TypeId type,
+                        sql::Value default_value) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kPrimitive;
+  f.primitive_type = type;
+  f.default_value = std::move(default_value);
+  return f;
+}
+
+FieldDef RecordField(std::string name, RecordSchemaPtr schema) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kRecord;
+  f.record = std::move(schema);
+  return f;
+}
+
+FieldDef ArrayField(std::string name, RecordSchemaPtr element_schema) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kArray;
+  f.record = std::move(element_schema);
+  return f;
+}
+
+}  // namespace ofi::gmdb

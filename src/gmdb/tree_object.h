@@ -1,0 +1,122 @@
+/// \file tree_object.h
+/// \brief GMDB's tree-modeled object data (paper §III-B): each object has a
+/// record schema like an RDBMS table, but a field can be a primitive, a
+/// nested record, or an array of records — so related data that a
+/// relational model would split across key/foreign-key tables is stored
+/// together in one tree (a typical user-session object is 5-10 KB of
+/// JSON-shaped data).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace ofi::gmdb {
+
+struct RecordSchema;
+using RecordSchemaPtr = std::shared_ptr<const RecordSchema>;
+
+/// Kind of one record field.
+enum class FieldKind : uint8_t { kPrimitive, kRecord, kArray };
+
+/// \brief One field definition.
+struct FieldDef {
+  std::string name;
+  FieldKind kind = FieldKind::kPrimitive;
+  sql::TypeId primitive_type = sql::TypeId::kNull;  // kPrimitive
+  RecordSchemaPtr record;                           // kRecord / kArray element
+  /// Value new objects and upgraded objects receive (kPrimitive only;
+  /// records/arrays default to empty).
+  sql::Value default_value;
+};
+
+/// \brief A versioned record schema. Versions are ordered by registration;
+/// evolution rules (add-only, no delete, no reorder, no type change) are
+/// enforced by the SchemaRegistry.
+struct RecordSchema {
+  std::string name;        // object type, e.g. "mme_session"
+  int version = 0;         // e.g. 3 for "V3"
+  std::string primary_key; // name of a top-level primitive field
+  std::vector<FieldDef> fields;
+
+  const FieldDef* Field(const std::string& field_name) const;
+  int FieldIndex(const std::string& field_name) const;
+};
+
+class TreeObject;
+using TreeObjectPtr = std::shared_ptr<TreeObject>;
+
+/// A field's value: primitive, nested record, or array of records.
+using FieldValue =
+    std::variant<sql::Value, TreeObjectPtr, std::vector<TreeObjectPtr>>;
+
+/// \brief One tree-modeled object instance.
+class TreeObject {
+ public:
+  TreeObject() = default;
+
+  /// Builds an object with every field at its schema default.
+  static TreeObjectPtr Defaults(const RecordSchema& schema);
+
+  void Set(const std::string& field, FieldValue value) {
+    fields_[field] = std::move(value);
+  }
+  bool Has(const std::string& field) const { return fields_.count(field) > 0; }
+  Result<const FieldValue*> Get(const std::string& field) const;
+
+  /// Primitive accessor shortcut.
+  Result<sql::Value> GetPrimitive(const std::string& field) const;
+
+  /// Reads / writes through a dotted path with optional array indexes, e.g.
+  /// "bearers[1].qos.priority". Set creates intermediate records as needed
+  /// (but will not grow arrays implicitly — out-of-range index fails).
+  Result<sql::Value> GetPath(const std::string& path) const;
+  Status SetPath(const std::string& path, sql::Value value);
+
+  const std::map<std::string, FieldValue>& fields() const { return fields_; }
+
+  /// Deep copy.
+  TreeObjectPtr Clone() const;
+
+  /// JSON-ish rendering (stable field order) — also the wire format whose
+  /// size the delta-vs-whole-object experiment (Fig. 11) accounts.
+  std::string ToJson() const;
+
+  /// Serialized size in bytes.
+  size_t ByteSize() const { return ToJson().size(); }
+
+  /// Structural equality.
+  bool Equals(const TreeObject& other) const;
+
+ private:
+  std::map<std::string, FieldValue> fields_;
+};
+
+/// \brief A delta: the changed paths of an object. GMDB syncs deltas, not
+/// whole objects, between clients and DNs (paper §III-B: "data updates and
+/// schema evolution happen on delta objects instead of whole objects").
+struct Delta {
+  struct Op {
+    std::string path;
+    sql::Value value;
+  };
+  std::vector<Op> ops;
+
+  /// Wire size of the delta.
+  size_t ByteSize() const;
+  /// Applies every op to `obj`.
+  Status ApplyTo(TreeObject* obj) const;
+};
+
+/// Convenience factories for building schemas.
+FieldDef PrimitiveField(std::string name, sql::TypeId type,
+                        sql::Value default_value = sql::Value());
+FieldDef RecordField(std::string name, RecordSchemaPtr schema);
+FieldDef ArrayField(std::string name, RecordSchemaPtr element_schema);
+
+}  // namespace ofi::gmdb

@@ -1,0 +1,201 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ofi::graph {
+
+VertexId PropertyGraph::AddVertex(std::string label,
+                                  std::map<std::string, sql::Value> properties) {
+  VertexId id = next_vertex_++;
+  for (const auto& [k, v] : properties) {
+    property_index_[k][v].push_back(id);
+  }
+  vertices_[id] = Vertex{id, std::move(label), std::move(properties)};
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                      std::string label,
+                                      std::map<std::string, sql::Value> properties) {
+  if (!vertices_.count(src)) return Status::NotFound("unknown src vertex");
+  if (!vertices_.count(dst)) return Status::NotFound("unknown dst vertex");
+  EdgeId id = next_edge_++;
+  edges_[id] = Edge{id, std::move(label), src, dst, std::move(properties)};
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+Result<const Vertex*> PropertyGraph::GetVertex(VertexId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) return Status::NotFound("no vertex " + std::to_string(id));
+  return &it->second;
+}
+
+Result<const Edge*> PropertyGraph::GetEdge(EdgeId id) const {
+  auto it = edges_.find(id);
+  if (it == edges_.end()) return Status::NotFound("no edge " + std::to_string(id));
+  return &it->second;
+}
+
+std::vector<EdgeId> PropertyGraph::OutEdges(VertexId v,
+                                            const std::string& label) const {
+  std::vector<EdgeId> result;
+  auto it = out_.find(v);
+  if (it == out_.end()) return result;
+  for (EdgeId e : it->second) {
+    if (label.empty() || edges_.at(e).label == label) result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<EdgeId> PropertyGraph::InEdges(VertexId v,
+                                           const std::string& label) const {
+  std::vector<EdgeId> result;
+  auto it = in_.find(v);
+  if (it == in_.end()) return result;
+  for (EdgeId e : it->second) {
+    if (label.empty() || edges_.at(e).label == label) result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<VertexId> PropertyGraph::AllVertices(const std::string& label) const {
+  std::vector<VertexId> ids;
+  for (const auto& [id, v] : vertices_) {
+    if (label.empty() || v.label == label) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<VertexId> PropertyGraph::VerticesByProperty(
+    const std::string& key, const sql::Value& value) const {
+  auto kit = property_index_.find(key);
+  if (kit == property_index_.end()) return {};
+  auto vit = kit->second.find(value);
+  if (vit == kit->second.end()) return {};
+  return vit->second;
+}
+
+std::vector<VertexId> PropertyGraph::ShortestPath(VertexId from, VertexId to) const {
+  if (!vertices_.count(from) || !vertices_.count(to)) return {};
+  std::unordered_map<VertexId, VertexId> parent;
+  std::deque<VertexId> queue = {from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (v == to) break;
+    auto it = out_.find(v);
+    if (it == out_.end()) continue;
+    for (EdgeId e : it->second) {
+      VertexId next = edges_.at(e).dst;
+      if (parent.emplace(next, v).second) queue.push_back(next);
+    }
+  }
+  if (!parent.count(to)) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = to; v != from; v = parent[v]) path.push_back(v);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::unordered_map<VertexId, double> PropertyGraph::PageRank(int iterations,
+                                                             double damping) const {
+  std::unordered_map<VertexId, double> rank;
+  size_t n = vertices_.size();
+  if (n == 0) return rank;
+  double init = 1.0 / static_cast<double>(n);
+  for (const auto& [id, v] : vertices_) rank[id] = init;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::unordered_map<VertexId, double> next;
+    double dangling = 0;
+    for (const auto& [id, r] : rank) {
+      auto it = out_.find(id);
+      if (it == out_.end() || it->second.empty()) {
+        dangling += r;
+        continue;
+      }
+      double share = r / static_cast<double>(it->second.size());
+      for (EdgeId e : it->second) next[edges_.at(e).dst] += share;
+    }
+    double base = (1.0 - damping) / static_cast<double>(n) +
+                  damping * dangling / static_cast<double>(n);
+    for (const auto& [id, v] : vertices_) {
+      rank[id] = base + damping * next[id];
+    }
+  }
+  return rank;
+}
+
+std::unordered_map<VertexId, int> PropertyGraph::ConnectedComponents() const {
+  std::unordered_map<VertexId, int> comp;
+  int next_comp = 0;
+  for (const auto& [start, v] : vertices_) {
+    if (comp.count(start)) continue;
+    int c = next_comp++;
+    std::deque<VertexId> queue = {start};
+    comp[start] = c;
+    while (!queue.empty()) {
+      VertexId cur = queue.front();
+      queue.pop_front();
+      for (const auto* adj : {&out_, &in_}) {
+        auto it = adj->find(cur);
+        if (it == adj->end()) continue;
+        for (EdgeId e : it->second) {
+          const Edge& edge = edges_.at(e);
+          VertexId other = adj == &out_ ? edge.dst : edge.src;
+          if (comp.emplace(other, c).second) queue.push_back(other);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+sql::Table PropertyGraph::VerticesAsTable(
+    const std::vector<std::string>& property_cols) const {
+  std::vector<sql::Column> cols = {{"id", sql::TypeId::kInt64, ""},
+                                   {"label", sql::TypeId::kString, ""}};
+  for (const auto& p : property_cols) cols.push_back({p, sql::TypeId::kNull, ""});
+  sql::Table t{sql::Schema(std::move(cols))};
+  for (VertexId id : AllVertices()) {
+    const Vertex& v = vertices_.at(id);
+    sql::Row row = {sql::Value(id), sql::Value(v.label)};
+    for (const auto& p : property_cols) {
+      auto it = v.properties.find(p);
+      row.push_back(it == v.properties.end() ? sql::Value::Null() : it->second);
+    }
+    t.mutable_rows().push_back(std::move(row));
+  }
+  return t;
+}
+
+sql::Table PropertyGraph::EdgesAsTable(
+    const std::vector<std::string>& property_cols) const {
+  std::vector<sql::Column> cols = {{"id", sql::TypeId::kInt64, ""},
+                                   {"label", sql::TypeId::kString, ""},
+                                   {"src", sql::TypeId::kInt64, ""},
+                                   {"dst", sql::TypeId::kInt64, ""}};
+  for (const auto& p : property_cols) cols.push_back({p, sql::TypeId::kNull, ""});
+  sql::Table t{sql::Schema(std::move(cols))};
+  std::vector<EdgeId> ids;
+  for (const auto& [id, e] : edges_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (EdgeId id : ids) {
+    const Edge& e = edges_.at(id);
+    sql::Row row = {sql::Value(id), sql::Value(e.label), sql::Value(e.src),
+                    sql::Value(e.dst)};
+    for (const auto& p : property_cols) {
+      auto it = e.properties.find(p);
+      row.push_back(it == e.properties.end() ? sql::Value::Null() : it->second);
+    }
+    t.mutable_rows().push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace ofi::graph

@@ -1,0 +1,93 @@
+/// \file property_graph.h
+/// \brief Property graph storage, represented relationally underneath
+/// (vertex and edge tables with property maps) exactly as the paper's
+/// unified storage engine prescribes: "graphs are represented through
+/// tables for vertexes and edges" (§II-B2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/table.h"
+#include "sql/value.h"
+
+namespace ofi::graph {
+
+using VertexId = int64_t;
+using EdgeId = int64_t;
+
+/// A vertex: label + property map.
+struct Vertex {
+  VertexId id = 0;
+  std::string label;
+  std::map<std::string, sql::Value> properties;
+};
+
+/// A directed edge: label + property map.
+struct Edge {
+  EdgeId id = 0;
+  std::string label;
+  VertexId src = 0;
+  VertexId dst = 0;
+  std::map<std::string, sql::Value> properties;
+};
+
+/// \brief In-memory property graph with adjacency and property indexes.
+class PropertyGraph {
+ public:
+  /// Adds a vertex; returns its id.
+  VertexId AddVertex(std::string label,
+                     std::map<std::string, sql::Value> properties = {});
+  /// Adds a directed edge; fails if either endpoint is unknown.
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string label,
+                         std::map<std::string, sql::Value> properties = {});
+
+  Result<const Vertex*> GetVertex(VertexId id) const;
+  Result<const Edge*> GetEdge(EdgeId id) const;
+
+  /// Outgoing / incoming edge ids of a vertex, optionally label-filtered.
+  std::vector<EdgeId> OutEdges(VertexId v, const std::string& label = "") const;
+  std::vector<EdgeId> InEdges(VertexId v, const std::string& label = "") const;
+
+  /// All vertex ids (optionally by label).
+  std::vector<VertexId> AllVertices(const std::string& label = "") const;
+
+  /// Vertices whose property `key` equals `value` (uses the property index).
+  std::vector<VertexId> VerticesByProperty(const std::string& key,
+                                           const sql::Value& value) const;
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  // --- Graph algorithms (domain-specific knowledge processing, §II-B1) ------
+  /// Unweighted shortest path (BFS); empty if unreachable.
+  std::vector<VertexId> ShortestPath(VertexId from, VertexId to) const;
+  /// PageRank over the whole graph.
+  std::unordered_map<VertexId, double> PageRank(int iterations = 20,
+                                                double damping = 0.85) const;
+  /// Weakly connected components: vertex -> component id.
+  std::unordered_map<VertexId, int> ConnectedComponents() const;
+
+  // --- Relational views (unified storage, §II-B2) ----------------------------
+  /// Vertex table: (id, label, <property> ...) for the given property names.
+  sql::Table VerticesAsTable(const std::vector<std::string>& property_cols) const;
+  /// Edge table: (id, label, src, dst, <property> ...).
+  sql::Table EdgesAsTable(const std::vector<std::string>& property_cols) const;
+
+ private:
+  std::unordered_map<VertexId, Vertex> vertices_;
+  std::unordered_map<EdgeId, Edge> edges_;
+  std::unordered_map<VertexId, std::vector<EdgeId>> out_;
+  std::unordered_map<VertexId, std::vector<EdgeId>> in_;
+  // Property index: key -> value -> vertex ids.
+  std::unordered_map<std::string, std::unordered_map<sql::Value, std::vector<VertexId>>>
+      property_index_;
+  VertexId next_vertex_ = 1;
+  EdgeId next_edge_ = 1;
+};
+
+}  // namespace ofi::graph

@@ -1,0 +1,255 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ofi::graph {
+
+bool Gp::Test(const sql::Value& v) const {
+  if (v.is_null()) return false;
+  int c = v.Compare(operand);
+  switch (op) {
+    case Op::kEq: return c == 0;
+    case Op::kNe: return c != 0;
+    case Op::kLt: return c < 0;
+    case Op::kLe: return c <= 0;
+    case Op::kGt: return c > 0;
+    case Op::kGe: return c >= 0;
+  }
+  return false;
+}
+
+Traversal& Traversal::V() {
+  vertices_ = graph_->AllVertices();
+  edges_.clear();
+  values_.clear();
+  mode_ = Mode::kVertices;
+  return *this;
+}
+
+Traversal& Traversal::V(VertexId id) {
+  vertices_.clear();
+  if (graph_->GetVertex(id).ok()) vertices_.push_back(id);
+  edges_.clear();
+  values_.clear();
+  mode_ = Mode::kVertices;
+  return *this;
+}
+
+Traversal& Traversal::HasLabel(const std::string& label) {
+  if (mode_ == Mode::kVertices) {
+    std::vector<VertexId> keep;
+    for (VertexId v : vertices_) {
+      if ((*graph_->GetVertex(v))->label == label) keep.push_back(v);
+    }
+    vertices_ = std::move(keep);
+  } else if (mode_ == Mode::kEdges) {
+    std::vector<EdgeId> keep;
+    for (EdgeId e : edges_) {
+      if ((*graph_->GetEdge(e))->label == label) keep.push_back(e);
+    }
+    edges_ = std::move(keep);
+  }
+  return *this;
+}
+
+Traversal& Traversal::Has(const std::string& key, const sql::Value& value) {
+  return Has(key, Gp::Eq(value));
+}
+
+Traversal& Traversal::Has(const std::string& key, const Gp& pred) {
+  auto property_of = [&](const std::map<std::string, sql::Value>& props) {
+    auto it = props.find(key);
+    return it == props.end() ? sql::Value::Null() : it->second;
+  };
+  if (mode_ == Mode::kVertices) {
+    std::vector<VertexId> keep;
+    for (VertexId v : vertices_) {
+      if (pred.Test(property_of((*graph_->GetVertex(v))->properties))) {
+        keep.push_back(v);
+      }
+    }
+    vertices_ = std::move(keep);
+  } else if (mode_ == Mode::kEdges) {
+    std::vector<EdgeId> keep;
+    for (EdgeId e : edges_) {
+      if (pred.Test(property_of((*graph_->GetEdge(e))->properties))) {
+        keep.push_back(e);
+      }
+    }
+    edges_ = std::move(keep);
+  } else {
+    std::vector<sql::Value> keep;
+    for (const auto& v : values_) {
+      if (pred.Test(v)) keep.push_back(v);
+    }
+    values_ = std::move(keep);
+  }
+  return *this;
+}
+
+Traversal& Traversal::Where(const std::function<Traversal(Traversal)>& sub,
+                            const Gp& count_pred) {
+  if (mode_ != Mode::kVertices) return *this;
+  std::vector<VertexId> keep;
+  for (VertexId v : vertices_) {
+    Traversal seed(graph_, {v});
+    Traversal result = sub(std::move(seed));
+    if (count_pred.Test(sql::Value(result.Count()))) keep.push_back(v);
+  }
+  vertices_ = std::move(keep);
+  return *this;
+}
+
+Traversal& Traversal::Dedup() {
+  if (mode_ == Mode::kVertices) {
+    std::unordered_set<VertexId> seen;
+    std::vector<VertexId> keep;
+    for (VertexId v : vertices_) {
+      if (seen.insert(v).second) keep.push_back(v);
+    }
+    vertices_ = std::move(keep);
+  } else if (mode_ == Mode::kEdges) {
+    std::unordered_set<EdgeId> seen;
+    std::vector<EdgeId> keep;
+    for (EdgeId e : edges_) {
+      if (seen.insert(e).second) keep.push_back(e);
+    }
+    edges_ = std::move(keep);
+  } else {
+    std::vector<sql::Value> keep;
+    for (const auto& v : values_) {
+      bool dup = false;
+      for (const auto& k : keep) {
+        if (k.Equals(v)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) keep.push_back(v);
+    }
+    values_ = std::move(keep);
+  }
+  return *this;
+}
+
+Traversal& Traversal::Limit(size_t n) {
+  if (vertices_.size() > n) vertices_.resize(n);
+  if (edges_.size() > n) edges_.resize(n);
+  if (values_.size() > n) values_.resize(n);
+  return *this;
+}
+
+Traversal& Traversal::OutE(const std::string& label) {
+  std::vector<EdgeId> next;
+  for (VertexId v : vertices_) {
+    auto es = graph_->OutEdges(v, label);
+    next.insert(next.end(), es.begin(), es.end());
+  }
+  edges_ = std::move(next);
+  vertices_.clear();
+  mode_ = Mode::kEdges;
+  return *this;
+}
+
+Traversal& Traversal::InE(const std::string& label) {
+  std::vector<EdgeId> next;
+  for (VertexId v : vertices_) {
+    auto es = graph_->InEdges(v, label);
+    next.insert(next.end(), es.begin(), es.end());
+  }
+  edges_ = std::move(next);
+  vertices_.clear();
+  mode_ = Mode::kEdges;
+  return *this;
+}
+
+Traversal& Traversal::OutV() {
+  std::vector<VertexId> next;
+  for (EdgeId e : edges_) next.push_back((*graph_->GetEdge(e))->src);
+  vertices_ = std::move(next);
+  edges_.clear();
+  mode_ = Mode::kVertices;
+  return *this;
+}
+
+Traversal& Traversal::InV() {
+  std::vector<VertexId> next;
+  for (EdgeId e : edges_) next.push_back((*graph_->GetEdge(e))->dst);
+  vertices_ = std::move(next);
+  edges_.clear();
+  mode_ = Mode::kVertices;
+  return *this;
+}
+
+Traversal& Traversal::Out(const std::string& label) { return OutE(label).InV(); }
+Traversal& Traversal::In(const std::string& label) { return InE(label).OutV(); }
+
+Traversal& Traversal::Both(const std::string& label) {
+  std::vector<VertexId> next;
+  for (VertexId v : vertices_) {
+    for (EdgeId e : graph_->OutEdges(v, label)) {
+      next.push_back((*graph_->GetEdge(e))->dst);
+    }
+    for (EdgeId e : graph_->InEdges(v, label)) {
+      next.push_back((*graph_->GetEdge(e))->src);
+    }
+  }
+  vertices_ = std::move(next);
+  edges_.clear();
+  mode_ = Mode::kVertices;
+  return *this;
+}
+
+Traversal& Traversal::Repeat(const std::string& label, int times) {
+  for (int i = 0; i < times; ++i) {
+    Out(label);
+    Dedup();  // keep the frontier a set, else fan-out explodes
+  }
+  return *this;
+}
+
+Traversal& Traversal::PropertyValues(const std::string& key) {
+  std::vector<sql::Value> next;
+  auto push = [&](const std::map<std::string, sql::Value>& props) {
+    auto it = props.find(key);
+    if (it != props.end()) next.push_back(it->second);
+  };
+  if (mode_ == Mode::kVertices) {
+    for (VertexId v : vertices_) push((*graph_->GetVertex(v))->properties);
+  } else if (mode_ == Mode::kEdges) {
+    for (EdgeId e : edges_) push((*graph_->GetEdge(e))->properties);
+  }
+  values_ = std::move(next);
+  vertices_.clear();
+  edges_.clear();
+  mode_ = Mode::kValues;
+  return *this;
+}
+
+int64_t Traversal::Count() const {
+  switch (mode_) {
+    case Mode::kVertices: return static_cast<int64_t>(vertices_.size());
+    case Mode::kEdges: return static_cast<int64_t>(edges_.size());
+    case Mode::kValues: return static_cast<int64_t>(values_.size());
+  }
+  return 0;
+}
+
+sql::Table Traversal::ToTable(const std::vector<std::string>& property_cols) const {
+  std::vector<sql::Column> cols = {{"id", sql::TypeId::kInt64, ""}};
+  for (const auto& p : property_cols) cols.push_back({p, sql::TypeId::kNull, ""});
+  sql::Table t{sql::Schema(std::move(cols))};
+  for (VertexId v : vertices_) {
+    const Vertex& vertex = **graph_->GetVertex(v);
+    sql::Row row = {sql::Value(v)};
+    for (const auto& p : property_cols) {
+      auto it = vertex.properties.find(p);
+      row.push_back(it == vertex.properties.end() ? sql::Value::Null() : it->second);
+    }
+    t.mutable_rows().push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace ofi::graph

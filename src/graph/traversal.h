@@ -1,0 +1,124 @@
+/// \file traversal.h
+/// \brief Gremlin-style fluent traversals (the paper integrates the Gremlin
+/// language for graph traversal into its SQL extension, §II-B2). The
+/// operator vocabulary matches Gremlin: V, has, hasLabel, outE/inE,
+/// outV/inV, out/in, count, values, dedup, limit, where(sub-traversal).
+///
+/// Example 1's graph fragment
+///   g.V().has(cid,11111).inE(call).has(time, gt(2018/6/1)).count().gt(3)
+/// is written as:
+///   g.V().Has("cid", Value(11111))
+///        .Where([&](Traversal t) {
+///           return std::move(t).InE("call").Has("time", Gp::Gt(ts));
+///        }, Gp::Gt(Value(3)))
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace ofi::graph {
+
+/// \brief A Gremlin `P` predicate: compares a property value to a constant.
+struct Gp {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe } op = Op::kEq;
+  sql::Value operand;
+
+  static Gp Eq(sql::Value v) { return {Op::kEq, std::move(v)}; }
+  static Gp Ne(sql::Value v) { return {Op::kNe, std::move(v)}; }
+  static Gp Lt(sql::Value v) { return {Op::kLt, std::move(v)}; }
+  static Gp Le(sql::Value v) { return {Op::kLe, std::move(v)}; }
+  static Gp Gt(sql::Value v) { return {Op::kGt, std::move(v)}; }
+  static Gp Ge(sql::Value v) { return {Op::kGe, std::move(v)}; }
+
+  bool Test(const sql::Value& v) const;
+};
+
+/// \brief An eagerly evaluated traversal. The frontier is either a set of
+/// vertices, a set of edges, or a list of plain values.
+class Traversal {
+ public:
+  explicit Traversal(const PropertyGraph* graph) : graph_(graph) {}
+  Traversal(const PropertyGraph* graph, std::vector<VertexId> vertices)
+      : graph_(graph), vertices_(std::move(vertices)), mode_(Mode::kVertices) {}
+
+  // --- Start steps ----------------------------------------------------------
+  /// All vertices.
+  Traversal& V();
+  /// One vertex by id.
+  Traversal& V(VertexId id);
+
+  // --- Filter steps ---------------------------------------------------------
+  Traversal& HasLabel(const std::string& label);
+  /// Property equality (uses the property index on a fresh vertex frontier).
+  Traversal& Has(const std::string& key, const sql::Value& value);
+  /// Property predicate.
+  Traversal& Has(const std::string& key, const Gp& pred);
+  /// Keeps elements for which the sub-traversal's count satisfies `count_pred`
+  /// (Gremlin `where(__.inE()...count().is(P.gt(n)))`).
+  Traversal& Where(const std::function<Traversal(Traversal)>& sub,
+                   const Gp& count_pred);
+  Traversal& Dedup();
+  Traversal& Limit(size_t n);
+
+  // --- Move steps -----------------------------------------------------------
+  Traversal& OutE(const std::string& label = "");
+  Traversal& InE(const std::string& label = "");
+  /// Edge frontier -> source vertices.
+  Traversal& OutV();
+  /// Edge frontier -> destination vertices.
+  Traversal& InV();
+  /// Adjacent vertices over outgoing / incoming edges.
+  Traversal& Out(const std::string& label = "");
+  Traversal& In(const std::string& label = "");
+  /// Neighbours in either direction (undirected adjacency).
+  Traversal& Both(const std::string& label = "");
+  /// Gremlin repeat(out(label)).times(n) with per-round dedup — multi-hop
+  /// reachability (friend-of-friend, fraud rings).
+  Traversal& Repeat(const std::string& label, int times);
+
+  // --- Map / terminal steps ---------------------------------------------------
+  /// Property values of the current elements.
+  Traversal& PropertyValues(const std::string& key);
+  int64_t Count() const;
+  const std::vector<VertexId>& VertexIds() const { return vertices_; }
+  const std::vector<EdgeId>& EdgeIds() const { return edges_; }
+  const std::vector<sql::Value>& Values() const { return values_; }
+
+  /// Materializes the vertex frontier as a relational table
+  /// (id + requested properties) for cross-model joins.
+  sql::Table ToTable(const std::vector<std::string>& property_cols) const;
+
+ private:
+  enum class Mode { kVertices, kEdges, kValues };
+
+  const PropertyGraph* graph_;
+  std::vector<VertexId> vertices_;
+  std::vector<EdgeId> edges_;
+  std::vector<sql::Value> values_;
+  Mode mode_ = Mode::kVertices;
+};
+
+/// \brief `g` — the traversal source.
+class GraphTraversalSource {
+ public:
+  explicit GraphTraversalSource(const PropertyGraph* graph) : graph_(graph) {}
+  Traversal V() const {
+    Traversal t(graph_);
+    t.V();
+    return t;
+  }
+  Traversal V(VertexId id) const {
+    Traversal t(graph_);
+    t.V(id);
+    return t;
+  }
+
+ private:
+  const PropertyGraph* graph_;
+};
+
+}  // namespace ofi::graph

@@ -1,0 +1,146 @@
+#include "multimodel/multimodel.h"
+
+namespace ofi::multimodel {
+
+Result<graph::PropertyGraph*> MultiModelDb::CreateGraph(const std::string& name) {
+  if (graphs_.count(name)) return Status::AlreadyExists("graph exists: " + name);
+  auto& g = graphs_[name];
+  g = std::make_unique<graph::PropertyGraph>();
+  return g.get();
+}
+
+Result<graph::PropertyGraph*> MultiModelDb::GetGraph(const std::string& name) {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return Status::NotFound("no graph: " + name);
+  return it->second.get();
+}
+
+Result<graph::GraphTraversalSource> MultiModelDb::Gremlin(const std::string& name) {
+  OFI_ASSIGN_OR_RETURN(graph::PropertyGraph * g, GetGraph(name));
+  return graph::GraphTraversalSource(g);
+}
+
+Result<timeseries::EventStore*> MultiModelDb::CreateEventStore(
+    const std::string& name, std::vector<sql::Column> value_columns) {
+  if (event_stores_.count(name)) {
+    return Status::AlreadyExists("event store exists: " + name);
+  }
+  auto& s = event_stores_[name];
+  s = std::make_unique<timeseries::EventStore>(std::move(value_columns));
+  return s.get();
+}
+
+Result<timeseries::EventStore*> MultiModelDb::GetEventStore(
+    const std::string& name) {
+  auto it = event_stores_.find(name);
+  if (it == event_stores_.end()) return Status::NotFound("no event store: " + name);
+  return it->second.get();
+}
+
+Result<timeseries::MetricStore*> MultiModelDb::CreateMetricStore(
+    const std::string& name) {
+  if (metric_stores_.count(name)) {
+    return Status::AlreadyExists("metric store exists: " + name);
+  }
+  auto& s = metric_stores_[name];
+  s = std::make_unique<timeseries::MetricStore>();
+  return s.get();
+}
+
+Result<timeseries::MetricStore*> MultiModelDb::GetMetricStore(
+    const std::string& name) {
+  auto it = metric_stores_.find(name);
+  if (it == metric_stores_.end()) {
+    return Status::NotFound("no metric store: " + name);
+  }
+  return it->second.get();
+}
+
+Result<spatial::SpatioTemporalIndex*> MultiModelDb::CreateSpatialIndex(
+    const std::string& name, double cell_size) {
+  if (spatial_.count(name)) {
+    return Status::AlreadyExists("spatial index exists: " + name);
+  }
+  auto& s = spatial_[name];
+  s = std::make_unique<spatial::SpatioTemporalIndex>(cell_size);
+  return s.get();
+}
+
+Result<spatial::SpatioTemporalIndex*> MultiModelDb::GetSpatialIndex(
+    const std::string& name) {
+  auto it = spatial_.find(name);
+  if (it == spatial_.end()) return Status::NotFound("no spatial index: " + name);
+  return it->second.get();
+}
+
+Result<vision::VisionStore*> MultiModelDb::CreateVisionStore(
+    const std::string& name) {
+  if (vision_.count(name)) return Status::AlreadyExists("vision store exists");
+  auto& v = vision_[name];
+  v = std::make_unique<vision::VisionStore>();
+  return v.get();
+}
+
+Result<vision::VisionStore*> MultiModelDb::GetVisionStore(const std::string& name) {
+  auto it = vision_.find(name);
+  if (it == vision_.end()) return Status::NotFound("no vision store: " + name);
+  return it->second.get();
+}
+
+Result<sql::PlanPtr> MultiModelDb::VisionTableExpr(const std::string& store,
+                                                   const std::string& alias) {
+  OFI_ASSIGN_OR_RETURN(vision::VisionStore * v, GetVisionStore(store));
+  return sql::MakeValues(v->AsTable(), alias);
+}
+
+Result<streaming::StreamEngine*> MultiModelDb::CreateStream(
+    const std::string& name, std::vector<sql::Column> value_columns) {
+  if (streams_.count(name)) return Status::AlreadyExists("stream exists");
+  std::vector<sql::Column> cols = {{"time", sql::TypeId::kTimestamp, ""}};
+  cols.insert(cols.end(), value_columns.begin(), value_columns.end());
+  auto& s = streams_[name];
+  s = std::make_unique<streaming::StreamEngine>(sql::Schema(std::move(cols)));
+  return s.get();
+}
+
+Result<streaming::StreamEngine*> MultiModelDb::GetStream(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return Status::NotFound("no stream: " + name);
+  return it->second.get();
+}
+
+sql::PlanPtr MultiModelDb::GraphTableExpr(
+    const graph::Traversal& traversal,
+    const std::vector<std::string>& property_cols,
+    const std::string& alias) const {
+  return sql::MakeValues(traversal.ToTable(property_cols), alias);
+}
+
+Result<sql::PlanPtr> MultiModelDb::TimeSeriesWindowExpr(
+    const std::string& store, timeseries::Timestamp now,
+    timeseries::Timestamp window_us, const std::string& alias) {
+  OFI_ASSIGN_OR_RETURN(timeseries::EventStore * s, GetEventStore(store));
+  return sql::MakeValues(s->Window(now, window_us), alias);
+}
+
+Result<sql::PlanPtr> MultiModelDb::SpatialBoxTimeExpr(
+    const std::string& index, const spatial::BoundingBox& box, int64_t from,
+    int64_t to, const std::string& alias) {
+  OFI_ASSIGN_OR_RETURN(spatial::SpatioTemporalIndex * s, GetSpatialIndex(index));
+  return sql::MakeValues(s->QueryBoxTimeTable(box, from, to), alias);
+}
+
+Result<sql::Table> MultiModelDb::Execute(const sql::PlanPtr& plan) {
+  sql::Executor exec(&catalog_);
+  OFI_ASSIGN_OR_RETURN(sql::Table result, exec.Execute(plan));
+  last_rows_processed_ = exec.rows_processed();
+  return result;
+}
+
+size_t TableByteSize(const sql::Table& table) {
+  size_t n = 0;
+  for (const auto& row : table.rows()) n += sql::RowByteSize(row);
+  return n;
+}
+
+}  // namespace ofi::multimodel

@@ -1,0 +1,112 @@
+/// \file multimodel.h
+/// \brief The multi-model database facade (paper §II-B, Fig. 4): one
+/// uniformed framework over a unified (relational) storage engine and the
+/// integrated runtime engines — relational, graph, time-series, spatial.
+/// Engine results enter relational plans as table expressions (VALUES
+/// nodes), the mechanism behind Example 1's
+///   with cars as (select * from gtimeseries(...)),
+///        suspects as (select * from ggraph(...))
+///   select ... from suspects s, cars c, car2cid cc where ...
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/traversal.h"
+#include "sql/executor.h"
+#include "sql/plan.h"
+#include "spatial/spatial.h"
+#include "streaming/streaming.h"
+#include "timeseries/timeseries.h"
+#include "vision/vision.h"
+
+namespace ofi::multimodel {
+
+/// \brief A single database instance hosting all data models.
+class MultiModelDb {
+ public:
+  // --- Relational model -------------------------------------------------------
+  sql::Catalog& catalog() { return catalog_; }
+  const sql::Catalog& catalog() const { return catalog_; }
+
+  /// Registers (or replaces) a relational table.
+  void RegisterTable(const std::string& name, sql::Table table) {
+    catalog_.Register(name, std::move(table));
+  }
+
+  // --- Graph model ------------------------------------------------------------
+  /// Creates a named property graph.
+  Result<graph::PropertyGraph*> CreateGraph(const std::string& name);
+  Result<graph::PropertyGraph*> GetGraph(const std::string& name);
+  /// `g` for a named graph.
+  Result<graph::GraphTraversalSource> Gremlin(const std::string& name);
+
+  // --- Time-series model --------------------------------------------------------
+  Result<timeseries::EventStore*> CreateEventStore(
+      const std::string& name, std::vector<sql::Column> value_columns);
+  Result<timeseries::EventStore*> GetEventStore(const std::string& name);
+  Result<timeseries::MetricStore*> CreateMetricStore(const std::string& name);
+  Result<timeseries::MetricStore*> GetMetricStore(const std::string& name);
+
+  // --- Vision model (the engine the paper plans to add; we include it) ---------
+  Result<vision::VisionStore*> CreateVisionStore(const std::string& name);
+  Result<vision::VisionStore*> GetVisionStore(const std::string& name);
+  /// gvision(store): every detection as a plan input for cross-model joins.
+  Result<sql::PlanPtr> VisionTableExpr(const std::string& store,
+                                       const std::string& alias);
+
+  // --- Streaming model (continuous query language, §II-B2) ---------------------
+  Result<streaming::StreamEngine*> CreateStream(const std::string& name,
+                                                std::vector<sql::Column> value_columns);
+  Result<streaming::StreamEngine*> GetStream(const std::string& name);
+
+  // --- Spatial model -------------------------------------------------------------
+  Result<spatial::SpatioTemporalIndex*> CreateSpatialIndex(const std::string& name,
+                                                           double cell_size = 1.0);
+  Result<spatial::SpatioTemporalIndex*> GetSpatialIndex(const std::string& name);
+
+  // --- Table expressions (the g* functions of the SQL extension) ---------------
+  /// ggraph(traversal): a finished traversal as a plan input.
+  sql::PlanPtr GraphTableExpr(const graph::Traversal& traversal,
+                              const std::vector<std::string>& property_cols,
+                              const std::string& alias) const;
+
+  /// gtimeseries(store, now - time < window): recent events as a plan input.
+  Result<sql::PlanPtr> TimeSeriesWindowExpr(const std::string& store,
+                                            timeseries::Timestamp now,
+                                            timeseries::Timestamp window_us,
+                                            const std::string& alias);
+
+  /// gspatial(index, box, [from,to)): observations as a plan input.
+  Result<sql::PlanPtr> SpatialBoxTimeExpr(const std::string& index,
+                                          const spatial::BoundingBox& box,
+                                          int64_t from, int64_t to,
+                                          const std::string& alias);
+
+  // --- Execution ---------------------------------------------------------------
+  /// Runs a plan against this database (single integrated plan covering all
+  /// engines — Fig. 4's "single plan" property).
+  Result<sql::Table> Execute(const sql::PlanPtr& plan);
+
+  /// Rows processed by the last Execute (work measure for benches).
+  uint64_t last_rows_processed() const { return last_rows_processed_; }
+
+ private:
+  sql::Catalog catalog_;
+  std::map<std::string, std::unique_ptr<graph::PropertyGraph>> graphs_;
+  std::map<std::string, std::unique_ptr<timeseries::EventStore>> event_stores_;
+  std::map<std::string, std::unique_ptr<timeseries::MetricStore>> metric_stores_;
+  std::map<std::string, std::unique_ptr<spatial::SpatioTemporalIndex>> spatial_;
+  std::map<std::string, std::unique_ptr<vision::VisionStore>> vision_;
+  std::map<std::string, std::unique_ptr<streaming::StreamEngine>> streams_;
+  uint64_t last_rows_processed_ = 0;
+};
+
+/// Total wire size of a table (bandwidth accounting for the multi-system
+/// comparison in experiment E5).
+size_t TableByteSize(const sql::Table& table);
+
+}  // namespace ofi::multimodel

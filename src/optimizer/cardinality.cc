@@ -1,0 +1,219 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optimizer/step_text.h"
+#include "sql/executor.h"
+
+namespace ofi::optimizer {
+namespace {
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+constexpr double kDefaultJoinSelectivity = 0.1;
+
+}  // namespace
+
+double CardinalityEstimator::Selectivity(const sql::Expr& pred,
+                                         const TableStats* stats) const {
+  using sql::ExprKind;
+  switch (pred.kind()) {
+    case ExprKind::kCompare: {
+      const auto& kids = pred.children();
+      // col <op> literal (either orientation).
+      const sql::Expr* col = nullptr;
+      const sql::Expr* lit = nullptr;
+      bool flipped = false;
+      if (kids[0]->kind() == ExprKind::kColumn &&
+          kids[1]->kind() == ExprKind::kLiteral) {
+        col = kids[0].get();
+        lit = kids[1].get();
+      } else if (kids[1]->kind() == ExprKind::kColumn &&
+                 kids[0]->kind() == ExprKind::kLiteral) {
+        col = kids[1].get();
+        lit = kids[0].get();
+        flipped = true;
+      } else {
+        // col = col within one input: correlation guess.
+        return pred.compare_op() == sql::CompareOp::kEq ? 0.05
+                                                        : kDefaultSelectivity;
+      }
+      const ColumnStats* cs =
+          stats ? stats->Column(col->column_name()) : nullptr;
+      if (cs == nullptr) return kDefaultSelectivity;
+      sql::CompareOp op = pred.compare_op();
+      if (flipped) {
+        switch (op) {
+          case sql::CompareOp::kLt: op = sql::CompareOp::kGt; break;
+          case sql::CompareOp::kLe: op = sql::CompareOp::kGe; break;
+          case sql::CompareOp::kGt: op = sql::CompareOp::kLt; break;
+          case sql::CompareOp::kGe: op = sql::CompareOp::kLe; break;
+          default: break;
+        }
+      }
+      const sql::Value& v = lit->literal();
+      switch (op) {
+        case sql::CompareOp::kEq: return cs->EqSelectivity(v);
+        case sql::CompareOp::kNe: return 1.0 - cs->EqSelectivity(v);
+        case sql::CompareOp::kLt: return cs->LtSelectivity(v);
+        case sql::CompareOp::kLe:
+          return cs->LtSelectivity(v) + cs->EqSelectivity(v);
+        case sql::CompareOp::kGt:
+          return std::max(0.0, 1.0 - cs->LtSelectivity(v) - cs->EqSelectivity(v));
+        case sql::CompareOp::kGe: return 1.0 - cs->LtSelectivity(v);
+      }
+      return kDefaultSelectivity;
+    }
+    case ExprKind::kLogical: {
+      double l = Selectivity(*pred.children()[0], stats);
+      double r = Selectivity(*pred.children()[1], stats);
+      // Independence assumption — the classical source of under-estimates
+      // on correlated predicates that the plan store corrects.
+      if (pred.logical_op() == sql::LogicalOp::kAnd) return l * r;
+      return l + r - l * r;
+    }
+    case ExprKind::kNot:
+      return 1.0 - Selectivity(*pred.children()[0], stats);
+    case ExprKind::kInList: {
+      const auto& kids = pred.children();
+      const ColumnStats* cs =
+          stats && kids[0]->kind() == ExprKind::kColumn
+              ? stats->Column(kids[0]->column_name())
+              : nullptr;
+      if (cs == nullptr) return kDefaultSelectivity;
+      double s = 0;
+      for (const auto& v : pred.in_list()) s += cs->EqSelectivity(v);
+      return std::min(1.0, s);
+    }
+    case ExprKind::kIsNull: {
+      const auto& kids = pred.children();
+      const ColumnStats* cs =
+          stats && kids[0]->kind() == ExprKind::kColumn
+              ? stats->Column(kids[0]->column_name())
+              : nullptr;
+      if (cs == nullptr || cs->num_values + cs->num_nulls == 0) return 0.01;
+      return static_cast<double>(cs->num_nulls) /
+             static_cast<double>(cs->num_values + cs->num_nulls);
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+double CardinalityEstimator::ColumnNdv(const std::string& column,
+                                       double fallback) const {
+  for (const auto& [table, ts] : stats_->all()) {
+    const ColumnStats* cs = ts.Column(column);
+    if (cs != nullptr && cs->ndv > 0) return static_cast<double>(cs->ndv);
+  }
+  return fallback;
+}
+
+double CardinalityEstimator::EstimateJoin(sql::PlanNode* node, double left,
+                                          double right) const {
+  std::vector<sql::ExprPtr> conjuncts;
+  sql::SplitConjuncts(node->predicate, &conjuncts);
+  double cross = left * right;
+  double card = cross;
+  bool any_equi = false;
+  for (const auto& c : conjuncts) {
+    if (c->kind() == sql::ExprKind::kCompare &&
+        c->compare_op() == sql::CompareOp::kEq &&
+        c->children()[0]->kind() == sql::ExprKind::kColumn &&
+        c->children()[1]->kind() == sql::ExprKind::kColumn) {
+      // Classic |L||R| / max(ndv(l), ndv(r)).
+      double ndv_l = ColumnNdv(c->children()[0]->column_name(),
+                               std::max(1.0, left));
+      double ndv_r = ColumnNdv(c->children()[1]->column_name(),
+                               std::max(1.0, right));
+      card /= std::max({ndv_l, ndv_r, 1.0});
+      any_equi = true;
+    } else {
+      card *= kDefaultJoinSelectivity;
+    }
+  }
+  if (conjuncts.empty()) return cross;
+  if (!any_equi) card = std::max(card, 1.0);
+  if (node->join_type == sql::JoinType::kLeftOuter) card = std::max(card, left);
+  if (node->join_type == sql::JoinType::kSemi) card = std::min(card, left);
+  return card;
+}
+
+double CardinalityEstimator::EstimateNode(sql::PlanNode* node) const {
+  using sql::PlanKind;
+  // Children first.
+  std::vector<double> child_rows;
+  for (auto& c : node->children) {
+    child_rows.push_back(EstimateNode(c.get()));
+  }
+
+  double est = 0;
+  switch (node->kind) {
+    case PlanKind::kScan: {
+      const TableStats* ts = stats_->Get(node->table_name);
+      double base = ts ? static_cast<double>(ts->num_rows) : 1000.0;
+      double sel = node->predicate ? Selectivity(*node->predicate, ts) : 1.0;
+      est = base * sel;
+      break;
+    }
+    case PlanKind::kFilter: {
+      // Filters above joins have no single base table; use the default
+      // per-conjunct selectivity against no stats.
+      est = child_rows[0] * Selectivity(*node->predicate, nullptr);
+      break;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+      est = child_rows[0];
+      break;
+    case PlanKind::kJoin:
+      est = EstimateJoin(node, child_rows[0], child_rows[1]);
+      break;
+    case PlanKind::kAggregate: {
+      if (node->group_by.empty()) {
+        est = 1;
+      } else {
+        double groups = 1;
+        for (const auto& g : node->group_by) {
+          groups *= ColumnNdv(g, 10.0);
+        }
+        est = std::min(groups, child_rows[0]);
+      }
+      break;
+    }
+    case PlanKind::kLimit:
+      est = std::min<double>(static_cast<double>(node->limit), child_rows[0]);
+      break;
+    case PlanKind::kSetOp:
+      switch (node->set_op) {
+        case sql::SetOpType::kUnionAll: est = child_rows[0] + child_rows[1]; break;
+        case sql::SetOpType::kUnion:
+          est = (child_rows[0] + child_rows[1]) * 0.9;
+          break;
+        case sql::SetOpType::kIntersect:
+          est = std::min(child_rows[0], child_rows[1]) * 0.5;
+          break;
+        case sql::SetOpType::kExcept: est = child_rows[0] * 0.5; break;
+      }
+      break;
+    case PlanKind::kValues:
+      est = node->values ? static_cast<double>(node->values->num_rows()) : 0;
+      break;
+  }
+  est = std::max(est, 0.0);
+
+  // Plan-store override: exact match on the canonical step text wins.
+  if (store_ != nullptr && IsCardinalityStep(node->kind)) {
+    if (auto learned = store_->LookupActual(StepText(*node))) {
+      est = *learned;
+    }
+  }
+  node->estimated_rows = est;
+  return est;
+}
+
+void CardinalityEstimator::Annotate(sql::PlanNode* node) const {
+  EstimateNode(node);
+}
+
+}  // namespace ofi::optimizer

@@ -1,0 +1,42 @@
+/// \file cardinality.h
+/// \brief Cardinality estimation: classic statistics-based estimates
+/// (histograms + independence assumption) with opportunistic plan-store
+/// overrides — the consumer half of the learning loop (paper §II-C).
+#pragma once
+
+#include "optimizer/plan_store.h"
+#include "optimizer/stats.h"
+#include "sql/plan.h"
+
+namespace ofi::optimizer {
+
+/// \brief Annotates plans with estimated row counts.
+class CardinalityEstimator {
+ public:
+  /// \param stats  ANALYZE output for base tables (required)
+  /// \param store  plan store; may be null (pure statistics mode)
+  CardinalityEstimator(const StatsRegistry* stats, PlanStore* store)
+      : stats_(stats), store_(store) {}
+
+  /// Fills `estimated_rows` on every node, bottom-up. For each
+  /// cardinality step the plan store is consulted first; statistics are the
+  /// fallback (paper: "if no relevant information can be found at the plan
+  /// store, the optimizer proceeds with its own estimates").
+  void Annotate(sql::PlanNode* node) const;
+
+  /// Selectivity of `pred` against a table's statistics (independence
+  /// assumption across conjuncts — deliberately classical).
+  double Selectivity(const sql::Expr& pred, const TableStats* stats) const;
+
+  /// Distinct-count estimate for a column, searched across base tables.
+  double ColumnNdv(const std::string& column, double fallback) const;
+
+ private:
+  double EstimateNode(sql::PlanNode* node) const;
+  double EstimateJoin(sql::PlanNode* node, double left, double right) const;
+
+  const StatsRegistry* stats_;
+  PlanStore* store_;
+};
+
+}  // namespace ofi::optimizer

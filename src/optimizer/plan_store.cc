@@ -1,0 +1,110 @@
+#include "optimizer/plan_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "optimizer/step_text.h"
+
+namespace ofi::optimizer {
+
+std::optional<double> PlanStore::LookupActual(const std::string& step_text) {
+  ++lookups_;
+  auto it = entries_.find(Md5::HexDigest(step_text));
+  if (it == entries_.end()) return std::nullopt;
+  ++hits_;
+  ++it->second.hits;
+  return it->second.actual;
+}
+
+void PlanStore::Put(const std::string& step_text, double estimated,
+                    double actual) {
+  StepEntry& e = entries_[Md5::HexDigest(step_text)];
+  e.step_text = step_text;
+  e.estimated = estimated;
+  e.actual = actual;
+  ++e.times_captured;
+}
+
+int PlanStore::CapturePlan(const sql::PlanNode& root) {
+  int captured = 0;
+  // Post-order walk: capture children first so a re-planned parent can
+  // already use corrected child cardinalities.
+  for (const auto& c : root.children) captured += CapturePlan(*c);
+  if (!IsCardinalityStep(root.kind)) return captured;
+  if (root.actual_rows < 0) return captured;  // not executed
+  double est = root.estimated_rows < 0 ? 0 : root.estimated_rows;
+  double differential =
+      std::abs(root.actual_rows - est) / std::max(1.0, est);
+  if (differential < capture_threshold_) return captured;
+  Put(StepText(root), est, root.actual_rows);
+  return captured + 1;
+}
+
+std::vector<const StepEntry*> PlanStore::Entries() const {
+  std::vector<const StepEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, e] : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(), [](const StepEntry* a, const StepEntry* b) {
+    return a->step_text < b->step_text;
+  });
+  return out;
+}
+
+std::string PlanStore::Serialize() const {
+  std::string out;
+  for (const StepEntry* e : Entries()) {
+    out += std::to_string(e->estimated) + "\t" + std::to_string(e->actual) +
+           "\t" + e->step_text + "\n";
+  }
+  return out;
+}
+
+Result<int> PlanStore::Deserialize(const std::string& data) {
+  int loaded = 0;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < data.size()) {
+    size_t end = data.find('\n', pos);
+    if (end == std::string::npos) end = data.size();
+    std::string line = data.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    size_t t1 = line.find('\t');
+    size_t t2 = t1 == std::string::npos ? std::string::npos
+                                        : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      return Status::Corruption("plan store line " + std::to_string(line_no) +
+                                ": expected est\\tact\\tstep");
+    }
+    char* endptr = nullptr;
+    std::string est_s = line.substr(0, t1);
+    std::string act_s = line.substr(t1 + 1, t2 - t1 - 1);
+    double est = std::strtod(est_s.c_str(), &endptr);
+    if (endptr == nullptr || *endptr != '\0') {
+      return Status::Corruption("plan store line " + std::to_string(line_no) +
+                                ": bad estimate");
+    }
+    double act = std::strtod(act_s.c_str(), &endptr);
+    if (endptr == nullptr || *endptr != '\0') {
+      return Status::Corruption("plan store line " + std::to_string(line_no) +
+                                ": bad actual");
+    }
+    Put(line.substr(t2 + 1), est, act);
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::string PlanStore::ToTableString() const {
+  std::string out;
+  out += "| Step Description | Estimate | Actual |\n";
+  for (const StepEntry* e : Entries()) {
+    out += "| " + e->step_text + " | " + std::to_string((int64_t)e->estimated) +
+           " | " + std::to_string((int64_t)e->actual) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace ofi::optimizer

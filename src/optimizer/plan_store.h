@@ -1,0 +1,79 @@
+/// \file plan_store.h
+/// \brief The learning optimizer's feedback cache (paper §II-C, Fig. 5).
+///
+/// Producer side: after execution, steps whose actual row count diverges
+/// from the estimate by more than a threshold are captured. Consumer side:
+/// at planning time the optimizer looks up each step's canonical text and,
+/// on a hit, uses the recorded actual cardinality instead of its own
+/// estimate. Keys are the MD5 of the step text (32 hex chars) so complex
+/// queries do not blow up key size; a hash collision can at worst return a
+/// wrong cardinality, which the paper argues is far less likely than a
+/// plain mis-estimate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/md5.h"
+#include "sql/plan.h"
+
+namespace ofi::optimizer {
+
+/// One captured step (one row of Table I).
+struct StepEntry {
+  std::string step_text;  // retained for diagnostics / the Table I printout
+  double estimated = 0;
+  double actual = 0;
+  uint64_t times_captured = 0;
+  uint64_t hits = 0;  // consumer lookups served
+};
+
+/// \brief The plan store.
+class PlanStore {
+ public:
+  /// \param capture_threshold minimum relative differential
+  ///        |actual - estimate| / max(1, estimate) for a step to be captured.
+  explicit PlanStore(double capture_threshold = 0.5)
+      : capture_threshold_(capture_threshold) {}
+
+  /// Consumer: cardinality for a step, if known. Counts lookups/hits.
+  std::optional<double> LookupActual(const std::string& step_text);
+
+  /// Producer: walks an *executed* plan (actual_rows filled) and captures
+  /// every cardinality step whose estimate was off by the threshold.
+  /// Returns the number of steps captured or refreshed.
+  int CapturePlan(const sql::PlanNode& root);
+
+  /// Unconditionally records one step (tests / manual seeding).
+  void Put(const std::string& step_text, double estimated, double actual);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+  double capture_threshold() const { return capture_threshold_; }
+
+  /// Entries ordered by step text — the Table I rendering.
+  std::vector<const StepEntry*> Entries() const;
+
+  /// Renders the store as the paper's Table I ("LOGICAL CANONICAL FORM").
+  std::string ToTableString() const;
+
+  // --- Persistence (the plan store outlives optimizer restarts) ---------------
+  /// Line-oriented text format: one entry per line,
+  /// `estimated<TAB>actual<TAB>step_text`.
+  std::string Serialize() const;
+  /// Loads entries produced by Serialize, merging into the current store
+  /// (same-step entries are replaced). Returns entries loaded; malformed
+  /// lines fail with Corruption naming the line.
+  Result<int> Deserialize(const std::string& data);
+
+ private:
+  double capture_threshold_;
+  std::map<std::string, StepEntry> entries_;  // md5 hex -> entry
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace ofi::optimizer

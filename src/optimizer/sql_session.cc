@@ -1,0 +1,75 @@
+#include "optimizer/sql_session.h"
+
+namespace ofi::optimizer {
+
+SqlSession::SqlSession(double capture_threshold)
+    : store_(capture_threshold < 0 ? 1e18 : capture_threshold),
+      learning_(capture_threshold >= 0) {}
+
+Result<sql::PlanPtr> SqlSession::PlanQuery(const sql::SelectStatement& stmt) {
+  Optimizer opt(&catalog_, &stats_, learning_ ? &store_ : nullptr);
+  sql::JoinPlanner join_planner =
+      [&opt](std::vector<sql::PlannedScan> scans,
+             std::vector<sql::ExprPtr> preds) -> Result<sql::PlanPtr> {
+    std::vector<ScanSpec> specs;
+    specs.reserve(scans.size());
+    for (auto& s : scans) {
+      specs.push_back(ScanSpec{s.table, s.predicate, s.alias});
+    }
+    return opt.PlanJoinQuery(std::move(specs), std::move(preds));
+  };
+  OFI_ASSIGN_OR_RETURN(sql::PlanPtr plan,
+                       sql::PlanSelect(stmt, catalog_, join_planner));
+  opt.Annotate(plan);
+  return plan;
+}
+
+Result<sql::Table> SqlSession::Execute(const std::string& statement) {
+  OFI_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(statement));
+  switch (stmt.kind) {
+    case sql::StatementKind::kCreateTable: {
+      const auto& create = *stmt.create_table;
+      if (catalog_.Contains(create.table)) {
+        return Status::AlreadyExists("table exists: " + create.table);
+      }
+      // Qualify columns with the table name for qualified references.
+      catalog_.Register(create.table,
+                        sql::Table(create.schema.WithQualifier(create.table)));
+      stats_.Put(create.table, TableStats{});
+      return sql::Table{};
+    }
+    case sql::StatementKind::kDropTable: {
+      OFI_RETURN_NOT_OK(catalog_.Drop(stmt.drop_table->table));
+      return sql::Table{};
+    }
+    case sql::StatementKind::kInsert: {
+      const auto& insert = *stmt.insert;
+      OFI_ASSIGN_OR_RETURN(auto table, catalog_.Get(insert.table));
+      for (const auto& row : insert.rows) {
+        OFI_RETURN_NOT_OK(table->Append(row));
+      }
+      // Keep statistics fresh enough for small interactive sessions.
+      stats_.Put(insert.table, AnalyzeTable(*table));
+      return sql::Table{};
+    }
+    case sql::StatementKind::kSelect: {
+      OFI_ASSIGN_OR_RETURN(sql::PlanPtr plan, PlanQuery(*stmt.select));
+      Optimizer opt(&catalog_, &stats_, learning_ ? &store_ : nullptr);
+      OFI_ASSIGN_OR_RETURN(sql::Table result, opt.ExecuteAndLearn(plan));
+      last_max_qerror_ = Optimizer::MaxQError(*plan);
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> SqlSession::Explain(const std::string& query) {
+  OFI_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(query));
+  if (stmt.kind != sql::StatementKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  OFI_ASSIGN_OR_RETURN(sql::PlanPtr plan, PlanQuery(*stmt.select));
+  return plan->ToString();
+}
+
+}  // namespace ofi::optimizer

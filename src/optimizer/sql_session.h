@@ -1,0 +1,53 @@
+/// \file sql_session.h
+/// \brief The text front door: parse -> rewrite -> cost-based plan ->
+/// execute -> learn, in one call. This is the integration point of the
+/// whole FI-MPPDB-style analytic stack: the SQL parser and rewriter
+/// (src/sql), the statistics + plan-store optimizer (§II-C), and the
+/// executor. DDL/DML (CREATE TABLE / INSERT / DROP) maintain the catalog
+/// and its statistics.
+#pragma once
+
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace ofi::optimizer {
+
+/// \brief A stateful SQL session over an in-memory catalog.
+class SqlSession {
+ public:
+  /// \param capture_threshold plan-store capture differential (§II-C);
+  ///        pass a negative value to disable learning entirely.
+  explicit SqlSession(double capture_threshold = 0.5);
+
+  /// Executes one statement. Queries return their result table; DDL/DML
+  /// return an empty table on success.
+  Result<sql::Table> Execute(const std::string& statement);
+
+  /// EXPLAIN: parse + plan + annotate, render the plan without executing.
+  Result<std::string> Explain(const std::string& query);
+
+  /// Re-ANALYZEs every table (after bulk loads).
+  void Analyze() { stats_.AnalyzeAll(catalog_); }
+
+  sql::Catalog& catalog() { return catalog_; }
+  const PlanStore& plan_store() const { return store_; }
+  PlanStore& mutable_plan_store() { return store_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+  /// The last executed query's max q-error (1.0 = perfect estimates).
+  double last_max_qerror() const { return last_max_qerror_; }
+
+ private:
+  Result<sql::PlanPtr> PlanQuery(const sql::SelectStatement& stmt);
+
+  sql::Catalog catalog_;
+  StatsRegistry stats_;
+  PlanStore store_;
+  bool learning_;
+  double last_max_qerror_ = 1.0;
+};
+
+}  // namespace ofi::optimizer

@@ -1,0 +1,126 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ofi::optimizer {
+
+double ColumnStats::EqSelectivity(const sql::Value& v) const {
+  if (num_values == 0 || ndv == 0) return 0.0;
+  // Out-of-range equality matches nothing (numeric columns).
+  if (type != sql::TypeId::kString && !v.is_null()) {
+    double d = v.AsDouble();
+    if (d < min || d > max) return 0.0;
+  }
+  // MCV hit: exact frequency.
+  uint64_t mcv_rows = 0;
+  for (const auto& [value, count] : mcv) {
+    if (value.Equals(v)) {
+      return static_cast<double>(count) / static_cast<double>(num_values);
+    }
+    mcv_rows += count;
+  }
+  // Miss: uniform over the values NOT covered by the MCV list.
+  uint64_t rest_rows = num_values > mcv_rows ? num_values - mcv_rows : 0;
+  uint64_t rest_ndv = ndv > mcv.size() ? ndv - mcv.size() : 1;
+  if (rest_rows == 0) return 0.0;
+  return static_cast<double>(rest_rows) / static_cast<double>(rest_ndv) /
+         static_cast<double>(num_values);
+}
+
+double ColumnStats::LtSelectivity(const sql::Value& v) const {
+  if (num_values == 0) return 0.0;
+  if (type == sql::TypeId::kString || v.is_null()) return 1.0 / 3.0;  // default
+  double d = v.AsDouble();
+  if (d <= min) return 0.0;
+  if (d > max) return 1.0;
+  if (bounds.empty()) {
+    return max > min ? (d - min) / (max - min) : 0.5;
+  }
+  // Equi-depth: each bucket holds 1/bounds.size() of the rows; interpolate
+  // linearly inside the bucket containing d.
+  double per_bucket = 1.0 / static_cast<double>(bounds.size());
+  double lo = min;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    double hi = bounds[i];
+    if (d <= hi) {
+      double frac = hi > lo ? (d - lo) / (hi - lo) : 1.0;
+      return per_bucket * (static_cast<double>(i) + frac);
+    }
+    lo = hi;
+  }
+  return 1.0;
+}
+
+const ColumnStats* TableStats::Column(const std::string& name) const {
+  auto it = columns.find(name);
+  if (it != columns.end()) return &it->second;
+  // Accept qualified lookups ("OLAP.T1.B1" -> "B1").
+  auto dot = name.rfind('.');
+  if (dot != std::string::npos) {
+    it = columns.find(name.substr(dot + 1));
+    if (it != columns.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets,
+                        size_t mcv_size) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  const sql::Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats cs;
+    cs.type = schema.column(c).type;
+    std::vector<double> numeric;
+    std::unordered_map<sql::Value, uint64_t> frequencies;
+    for (const auto& row : table.rows()) {
+      const sql::Value& v = row[c];
+      if (v.is_null()) {
+        ++cs.num_nulls;
+        continue;
+      }
+      ++cs.num_values;
+      ++frequencies[v];
+      if (v.type() != sql::TypeId::kString && v.type() != sql::TypeId::kBool) {
+        numeric.push_back(v.AsDouble());
+      }
+    }
+    cs.ndv = frequencies.size();
+    // MCV list: the mcv_size most frequent values, kept only when they are
+    // actually skewed (frequency above the uniform expectation).
+    if (!frequencies.empty() && mcv_size > 0) {
+      std::vector<std::pair<sql::Value, uint64_t>> sorted(frequencies.begin(),
+                                                          frequencies.end());
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      double uniform = static_cast<double>(cs.num_values) /
+                       static_cast<double>(cs.ndv);
+      for (size_t i = 0; i < sorted.size() && cs.mcv.size() < mcv_size; ++i) {
+        if (static_cast<double>(sorted[i].second) <= uniform * 1.5) break;
+        cs.mcv.push_back(sorted[i]);
+      }
+    }
+    if (!numeric.empty()) {
+      std::sort(numeric.begin(), numeric.end());
+      cs.min = numeric.front();
+      cs.max = numeric.back();
+      size_t buckets = std::min(histogram_buckets, numeric.size());
+      for (size_t b = 1; b <= buckets; ++b) {
+        size_t idx = b * numeric.size() / buckets;
+        cs.bounds.push_back(numeric[std::min(idx, numeric.size() - 1)]);
+      }
+    }
+    stats.columns[schema.column(c).name] = std::move(cs);
+  }
+  return stats;
+}
+
+void StatsRegistry::AnalyzeAll(const sql::Catalog& catalog) {
+  for (const auto& name : catalog.TableNames()) {
+    auto t = catalog.Get(name);
+    if (t.ok()) Put(name, AnalyzeTable(**t));
+  }
+}
+
+}  // namespace ofi::optimizer

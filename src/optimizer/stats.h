@@ -1,0 +1,71 @@
+/// \file stats.h
+/// \brief Classic optimizer statistics: row counts, per-column min/max,
+/// distinct counts and equi-depth histograms. These drive the *traditional*
+/// cardinality estimates whose errors the learning component corrects
+/// (paper §II-C).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/table.h"
+
+namespace ofi::optimizer {
+
+/// \brief Statistics for one column.
+struct ColumnStats {
+  sql::TypeId type = sql::TypeId::kNull;
+  uint64_t num_values = 0;   // non-null count
+  uint64_t num_nulls = 0;
+  uint64_t ndv = 0;          // number of distinct values
+  double min = 0;            // numeric columns only
+  double max = 0;
+  /// Equi-depth histogram bucket upper bounds (numeric columns). Each of the
+  /// `bounds.size()` buckets holds ~num_values/bounds.size() rows.
+  std::vector<double> bounds;
+  /// Most common values with exact frequencies — the standard defense
+  /// against skew, where uniform-within-ndv misestimates badly.
+  std::vector<std::pair<sql::Value, uint64_t>> mcv;
+
+  /// Fraction of rows with value == v: exact for MCVs, uniform over the
+  /// remaining (non-MCV) values otherwise.
+  double EqSelectivity(const sql::Value& v) const;
+  /// Fraction of rows with value < v (histogram interpolation).
+  double LtSelectivity(const sql::Value& v) const;
+};
+
+/// \brief Statistics for one table.
+struct TableStats {
+  uint64_t num_rows = 0;
+  std::map<std::string, ColumnStats> columns;  // by bare column name
+
+  const ColumnStats* Column(const std::string& name) const;
+};
+
+/// Computes full statistics for a table (ANALYZE).
+TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets = 32,
+                        size_t mcv_size = 8);
+
+/// \brief Named stats registry the optimizer consults.
+class StatsRegistry {
+ public:
+  void Put(const std::string& table, TableStats stats) {
+    stats_[table] = std::move(stats);
+  }
+  const TableStats* Get(const std::string& table) const {
+    auto it = stats_.find(table);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  /// ANALYZEs every table in `catalog`.
+  void AnalyzeAll(const sql::Catalog& catalog);
+
+  const std::map<std::string, TableStats>& all() const { return stats_; }
+
+ private:
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace ofi::optimizer

@@ -1,0 +1,93 @@
+#include "optimizer/step_text.h"
+
+#include <algorithm>
+
+namespace ofi::optimizer {
+
+bool IsCardinalityStep(sql::PlanKind kind) {
+  switch (kind) {
+    case sql::PlanKind::kScan:
+    case sql::PlanKind::kFilter:
+    case sql::PlanKind::kJoin:
+    case sql::PlanKind::kAggregate:
+    case sql::PlanKind::kSetOp:
+    case sql::PlanKind::kLimit:
+      return true;
+    case sql::PlanKind::kProject:
+    case sql::PlanKind::kSort:
+    case sql::PlanKind::kValues:
+      return false;
+  }
+  return false;
+}
+
+std::string StepText(const sql::PlanNode& node) {
+  using sql::PlanKind;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      std::string out = "SCAN(" + node.table_name;
+      if (node.predicate) {
+        out += ", PREDICATE(" + node.predicate->ToCanonicalString() + ")";
+      }
+      return out + ")";
+    }
+    case PlanKind::kFilter:
+      return "FILTER(" + StepText(*node.children[0]) + ", PREDICATE(" +
+             node.predicate->ToCanonicalString() + "))";
+    case PlanKind::kJoin: {
+      // Order join children so A⋈B and B⋈A share one entry. Outer joins and
+      // semijoins are not symmetric, so only inner joins get reordered.
+      std::string l = StepText(*node.children[0]);
+      std::string r = StepText(*node.children[1]);
+      if (node.join_type == sql::JoinType::kInner && r < l) std::swap(l, r);
+      std::string tag = node.join_type == sql::JoinType::kInner     ? "JOIN"
+                        : node.join_type == sql::JoinType::kSemi    ? "SEMIJOIN"
+                                                                    : "LEFTJOIN";
+      std::string out = tag + "(" + l + ", " + r;
+      if (node.predicate) {
+        out += ", PREDICATE(" + node.predicate->ToCanonicalString() + ")";
+      }
+      return out + ")";
+    }
+    case PlanKind::kAggregate: {
+      std::string out = "AGG(" + StepText(*node.children[0]);
+      if (!node.group_by.empty()) {
+        std::vector<std::string> cols = node.group_by;
+        std::sort(cols.begin(), cols.end());
+        out += ", GROUPBY(";
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (i) out += ",";
+          out += cols[i];
+        }
+        out += ")";
+      }
+      return out + ")";
+    }
+    case PlanKind::kSetOp: {
+      std::string l = StepText(*node.children[0]);
+      std::string r = StepText(*node.children[1]);
+      const char* tag = nullptr;
+      bool symmetric = false;
+      switch (node.set_op) {
+        case sql::SetOpType::kUnionAll: tag = "UNIONALL"; symmetric = true; break;
+        case sql::SetOpType::kUnion: tag = "UNION"; symmetric = true; break;
+        case sql::SetOpType::kIntersect: tag = "INTERSECT"; symmetric = true; break;
+        case sql::SetOpType::kExcept: tag = "EXCEPT"; break;
+      }
+      if (symmetric && r < l) std::swap(l, r);
+      return std::string(tag) + "(" + l + ", " + r + ")";
+    }
+    case PlanKind::kLimit:
+      return "LIMIT(" + StepText(*node.children[0]) + ", " +
+             std::to_string(node.limit) + ")";
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+      // Cardinality-neutral: transparent for matching purposes.
+      return StepText(*node.children[0]);
+    case PlanKind::kValues:
+      return "VALUES(" + node.alias + ")";
+  }
+  return "?";
+}
+
+}  // namespace ofi::optimizer

@@ -1,0 +1,33 @@
+/// \file step_text.h
+/// \brief The paper's "logical canonical form" (§II-C, Table I): every
+/// cardinality-affecting plan step renders to a prefix expression over
+/// *logical* operators — SCAN instead of index/seq scan, JOIN instead of
+/// hash/NL join — with deterministically ordered predicates and join
+/// children, so the same (sub)query always produces the same text
+/// regardless of physical plan, predicate order or join input order.
+///
+/// Example (Table I):
+///   SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))
+///   JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)), SCAN(OLAP.T2),
+///        PREDICATE(OLAP.T1.A1=OLAP.T2.A2))
+#pragma once
+
+#include <string>
+
+#include "sql/plan.h"
+
+namespace ofi::optimizer {
+
+/// Canonical step text for the subtree rooted at `node`.
+///
+/// Cardinality-neutral operators (PROJECT, SORT) are transparent: their
+/// step text is their child's, so a JOIN over a projected scan matches the
+/// same JOIN over the bare scan.
+std::string StepText(const sql::PlanNode& node);
+
+/// True if this operator kind affects cardinality and is therefore captured
+/// into the plan store (scans, filters, joins, aggregations, set operations
+/// and limits — per the paper's list).
+bool IsCardinalityStep(sql::PlanKind kind);
+
+}  // namespace ofi::optimizer

@@ -1,0 +1,135 @@
+#include "spatial/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofi::spatial {
+
+double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+GridIndex::CellKey GridIndex::CellFor(const Point& p) const {
+  return {static_cast<int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void GridIndex::Insert(int64_t id, Point p) {
+  points_[id] = p;
+  cells_[CellFor(p)].push_back(id);
+}
+
+Status GridIndex::Remove(int64_t id) {
+  auto it = points_.find(id);
+  if (it == points_.end()) return Status::NotFound("no point " + std::to_string(id));
+  auto& cell = cells_[CellFor(it->second)];
+  cell.erase(std::remove(cell.begin(), cell.end(), id), cell.end());
+  points_.erase(it);
+  return Status::OK();
+}
+
+void GridIndex::Upsert(int64_t id, Point p) {
+  (void)Remove(id);
+  Insert(id, p);
+}
+
+Result<Point> GridIndex::Get(int64_t id) const {
+  auto it = points_.find(id);
+  if (it == points_.end()) return Status::NotFound("no point " + std::to_string(id));
+  return it->second;
+}
+
+std::vector<int64_t> GridIndex::QueryBox(const BoundingBox& box) const {
+  std::vector<int64_t> out;
+  int64_t cx0 = static_cast<int64_t>(std::floor(box.min_x / cell_size_));
+  int64_t cx1 = static_cast<int64_t>(std::floor(box.max_x / cell_size_));
+  int64_t cy0 = static_cast<int64_t>(std::floor(box.min_y / cell_size_));
+  int64_t cy1 = static_cast<int64_t>(std::floor(box.max_y / cell_size_));
+  for (int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      auto it = cells_.find({cx, cy});
+      if (it == cells_.end()) continue;
+      for (int64_t id : it->second) {
+        if (box.Contains(points_.at(id))) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> GridIndex::QueryRadius(const Point& center,
+                                            double radius) const {
+  BoundingBox box{center.x - radius, center.y - radius, center.x + radius,
+                  center.y + radius};
+  std::vector<int64_t> out;
+  for (int64_t id : QueryBox(box)) {
+    if (DistanceSquared(points_.at(id), center) <= radius * radius) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> GridIndex::Nearest(const Point& center, size_t k) const {
+  if (points_.empty() || k == 0) return {};
+  // Expanding ring search: widen the radius until >= k candidates, then sort.
+  double radius = cell_size_;
+  std::vector<int64_t> candidates;
+  while (candidates.size() < k && candidates.size() < points_.size()) {
+    candidates = QueryRadius(center, radius);
+    radius *= 2;
+    if (radius > 1e12) break;  // degenerate coordinates guard
+  }
+  if (candidates.size() < k) {
+    candidates.clear();
+    for (const auto& [id, p] : points_) candidates.push_back(id);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int64_t a, int64_t b) {
+    double da = DistanceSquared(points_.at(a), center);
+    double db = DistanceSquared(points_.at(b), center);
+    return da != db ? da < db : a < b;
+  });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+void SpatioTemporalIndex::Insert(int64_t id, Point p, int64_t ts) {
+  int64_t obs_idx = static_cast<int64_t>(observations_.size());
+  observations_.push_back(Observation{id, p, ts});
+  grid_.Insert(obs_idx, p);
+}
+
+std::vector<int64_t> SpatioTemporalIndex::QueryBoxTime(const BoundingBox& box,
+                                                       int64_t from,
+                                                       int64_t to) const {
+  std::vector<int64_t> out;
+  for (int64_t obs_idx : grid_.QueryBox(box)) {
+    const Observation& o = observations_[obs_idx];
+    if (o.ts >= from && o.ts < to) out.push_back(obs_idx);
+  }
+  return out;
+}
+
+sql::Table SpatioTemporalIndex::QueryBoxTimeTable(const BoundingBox& box,
+                                                  int64_t from, int64_t to) const {
+  sql::Table t{sql::Schema({{"obs", sql::TypeId::kInt64, ""},
+                            {"object_id", sql::TypeId::kInt64, ""},
+                            {"x", sql::TypeId::kDouble, ""},
+                            {"y", sql::TypeId::kDouble, ""},
+                            {"time", sql::TypeId::kTimestamp, ""}})};
+  for (int64_t obs_idx : QueryBoxTime(box, from, to)) {
+    const Observation& o = observations_[obs_idx];
+    t.mutable_rows().push_back({sql::Value(obs_idx), sql::Value(o.object_id),
+                                sql::Value(o.p.x), sql::Value(o.p.y),
+                                sql::Value::Timestamp(o.ts)});
+  }
+  return t;
+}
+
+}  // namespace ofi::spatial

@@ -1,0 +1,107 @@
+/// \file spatial.h
+/// \brief The spatial runtime engine (paper §II-B): 2-D points under a
+/// uniform grid index with bounding-box, radius and k-nearest-neighbour
+/// queries, plus a spatio-temporal index (point + timestamp) supporting the
+/// "spatial-temporal synthesized processing" requirement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/table.h"
+
+namespace ofi::spatial {
+
+/// A 2-D point (planar coordinates; callers pick the projection).
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+/// Axis-aligned bounding box (inclusive).
+struct BoundingBox {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Intersects(const BoundingBox& o) const {
+    return min_x <= o.max_x && max_x >= o.min_x && min_y <= o.max_y &&
+           max_y >= o.min_y;
+  }
+};
+
+double DistanceSquared(const Point& a, const Point& b);
+double Distance(const Point& a, const Point& b);
+
+/// \brief A uniform grid index over (id, point) entries.
+class GridIndex {
+ public:
+  /// \param cell_size side length of a grid cell (in coordinate units).
+  explicit GridIndex(double cell_size = 1.0) : cell_size_(cell_size) {}
+
+  void Insert(int64_t id, Point p);
+  /// Removes one entry; NotFound if absent.
+  Status Remove(int64_t id);
+  /// Moves an existing entry (upsert semantics).
+  void Upsert(int64_t id, Point p);
+  Result<Point> Get(int64_t id) const;
+
+  /// Ids inside the box.
+  std::vector<int64_t> QueryBox(const BoundingBox& box) const;
+  /// Ids within `radius` of `center`.
+  std::vector<int64_t> QueryRadius(const Point& center, double radius) const;
+  /// The k nearest ids to `center` (expanding ring search over the grid).
+  std::vector<int64_t> Nearest(const Point& center, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  using CellKey = std::pair<int64_t, int64_t>;
+  struct CellHash {
+    size_t operator()(const CellKey& c) const {
+      return std::hash<int64_t>{}(c.first) * 1099511628211ULL ^
+             std::hash<int64_t>{}(c.second);
+    }
+  };
+
+  CellKey CellFor(const Point& p) const;
+
+  double cell_size_;
+  std::unordered_map<int64_t, Point> points_;
+  std::unordered_map<CellKey, std::vector<int64_t>, CellHash> cells_;
+};
+
+/// \brief Spatio-temporal entries: (id, point, timestamp). Supports the
+/// combined "where were these objects between t1 and t2 inside this box"
+/// query that autonomous-vehicle analytics need (§II-B1).
+class SpatioTemporalIndex {
+ public:
+  explicit SpatioTemporalIndex(double cell_size = 1.0) : grid_(cell_size) {}
+
+  void Insert(int64_t id, Point p, int64_t ts);
+
+  /// Observation ids in `box` with from <= ts < to.
+  std::vector<int64_t> QueryBoxTime(const BoundingBox& box, int64_t from,
+                                    int64_t to) const;
+
+  /// Materializes matching observations as (id, object_id, x, y, time).
+  sql::Table QueryBoxTimeTable(const BoundingBox& box, int64_t from,
+                               int64_t to) const;
+
+  size_t size() const { return observations_.size(); }
+
+ private:
+  struct Observation {
+    int64_t object_id;
+    Point p;
+    int64_t ts;
+  };
+  GridIndex grid_;  // keyed by observation index
+  std::vector<Observation> observations_;
+};
+
+}  // namespace ofi::spatial

@@ -1,0 +1,90 @@
+/// \file ast.h
+/// \brief Parsed SQL statements. The parser produces these; planning (naive
+/// or cost-based) turns them into PlanNode trees.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+#include "sql/plan.h"
+#include "sql/schema.h"
+
+namespace ofi::sql {
+
+/// A FROM-clause relation.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = table name itself
+};
+
+/// An explicit JOIN clause (INNER / LEFT OUTER) with its ON predicate.
+struct JoinClause {
+  TableRef table;
+  JoinType type = JoinType::kInner;
+  ExprPtr on;
+};
+
+/// One select-list item: either a plain expression or an aggregate call.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc agg = AggFunc::kCount;
+  ExprPtr expr;  // aggregate argument (null = COUNT(*)) or the plain expr
+  std::string name;  // output name (AS alias or derived)
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A SELECT statement, possibly chained with a set operation.
+struct SelectStatement {
+  bool select_star = false;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<std::string> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+  size_t offset = 0;
+
+  // Set operation chaining: `this` <set_op> *set_rhs.
+  std::optional<SetOpType> set_op;
+  std::unique_ptr<SelectStatement> set_rhs;
+};
+
+/// INSERT INTO t VALUES (...), (...).
+struct InsertStatement {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+/// CREATE TABLE t (col TYPE, ...).
+struct CreateTableStatement {
+  std::string table;
+  Schema schema;
+};
+
+/// DROP TABLE t.
+struct DropTableStatement {
+  std::string table;
+};
+
+enum class StatementKind : uint8_t { kSelect, kInsert, kCreateTable, kDropTable };
+
+/// A parsed statement (tagged union; exactly one member is set).
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<DropTableStatement> drop_table;
+};
+
+}  // namespace ofi::sql

@@ -1,0 +1,455 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ofi::sql {
+namespace {
+
+size_t HashRow(const Row& row, const std::vector<size_t>& cols) {
+  size_t h = 0x811C9DC5;
+  for (size_t c : cols) {
+    h = h * 1099511628211ULL ^ row[c].Hash();
+  }
+  return h;
+}
+
+bool RowKeysEqual(const Row& a, const std::vector<size_t>& acols, const Row& b,
+                  const std::vector<size_t>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (!a[acols[i]].Equals(b[bcols[i]])) return false;
+  }
+  return true;
+}
+
+size_t HashWholeRow(const Row& row) {
+  size_t h = 0x811C9DC5;
+  for (const auto& v : row) h = h * 1099511628211ULL ^ v.Hash();
+  return h;
+}
+
+struct WholeRowHash {
+  size_t operator()(const Row& r) const { return HashWholeRow(r); }
+};
+struct WholeRowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Infers an expression's output type by probing the first row (NULL-typed
+/// when the input is empty — consumers treat unknown as NULL-compatible).
+TypeId InferType(const Expr& e, const Table& input) {
+  if (input.num_rows() == 0) return TypeId::kNull;
+  return e.Eval(input.rows().front()).type();
+}
+
+}  // namespace
+
+void SplitConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out) {
+  if (!pred) return;
+  if (pred->kind() == ExprKind::kLogical &&
+      pred->logical_op() == LogicalOp::kAnd) {
+    SplitConjuncts(pred->children()[0], out);
+    SplitConjuncts(pred->children()[1], out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+bool IsEquiJoinPredicate(const Expr& e, const Schema& left, const Schema& right,
+                         std::string* left_col, std::string* right_col) {
+  if (e.kind() != ExprKind::kCompare || e.compare_op() != CompareOp::kEq) {
+    return false;
+  }
+  const auto& kids = e.children();
+  if (kids[0]->kind() != ExprKind::kColumn || kids[1]->kind() != ExprKind::kColumn) {
+    return false;
+  }
+  const std::string& a = kids[0]->column_name();
+  const std::string& b = kids[1]->column_name();
+  bool a_left = left.IndexOf(a).ok(), a_right = right.IndexOf(a).ok();
+  bool b_left = left.IndexOf(b).ok(), b_right = right.IndexOf(b).ok();
+  if (a_left && b_right && !(a_right && b_left)) {
+    *left_col = a;
+    *right_col = b;
+    return true;
+  }
+  if (b_left && a_right) {
+    *left_col = b;
+    *right_col = a;
+    return true;
+  }
+  return false;
+}
+
+Result<Table> Executor::Execute(const PlanPtr& plan) {
+  rows_processed_ = 0;
+  if (!plan) return Status::InvalidArgument("null plan");
+  return ExecNode(plan.get());
+}
+
+Result<Table> Executor::ExecNode(const PlanNode* node) {
+  Result<Table> result = [&]() -> Result<Table> {
+    switch (node->kind) {
+      case PlanKind::kScan: return ExecScan(node);
+      case PlanKind::kFilter: return ExecFilter(node);
+      case PlanKind::kProject: return ExecProject(node);
+      case PlanKind::kJoin: return ExecJoin(node);
+      case PlanKind::kAggregate: return ExecAggregate(node);
+      case PlanKind::kSort: return ExecSort(node);
+      case PlanKind::kLimit: return ExecLimit(node);
+      case PlanKind::kSetOp: return ExecSetOp(node);
+      case PlanKind::kValues: {
+        Table t = *node->values;
+        if (!node->alias.empty()) {
+          t = Table(t.schema().WithQualifier(node->alias),
+                    std::move(t.mutable_rows()));
+        }
+        return t;
+      }
+    }
+    return Status::Internal("unknown plan kind");
+  }();
+  if (result.ok()) {
+    const_cast<PlanNode*>(node)->actual_rows =
+        static_cast<double>(result.ValueOrDie().num_rows());
+    rows_processed_ += result.ValueOrDie().num_rows();
+  }
+  return result;
+}
+
+Result<Table> Executor::ExecScan(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(std::shared_ptr<Table> src, catalog_->Get(node->table_name));
+  Schema schema = node->alias.empty() ? src->schema()
+                                      : src->schema().WithQualifier(node->alias);
+  Table out(schema);
+  if (node->predicate) {
+    OFI_RETURN_NOT_OK(node->predicate->Bind(schema));
+  }
+  for (const auto& row : src->rows()) {
+    if (node->predicate) {
+      Value v = node->predicate->Eval(row);
+      if (v.is_null() || !v.AsBool()) continue;
+    }
+    out.mutable_rows().push_back(row);
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecFilter(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table in, ExecNode(node->children[0].get()));
+  OFI_RETURN_NOT_OK(node->predicate->Bind(in.schema()));
+  Table out(in.schema());
+  for (auto& row : in.mutable_rows()) {
+    Value v = node->predicate->Eval(row);
+    if (!v.is_null() && v.AsBool()) out.mutable_rows().push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecProject(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table in, ExecNode(node->children[0].get()));
+  std::vector<Column> cols;
+  for (size_t i = 0; i < node->projections.size(); ++i) {
+    OFI_RETURN_NOT_OK(node->projections[i]->Bind(in.schema()));
+    std::string name = i < node->projection_names.size()
+                           ? node->projection_names[i]
+                           : "col" + std::to_string(i);
+    cols.push_back(Column{name, InferType(*node->projections[i], in), ""});
+  }
+  Table out(Schema(std::move(cols)));
+  out.mutable_rows().reserve(in.num_rows());
+  for (const auto& row : in.rows()) {
+    Row r;
+    r.reserve(node->projections.size());
+    for (const auto& e : node->projections) r.push_back(e->Eval(row));
+    out.mutable_rows().push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecJoin(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table left, ExecNode(node->children[0].get()));
+  OFI_ASSIGN_OR_RETURN(Table right, ExecNode(node->children[1].get()));
+  Schema out_schema = left.schema().Concat(right.schema());
+
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(node->predicate, &conjuncts);
+
+  // Separate equi-join keys from residual predicates.
+  std::vector<size_t> lkeys, rkeys;
+  std::vector<ExprPtr> residual;
+  for (const auto& c : conjuncts) {
+    std::string lc, rc;
+    if (IsEquiJoinPredicate(*c, left.schema(), right.schema(), &lc, &rc)) {
+      auto li = left.schema().IndexOf(lc);
+      auto ri = right.schema().IndexOf(rc);
+      if (li.ok() && ri.ok()) {
+        lkeys.push_back(*li);
+        rkeys.push_back(*ri);
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  ExprPtr residual_pred = ConjoinAll(residual);
+  if (residual_pred) OFI_RETURN_NOT_OK(residual_pred->Bind(out_schema));
+
+  // Semi joins only emit left rows, so their output schema is the left's.
+  Table out(node->join_type == JoinType::kSemi ? left.schema() : out_schema);
+  auto emit = [&](const Row& l, const Row& r) {
+    Row joined = l;
+    joined.insert(joined.end(), r.begin(), r.end());
+    if (residual_pred) {
+      Value v = residual_pred->Eval(joined);
+      if (v.is_null() || !v.AsBool()) return false;
+    }
+    if (node->join_type == JoinType::kSemi) {
+      out.mutable_rows().push_back(l);
+    } else {
+      out.mutable_rows().push_back(std::move(joined));
+    }
+    return true;
+  };
+
+  if (!lkeys.empty()) {
+    // Hash join: build on right, probe with left.
+    std::unordered_multimap<size_t, size_t> build;
+    build.reserve(right.num_rows() * 2);
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      build.emplace(HashRow(right.rows()[i], rkeys), i);
+    }
+    for (const auto& lrow : left.rows()) {
+      bool any_null = false;
+      for (size_t k : lkeys) any_null |= lrow[k].is_null();
+      bool matched = false;
+      if (!any_null) {
+        auto range = build.equal_range(HashRow(lrow, lkeys));
+        for (auto it = range.first; it != range.second; ++it) {
+          const Row& rrow = right.rows()[it->second];
+          if (!RowKeysEqual(lrow, lkeys, rrow, rkeys)) continue;
+          matched |= emit(lrow, rrow);
+          if (matched && node->join_type == JoinType::kSemi) break;
+        }
+      }
+      if (!matched && node->join_type == JoinType::kLeftOuter) {
+        Row joined = lrow;
+        joined.resize(out_schema.num_columns(), Value::Null());
+        out.mutable_rows().push_back(std::move(joined));
+      }
+    }
+  } else {
+    // Nested loop join.
+    for (const auto& lrow : left.rows()) {
+      bool matched = false;
+      for (const auto& rrow : right.rows()) {
+        matched |= emit(lrow, rrow);
+        if (matched && node->join_type == JoinType::kSemi) break;
+      }
+      if (!matched && node->join_type == JoinType::kLeftOuter) {
+        Row joined = lrow;
+        joined.resize(out_schema.num_columns(), Value::Null());
+        out.mutable_rows().push_back(std::move(joined));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecAggregate(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table in, ExecNode(node->children[0].get()));
+
+  std::vector<size_t> group_idx;
+  std::vector<Column> out_cols;
+  for (const auto& g : node->group_by) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, in.schema().IndexOf(g));
+    group_idx.push_back(idx);
+    out_cols.push_back(in.schema().column(idx));
+  }
+  for (const auto& a : node->aggregates) {
+    if (a.arg) OFI_RETURN_NOT_OK(a.arg->Bind(in.schema()));
+    TypeId t = a.func == AggFunc::kCount
+                   ? TypeId::kInt64
+                   : (a.func == AggFunc::kAvg
+                          ? TypeId::kDouble
+                          : (a.arg ? InferType(*a.arg, in) : TypeId::kInt64));
+    out_cols.push_back(Column{a.name, t, ""});
+  }
+
+  struct AggState {
+    Row group_key;
+    std::vector<int64_t> counts;
+    std::vector<Value> accum;  // SUM/MIN/MAX accumulators
+  };
+  std::unordered_map<size_t, std::vector<AggState>> groups;
+  size_t num_groups = 0;
+
+  for (const auto& row : in.rows()) {
+    size_t h = HashRow(row, group_idx);
+    auto& bucket = groups[h];
+    AggState* state = nullptr;
+    for (auto& s : bucket) {
+      bool eq = true;
+      for (size_t i = 0; i < group_idx.size(); ++i) {
+        if (!s.group_key[i].Equals(row[group_idx[i]])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        state = &s;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      bucket.push_back(AggState{});
+      state = &bucket.back();
+      for (size_t gi : group_idx) state->group_key.push_back(row[gi]);
+      state->counts.assign(node->aggregates.size(), 0);
+      state->accum.assign(node->aggregates.size(), Value::Null());
+      ++num_groups;
+    }
+    for (size_t ai = 0; ai < node->aggregates.size(); ++ai) {
+      const AggSpec& spec = node->aggregates[ai];
+      Value v = spec.arg ? spec.arg->Eval(row) : Value(int64_t{1});
+      if (v.is_null()) continue;  // SQL aggregates skip NULLs
+      state->counts[ai]++;
+      Value& acc = state->accum[ai];
+      switch (spec.func) {
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (acc.is_null()) {
+            acc = v;
+          } else if (acc.type() == TypeId::kDouble || v.type() == TypeId::kDouble) {
+            acc = Value(acc.AsDouble() + v.AsDouble());
+          } else {
+            acc = Value(acc.AsInt() + v.AsInt());
+          }
+          break;
+        case AggFunc::kMin:
+          if (acc.is_null() || v.Compare(acc) < 0) acc = v;
+          break;
+        case AggFunc::kMax:
+          if (acc.is_null() || v.Compare(acc) > 0) acc = v;
+          break;
+      }
+    }
+  }
+
+  Table out{Schema(std::move(out_cols))};
+  // Global aggregate over empty input still yields one row (COUNT=0).
+  if (num_groups == 0 && group_idx.empty()) {
+    Row r;
+    for (const auto& a : node->aggregates) {
+      r.push_back(a.func == AggFunc::kCount ? Value(int64_t{0}) : Value::Null());
+    }
+    out.mutable_rows().push_back(std::move(r));
+    return out;
+  }
+  for (auto& [h, bucket] : groups) {
+    for (auto& s : bucket) {
+      Row r = s.group_key;
+      for (size_t ai = 0; ai < node->aggregates.size(); ++ai) {
+        switch (node->aggregates[ai].func) {
+          case AggFunc::kCount:
+            r.push_back(Value(s.counts[ai]));
+            break;
+          case AggFunc::kAvg:
+            r.push_back(s.counts[ai] == 0
+                            ? Value::Null()
+                            : Value(s.accum[ai].AsDouble() / s.counts[ai]));
+            break;
+          default:
+            r.push_back(s.accum[ai]);
+        }
+      }
+      out.mutable_rows().push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecSort(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table in, ExecNode(node->children[0].get()));
+  for (const auto& k : node->sort_keys) {
+    OFI_RETURN_NOT_OK(k.expr->Bind(in.schema()));
+  }
+  std::stable_sort(in.mutable_rows().begin(), in.mutable_rows().end(),
+                   [&](const Row& a, const Row& b) {
+                     for (const auto& k : node->sort_keys) {
+                       int c = k.expr->Eval(a).Compare(k.expr->Eval(b));
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return in;
+}
+
+Result<Table> Executor::ExecLimit(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table in, ExecNode(node->children[0].get()));
+  Table out(in.schema());
+  size_t start = std::min(node->offset, in.num_rows());
+  size_t end = std::min(start + node->limit, in.num_rows());
+  for (size_t i = start; i < end; ++i) {
+    out.mutable_rows().push_back(std::move(in.mutable_rows()[i]));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecSetOp(const PlanNode* node) {
+  OFI_ASSIGN_OR_RETURN(Table left, ExecNode(node->children[0].get()));
+  OFI_ASSIGN_OR_RETURN(Table right, ExecNode(node->children[1].get()));
+  if (left.schema().num_columns() != right.schema().num_columns()) {
+    return Status::InvalidArgument("set op arity mismatch");
+  }
+  Table out(left.schema());
+  switch (node->set_op) {
+    case SetOpType::kUnionAll: {
+      out.mutable_rows() = std::move(left.mutable_rows());
+      for (auto& r : right.mutable_rows()) out.mutable_rows().push_back(std::move(r));
+      break;
+    }
+    case SetOpType::kUnion: {
+      std::unordered_set<Row, WholeRowHash, WholeRowEq> seen;
+      for (auto* t : {&left, &right}) {
+        for (auto& r : t->mutable_rows()) {
+          if (seen.insert(r).second) out.mutable_rows().push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case SetOpType::kIntersect: {
+      std::unordered_set<Row, WholeRowHash, WholeRowEq> rset(
+          right.rows().begin(), right.rows().end());
+      std::unordered_set<Row, WholeRowHash, WholeRowEq> emitted;
+      for (auto& r : left.mutable_rows()) {
+        if (rset.count(r) && emitted.insert(r).second) {
+          out.mutable_rows().push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case SetOpType::kExcept: {
+      std::unordered_set<Row, WholeRowHash, WholeRowEq> rset(
+          right.rows().begin(), right.rows().end());
+      std::unordered_set<Row, WholeRowHash, WholeRowEq> emitted;
+      for (auto& r : left.mutable_rows()) {
+        if (!rset.count(r) && emitted.insert(r).second) {
+          out.mutable_rows().push_back(std::move(r));
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ofi::sql

@@ -1,0 +1,50 @@
+/// \file executor.h
+/// \brief Materializing executor for logical plans: hash joins for
+/// equi-predicates, nested loops otherwise, hash aggregation, sorting, set
+/// operations. Records actual row counts on each plan node so the learned
+/// optimizer (src/optimizer) can harvest estimate/actual differentials.
+#pragma once
+
+#include "common/result.h"
+#include "sql/plan.h"
+#include "sql/table.h"
+
+namespace ofi::sql {
+
+/// \brief Executes logical plans against a catalog.
+class Executor {
+ public:
+  explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes the plan, returning the materialized result. As a side effect
+  /// fills `actual_rows` on every plan node.
+  Result<Table> Execute(const PlanPtr& plan);
+
+  /// Total rows processed across all operators in the last Execute call —
+  /// a machine-independent work measure used by benchmarks.
+  uint64_t rows_processed() const { return rows_processed_; }
+
+ private:
+  Result<Table> ExecNode(const PlanNode* node);
+  Result<Table> ExecScan(const PlanNode* node);
+  Result<Table> ExecFilter(const PlanNode* node);
+  Result<Table> ExecProject(const PlanNode* node);
+  Result<Table> ExecJoin(const PlanNode* node);
+  Result<Table> ExecAggregate(const PlanNode* node);
+  Result<Table> ExecSort(const PlanNode* node);
+  Result<Table> ExecLimit(const PlanNode* node);
+  Result<Table> ExecSetOp(const PlanNode* node);
+
+  const Catalog* catalog_;
+  uint64_t rows_processed_ = 0;
+};
+
+/// Splits a predicate tree into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out);
+
+/// True if `e` is `col = col` with one side resolvable in `left` and the
+/// other in `right`; outputs the two column names oriented (left, right).
+bool IsEquiJoinPredicate(const Expr& e, const Schema& left, const Schema& right,
+                         std::string* left_col, std::string* right_col);
+
+}  // namespace ofi::sql

@@ -1,0 +1,264 @@
+#include "sql/expr.h"
+
+#include <algorithm>
+
+namespace ofi::sql {
+
+std::string CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExprPtr Expr::ColumnRef(std::string name) {
+  auto e = ExprPtr(new Expr(ExprKind::kColumn));
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = ExprPtr(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = ExprPtr(new Expr(ExprKind::kCompare));
+  e->compare_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = ExprPtr(new Expr(ExprKind::kArith));
+  e->arith_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = ExprPtr(new Expr(ExprKind::kLogical));
+  e->logical_op_ = LogicalOp::kAnd;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = ExprPtr(new Expr(ExprKind::kLogical));
+  e->logical_op_ = LogicalOp::kOr;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr x) {
+  auto e = ExprPtr(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(x)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr x) {
+  auto e = ExprPtr(new Expr(ExprKind::kIsNull));
+  e->children_ = {std::move(x)};
+  return e;
+}
+
+ExprPtr Expr::InList(ExprPtr x, std::vector<Value> list) {
+  auto e = ExprPtr(new Expr(ExprKind::kInList));
+  e->children_ = {std::move(x)};
+  e->in_list_ = std::move(list);
+  return e;
+}
+
+Status Expr::Bind(const Schema& schema) {
+  if (kind_ == ExprKind::kColumn) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column_name_));
+    bound_index_ = static_cast<int>(idx);
+    return Status::OK();
+  }
+  for (auto& c : children_) OFI_RETURN_NOT_OK(c->Bind(schema));
+  return Status::OK();
+}
+
+Value Expr::Eval(const Row& row) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      // Unbound references evaluate to NULL rather than crashing; Bind()
+      // failures surface as Status earlier in the pipeline.
+      if (bound_index_ < 0 || static_cast<size_t>(bound_index_) >= row.size()) {
+        return Value::Null();
+      }
+      return row[bound_index_];
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kCompare: {
+      Value l = children_[0]->Eval(row);
+      Value r = children_[1]->Eval(row);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      int c = l.Compare(r);
+      switch (compare_op_) {
+        case CompareOp::kEq: return Value(c == 0);
+        case CompareOp::kNe: return Value(c != 0);
+        case CompareOp::kLt: return Value(c < 0);
+        case CompareOp::kLe: return Value(c <= 0);
+        case CompareOp::kGt: return Value(c > 0);
+        case CompareOp::kGe: return Value(c >= 0);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kArith: {
+      Value l = children_[0]->Eval(row);
+      Value r = children_[1]->Eval(row);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      bool as_double = l.type() == TypeId::kDouble || r.type() == TypeId::kDouble ||
+                       arith_op_ == ArithOp::kDiv;
+      if (as_double) {
+        double a = l.AsDouble(), b = r.AsDouble();
+        switch (arith_op_) {
+          case ArithOp::kAdd: return Value(a + b);
+          case ArithOp::kSub: return Value(a - b);
+          case ArithOp::kMul: return Value(a * b);
+          case ArithOp::kDiv: return b == 0 ? Value::Null() : Value(a / b);
+        }
+      } else {
+        int64_t a = l.AsInt(), b = r.AsInt();
+        switch (arith_op_) {
+          case ArithOp::kAdd: return Value(a + b);
+          case ArithOp::kSub: return Value(a - b);
+          case ArithOp::kMul: return Value(a * b);
+          case ArithOp::kDiv: return b == 0 ? Value::Null() : Value(a / b);
+        }
+      }
+      return Value::Null();
+    }
+    case ExprKind::kLogical: {
+      // SQL three-valued logic with short circuit.
+      Value l = children_[0]->Eval(row);
+      if (logical_op_ == LogicalOp::kAnd) {
+        if (!l.is_null() && !l.AsBool()) return Value(false);
+        Value r = children_[1]->Eval(row);
+        if (!r.is_null() && !r.AsBool()) return Value(false);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value(true);
+      }
+      if (!l.is_null() && l.AsBool()) return Value(true);
+      Value r = children_[1]->Eval(row);
+      if (!r.is_null() && r.AsBool()) return Value(true);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value(false);
+    }
+    case ExprKind::kNot: {
+      Value v = children_[0]->Eval(row);
+      if (v.is_null()) return Value::Null();
+      return Value(!v.AsBool());
+    }
+    case ExprKind::kIsNull:
+      return Value(children_[0]->Eval(row).is_null());
+    case ExprKind::kInList: {
+      Value v = children_[0]->Eval(row);
+      if (v.is_null()) return Value::Null();
+      for (const auto& item : in_list_) {
+        if (!item.is_null() && v.Compare(item) == 0) return Value(true);
+      }
+      return Value(false);
+    }
+  }
+  return Value::Null();
+}
+
+std::string Expr::ToCanonicalString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kCompare: {
+      std::string l = children_[0]->ToCanonicalString();
+      std::string r = children_[1]->ToCanonicalString();
+      CompareOp op = compare_op_;
+      // Canonicalize symmetric operators so "a = b" and "b = a" share text.
+      if ((op == CompareOp::kEq || op == CompareOp::kNe) && r < l) std::swap(l, r);
+      return l + CompareOpToString(op) + r;
+    }
+    case ExprKind::kArith:
+      return "(" + children_[0]->ToCanonicalString() + ArithOpToString(arith_op_) +
+             children_[1]->ToCanonicalString() + ")";
+    case ExprKind::kLogical: {
+      // Flatten same-op chains and sort operands for order independence.
+      std::vector<std::string> parts;
+      std::vector<const Expr*> stack = {this};
+      while (!stack.empty()) {
+        const Expr* e = stack.back();
+        stack.pop_back();
+        if (e->kind_ == ExprKind::kLogical && e->logical_op_ == logical_op_) {
+          for (const auto& c : e->children_) stack.push_back(c.get());
+        } else {
+          parts.push_back(e->ToCanonicalString());
+        }
+      }
+      std::sort(parts.begin(), parts.end());
+      std::string sep = logical_op_ == LogicalOp::kAnd ? " AND " : " OR ";
+      std::string out;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += sep;
+        out += parts[i];
+      }
+      return logical_op_ == LogicalOp::kAnd ? out : "(" + out + ")";
+    }
+    case ExprKind::kNot:
+      return "NOT(" + children_[0]->ToCanonicalString() + ")";
+    case ExprKind::kIsNull:
+      return "ISNULL(" + children_[0]->ToCanonicalString() + ")";
+    case ExprKind::kInList: {
+      std::vector<std::string> items;
+      items.reserve(in_list_.size());
+      for (const auto& v : in_list_) items.push_back(v.ToString());
+      std::sort(items.begin(), items.end());
+      std::string out = children_[0]->ToCanonicalString() + " IN (";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ",";
+        out += items[i];
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    out->push_back(column_name_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectColumns(out);
+}
+
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& preds) {
+  ExprPtr acc;
+  for (const auto& p : preds) {
+    if (!p) continue;
+    acc = acc ? Expr::And(acc, p) : p;
+  }
+  return acc;
+}
+
+}  // namespace ofi::sql

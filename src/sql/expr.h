@@ -1,0 +1,120 @@
+/// \file expr.h
+/// \brief Scalar expression trees: column references, literals, comparison /
+/// arithmetic / boolean operators. Expressions render to a *canonical* text
+/// form (operands ordered deterministically) because the learned optimizer's
+/// plan store keys steps by canonical text so that predicate order does not
+/// change the key (paper §II-C).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace ofi::sql {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kColumn,
+  kLiteral,
+  kCompare,  // = <> < <= > >=
+  kArith,    // + - * /
+  kLogical,  // AND OR
+  kNot,
+  kIsNull,
+  kInList,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+enum class LogicalOp : uint8_t { kAnd, kOr };
+
+/// \brief An immutable expression node. Build with the factory functions
+/// below; evaluate with Eval() after Bind() resolves column indices.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+
+  // --- Factories -----------------------------------------------------------
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr IsNull(ExprPtr e);
+  static ExprPtr InList(ExprPtr e, std::vector<Value> list);
+
+  // Convenience comparison builders against a literal.
+  static ExprPtr Eq(std::string col, Value v) {
+    return Compare(CompareOp::kEq, ColumnRef(std::move(col)), Literal(std::move(v)));
+  }
+  static ExprPtr Gt(std::string col, Value v) {
+    return Compare(CompareOp::kGt, ColumnRef(std::move(col)), Literal(std::move(v)));
+  }
+  static ExprPtr Lt(std::string col, Value v) {
+    return Compare(CompareOp::kLt, ColumnRef(std::move(col)), Literal(std::move(v)));
+  }
+  static ExprPtr Ge(std::string col, Value v) {
+    return Compare(CompareOp::kGe, ColumnRef(std::move(col)), Literal(std::move(v)));
+  }
+  static ExprPtr Le(std::string col, Value v) {
+    return Compare(CompareOp::kLe, ColumnRef(std::move(col)), Literal(std::move(v)));
+  }
+  /// Column-to-column equality (join predicate).
+  static ExprPtr EqCols(std::string l, std::string r) {
+    return Compare(CompareOp::kEq, ColumnRef(std::move(l)), ColumnRef(std::move(r)));
+  }
+
+  // --- Binding & evaluation -------------------------------------------------
+  /// Resolves every column reference against `schema`, caching indices.
+  /// Must be called (on the root) before Eval.
+  Status Bind(const Schema& schema);
+
+  /// Evaluates against a bound row. SQL three-valued logic: comparisons with
+  /// NULL yield NULL (represented as a null Value).
+  Value Eval(const Row& row) const;
+
+  /// Canonical rendering: "OLAP.T1.B1 > 10"; AND/OR operand lists and
+  /// IN-lists are sorted so semantically equal predicates share text.
+  std::string ToCanonicalString() const;
+
+  /// Collects the names of all referenced columns into `out`.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  // Accessors used by the optimizer for selectivity estimation.
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicalOp logical_op() const { return logical_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::vector<Value>& in_list() const { return in_list_; }
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::string column_name_;
+  int bound_index_ = -1;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  std::vector<ExprPtr> children_;
+  std::vector<Value> in_list_;
+};
+
+/// Renders a comparison operator ("=", ">", ...).
+std::string CompareOpToString(CompareOp op);
+
+/// Conjoins a list of predicates (returns nullptr on empty input).
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& preds);
+
+}  // namespace ofi::sql

@@ -1,0 +1,209 @@
+#include "sql/external_table.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ofi::sql {
+namespace {
+
+/// Splits one CSV record honoring quotes; advances `pos` past the record's
+/// trailing newline. Returns false at end of input.
+bool NextRecord(const std::string& text, size_t* pos, char delimiter,
+                std::vector<std::string>* fields, bool* in_error) {
+  fields->clear();
+  *in_error = false;
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool quoted = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (field.empty()) {
+        quoted = true;
+      } else {
+        field += c;  // interior quote, tolerated
+      }
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) *in_error = true;  // unterminated quote
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+Result<Value> CoerceCell(const std::string& raw, TypeId type,
+                         const std::string& null_token) {
+  if (raw.empty() || raw == null_token) return Value::Null();
+  char* end = nullptr;
+  switch (type) {
+    case TypeId::kInt64: {
+      long long v = std::strtoll(raw.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + raw + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case TypeId::kTimestamp: {
+      long long v = std::strtoll(raw.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not a timestamp: '" + raw + "'");
+      }
+      return Value::Timestamp(v);
+    }
+    case TypeId::kDouble: {
+      double v = std::strtod(raw.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not a double: '" + raw + "'");
+      }
+      return Value(v);
+    }
+    case TypeId::kBool:
+      if (raw == "true" || raw == "TRUE" || raw == "1") return Value(true);
+      if (raw == "false" || raw == "FALSE" || raw == "0") return Value(false);
+      return Status::InvalidArgument("not a boolean: '" + raw + "'");
+    case TypeId::kString:
+      return Value(raw);
+    default:
+      return Status::InvalidArgument("unsupported column type");
+  }
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& text, const Schema& schema,
+                       const CsvOptions& options) {
+  Table table(schema);
+  size_t pos = 0;
+  size_t line = 0;
+  size_t errors = 0;
+  std::vector<std::string> fields;
+  bool record_error = false;
+  std::string first_error;
+  while (NextRecord(text, &pos, options.delimiter, &fields, &record_error)) {
+    ++line;
+    if (options.has_header && line == 1) continue;
+    // A lone empty trailing record (file ends with \n) is not a row.
+    if (fields.size() == 1 && fields[0].empty() && pos >= text.size()) break;
+
+    auto fail_row = [&](const std::string& why) -> Status {
+      ++errors;
+      if (first_error.empty()) {
+        first_error = "line " + std::to_string(line) + ": " + why;
+      }
+      if (errors > options.max_errors) {
+        return Status::InvalidArgument("csv: " + first_error + " (" +
+                                       std::to_string(errors) + " bad rows)");
+      }
+      return Status::OK();
+    };
+
+    if (record_error) {
+      OFI_RETURN_NOT_OK(fail_row("unterminated quote"));
+      continue;
+    }
+    if (fields.size() != schema.num_columns()) {
+      OFI_RETURN_NOT_OK(fail_row("expected " +
+                                 std::to_string(schema.num_columns()) +
+                                 " fields, got " +
+                                 std::to_string(fields.size())));
+      continue;
+    }
+    Row row;
+    row.reserve(fields.size());
+    bool row_ok = true;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Result<Value> v =
+          CoerceCell(fields[c], schema.column(c).type, options.null_token);
+      if (!v.ok()) {
+        OFI_RETURN_NOT_OK(fail_row("column " + schema.column(c).name + ": " +
+                                   v.status().message()));
+        row_ok = false;
+        break;
+      }
+      row.push_back(std::move(v).ValueOrDie());
+    }
+    if (row_ok) {
+      OFI_RETURN_NOT_OK(table.Append(std::move(row)));
+    }
+  }
+  return table;
+}
+
+Result<Table> LoadCsvTable(const std::string& path, const Schema& schema,
+                           const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), schema, options);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c) out += options.delimiter;
+      out += schema.column(c).name;
+    }
+    out += "\n";
+  }
+  auto escape = [&](const std::string& s) {
+    if (s.find(options.delimiter) == std::string::npos &&
+        s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+      return s;
+    }
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += "\"\"";
+      else quoted += c;
+    }
+    return quoted + "\"";
+  };
+  for (const auto& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += options.delimiter;
+      const Value& v = row[c];
+      if (v.is_null()) {
+        out += options.null_token;
+      } else if (v.type() == TypeId::kString) {
+        out += escape(v.AsString());
+      } else if (v.type() == TypeId::kBool) {
+        out += v.AsBool() ? "true" : "false";
+      } else if (v.type() == TypeId::kTimestamp || v.type() == TypeId::kInt64) {
+        out += std::to_string(v.AsInt());
+      } else {
+        out += std::to_string(v.AsDouble());
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ofi::sql

@@ -1,0 +1,39 @@
+/// \file external_table.h
+/// \brief Foreign data access (paper §I: FI-MPPDB "can access heterogeneous
+/// data sources including HDFS"). The laptop-scale substitution is CSV
+/// files on the local filesystem: a schema-checked loader materializes a
+/// foreign file as a relational table, with per-cell type coercion and
+/// explicit error reporting (line/column) instead of silent nulls.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/table.h"
+
+namespace ofi::sql {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (header row).
+  bool has_header = true;
+  /// The spelling of SQL NULL in the file ("" always counts as NULL).
+  std::string null_token = "\\N";
+  /// Stop with an error after this many malformed rows (0 = first error).
+  size_t max_errors = 0;
+};
+
+/// Parses CSV `text` against `schema`. Supports quoted fields with ""
+/// escapes. Returns the table, or InvalidArgument naming the first bad
+/// line/column once more than `max_errors` rows fail.
+Result<Table> ParseCsv(const std::string& text, const Schema& schema,
+                       const CsvOptions& options = CsvOptions{});
+
+/// Reads `path` and parses it (NotFound if the file is unreadable).
+Result<Table> LoadCsvTable(const std::string& path, const Schema& schema,
+                           const CsvOptions& options = CsvOptions{});
+
+/// Serializes a table to CSV (round-trip for exports / test fixtures).
+std::string WriteCsv(const Table& table, const CsvOptions& options = CsvOptions{});
+
+}  // namespace ofi::sql

@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace ofi::sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT",  "FROM",   "WHERE",  "GROUP",    "BY",     "HAVING", "ORDER",
+      "LIMIT",   "OFFSET", "AS",     "AND",      "OR",     "NOT",    "IN",
+      "IS",      "NULL",   "TRUE",   "FALSE",    "JOIN",   "INNER",  "LEFT",
+      "OUTER",   "ON",     "UNION",  "ALL",      "INTERSECT", "EXCEPT",
+      "INSERT",  "INTO",   "VALUES", "CREATE",   "TABLE",  "ASC",    "DESC",
+      "COUNT",   "SUM",    "AVG",    "MIN",      "MAX",    "BETWEEN", "LIKE",
+      "BIGINT",  "DOUBLE", "VARCHAR", "BOOLEAN", "TIMESTAMP", "DISTINCT",
+      "SEMI",    "DELETE", "DROP",   "UPDATE",   "SET"};
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(c) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(c) || c == '_'; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at position " + std::to_string(i));
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      // Identifier or keyword; swallow dotted qualification for identifiers.
+      size_t start = i;
+      while (i < sql.size() && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+        // Qualified name: keep consuming ".part".
+        while (i + 1 < sql.size() && sql[i] == '.' && IsIdentStart(sql[i + 1])) {
+          ++i;  // consume '.'
+          size_t part_start = i;
+          while (i < sql.size() && IsIdentChar(sql[i])) ++i;
+          tok.text += "." + sql.substr(part_start, i - part_start);
+        }
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(c)) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() && std::isdigit(sql[i])) ++i;
+      if (i + 1 < sql.size() && sql[i] == '.' && std::isdigit(sql[i + 1])) {
+        is_float = true;
+        ++i;
+        while (i < sql.size() && std::isdigit(sql[i])) ++i;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) return fail("unterminated string literal");
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < sql.size()) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),*+-/=<>.;").find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", sql.size()});
+  return tokens;
+}
+
+}  // namespace ofi::sql

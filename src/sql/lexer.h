@@ -1,0 +1,42 @@
+/// \file lexer.h
+/// \brief SQL tokenizer for the query front end. Supports the subset the
+/// engine executes: SELECT / INSERT / CREATE TABLE, expressions, set
+/// operations. Keywords are case-insensitive; identifiers keep their case
+/// and may be dotted ("OLAP.T1.B1" lexes as one qualified identifier).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ofi::sql {
+
+enum class TokenType : uint8_t {
+  kKeyword,     // SELECT, FROM, WHERE ... (normalized upper-case)
+  kIdentifier,  // possibly qualified: a, t.a, OLAP.T1.B1
+  kInteger,
+  kFloat,
+  kString,      // 'text' with '' escapes
+  kSymbol,      // ( ) , * + - / = < > <= >= <> != .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keyword/symbol text, identifier name, literal spelling
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `sql`; fails with InvalidArgument on malformed input
+/// (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace ofi::sql

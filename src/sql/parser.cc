@@ -1,0 +1,565 @@
+#include "sql/parser.h"
+
+#include <memory>
+
+namespace ofi::sql {
+namespace {
+
+/// Token cursor with error reporting.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + kw);
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (AcceptSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + sym + "'");
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("parse error: " + msg + " near '" +
+                                   Peek().text + "' (pos " +
+                                   std::to_string(Peek().position) + ")");
+  }
+  bool AtEnd() const {
+    return Peek().type == TokenType::kEnd || Peek().IsSymbol(";");
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(Cursor cur) : cur_(std::move(cur)) {}
+
+  Result<Statement> ParseStatement();
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+ private:
+  // Expression grammar, lowest precedence first.
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+  Result<Value> ParseLiteralValue();
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseCreateTable();
+  Result<Statement> ParseDropTable();
+  Result<SelectItem> ParseSelectItem();
+
+  Cursor cur_;
+};
+
+Result<Value> Parser::ParseLiteralValue() {
+  const Token& t = cur_.Peek();
+  if (t.type == TokenType::kInteger) {
+    cur_.Next();
+    return Value(static_cast<int64_t>(std::stoll(t.text)));
+  }
+  if (t.type == TokenType::kFloat) {
+    cur_.Next();
+    return Value(std::stod(t.text));
+  }
+  if (t.type == TokenType::kString) {
+    cur_.Next();
+    return Value(t.text);
+  }
+  if (t.IsKeyword("NULL")) {
+    cur_.Next();
+    return Value::Null();
+  }
+  if (t.IsKeyword("TRUE")) {
+    cur_.Next();
+    return Value(true);
+  }
+  if (t.IsKeyword("FALSE")) {
+    cur_.Next();
+    return Value(false);
+  }
+  if (t.IsSymbol("-")) {
+    cur_.Next();
+    OFI_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    if (v.type() == TypeId::kInt64) return Value(-v.AsInt());
+    if (v.type() == TypeId::kDouble) return Value(-v.AsDouble());
+    return cur_.Error("cannot negate literal");
+  }
+  return cur_.Error("expected literal");
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = cur_.Peek();
+  // Aggregate calls inside expressions (HAVING COUNT(*) > 5, ORDER BY
+  // SUM(x)) become encoded column references the planner resolves against
+  // the aggregation output (adding hidden aggregates when needed).
+  static const std::pair<const char*, const char*> kAggKws[] = {
+      {"COUNT", "COUNT"}, {"SUM", "SUM"}, {"AVG", "AVG"},
+      {"MIN", "MIN"},     {"MAX", "MAX"}};
+  for (const auto& [kw, name] : kAggKws) {
+    if (t.IsKeyword(kw) && cur_.Peek(1).IsSymbol("(")) {
+      cur_.Next();
+      cur_.Next();
+      std::string arg_text = "*";
+      if (!cur_.AcceptSymbol("*")) {
+        OFI_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+        arg_text = arg->ToCanonicalString();
+      } else if (std::string(kw) != "COUNT") {
+        return cur_.Error("only COUNT(*) takes *");
+      }
+      OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+      return Expr::ColumnRef(std::string("$agg$") + name + "$" + arg_text);
+    }
+  }
+  if (t.IsSymbol("(")) {
+    cur_.Next();
+    OFI_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    return e;
+  }
+  if (t.type == TokenType::kIdentifier) {
+    cur_.Next();
+    return Expr::ColumnRef(t.text);
+  }
+  // Everything else must be a literal.
+  OFI_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+  return Expr::Literal(std::move(v));
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  OFI_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (true) {
+    if (cur_.AcceptSymbol("*")) {
+      OFI_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Arith(ArithOp::kMul, left, right);
+    } else if (cur_.AcceptSymbol("/")) {
+      OFI_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Arith(ArithOp::kDiv, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  OFI_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    if (cur_.AcceptSymbol("+")) {
+      OFI_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Arith(ArithOp::kAdd, left, right);
+    } else if (cur_.Peek().IsSymbol("-") &&
+               !(cur_.Peek(1).type == TokenType::kEnd)) {
+      cur_.Next();
+      OFI_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Arith(ArithOp::kSub, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  OFI_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+  // IS [NOT] NULL.
+  if (cur_.AcceptKeyword("IS")) {
+    bool negated = cur_.AcceptKeyword("NOT");
+    OFI_RETURN_NOT_OK(cur_.ExpectKeyword("NULL"));
+    ExprPtr e = Expr::IsNull(left);
+    return negated ? Expr::Not(e) : e;
+  }
+  // [NOT] IN (list).
+  bool negated_in = false;
+  if (cur_.Peek().IsKeyword("NOT") && cur_.Peek(1).IsKeyword("IN")) {
+    cur_.Next();
+    negated_in = true;
+  }
+  if (cur_.AcceptKeyword("IN")) {
+    OFI_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+    std::vector<Value> items;
+    do {
+      OFI_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      items.push_back(std::move(v));
+    } while (cur_.AcceptSymbol(","));
+    OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    ExprPtr e = Expr::InList(left, std::move(items));
+    return negated_in ? Expr::Not(e) : e;
+  }
+  // BETWEEN a AND b.
+  if (cur_.AcceptKeyword("BETWEEN")) {
+    OFI_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    OFI_RETURN_NOT_OK(cur_.ExpectKeyword("AND"));
+    OFI_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    return Expr::And(Expr::Compare(CompareOp::kGe, left, lo),
+                     Expr::Compare(CompareOp::kLe, left, hi));
+  }
+
+  struct OpMap {
+    const char* sym;
+    CompareOp op;
+  };
+  static const OpMap kOps[] = {{"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+                               {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+                               {"<", CompareOp::kLt},  {">", CompareOp::kGt}};
+  for (const auto& m : kOps) {
+    if (cur_.AcceptSymbol(m.sym)) {
+      OFI_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Compare(m.op, left, right);
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (cur_.AcceptKeyword("NOT")) {
+    OFI_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+    return Expr::Not(e);
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  OFI_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (cur_.AcceptKeyword("AND")) {
+    OFI_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::And(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  OFI_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (cur_.AcceptKeyword("OR")) {
+    OFI_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::Or(left, right);
+  }
+  return left;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  struct AggMap {
+    const char* kw;
+    AggFunc func;
+  };
+  static const AggMap kAggs[] = {{"COUNT", AggFunc::kCount},
+                                 {"SUM", AggFunc::kSum},
+                                 {"AVG", AggFunc::kAvg},
+                                 {"MIN", AggFunc::kMin},
+                                 {"MAX", AggFunc::kMax}};
+  for (const auto& m : kAggs) {
+    if (cur_.Peek().IsKeyword(m.kw) && cur_.Peek(1).IsSymbol("(")) {
+      cur_.Next();
+      cur_.Next();
+      item.is_aggregate = true;
+      item.agg = m.func;
+      std::string default_name = m.kw;
+      if (cur_.AcceptSymbol("*")) {
+        if (m.func != AggFunc::kCount) {
+          return cur_.Error("only COUNT(*) takes *");
+        }
+        item.expr = nullptr;
+      } else {
+        OFI_ASSIGN_OR_RETURN(item.expr, ParseOr());
+      }
+      OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+      // Derived name: count / sum etc, lower-case.
+      for (char& c : default_name) c = static_cast<char>(::tolower(c));
+      item.name = default_name;
+      if (cur_.AcceptKeyword("AS")) {
+        if (cur_.Peek().type != TokenType::kIdentifier) {
+          return cur_.Error("expected alias");
+        }
+        item.name = cur_.Next().text;
+      }
+      return item;
+    }
+  }
+  OFI_ASSIGN_OR_RETURN(item.expr, ParseOr());
+  // Default name: the column name for simple refs, else "exprN" set later.
+  if (item.expr->kind() == ExprKind::kColumn) {
+    item.name = item.expr->column_name();
+    auto dot = item.name.rfind('.');
+    if (dot != std::string::npos) item.name = item.name.substr(dot + 1);
+  }
+  if (cur_.AcceptKeyword("AS")) {
+    if (cur_.Peek().type != TokenType::kIdentifier) {
+      return cur_.Error("expected alias");
+    }
+    item.name = cur_.Next().text;
+  }
+  return item;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStatement>();
+  stmt->distinct = cur_.AcceptKeyword("DISTINCT");
+  if (cur_.AcceptSymbol("*")) {
+    stmt->select_star = true;
+  } else {
+    size_t n = 0;
+    do {
+      OFI_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      if (item.name.empty()) item.name = "expr" + std::to_string(n);
+      stmt->items.push_back(std::move(item));
+      ++n;
+    } while (cur_.AcceptSymbol(","));
+  }
+
+  if (cur_.AcceptKeyword("FROM")) {
+    auto parse_table_ref = [&]() -> Result<TableRef> {
+      if (cur_.Peek().type != TokenType::kIdentifier) {
+        return cur_.Error("expected table name");
+      }
+      TableRef ref;
+      ref.table = cur_.Next().text;
+      if (cur_.Peek().type == TokenType::kIdentifier) {
+        ref.alias = cur_.Next().text;
+      } else if (cur_.AcceptKeyword("AS")) {
+        if (cur_.Peek().type != TokenType::kIdentifier) {
+          return cur_.Error("expected alias");
+        }
+        ref.alias = cur_.Next().text;
+      }
+      return ref;
+    };
+    OFI_ASSIGN_OR_RETURN(TableRef first, parse_table_ref());
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (cur_.AcceptSymbol(",")) {
+        OFI_ASSIGN_OR_RETURN(TableRef ref, parse_table_ref());
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      JoinType type = JoinType::kInner;
+      bool is_join = false;
+      if (cur_.Peek().IsKeyword("LEFT")) {
+        cur_.Next();
+        cur_.AcceptKeyword("OUTER");
+        OFI_RETURN_NOT_OK(cur_.ExpectKeyword("JOIN"));
+        type = JoinType::kLeftOuter;
+        is_join = true;
+      } else if (cur_.AcceptKeyword("INNER")) {
+        OFI_RETURN_NOT_OK(cur_.ExpectKeyword("JOIN"));
+        is_join = true;
+      } else if (cur_.AcceptKeyword("JOIN")) {
+        is_join = true;
+      }
+      if (!is_join) break;
+      JoinClause join;
+      join.type = type;
+      OFI_ASSIGN_OR_RETURN(join.table, parse_table_ref());
+      OFI_RETURN_NOT_OK(cur_.ExpectKeyword("ON"));
+      OFI_ASSIGN_OR_RETURN(join.on, ParseOr());
+      stmt->joins.push_back(std::move(join));
+    }
+  }
+
+  if (cur_.AcceptKeyword("WHERE")) {
+    OFI_ASSIGN_OR_RETURN(stmt->where, ParseOr());
+  }
+  if (cur_.AcceptKeyword("GROUP")) {
+    OFI_RETURN_NOT_OK(cur_.ExpectKeyword("BY"));
+    do {
+      if (cur_.Peek().type != TokenType::kIdentifier) {
+        return cur_.Error("expected group-by column");
+      }
+      stmt->group_by.push_back(cur_.Next().text);
+    } while (cur_.AcceptSymbol(","));
+  }
+  if (cur_.AcceptKeyword("HAVING")) {
+    OFI_ASSIGN_OR_RETURN(stmt->having, ParseOr());
+  }
+  if (cur_.AcceptKeyword("ORDER")) {
+    OFI_RETURN_NOT_OK(cur_.ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      OFI_ASSIGN_OR_RETURN(item.expr, ParseOr());
+      if (cur_.AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        cur_.AcceptKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (cur_.AcceptSymbol(","));
+  }
+  if (cur_.AcceptKeyword("LIMIT")) {
+    if (cur_.Peek().type != TokenType::kInteger) {
+      return cur_.Error("expected LIMIT count");
+    }
+    stmt->limit = static_cast<size_t>(std::stoll(cur_.Next().text));
+    if (cur_.AcceptKeyword("OFFSET")) {
+      if (cur_.Peek().type != TokenType::kInteger) {
+        return cur_.Error("expected OFFSET count");
+      }
+      stmt->offset = static_cast<size_t>(std::stoll(cur_.Next().text));
+    }
+  }
+
+  // Set operations chain right-recursively.
+  std::optional<SetOpType> op;
+  if (cur_.AcceptKeyword("UNION")) {
+    op = cur_.AcceptKeyword("ALL") ? SetOpType::kUnionAll : SetOpType::kUnion;
+  } else if (cur_.AcceptKeyword("INTERSECT")) {
+    op = SetOpType::kIntersect;
+  } else if (cur_.AcceptKeyword("EXCEPT")) {
+    op = SetOpType::kExcept;
+  }
+  if (op.has_value()) {
+    OFI_ASSIGN_OR_RETURN(auto rhs, ParseSelect());
+    stmt->set_op = op;
+    stmt->set_rhs = std::move(rhs);
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("INSERT"));
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("INTO"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected table name");
+  }
+  auto insert = std::make_unique<InsertStatement>();
+  insert->table = cur_.Next().text;
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("VALUES"));
+  do {
+    OFI_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+    Row row;
+    do {
+      OFI_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      row.push_back(std::move(v));
+    } while (cur_.AcceptSymbol(","));
+    OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    insert->rows.push_back(std::move(row));
+  } while (cur_.AcceptSymbol(","));
+  Statement stmt;
+  stmt.kind = StatementKind::kInsert;
+  stmt.insert = std::move(insert);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseCreateTable() {
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("CREATE"));
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("TABLE"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected table name");
+  }
+  auto create = std::make_unique<CreateTableStatement>();
+  create->table = cur_.Next().text;
+  OFI_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+  std::vector<Column> cols;
+  do {
+    if (cur_.Peek().type != TokenType::kIdentifier) {
+      return cur_.Error("expected column name");
+    }
+    Column col;
+    col.name = cur_.Next().text;
+    const Token& type_tok = cur_.Next();
+    if (type_tok.IsKeyword("BIGINT")) {
+      col.type = TypeId::kInt64;
+    } else if (type_tok.IsKeyword("DOUBLE")) {
+      col.type = TypeId::kDouble;
+    } else if (type_tok.IsKeyword("VARCHAR")) {
+      col.type = TypeId::kString;
+      if (cur_.AcceptSymbol("(")) {  // VARCHAR(n): length ignored
+        cur_.Next();
+        OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+      }
+    } else if (type_tok.IsKeyword("BOOLEAN")) {
+      col.type = TypeId::kBool;
+    } else if (type_tok.IsKeyword("TIMESTAMP")) {
+      col.type = TypeId::kTimestamp;
+    } else {
+      return cur_.Error("unknown column type '" + type_tok.text + "'");
+    }
+    cols.push_back(std::move(col));
+  } while (cur_.AcceptSymbol(","));
+  OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+  create->schema = Schema(std::move(cols));
+  Statement stmt;
+  stmt.kind = StatementKind::kCreateTable;
+  stmt.create_table = std::move(create);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDropTable() {
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("DROP"));
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("TABLE"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected table name");
+  }
+  auto drop = std::make_unique<DropTableStatement>();
+  drop->table = cur_.Next().text;
+  Statement stmt;
+  stmt.kind = StatementKind::kDropTable;
+  stmt.drop_table = std::move(drop);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  const Token& t = cur_.Peek();
+  Result<Statement> result = [&]() -> Result<Statement> {
+    if (t.IsKeyword("SELECT")) {
+      OFI_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      Statement stmt;
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = std::move(select);
+      return stmt;
+    }
+    if (t.IsKeyword("INSERT")) return ParseInsert();
+    if (t.IsKeyword("CREATE")) return ParseCreateTable();
+    if (t.IsKeyword("DROP")) return ParseDropTable();
+    return cur_.Error("expected SELECT, INSERT, CREATE or DROP");
+  }();
+  if (result.ok() && !cur_.AtEnd()) {
+    return cur_.Error("trailing input");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  OFI_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser{Cursor(std::move(tokens))};
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  OFI_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser{Cursor(std::move(tokens))};
+  return parser.ParseExpr();
+}
+
+}  // namespace ofi::sql

@@ -1,0 +1,30 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for the engine's SQL subset:
+///
+///   SELECT [DISTINCT] select_list
+///   FROM t [alias] [, t2 [alias]]* [ [LEFT] JOIN t3 ON expr ]*
+///   [WHERE expr] [GROUP BY cols] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+///   [UNION [ALL] | INTERSECT | EXCEPT  select]
+///
+///   INSERT INTO t VALUES (lit, ...), ...
+///   CREATE TABLE t (col BIGINT|DOUBLE|VARCHAR|BOOLEAN|TIMESTAMP, ...)
+///   DROP TABLE t
+///
+/// Expressions: literals, (qualified) columns, + - * /, comparison ops,
+/// AND/OR/NOT, IN (list), IS [NOT] NULL, BETWEEN a AND b.
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace ofi::sql {
+
+/// Parses one statement (a trailing ';' is allowed).
+Result<Statement> Parse(const std::string& sql);
+
+/// Parses a standalone scalar expression (tests, filter strings).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace ofi::sql

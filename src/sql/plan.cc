@@ -1,0 +1,115 @@
+#include "sql/plan.h"
+
+namespace ofi::sql {
+namespace {
+
+std::string KindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan: return "SCAN";
+    case PlanKind::kFilter: return "FILTER";
+    case PlanKind::kProject: return "PROJECT";
+    case PlanKind::kJoin: return "JOIN";
+    case PlanKind::kAggregate: return "AGG";
+    case PlanKind::kSort: return "SORT";
+    case PlanKind::kLimit: return "LIMIT";
+    case PlanKind::kSetOp: return "SETOP";
+    case PlanKind::kValues: return "VALUES";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(indent * 2, ' ');
+  out += KindName(kind);
+  if (kind == PlanKind::kScan) out += " " + table_name;
+  if (kind == PlanKind::kValues) out += " " + alias;
+  if (predicate) out += " pred=[" + predicate->ToCanonicalString() + "]";
+  if (estimated_rows >= 0) out += " est=" + std::to_string((int64_t)estimated_rows);
+  if (actual_rows >= 0) out += " act=" + std::to_string((int64_t)actual_rows);
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+PlanPtr MakeScan(std::string table, ExprPtr predicate, std::string alias) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kScan;
+  n->table_name = std::move(table);
+  n->predicate = std::move(predicate);
+  n->alias = std::move(alias);
+  return n;
+}
+
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kFilter;
+  n->children = {std::move(child)};
+  n->predicate = std::move(predicate);
+  return n;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kProject;
+  n->children = {std::move(child)};
+  n->projections = std::move(exprs);
+  n->projection_names = std::move(names);
+  return n;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr predicate, JoinType type) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kJoin;
+  n->children = {std::move(left), std::move(right)};
+  n->predicate = std::move(predicate);
+  n->join_type = type;
+  return n;
+}
+
+PlanPtr MakeAggregate(PlanPtr child, std::vector<std::string> group_by,
+                      std::vector<AggSpec> aggs) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kAggregate;
+  n->children = {std::move(child)};
+  n->group_by = std::move(group_by);
+  n->aggregates = std::move(aggs);
+  return n;
+}
+
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSort;
+  n->children = {std::move(child)};
+  n->sort_keys = std::move(keys);
+  return n;
+}
+
+PlanPtr MakeLimit(PlanPtr child, size_t limit, size_t offset) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kLimit;
+  n->children = {std::move(child)};
+  n->limit = limit;
+  n->offset = offset;
+  return n;
+}
+
+PlanPtr MakeSetOp(SetOpType op, PlanPtr left, PlanPtr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSetOp;
+  n->set_op = op;
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanPtr MakeValues(Table table, std::string alias) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kValues;
+  n->values = std::make_shared<Table>(std::move(table));
+  n->alias = std::move(alias);
+  return n;
+}
+
+}  // namespace ofi::sql

@@ -1,0 +1,109 @@
+/// \file plan.h
+/// \brief Logical query plans. Nodes carry the optimizer's estimated row
+/// count and, after execution, the actual row count — the two numbers the
+/// learned optimizer's plan store compares to decide what to capture
+/// (paper §II-C, Table I).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+#include "sql/table.h"
+
+namespace ofi::sql {
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kSetOp,
+  kValues,  // literal/table-expression input (multi-model engines inject here)
+};
+
+enum class JoinType : uint8_t { kInner, kLeftOuter, kSemi };
+enum class SetOpType : uint8_t { kUnionAll, kUnion, kIntersect, kExcept };
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate output: func(arg) AS name. kCount with null arg = COUNT(*).
+struct AggSpec {
+  AggFunc func;
+  ExprPtr arg;  // may be null for COUNT(*)
+  std::string name;
+};
+
+/// One sort key.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief A node in the logical plan tree.
+class PlanNode {
+ public:
+  PlanKind kind;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_name;
+  std::string alias;        // optional; qualifies output columns
+  ExprPtr predicate;        // scan/filter/join predicate
+
+  // kProject
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+
+  // kAggregate
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  size_t limit = 0;
+  size_t offset = 0;
+
+  // kSetOp
+  SetOpType set_op = SetOpType::kUnionAll;
+
+  // kValues: inlined table (e.g. a gtimeseries()/ggraph() table expression).
+  std::shared_ptr<Table> values;
+
+  // --- Optimizer/executor bookkeeping --------------------------------------
+  /// Optimizer's cardinality estimate (rows). -1 = not estimated.
+  double estimated_rows = -1;
+  /// Actual output rows observed during execution. -1 = not executed.
+  double actual_rows = -1;
+
+  /// Plan tree rendering for EXPLAIN-style output (Fig. 6 shape).
+  std::string ToString(int indent = 0) const;
+};
+
+// --- Builder helpers ---------------------------------------------------------
+PlanPtr MakeScan(std::string table, ExprPtr predicate = nullptr,
+                 std::string alias = "");
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr predicate,
+                 JoinType type = JoinType::kInner);
+PlanPtr MakeAggregate(PlanPtr child, std::vector<std::string> group_by,
+                      std::vector<AggSpec> aggs);
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr MakeLimit(PlanPtr child, size_t limit, size_t offset = 0);
+PlanPtr MakeSetOp(SetOpType op, PlanPtr left, PlanPtr right);
+PlanPtr MakeValues(Table table, std::string alias = "");
+
+}  // namespace ofi::sql

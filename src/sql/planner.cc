@@ -1,0 +1,381 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+
+#include "sql/executor.h"
+
+namespace ofi::sql {
+namespace {
+
+/// Column names (bare + qualified) a relation exposes.
+Result<std::vector<std::string>> RelationColumns(const Catalog& catalog,
+                                                 const std::string& table,
+                                                 const std::string& alias) {
+  OFI_ASSIGN_OR_RETURN(auto t, catalog.Get(table));
+  Schema schema =
+      alias.empty() ? t->schema() : t->schema().WithQualifier(alias);
+  std::vector<std::string> cols;
+  for (const auto& c : schema.columns()) {
+    cols.push_back(c.name);
+    cols.push_back(c.QualifiedName());
+  }
+  return cols;
+}
+
+bool AllColumnsCovered(const ExprPtr& pred, const std::vector<std::string>& cols) {
+  std::vector<std::string> used;
+  pred->CollectColumns(&used);
+  for (const auto& u : used) {
+    if (std::find(cols.begin(), cols.end(), u) == cols.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+/// The encoded form ParsePrimary emits for aggregate calls in expressions.
+std::string AggKey(AggFunc f, const ExprPtr& arg) {
+  return std::string("$agg$") + AggFuncName(f) + "$" +
+         (arg ? arg->ToCanonicalString() : "*");
+}
+
+/// Rewrites "$agg$FUNC$arg" column refs to the matching aggregate output
+/// column, adding hidden aggregates for ones not in the select list.
+ExprPtr ResolveAggRefs(const ExprPtr& e, const std::vector<SelectItem>& items,
+                       std::vector<AggSpec>* aggs, int* hidden_counter) {
+  if (!e) return e;
+  if (e->kind() == ExprKind::kColumn) {
+    const std::string& name = e->column_name();
+    if (name.rfind("$agg$", 0) != 0) return e;
+    // Match against select-list aggregates first.
+    for (const auto& item : items) {
+      if (item.is_aggregate && AggKey(item.agg, item.expr) == name) {
+        return Expr::ColumnRef(item.name);
+      }
+    }
+    // Then against aggregates already added (including hidden ones).
+    for (const auto& spec : *aggs) {
+      if (AggKey(spec.func, spec.arg) == name) {
+        return Expr::ColumnRef(spec.name);
+      }
+    }
+    // Add a hidden aggregate.
+    size_t func_end = name.find('$', 5);
+    std::string func_name = name.substr(5, func_end - 5);
+    std::string arg_text = name.substr(func_end + 1);
+    AggFunc func = AggFunc::kCount;
+    for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                      AggFunc::kMin, AggFunc::kMax}) {
+      if (func_name == AggFuncName(f)) func = f;
+    }
+    ExprPtr arg = arg_text == "*" ? nullptr : Expr::ColumnRef(arg_text);
+    std::string out = "$hidden" + std::to_string((*hidden_counter)++);
+    aggs->push_back(AggSpec{func, arg, out});
+    return Expr::ColumnRef(out);
+  }
+  if (e->children().empty()) return e;
+  std::vector<ExprPtr> kids;
+  for (const auto& c : e->children()) {
+    kids.push_back(ResolveAggRefs(c, items, aggs, hidden_counter));
+  }
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return Expr::Compare(e->compare_op(), kids[0], kids[1]);
+    case ExprKind::kArith:
+      return Expr::Arith(e->arith_op(), kids[0], kids[1]);
+    case ExprKind::kLogical:
+      return e->logical_op() == LogicalOp::kAnd ? Expr::And(kids[0], kids[1])
+                                                : Expr::Or(kids[0], kids[1]);
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    case ExprKind::kIsNull:
+      return Expr::IsNull(kids[0]);
+    case ExprKind::kInList:
+      return Expr::InList(kids[0], e->in_list());
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+void ClassifyPredicates(
+    const ExprPtr& where,
+    const std::vector<std::vector<std::string>>& relation_columns,
+    std::vector<ExprPtr>* per_relation, std::vector<ExprPtr>* cross_relation) {
+  per_relation->assign(relation_columns.size(), nullptr);
+  cross_relation->clear();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  for (const auto& c : conjuncts) {
+    bool placed = false;
+    for (size_t r = 0; r < relation_columns.size(); ++r) {
+      if (AllColumnsCovered(c, relation_columns[r])) {
+        (*per_relation)[r] =
+            (*per_relation)[r] ? Expr::And((*per_relation)[r], c) : c;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) cross_relation->push_back(c);
+  }
+}
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  if (!expr) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kColumn:
+    case ExprKind::kLiteral:
+      return expr;
+    default:
+      break;
+  }
+  // Fold children first.
+  std::vector<ExprPtr> folded;
+  bool all_literal = true;
+  for (const auto& c : expr->children()) {
+    ExprPtr f = FoldConstants(c);
+    all_literal &= f->kind() == ExprKind::kLiteral;
+    folded.push_back(std::move(f));
+  }
+
+  auto rebuild = [&]() -> ExprPtr {
+    switch (expr->kind()) {
+      case ExprKind::kCompare:
+        return Expr::Compare(expr->compare_op(), folded[0], folded[1]);
+      case ExprKind::kArith:
+        return Expr::Arith(expr->arith_op(), folded[0], folded[1]);
+      case ExprKind::kLogical:
+        return expr->logical_op() == LogicalOp::kAnd
+                   ? Expr::And(folded[0], folded[1])
+                   : Expr::Or(folded[0], folded[1]);
+      case ExprKind::kNot:
+        return Expr::Not(folded[0]);
+      case ExprKind::kIsNull:
+        return Expr::IsNull(folded[0]);
+      case ExprKind::kInList:
+        return Expr::InList(folded[0], expr->in_list());
+      default:
+        return expr;
+    }
+  };
+  ExprPtr node = rebuild();
+
+  if (all_literal && !folded.empty()) {
+    // Pure constant subtree: evaluate it now.
+    Value v = node->Eval({});
+    return Expr::Literal(std::move(v));
+  }
+  // Boolean identities: TRUE AND x -> x, FALSE OR x -> x, etc.
+  if (node->kind() == ExprKind::kLogical) {
+    const auto& kids = node->children();
+    for (int side = 0; side < 2; ++side) {
+      const ExprPtr& lit = kids[side];
+      const ExprPtr& other = kids[1 - side];
+      if (lit->kind() != ExprKind::kLiteral ||
+          lit->literal().type() != TypeId::kBool) {
+        continue;
+      }
+      bool b = lit->literal().AsBool();
+      if (node->logical_op() == LogicalOp::kAnd) {
+        return b ? other : Expr::Literal(Value(false));
+      }
+      return b ? Expr::Literal(Value(true)) : other;
+    }
+  }
+  return node;
+}
+
+Result<PlanPtr> PlanSelect(const SelectStatement& stmt, const Catalog& catalog,
+                           const JoinPlanner& join_planner) {
+  // Set-operation chains plan each side independently.
+  if (stmt.set_op.has_value()) {
+    // Plan `stmt` without its set op, then combine (field-wise copy: the
+    // statement itself is move-only because of set_rhs).
+    SelectStatement lhs;
+    lhs.select_star = stmt.select_star;
+    lhs.distinct = stmt.distinct;
+    lhs.items = stmt.items;
+    lhs.from = stmt.from;
+    lhs.joins = stmt.joins;
+    lhs.where = stmt.where;
+    lhs.group_by = stmt.group_by;
+    lhs.having = stmt.having;
+    lhs.order_by = stmt.order_by;
+    lhs.limit = stmt.limit;
+    lhs.offset = stmt.offset;
+    OFI_ASSIGN_OR_RETURN(PlanPtr lp, PlanSelect(lhs, catalog, join_planner));
+    OFI_ASSIGN_OR_RETURN(PlanPtr rp,
+                         PlanSelect(*stmt.set_rhs, catalog, join_planner));
+    return MakeSetOp(*stmt.set_op, lp, rp);
+  }
+
+  if (stmt.from.empty()) {
+    return Status::NotImplemented("SELECT without FROM");
+  }
+
+  // Gather all relations: FROM list + explicit JOINs.
+  struct Rel {
+    TableRef ref;
+    JoinType type;
+    ExprPtr on;
+  };
+  std::vector<Rel> rels;
+  for (const auto& t : stmt.from) {
+    rels.push_back(Rel{t, JoinType::kInner, nullptr});
+  }
+  for (const auto& j : stmt.joins) {
+    rels.push_back(Rel{j.table, j.type, j.on});
+  }
+
+  std::vector<std::vector<std::string>> rel_columns;
+  for (const auto& r : rels) {
+    OFI_ASSIGN_OR_RETURN(auto cols,
+                         RelationColumns(catalog, r.ref.table, r.ref.alias));
+    rel_columns.push_back(std::move(cols));
+  }
+
+  // Rewrites: fold constants, then push single-relation conjuncts into scans.
+  ExprPtr where = FoldConstants(stmt.where);
+  std::vector<ExprPtr> pushdown, cross;
+  ClassifyPredicates(where, rel_columns, &pushdown, &cross);
+
+  // Explicit ON predicates join the cross set (they reference both sides).
+  for (const auto& r : rels) {
+    if (r.on) {
+      std::vector<ExprPtr> on_conjuncts;
+      SplitConjuncts(FoldConstants(r.on), &on_conjuncts);
+      for (auto& c : on_conjuncts) cross.push_back(std::move(c));
+    }
+  }
+
+  // Outer joins cannot be reordered by the simple planner: handle the pure
+  // inner-join case through the pluggable planner, otherwise left-deep.
+  bool all_inner = std::all_of(rels.begin(), rels.end(), [](const Rel& r) {
+    return r.type == JoinType::kInner;
+  });
+
+  PlanPtr plan;
+  if (all_inner && join_planner != nullptr) {
+    std::vector<PlannedScan> scans;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      scans.push_back(PlannedScan{rels[i].ref.table, pushdown[i],
+                                  rels[i].ref.alias, JoinType::kInner, nullptr});
+    }
+    OFI_ASSIGN_OR_RETURN(plan, join_planner(std::move(scans), cross));
+  } else {
+    // Left-deep in syntactic order; attach cross predicates as soon as all
+    // their columns are in scope, respecting outer-join semantics.
+    std::vector<std::string> in_scope;
+    std::vector<bool> used(cross.size(), false);
+    for (size_t i = 0; i < rels.size(); ++i) {
+      PlanPtr scan =
+          MakeScan(rels[i].ref.table, pushdown[i], rels[i].ref.alias);
+      if (i == 0) {
+        plan = scan;
+        in_scope = rel_columns[0];
+        continue;
+      }
+      in_scope.insert(in_scope.end(), rel_columns[i].begin(),
+                      rel_columns[i].end());
+      std::vector<ExprPtr> applicable;
+      for (size_t p = 0; p < cross.size(); ++p) {
+        if (!used[p] && AllColumnsCovered(cross[p], in_scope)) {
+          applicable.push_back(cross[p]);
+          used[p] = true;
+        }
+      }
+      plan = MakeJoin(plan, scan, ConjoinAll(applicable), rels[i].type);
+    }
+    std::vector<ExprPtr> leftover;
+    for (size_t p = 0; p < cross.size(); ++p) {
+      if (!used[p]) leftover.push_back(cross[p]);
+    }
+    if (!leftover.empty()) plan = MakeFilter(plan, ConjoinAll(leftover));
+  }
+
+  // Aggregation: triggered by explicit GROUP BY, aggregates in the select
+  // list, or aggregate references inside HAVING / ORDER BY.
+  auto has_agg_ref = [](const ExprPtr& e) {
+    if (!e) return false;
+    std::vector<std::string> cols;
+    e->CollectColumns(&cols);
+    return std::any_of(cols.begin(), cols.end(), [](const std::string& c) {
+      return c.rfind("$agg$", 0) == 0;
+    });
+  };
+  bool has_agg =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) { return i.is_aggregate; }) ||
+      has_agg_ref(stmt.having) ||
+      std::any_of(stmt.order_by.begin(), stmt.order_by.end(),
+                  [&](const OrderItem& o) { return has_agg_ref(o.expr); });
+
+  ExprPtr having = FoldConstants(stmt.having);
+  std::vector<OrderItem> order = stmt.order_by;
+
+  if (has_agg) {
+    std::vector<AggSpec> aggs;
+    for (const auto& item : stmt.items) {
+      if (item.is_aggregate) {
+        aggs.push_back(AggSpec{item.agg, item.expr, item.name});
+      }
+    }
+    // Resolve aggregate references in HAVING / ORDER BY against the select
+    // list, adding hidden aggregates when they are not projected.
+    int hidden = 0;
+    if (having) having = ResolveAggRefs(having, stmt.items, &aggs, &hidden);
+    for (auto& o : order) {
+      o.expr = ResolveAggRefs(o.expr, stmt.items, &aggs, &hidden);
+    }
+    plan = MakeAggregate(plan, stmt.group_by, std::move(aggs));
+    if (having) plan = MakeFilter(plan, having);
+  }
+
+  // ORDER BY runs before the projection so it can reference underlying
+  // columns (non-aggregate queries) or aggregate outputs / group keys
+  // (aggregate queries). SQL alias-only sort keys are a known limitation.
+  if (!order.empty()) {
+    std::vector<SortKey> keys;
+    for (const auto& o : order) {
+      keys.push_back(SortKey{o.expr, o.ascending});
+    }
+    plan = MakeSort(plan, std::move(keys));
+  }
+
+  if (!stmt.select_star) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const auto& item : stmt.items) {
+      exprs.push_back(item.is_aggregate ? Expr::ColumnRef(item.name)
+                                        : item.expr);
+      names.push_back(item.name);
+    }
+    plan = MakeProject(plan, std::move(exprs), std::move(names));
+  }
+
+  if (stmt.distinct) {
+    // DISTINCT reuses the set machinery: UNION with an empty input dedupes.
+    plan = MakeSetOp(SetOpType::kUnion, plan, MakeLimit(plan, 0));
+  }
+  if (stmt.limit.has_value()) {
+    plan = MakeLimit(plan, *stmt.limit, stmt.offset);
+  }
+  return plan;
+}
+
+}  // namespace ofi::sql

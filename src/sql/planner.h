@@ -1,0 +1,49 @@
+/// \file planner.h
+/// \brief Turns a parsed SelectStatement into a logical plan. The join
+/// order is delegated to a pluggable JoinPlanner so the cost-based
+/// optimizer can take over; without one, relations join left-deep in FROM
+/// order (the "naive" planner). Includes the rule-based rewrites the paper
+/// lists as optimizer work (§II-C): predicate pushdown to scans, constant
+/// folding, and redundant-node elimination.
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/table.h"
+
+namespace ofi::sql {
+
+/// One relation handed to the join planner: table + pushed-down predicate.
+struct PlannedScan {
+  std::string table;
+  ExprPtr predicate;
+  std::string alias;
+  JoinType join_type = JoinType::kInner;  // how it joins into the query
+  ExprPtr explicit_on;                    // JOIN ... ON predicate, if any
+};
+
+/// Hook for cost-based join ordering: receives the inner-joinable scans and
+/// the cross-relation predicates; returns the join tree.
+using JoinPlanner = std::function<Result<PlanPtr>(
+    std::vector<PlannedScan> scans, std::vector<ExprPtr> join_preds)>;
+
+/// Plans a SELECT. `catalog` resolves schemas (to classify predicates and
+/// expand SELECT *); `join_planner` may be null (left-deep naive order).
+Result<PlanPtr> PlanSelect(const SelectStatement& stmt, const Catalog& catalog,
+                           const JoinPlanner& join_planner = nullptr);
+
+// --- Rewrite rules (exposed for tests and the rewrite ablation bench) -------
+
+/// Splits `where` into per-relation pushdowns and cross-relation conjuncts.
+/// `relation_columns[i]` lists the columns relation i can resolve.
+void ClassifyPredicates(const ExprPtr& where,
+                        const std::vector<std::vector<std::string>>& relation_columns,
+                        std::vector<ExprPtr>* per_relation,
+                        std::vector<ExprPtr>* cross_relation);
+
+/// Folds constant subexpressions: 1+2 -> 3, TRUE AND x -> x, etc.
+ExprPtr FoldConstants(const ExprPtr& expr);
+
+}  // namespace ofi::sql

@@ -1,0 +1,57 @@
+#include "sql/schema.h"
+
+namespace ofi::sql {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  // Qualified lookup first.
+  auto dot = name.find('.');
+  if (dot != std::string::npos) {
+    std::string table = name.substr(0, dot);
+    std::string col = name.substr(dot + 1);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == col && columns_[i].table == table) return i;
+    }
+    // Fall through: a bare column may itself contain dots in synthetic names.
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name || columns_[i].QualifiedName() == name) {
+      if (found.has_value()) {
+        return Status::AlreadyExists("ambiguous column: " + name);
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) return Status::NotFound("no such column: " + name);
+  return *found;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& table) const {
+  std::vector<Column> cols = columns_;
+  for (auto& c : cols) c.table = table;
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].QualifiedName() + " " + TypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t n = 0;
+  for (const auto& v : row) n += v.ByteSize();
+  return n;
+}
+
+}  // namespace ofi::sql

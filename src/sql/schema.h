@@ -1,0 +1,60 @@
+/// \file schema.h
+/// \brief Relational schemas: typed, named columns with lookup by
+/// (qualified) name. Shared by the row store, column store, executor and
+/// optimizer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace ofi::sql {
+
+/// \brief One column: name, type, and an optional table qualifier so the
+/// optimizer's canonical step text can print "OLAP.T1.B1"-style names.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string table;  // optional qualifier
+
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+/// \brief An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Finds a column index by name; accepts bare or qualified names.
+  /// Bare-name lookup fails with AlreadyExists if ambiguous across tables.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Appends another schema's columns (join output schema).
+  Schema Concat(const Schema& other) const;
+
+  /// Re-qualifies every column with `table` (for aliased scans).
+  Schema WithQualifier(const std::string& table) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple matching some Schema positionally.
+using Row = std::vector<Value>;
+
+/// Total byte size of a row (bandwidth/metrics accounting).
+size_t RowByteSize(const Row& row);
+
+}  // namespace ofi::sql

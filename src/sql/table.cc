@@ -1,0 +1,22 @@
+#include "sql/table.h"
+
+namespace ofi::sql {
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + "\n";
+  size_t shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows_.size() - max_rows) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ofi::sql

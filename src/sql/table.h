@@ -1,0 +1,80 @@
+/// \file table.h
+/// \brief In-memory relational tables and a catalog. This is the relational
+/// engine's working representation; the MVCC heap (src/storage) and the
+/// columnar store convert to/from it at scan boundaries.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/schema.h"
+
+namespace ofi::sql {
+
+/// \brief A schema plus rows. Cheap to move, expensive to copy.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; returns InvalidArgument on arity mismatch.
+  Status Append(Row row) {
+    if (row.size() != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    rows_.push_back(std::move(row));
+    return Status::OK();
+  }
+
+  /// Pretty-prints up to `max_rows` rows for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// \brief Named table registry used by the executor and optimizer.
+class Catalog {
+ public:
+  /// Registers (or replaces) a table under `name`.
+  void Register(const std::string& name, Table table) {
+    tables_[name] = std::make_shared<Table>(std::move(table));
+  }
+
+  Result<std::shared_ptr<Table>> Get(const std::string& name) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+    return it->second;
+  }
+
+  bool Contains(const std::string& name) const { return tables_.count(name) > 0; }
+
+  /// Drops a table; NotFound if absent.
+  Status Drop(const std::string& name) {
+    if (tables_.erase(name) == 0) return Status::NotFound("no such table: " + name);
+    return Status::OK();
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [k, _] : tables_) names.push_back(k);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace ofi::sql

@@ -1,0 +1,98 @@
+#include "sql/value.h"
+
+#include <functional>
+
+namespace ofi::sql {
+
+std::string TypeToString(TypeId type) {
+  switch (type) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOLEAN";
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+    case TypeId::kTimestamp: return "TIMESTAMP";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kTimestamp;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    // Exact path when both sides are integer-backed.
+    if (type_ != TypeId::kDouble && other.type_ != TypeId::kDouble) {
+      int64_t a = std::get<int64_t>(payload_);
+      int64_t b = std::get<int64_t>(other.payload_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ == TypeId::kBool && other.type_ == TypeId::kBool) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    return AsString().compare(other.AsString());
+  }
+  // Heterogeneous: order by type id so sorting is still a total order.
+  return static_cast<int>(type_) - static_cast<int>(other.type_);
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull: return 0x9e3779b9;
+    case TypeId::kBool: return std::hash<bool>{}(AsBool());
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return std::hash<int64_t>{}(std::get<int64_t>(payload_));
+    case TypeId::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like their int64 twin so 1.0 and 1 join.
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case TypeId::kString: return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return AsBool() ? "TRUE" : "FALSE";
+    case TypeId::kInt64: return std::to_string(AsInt());
+    case TypeId::kTimestamp: return "TS(" + std::to_string(AsInt()) + ")";
+    case TypeId::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case TypeId::kString: return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  switch (type_) {
+    case TypeId::kNull: return 1;
+    case TypeId::kBool: return 1;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+    case TypeId::kDouble: return 8;
+    case TypeId::kString: return AsString().size() + 4;
+  }
+  return 0;
+}
+
+}  // namespace ofi::sql

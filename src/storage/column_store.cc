@@ -1,0 +1,335 @@
+#include "storage/column_store.h"
+
+#include <cstring>
+
+namespace ofi::storage {
+
+size_t Int64Chunk::CompressedBytes() const {
+  if (encoding == Encoding::kRle) {
+    return rle_values.size() * sizeof(int64_t) + rle_lengths.size() * sizeof(uint32_t);
+  }
+  return plain.size() * sizeof(int64_t);
+}
+
+void Int64Chunk::Decode(std::vector<int64_t>* out) const {
+  out->clear();
+  out->reserve(num_rows);
+  if (encoding == Encoding::kRle) {
+    for (size_t i = 0; i < rle_values.size(); ++i) {
+      out->insert(out->end(), rle_lengths[i], rle_values[i]);
+    }
+  } else {
+    *out = plain;
+  }
+}
+
+size_t StringChunk::CompressedBytes() const {
+  if (encoding == Encoding::kDict) {
+    size_t n = codes.size() * sizeof(uint32_t);
+    for (const auto& s : dict) n += s.size() + 4;
+    return n;
+  }
+  size_t n = 0;
+  for (const auto& s : plain) n += s.size() + 4;
+  return n;
+}
+
+Int64Chunk EncodeInt64(const std::vector<int64_t>& values) {
+  Int64Chunk chunk;
+  chunk.num_rows = values.size();
+  // Build RLE and keep it only if it actually compresses.
+  std::vector<int64_t> rv;
+  std::vector<uint32_t> rl;
+  for (int64_t v : values) {
+    if (!rv.empty() && rv.back() == v && rl.back() < UINT32_MAX) {
+      rl.back()++;
+    } else {
+      rv.push_back(v);
+      rl.push_back(1);
+    }
+  }
+  size_t rle_bytes = rv.size() * sizeof(int64_t) + rl.size() * sizeof(uint32_t);
+  if (rle_bytes < values.size() * sizeof(int64_t)) {
+    chunk.encoding = Encoding::kRle;
+    chunk.rle_values = std::move(rv);
+    chunk.rle_lengths = std::move(rl);
+  } else {
+    chunk.encoding = Encoding::kPlain;
+    chunk.plain = values;
+  }
+  return chunk;
+}
+
+StringChunk EncodeString(const std::vector<std::string>& values) {
+  StringChunk chunk;
+  chunk.num_rows = values.size();
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<std::string> dict;
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  for (const auto& s : values) {
+    auto [it, inserted] = index.emplace(s, static_cast<uint32_t>(dict.size()));
+    if (inserted) dict.push_back(s);
+    codes.push_back(it->second);
+  }
+  size_t dict_bytes = codes.size() * sizeof(uint32_t);
+  for (const auto& s : dict) dict_bytes += s.size() + 4;
+  size_t plain_bytes = 0;
+  for (const auto& s : values) plain_bytes += s.size() + 4;
+  if (dict_bytes < plain_bytes) {
+    chunk.encoding = Encoding::kDict;
+    chunk.dict = std::move(dict);
+    chunk.codes = std::move(codes);
+  } else {
+    chunk.encoding = Encoding::kPlain;
+    chunk.plain = values;
+  }
+  return chunk;
+}
+
+ColumnTable::ColumnTable(sql::Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_[i].type = schema_.column(i).type;
+  }
+}
+
+Status ColumnTable::Append(const sql::Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("column append: arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    ColumnData& c = columns_[i];
+    switch (c.type) {
+      case sql::TypeId::kInt64:
+      case sql::TypeId::kTimestamp:
+        c.int_tail.push_back(row[i].is_null() ? 0 : row[i].AsInt());
+        break;
+      case sql::TypeId::kDouble: {
+        double d = row[i].is_null() ? 0.0 : row[i].AsDouble();
+        int64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        c.int_tail.push_back(bits);
+        break;
+      }
+      case sql::TypeId::kString:
+        c.string_tail.push_back(row[i].is_null() ? "" : row[i].AsString());
+        break;
+      default:
+        return Status::NotImplemented("column type unsupported");
+    }
+  }
+  ++num_rows_;
+  if (num_rows_ % kChunkRows == 0) {
+    for (auto& c : columns_) EncodeTail(&c);
+  }
+  return Status::OK();
+}
+
+void ColumnTable::Seal() {
+  for (auto& c : columns_) EncodeTail(&c);
+}
+
+void ColumnTable::EncodeTail(ColumnData* c) {
+  if (!c->int_tail.empty()) {
+    c->int_chunks.push_back(EncodeInt64(c->int_tail));
+    c->int_tail.clear();
+  }
+  if (!c->string_tail.empty()) {
+    c->string_chunks.push_back(EncodeString(c->string_tail));
+    c->string_tail.clear();
+  }
+}
+
+Result<size_t> ColumnTable::ColIndex(const std::string& col,
+                                     sql::TypeId expect) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(col));
+  sql::TypeId t = columns_[idx].type;
+  bool int_like = t == sql::TypeId::kInt64 || t == sql::TypeId::kTimestamp;
+  bool expect_int = expect == sql::TypeId::kInt64;
+  if (expect_int != int_like && t != expect) {
+    return Status::InvalidArgument("column type mismatch: " + col);
+  }
+  return idx;
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterGtInt64(const std::string& col,
+                                                         int64_t bound) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  std::vector<uint32_t> sel;
+  uint32_t base = 0;
+  std::vector<int64_t> decoded;
+  for (const auto& chunk : columns_[idx].int_chunks) {
+    if (chunk.encoding == Encoding::kRle) {
+      // Operate on runs directly: whole runs pass or fail at once.
+      uint32_t off = 0;
+      for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
+        if (chunk.rle_values[r] > bound) {
+          for (uint32_t k = 0; k < chunk.rle_lengths[r]; ++k) {
+            sel.push_back(base + off + k);
+          }
+        }
+        off += chunk.rle_lengths[r];
+      }
+    } else {
+      for (size_t i = 0; i < chunk.plain.size(); ++i) {
+        if (chunk.plain[i] > bound) sel.push_back(base + static_cast<uint32_t>(i));
+      }
+    }
+    base += static_cast<uint32_t>(chunk.num_rows);
+  }
+  (void)decoded;
+  return sel;
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterEqString(
+    const std::string& col, const std::string& needle) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kString));
+  std::vector<uint32_t> sel;
+  uint32_t base = 0;
+  for (const auto& chunk : columns_[idx].string_chunks) {
+    if (chunk.encoding == Encoding::kDict) {
+      // Compare against the dictionary once, then match codes.
+      int32_t code = -1;
+      for (size_t d = 0; d < chunk.dict.size(); ++d) {
+        if (chunk.dict[d] == needle) {
+          code = static_cast<int32_t>(d);
+          break;
+        }
+      }
+      if (code >= 0) {
+        for (size_t i = 0; i < chunk.codes.size(); ++i) {
+          if (chunk.codes[i] == static_cast<uint32_t>(code)) {
+            sel.push_back(base + static_cast<uint32_t>(i));
+          }
+        }
+      }
+    } else {
+      for (size_t i = 0; i < chunk.plain.size(); ++i) {
+        if (chunk.plain[i] == needle) sel.push_back(base + static_cast<uint32_t>(i));
+      }
+    }
+    base += static_cast<uint32_t>(chunk.num_rows);
+  }
+  return sel;
+}
+
+Result<int64_t> ColumnTable::SumInt64(const std::string& col,
+                                      const std::vector<uint32_t>* sel) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+  int64_t sum = 0;
+  if (sel == nullptr) {
+    for (const auto& chunk : chunks) {
+      if (chunk.encoding == Encoding::kRle) {
+        for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
+          sum += chunk.rle_values[r] * chunk.rle_lengths[r];
+        }
+      } else {
+        for (int64_t v : chunk.plain) sum += v;
+      }
+    }
+    return sum;
+  }
+  // Selection path: decode chunk-by-chunk on demand.
+  std::vector<int64_t> decoded;
+  size_t chunk_idx = 0;
+  uint32_t chunk_start = 0;
+  auto ensure_chunk = [&](uint32_t row) {
+    while (chunk_idx < chunks.size() &&
+           row >= chunk_start + chunks[chunk_idx].num_rows) {
+      chunk_start += static_cast<uint32_t>(chunks[chunk_idx].num_rows);
+      ++chunk_idx;
+      decoded.clear();
+    }
+    if (decoded.empty() && chunk_idx < chunks.size()) {
+      chunks[chunk_idx].Decode(&decoded);
+    }
+  };
+  for (uint32_t row : *sel) {
+    ensure_chunk(row);
+    if (chunk_idx >= chunks.size()) break;
+    sum += decoded[row - chunk_start];
+  }
+  return sum;
+}
+
+Result<std::vector<sql::Row>> ColumnTable::Gather(
+    const std::vector<uint32_t>& sel) const {
+  // Decode every column fully once, then gather. Fine at bench scale.
+  std::vector<std::vector<int64_t>> int_cols(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].type == sql::TypeId::kString) continue;
+    std::vector<int64_t> all;
+    std::vector<int64_t> tmp;
+    for (const auto& chunk : columns_[c].int_chunks) {
+      chunk.Decode(&tmp);
+      all.insert(all.end(), tmp.begin(), tmp.end());
+    }
+    int_cols[c] = std::move(all);
+  }
+  std::vector<sql::Row> out;
+  out.reserve(sel.size());
+  for (uint32_t r : sel) {
+    sql::Row row;
+    row.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      switch (columns_[c].type) {
+        case sql::TypeId::kInt64:
+          row.push_back(sql::Value(int_cols[c][r]));
+          break;
+        case sql::TypeId::kTimestamp:
+          row.push_back(sql::Value::Timestamp(int_cols[c][r]));
+          break;
+        case sql::TypeId::kDouble: {
+          double d;
+          std::memcpy(&d, &int_cols[c][r], sizeof(d));
+          row.push_back(sql::Value(d));
+          break;
+        }
+        case sql::TypeId::kString: {
+          // Locate the chunk containing r.
+          uint32_t base = 0;
+          for (const auto& chunk : columns_[c].string_chunks) {
+            if (r < base + chunk.num_rows) {
+              row.push_back(sql::Value(chunk.At(r - base)));
+              break;
+            }
+            base += static_cast<uint32_t>(chunk.num_rows);
+          }
+          break;
+        }
+        default:
+          row.push_back(sql::Value::Null());
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+size_t ColumnTable::CompressedBytes() const {
+  size_t n = 0;
+  for (const auto& c : columns_) {
+    for (const auto& chunk : c.int_chunks) n += chunk.CompressedBytes();
+    for (const auto& chunk : c.string_chunks) n += chunk.CompressedBytes();
+  }
+  return n;
+}
+
+size_t ColumnTable::PlainBytes() const {
+  size_t n = 0;
+  for (const auto& c : columns_) {
+    for (const auto& chunk : c.int_chunks) n += chunk.num_rows * sizeof(int64_t);
+    for (const auto& chunk : c.string_chunks) {
+      if (chunk.encoding == Encoding::kDict) {
+        for (uint32_t code : chunk.codes) n += chunk.dict[code].size() + 4;
+      } else {
+        for (const auto& s : chunk.plain) n += s.size() + 4;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace ofi::storage

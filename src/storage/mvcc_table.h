@@ -1,0 +1,83 @@
+/// \file mvcc_table.h
+/// \brief A versioned row store: every key holds a chain of tuple versions
+/// with (xmin, xmax) headers, exactly the representation the paper's
+/// Anomaly2 walkthrough uses (Fig. 2 table: tuple1 deleted by T1, tuple2
+/// created by T1 and deleted by T3, tuple3 created by T3).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/schema.h"
+#include "txn/snapshot.h"
+#include "txn/types.h"
+
+namespace ofi::storage {
+
+/// One tuple version with its MVCC header.
+struct TupleVersion {
+  txn::Xid xmin = txn::kInvalidXid;  // creator
+  txn::Xid xmax = txn::kInvalidXid;  // deleter (kInvalidXid = live)
+  sql::Row data;
+};
+
+/// \brief A keyed MVCC heap. Writes are first-updater-wins: updating or
+/// deleting a version whose xmax is already set by a live transaction
+/// aborts the second writer (write-write conflict).
+class MvccTable {
+ public:
+  explicit MvccTable(sql::Schema schema) : schema_(std::move(schema)) {}
+
+  const sql::Schema& schema() const { return schema_; }
+
+  /// Inserts a new row under `key`. Fails with AlreadyExists if a version
+  /// visible to `vis` already exists for the key.
+  Status Insert(const sql::Value& key, sql::Row row, txn::Xid xid,
+                const txn::VisibilityChecker& vis);
+
+  /// Updates the visible version: sets its xmax and appends the new version.
+  Status Update(const sql::Value& key, sql::Row row, txn::Xid xid,
+                const txn::VisibilityChecker& vis);
+
+  /// Deletes the visible version (sets xmax).
+  Status Delete(const sql::Value& key, txn::Xid xid,
+                const txn::VisibilityChecker& vis);
+
+  /// Point read of the visible version.
+  Result<sql::Row> Read(const sql::Value& key,
+                        const txn::VisibilityChecker& vis) const;
+
+  /// Full scan: all visible rows, in unspecified order.
+  std::vector<sql::Row> ScanVisible(const txn::VisibilityChecker& vis) const;
+
+  /// Undoes the effects of an aborted transaction: clears xmax it set and
+  /// leaves its insertions dead (their xmin is aborted, so they are
+  /// invisible; physical removal happens in Vacuum).
+  void RollbackXid(txn::Xid xid);
+
+  /// Targeted rollback for one key (write-set driven abort path).
+  void RollbackKey(const sql::Value& key, txn::Xid xid);
+
+  /// Removes versions invisible to everyone older than `horizon` (dead
+  /// versions from aborted or superseded writes).
+  size_t Vacuum(txn::Xid horizon, const txn::CommitLog& clog);
+
+  /// Raw version chain for a key (tests and the Fig. 2 walkthrough).
+  const std::vector<TupleVersion>* Versions(const sql::Value& key) const;
+
+  size_t num_keys() const { return chains_.size(); }
+  size_t num_versions() const { return num_versions_; }
+
+ private:
+  // Newest visible version index in a chain, or -1.
+  int FindVisible(const std::vector<TupleVersion>& chain,
+                  const txn::VisibilityChecker& vis) const;
+
+  sql::Schema schema_;
+  std::unordered_map<sql::Value, std::vector<TupleVersion>> chains_;
+  size_t num_versions_ = 0;
+};
+
+}  // namespace ofi::storage

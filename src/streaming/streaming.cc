@@ -1,0 +1,140 @@
+#include "streaming/streaming.h"
+
+#include <algorithm>
+
+namespace ofi::streaming {
+
+StreamEngine::StreamEngine(sql::Schema schema) : schema_(std::move(schema)) {}
+
+Result<int> StreamEngine::Register(ContinuousQuerySpec spec,
+                                   EmitCallback callback) {
+  Query q;
+  if (spec.window_us <= 0) {
+    return Status::InvalidArgument("window must be positive");
+  }
+  if (spec.filter) {
+    OFI_RETURN_NOT_OK(spec.filter->Bind(schema_));
+  }
+  if (!spec.key_column.empty()) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(spec.key_column));
+    q.key_index = static_cast<int>(idx);
+  }
+  if (!spec.agg_column.empty()) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(spec.agg_column));
+    q.agg_index = static_cast<int>(idx);
+  } else if (spec.agg != sql::AggFunc::kCount) {
+    return Status::InvalidArgument("only COUNT may omit the aggregate column");
+  }
+  q.spec = std::move(spec);
+  q.callback = std::move(callback);
+  int id = next_id_++;
+  queries_[id] = std::move(q);
+  return id;
+}
+
+Status StreamEngine::Unregister(int query_id) {
+  if (queries_.erase(query_id) == 0) return Status::NotFound("no such query");
+  return Status::OK();
+}
+
+void StreamEngine::AccumulateInto(Query* q, Timestamp ts,
+                                  const sql::Row& full_row) {
+  if (q->spec.filter) {
+    sql::Value pass = q->spec.filter->Eval(full_row);
+    if (pass.is_null() || !pass.AsBool()) return;
+  }
+  Timestamp wstart =
+      ts - ((ts % q->spec.window_us) + q->spec.window_us) % q->spec.window_us;
+  sql::Value key = q->key_index >= 0 ? full_row[q->key_index] : sql::Value::Null();
+  WindowState& st = q->windows[{wstart, key}];
+  double v = 0;
+  if (q->agg_index >= 0 && !full_row[q->agg_index].is_null()) {
+    v = full_row[q->agg_index].AsDouble();
+  } else if (q->agg_index >= 0) {
+    return;  // NULL aggregate input: skipped, SQL-style
+  }
+  if (st.count == 0) {
+    st.min = st.max = v;
+  } else {
+    st.min = std::min(st.min, v);
+    st.max = std::max(st.max, v);
+  }
+  st.sum += v;
+  ++st.count;
+}
+
+void StreamEngine::EmitWindow(Query* q,
+                              const std::pair<Timestamp, sql::Value>& key,
+                              const WindowState& st) {
+  WindowResult r;
+  r.query = q->spec.name;
+  r.window_start = key.first;
+  r.key = key.second;
+  r.count = st.count;
+  switch (q->spec.agg) {
+    case sql::AggFunc::kCount: r.value = static_cast<double>(st.count); break;
+    case sql::AggFunc::kSum: r.value = st.sum; break;
+    case sql::AggFunc::kAvg:
+      r.value = st.count ? st.sum / static_cast<double>(st.count) : 0;
+      break;
+    case sql::AggFunc::kMin: r.value = st.min; break;
+    case sql::AggFunc::kMax: r.value = st.max; break;
+  }
+  q->callback(r);
+}
+
+void StreamEngine::EmitClosedWindows(Query* q) {
+  // A window [w, w + window) is closed once the watermark passes its end
+  // plus the query's lateness allowance.
+  while (!q->windows.empty()) {
+    auto it = q->windows.begin();
+    Timestamp closes_at =
+        it->first.first + q->spec.window_us + q->spec.allowed_lateness_us;
+    if (max_event_time_ < closes_at) break;
+    EmitWindow(q, it->first, it->second);
+    q->windows.erase(it);
+  }
+}
+
+Status StreamEngine::Ingest(Timestamp ts, sql::Row values) {
+  if (values.size() + 1 != schema_.num_columns()) {
+    return Status::InvalidArgument("event arity mismatch");
+  }
+  ++events_ingested_;
+
+  sql::Row full_row;
+  full_row.reserve(values.size() + 1);
+  full_row.push_back(sql::Value::Timestamp(ts));
+  for (auto& v : values) full_row.push_back(std::move(v));
+
+  bool late_for_all = true;
+  for (auto& [id, q] : queries_) {
+    Timestamp wstart =
+        ts - ((ts % q.spec.window_us) + q.spec.window_us) % q.spec.window_us;
+    Timestamp closes_at = wstart + q.spec.window_us + q.spec.allowed_lateness_us;
+    if (max_event_time_ != INT64_MIN && closes_at <= max_event_time_) {
+      continue;  // this event's window already closed for query q: late
+    }
+    late_for_all = false;
+    AccumulateInto(&q, ts, full_row);
+  }
+  if (late_for_all && !queries_.empty() && max_event_time_ != INT64_MIN &&
+      ts < max_event_time_) {
+    ++late_events_;
+  }
+
+  if (ts > max_event_time_) {
+    max_event_time_ = ts;
+    for (auto& [id, q] : queries_) EmitClosedWindows(&q);
+  }
+  return Status::OK();
+}
+
+void StreamEngine::Flush() {
+  for (auto& [id, q] : queries_) {
+    for (const auto& [key, st] : q.windows) EmitWindow(&q, key, st);
+    q.windows.clear();
+  }
+}
+
+}  // namespace ofi::streaming

@@ -1,0 +1,97 @@
+/// \file streaming.h
+/// \brief The streaming runtime (paper §II-B2: the SQL extension integrates
+/// "a continuous query language used in streaming processing"). Continuous
+/// queries run standing over an event stream: optional filter, optional
+/// group key, a windowed aggregate, and an emit callback fired when event
+/// time passes the window end (plus allowed lateness). Late events are
+/// counted and dropped, never silently mis-aggregated.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/expr.h"
+#include "sql/plan.h"
+#include "sql/schema.h"
+
+namespace ofi::streaming {
+
+using Timestamp = int64_t;
+
+/// One emitted window.
+struct WindowResult {
+  std::string query;
+  Timestamp window_start = 0;
+  sql::Value key;  // NULL for un-keyed queries
+  double value = 0;
+  uint64_t count = 0;
+};
+
+using EmitCallback = std::function<void(const WindowResult&)>;
+
+/// Definition of a continuous query.
+struct ContinuousQuerySpec {
+  std::string name;
+  sql::ExprPtr filter;        // optional row predicate
+  std::string key_column;     // optional group-by column ("" = global)
+  sql::AggFunc agg = sql::AggFunc::kCount;
+  std::string agg_column;     // aggregated column ("" allowed for COUNT)
+  Timestamp window_us = 1'000'000;
+  Timestamp allowed_lateness_us = 0;
+};
+
+/// \brief Standing queries over one event schema.
+class StreamEngine {
+ public:
+  /// \param schema the event schema; the first column must be the
+  ///        event-time column (TIMESTAMP), like the EventStore layout.
+  explicit StreamEngine(sql::Schema schema);
+
+  /// Registers a continuous query; returns its id. Binds the filter and
+  /// columns against the stream schema.
+  Result<int> Register(ContinuousQuerySpec spec, EmitCallback callback);
+  Status Unregister(int query_id);
+
+  /// Ingests one event (row WITHOUT the time column). Advancing event time
+  /// closes windows and fires callbacks; events older than the watermark
+  /// (max event time - allowed lateness) are dropped and counted late.
+  Status Ingest(Timestamp ts, sql::Row values);
+
+  /// Closes and emits every open window (end of stream / shutdown).
+  void Flush();
+
+  uint64_t events_ingested() const { return events_ingested_; }
+  uint64_t late_events() const { return late_events_; }
+  Timestamp watermark() const { return max_event_time_; }
+
+ private:
+  struct WindowState {
+    double sum = 0, min = 0, max = 0;
+    uint64_t count = 0;
+  };
+  struct Query {
+    ContinuousQuerySpec spec;
+    EmitCallback callback;
+    int key_index = -1;  // into the full (time-prefixed) row
+    int agg_index = -1;
+    // (window_start, key) -> state. std::map keeps windows ordered by start.
+    std::map<std::pair<Timestamp, sql::Value>, WindowState> windows;
+  };
+
+  void AccumulateInto(Query* q, Timestamp ts, const sql::Row& full_row);
+  void EmitClosedWindows(Query* q);
+  void EmitWindow(Query* q, const std::pair<Timestamp, sql::Value>& key,
+                  const WindowState& st);
+
+  sql::Schema schema_;  // time + value columns
+  std::map<int, Query> queries_;
+  int next_id_ = 1;
+  Timestamp max_event_time_ = INT64_MIN;
+  uint64_t events_ingested_ = 0;
+  uint64_t late_events_ = 0;
+};
+
+}  // namespace ofi::streaming

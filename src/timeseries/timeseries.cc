@@ -1,0 +1,174 @@
+#include "timeseries/timeseries.h"
+
+#include <algorithm>
+
+namespace ofi::timeseries {
+
+void Series::Append(Timestamp ts, double value) {
+  if (!samples_.empty() && ts < samples_.back().ts) sorted_ = false;
+  samples_.push_back(Sample{ts, value});
+}
+
+void Series::EnsureSorted() const {
+  if (sorted_) return;
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const Sample& a, const Sample& b) { return a.ts < b.ts; });
+  sorted_ = true;
+}
+
+Timestamp Series::max_ts() const {
+  EnsureSorted();
+  return samples_.empty() ? 0 : samples_.back().ts;
+}
+
+std::vector<Sample> Series::Range(Timestamp from, Timestamp to) const {
+  EnsureSorted();
+  auto lo = std::lower_bound(samples_.begin(), samples_.end(), from,
+                             [](const Sample& s, Timestamp t) { return s.ts < t; });
+  auto hi = std::lower_bound(samples_.begin(), samples_.end(), to,
+                             [](const Sample& s, Timestamp t) { return s.ts < t; });
+  return std::vector<Sample>(lo, hi);
+}
+
+std::vector<WindowAgg> Series::Downsample(Timestamp from, Timestamp to,
+                                          Timestamp window_us, AggKind agg) const {
+  std::vector<WindowAgg> out;
+  if (window_us <= 0 || to <= from) return out;
+  std::vector<Sample> range = Range(from, to);
+  size_t i = 0;
+  for (Timestamp w = from; w < to; w += window_us) {
+    Timestamp end = w + window_us;
+    double sum = 0, mn = 0, mx = 0;
+    uint64_t count = 0;
+    while (i < range.size() && range[i].ts < end) {
+      double v = range[i].value;
+      if (count == 0) {
+        mn = mx = v;
+      } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      sum += v;
+      ++count;
+      ++i;
+    }
+    if (count == 0) continue;  // sparse output: empty windows omitted
+    double value = 0;
+    switch (agg) {
+      case AggKind::kAvg: value = sum / static_cast<double>(count); break;
+      case AggKind::kSum: value = sum; break;
+      case AggKind::kMin: value = mn; break;
+      case AggKind::kMax: value = mx; break;
+      case AggKind::kCount: value = static_cast<double>(count); break;
+    }
+    out.push_back(WindowAgg{w, value, count});
+  }
+  return out;
+}
+
+size_t Series::Retain(Timestamp cutoff) {
+  EnsureSorted();
+  auto lo = std::lower_bound(samples_.begin(), samples_.end(), cutoff,
+                             [](const Sample& s, Timestamp t) { return s.ts < t; });
+  size_t dropped = static_cast<size_t>(lo - samples_.begin());
+  samples_.erase(samples_.begin(), lo);
+  return dropped;
+}
+
+Result<const Series*> MetricStore::Get(const std::string& metric) const {
+  auto it = series_.find(metric);
+  if (it == series_.end()) return Status::NotFound("no series: " + metric);
+  return &it->second;
+}
+
+size_t MetricStore::RetainAll(Timestamp cutoff) {
+  size_t dropped = 0;
+  for (auto& [name, s] : series_) dropped += s.Retain(cutoff);
+  return dropped;
+}
+
+void ContinuousAggregate::Ingest(Timestamp ts, double value) {
+  Timestamp w = ts - (ts % window_us_ + window_us_) % window_us_;
+  State& st = windows_[w];
+  if (st.count == 0) {
+    st.min = st.max = value;
+  } else {
+    st.min = std::min(st.min, value);
+    st.max = std::max(st.max, value);
+  }
+  st.sum += value;
+  ++st.count;
+}
+
+std::vector<WindowAgg> ContinuousAggregate::Windows(Timestamp from,
+                                                    Timestamp to) const {
+  std::vector<WindowAgg> out;
+  for (auto it = windows_.lower_bound(from); it != windows_.end() && it->first < to;
+       ++it) {
+    const State& st = it->second;
+    double value = 0;
+    switch (agg_) {
+      case AggKind::kAvg:
+        value = st.count ? st.sum / static_cast<double>(st.count) : 0;
+        break;
+      case AggKind::kSum: value = st.sum; break;
+      case AggKind::kMin: value = st.min; break;
+      case AggKind::kMax: value = st.max; break;
+      case AggKind::kCount: value = static_cast<double>(st.count); break;
+    }
+    out.push_back(WindowAgg{it->first, value, st.count});
+  }
+  return out;
+}
+
+EventStore::EventStore(std::vector<sql::Column> value_columns) {
+  std::vector<sql::Column> cols = {{"time", sql::TypeId::kTimestamp, ""}};
+  cols.insert(cols.end(), value_columns.begin(), value_columns.end());
+  schema_ = sql::Schema(std::move(cols));
+}
+
+Status EventStore::Append(Timestamp ts, sql::Row values) {
+  if (values.size() + 1 != schema_.num_columns()) {
+    return Status::InvalidArgument("event arity mismatch");
+  }
+  if (!events_.empty() && ts < events_.back().ts) sorted_ = false;
+  events_.push_back(Event{ts, std::move(values)});
+  return Status::OK();
+}
+
+void EventStore::EnsureSorted() const {
+  if (sorted_) return;
+  std::stable_sort(mutable_events()->begin(), mutable_events()->end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  sorted_ = true;
+}
+
+sql::Table EventStore::Window(Timestamp now, Timestamp window_us) const {
+  return RangeTable(now - window_us, now + 1);
+}
+
+sql::Table EventStore::RangeTable(Timestamp from, Timestamp to) const {
+  EnsureSorted();
+  auto lo = std::lower_bound(events_.begin(), events_.end(), from,
+                             [](const Event& e, Timestamp t) { return e.ts < t; });
+  auto hi = std::lower_bound(events_.begin(), events_.end(), to,
+                             [](const Event& e, Timestamp t) { return e.ts < t; });
+  sql::Table out(schema_);
+  for (auto it = lo; it != hi; ++it) {
+    sql::Row row = {sql::Value::Timestamp(it->ts)};
+    row.insert(row.end(), it->values.begin(), it->values.end());
+    out.mutable_rows().push_back(std::move(row));
+  }
+  return out;
+}
+
+size_t EventStore::Retain(Timestamp cutoff) {
+  EnsureSorted();
+  auto lo = std::lower_bound(events_.begin(), events_.end(), cutoff,
+                             [](const Event& e, Timestamp t) { return e.ts < t; });
+  size_t dropped = static_cast<size_t>(lo - events_.begin());
+  mutable_events()->erase(mutable_events()->begin(), lo);
+  return dropped;
+}
+
+}  // namespace ofi::timeseries

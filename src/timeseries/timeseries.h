@@ -1,0 +1,135 @@
+/// \file timeseries.h
+/// \brief The time-series runtime engine (paper §II-B): a high-ingest
+/// append store for numeric metrics with window queries and downsampling,
+/// plus an event store whose recent-window view is the `gtimeseries(...)`
+/// table expression used by Example 1. Pre-aggregation (continuous
+/// rollups) implements the edge-side "data pre-aggregation for time series
+/// data" of §IV-B3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/table.h"
+
+namespace ofi::timeseries {
+
+/// Microseconds since epoch (matches sql::Value::Timestamp payloads).
+using Timestamp = int64_t;
+
+/// One numeric sample.
+struct Sample {
+  Timestamp ts = 0;
+  double value = 0;
+};
+
+enum class AggKind { kAvg, kSum, kMin, kMax, kCount };
+
+/// One downsampled window.
+struct WindowAgg {
+  Timestamp window_start = 0;
+  double value = 0;
+  uint64_t count = 0;
+};
+
+/// \brief A single metric series: append-mostly, tolerant of slightly
+/// out-of-order arrivals (kept sorted lazily).
+class Series {
+ public:
+  void Append(Timestamp ts, double value);
+  /// Samples with from <= ts < to.
+  std::vector<Sample> Range(Timestamp from, Timestamp to) const;
+  /// Fixed-window downsampling over [from, to).
+  std::vector<WindowAgg> Downsample(Timestamp from, Timestamp to,
+                                    Timestamp window_us, AggKind agg) const;
+  /// Drops samples older than `cutoff` (retention); returns dropped count.
+  size_t Retain(Timestamp cutoff);
+
+  size_t size() const { return samples_.size(); }
+  Timestamp min_ts() const { return samples_.empty() ? 0 : samples_.front().ts; }
+  Timestamp max_ts() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<Sample> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// \brief A metric store: named series with tag-free keys ("metric" names).
+class MetricStore {
+ public:
+  void Append(const std::string& metric, Timestamp ts, double value) {
+    series_[metric].Append(ts, value);
+  }
+  Result<const Series*> Get(const std::string& metric) const;
+  Series* GetOrCreate(const std::string& metric) { return &series_[metric]; }
+  size_t num_series() const { return series_.size(); }
+  /// Applies retention to every series.
+  size_t RetainAll(Timestamp cutoff);
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+/// \brief A continuous aggregate: maintains per-window rollups on ingest so
+/// window queries never rescan raw data (edge pre-aggregation, §IV-B3).
+class ContinuousAggregate {
+ public:
+  ContinuousAggregate(Timestamp window_us, AggKind agg)
+      : window_us_(window_us), agg_(agg) {}
+
+  void Ingest(Timestamp ts, double value);
+  std::vector<WindowAgg> Windows(Timestamp from, Timestamp to) const;
+  size_t num_windows() const { return windows_.size(); }
+
+ private:
+  struct State {
+    double sum = 0, min = 0, max = 0;
+    uint64_t count = 0;
+  };
+  Timestamp window_us_;
+  AggKind agg_;
+  std::map<Timestamp, State> windows_;
+};
+
+/// \brief Timestamped relational events — the storage behind
+/// `gtimeseries(select ... where now() - time < W)` table expressions.
+/// Schema is fixed at construction; the first column is always `time`.
+class EventStore {
+ public:
+  /// \param value_columns the non-time columns, e.g. {carid, juncid}.
+  explicit EventStore(std::vector<sql::Column> value_columns);
+
+  const sql::Schema& schema() const { return schema_; }
+
+  /// Appends an event (row WITHOUT the time column).
+  Status Append(Timestamp ts, sql::Row values);
+
+  /// The gtimeseries() table expression: events with now-window <= t < now.
+  sql::Table Window(Timestamp now, Timestamp window_us) const;
+  /// Events in [from, to).
+  sql::Table RangeTable(Timestamp from, Timestamp to) const;
+
+  size_t size() const { return events_.size(); }
+  /// Drops events older than cutoff.
+  size_t Retain(Timestamp cutoff);
+
+ private:
+  struct Event {
+    Timestamp ts;
+    sql::Row values;
+  };
+  sql::Schema schema_;  // time + value columns
+  std::vector<Event> events_;  // kept in ts order (sorted lazily)
+  mutable bool sorted_ = true;
+  void EnsureSorted() const;
+  std::vector<Event>* mutable_events() const {
+    return const_cast<std::vector<Event>*>(&events_);
+  }
+};
+
+}  // namespace ofi::timeseries

@@ -1,0 +1,70 @@
+#include "txn/commit_log.h"
+
+namespace ofi::txn {
+
+Status CommitLog::Prepare(Xid xid) {
+  auto it = states_.find(xid);
+  if (it == states_.end()) return Status::NotFound("prepare: unknown xid");
+  if (it->second != TxnState::kInProgress) {
+    return Status::InvalidArgument("prepare: xid not in progress");
+  }
+  it->second = TxnState::kPrepared;
+  return Status::OK();
+}
+
+Status CommitLog::Commit(Xid xid, Gxid gxid) {
+  auto it = states_.find(xid);
+  if (it == states_.end()) return Status::NotFound("commit: unknown xid");
+  if (it->second == TxnState::kCommitted) return Status::OK();  // idempotent
+  if (it->second == TxnState::kAborted) {
+    return Status::InvalidArgument("commit: xid already aborted");
+  }
+  it->second = TxnState::kCommitted;
+  lco_.push_back(LcoEntry{xid, gxid});
+  return Status::OK();
+}
+
+Status CommitLog::Abort(Xid xid) {
+  auto it = states_.find(xid);
+  if (it == states_.end()) return Status::NotFound("abort: unknown xid");
+  if (it->second == TxnState::kCommitted) {
+    return Status::InvalidArgument("abort: xid already committed");
+  }
+  it->second = TxnState::kAborted;
+  return Status::OK();
+}
+
+void CommitLog::PruneBelowHorizon(Gxid horizon) {
+  // LCO: remove the longest prefix of entries that can never taint a future
+  // merge (local-only, or multi-shard already below the horizon).
+  size_t prefix = 0;
+  while (prefix < lco_.size()) {
+    const LcoEntry& e = lco_[prefix];
+    if (e.gxid != kNoGxid && e.gxid >= horizon) break;
+    ++prefix;
+  }
+  if (prefix > 0) {
+    lco_.erase(lco_.begin(), lco_.begin() + static_cast<ptrdiff_t>(prefix));
+  }
+  // xidMap: entries below the horizon are globally visible everywhere;
+  // upgradeTX would be a no-op for them.
+  for (auto it = gxid_to_local_.begin(); it != gxid_to_local_.end();) {
+    // A still-prepared local xid must stay mapped: a reader may yet need the
+    // UPGRADE wait for its delayed commit confirmation.
+    TxnState st = State(it->second);
+    bool finished = st == TxnState::kCommitted || st == TxnState::kAborted;
+    if (it->first < horizon && finished) {
+      local_to_gxid_.erase(it->second);
+      it = gxid_to_local_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CommitLog::TrimLco(size_t keep_last) {
+  if (lco_.size() <= keep_last) return;
+  lco_.erase(lco_.begin(), lco_.end() - static_cast<ptrdiff_t>(keep_last));
+}
+
+}  // namespace ofi::txn

@@ -1,0 +1,102 @@
+/// \file commit_log.h
+/// \brief Per-data-node transaction status: xid states, the Local Commit
+/// Order (LCO) consumed by Algorithm 1's downgradeTX, and the xidMap from
+/// global to local xids for multi-shard transactions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/types.h"
+
+namespace ofi::txn {
+
+/// One entry of the local commit order.
+struct LcoEntry {
+  Xid xid = kInvalidXid;
+  Gxid gxid = kNoGxid;  // kNoGxid for single-shard (local-only) transactions
+};
+
+/// \brief Commit log (pg "clog" analogue) for one data node.
+class CommitLog {
+ public:
+  /// Registers a new in-progress transaction.
+  void Begin(Xid xid) { states_[xid] = TxnState::kInProgress; }
+
+  /// Transitions to Prepared (2PC phase one). InProgress only.
+  Status Prepare(Xid xid);
+
+  /// Commits. Allowed from InProgress (1PC local commit) or Prepared.
+  /// Appends to the LCO, recording the owning gxid (kNoGxid if local-only).
+  Status Commit(Xid xid, Gxid gxid = kNoGxid);
+
+  /// Aborts. Allowed from InProgress or Prepared.
+  Status Abort(Xid xid);
+
+  /// Current state; unknown xids report Aborted (pg convention: an xid with
+  /// no clog record crashed before commit).
+  TxnState State(Xid xid) const {
+    auto it = states_.find(xid);
+    return it == states_.end() ? TxnState::kAborted : it->second;
+  }
+
+  bool IsCommitted(Xid xid) const { return State(xid) == TxnState::kCommitted; }
+  bool IsAborted(Xid xid) const { return State(xid) == TxnState::kAborted; }
+  bool IsPrepared(Xid xid) const { return State(xid) == TxnState::kPrepared; }
+  bool IsInProgress(Xid xid) const { return State(xid) == TxnState::kInProgress; }
+
+  /// The local commit order, oldest first.
+  const std::vector<LcoEntry>& lco() const { return lco_; }
+
+  /// Registers the gxid ↔ local-xid mapping for a multi-shard transaction.
+  void MapGxid(Gxid gxid, Xid local_xid) {
+    gxid_to_local_[gxid] = local_xid;
+    local_to_gxid_[local_xid] = gxid;
+  }
+
+  /// Local xid for a gxid on this DN; kInvalidXid if the transaction never
+  /// touched this DN.
+  Xid LocalXidFor(Gxid gxid) const {
+    auto it = gxid_to_local_.find(gxid);
+    return it == gxid_to_local_.end() ? kInvalidXid : it->second;
+  }
+
+  /// Gxid for a local xid; kNoGxid for single-shard transactions.
+  Gxid GxidFor(Xid xid) const {
+    auto it = local_to_gxid_.find(xid);
+    return it == local_to_gxid_.end() ? kNoGxid : it->second;
+  }
+
+  const std::unordered_map<Gxid, Xid>& xid_map() const { return gxid_to_local_; }
+
+  /// All currently prepared transactions with their gxids (2PC in-doubt
+  /// recovery scans this after a coordinator failure).
+  std::vector<std::pair<Xid, Gxid>> PreparedXids() const {
+    std::vector<std::pair<Xid, Gxid>> out;
+    for (const auto& [xid, state] : states_) {
+      if (state == TxnState::kPrepared) out.emplace_back(xid, GxidFor(xid));
+    }
+    return out;
+  }
+
+  /// Trims LCO entries older than `keep_from` commits from the tail to bound
+  /// memory (all retained readers must have local snapshots newer than the
+  /// trimmed prefix).
+  void TrimLco(size_t keep_last);
+
+  /// Horizon-based pruning (driven by Gtm::SafeHorizon): drops the LCO
+  /// prefix whose multi-shard entries are all globally visible to every
+  /// live snapshot (local-only entries in that prefix cannot be tainted by
+  /// anything that remains), and drops xidMap entries below the horizon.
+  /// Commit *states* are retained — tuple visibility still needs them.
+  void PruneBelowHorizon(Gxid horizon);
+
+ private:
+  std::unordered_map<Xid, TxnState> states_;
+  std::unordered_map<Gxid, Xid> gxid_to_local_;
+  std::unordered_map<Xid, Gxid> local_to_gxid_;
+  std::vector<LcoEntry> lco_;
+};
+
+}  // namespace ofi::txn

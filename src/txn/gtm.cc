@@ -1,0 +1,61 @@
+#include "txn/gtm.h"
+
+#include <algorithm>
+
+namespace ofi::txn {
+
+Gxid Gtm::BeginGlobal() {
+  ++requests_;
+  Gxid gxid = next_gxid_++;
+  // Record the oldest transaction this one's snapshot can reference.
+  snapshot_xmin_[gxid] = active_.empty() ? gxid : *active_.begin();
+  active_.insert(gxid);
+  states_[gxid] = TxnState::kInProgress;
+  return gxid;
+}
+
+Gxid Gtm::SafeHorizon() const {
+  Gxid horizon = next_gxid_;
+  for (Gxid g : active_) {
+    auto it = snapshot_xmin_.find(g);
+    horizon = std::min(horizon, it == snapshot_xmin_.end() ? g : it->second);
+  }
+  return horizon;
+}
+
+Snapshot Gtm::TakeGlobalSnapshot() {
+  ++requests_;
+  Snapshot s;
+  s.xmax = next_gxid_;
+  s.xmin = active_.empty() ? s.xmax : *active_.begin();
+  s.active.insert(active_.begin(), active_.end());
+  return s;
+}
+
+Status Gtm::CommitGlobal(Gxid gxid) {
+  ++requests_;
+  auto it = states_.find(gxid);
+  if (it == states_.end()) return Status::NotFound("gtm: unknown gxid");
+  if (it->second == TxnState::kAborted) {
+    return Status::InvalidArgument("gtm: gxid already aborted");
+  }
+  it->second = TxnState::kCommitted;
+  active_.erase(gxid);
+  snapshot_xmin_.erase(gxid);
+  return Status::OK();
+}
+
+Status Gtm::AbortGlobal(Gxid gxid) {
+  ++requests_;
+  auto it = states_.find(gxid);
+  if (it == states_.end()) return Status::NotFound("gtm: unknown gxid");
+  if (it->second == TxnState::kCommitted) {
+    return Status::InvalidArgument("gtm: gxid already committed");
+  }
+  it->second = TxnState::kAborted;
+  active_.erase(gxid);
+  snapshot_xmin_.erase(gxid);
+  return Status::OK();
+}
+
+}  // namespace ofi::txn

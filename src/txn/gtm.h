@@ -1,0 +1,67 @@
+/// \file gtm.h
+/// \brief Global Transaction Manager. In the baseline (Postgres-XC style)
+/// protocol every transaction acquires a GXID and a global snapshot here —
+/// each call is a serialized critical section, which is why the GTM
+/// saturates as the cluster grows (paper §II-A1). Under GTM-lite only
+/// multi-shard transactions call in.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "txn/snapshot.h"
+#include "txn/types.h"
+
+namespace ofi::txn {
+
+/// \brief The global transaction authority: GXID allocation, the global
+/// active-transaction list, global snapshots, and the global commit record.
+class Gtm {
+ public:
+  /// Allocates a GXID and enqueues it on the active list. One serialized
+  /// round trip in the real system.
+  Gxid BeginGlobal();
+
+  /// Global snapshot: xmin/xmax over GXIDs plus the active list copy.
+  /// A second serialized round trip.
+  Snapshot TakeGlobalSnapshot();
+
+  /// Marks the transaction committed *at the GTM first* (paper: transactions
+  /// are marked committed in GTM and then on all nodes, creating the
+  /// Anomaly1 window).
+  Status CommitGlobal(Gxid gxid);
+
+  Status AbortGlobal(Gxid gxid);
+
+  /// True once CommitGlobal succeeded.
+  bool IsCommitted(Gxid gxid) const {
+    auto it = states_.find(gxid);
+    return it != states_.end() && it->second == TxnState::kCommitted;
+  }
+  bool IsAborted(Gxid gxid) const {
+    auto it = states_.find(gxid);
+    return it != states_.end() && it->second == TxnState::kAborted;
+  }
+
+  /// Total serialized requests served — the bench's GTM load measure.
+  uint64_t requests_served() const { return requests_; }
+  uint64_t active_count() const { return active_.size(); }
+  Gxid next_gxid() const { return next_gxid_; }
+
+  /// A gxid below which every transaction is finished AND visible in every
+  /// snapshot still held by an active global transaction. Data nodes may
+  /// prune LCO / xidMap state below this horizon: no current or future
+  /// merged snapshot can need a DOWNGRADE triggered by those entries.
+  Gxid SafeHorizon() const;
+
+ private:
+  Gxid next_gxid_ = 1;
+  std::set<Gxid> active_;  // ordered so xmin = *begin()
+  std::unordered_map<Gxid, Gxid> snapshot_xmin_;  // active gxid -> xmin at begin
+  std::unordered_map<Gxid, TxnState> states_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace ofi::txn

@@ -1,0 +1,38 @@
+#include "txn/local_txn_manager.h"
+
+namespace ofi::txn {
+
+Xid LocalTxnManager::Begin() {
+  Xid xid = next_xid_++;
+  active_.insert(xid);
+  clog_.Begin(xid);
+  return xid;
+}
+
+void LocalTxnManager::BeginExternal(Xid xid) {
+  active_.insert(xid);
+  clog_.Begin(xid);
+  if (xid >= next_xid_) next_xid_ = xid + 1;
+}
+
+Snapshot LocalTxnManager::TakeSnapshot() const {
+  Snapshot s;
+  s.xmax = next_xid_;
+  s.xmin = active_.empty() ? s.xmax : *active_.begin();
+  s.active.insert(active_.begin(), active_.end());
+  return s;
+}
+
+Status LocalTxnManager::Commit(Xid xid, Gxid gxid) {
+  OFI_RETURN_NOT_OK(clog_.Commit(xid, gxid));
+  active_.erase(xid);
+  return Status::OK();
+}
+
+Status LocalTxnManager::Abort(Xid xid) {
+  OFI_RETURN_NOT_OK(clog_.Abort(xid));
+  active_.erase(xid);
+  return Status::OK();
+}
+
+}  // namespace ofi::txn

@@ -1,0 +1,53 @@
+/// \file local_txn_manager.h
+/// \brief Per-data-node transaction manager: local XID allocation, local
+/// snapshots, and the commit log. Under GTM-lite, single-shard transactions
+/// live entirely here — no GTM round trips (paper §II-A2).
+#pragma once
+
+#include <set>
+
+#include "common/result.h"
+#include "txn/commit_log.h"
+#include "txn/snapshot.h"
+#include "txn/types.h"
+
+namespace ofi::txn {
+
+/// \brief Owns local xids and the clog for one DN.
+class LocalTxnManager {
+ public:
+  /// Starts a local transaction: allocates a local xid and registers it.
+  Xid Begin();
+
+  /// Registers an externally chosen xid (the baseline Postgres-XC protocol
+  /// uses the GXID directly as every node's xid). Advances the local xid
+  /// horizon past it.
+  void BeginExternal(Xid xid);
+
+  /// Takes a local snapshot (xmin/xmax over local xids + active list).
+  Snapshot TakeSnapshot() const;
+
+  /// Associates a multi-shard transaction's gxid with its local xid.
+  void BindGxid(Xid xid, Gxid gxid) { clog_.MapGxid(gxid, xid); }
+
+  /// 2PC phase one.
+  Status Prepare(Xid xid) { return clog_.Prepare(xid); }
+
+  /// Commits; removes from the active set and appends to the LCO.
+  Status Commit(Xid xid, Gxid gxid = kNoGxid);
+
+  Status Abort(Xid xid);
+
+  const CommitLog& clog() const { return clog_; }
+  CommitLog& mutable_clog() { return clog_; }
+
+  Xid next_xid() const { return next_xid_; }
+  size_t active_count() const { return active_.size(); }
+
+ private:
+  Xid next_xid_ = 1;
+  std::set<Xid> active_;  // in-progress and prepared local xids
+  CommitLog clog_;
+};
+
+}  // namespace ofi::txn

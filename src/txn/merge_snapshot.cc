@@ -1,0 +1,64 @@
+#include "txn/merge_snapshot.h"
+
+#include <algorithm>
+
+namespace ofi::txn {
+
+MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
+                              const CommitLog& clog, const CommitWaiter& waiter) {
+  MergedSnapshot merged;
+  merged.local = local;
+
+  // Step 1-2 (Algorithm 1 lines 1-4): seed the merged active map with the
+  // local images of globally active transactions plus all locally active
+  // transactions. `local` already carries the latter; add the former.
+  for (Gxid gxid : global.active) {
+    Xid lxid = clog.LocalXidFor(gxid);
+    if (lxid != kInvalidXid) merged.local.active.insert(lxid);
+  }
+
+  // Line 6 (upgradeTX) — run before the downgrade scan so that waits
+  // complete first and the downgrade can still override the result for
+  // dependency-ordered entries.
+  //
+  // For every multi-shard transaction known to this DN whose gxid is
+  // *visible* in the global snapshot: the reader must see it. If it is still
+  // prepared (Anomaly1 window) wait for the commit confirmation.
+  for (const auto& [gxid, lxid] : clog.xid_map()) {
+    if (global.InFlight(gxid)) continue;  // globally active: stays invisible
+    TxnState state = clog.State(lxid);
+    if (state == TxnState::kPrepared || state == TxnState::kInProgress) {
+      state = waiter(lxid, gxid);
+      ++merged.upgrades;
+    }
+    if (state == TxnState::kCommitted) {
+      merged.forced_committed.insert(lxid);
+    }
+  }
+
+  // Line 5 (downgradeTX): traverse the LCO oldest-to-newest; from the first
+  // entry whose owning global transaction is invisible in the global
+  // snapshot, treat that entry and every later local commit as "active".
+  bool tainted = false;
+  for (const LcoEntry& e : clog.lco()) {
+    if (!tainted && e.gxid != kNoGxid && global.InFlight(e.gxid)) {
+      tainted = true;
+    }
+    if (tainted) {
+      // Only count entries that would otherwise have been visible.
+      if (merged.local.active.insert(e.xid).second) ++merged.downgrades;
+      merged.forced_active.insert(e.xid);
+      merged.forced_committed.erase(e.xid);  // downgrade wins over upgrade
+    }
+  }
+
+  // Line 7: adjust merged horizons. Downgraded xids may predate local.xmin,
+  // so pull xmin down to keep the invariant xmin <= every active xid.
+  for (Xid x : merged.local.active) {
+    merged.local.xmin = std::min(merged.local.xmin, x);
+  }
+
+  return merged;
+}
+
+}  // namespace ofi::txn

@@ -1,0 +1,46 @@
+/// \file merge_snapshot.h
+/// \brief Algorithm 1 from the paper (§II-A2): merging a multi-shard
+/// reader's global snapshot with its per-DN local snapshot, resolving the
+/// two visibility anomalies:
+///
+/// * Anomaly1 — global says committed, local says still prepared: the reader
+///   *waits* for the local commit confirmation (UPGRADE). There is a slim
+///   window between PREPARE and the COMMIT confirmation; the wait closes it.
+/// * Anomaly2 — global says active, local says committed (the reader's
+///   global snapshot is older than its local snapshot): locally committed
+///   transactions that depend on a globally uncommitted write must be hidden
+///   (DOWNGRADE). No physical rollback: the reader only adjusts its snapshot.
+///
+/// Dependency tracking: the paper keys DOWNGRADE off "local commits
+/// dependent on uncommitted global writes". We implement the conservative
+/// Local-Commit-Order suffix rule: once an entry of the LCO is globally
+/// invisible, every *later* local commit on that DN is treated as
+/// potentially dependent and downgraded too. This can hide an independent
+/// commit (freshness loss) but can never produce the Fig. 2 anomaly
+/// (correctness), and it needs no per-tuple dependency graph.
+#pragma once
+
+#include <functional>
+
+#include "txn/commit_log.h"
+#include "txn/snapshot.h"
+
+namespace ofi::txn {
+
+/// Callback used by UPGRADE: block until the local commit/abort of
+/// `local_xid` (owned by `gxid`) lands, and return the final state. In the
+/// simulated cluster this forces delivery of the pending commit-confirmation
+/// message and charges the simulated wait.
+using CommitWaiter = std::function<TxnState(Xid local_xid, Gxid gxid)>;
+
+/// \brief Algorithm 1 (MergeSnapshot).
+///
+/// \param global  the reader's global snapshot (over gxids)
+/// \param local   the reader's local snapshot on this DN (over local xids)
+/// \param clog    this DN's commit log: provides the LCO and the xidMap
+/// \param waiter  UPGRADE wait hook; must not be null
+/// \return the merged snapshot used as the visibility criterion on this DN
+MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
+                              const CommitLog& clog, const CommitWaiter& waiter);
+
+}  // namespace ofi::txn

@@ -1,0 +1,33 @@
+#include "txn/snapshot.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ofi::txn {
+namespace {
+
+std::string SetToString(const std::unordered_set<Xid>& s) {
+  std::vector<Xid> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  std::string out = "{";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string Snapshot::ToString() const {
+  return "Snapshot{xmin=" + std::to_string(xmin) + ", xmax=" + std::to_string(xmax) +
+         ", active=" + SetToString(active) + "}";
+}
+
+std::string MergedSnapshot::ToString() const {
+  return "Merged{" + local.ToString() +
+         ", upgraded=" + SetToString(forced_committed) +
+         ", downgraded=" + SetToString(forced_active) + "}";
+}
+
+}  // namespace ofi::txn

@@ -1,0 +1,98 @@
+/// \file snapshot.h
+/// \brief MVCC snapshots. Local snapshots range over a DN's local xids;
+/// global snapshots over GXIDs; merged snapshots (Algorithm 1 output) are
+/// local snapshots extended with UPGRADE/DOWNGRADE overlay sets.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "txn/commit_log.h"
+#include "txn/types.h"
+
+namespace ofi::txn {
+
+/// \brief A classic xmin/xmax/active-list snapshot.
+///
+/// Semantics (PostgreSQL convention):
+///  * xid < xmin            → definitely finished before the snapshot
+///  * xid >= xmax           → started after the snapshot, never visible
+///  * xid in active         → running at snapshot time, not visible
+struct Snapshot {
+  Xid xmin = 1;
+  Xid xmax = 1;
+  std::unordered_set<Xid> active;
+
+  /// True if `xid` was still running (or unborn) at snapshot time.
+  bool InFlight(Xid xid) const {
+    return xid >= xmax || active.count(xid) > 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Output of Algorithm 1 (MergeSnapshot): a local-xid snapshot plus
+/// the resolution overlays.
+///
+/// * `forced_committed` — local xids UPGRADEd: the global snapshot proved
+///   them committed, the reader waited out the commit confirmation window.
+/// * `forced_active` — local xids DOWNGRADEd: locally committed but
+///   (transitively) dependent on a globally uncommitted write; the reader
+///   adjusts its visibility, no physical rollback happens (paper §II-A2).
+struct MergedSnapshot {
+  Snapshot local;
+  std::unordered_set<Xid> forced_committed;
+  std::unordered_set<Xid> forced_active;
+  /// Statistics for benches: how many txns each resolution touched.
+  int upgrades = 0;
+  int downgrades = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Visibility oracle shared by storage scans: answers "are the
+/// effects of local xid X visible to this reader?".
+class VisibilityChecker {
+ public:
+  /// A plain local-snapshot reader (single-shard GTM-lite transactions and
+  /// all baseline transactions).
+  VisibilityChecker(const Snapshot* snapshot, const CommitLog* clog,
+                    Xid reader_xid)
+      : snapshot_(snapshot), merged_(nullptr), clog_(clog), reader_(reader_xid) {}
+
+  /// A merged-snapshot reader (multi-shard GTM-lite transactions).
+  VisibilityChecker(const MergedSnapshot* merged, const CommitLog* clog,
+                    Xid reader_xid)
+      : snapshot_(&merged->local), merged_(merged), clog_(clog),
+        reader_(reader_xid) {}
+
+  /// True if the writes of `xid` are visible to the reader.
+  bool XidVisible(Xid xid) const {
+    if (xid == kInvalidXid) return false;
+    if (xid == reader_) return true;  // own writes
+    if (merged_ != nullptr) {
+      if (merged_->forced_committed.count(xid)) return true;
+      if (merged_->forced_active.count(xid)) return false;
+    }
+    if (snapshot_->InFlight(xid)) return false;
+    return clog_->IsCommitted(xid);
+  }
+
+  /// Standard tuple-level check over (xmin, xmax) headers: created by a
+  /// visible txn and not deleted by a visible txn.
+  bool TupleVisible(Xid xmin, Xid xmax) const {
+    if (!XidVisible(xmin)) return false;
+    if (xmax != kInvalidXid && XidVisible(xmax)) return false;
+    return true;
+  }
+
+  Xid reader_xid() const { return reader_; }
+
+ private:
+  const Snapshot* snapshot_;
+  const MergedSnapshot* merged_;
+  const CommitLog* clog_;
+  Xid reader_;
+};
+
+}  // namespace ofi::txn

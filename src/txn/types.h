@@ -1,0 +1,28 @@
+/// \file types.h
+/// \brief Shared transaction identifiers and states.
+#pragma once
+
+#include <cstdint>
+
+namespace ofi::txn {
+
+/// A data-node-local transaction id. Monotonic per DN. 0 = invalid.
+using Xid = uint64_t;
+
+/// A global transaction id issued by the GTM. Monotonic. 0 = "local-only"
+/// (single-shard GTM-lite transactions never get a GXID — that is the point
+/// of the protocol, paper §II-A).
+using Gxid = uint64_t;
+
+constexpr Xid kInvalidXid = 0;
+constexpr Gxid kNoGxid = 0;
+
+/// Lifecycle of a transaction as recorded in a commit log.
+enum class TxnState : uint8_t {
+  kInProgress = 0,
+  kPrepared,   // 2PC: locally prepared, waiting for global decision
+  kCommitted,
+  kAborted,
+};
+
+}  // namespace ofi::txn

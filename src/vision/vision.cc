@@ -1,0 +1,118 @@
+#include "vision/vision.h"
+
+#include <algorithm>
+
+namespace ofi::vision {
+
+double BBox::Iou(const BBox& other) const {
+  double ix = std::max(x, other.x);
+  double iy = std::max(y, other.y);
+  double ix2 = std::min(x + w, other.x + other.w);
+  double iy2 = std::min(y + h, other.y + other.h);
+  double iw = std::max(0.0, ix2 - ix);
+  double ih = std::max(0.0, iy2 - iy);
+  double inter = iw * ih;
+  double uni = Area() + other.Area() - inter;
+  return uni > 0 ? inter / uni : 0;
+}
+
+int64_t VisionStore::Ingest(Detection detection) {
+  detection.id = next_id_++;
+  if (detection.track < 0) {
+    // Greedy IoU tracker: match against the most recent detection of every
+    // existing track with the same label.
+    TrackId best_track = -1;
+    double best_iou = track_iou_threshold_;
+    for (const auto& [track, indexes] : by_track_) {
+      const Detection& last = detections_[indexes.back()];
+      if (last.label != detection.label) continue;
+      if (last.ts >= detection.ts) continue;  // tracks move forward in time
+      double iou = last.bbox.Iou(detection.bbox);
+      if (iou >= best_iou) {
+        best_iou = iou;
+        best_track = track;
+      }
+    }
+    detection.track = best_track >= 0 ? best_track : next_track_++;
+    if (detection.track == next_track_ - 1 && best_track < 0) {
+      // new track allocated above
+    }
+  } else {
+    next_track_ = std::max(next_track_, detection.track + 1);
+  }
+  size_t index = detections_.size();
+  by_label_[detection.label].push_back(index);
+  by_track_[detection.track].push_back(index);
+  int64_t id = detection.id;
+  detections_.push_back(std::move(detection));
+  return id;
+}
+
+std::vector<const Detection*> VisionStore::Query(const std::string& label,
+                                                 Timestamp from, Timestamp to,
+                                                 double min_confidence) const {
+  std::vector<const Detection*> out;
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return out;
+  for (size_t idx : it->second) {
+    const Detection& d = detections_[idx];
+    if (d.ts >= from && d.ts < to && d.confidence >= min_confidence) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+std::vector<const Detection*> VisionStore::Track(TrackId track) const {
+  std::vector<const Detection*> out;
+  auto it = by_track_.find(track);
+  if (it == by_track_.end()) return out;
+  for (size_t idx : it->second) out.push_back(&detections_[idx]);
+  std::sort(out.begin(), out.end(),
+            [](const Detection* a, const Detection* b) { return a->ts < b->ts; });
+  return out;
+}
+
+std::map<std::string, int64_t> VisionStore::CountByLabel(Timestamp from,
+                                                         Timestamp to) const {
+  std::map<std::string, int64_t> out;
+  for (const auto& d : detections_) {
+    if (d.ts >= from && d.ts < to) out[d.label]++;
+  }
+  return out;
+}
+
+int64_t VisionStore::DistinctTracks(const std::string& label, Timestamp from,
+                                    Timestamp to) const {
+  std::vector<TrackId> tracks;
+  for (const Detection* d : Query(label, from, to)) tracks.push_back(d->track);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  return static_cast<int64_t>(tracks.size());
+}
+
+sql::Table VisionStore::AsTable() const {
+  using sql::Column;
+  using sql::TypeId;
+  using sql::Value;
+  sql::Table t{sql::Schema({{"id", TypeId::kInt64, ""},
+                            {"frame", TypeId::kInt64, ""},
+                            {"time", TypeId::kTimestamp, ""},
+                            {"label", TypeId::kString, ""},
+                            {"confidence", TypeId::kDouble, ""},
+                            {"x", TypeId::kDouble, ""},
+                            {"y", TypeId::kDouble, ""},
+                            {"w", TypeId::kDouble, ""},
+                            {"h", TypeId::kDouble, ""},
+                            {"track", TypeId::kInt64, ""}})};
+  for (const auto& d : detections_) {
+    t.mutable_rows().push_back({Value(d.id), Value(d.frame),
+                                Value::Timestamp(d.ts), Value(d.label),
+                                Value(d.confidence), Value(d.bbox.x),
+                                Value(d.bbox.y), Value(d.bbox.w), Value(d.bbox.h),
+                                Value(d.track)});
+  }
+  return t;
+}
+
+}  // namespace ofi::vision

@@ -1,0 +1,90 @@
+/// \file vision.h
+/// \brief The vision metadata engine (paper §II-B: cameras/lidar produce
+/// data whose AI-extracted objects "need special indexing and proper
+/// metadata for analysis"; the vision engine is announced as the next
+/// runtime to integrate — we build it). Stores per-frame object detections
+/// (label, confidence, bounding box, track id), indexes them by label, time
+/// and track, and exposes relational views for cross-model queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/table.h"
+#include "spatial/spatial.h"
+
+namespace ofi::vision {
+
+using Timestamp = int64_t;
+using TrackId = int64_t;
+
+/// An axis-aligned box in image/world coordinates.
+struct BBox {
+  double x = 0, y = 0, w = 0, h = 0;
+
+  double Area() const { return w * h; }
+  /// Intersection-over-union with another box.
+  double Iou(const BBox& other) const;
+  spatial::Point Center() const { return {x + w / 2, y + h / 2}; }
+};
+
+/// One detected object in one frame.
+struct Detection {
+  int64_t id = 0;          // assigned by the store
+  int64_t frame = 0;
+  Timestamp ts = 0;
+  std::string label;       // "car", "pedestrian", ...
+  double confidence = 0;   // [0, 1]
+  BBox bbox;
+  TrackId track = -1;      // -1 = unassigned
+};
+
+/// \brief Detection metadata store for one camera/sensor.
+class VisionStore {
+ public:
+  /// Ingests a detection; returns its id. If `detection.track` is -1 the
+  /// store runs greedy IoU tracking: the detection joins the most recent
+  /// track of the same label whose last box overlaps by at least
+  /// `track_iou_threshold`, else it starts a new track.
+  int64_t Ingest(Detection detection);
+
+  double track_iou_threshold() const { return track_iou_threshold_; }
+  void set_track_iou_threshold(double t) { track_iou_threshold_ = t; }
+
+  // --- Queries ----------------------------------------------------------------
+  /// Detections of `label` in [from, to) with confidence >= min_confidence.
+  std::vector<const Detection*> Query(const std::string& label, Timestamp from,
+                                      Timestamp to,
+                                      double min_confidence = 0.0) const;
+
+  /// The time-ordered detections of one track.
+  std::vector<const Detection*> Track(TrackId track) const;
+
+  /// Count per label over a window (the dashboard query).
+  std::map<std::string, int64_t> CountByLabel(Timestamp from, Timestamp to) const;
+
+  /// Distinct tracks (≈ distinct physical objects) of a label in a window.
+  int64_t DistinctTracks(const std::string& label, Timestamp from,
+                         Timestamp to) const;
+
+  size_t size() const { return detections_.size(); }
+  int64_t num_tracks() const { return next_track_; }
+
+  // --- Relational views (metadata in relational tables, §II-B2) --------------
+  /// (id, frame, time, label, confidence, x, y, w, h, track).
+  sql::Table AsTable() const;
+
+ private:
+  std::vector<Detection> detections_;
+  std::unordered_map<std::string, std::vector<size_t>> by_label_;
+  std::unordered_map<TrackId, std::vector<size_t>> by_track_;
+  double track_iou_threshold_ = 0.3;
+  int64_t next_id_ = 1;
+  TrackId next_track_ = 0;
+};
+
+}  // namespace ofi::vision

@@ -1,0 +1,268 @@
+/// Autonomous-database components (paper §IV-A, Fig. 12): information
+/// store, anomaly manager, workload manager (SLA), change manager, in-DB ML.
+#include <gtest/gtest.h>
+
+#include "autodb/access_guard.h"
+#include "autodb/anomaly_manager.h"
+#include "autodb/change_manager.h"
+#include "autodb/info_store.h"
+#include "autodb/ml.h"
+#include "autodb/workload_manager.h"
+#include "common/rng.h"
+
+namespace ofi::autodb {
+namespace {
+
+TEST(InfoStoreTest, MetricMeanAndQueries) {
+  InformationStore info;
+  for (int i = 0; i < 10; ++i) info.RecordMetric("dn0.cpu", i, i * 1.0);
+  EXPECT_DOUBLE_EQ(info.MetricMean("dn0.cpu", 0, 10).ValueOrDie(), 4.5);
+  EXPECT_TRUE(info.MetricMean("nope", 0, 10).status().IsNotFound());
+  info.RecordQuery({100, "report", 2.0, 5000, true});
+  info.RecordQuery({200, "point", 0.1, 50, true});
+  EXPECT_EQ(info.RecentQueries("report", 10).size(), 1u);
+}
+
+TEST(LinearRegressionTest, RecoversLinearModel) {
+  // y = 3x0 - 2x1 + 5.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.NextDouble() * 10, b = rng.NextDouble() * 10;
+    x.push_back({a, b});
+    y.push_back(3 * a - 2 * b + 5);
+  }
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_NEAR(lr.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[1], -2.0, 1e-6);
+  EXPECT_NEAR(lr.bias(), 5.0, 1e-6);
+  EXPECT_NEAR(lr.Predict({1, 1}).ValueOrDie(), 6.0, 1e-6);
+  EXPECT_NEAR(lr.Score(x, y).ValueOrDie(), 1.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, ErrorPaths) {
+  LinearRegression lr;
+  EXPECT_TRUE(lr.Fit({}, {}).IsInvalidArgument());
+  EXPECT_TRUE(lr.Fit({{1, 2}}, {1, 2}).IsInvalidArgument());
+  EXPECT_TRUE(lr.Predict({1}).status().IsInvalidArgument());  // before fit
+  ASSERT_TRUE(lr.Fit({{1.0}, {2.0}}, {1, 2}).ok());
+  EXPECT_TRUE(lr.Predict({1, 2}).status().IsInvalidArgument());  // arity
+}
+
+TEST(KnnRegressorTest, PredictsLocalMean) {
+  KnnRegressor knn(2);
+  ASSERT_TRUE(knn.Fit({{0}, {1}, {10}, {11}}, {0, 2, 20, 22}).ok());
+  EXPECT_NEAR(knn.Predict({0.4}).ValueOrDie(), 1.0, 1e-9);    // mean(0,2)
+  EXPECT_NEAR(knn.Predict({10.6}).ValueOrDie(), 21.0, 1e-9);  // mean(20,22)
+}
+
+TEST(AnomalyManagerTest, DetectsSlowDiskSpike) {
+  InformationStore info;
+  // Normal disk latency ~100us, then a spike to 5000us at t>=64.
+  Rng rng(5);
+  for (int t = 0; t < 80; ++t) {
+    double v = t < 64 ? 100 + rng.NextDouble() * 8 : 5000;
+    info.RecordMetric("dn2.disk_read_us", t, v);
+  }
+  AnomalyManager mgr(&info);
+  mgr.AddRule(DetectionRule{"dn2.disk_read_us", 3.0, 6.0, 0, 32});
+  auto anomalies = mgr.Scan(0, 100);
+  ASSERT_GE(anomalies.size(), 10u);  // sustained anomaly keeps firing
+  EXPECT_EQ(anomalies.front().severity, AnomalySeverity::kCritical);
+  EXPECT_EQ(AnomalyManager::RecommendAction(anomalies.front()),
+            "migrate partitions off the slow disk");
+}
+
+TEST(AnomalyManagerTest, QuietMetricNoAnomalies) {
+  InformationStore info;
+  for (int t = 0; t < 100; ++t) info.RecordMetric("m", t, 50.0);
+  AnomalyManager mgr(&info);
+  mgr.AddRule(DetectionRule{"m", 3.0, 6.0, 0, 16});
+  EXPECT_TRUE(mgr.Scan(0, 100).empty());
+}
+
+TEST(AnomalyManagerTest, HardCeilingFiresWithoutBaseline) {
+  InformationStore info;
+  info.RecordMetric("dn0.heartbeat_gap_ms", 1, 30000);  // dead node
+  AnomalyManager mgr(&info);
+  mgr.AddRule(DetectionRule{"dn0.heartbeat_gap_ms", 3.0, 6.0, 10000, 32});
+  auto anomalies = mgr.Scan(0, 10);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].severity, AnomalySeverity::kCritical);
+  EXPECT_NE(AnomalyManager::RecommendAction(anomalies[0]).find("restart"),
+            std::string::npos);
+}
+
+TEST(WorkloadManagerTest, UncontendedRunsAtServiceTime) {
+  InformationStore info;
+  WorkloadManager wm({.capacity_units = 4, .max_queue = 8}, &info);
+  auto done = wm.Submit("point", 0, 1.0, 100);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(*done, 100);
+  EXPECT_EQ(wm.queued(), 0u);
+}
+
+TEST(WorkloadManagerTest, SaturationQueuesInsteadOfThrashing) {
+  InformationStore info;
+  WorkloadManager wm({.capacity_units = 2, .max_queue = 100}, &info);
+  // 6 queries of cost 1, service 100us, all arriving at t=0: two at a time.
+  SimTime last = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto done = wm.Submit("etl", 0, 1.0, 100);
+    ASSERT_TRUE(done.ok());
+    last = std::max(last, *done);
+  }
+  EXPECT_EQ(last, 300);  // three waves of two
+  EXPECT_GT(wm.queued(), 0u);
+}
+
+TEST(WorkloadManagerTest, QueueBoundRejects) {
+  InformationStore info;
+  WorkloadManager wm({.capacity_units = 1, .max_queue = 3}, &info);
+  Status last;
+  for (int i = 0; i < 10; ++i) {
+    auto r = wm.Submit("etl", 0, 1.0, 1000);
+    last = r.ok() ? Status::OK() : r.status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(wm.rejected(), 0u);
+}
+
+TEST(WorkloadManagerTest, SlaMetWithAdmissionControlNotWithout) {
+  // Burst of 40 heavy queries on capacity 4.
+  InformationStore i1, i2;
+  WorkloadManager with({.capacity_units = 4, .max_queue = 64,
+                        .admission_control = true}, &i1);
+  WorkloadManager without({.capacity_units = 4, .max_queue = 64,
+                           .admission_control = false}, &i2);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(with.Submit("report", i * 10, 1.0, 1000).ok());
+    ASSERT_TRUE(without.Submit("report", i * 10, 1.0, 1000).ok());
+  }
+  double p95_with = with.AchievedP95("report");
+  double p95_without = without.AchievedP95("report");
+  // Thrashing makes the uncontrolled p95 dramatically worse.
+  EXPECT_LT(p95_with, p95_without);
+  EXPECT_TRUE(with.MeetsSla({{"report", p95_with * 1.01}}));
+  EXPECT_FALSE(without.MeetsSla({{"report", p95_with * 1.01}}));
+}
+
+TEST(ChangeManagerTest, GuardedChangeRollsBackRegression) {
+  ChangeManager cm;
+  ASSERT_TRUE(cm.DefineParameter({"buffer_mb", 100, 16, 4096}).ok());
+  // Objective: lower is better; pretend 100 is optimal.
+  auto objective = [&]() {
+    double v = cm.Get("buffer_mb").ValueOrDie();
+    return (v - 100) * (v - 100) + 10;
+  };
+  auto kept = cm.ApplyGuarded("buffer_mb", 2000, objective);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_DOUBLE_EQ(*kept, 100);  // rolled back
+  ASSERT_EQ(cm.history().size(), 1u);
+  EXPECT_TRUE(cm.history()[0].rolled_back);
+}
+
+TEST(ChangeManagerTest, AutoTuneFindsBetterKnob) {
+  ChangeManager cm;
+  ASSERT_TRUE(cm.DefineParameter({"work_mem", 4, 1, 1024}).ok());
+  // Optimal around 64.
+  auto objective = [&]() {
+    double v = cm.Get("work_mem").ValueOrDie();
+    double d = std::log2(v) - 6;  // minimum at 64
+    return d * d;
+  };
+  auto best = cm.AutoTune("work_mem", objective, 2.0, 10);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(*best, 64);
+  EXPECT_DOUBLE_EQ(cm.Get("work_mem").ValueOrDie(), 64);
+}
+
+TEST(ChangeManagerTest, RangeEnforced) {
+  ChangeManager cm;
+  ASSERT_TRUE(cm.DefineParameter({"p", 5, 0, 10}).ok());
+  EXPECT_TRUE(cm.Set("p", 11).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(cm.Set("q", 1).IsNotFound());
+  EXPECT_TRUE(cm.DefineParameter({"p", 5, 0, 10}).IsAlreadyExists());
+}
+
+TEST(AccessGuardTest, NormalUsageAllowed) {
+  AccessGuard guard;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(guard.OnRead("app", "orders", 100, i * 1000),
+              AccessDecision::kAllow);
+  }
+  EXPECT_FALSE(guard.IsBlocked("app"));
+}
+
+TEST(AccessGuardTest, MassExportThrottledThenBlocked) {
+  AccessGuardConfig cfg;
+  cfg.throttle_rows = 1000;
+  cfg.block_rows = 5000;
+  AccessGuard guard(cfg);
+  EXPECT_EQ(guard.OnRead("etl", "t", 900, 1), AccessDecision::kAllow);
+  EXPECT_EQ(guard.OnRead("etl", "t", 900, 2), AccessDecision::kThrottle);
+  AccessDecision last = AccessDecision::kAllow;
+  for (int i = 0; i < 10; ++i) last = guard.OnRead("etl", "t", 900, 3 + i);
+  EXPECT_EQ(last, AccessDecision::kBlock);
+  EXPECT_TRUE(guard.IsBlocked("etl"));
+  // Blocked stays blocked even for tiny reads.
+  EXPECT_EQ(guard.OnRead("etl", "t", 1, 100), AccessDecision::kBlock);
+  guard.Unblock("etl");
+  EXPECT_EQ(guard.OnRead("etl", "t", 1, 101), AccessDecision::kAllow);
+}
+
+TEST(AccessGuardTest, WindowExpiryForgivesOldVolume) {
+  AccessGuardConfig cfg;
+  cfg.window_us = 1000;
+  cfg.throttle_rows = 500;
+  AccessGuard guard(cfg);
+  EXPECT_EQ(guard.OnRead("app", "t", 600, 0), AccessDecision::kThrottle);
+  // Two windows later the history has aged out.
+  EXPECT_EQ(guard.OnRead("app", "t", 400, 5000), AccessDecision::kAllow);
+}
+
+TEST(AccessGuardTest, TableScrapingThrottled) {
+  AccessGuardConfig cfg;
+  cfg.max_distinct_tables = 3;
+  AccessGuard guard(cfg);
+  AccessDecision d = AccessDecision::kAllow;
+  for (int i = 0; i < 5; ++i) {
+    d = guard.OnRead("crawler", "table" + std::to_string(i), 1, i);
+  }
+  EXPECT_EQ(d, AccessDecision::kThrottle);
+}
+
+TEST(AccessGuardTest, FailureBurstBlocks) {
+  AccessGuardConfig cfg;
+  cfg.max_failures = 5;
+  AccessGuard guard(cfg);
+  AccessDecision d = AccessDecision::kAllow;
+  for (int i = 0; i < 6; ++i) d = guard.OnFailure("probe", i);
+  EXPECT_EQ(d, AccessDecision::kBlock);
+  // The audit trail names the probing reason.
+  ASSERT_FALSE(guard.audit_log().empty());
+  EXPECT_NE(guard.audit_log().back().reason.find("probing"), std::string::npos);
+}
+
+TEST(AccessGuardTest, PrincipalsIsolated) {
+  AccessGuardConfig cfg;
+  cfg.block_rows = 100;
+  AccessGuard guard(cfg);
+  (void)guard.OnRead("bad", "t", 1000, 1);
+  EXPECT_TRUE(guard.IsBlocked("bad"));
+  EXPECT_EQ(guard.OnRead("good", "t", 10, 2), AccessDecision::kAllow);
+}
+
+TEST(MlUtilTest, ZScore) {
+  WindowStats s = ComputeWindowStats({10, 10, 10, 10});
+  EXPECT_DOUBLE_EQ(s.mean, 10);
+  EXPECT_DOUBLE_EQ(ZScore(50, s), 0);  // zero stddev guard
+  WindowStats s2 = ComputeWindowStats({8, 12});
+  EXPECT_DOUBLE_EQ(s2.mean, 10);
+  EXPECT_DOUBLE_EQ(ZScore(14, s2), 2.0);
+}
+
+}  // namespace
+}  // namespace ofi::autodb

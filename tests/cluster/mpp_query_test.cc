@@ -1,0 +1,151 @@
+/// MPP scatter-gather aggregation: partial/final decomposition must equal a
+/// centralized computation, move only group-sized state, and read one
+/// consistent snapshot.
+#include "cluster/mpp_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/executor.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::AggFunc;
+using sql::Column;
+using sql::Expr;
+using sql::Row;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+class MppQueryTest : public ::testing::Test {
+ protected:
+  MppQueryTest() : cluster_(4, Protocol::kGtmLite) {
+    Schema schema({Column{"k", TypeId::kInt64, ""},
+                   Column{"region", TypeId::kInt64, ""},
+                   Column{"amount", TypeId::kInt64, ""}});
+    EXPECT_TRUE(cluster_.CreateTable("sales", schema).ok());
+    Rng rng(77);
+    for (int64_t i = 0; i < 400; ++i) {
+      Row row = {Value(i), Value(i % 5), Value(rng.Uniform(1, 100))};
+      reference_.push_back(row);
+      Txn t = cluster_.Begin(TxnScope::kSingleShard);
+      EXPECT_TRUE(t.Insert("sales", Value(i), row).ok());
+      EXPECT_TRUE(t.Commit().ok());
+    }
+  }
+
+  /// Centralized reference: the same aggregate on one local table.
+  sql::Table Centralized(sql::ExprPtr filter,
+                         std::vector<std::string> group_by,
+                         std::vector<sql::AggSpec> aggs) {
+    sql::Catalog catalog;
+    catalog.Register("sales",
+                     sql::Table(Schema({Column{"k", TypeId::kInt64, ""},
+                                        Column{"region", TypeId::kInt64, ""},
+                                        Column{"amount", TypeId::kInt64, ""}}),
+                                reference_));
+    sql::Executor exec(&catalog);
+    auto plan = sql::MakeAggregate(sql::MakeScan("sales", filter),
+                                   std::move(group_by), std::move(aggs));
+    return exec.Execute(plan).ValueOrDie();
+  }
+
+  Cluster cluster_;
+  std::vector<Row> reference_;
+};
+
+TEST_F(MppQueryTest, GlobalCountSumMinMax) {
+  auto result = DistributedAggregate(
+      &cluster_, "sales", nullptr, {},
+      {{AggFunc::kCount, "", "n"},
+       {AggFunc::kSum, "amount", "total"},
+       {AggFunc::kMin, "amount", "lo"},
+       {AggFunc::kMax, "amount", "hi"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  sql::Table expected = Centralized(
+      nullptr, {},
+      {{AggFunc::kCount, nullptr, "n"},
+       {AggFunc::kSum, Expr::ColumnRef("amount"), "total"},
+       {AggFunc::kMin, Expr::ColumnRef("amount"), "lo"},
+       {AggFunc::kMax, Expr::ColumnRef("amount"), "hi"}});
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(result->table.rows()[0][c].Equals(expected.rows()[0][c])) << c;
+  }
+}
+
+TEST_F(MppQueryTest, GroupByMatchesCentralized) {
+  auto result = DistributedAggregate(
+      &cluster_, "sales", nullptr, {"region"},
+      {{AggFunc::kCount, "", "n"}, {AggFunc::kSum, "amount", "total"}});
+  ASSERT_TRUE(result.ok());
+  sql::Table expected =
+      Centralized(nullptr, {"region"},
+                  {{AggFunc::kCount, nullptr, "n"},
+                   {AggFunc::kSum, Expr::ColumnRef("amount"), "total"}});
+  ASSERT_EQ(result->table.num_rows(), 5u);
+  // Compare as maps (row order is unspecified).
+  auto to_map = [](const sql::Table& t) {
+    std::map<int64_t, std::pair<int64_t, int64_t>> m;
+    for (const auto& r : t.rows()) {
+      m[r[0].AsInt()] = {r[1].AsInt(), r[2].AsInt()};
+    }
+    return m;
+  };
+  EXPECT_EQ(to_map(result->table), to_map(expected));
+}
+
+TEST_F(MppQueryTest, AvgDecomposesIntoSumCount) {
+  auto result = DistributedAggregate(&cluster_, "sales", nullptr, {"region"},
+                                     {{AggFunc::kAvg, "amount", "avg_amt"}});
+  ASSERT_TRUE(result.ok());
+  sql::Table expected =
+      Centralized(nullptr, {"region"},
+                  {{AggFunc::kAvg, Expr::ColumnRef("amount"), "avg_amt"}});
+  std::map<int64_t, double> got, want;
+  for (const auto& r : result->table.rows()) got[r[0].AsInt()] = r[1].AsDouble();
+  for (const auto& r : expected.rows()) want[r[0].AsInt()] = r[1].AsDouble();
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [k, v] : want) {
+    EXPECT_NEAR(got[k], v, 1e-9) << "region " << k;
+  }
+}
+
+TEST_F(MppQueryTest, FilterPushedToShards) {
+  auto result = DistributedAggregate(&cluster_, "sales",
+                                     Expr::Gt("amount", Value(50)), {},
+                                     {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(result.ok());
+  int64_t expected = 0;
+  for (const auto& r : reference_) expected += r[2].AsInt() > 50;
+  EXPECT_EQ(result->table.rows()[0][0].AsInt(), expected);
+}
+
+TEST_F(MppQueryTest, PartialStateMuchSmallerThanRows) {
+  auto result = DistributedAggregate(&cluster_, "sales", nullptr, {"region"},
+                                     {{AggFunc::kSum, "amount", "total"}});
+  ASSERT_TRUE(result.ok());
+  // 400 rows stay put; only ~5 groups x 4 shards of state move.
+  EXPECT_LT(result->partial_bytes * 5, result->naive_bytes);
+  EXPECT_GT(result->naive_bytes, 0u);
+}
+
+TEST_F(MppQueryTest, EmptyFilterResultYieldsCountZero) {
+  auto result = DistributedAggregate(&cluster_, "sales",
+                                     Expr::Gt("amount", Value(100000)), {},
+                                     {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  EXPECT_EQ(result->table.rows()[0][0].AsInt(), 0);
+}
+
+TEST_F(MppQueryTest, UnknownTableFails) {
+  EXPECT_FALSE(DistributedAggregate(&cluster_, "nope", nullptr, {},
+                                    {{AggFunc::kCount, "", "n"}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ofi::cluster

@@ -1,0 +1,140 @@
+/// The modified-TPC-C workload harness (experiment E1's engine): loading,
+/// conservation invariants across protocols, simulated-time behaviour.
+#include "cluster/tpcc_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::cluster {
+namespace {
+
+using sql::Row;
+using sql::Value;
+
+TpccConfig SmallConfig(double ms_fraction) {
+  TpccConfig cfg;
+  cfg.warehouses_per_dn = 2;
+  cfg.clients_per_dn = 2;
+  cfg.multi_shard_fraction = ms_fraction;
+  cfg.duration_us = 200'000;
+  cfg.customers_per_warehouse = 50;
+  cfg.stock_per_warehouse = 40;
+  return cfg;
+}
+
+class TpccTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(TpccTest, LoadPopulatesAllShards) {
+  Cluster cluster(2, GetParam());
+  TpccConfig cfg = SmallConfig(0.0);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  for (int dn = 0; dn < 2; ++dn) {
+    auto t = cluster.dn(dn)->GetTable("warehouse");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)->num_keys(), 2u);  // 2 warehouses per DN
+  }
+}
+
+TEST_P(TpccTest, RunCommitsTransactions) {
+  Cluster cluster(2, GetParam());
+  TpccConfig cfg = SmallConfig(0.1);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  TpccResult r = RunTpcc(&cluster, cfg);
+  EXPECT_GT(r.committed, 100u);
+  EXPECT_GT(r.throughput_tps, 0);
+}
+
+// Money conservation: every committed Payment moves exactly 10 from a
+// customer balance into warehouse+district ytd. Whatever the interleaving
+// and protocol, sum(balance) + sum(w.ytd) must equal the initial total.
+TEST_P(TpccTest, PaymentMoneyConservation) {
+  Cluster cluster(2, GetParam());
+  TpccConfig cfg = SmallConfig(0.1);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  int64_t total_customers = 4 * cfg.customers_per_warehouse;
+  int64_t initial = total_customers * 1000;
+
+  TpccResult run = RunTpcc(&cluster, cfg);
+
+  int64_t balances = 0, wh_ytd = 0, di_ytd = 0;
+  for (int dn = 0; dn < cluster.num_dns(); ++dn) {
+    Txn t = cluster.Begin(TxnScope::kMultiShard);
+    auto customers = t.ScanShard("customer", dn);
+    ASSERT_TRUE(customers.ok());
+    for (const Row& row : *customers) balances += row[1].AsInt();
+    auto warehouses = t.ScanShard("warehouse", dn);
+    ASSERT_TRUE(warehouses.ok());
+    for (const Row& row : *warehouses) wh_ytd += row[1].AsInt();
+    auto districts = t.ScanShard("district", dn);
+    ASSERT_TRUE(districts.ok());
+    for (const Row& row : *districts) di_ytd += row[1].AsInt();
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  EXPECT_EQ(balances + wh_ytd, initial);
+  // District ytd = payment amounts + one unit per committed NewOrder (it
+  // doubles as the next_o_id counter); warehouse ytd additionally pays out
+  // delivery credits. So di - wh = new_orders + delivered_orders, bounded
+  // by two orders' worth of work per committed transaction.
+  int64_t di_minus_wh = di_ytd - wh_ytd;
+  EXPECT_GE(di_minus_wh, 0);
+  EXPECT_LE(di_minus_wh, 2 * static_cast<int64_t>(run.committed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TpccTest,
+                         ::testing::Values(Protocol::kBaselineGtm,
+                                           Protocol::kGtmLite),
+                         [](const auto& info) {
+                           return info.param == Protocol::kBaselineGtm
+                                      ? "Baseline"
+                                      : "GtmLite";
+                         });
+
+TEST(TpccProtocolContrastTest, GtmLiteSsNeverTouchesGtm) {
+  Cluster cluster(2, Protocol::kGtmLite);
+  TpccConfig cfg = SmallConfig(0.0);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  TpccResult r = RunTpcc(&cluster, cfg);
+  EXPECT_EQ(r.gtm_requests, 0u);
+  EXPECT_GT(r.committed, 0u);
+}
+
+TEST(TpccProtocolContrastTest, BaselineAlwaysTouchesGtm) {
+  Cluster cluster(2, Protocol::kBaselineGtm);
+  TpccConfig cfg = SmallConfig(0.0);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  TpccResult r = RunTpcc(&cluster, cfg);
+  EXPECT_GE(r.gtm_requests, (r.committed + r.aborted) * 2);
+}
+
+TEST(TpccProtocolContrastTest, MsWorkloadUsesGtmProportionally) {
+  Cluster cluster(2, Protocol::kGtmLite);
+  TpccConfig cfg = SmallConfig(0.1);
+  ASSERT_TRUE(LoadTpcc(&cluster, cfg).ok());
+  TpccResult r = RunTpcc(&cluster, cfg);
+  uint64_t total = r.committed + r.aborted;
+  EXPECT_GT(r.gtm_requests, 0u);
+  // Roughly 10% of transactions took ~3 GTM requests each.
+  EXPECT_LT(r.gtm_requests, total);
+}
+
+TEST(TpccProtocolContrastTest, ThroughputScalesWithDns) {
+  TpccConfig cfg = SmallConfig(0.0);
+  Cluster one(1, Protocol::kGtmLite);
+  ASSERT_TRUE(LoadTpcc(&one, cfg).ok());
+  double tps1 = RunTpcc(&one, cfg).throughput_tps;
+  Cluster four(4, Protocol::kGtmLite);
+  ASSERT_TRUE(LoadTpcc(&four, cfg).ok());
+  double tps4 = RunTpcc(&four, cfg).throughput_tps;
+  EXPECT_GT(tps4, tps1 * 2.5);
+}
+
+TEST(TpccKeyLayoutTest, WarehouseColocation) {
+  using namespace tpcc;
+  EXPECT_EQ(WarehouseOf(WarehouseKey(3)), 3);
+  EXPECT_EQ(WarehouseOf(DistrictKey(3, 9)), 3);
+  EXPECT_EQ(WarehouseOf(CustomerKey(3, 299)), 3);
+  EXPECT_EQ(WarehouseOf(StockKey(3, 199)), 3);
+  EXPECT_EQ(WarehouseOf(OrderKey(3, 400'000)), 3);
+}
+
+}  // namespace
+}  // namespace ofi::cluster

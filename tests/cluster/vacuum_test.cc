@@ -1,0 +1,86 @@
+/// Cluster-wide garbage collection: vacuum removes dead versions below the
+/// local visibility horizon and never removes anything a snapshot can see.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Schema KvSchema() {
+  return Schema({Column{"k", TypeId::kInt64, ""}, Column{"v", TypeId::kInt64, ""}});
+}
+
+TEST(ClusterVacuumTest, RemovesDeadVersionsAfterUpdates) {
+  Cluster cluster(2, Protocol::kGtmLite);
+  ASSERT_TRUE(cluster.CreateTable("t", KvSchema()).ok());
+  Value key(1);
+  {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("t", key, {key, Value(0)}).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  for (int i = 1; i <= 10; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Update("t", key, {key, Value(i)}).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  int dn = cluster.EffectiveDn(cluster.ShardFor(key));
+  EXPECT_EQ((*cluster.dn(dn)->GetTable("t"))->num_versions(), 11u);
+
+  size_t removed = cluster.Vacuum();
+  EXPECT_EQ(removed, 10u);
+  EXPECT_EQ((*cluster.dn(dn)->GetTable("t"))->num_versions(), 1u);
+
+  // The survivor is the latest committed version.
+  Txn r = cluster.Begin(TxnScope::kSingleShard);
+  EXPECT_EQ(r.Read("t", key).ValueOrDie()[1].AsInt(), 10);
+  ASSERT_TRUE(r.Commit().ok());
+}
+
+TEST(ClusterVacuumTest, OpenSnapshotBlocksReclaim) {
+  Cluster cluster(1, Protocol::kGtmLite);
+  ASSERT_TRUE(cluster.CreateTable("t", KvSchema()).ok());
+  Value key(1);
+  {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("t", key, {key, Value(0)}).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  // An old reader holds a snapshot (its local xid pins the horizon).
+  Txn old_reader = cluster.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(old_reader.Read("t", key).ok());
+
+  Txn w = cluster.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(w.Update("t", key, {key, Value(1)}).ok());
+  ASSERT_TRUE(w.Commit().ok());
+
+  // The old version is still visible to old_reader; vacuum (horizon = the
+  // reader's xid) must not remove it.
+  size_t removed = cluster.Vacuum();
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(old_reader.Read("t", key).ValueOrDie()[1].AsInt(), 0);
+  ASSERT_TRUE(old_reader.Commit().ok());
+
+  // Reader gone: the dead version is now reclaimable.
+  EXPECT_EQ(cluster.Vacuum(), 1u);
+}
+
+TEST(ClusterVacuumTest, AbortedInsertionsReclaimed) {
+  Cluster cluster(1, Protocol::kGtmLite);
+  ASSERT_TRUE(cluster.CreateTable("t", KvSchema()).ok());
+  Txn t = cluster.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t.Insert("t", Value(5), {Value(5), Value(1)}).ok());
+  ASSERT_TRUE(t.Abort().ok());
+  EXPECT_EQ((*cluster.dn(0)->GetTable("t"))->num_versions(), 1u);
+  EXPECT_EQ(cluster.Vacuum(), 1u);
+  EXPECT_EQ((*cluster.dn(0)->GetTable("t"))->num_keys(), 0u);
+}
+
+}  // namespace
+}  // namespace ofi::cluster

@@ -1,0 +1,56 @@
+#include "common/md5.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::HexDigest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexDigest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexDigest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexDigest("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexDigest("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::HexDigest(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexDigest("1234567890123456789012345678901234567890123456789"
+                           "0123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  std::string data(1000, 'x');
+  Md5 h;
+  for (size_t i = 0; i < data.size(); i += 37) {
+    h.Update(std::string_view(data).substr(i, 37));
+  }
+  auto digest = h.Digest();
+  std::string hex;
+  static const char kHex[] = "0123456789abcdef";
+  for (uint8_t b : digest) {
+    hex += kHex[b >> 4];
+    hex += kHex[b & 0xF];
+  }
+  EXPECT_EQ(hex, Md5::HexDigest(data));
+}
+
+TEST(Md5Test, BoundarySizesAroundBlock) {
+  // Lengths straddling the 64-byte block and 56-byte padding boundary.
+  for (size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string a(n, 'q');
+    EXPECT_EQ(Md5::HexDigest(a).size(), 32u) << n;
+    // Deterministic: same input, same digest.
+    EXPECT_EQ(Md5::HexDigest(a), Md5::HexDigest(std::string(n, 'q'))) << n;
+  }
+}
+
+TEST(Md5Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::HexDigest("SCAN(T1,PREDICATE(B1>10))"),
+            Md5::HexDigest("SCAN(T1,PREDICATE(B1>11))"));
+}
+
+}  // namespace
+}  // namespace ofi

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace ofi {
+namespace {
+
+TEST(SimSchedulerTest, SerializedResourceQueues) {
+  SimScheduler sched;
+  int r = sched.AddResource();
+  EXPECT_EQ(sched.Charge(r, 0, 100), 100);
+  EXPECT_EQ(sched.Charge(r, 0, 100), 200);   // queues behind the first
+  EXPECT_EQ(sched.Charge(r, 500, 100), 600); // idle gap, starts at arrival
+}
+
+TEST(SimSchedulerTest, GapFittingBackfillsIdleTime) {
+  SimScheduler sched;
+  int r = sched.AddResource();
+  // A future charge first (out-of-order issue)...
+  EXPECT_EQ(sched.Charge(r, 10'000, 100), 10'100);
+  // ...must not starve an earlier arrival: it backfills the idle prefix.
+  EXPECT_EQ(sched.Charge(r, 0, 100), 100);
+  // A long job that doesn't fit before the reserved interval slides past it.
+  EXPECT_EQ(sched.Charge(r, 200, 9'900), 20'000);
+}
+
+TEST(SimSchedulerTest, ExactGapFits) {
+  SimScheduler sched;
+  int r = sched.AddResource();
+  sched.Charge(r, 0, 100);     // [0,100)
+  sched.Charge(r, 300, 100);   // [300,400)
+  EXPECT_EQ(sched.Charge(r, 100, 200), 300);  // exactly fills [100,300)
+}
+
+TEST(SimSchedulerTest, BusyTimeAndTrim) {
+  SimScheduler sched;
+  int r = sched.AddResource();
+  sched.Charge(r, 0, 50);
+  sched.Charge(r, 100, 50);
+  EXPECT_EQ(sched.BusyTime(r), 100);
+  sched.Trim(75);
+  EXPECT_EQ(sched.BusyTime(r), 100);  // trimmed work still counted
+  sched.Reset();
+  EXPECT_EQ(sched.BusyTime(r), 0);
+}
+
+TEST(SimSchedulerTest, IndependentResources) {
+  SimScheduler sched;
+  int a = sched.AddResource();
+  int b = sched.AddResource();
+  EXPECT_EQ(sched.Charge(a, 0, 100), 100);
+  EXPECT_EQ(sched.Charge(b, 0, 100), 100);  // no cross-resource queueing
+}
+
+TEST(RngTest, DeterministicAndUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(7);
+  int64_t lo = 100, hi = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = r.Uniform(0, 99);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 99);
+}
+
+TEST(RngTest, NURandStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NURand(1023, 0, 2999);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2999);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += r.Chance(0.1);
+  EXPECT_NEAR(hits / 100'000.0, 0.1, 0.01);
+}
+
+TEST(ZipfianTest, SkewsTowardLowRanks) {
+  Zipfian z(1000, 0.99, 3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    uint64_t v = z.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 must dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  EXPECT_GT(counts[0] + counts[1] + counts[2], 100'000 / 10);
+}
+
+TEST(LatencyHistogramTest, PercentilesAndMerge) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.1);
+  // Bucketed percentiles are approximate: within a bucket width.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500, 150);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990, 300);
+
+  LatencyHistogram other;
+  other.Record(5000);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_EQ(h.max(), 5000);
+}
+
+TEST(LatencyHistogramTest, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(99), 0);
+  h.Record(10);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, CountersAndHistograms) {
+  MetricsRegistry m;
+  m.Add("txn.commit");
+  m.Add("txn.commit", 4);
+  EXPECT_EQ(m.Get("txn.commit"), 5);
+  EXPECT_EQ(m.Get("unknown"), 0);
+  m.Histogram("lat").Record(100);
+  EXPECT_EQ(m.Histogram("lat").count(), 1u);
+  m.Reset();
+  EXPECT_EQ(m.Get("txn.commit"), 0);
+}
+
+}  // namespace
+}  // namespace ofi

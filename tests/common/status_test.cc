@@ -1,0 +1,100 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace ofi {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing row");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing row");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::IncompatibleSchema("x").IsIncompatibleSchema());
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::PermissionDenied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::Aborted("conflict");
+  Status b = a;
+  EXPECT_TRUE(b.IsAborted());
+  EXPECT_EQ(a, b);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  OFI_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  OFI_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  Result<int> err = ParsePositive(0);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubled(5).ValueOrDie(), 10);
+  EXPECT_FALSE(Doubled(-5).ok());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(ParsePositive(7).ValueOr(-1), 7);
+  EXPECT_EQ(ParsePositive(-7).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyFriendly) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 9);
+}
+
+}  // namespace
+}  // namespace ofi

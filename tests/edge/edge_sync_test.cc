@@ -1,0 +1,224 @@
+/// The device-edge-cloud sync platform (paper §IV-B): version vectors,
+/// no-loss/no-dup sync, deterministic conflict convergence, dynamic
+/// membership, direct-vs-cloud latency, subscriptions.
+#include <gtest/gtest.h>
+
+#include "edge/platform.h"
+
+namespace ofi::edge {
+namespace {
+
+using sql::Value;
+
+TEST(VersionVectorTest, CausalOrdering) {
+  VersionVector a, b;
+  a.Bump(1);
+  EXPECT_EQ(a.Compare(b), VersionVector::Order::kAfter);
+  EXPECT_EQ(b.Compare(a), VersionVector::Order::kBefore);
+  b.Bump(1);
+  EXPECT_EQ(a.Compare(b), VersionVector::Order::kEqual);
+  a.Bump(1);
+  b.Bump(2);
+  EXPECT_EQ(a.Compare(b), VersionVector::Order::kConcurrent);
+}
+
+TEST(VersionVectorTest, MergeMaxDominatesBoth) {
+  VersionVector a, b;
+  a.Bump(1);
+  a.Bump(1);
+  b.Bump(2);
+  VersionVector m = a;
+  m.MergeMax(b);
+  EXPECT_EQ(m.Compare(a), VersionVector::Order::kAfter);
+  EXPECT_EQ(m.Compare(b), VersionVector::Order::kAfter);
+  EXPECT_EQ(m.TotalEvents(), 3u);
+}
+
+TEST(ReplicatedStoreTest, LocalPutGetDelete) {
+  ReplicatedStore s(1);
+  s.Put("k", Value(10));
+  EXPECT_EQ(s.Get("k").ValueOrDie().AsInt(), 10);
+  s.Delete("k");
+  EXPECT_TRUE(s.Get("k").status().IsNotFound());
+  EXPECT_EQ(s.size(), 1u);       // tombstone retained
+  EXPECT_EQ(s.live_size(), 0u);
+}
+
+TEST(ReplicatedStoreTest, MergeDominanceAndStale) {
+  ReplicatedStore a(1), b(2);
+  a.Put("k", Value(1));
+  // Ship a's entry to b.
+  Entry e = a.entries().at("k");
+  EXPECT_EQ(b.Merge(e), MergeResult::kApplied);
+  EXPECT_EQ(b.Merge(e), MergeResult::kStale);  // idempotent
+  // b updates on top; shipping back applies at a.
+  b.Put("k", Value(2));
+  EXPECT_EQ(a.Merge(b.entries().at("k")), MergeResult::kApplied);
+  EXPECT_EQ(a.Get("k").ValueOrDie().AsInt(), 2);
+}
+
+TEST(ReplicatedStoreTest, ConcurrentUpdatesConvergeIdentically) {
+  ReplicatedStore a(1), b(2);
+  a.Put("k", Value(100));
+  b.Put("k", Value(200));  // concurrent with a's
+  Entry ea = a.entries().at("k");
+  Entry eb = b.entries().at("k");
+  a.Merge(eb);
+  b.Merge(ea);
+  // Both replicas resolve to the same winner.
+  EXPECT_EQ(a.Get("k").ValueOrDie().AsInt(), b.Get("k").ValueOrDie().AsInt());
+  // And the merged version dominates both originals (no livelock).
+  EXPECT_EQ(a.entries().at("k").version.Compare(ea.version),
+            VersionVector::Order::kAfter);
+}
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest() {
+    phone_ = platform_.AddNode("phone", Tier::kDevice);
+    watch_ = platform_.AddNode("watch", Tier::kDevice);
+    cloud_ = platform_.AddNode("cloud", Tier::kCloud);
+  }
+  Platform platform_;
+  SyncNode* phone_;
+  SyncNode* watch_;
+  SyncNode* cloud_;
+};
+
+TEST_F(PlatformTest, PairSyncNoLoss) {
+  phone_->Put("photos/1", Value("sunset"));
+  phone_->Put("photos/2", Value("beach"));
+  watch_->Put("health/steps", Value(4200));
+  SyncStats s = platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_EQ(s.entries_sent, 3u);
+  EXPECT_EQ(watch_->Get("photos/1").ValueOrDie().AsString(), "sunset");
+  EXPECT_EQ(phone_->Get("health/steps").ValueOrDie().AsInt(), 4200);
+}
+
+TEST_F(PlatformTest, ResyncSendsNothing) {
+  phone_->Put("a", Value(1));
+  platform_.SyncPair(phone_->id(), watch_->id());
+  SyncStats again = platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_EQ(again.entries_sent, 0u);  // no redundant data
+}
+
+TEST_F(PlatformTest, DeleteReplicatesAsTombstone) {
+  phone_->Put("a", Value(1));
+  platform_.SyncPair(phone_->id(), watch_->id());
+  phone_->Delete("a");
+  platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_TRUE(watch_->Get("a").status().IsNotFound());
+}
+
+TEST_F(PlatformTest, DirectSyncFasterThanThroughCloud) {
+  phone_->Put("video/clip", Value(std::string(2000, 'v')));
+  // Measure both paths from identical starting states by using two fresh
+  // target devices.
+  SyncNode* tablet = platform_.AddNode("tablet", Tier::kDevice);
+  SyncStats direct = platform_.SyncPair(phone_->id(), tablet->id());
+
+  phone_->Put("video/clip2", Value(std::string(2000, 'w')));
+  auto through = platform_.SyncThroughCloud(phone_->id(), watch_->id());
+  ASSERT_TRUE(through.ok());
+  // The paper claims direct D2D is at least ~10x faster.
+  EXPECT_GT(through->latency_us, direct.latency_us * 5);
+  EXPECT_TRUE(watch_->Get("video/clip2").ok());
+}
+
+TEST_F(PlatformTest, GossipConvergesAllNodes) {
+  phone_->Put("p", Value(1));
+  watch_->Put("w", Value(2));
+  cloud_->Put("c", Value(3));
+  platform_.SyncAllPairs();
+  for (SyncNode* n : {phone_, watch_, cloud_}) {
+    EXPECT_TRUE(n->Get("p").ok());
+    EXPECT_TRUE(n->Get("w").ok());
+    EXPECT_TRUE(n->Get("c").ok());
+  }
+}
+
+TEST_F(PlatformTest, ConflictsCountedAndConverge) {
+  phone_->Put("k", Value("from-phone"));
+  watch_->Put("k", Value("from-watch"));
+  platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_EQ(phone_->Get("k").ValueOrDie().AsString(),
+            watch_->Get("k").ValueOrDie().AsString());
+}
+
+TEST_F(PlatformTest, DynamicMembership) {
+  SyncNode* newdev = platform_.AddNode("car", Tier::kDevice);
+  phone_->Put("route", Value("A->B"));
+  platform_.SyncPair(phone_->id(), newdev->id());
+  EXPECT_TRUE(newdev->Get("route").ok());
+  NodeId id = newdev->id();
+  ASSERT_TRUE(platform_.RemoveNode(id).ok());
+  EXPECT_EQ(platform_.node(id), nullptr);
+  EXPECT_TRUE(platform_.RemoveNode(id).IsNotFound());
+}
+
+TEST_F(PlatformTest, SubscriptionsFireOnLocalAndSyncedChanges) {
+  int events = 0;
+  std::string last_key;
+  watch_->Subscribe("photos/", [&](const std::string& k, const Value& v) {
+    ++events;
+    last_key = k;
+  });
+  watch_->Put("photos/selfie", Value("x"));  // local change
+  EXPECT_EQ(events, 1);
+  phone_->Put("photos/remote", Value("y"));
+  phone_->Put("music/song", Value("z"));  // outside the prefix
+  platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_EQ(events, 2);
+  EXPECT_EQ(last_key, "photos/remote");
+}
+
+TEST_F(PlatformTest, OfflineThenReconnectCatchesUp) {
+  // "Works without Internet": two devices sync directly, cloud joins later.
+  phone_->Put("note", Value("offline edit"));
+  platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_TRUE(watch_->Get("note").ok());
+  EXPECT_TRUE(cloud_->Get("note").status().IsNotFound());
+  platform_.SyncPair(watch_->id(), cloud_->id());
+  EXPECT_TRUE(cloud_->Get("note").ok());
+}
+
+TEST_F(PlatformTest, PlacementPolicyKeepsPrivateDataOffTheCloud) {
+  // §IV-B1 "Secure": home camera footage never leaves the device tier.
+  platform_.policy().AddRule({"camera/private/", Tier::kDevice});
+  platform_.policy().AddRule({"camera/", Tier::kEdge});
+
+  phone_->Put("camera/private/living_room", Value("footage"));
+  phone_->Put("camera/doorbell", Value("clip"));
+  phone_->Put("notes/todo", Value("milk"));
+
+  // Device-to-device: everything flows.
+  SyncStats d2d = platform_.SyncPair(phone_->id(), watch_->id());
+  EXPECT_EQ(d2d.blocked_by_policy, 0u);
+  EXPECT_TRUE(watch_->Get("camera/private/living_room").ok());
+
+  // To the cloud: private footage AND camera clips are withheld.
+  SyncStats to_cloud = platform_.SyncPair(phone_->id(), cloud_->id());
+  EXPECT_EQ(to_cloud.blocked_by_policy, 2u);
+  EXPECT_TRUE(cloud_->Get("camera/private/living_room").status().IsNotFound());
+  EXPECT_TRUE(cloud_->Get("camera/doorbell").status().IsNotFound());
+  EXPECT_TRUE(cloud_->Get("notes/todo").ok());
+}
+
+TEST_F(PlatformTest, LongestPrefixRuleWins) {
+  platform_.policy().AddRule({"media/", Tier::kDevice});
+  platform_.policy().AddRule({"media/public/", Tier::kCloud});
+  phone_->Put("media/secret", Value(1));
+  phone_->Put("media/public/post", Value(2));
+  platform_.SyncPair(phone_->id(), cloud_->id());
+  EXPECT_FALSE(cloud_->Get("media/secret").ok());
+  EXPECT_TRUE(cloud_->Get("media/public/post").ok());
+}
+
+TEST_F(PlatformTest, NoCloudNodeError) {
+  Platform p;
+  p.AddNode("d1", Tier::kDevice);
+  EXPECT_TRUE(p.CloudNode().status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ofi::edge

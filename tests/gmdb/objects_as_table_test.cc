@@ -1,0 +1,113 @@
+/// GMDB's relational view: tree objects flattened into SQL tables (the
+/// relational half of Fig. 7's Driver), including cross-version reads and
+/// cross-system joins with the SQL executor.
+#include <gtest/gtest.h>
+
+#include "gmdb/cluster.h"
+#include "sql/executor.h"
+
+namespace ofi::gmdb {
+namespace {
+
+using sql::TypeId;
+using sql::Value;
+
+RecordSchemaPtr SubscriberSchema(int version) {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "subscriber";
+  s->version = version;
+  s->primary_key = "msisdn";
+  s->fields = {PrimitiveField("msisdn", TypeId::kString, Value("")),
+               PrimitiveField("balance", TypeId::kInt64, Value(0)),
+               // A nested record: skipped by the flattened view.
+               RecordField("device", [] {
+                 auto d = std::make_shared<RecordSchema>();
+                 d->name = "device";
+                 d->version = 1;
+                 d->primary_key = "imei";
+                 d->fields = {PrimitiveField("imei", TypeId::kString, Value(""))};
+                 return d;
+               }())};
+  if (version >= 2) {
+    s->fields.push_back(PrimitiveField("plan", TypeId::kString, Value("basic")));
+  }
+  return s;
+}
+
+class ObjectsAsTableTest : public ::testing::Test {
+ protected:
+  ObjectsAsTableTest() : cluster_(1) {
+    EXPECT_TRUE(cluster_.SubmitSchema(SubscriberSchema(1)).ok());
+    EXPECT_TRUE(cluster_.SubmitSchema(SubscriberSchema(2)).ok());
+    auto v1 = *cluster_.registry().Get("subscriber", 1);
+    for (int i = 0; i < 5; ++i) {
+      auto obj = TreeObject::Defaults(*v1);
+      (void)obj->SetPath("msisdn", Value("m" + std::to_string(i)));
+      (void)obj->SetPath("balance", Value(100 * i));
+      EXPECT_TRUE(cluster_.dn(0)
+                      ->Put("subscriber", "m" + std::to_string(i), obj, 1)
+                      .ok());
+    }
+  }
+  GmdbCluster cluster_;
+};
+
+TEST_F(ObjectsAsTableTest, FlattensPrimitivesOnly) {
+  auto table = cluster_.dn(0)->ObjectsAsTable("subscriber", 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 5u);
+  // _key + msisdn + balance; the nested "device" record is not a column.
+  EXPECT_EQ(table->schema().num_columns(), 3u);
+  EXPECT_TRUE(table->schema().IndexOf("balance").ok());
+  EXPECT_FALSE(table->schema().IndexOf("device").ok());
+}
+
+TEST_F(ObjectsAsTableTest, CrossVersionViewFillsDefaults) {
+  // Reading the same V1 objects at V2 adds the "plan" column with defaults.
+  auto table = cluster_.dn(0)->ObjectsAsTable("subscriber", 2);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().num_columns(), 4u);
+  size_t plan_idx = table->schema().IndexOf("plan").ValueOrDie();
+  for (const auto& row : table->rows()) {
+    EXPECT_EQ(row[plan_idx].AsString(), "basic");
+  }
+}
+
+TEST_F(ObjectsAsTableTest, JoinsWithRelationalEngine) {
+  auto table = cluster_.dn(0)->ObjectsAsTable("subscriber", 1);
+  ASSERT_TRUE(table.ok());
+  sql::Catalog catalog;
+  catalog.Register("subs", sql::Table(table->schema().WithQualifier("s"),
+                                      std::move(table->mutable_rows())));
+  sql::Executor exec(&catalog);
+  auto plan = sql::MakeAggregate(
+      sql::MakeScan("subs", sql::Expr::Ge("s.balance", Value(200))), {},
+      {sql::AggSpec{sql::AggFunc::kCount, nullptr, "n"}});
+  auto result = exec.Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows()[0][0].AsInt(), 3);  // balances 200, 300, 400
+}
+
+TEST_F(ObjectsAsTableTest, UnknownTypeOrVersionFails) {
+  EXPECT_FALSE(cluster_.dn(0)->ObjectsAsTable("nope", 1).ok());
+  EXPECT_FALSE(cluster_.dn(0)->ObjectsAsTable("subscriber", 9).ok());
+}
+
+TEST_F(ObjectsAsTableTest, OnlyMatchingTypeIncluded) {
+  // Add a second object type; it must not leak into the subscriber view.
+  auto other = std::make_shared<RecordSchema>();
+  other->name = "cell";
+  other->version = 1;
+  other->primary_key = "id";
+  other->fields = {PrimitiveField("id", TypeId::kString, Value(""))};
+  ASSERT_TRUE(cluster_.SubmitSchema(other).ok());
+  auto obj = TreeObject::Defaults(*other);
+  ASSERT_TRUE(cluster_.dn(0)->Put("cell", "c1", obj, 1).ok());
+
+  auto table = cluster_.dn(0)->ObjectsAsTable("subscriber", 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 5u);
+}
+
+}  // namespace
+}  // namespace ofi::gmdb

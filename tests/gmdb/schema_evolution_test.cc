@@ -1,0 +1,242 @@
+/// Online schema evolution (paper §III-B, experiments E6/E7): the MME
+/// version chain V3->V5->V6->V7->V8 of Fig. 8, the evolution rules
+/// (add-only, no delete, no reorder), and upgrade/downgrade conversion.
+#include "gmdb/schema_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::gmdb {
+namespace {
+
+using sql::TypeId;
+using sql::Value;
+
+/// MME session schema at a given version: each version appends fields.
+RecordSchemaPtr MmeSchema(int version) {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "mme_session";
+  s->version = version;
+  s->primary_key = "imsi";
+  s->fields = {PrimitiveField("imsi", TypeId::kString, Value("")),
+               PrimitiveField("state", TypeId::kString, Value("idle"))};
+  if (version >= 5) {
+    s->fields.push_back(PrimitiveField("apn", TypeId::kString, Value("default")));
+  }
+  if (version >= 6) {
+    s->fields.push_back(PrimitiveField("qos", TypeId::kInt64, Value(9)));
+  }
+  if (version >= 7) {
+    s->fields.push_back(PrimitiveField("slice_id", TypeId::kInt64, Value(0)));
+  }
+  if (version >= 8) {
+    s->fields.push_back(
+        PrimitiveField("edge_site", TypeId::kString, Value("none")));
+  }
+  return s;
+}
+
+class Fig8MatrixTest : public ::testing::Test {
+ protected:
+  Fig8MatrixTest() {
+    for (int v : {3, 5, 6, 7, 8}) {
+      EXPECT_TRUE(registry_.RegisterVersion(MmeSchema(v)).ok()) << v;
+    }
+  }
+  SchemaRegistry registry_;
+};
+
+TEST_F(Fig8MatrixTest, AdjacentCellsAreUpgradesAndDowngrades) {
+  // The U diagonal of Fig. 8.
+  EXPECT_EQ(registry_.Classify("mme_session", 3, 5), ConversionKind::kUpgrade);
+  EXPECT_EQ(registry_.Classify("mme_session", 5, 6), ConversionKind::kUpgrade);
+  EXPECT_EQ(registry_.Classify("mme_session", 6, 7), ConversionKind::kUpgrade);
+  EXPECT_EQ(registry_.Classify("mme_session", 7, 8), ConversionKind::kUpgrade);
+  // The D diagonal.
+  EXPECT_EQ(registry_.Classify("mme_session", 5, 3), ConversionKind::kDowngrade);
+  EXPECT_EQ(registry_.Classify("mme_session", 8, 7), ConversionKind::kDowngrade);
+}
+
+TEST_F(Fig8MatrixTest, NonAdjacentCellsAreX) {
+  EXPECT_EQ(registry_.Classify("mme_session", 3, 6), ConversionKind::kUnsupported);
+  EXPECT_EQ(registry_.Classify("mme_session", 3, 8), ConversionKind::kUnsupported);
+  EXPECT_EQ(registry_.Classify("mme_session", 8, 3), ConversionKind::kUnsupported);
+  EXPECT_EQ(registry_.Classify("mme_session", 6, 3), ConversionKind::kUnsupported);
+}
+
+TEST_F(Fig8MatrixTest, DiagonalIsIdentity) {
+  EXPECT_EQ(registry_.Classify("mme_session", 5, 5), ConversionKind::kIdentity);
+}
+
+TEST_F(Fig8MatrixTest, MatrixRendering) {
+  std::string m = registry_.MatrixToString("mme_session");
+  EXPECT_NE(m.find("U1(3->5)"), std::string::npos);
+  EXPECT_NE(m.find("D1(5->3)"), std::string::npos);
+  EXPECT_NE(m.find("X"), std::string::npos);
+}
+
+TEST_F(Fig8MatrixTest, UpgradeFillsDefaults) {
+  auto v3 = TreeObject::Defaults(*MmeSchema(3));
+  ASSERT_TRUE(v3->SetPath("imsi", Value("460-001")).ok());
+  ASSERT_TRUE(v3->SetPath("state", Value("connected")).ok());
+  auto v5 = registry_.Convert("mme_session", *v3, 3, 5);
+  ASSERT_TRUE(v5.ok());
+  EXPECT_EQ((*v5)->GetPrimitive("imsi").ValueOrDie().AsString(), "460-001");
+  EXPECT_EQ((*v5)->GetPrimitive("state").ValueOrDie().AsString(), "connected");
+  EXPECT_EQ((*v5)->GetPrimitive("apn").ValueOrDie().AsString(), "default");
+}
+
+TEST_F(Fig8MatrixTest, DowngradeDropsTrailingFields) {
+  auto v6 = TreeObject::Defaults(*MmeSchema(6));
+  ASSERT_TRUE(v6->SetPath("apn", Value("ims")).ok());
+  ASSERT_TRUE(v6->SetPath("qos", Value(5)).ok());
+  auto v5 = registry_.Convert("mme_session", *v6, 6, 5);
+  ASSERT_TRUE(v5.ok());
+  EXPECT_EQ((*v5)->GetPrimitive("apn").ValueOrDie().AsString(), "ims");
+  EXPECT_FALSE((*v5)->Has("qos"));
+}
+
+TEST_F(Fig8MatrixTest, NonAdjacentConversionFails) {
+  auto v3 = TreeObject::Defaults(*MmeSchema(3));
+  EXPECT_TRUE(registry_.Convert("mme_session", *v3, 3, 8)
+                  .status()
+                  .IsIncompatibleSchema());
+}
+
+TEST_F(Fig8MatrixTest, UpgradeThenDowngradeRoundTripsSharedFields) {
+  auto v5 = TreeObject::Defaults(*MmeSchema(5));
+  ASSERT_TRUE(v5->SetPath("apn", Value("corp")).ok());
+  auto v6 = registry_.Convert("mme_session", *v5, 5, 6);
+  ASSERT_TRUE(v6.ok());
+  auto back = registry_.Convert("mme_session", **v6, 6, 5);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(v5->Equals(**back));
+}
+
+// --- Evolution rule enforcement ---------------------------------------------
+TEST(EvolutionRulesTest, DeletingFieldRejected) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.RegisterVersion(MmeSchema(3)).ok());
+  auto bad = std::make_shared<RecordSchema>();
+  bad->name = "mme_session";
+  bad->version = 4;
+  bad->primary_key = "imsi";
+  bad->fields = {PrimitiveField("imsi", TypeId::kString, Value(""))};  // dropped state
+  EXPECT_TRUE(reg.RegisterVersion(bad).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, ReorderingFieldsRejected) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.RegisterVersion(MmeSchema(3)).ok());
+  auto bad = std::make_shared<RecordSchema>();
+  bad->name = "mme_session";
+  bad->version = 4;
+  bad->primary_key = "imsi";
+  bad->fields = {PrimitiveField("state", TypeId::kString, Value("idle")),
+                 PrimitiveField("imsi", TypeId::kString, Value(""))};
+  EXPECT_TRUE(reg.RegisterVersion(bad).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, TypeChangeRejected) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.RegisterVersion(MmeSchema(3)).ok());
+  auto bad = MmeSchema(4);
+  const_cast<FieldDef&>(bad->fields[1]).primitive_type = TypeId::kInt64;
+  EXPECT_TRUE(reg.RegisterVersion(bad).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, VersionMustIncrease) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.RegisterVersion(MmeSchema(5)).ok());
+  EXPECT_TRUE(reg.RegisterVersion(MmeSchema(3)).IsIncompatibleSchema());
+  EXPECT_TRUE(reg.RegisterVersion(MmeSchema(5)).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, PrimaryKeyChangeRejected) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.RegisterVersion(MmeSchema(3)).ok());
+  auto bad = MmeSchema(4);
+  const_cast<RecordSchema&>(*bad).primary_key = "state";
+  EXPECT_TRUE(reg.RegisterVersion(bad).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, FirstVersionNeedsValidPrimaryKey) {
+  SchemaRegistry reg;
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "x";
+  s->version = 1;
+  s->primary_key = "missing";
+  s->fields = {PrimitiveField("a", TypeId::kInt64, Value(0))};
+  EXPECT_TRUE(reg.RegisterVersion(s).IsInvalidArgument());
+}
+
+TEST(EvolutionRulesTest, NestedRecordEvolutionValidated) {
+  SchemaRegistry reg;
+  auto inner1 = std::make_shared<RecordSchema>();
+  inner1->name = "inner";
+  inner1->version = 1;
+  inner1->primary_key = "i";
+  inner1->fields = {PrimitiveField("i", TypeId::kInt64, Value(0))};
+
+  auto outer1 = std::make_shared<RecordSchema>();
+  outer1->name = "outer";
+  outer1->version = 1;
+  outer1->primary_key = "k";
+  outer1->fields = {PrimitiveField("k", TypeId::kInt64, Value(0)),
+                    RecordField("nested", inner1)};
+  ASSERT_TRUE(reg.RegisterVersion(outer1).ok());
+
+  // v2 deletes a field INSIDE the nested record: rejected.
+  auto inner_bad = std::make_shared<RecordSchema>();
+  inner_bad->name = "inner";
+  inner_bad->version = 2;
+  inner_bad->primary_key = "i";
+  inner_bad->fields = {PrimitiveField("j", TypeId::kInt64, Value(0))};
+  auto outer2 = std::make_shared<RecordSchema>();
+  outer2->name = "outer";
+  outer2->version = 2;
+  outer2->primary_key = "k";
+  outer2->fields = {PrimitiveField("k", TypeId::kInt64, Value(0)),
+                    RecordField("nested", inner_bad)};
+  EXPECT_TRUE(reg.RegisterVersion(outer2).IsIncompatibleSchema());
+}
+
+TEST(EvolutionRulesTest, NestedAddIsFineAndUpgradesRecursively) {
+  SchemaRegistry reg;
+  auto inner1 = std::make_shared<RecordSchema>();
+  inner1->name = "inner";
+  inner1->version = 1;
+  inner1->primary_key = "i";
+  inner1->fields = {PrimitiveField("i", TypeId::kInt64, Value(0))};
+  auto outer1 = std::make_shared<RecordSchema>();
+  outer1->name = "outer";
+  outer1->version = 1;
+  outer1->primary_key = "k";
+  outer1->fields = {PrimitiveField("k", TypeId::kInt64, Value(0)),
+                    ArrayField("items", inner1)};
+  ASSERT_TRUE(reg.RegisterVersion(outer1).ok());
+
+  auto inner2 = std::make_shared<RecordSchema>();
+  inner2->name = "inner";
+  inner2->version = 2;
+  inner2->primary_key = "i";
+  inner2->fields = {PrimitiveField("i", TypeId::kInt64, Value(0)),
+                    PrimitiveField("extra", TypeId::kInt64, Value(7))};
+  auto outer2 = std::make_shared<RecordSchema>();
+  outer2->name = "outer";
+  outer2->version = 2;
+  outer2->primary_key = "k";
+  outer2->fields = {PrimitiveField("k", TypeId::kInt64, Value(0)),
+                    ArrayField("items", inner2)};
+  ASSERT_TRUE(reg.RegisterVersion(outer2).ok());
+
+  // Build a v1 object with one array element; upgrade fills nested default.
+  auto obj = TreeObject::Defaults(*outer1);
+  std::vector<TreeObjectPtr> items = {TreeObject::Defaults(*inner1)};
+  obj->Set("items", items);
+  auto up = reg.Convert("outer", *obj, 1, 2);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ((*up)->GetPath("items[0].extra").ValueOrDie().AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace ofi::gmdb

@@ -1,0 +1,212 @@
+/// GMDB store and client behaviour (paper §III, Figs. 7/9/10): one stored
+/// copy per object, on-read conversion, delta sync, pub/sub into client
+/// caches, single-object transactions, async checkpointing.
+#include <gtest/gtest.h>
+
+#include "gmdb/cluster.h"
+
+namespace ofi::gmdb {
+namespace {
+
+using sql::TypeId;
+using sql::Value;
+
+RecordSchemaPtr UserSchema(int version) {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "user";
+  s->version = version;
+  s->primary_key = "id";
+  // Fig. 10: S {'id': string} evolves to S' adding name/age.
+  s->fields = {PrimitiveField("id", TypeId::kString, Value(""))};
+  if (version >= 2) {
+    s->fields.push_back(PrimitiveField("name", TypeId::kString, Value("")));
+    s->fields.push_back(PrimitiveField("age", TypeId::kInt64, Value(0)));
+  }
+  return s;
+}
+
+class GmdbStoreTest : public ::testing::Test {
+ protected:
+  GmdbStoreTest() : cluster_(2) {
+    EXPECT_TRUE(cluster_.SubmitSchema(UserSchema(1)).ok());
+    EXPECT_TRUE(cluster_.SubmitSchema(UserSchema(2)).ok());
+  }
+  GmdbCluster cluster_;
+};
+
+// The Fig. 10 walkthrough: client X writes with schema S, client Y reads
+// with S' and sees the transformed object.
+TEST_F(GmdbStoreTest, Fig10UpgradeOnRead) {
+  GmdbClient x = cluster_.MakeClient("user", 1);
+  auto d = TreeObject::Defaults(*UserSchema(1));
+  ASSERT_TRUE(d->SetPath("id", Value("Jane")).ok());
+  ASSERT_TRUE(x.Create("jane", d).ok());
+
+  GmdbClient y = cluster_.MakeClient("user", 2);
+  auto read = y.Read("jane");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)->GetPrimitive("id").ValueOrDie().AsString(), "Jane");
+  EXPECT_EQ((*read)->GetPrimitive("age").ValueOrDie().AsInt(), 0);  // default
+}
+
+TEST_F(GmdbStoreTest, DowngradeOnRead) {
+  GmdbClient y = cluster_.MakeClient("user", 2);
+  auto d = TreeObject::Defaults(*UserSchema(2));
+  ASSERT_TRUE(d->SetPath("id", Value("Bob")).ok());
+  ASSERT_TRUE(d->SetPath("age", Value(30)).ok());
+  ASSERT_TRUE(y.Create("bob", d).ok());
+
+  GmdbClient x = cluster_.MakeClient("user", 1);
+  auto read = x.Read("bob");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)->GetPrimitive("id").ValueOrDie().AsString(), "Bob");
+  EXPECT_FALSE((*read)->Has("age"));
+}
+
+TEST_F(GmdbStoreTest, OneCopyStoredMixedVersionClients) {
+  GmdbClient x = cluster_.MakeClient("user", 1);
+  auto d = TreeObject::Defaults(*UserSchema(1));
+  ASSERT_TRUE(d->SetPath("id", Value("K")).ok());
+  ASSERT_TRUE(x.Create("k", d).ok());
+  GmdbStore* dn = cluster_.ShardFor("k");
+  EXPECT_EQ(dn->StoredVersion("user", "k").ValueOrDie(), 1);
+
+  // A v2 writer's delta upgrades the single stored copy in place.
+  GmdbClient y = cluster_.MakeClient("user", 2);
+  ASSERT_TRUE(y.Read("k").ok());
+  Delta delta;
+  delta.ops = {{"age", Value(44)}};
+  ASSERT_TRUE(y.Write("k", delta).ok());
+  EXPECT_EQ(dn->StoredVersion("user", "k").ValueOrDie(), 2);
+
+  // v1 reader still sees its own view of the same copy.
+  auto v1_read = dn->Get("user", "k", 1);
+  ASSERT_TRUE(v1_read.ok());
+  EXPECT_FALSE((*v1_read)->Has("age"));
+}
+
+TEST_F(GmdbStoreTest, PubSubDeliversDeltasToSubscribers) {
+  GmdbClient a = cluster_.MakeClient("user", 2);
+  GmdbClient b = cluster_.MakeClient("user", 2);
+  auto d = TreeObject::Defaults(*UserSchema(2));
+  ASSERT_TRUE(d->SetPath("id", Value("S")).ok());
+  ASSERT_TRUE(a.Create("s", d).ok());
+  ASSERT_TRUE(b.Read("s").ok());  // caches + subscribes
+
+  Delta delta;
+  delta.ops = {{"age", Value(21)}};
+  ASSERT_TRUE(a.Write("s", delta).ok());
+
+  // b's cache was updated by the notification — no re-fetch needed.
+  EXPECT_GE(b.notifications_received(), 1u);
+  auto cached = b.Read("s");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ((*cached)->GetPrimitive("age").ValueOrDie().AsInt(), 21);
+  EXPECT_GE(b.cache_hits(), 1u);
+}
+
+TEST_F(GmdbStoreTest, OldVersionSubscriberSkipsUnknownFields) {
+  GmdbClient writer = cluster_.MakeClient("user", 2);
+  auto d = TreeObject::Defaults(*UserSchema(2));
+  ASSERT_TRUE(d->SetPath("id", Value("m")).ok());
+  ASSERT_TRUE(writer.Create("m", d).ok());
+
+  GmdbClient old_client = cluster_.MakeClient("user", 1);
+  ASSERT_TRUE(old_client.Read("m").ok());
+
+  Delta delta;
+  delta.ops = {{"age", Value(9)}};
+  ASSERT_TRUE(writer.Write("m", delta).ok());
+  // The old client received the notification; its v1 cache object now has a
+  // stray-free view (age skipped or harmlessly set; reads of v1 fields work).
+  auto cached = old_client.Read("m");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ((*cached)->GetPrimitive("id").ValueOrDie().AsString(), "m");
+}
+
+TEST_F(GmdbStoreTest, SingleObjectTransactionAtomicity) {
+  GmdbStore* dn = cluster_.dn(0);
+  auto obj = TreeObject::Defaults(*UserSchema(2));
+  ASSERT_TRUE(obj->SetPath("id", Value("t")).ok());
+  ASSERT_TRUE(dn->Put("user", "t", obj, 2).ok());
+
+  // A failing mutator leaves the object untouched.
+  Status st = dn->Transact("user", "t", [](TreeObject* o) -> Status {
+    OFI_RETURN_NOT_OK(o->SetPath("age", sql::Value(99)));
+    return Status::Aborted("change of heart");
+  });
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(dn->Get("user", "t", 2).ValueOrDie()->GetPrimitive("age")
+                .ValueOrDie().AsInt(), 0);
+
+  // A succeeding mutator commits.
+  ASSERT_TRUE(dn->Transact("user", "t", [](TreeObject* o) {
+                  return o->SetPath("age", sql::Value(5));
+                }).ok());
+  EXPECT_EQ(dn->Get("user", "t", 2).ValueOrDie()->GetPrimitive("age")
+                .ValueOrDie().AsInt(), 5);
+}
+
+TEST_F(GmdbStoreTest, AsyncCheckpointBoundedLossWindow) {
+  GmdbStore* dn = cluster_.dn(0);
+  auto obj = TreeObject::Defaults(*UserSchema(1));
+  ASSERT_TRUE(obj->SetPath("id", Value("c1")).ok());
+  ASSERT_TRUE(dn->Put("user", "c1", obj, 1).ok());
+  size_t bytes = dn->Checkpoint();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(dn->mutations_since_checkpoint(), 0u);
+
+  // Post-checkpoint mutation is lost on restore — the accepted trade-off.
+  auto obj2 = TreeObject::Defaults(*UserSchema(1));
+  ASSERT_TRUE(obj2->SetPath("id", Value("c2")).ok());
+  ASSERT_TRUE(dn->Put("user", "c2", obj2, 1).ok());
+  EXPECT_EQ(dn->num_objects(), 2u);
+  EXPECT_EQ(dn->RestoreFromCheckpoint(), 1u);
+  EXPECT_TRUE(dn->Get("user", "c2", 1).status().IsNotFound());
+  EXPECT_TRUE(dn->Get("user", "c1", 1).ok());
+}
+
+TEST_F(GmdbStoreTest, ErrorPaths) {
+  GmdbStore* dn = cluster_.dn(0);
+  EXPECT_TRUE(dn->Get("user", "nope", 1).status().IsNotFound());
+  EXPECT_TRUE(dn->Delete("user", "nope").IsNotFound());
+  auto obj = TreeObject::Defaults(*UserSchema(1));
+  EXPECT_TRUE(dn->Put("user", "a", obj, 99).IsNotFound());  // no such version
+  ASSERT_TRUE(dn->Put("user", "a", obj, 1).ok());
+  EXPECT_TRUE(dn->Put("user", "a", obj, 1).IsAlreadyExists());
+  Delta d;
+  EXPECT_TRUE(dn->ApplyDelta("user", "zzz", d, 1).IsNotFound());
+}
+
+TEST_F(GmdbStoreTest, SessionTtlSweep) {
+  GmdbStore* dn = cluster_.dn(0);
+  for (int i = 0; i < 3; ++i) {
+    auto obj = TreeObject::Defaults(*UserSchema(1));
+    ASSERT_TRUE(obj->SetPath("id", Value("u" + std::to_string(i))).ok());
+    ASSERT_TRUE(dn->Put("user", "u" + std::to_string(i), obj, 1).ok());
+  }
+  // u0 leases until t=100, u1 until t=200, u2 has no lease.
+  ASSERT_TRUE(dn->SetExpiry("user", "u0", 100).ok());
+  ASSERT_TRUE(dn->SetExpiry("user", "u1", 200).ok());
+  EXPECT_TRUE(dn->SetExpiry("user", "nope", 100).IsNotFound());
+
+  EXPECT_EQ(dn->SweepExpired(50), 0u);
+  EXPECT_EQ(dn->SweepExpired(150), 1u);
+  EXPECT_TRUE(dn->Get("user", "u0", 1).status().IsNotFound());
+  EXPECT_TRUE(dn->Get("user", "u1", 1).ok());
+
+  // Refreshing the lease (session activity) keeps it alive.
+  ASSERT_TRUE(dn->SetExpiry("user", "u1", 500).ok());
+  EXPECT_EQ(dn->SweepExpired(250), 0u);
+  EXPECT_EQ(dn->SweepExpired(600), 1u);
+  // The lease-free object survives indefinitely.
+  EXPECT_TRUE(dn->Get("user", "u2", 1).ok());
+}
+
+TEST_F(GmdbStoreTest, ShardingIsDeterministic) {
+  EXPECT_EQ(cluster_.ShardFor("abc"), cluster_.ShardFor("abc"));
+  EXPECT_EQ(cluster_.num_dns(), 2);
+}
+
+}  // namespace
+}  // namespace ofi::gmdb

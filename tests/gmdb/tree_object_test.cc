@@ -1,0 +1,112 @@
+#include "gmdb/tree_object.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::gmdb {
+namespace {
+
+using sql::TypeId;
+using sql::Value;
+
+RecordSchemaPtr BearerSchema() {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "bearer";
+  s->version = 1;
+  s->primary_key = "id";
+  s->fields = {PrimitiveField("id", TypeId::kInt64, Value(0)),
+               PrimitiveField("qci", TypeId::kInt64, Value(9))};
+  return s;
+}
+
+RecordSchemaPtr SessionSchema() {
+  auto s = std::make_shared<RecordSchema>();
+  s->name = "session";
+  s->version = 1;
+  s->primary_key = "imsi";
+  s->fields = {PrimitiveField("imsi", TypeId::kString, Value("")),
+               PrimitiveField("state", TypeId::kString, Value("idle")),
+               RecordField("location", [] {
+                 auto loc = std::make_shared<RecordSchema>();
+                 loc->name = "loc";
+                 loc->version = 1;
+                 loc->primary_key = "cell";
+                 loc->fields = {PrimitiveField("cell", TypeId::kInt64, Value(0)),
+                                PrimitiveField("tac", TypeId::kInt64, Value(0))};
+                 return loc;
+               }()),
+               ArrayField("bearers", BearerSchema())};
+  return s;
+}
+
+TEST(TreeObjectTest, DefaultsFollowSchema) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  EXPECT_EQ(obj->GetPrimitive("state").ValueOrDie().AsString(), "idle");
+  EXPECT_EQ(obj->GetPath("location.cell").ValueOrDie().AsInt(), 0);
+  auto bearers = obj->Get("bearers");
+  ASSERT_TRUE(bearers.ok());
+  EXPECT_TRUE(std::get<std::vector<TreeObjectPtr>>(**bearers).empty());
+}
+
+TEST(TreeObjectTest, PathAccessNestedAndArray) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  ASSERT_TRUE(obj->SetPath("location.cell", Value(42)).ok());
+  EXPECT_EQ(obj->GetPath("location.cell").ValueOrDie().AsInt(), 42);
+
+  auto bearer = TreeObject::Defaults(*BearerSchema());
+  std::vector<TreeObjectPtr> arr = {bearer};
+  obj->Set("bearers", arr);
+  ASSERT_TRUE(obj->SetPath("bearers[0].qci", Value(5)).ok());
+  EXPECT_EQ(obj->GetPath("bearers[0].qci").ValueOrDie().AsInt(), 5);
+  EXPECT_TRUE(obj->GetPath("bearers[1].qci").status().code() ==
+              StatusCode::kOutOfRange);
+}
+
+TEST(TreeObjectTest, BadPathsRejected) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  EXPECT_FALSE(obj->GetPath("state.deeper").ok());    // primitive mid-path
+  EXPECT_FALSE(obj->GetPath("location").ok());        // ends at record
+  EXPECT_FALSE(obj->GetPath("bearers").ok());         // array without index
+  EXPECT_FALSE(obj->GetPath("").ok());
+  EXPECT_FALSE(obj->GetPath("bearers[zz").ok());
+}
+
+TEST(TreeObjectTest, CloneIsDeep) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  ASSERT_TRUE(obj->SetPath("location.cell", Value(1)).ok());
+  auto copy = obj->Clone();
+  ASSERT_TRUE(copy->SetPath("location.cell", Value(2)).ok());
+  EXPECT_EQ(obj->GetPath("location.cell").ValueOrDie().AsInt(), 1);
+  EXPECT_EQ(copy->GetPath("location.cell").ValueOrDie().AsInt(), 2);
+}
+
+TEST(TreeObjectTest, EqualsAndJson) {
+  auto a = TreeObject::Defaults(*SessionSchema());
+  auto b = TreeObject::Defaults(*SessionSchema());
+  EXPECT_TRUE(a->Equals(*b));
+  ASSERT_TRUE(b->SetPath("state", Value("active")).ok());
+  EXPECT_FALSE(a->Equals(*b));
+  EXPECT_NE(a->ToJson(), b->ToJson());
+  EXPECT_NE(a->ToJson().find("\"state\":'idle'"), std::string::npos);
+  EXPECT_GT(a->ByteSize(), 20u);
+}
+
+TEST(DeltaTest, ApplyAndByteSize) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  Delta d;
+  d.ops = {{"state", Value("connected")}, {"location.cell", Value(7)}};
+  ASSERT_TRUE(d.ApplyTo(obj.get()).ok());
+  EXPECT_EQ(obj->GetPrimitive("state").ValueOrDie().AsString(), "connected");
+  EXPECT_EQ(obj->GetPath("location.cell").ValueOrDie().AsInt(), 7);
+  EXPECT_GT(d.ByteSize(), 0u);
+  EXPECT_LT(d.ByteSize(), obj->ByteSize());  // deltas are much smaller
+}
+
+TEST(DeltaTest, FailedOpSurfacesError) {
+  auto obj = TreeObject::Defaults(*SessionSchema());
+  Delta d;
+  d.ops = {{"bearers[5].qci", Value(1)}};
+  EXPECT_FALSE(d.ApplyTo(obj.get()).ok());
+}
+
+}  // namespace
+}  // namespace ofi::gmdb

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+
+namespace ofi::graph {
+namespace {
+
+using sql::Value;
+
+/// Builds the Example-1-style call graph: persons with cid property and
+/// "call" edges carrying a time property.
+class CallGraphTest : public ::testing::Test {
+ protected:
+  CallGraphTest() {
+    for (int i = 0; i < 6; ++i) {
+      people_.push_back(graph_.AddVertex(
+          "person", {{"cid", Value(11111 + i)}, {"phone", Value(5550000 + i)}}));
+    }
+    // Person 0 receives 4 recent calls, person 1 receives 2 old calls.
+    for (int i = 1; i <= 4; ++i) {
+      AddCall(people_[i], people_[0], 1000 + i);
+    }
+    AddCall(people_[2], people_[1], 10);
+    AddCall(people_[3], people_[1], 20);
+  }
+
+  void AddCall(VertexId from, VertexId to, int64_t ts) {
+    auto e = graph_.AddEdge(from, to, "call", {{"time", Value::Timestamp(ts)}});
+    ASSERT_TRUE(e.ok());
+  }
+
+  PropertyGraph graph_;
+  std::vector<VertexId> people_;
+};
+
+TEST_F(CallGraphTest, BasicCounts) {
+  EXPECT_EQ(graph_.num_vertices(), 6u);
+  EXPECT_EQ(graph_.num_edges(), 6u);
+}
+
+TEST_F(CallGraphTest, PropertyIndexLookup) {
+  auto hits = graph_.VerticesByProperty("cid", Value(11113));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], people_[2]);
+}
+
+TEST_F(CallGraphTest, EdgeLabelsFiltered) {
+  ASSERT_TRUE(graph_.AddEdge(people_[0], people_[1], "knows").ok());
+  EXPECT_EQ(graph_.OutEdges(people_[0], "call").size(), 0u);
+  EXPECT_EQ(graph_.OutEdges(people_[0], "knows").size(), 1u);
+  EXPECT_EQ(graph_.InEdges(people_[0], "call").size(), 4u);
+}
+
+TEST_F(CallGraphTest, GremlinHasAndCount) {
+  GraphTraversalSource g(&graph_);
+  EXPECT_EQ(g.V().Has("cid", Value(11111)).Count(), 1);
+  EXPECT_EQ(g.V().HasLabel("person").Count(), 6);
+  EXPECT_EQ(g.V().HasLabel("vehicle").Count(), 0);
+}
+
+// Example 1's graph fragment:
+// g.V().has(cid,11111).inE(call).has(time, gt(cutoff)).count().gt(3)
+TEST_F(CallGraphTest, Example1SuspectPattern) {
+  GraphTraversalSource g(&graph_);
+  auto recent_callers = [&](Traversal t) {
+    return std::move(t.InE("call").Has("time", Gp::Gt(Value::Timestamp(1000))));
+  };
+  // Person with cid 11111 has 4 recent incoming calls -> suspect.
+  Traversal suspects =
+      g.V().Where(recent_callers, Gp::Gt(Value(3)));
+  EXPECT_EQ(suspects.Count(), 1);
+  EXPECT_EQ(suspects.VertexIds()[0], people_[0]);
+
+  // Person 11112's calls are old: not a suspect.
+  Traversal t2 = g.V().Has("cid", Value(11112)).Where(recent_callers, Gp::Gt(Value(3)));
+  EXPECT_EQ(t2.Count(), 0);
+}
+
+TEST_F(CallGraphTest, MoveStepsOutInAndValues) {
+  GraphTraversalSource g(&graph_);
+  // Who called person 0?
+  auto callers = g.V().Has("cid", Value(11111)).In("call").Dedup();
+  EXPECT_EQ(callers.Count(), 4);
+  auto phones = g.V().Has("cid", Value(11111)).PropertyValues("phone");
+  ASSERT_EQ(phones.Values().size(), 1u);
+  EXPECT_EQ(phones.Values()[0].AsInt(), 5550000);
+}
+
+TEST_F(CallGraphTest, TraversalToTableForCrossModelJoin) {
+  GraphTraversalSource g(&graph_);
+  sql::Table t = g.V().HasLabel("person").Limit(3).ToTable({"cid"});
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.schema().num_columns(), 2u);
+}
+
+TEST_F(CallGraphTest, RelationalViews) {
+  sql::Table verts = graph_.VerticesAsTable({"cid"});
+  sql::Table edges = graph_.EdgesAsTable({"time"});
+  EXPECT_EQ(verts.num_rows(), 6u);
+  EXPECT_EQ(edges.num_rows(), 6u);
+  EXPECT_TRUE(edges.schema().IndexOf("src").ok());
+}
+
+TEST(GraphAlgorithmsTest, ShortestPath) {
+  PropertyGraph g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 5; ++i) v.push_back(g.AddVertex("n"));
+  ASSERT_TRUE(g.AddEdge(v[0], v[1], "e").ok());
+  ASSERT_TRUE(g.AddEdge(v[1], v[2], "e").ok());
+  ASSERT_TRUE(g.AddEdge(v[2], v[4], "e").ok());
+  ASSERT_TRUE(g.AddEdge(v[0], v[3], "e").ok());
+  ASSERT_TRUE(g.AddEdge(v[3], v[4], "e").ok());
+  auto path = g.ShortestPath(v[0], v[4]);
+  EXPECT_EQ(path.size(), 3u);  // 0 -> 3 -> 4 (or 0->1->2->4 is longer)
+  EXPECT_TRUE(g.ShortestPath(v[4], v[0]).empty());  // directed
+}
+
+TEST(GraphAlgorithmsTest, PageRankSumsToOneAndRanksHub) {
+  PropertyGraph g;
+  VertexId hub = g.AddVertex("hub");
+  std::vector<VertexId> spokes;
+  for (int i = 0; i < 9; ++i) {
+    VertexId s = g.AddVertex("spoke");
+    spokes.push_back(s);
+    ASSERT_TRUE(g.AddEdge(s, hub, "link").ok());
+  }
+  auto rank = g.PageRank(30);
+  double total = 0;
+  for (const auto& [id, r] : rank) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (VertexId s : spokes) EXPECT_GT(rank[hub], rank[s]);
+}
+
+TEST(GraphAlgorithmsTest, ConnectedComponents) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("n"), b = g.AddVertex("n");
+  VertexId c = g.AddVertex("n"), d = g.AddVertex("n");
+  ASSERT_TRUE(g.AddEdge(a, b, "e").ok());
+  ASSERT_TRUE(g.AddEdge(d, c, "e").ok());
+  auto comp = g.ConnectedComponents();
+  EXPECT_EQ(comp[a], comp[b]);
+  EXPECT_EQ(comp[c], comp[d]);
+  EXPECT_NE(comp[a], comp[c]);
+}
+
+TEST(GraphAlgorithmsTest, BothAndRepeatSteps) {
+  PropertyGraph g;
+  // Chain a -> b -> c -> d plus a side edge e -> b.
+  std::vector<VertexId> v;
+  for (int i = 0; i < 5; ++i) v.push_back(g.AddVertex("n"));
+  ASSERT_TRUE(g.AddEdge(v[0], v[1], "knows").ok());
+  ASSERT_TRUE(g.AddEdge(v[1], v[2], "knows").ok());
+  ASSERT_TRUE(g.AddEdge(v[2], v[3], "knows").ok());
+  ASSERT_TRUE(g.AddEdge(v[4], v[1], "knows").ok());
+
+  // Both from b: out {c}, in {a, e}.
+  Traversal both(&g, {v[1]});
+  EXPECT_EQ(both.Both("knows").Count(), 3);
+
+  // Repeat 2 hops from a: a -> b -> c.
+  Traversal two_hops(&g, {v[0]});
+  two_hops.Repeat("knows", 2);
+  ASSERT_EQ(two_hops.Count(), 1);
+  EXPECT_EQ(two_hops.VertexIds()[0], v[2]);
+
+  // 3 hops reach d; 4 hops reach nothing.
+  Traversal three(&g, {v[0]});
+  EXPECT_EQ(three.Repeat("knows", 3).Count(), 1);
+  Traversal four(&g, {v[0]});
+  EXPECT_EQ(four.Repeat("knows", 4).Count(), 0);
+}
+
+TEST(GraphAlgorithmsTest, RepeatDedupsCycles) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("n"), b = g.AddVertex("n");
+  ASSERT_TRUE(g.AddEdge(a, b, "e").ok());
+  ASSERT_TRUE(g.AddEdge(b, a, "e").ok());
+  Traversal t(&g, {a});
+  // Even hops land back on {a}; dedup keeps the frontier size 1.
+  EXPECT_EQ(t.Repeat("e", 10).Count(), 1);
+}
+
+TEST(GraphTest, EdgeToUnknownVertexRejected) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("n");
+  EXPECT_TRUE(g.AddEdge(a, 999, "e").status().IsNotFound());
+  EXPECT_TRUE(g.AddEdge(999, a, "e").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ofi::graph

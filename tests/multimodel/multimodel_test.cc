@@ -1,0 +1,159 @@
+/// Integration test for the multi-model database (paper §II-B) culminating
+/// in the full Example 1 query: a Gremlin graph traversal and a time-series
+/// window encapsulated as table expressions inside one relational plan.
+#include "multimodel/multimodel.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::multimodel {
+namespace {
+
+using graph::Gp;
+using graph::Traversal;
+using sql::Column;
+using sql::Expr;
+using sql::Row;
+using sql::Schema;
+using sql::Table;
+using sql::TypeId;
+using sql::Value;
+
+constexpr int64_t kMinute = 60'000'000;
+
+/// The investigation scenario: phones, calls, car sightings, car ownership.
+class Example1Test : public ::testing::Test {
+ protected:
+  Example1Test() {
+    // Graph: persons; person cid=11111 gets 4 recent calls (suspect),
+    // cid=11112 gets 1 (innocent).
+    auto g = db_.CreateGraph("callgraph");
+    EXPECT_TRUE(g.ok());
+    graph::PropertyGraph* pg = *g;
+    std::vector<graph::VertexId> people;
+    for (int i = 0; i < 4; ++i) {
+      people.push_back(pg->AddVertex(
+          "person",
+          {{"cid", Value(11111 + i)}, {"phone", Value(5550000 + i)}}));
+    }
+    auto call = [&](int from, int to, int64_t t) {
+      EXPECT_TRUE(pg->AddEdge(people[from], people[to], "call",
+                              {{"time", Value::Timestamp(t)}})
+                      .ok());
+    };
+    for (int i = 1; i <= 4; ++i) call(i % 4 == 0 ? 2 : i, 0, 1000 + i);
+    call(3, 1, 1001);
+
+    // Time series: high_speed_view events (time, carid, juncid).
+    auto es = db_.CreateEventStore("high_speed_view",
+                                   {Column{"carid", TypeId::kInt64, ""},
+                                    Column{"juncid", TypeId::kInt64, ""}});
+    EXPECT_TRUE(es.ok());
+    // Car 201 seen 10 minutes ago (inside the 30-minute window); car 202
+    // seen 45 minutes ago (outside); car 203 seen 5 minutes ago.
+    now_ = 60 * kMinute;
+    EXPECT_TRUE((*es)->Append(now_ - 10 * kMinute, {Value(201), Value(7)}).ok());
+    EXPECT_TRUE((*es)->Append(now_ - 45 * kMinute, {Value(202), Value(7)}).ok());
+    EXPECT_TRUE((*es)->Append(now_ - 5 * kMinute, {Value(203), Value(8)}).ok());
+
+    // Relational: car2cid ownership. Suspect 11111 owns car 201; innocent
+    // 11112 owns car 203; 202's owner is clean anyway.
+    Table car2cid{Schema({Column{"carid", TypeId::kInt64, "cc"},
+                          Column{"cid", TypeId::kInt64, "cc"}})};
+    EXPECT_TRUE(car2cid.Append({Value(201), Value(11111)}).ok());
+    EXPECT_TRUE(car2cid.Append({Value(202), Value(11113)}).ok());
+    EXPECT_TRUE(car2cid.Append({Value(203), Value(11112)}).ok());
+    db_.RegisterTable("car2cid", std::move(car2cid));
+  }
+
+  MultiModelDb db_;
+  int64_t now_ = 0;
+};
+
+TEST_F(Example1Test, FullCrossModelQuery) {
+  // with cars(carid) as (select * from gtimeseries(... 30 minutes))
+  auto cars = db_.TimeSeriesWindowExpr("high_speed_view", now_, 30 * kMinute, "c");
+  ASSERT_TRUE(cars.ok());
+
+  // suspects(cid) as (ggraph(g.V().where(inE(call).has(time>..).count>3)))
+  auto g = db_.Gremlin("callgraph");
+  ASSERT_TRUE(g.ok());
+  Traversal suspects = g->V().Where(
+      [](Traversal t) {
+        return std::move(
+            t.InE("call").Has("time", Gp::Gt(Value::Timestamp(1000))));
+      },
+      Gp::Gt(Value(3)));
+  sql::PlanPtr suspects_plan = db_.GraphTableExpr(suspects, {"cid", "phone"}, "s");
+
+  // select s.cid, s.phone, c.carid from suspects s, cars c, car2cid cc
+  // where cc.carid = c.carid and s.cid = cc.cid
+  auto join1 = sql::MakeJoin(*cars, sql::MakeScan("car2cid"),
+                             Expr::EqCols("c.carid", "cc.carid"));
+  auto join2 = sql::MakeJoin(suspects_plan, join1, Expr::EqCols("s.cid", "cc.cid"));
+  auto project = sql::MakeProject(
+      join2,
+      {Expr::ColumnRef("s.cid"), Expr::ColumnRef("s.phone"),
+       Expr::ColumnRef("c.carid")},
+      {"cid", "phone", "carid"});
+
+  auto result = db_.Execute(project);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->rows()[0][0].AsInt(), 11111);
+  EXPECT_EQ(result->rows()[0][1].AsInt(), 5550000);
+  EXPECT_EQ(result->rows()[0][2].AsInt(), 201);
+}
+
+TEST_F(Example1Test, WindowExcludesOldSightings) {
+  auto cars = db_.TimeSeriesWindowExpr("high_speed_view", now_, 30 * kMinute, "c");
+  ASSERT_TRUE(cars.ok());
+  auto result = db_.Execute(*cars);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);  // cars 201 and 203; 202 is too old
+}
+
+TEST_F(Example1Test, GraphEngineMissingIsError) {
+  EXPECT_TRUE(db_.GetGraph("nope").status().IsNotFound());
+  EXPECT_TRUE(db_.Gremlin("nope").status().IsNotFound());
+  EXPECT_TRUE(
+      db_.TimeSeriesWindowExpr("nope", 0, 1, "x").status().IsNotFound());
+}
+
+TEST_F(Example1Test, DuplicateEngineNamesRejected) {
+  EXPECT_TRUE(db_.CreateGraph("callgraph").status().IsAlreadyExists());
+  EXPECT_TRUE(db_.CreateEventStore("high_speed_view", {})
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(MultiModelTest, SpatialTableExpr) {
+  MultiModelDb db;
+  auto idx = db.CreateSpatialIndex("trips", 10.0);
+  ASSERT_TRUE(idx.ok());
+  (*idx)->Insert(42, {5, 5}, 100);
+  (*idx)->Insert(43, {500, 500}, 100);
+  auto expr = db.SpatialBoxTimeExpr("trips", {0, 0, 10, 10}, 0, 200, "sp");
+  ASSERT_TRUE(expr.ok());
+  auto result = db.Execute(*expr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->rows()[0][1].AsInt(), 42);
+}
+
+TEST(MultiModelTest, MetricStoreRoundTrip) {
+  MultiModelDb db;
+  auto ms = db.CreateMetricStore("sensors");
+  ASSERT_TRUE(ms.ok());
+  (*ms)->Append("temp", 1, 20.5);
+  ASSERT_TRUE(db.GetMetricStore("sensors").ok());
+  EXPECT_TRUE(db.GetMetricStore("nope").status().IsNotFound());
+}
+
+TEST(MultiModelTest, TableByteSizeAccounting) {
+  Table t{Schema({Column{"a", TypeId::kInt64, ""}, Column{"b", TypeId::kString, ""}})};
+  ASSERT_TRUE(t.Append({Value(1), Value("xyz")}).ok());
+  EXPECT_EQ(TableByteSize(t), 8u + 3u + 4u);
+}
+
+}  // namespace
+}  // namespace ofi::multimodel

@@ -1,0 +1,216 @@
+/// Statistics, cardinality estimation and the execute-and-learn loop
+/// (experiment E4): the plan store visibly reduces q-error on re-planning.
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ofi::optimizer {
+namespace {
+
+using sql::Column;
+using sql::Expr;
+using sql::Schema;
+using sql::Table;
+using sql::TypeId;
+using sql::Value;
+
+Table UniformTable(int64_t rows, int64_t distinct) {
+  Table t{Schema({Column{"id", TypeId::kInt64, "t"},
+                  Column{"grp", TypeId::kInt64, "t"},
+                  Column{"val", TypeId::kDouble, "t"}})};
+  Rng rng(11);
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        t.Append({Value(i), Value(i % distinct), Value(rng.NextDouble() * 100)})
+            .ok());
+  }
+  return t;
+}
+
+TEST(StatsTest, AnalyzeBasics) {
+  Table t = UniformTable(1000, 10);
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_EQ(stats.num_rows, 1000u);
+  const ColumnStats* grp = stats.Column("grp");
+  ASSERT_NE(grp, nullptr);
+  EXPECT_EQ(grp->ndv, 10u);
+  EXPECT_DOUBLE_EQ(grp->min, 0);
+  EXPECT_DOUBLE_EQ(grp->max, 9);
+}
+
+TEST(StatsTest, QualifiedColumnLookup) {
+  Table t = UniformTable(100, 10);
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_NE(stats.Column("t.grp"), nullptr);
+  EXPECT_EQ(stats.Column("nope"), nullptr);
+}
+
+TEST(StatsTest, EqSelectivityUniform) {
+  Table t = UniformTable(1000, 10);
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_NEAR(stats.Column("grp")->EqSelectivity(Value(3)), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.Column("grp")->EqSelectivity(Value(99)), 0.0);
+}
+
+TEST(StatsTest, HistogramRangeSelectivity) {
+  Table t = UniformTable(1000, 1000);  // id uniform 0..999
+  TableStats stats = AnalyzeTable(t);
+  const ColumnStats* id = stats.Column("id");
+  EXPECT_NEAR(id->LtSelectivity(Value(500)), 0.5, 0.05);
+  EXPECT_NEAR(id->LtSelectivity(Value(100)), 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(id->LtSelectivity(Value(-5)), 0.0);
+  EXPECT_DOUBLE_EQ(id->LtSelectivity(Value(5000)), 1.0);
+}
+
+TEST(StatsTest, NullCounting) {
+  Table t{Schema({Column{"v", TypeId::kInt64, ""}})};
+  ASSERT_TRUE(t.Append({Value(1)}).ok());
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_EQ(stats.Column("v")->num_nulls, 2u);
+  EXPECT_EQ(stats.Column("v")->num_values, 1u);
+}
+
+TEST(StatsTest, McvCapturesSkew) {
+  // 90% of rows are value 7; the rest spread over 0..99.
+  Table t{Schema({Column{"v", TypeId::kInt64, ""}})};
+  Rng rng(5);
+  for (int64_t i = 0; i < 10'000; ++i) {
+    int64_t v = rng.Chance(0.9) ? 7 : rng.Uniform(0, 99);
+    EXPECT_TRUE(t.Append({Value(v)}).ok());
+  }
+  TableStats stats = AnalyzeTable(t);
+  const ColumnStats* cs = stats.Column("v");
+  ASSERT_FALSE(cs->mcv.empty());
+  EXPECT_EQ(cs->mcv[0].first.AsInt(), 7);
+  // Exact for the heavy hitter (~0.9, not 1/ndv = 0.01).
+  EXPECT_NEAR(cs->EqSelectivity(Value(7)), 0.9, 0.02);
+  // Non-MCV values estimate against the residual mass, not the whole table.
+  EXPECT_LT(cs->EqSelectivity(Value(3)), 0.01);
+  EXPECT_GT(cs->EqSelectivity(Value(3)), 0.0);
+}
+
+TEST(StatsTest, UniformColumnsHaveNoMcv) {
+  Table t{Schema({Column{"v", TypeId::kInt64, ""}})};
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(t.Append({Value(i % 10)}).ok());
+  }
+  TableStats stats = AnalyzeTable(t);
+  EXPECT_TRUE(stats.Column("v")->mcv.empty());
+  EXPECT_NEAR(stats.Column("v")->EqSelectivity(Value(3)), 0.1, 1e-9);
+}
+
+class LearningLoopTest : public ::testing::Test {
+ protected:
+  LearningLoopTest() {
+    // A *correlated* table: a > 500 implies b > 500 (b == a). The
+    // independence assumption underestimates "a>500 AND b>500" by ~2x.
+    Table t{Schema({Column{"a", TypeId::kInt64, "c"},
+                    Column{"b", TypeId::kInt64, "c"}})};
+    for (int64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(t.Append({Value(i), Value(i)}).ok());
+    }
+    catalog_.Register("corr", std::move(t));
+
+    Table dim{Schema({Column{"k", TypeId::kInt64, "d"},
+                      Column{"name", TypeId::kString, "d"}})};
+    for (int64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(dim.Append({Value(i), Value("n" + std::to_string(i))}).ok());
+    }
+    catalog_.Register("dim", std::move(dim));
+    stats_.AnalyzeAll(catalog_);
+  }
+
+  sql::ExprPtr CorrelatedPred() {
+    return Expr::And(Expr::Gt("c.a", Value(500)), Expr::Gt("c.b", Value(500)));
+  }
+
+  sql::Catalog catalog_;
+  StatsRegistry stats_;
+};
+
+TEST_F(LearningLoopTest, IndependenceAssumptionUnderestimates) {
+  CardinalityEstimator est(&stats_, nullptr);
+  auto scan = sql::MakeScan("corr", CorrelatedPred());
+  est.Annotate(scan.get());
+  // True cardinality 499; independence predicts ~1000 * 0.5 * 0.5 = 250.
+  EXPECT_LT(scan->estimated_rows, 300);
+  EXPECT_GT(scan->estimated_rows, 150);
+}
+
+TEST_F(LearningLoopTest, FeedbackCorrectsEstimateOnSecondPlanning) {
+  PlanStore store(0.3);
+  Optimizer opt(&catalog_, &stats_, &store);
+
+  auto plan = sql::MakeScan("corr", CorrelatedPred());
+  opt.Annotate(plan);
+  double first_q = -1;
+  {
+    int captured = 0;
+    auto result = opt.ExecuteAndLearn(plan, &captured);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->num_rows(), 499u);
+    EXPECT_GE(captured, 1);
+    first_q = Optimizer::MaxQError(*plan);
+    EXPECT_GT(first_q, 1.5);
+  }
+  // Re-plan the same (canned) query: the store supplies the actual.
+  auto plan2 = sql::MakeScan("corr", CorrelatedPred());
+  opt.Annotate(plan2);
+  EXPECT_DOUBLE_EQ(plan2->estimated_rows, 499);
+  auto result2 = opt.ExecuteAndLearn(plan2, nullptr);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_LT(Optimizer::MaxQError(*plan2), first_q);
+  EXPECT_NEAR(Optimizer::MaxQError(*plan2), 1.0, 1e-9);
+}
+
+TEST_F(LearningLoopTest, PredicateOrderStillHitsStore) {
+  PlanStore store(0.3);
+  Optimizer opt(&catalog_, &stats_, &store);
+  auto plan = sql::MakeScan("corr", CorrelatedPred());
+  opt.Annotate(plan);
+  ASSERT_TRUE(opt.ExecuteAndLearn(plan, nullptr).ok());
+
+  // Same semantics, reversed conjunct order.
+  auto reversed = Expr::And(Expr::Gt("c.b", Value(500)), Expr::Gt("c.a", Value(500)));
+  auto plan2 = sql::MakeScan("corr", reversed);
+  opt.Annotate(plan2);
+  EXPECT_DOUBLE_EQ(plan2->estimated_rows, 499);
+}
+
+TEST_F(LearningLoopTest, JoinOrderPrefersConnectedJoins) {
+  Optimizer opt(&catalog_, &stats_, nullptr);
+  auto plan = opt.PlanJoinQuery(
+      {ScanSpec{"corr", Expr::Gt("c.a", Value(900)), "c"},
+       ScanSpec{"dim", nullptr, "d"}},
+      {Expr::EqCols("c.a", "d.k")});
+  ASSERT_TRUE(plan.ok());
+  // Root is the join (no leftover cross-product filter).
+  EXPECT_EQ((*plan)->kind, sql::PlanKind::kJoin);
+  sql::Executor exec(&catalog_);
+  auto result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);  // dim.k < 100, c.a > 900
+}
+
+TEST_F(LearningLoopTest, JoinCardinalityEstimate) {
+  CardinalityEstimator est(&stats_, nullptr);
+  auto join = sql::MakeJoin(sql::MakeScan("corr", nullptr, "c"),
+                            sql::MakeScan("dim", nullptr, "d"),
+                            Expr::EqCols("c.a", "d.k"));
+  est.Annotate(join.get());
+  // |corr| * |dim| / max(ndv(a)=1000, ndv(k)=100) = 100.
+  EXPECT_NEAR(join->estimated_rows, 100, 5);
+}
+
+TEST_F(LearningLoopTest, QErrorHelpers) {
+  EXPECT_DOUBLE_EQ(Optimizer::StepQError(10, 100), 10);
+  EXPECT_DOUBLE_EQ(Optimizer::StepQError(100, 10), 10);
+  EXPECT_DOUBLE_EQ(Optimizer::StepQError(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace ofi::optimizer

@@ -1,0 +1,185 @@
+/// Tests for the learned optimizer's plan store and canonical step text
+/// (paper §II-C, Table I — experiment E3).
+#include "optimizer/plan_store.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/step_text.h"
+#include "sql/executor.h"
+
+namespace ofi::optimizer {
+namespace {
+
+using sql::Column;
+using sql::Expr;
+using sql::MakeAggregate;
+using sql::MakeJoin;
+using sql::MakeLimit;
+using sql::MakeProject;
+using sql::MakeScan;
+using sql::MakeSetOp;
+using sql::MakeSort;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+// The paper's running example: select * from OLAP.t1, OLAP.t2
+// where OLAP.t1.a1 = OLAP.t2.a2 and OLAP.t1.b1 > 10.
+sql::PlanPtr TableIPlan() {
+  auto scan1 = MakeScan("OLAP.T1", Expr::Gt("OLAP.T1.B1", Value(10)));
+  auto scan2 = MakeScan("OLAP.T2");
+  return MakeJoin(scan1, scan2, Expr::EqCols("OLAP.T1.A1", "OLAP.T2.A2"));
+}
+
+TEST(StepTextTest, TableIScanForm) {
+  auto plan = TableIPlan();
+  EXPECT_EQ(StepText(*plan->children[0]),
+            "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))");
+  EXPECT_EQ(StepText(*plan->children[1]), "SCAN(OLAP.T2)");
+}
+
+TEST(StepTextTest, TableIJoinFormIncludesFullChildren) {
+  auto plan = TableIPlan();
+  EXPECT_EQ(StepText(*plan),
+            "JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)), SCAN(OLAP.T2), "
+            "PREDICATE(OLAP.T1.A1=OLAP.T2.A2))");
+}
+
+TEST(StepTextTest, JoinChildOrderIndependent) {
+  auto scan1 = MakeScan("OLAP.T1", Expr::Gt("OLAP.T1.B1", Value(10)));
+  auto scan2 = MakeScan("OLAP.T2");
+  auto j1 = MakeJoin(scan1, scan2, Expr::EqCols("OLAP.T1.A1", "OLAP.T2.A2"));
+  auto j2 = MakeJoin(scan2, scan1, Expr::EqCols("OLAP.T2.A2", "OLAP.T1.A1"));
+  EXPECT_EQ(StepText(*j1), StepText(*j2));
+}
+
+TEST(StepTextTest, OuterJoinOrderDependent) {
+  auto s1 = MakeScan("A");
+  auto s2 = MakeScan("B");
+  auto l = MakeJoin(s1, s2, nullptr, sql::JoinType::kLeftOuter);
+  auto r = MakeJoin(s2, s1, nullptr, sql::JoinType::kLeftOuter);
+  EXPECT_NE(StepText(*l), StepText(*r));
+}
+
+TEST(StepTextTest, ProjectAndSortAreTransparent) {
+  auto scan = MakeScan("T", Expr::Gt("c", Value(1)));
+  auto projected = MakeProject(scan, {Expr::ColumnRef("c")}, {"c"});
+  auto sorted = MakeSort(projected, {{Expr::ColumnRef("c"), true}});
+  EXPECT_EQ(StepText(*sorted), StepText(*scan));
+}
+
+TEST(StepTextTest, AggregateGroupByColumnsSorted) {
+  auto a1 = MakeAggregate(MakeScan("T"), {"b", "a"}, {});
+  auto a2 = MakeAggregate(MakeScan("T"), {"a", "b"}, {});
+  EXPECT_EQ(StepText(*a1), StepText(*a2));
+  EXPECT_EQ(StepText(*a1), "AGG(SCAN(T), GROUPBY(a,b))");
+}
+
+TEST(StepTextTest, LimitAndSetOps) {
+  auto l = MakeLimit(MakeScan("T"), 7);
+  EXPECT_EQ(StepText(*l), "LIMIT(SCAN(T), 7)");
+  auto u1 = MakeSetOp(sql::SetOpType::kUnion, MakeScan("A"), MakeScan("B"));
+  auto u2 = MakeSetOp(sql::SetOpType::kUnion, MakeScan("B"), MakeScan("A"));
+  EXPECT_EQ(StepText(*u1), StepText(*u2));
+  auto e1 = MakeSetOp(sql::SetOpType::kExcept, MakeScan("A"), MakeScan("B"));
+  auto e2 = MakeSetOp(sql::SetOpType::kExcept, MakeScan("B"), MakeScan("A"));
+  EXPECT_NE(StepText(*e1), StepText(*e2));
+}
+
+// ---------------------------------------------------------------------------
+// Plan store behaviour.
+// ---------------------------------------------------------------------------
+TEST(PlanStoreTest, CaptureOnlyLargeDifferentials) {
+  PlanStore store(/*capture_threshold=*/0.5);
+  auto plan = TableIPlan();
+  plan->children[0]->estimated_rows = 50;
+  plan->children[0]->actual_rows = 100;  // differential 1.0 -> captured
+  plan->children[1]->estimated_rows = 100;
+  plan->children[1]->actual_rows = 110;  // differential 0.1 -> skipped
+  plan->estimated_rows = 50;
+  plan->actual_rows = 100;  // captured
+  EXPECT_EQ(store.CapturePlan(*plan), 2);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(PlanStoreTest, ConsumerLookupReturnsActual) {
+  PlanStore store(0.2);
+  auto plan = TableIPlan();
+  plan->children[0]->estimated_rows = 50;
+  plan->children[0]->actual_rows = 100;
+  store.CapturePlan(*plan->children[0]);
+  auto hit = store.LookupActual("SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 100.0);
+  EXPECT_FALSE(store.LookupActual("SCAN(OLAP.T3)").has_value());
+  EXPECT_EQ(store.lookups(), 2u);
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(PlanStoreTest, RecaptureRefreshesActual) {
+  PlanStore store(0.2);
+  store.Put("SCAN(T)", 10, 100);
+  store.Put("SCAN(T)", 10, 200);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(*store.LookupActual("SCAN(T)"), 200.0);
+}
+
+TEST(PlanStoreTest, UnexecutedStepsNotCaptured) {
+  PlanStore store(0.1);
+  auto plan = TableIPlan();
+  plan->estimated_rows = 5;  // actual_rows stays -1
+  EXPECT_EQ(store.CapturePlan(*plan), 0);
+}
+
+TEST(PlanStoreTest, TableIRendering) {
+  PlanStore store(0.2);
+  auto plan = TableIPlan();
+  plan->children[0]->estimated_rows = 50;
+  plan->children[0]->actual_rows = 100;
+  plan->estimated_rows = 50;
+  plan->actual_rows = 100;
+  store.CapturePlan(*plan);
+  std::string table = store.ToTableString();
+  EXPECT_NE(table.find("SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)) | 50 | 100"),
+            std::string::npos);
+  EXPECT_NE(table.find("JOIN("), std::string::npos);
+}
+
+TEST(PlanStoreTest, SerializeDeserializeRoundTrip) {
+  PlanStore store(0.2);
+  store.Put("SCAN(T1, PREDICATE(T1.a>10))", 50, 100);
+  store.Put("JOIN(SCAN(T1), SCAN(T2), PREDICATE(T1.a=T2.b))", 400, 40);
+  std::string blob = store.Serialize();
+
+  PlanStore restored(0.2);
+  auto loaded = restored.Deserialize(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2);
+  EXPECT_DOUBLE_EQ(*restored.LookupActual("SCAN(T1, PREDICATE(T1.a>10))"), 100);
+  EXPECT_DOUBLE_EQ(
+      *restored.LookupActual("JOIN(SCAN(T1), SCAN(T2), PREDICATE(T1.a=T2.b))"),
+      40);
+}
+
+TEST(PlanStoreTest, DeserializeMergesAndValidates) {
+  PlanStore store(0.2);
+  store.Put("SCAN(T)", 1, 2);
+  ASSERT_TRUE(store.Deserialize("3.000000\t9.000000\tSCAN(T)\n").ok());
+  EXPECT_DOUBLE_EQ(*store.LookupActual("SCAN(T)"), 9);
+
+  EXPECT_TRUE(store.Deserialize("garbage line").status().code() ==
+              StatusCode::kCorruption);
+  EXPECT_TRUE(store.Deserialize("x\t2\tSCAN(T)").status().code() ==
+              StatusCode::kCorruption);
+}
+
+TEST(PlanStoreTest, Md5KeysBoundKeySize) {
+  // Keys are MD5 hex digests regardless of step complexity.
+  PlanStore store(0.0);
+  std::string huge_pred_col(10'000, 'x');
+  store.Put("SCAN(T, PREDICATE(" + huge_pred_col + ">10))", 1, 2);
+  EXPECT_EQ(store.size(), 1u);  // stored under a 32-char key internally
+}
+
+}  // namespace
+}  // namespace ofi::optimizer

@@ -1,0 +1,191 @@
+/// End-to-end SQL: parse -> rewrite -> cost-based plan -> execute -> learn.
+#include "optimizer/sql_session.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/planner.h"
+
+namespace ofi::optimizer {
+namespace {
+
+using sql::Value;
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  SqlSessionTest() {
+    Must("CREATE TABLE emp (id BIGINT, name VARCHAR, dept BIGINT, salary BIGINT)");
+    Must("CREATE TABLE dept (id BIGINT, dname VARCHAR)");
+    Must("INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'ops')");
+    Must("INSERT INTO emp VALUES "
+         "(1, 'ada', 1, 120), (2, 'grace', 1, 130), (3, 'edsger', 1, 110),"
+         "(4, 'barb', 2, 90), (5, 'don', 2, 95), (6, 'alan', 3, 80)");
+    session_.Analyze();
+  }
+
+  sql::Table Must(const std::string& stmt) {
+    auto r = session_.Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : sql::Table{};
+  }
+
+  SqlSession session_;
+};
+
+TEST_F(SqlSessionTest, PointQuery) {
+  sql::Table t = Must("SELECT name FROM emp WHERE id = 4");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsString(), "barb");
+}
+
+TEST_F(SqlSessionTest, Projection) {
+  sql::Table t = Must("SELECT name, salary * 2 AS double_pay FROM emp WHERE dept = 1");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.schema().IndexOf("double_pay").ok());
+}
+
+TEST_F(SqlSessionTest, JoinQuery) {
+  sql::Table t = Must(
+      "SELECT e.name, d.dname FROM emp e, dept d "
+      "WHERE e.dept = d.id AND d.dname = 'eng' ORDER BY e.name");
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.rows()[0][0].AsString(), "ada");
+  EXPECT_EQ(t.rows()[0][1].AsString(), "eng");
+}
+
+TEST_F(SqlSessionTest, ExplicitJoinSyntax) {
+  sql::Table t = Must(
+      "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.id "
+      "WHERE d.dname = 'sales'");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(SqlSessionTest, LeftJoinKeepsUnmatched) {
+  Must("INSERT INTO dept VALUES (9, 'empty')");
+  sql::Table t = Must(
+      "SELECT d.dname, e.name FROM dept d LEFT JOIN emp e ON d.id = e.dept");
+  // 6 matched emp rows + 1 unmatched dept.
+  EXPECT_EQ(t.num_rows(), 7u);
+}
+
+TEST_F(SqlSessionTest, GroupByHavingOrder) {
+  sql::Table t = Must(
+      "SELECT dept, COUNT(*) AS n, AVG(salary) AS pay FROM emp "
+      "GROUP BY dept HAVING n >= 2 ORDER BY pay DESC");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);  // eng pays most
+  EXPECT_EQ(t.rows()[0][1].AsInt(), 3);
+}
+
+TEST_F(SqlSessionTest, GlobalAggregate) {
+  sql::Table t = Must("SELECT COUNT(*), MIN(salary), MAX(salary) FROM emp");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 6);
+  EXPECT_EQ(t.rows()[0][1].AsInt(), 80);
+  EXPECT_EQ(t.rows()[0][2].AsInt(), 130);
+}
+
+TEST_F(SqlSessionTest, SetOperations) {
+  sql::Table t = Must(
+      "SELECT name FROM emp WHERE dept = 1 "
+      "UNION ALL SELECT name FROM emp WHERE salary > 100");
+  EXPECT_EQ(t.num_rows(), 6u);  // 3 + 3 (overlap kept)
+  sql::Table u = Must(
+      "SELECT name FROM emp WHERE dept = 1 "
+      "UNION SELECT name FROM emp WHERE salary > 100");
+  EXPECT_EQ(u.num_rows(), 3u);  // deduped
+}
+
+TEST_F(SqlSessionTest, LimitOffset) {
+  sql::Table t = Must("SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsString(), "ada");
+}
+
+TEST_F(SqlSessionTest, InBetweenNot) {
+  EXPECT_EQ(Must("SELECT * FROM emp WHERE dept IN (1, 3)").num_rows(), 4u);
+  EXPECT_EQ(Must("SELECT * FROM emp WHERE salary BETWEEN 90 AND 110").num_rows(),
+            3u);
+  EXPECT_EQ(Must("SELECT * FROM emp WHERE NOT dept = 1").num_rows(), 3u);
+}
+
+TEST_F(SqlSessionTest, ExplainShowsPlanWithEstimates) {
+  auto plan = session_.Explain(
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("JOIN"), std::string::npos);
+  EXPECT_NE(plan->find("est="), std::string::npos);
+}
+
+TEST_F(SqlSessionTest, DdlErrors) {
+  EXPECT_TRUE(session_.Execute("CREATE TABLE emp (x BIGINT)")
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(session_.Execute("DROP TABLE nope").status().IsNotFound());
+  EXPECT_TRUE(session_.Execute("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_TRUE(session_.Execute("INSERT INTO emp VALUES (1)")
+                  .status()
+                  .IsInvalidArgument());
+  Must("CREATE TABLE temp2 (x BIGINT)");
+  Must("DROP TABLE temp2");
+}
+
+TEST_F(SqlSessionTest, LearningLoopThroughSqlInterface) {
+  // Correlated columns: classic underestimate, corrected on re-run.
+  Must("CREATE TABLE corr (a BIGINT, b BIGINT)");
+  std::string insert = "INSERT INTO corr VALUES ";
+  for (int i = 0; i < 500; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i) + ")";
+  }
+  Must(insert);
+  session_.Analyze();
+
+  Must("SELECT COUNT(*) FROM corr WHERE a > 250 AND b > 250");
+  double first = session_.last_max_qerror();
+  EXPECT_GT(first, 1.5);
+  Must("SELECT COUNT(*) FROM corr WHERE b > 250 AND a > 250");  // reordered
+  EXPECT_LT(session_.last_max_qerror(), first);
+  EXPECT_GT(session_.plan_store().hits(), 0u);
+}
+
+// --- Rewrite rules ------------------------------------------------------------
+TEST(RewriteTest, ConstantFolding) {
+  auto e = sql::ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  sql::ExprPtr folded = sql::FoldConstants(*e);
+  ASSERT_EQ(folded->kind(), sql::ExprKind::kLiteral);
+  EXPECT_EQ(folded->literal().AsInt(), 7);
+}
+
+TEST(RewriteTest, BooleanIdentities) {
+  auto e = sql::ParseExpression("TRUE AND a > 1");
+  ASSERT_TRUE(e.ok());
+  sql::ExprPtr folded = sql::FoldConstants(*e);
+  EXPECT_EQ(folded->ToCanonicalString(), "a>1");
+
+  auto e2 = sql::ParseExpression("a > 1 OR TRUE");
+  sql::ExprPtr folded2 = sql::FoldConstants(*e2);
+  ASSERT_EQ(folded2->kind(), sql::ExprKind::kLiteral);
+  EXPECT_TRUE(folded2->literal().AsBool());
+
+  auto e3 = sql::ParseExpression("FALSE AND a > 1");
+  sql::ExprPtr folded3 = sql::FoldConstants(*e3);
+  ASSERT_EQ(folded3->kind(), sql::ExprKind::kLiteral);
+  EXPECT_FALSE(folded3->literal().AsBool());
+}
+
+TEST(RewriteTest, PredicateClassification) {
+  auto where = sql::ParseExpression("t.a > 1 AND u.b < 2 AND t.a = u.b");
+  ASSERT_TRUE(where.ok());
+  std::vector<std::vector<std::string>> rels = {{"a", "t.a"}, {"b", "u.b"}};
+  std::vector<sql::ExprPtr> per_rel;
+  std::vector<sql::ExprPtr> cross;
+  sql::ClassifyPredicates(*where, rels, &per_rel, &cross);
+  ASSERT_NE(per_rel[0], nullptr);
+  ASSERT_NE(per_rel[1], nullptr);
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0]->ToCanonicalString(), "t.a=u.b");
+}
+
+}  // namespace
+}  // namespace ofi::optimizer

@@ -1,0 +1,117 @@
+#include "spatial/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ofi::spatial {
+namespace {
+
+TEST(GridIndexTest, InsertAndBoxQuery) {
+  GridIndex idx(10.0);
+  idx.Insert(1, {5, 5});
+  idx.Insert(2, {15, 15});
+  idx.Insert(3, {50, 50});
+  auto hits = idx.QueryBox({0, 0, 20, 20});
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(GridIndexTest, BoxBoundariesInclusive) {
+  GridIndex idx(1.0);
+  idx.Insert(1, {10, 10});
+  EXPECT_EQ(idx.QueryBox({10, 10, 10, 10}).size(), 1u);
+  EXPECT_EQ(idx.QueryBox({10.001, 10, 11, 11}).size(), 0u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex idx(10.0);
+  idx.Insert(1, {-5, -5});
+  idx.Insert(2, {-25, -25});
+  EXPECT_EQ(idx.QueryBox({-30, -30, 0, 0}).size(), 2u);
+  EXPECT_EQ(idx.QueryBox({-10, -10, 0, 0}).size(), 1u);
+}
+
+TEST(GridIndexTest, RadiusQuery) {
+  GridIndex idx(5.0);
+  idx.Insert(1, {0, 0});
+  idx.Insert(2, {3, 4});   // distance 5
+  idx.Insert(3, {10, 0});  // distance 10
+  EXPECT_EQ(idx.QueryRadius({0, 0}, 5.0).size(), 2u);
+  EXPECT_EQ(idx.QueryRadius({0, 0}, 4.9).size(), 1u);
+}
+
+TEST(GridIndexTest, NearestNeighbours) {
+  GridIndex idx(1.0);
+  for (int64_t i = 0; i < 10; ++i) idx.Insert(i, {static_cast<double>(i), 0});
+  auto nn = idx.Nearest({3.2, 0}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], 3);
+  EXPECT_EQ(nn[1], 4);
+  EXPECT_EQ(nn[2], 2);
+}
+
+TEST(GridIndexTest, NearestMatchesBruteForce) {
+  Rng rng(99);
+  GridIndex idx(8.0);
+  std::vector<Point> pts;
+  for (int64_t i = 0; i < 200; ++i) {
+    Point p{rng.NextDouble() * 100, rng.NextDouble() * 100};
+    pts.push_back(p);
+    idx.Insert(i, p);
+  }
+  Point q{50, 50};
+  auto nn = idx.Nearest(q, 5);
+  // Brute-force check.
+  std::vector<int64_t> ids(200);
+  for (int64_t i = 0; i < 200; ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [&](int64_t a, int64_t b) {
+    double da = DistanceSquared(pts[a], q), db = DistanceSquared(pts[b], q);
+    return da != db ? da < db : a < b;
+  });
+  ids.resize(5);
+  EXPECT_EQ(nn, ids);
+}
+
+TEST(GridIndexTest, RemoveAndUpsert) {
+  GridIndex idx(1.0);
+  idx.Insert(1, {0, 0});
+  ASSERT_TRUE(idx.Remove(1).ok());
+  EXPECT_TRUE(idx.Remove(1).IsNotFound());
+  idx.Upsert(2, {1, 1});
+  idx.Upsert(2, {50, 50});
+  EXPECT_EQ(idx.QueryBox({0, 0, 2, 2}).size(), 0u);
+  EXPECT_EQ(idx.QueryBox({49, 49, 51, 51}).size(), 1u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(SpatioTemporalTest, BoxPlusTimeWindow) {
+  SpatioTemporalIndex idx(10.0);
+  // Vehicle 7 drives east, one observation per tick.
+  for (int64_t t = 0; t < 10; ++t) {
+    idx.Insert(7, {static_cast<double>(t * 10), 0}, t);
+  }
+  // Vehicle 8 parked far away.
+  idx.Insert(8, {500, 500}, 5);
+  auto obs = idx.QueryBoxTime({0, -1, 45, 1}, 2, 8);
+  EXPECT_EQ(obs.size(), 3u);  // positions 20,30,40 at t=2,3,4
+}
+
+TEST(SpatioTemporalTest, TableMaterialization) {
+  SpatioTemporalIndex idx(10.0);
+  idx.Insert(1, {5, 5}, 100);
+  sql::Table t = idx.QueryBoxTimeTable({0, 0, 10, 10}, 0, 200);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.schema().num_columns(), 5u);
+  EXPECT_EQ(t.rows()[0][1].AsInt(), 1);  // object_id
+}
+
+TEST(BoundingBoxTest, IntersectsAndContains) {
+  BoundingBox a{0, 0, 10, 10}, b{5, 5, 15, 15}, c{20, 20, 30, 30};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains({10, 10}));
+  EXPECT_FALSE(a.Contains({10.5, 10}));
+}
+
+}  // namespace
+}  // namespace ofi::spatial

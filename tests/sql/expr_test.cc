@@ -1,0 +1,150 @@
+#include "sql/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::sql {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Column{"a", TypeId::kInt64, "t"}, Column{"b", TypeId::kString, "t"},
+                 Column{"c", TypeId::kDouble, "t"}});
+}
+
+Row MakeRow(int64_t a, const char* b, double c) {
+  return {Value(a), Value(b), Value(c)};
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value(1).Compare(Value(1.0)), 0);
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)), 0);
+  EXPECT_EQ(Value::Timestamp(5).Compare(Value(5)), 0);
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value(7).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value(std::string("x")).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "TRUE");
+}
+
+TEST(ExprTest, ComparisonEval) {
+  Schema s = TwoColSchema();
+  auto e = Expr::Gt("a", Value(10));
+  ASSERT_TRUE(e->Bind(s).ok());
+  EXPECT_TRUE(e->Eval(MakeRow(11, "x", 0)).AsBool());
+  EXPECT_FALSE(e->Eval(MakeRow(10, "x", 0)).AsBool());
+}
+
+TEST(ExprTest, QualifiedColumnLookup) {
+  Schema s = TwoColSchema();
+  auto e = Expr::Eq("t.b", Value("hello"));
+  ASSERT_TRUE(e->Bind(s).ok());
+  EXPECT_TRUE(e->Eval(MakeRow(0, "hello", 0)).AsBool());
+}
+
+TEST(ExprTest, ThreeValuedLogicWithNull) {
+  Schema s = TwoColSchema();
+  auto cmp = Expr::Gt("a", Value(0));
+  ASSERT_TRUE(cmp->Bind(s).ok());
+  Row null_row = {Value::Null(), Value("x"), Value(1.0)};
+  EXPECT_TRUE(cmp->Eval(null_row).is_null());
+
+  // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE.
+  auto and_false = Expr::And(cmp, Expr::Literal(Value(false)));
+  auto or_true = Expr::Or(cmp, Expr::Literal(Value(true)));
+  ASSERT_TRUE(and_false->Bind(s).ok());
+  ASSERT_TRUE(or_true->Bind(s).ok());
+  EXPECT_FALSE(and_false->Eval(null_row).AsBool());
+  EXPECT_TRUE(or_true->Eval(null_row).AsBool());
+}
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  Schema s = TwoColSchema();
+  auto sum = Expr::Arith(ArithOp::kAdd, Expr::ColumnRef("a"), Expr::Literal(Value(5)));
+  ASSERT_TRUE(sum->Bind(s).ok());
+  EXPECT_EQ(sum->Eval(MakeRow(2, "x", 0)).AsInt(), 7);
+
+  auto div = Expr::Arith(ArithOp::kDiv, Expr::ColumnRef("a"), Expr::Literal(Value(0)));
+  ASSERT_TRUE(div->Bind(s).ok());
+  EXPECT_TRUE(div->Eval(MakeRow(2, "x", 0)).is_null());  // div by zero -> NULL
+}
+
+TEST(ExprTest, InListAndIsNull) {
+  Schema s = TwoColSchema();
+  auto in = Expr::InList(Expr::ColumnRef("a"), {Value(1), Value(3), Value(5)});
+  ASSERT_TRUE(in->Bind(s).ok());
+  EXPECT_TRUE(in->Eval(MakeRow(3, "x", 0)).AsBool());
+  EXPECT_FALSE(in->Eval(MakeRow(2, "x", 0)).AsBool());
+
+  auto isnull = Expr::IsNull(Expr::ColumnRef("a"));
+  ASSERT_TRUE(isnull->Bind(s).ok());
+  EXPECT_FALSE(isnull->Eval(MakeRow(3, "x", 0)).AsBool());
+  Row null_row = {Value::Null(), Value("x"), Value(1.0)};
+  EXPECT_TRUE(isnull->Eval(null_row).AsBool());
+}
+
+// --- Canonical text: the property the plan store depends on -----------------
+TEST(ExprCanonicalTest, PredicateOrderDoesNotChangeText) {
+  auto p1 = Expr::And(Expr::Gt("t.a", Value(10)), Expr::Eq("t.b", Value("x")));
+  auto p2 = Expr::And(Expr::Eq("t.b", Value("x")), Expr::Gt("t.a", Value(10)));
+  EXPECT_EQ(p1->ToCanonicalString(), p2->ToCanonicalString());
+}
+
+TEST(ExprCanonicalTest, SymmetricEqualityOrderIndependent) {
+  auto p1 = Expr::EqCols("t1.a1", "t2.a2");
+  auto p2 = Expr::EqCols("t2.a2", "t1.a1");
+  EXPECT_EQ(p1->ToCanonicalString(), p2->ToCanonicalString());
+  EXPECT_EQ(p1->ToCanonicalString(), "t1.a1=t2.a2");
+}
+
+TEST(ExprCanonicalTest, NestedAndFlattens) {
+  auto a = Expr::Gt("x", Value(1));
+  auto b = Expr::Gt("y", Value(2));
+  auto c = Expr::Gt("z", Value(3));
+  auto left = Expr::And(Expr::And(a, b), c);
+  auto right = Expr::And(c, Expr::And(b, a));
+  EXPECT_EQ(left->ToCanonicalString(), right->ToCanonicalString());
+}
+
+TEST(ExprCanonicalTest, InListSorted) {
+  auto p1 = Expr::InList(Expr::ColumnRef("a"), {Value(3), Value(1)});
+  auto p2 = Expr::InList(Expr::ColumnRef("a"), {Value(1), Value(3)});
+  EXPECT_EQ(p1->ToCanonicalString(), p2->ToCanonicalString());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto p = Expr::And(Expr::Gt("t.a", Value(1)), Expr::EqCols("t.b", "u.c"));
+  std::vector<std::string> cols;
+  p->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+}
+
+TEST(SchemaTest, AmbiguousBareNameRejected) {
+  Schema s({Column{"a", TypeId::kInt64, "t1"}, Column{"a", TypeId::kInt64, "t2"}});
+  EXPECT_TRUE(s.IndexOf("a").status().IsAlreadyExists());
+  EXPECT_TRUE(s.IndexOf("t1.a").ok());
+  EXPECT_TRUE(s.IndexOf("t2.a").ok());
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema a({Column{"x", TypeId::kInt64, ""}});
+  Schema b({Column{"y", TypeId::kInt64, ""}});
+  Schema c = a.Concat(b).WithQualifier("j");
+  EXPECT_EQ(c.num_columns(), 2u);
+  EXPECT_EQ(c.column(0).QualifiedName(), "j.x");
+}
+
+}  // namespace
+}  // namespace ofi::sql

@@ -1,0 +1,120 @@
+#include "sql/external_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ofi::sql {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema({Column{"id", TypeId::kInt64, ""},
+                 Column{"name", TypeId::kString, ""},
+                 Column{"score", TypeId::kDouble, ""},
+                 Column{"active", TypeId::kBool, ""}});
+}
+
+TEST(CsvTest, BasicParseWithHeader) {
+  std::string csv =
+      "id,name,score,active\n"
+      "1,ada,9.5,true\n"
+      "2,grace,8.25,false\n";
+  auto t = ParseCsv(csv, PeopleSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->rows()[0][1].AsString(), "ada");
+  EXPECT_DOUBLE_EQ(t->rows()[1][2].AsDouble(), 8.25);
+  EXPECT_FALSE(t->rows()[1][3].AsBool());
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  std::string csv =
+      "id,name,score,active\n"
+      "1,\"smith, jr. said \"\"hi\"\"\",1.0,true\n";
+  auto t = ParseCsv(csv, PeopleSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->rows()[0][1].AsString(), "smith, jr. said \"hi\"");
+}
+
+TEST(CsvTest, NullTokensAndEmptyFields) {
+  std::string csv = "id,name,score,active\n3,\\N,,true\n";
+  auto t = ParseCsv(csv, PeopleSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->rows()[0][1].is_null());
+  EXPECT_TRUE(t->rows()[0][2].is_null());
+}
+
+TEST(CsvTest, TypeErrorsReportedWithLocation) {
+  std::string csv = "id,name,score,active\nxx,ada,1.0,true\n";
+  auto t = ParseCsv(csv, PeopleSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(t.status().message().find("column id"), std::string::npos);
+}
+
+TEST(CsvTest, MaxErrorsTolerance) {
+  std::string csv =
+      "id,name,score,active\n"
+      "bad,x,1.0,true\n"
+      "2,ok,2.0,true\n"
+      "3,ok,3.0,maybe\n";
+  CsvOptions opts;
+  opts.max_errors = 2;
+  auto t = ParseCsv(csv, PeopleSchema(), opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);  // only the clean row survives
+
+  CsvOptions strict;
+  strict.max_errors = 0;
+  EXPECT_FALSE(ParseCsv(csv, PeopleSchema(), strict).ok());
+}
+
+TEST(CsvTest, ArityMismatchCounted) {
+  std::string csv = "id,name,score,active\n1,ada\n";
+  auto t = ParseCsv(csv, PeopleSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("expected 4 fields"), std::string::npos);
+}
+
+TEST(CsvTest, NoHeaderModeAndCrlf) {
+  std::string csv = "7,bob,1.5,true\r\n8,eve,2.5,false\r\n";
+  CsvOptions opts;
+  opts.has_header = false;
+  auto t = ParseCsv(csv, PeopleSchema(), opts);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->rows()[1][1].AsString(), "eve");
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t{PeopleSchema()};
+  ASSERT_TRUE(t.Append({Value(1), Value("a,b"), Value(1.5), Value(true)}).ok());
+  ASSERT_TRUE(t.Append({Value(2), Value::Null(), Value(2.5), Value(false)}).ok());
+  std::string csv = WriteCsv(t);
+  auto back = ParseCsv(csv, PeopleSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->rows()[0][1].AsString(), "a,b");
+  EXPECT_TRUE(back->rows()[1][1].is_null());
+}
+
+TEST(CsvTest, FileLoadAndMissingFile) {
+  std::string path = testing::TempDir() + "/ofi_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "id,name,score,active\n5,file,0.5,true\n";
+  }
+  auto t = LoadCsvTable(path, PeopleSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->rows()[0][1].AsString(), "file");
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(LoadCsvTable("/no/such/file.csv", PeopleSchema())
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace ofi::sql

@@ -1,0 +1,155 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::sql {
+namespace {
+
+Statement MustParse(const std::string& text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).ValueOrDie() : Statement{};
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, 'it''s', 3.14 FROM t -- comment\nWHERE x<>2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "a.b");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+  EXPECT_EQ((*tokens)[5].type, TokenType::kFloat);
+  // The comment is skipped entirely.
+  bool has_where = false;
+  for (const auto& t : *tokens) has_where |= t.IsKeyword("WHERE");
+  EXPECT_TRUE(has_where);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  Statement s = MustParse("SELECT a, b FROM t WHERE a > 10");
+  ASSERT_EQ(s.kind, StatementKind::kSelect);
+  EXPECT_EQ(s.select->items.size(), 2u);
+  EXPECT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0].table, "t");
+  ASSERT_NE(s.select->where, nullptr);
+  EXPECT_EQ(s.select->where->ToCanonicalString(), "a>10");
+}
+
+TEST(ParserTest, SelectStarWithAliasAndSemicolon) {
+  Statement s = MustParse("SELECT * FROM orders o;");
+  EXPECT_TRUE(s.select->select_star);
+  EXPECT_EQ(s.select->from[0].alias, "o");
+}
+
+TEST(ParserTest, CommaJoinAndQualifiedColumns) {
+  Statement s = MustParse(
+      "SELECT t1.a1 FROM OLAP.T1 t1, OLAP.T2 t2 "
+      "WHERE t1.a1 = t2.a2 AND t1.b1 > 10");
+  EXPECT_EQ(s.select->from.size(), 2u);
+  EXPECT_EQ(s.select->from[0].table, "OLAP.T1");
+}
+
+TEST(ParserTest, ExplicitJoins) {
+  Statement s = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.y = c.z");
+  ASSERT_EQ(s.select->joins.size(), 2u);
+  EXPECT_EQ(s.select->joins[0].type, JoinType::kInner);
+  EXPECT_EQ(s.select->joins[1].type, JoinType::kLeftOuter);
+  EXPECT_NE(s.select->joins[1].on, nullptr);
+}
+
+TEST(ParserTest, AggregatesGroupByHaving) {
+  Statement s = MustParse(
+      "SELECT region, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) "
+      "FROM sales GROUP BY region HAVING COUNT(*) > 5");
+  ASSERT_EQ(s.select->items.size(), 4u);
+  EXPECT_FALSE(s.select->items[0].is_aggregate);
+  EXPECT_TRUE(s.select->items[1].is_aggregate);
+  EXPECT_EQ(s.select->items[1].name, "n");
+  EXPECT_EQ(s.select->items[3].name, "avg");
+  EXPECT_EQ(s.select->group_by, std::vector<std::string>{"region"});
+  EXPECT_NE(s.select->having, nullptr);
+}
+
+TEST(ParserTest, OrderLimitOffset) {
+  Statement s = MustParse(
+      "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5");
+  ASSERT_EQ(s.select->order_by.size(), 2u);
+  EXPECT_FALSE(s.select->order_by[0].ascending);
+  EXPECT_TRUE(s.select->order_by[1].ascending);
+  EXPECT_EQ(*s.select->limit, 10u);
+  EXPECT_EQ(s.select->offset, 5u);
+}
+
+TEST(ParserTest, SetOperations) {
+  Statement s =
+      MustParse("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v");
+  ASSERT_TRUE(s.select->set_op.has_value());
+  EXPECT_EQ(*s.select->set_op, SetOpType::kUnionAll);
+  ASSERT_NE(s.select->set_rhs, nullptr);
+  EXPECT_EQ(*s.select->set_rhs->set_op, SetOpType::kExcept);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  Statement s = MustParse(
+      "INSERT INTO t VALUES (1, 'a', 2.5, TRUE, NULL), (-2, 'b', 0.0, FALSE, 3)");
+  ASSERT_EQ(s.kind, StatementKind::kInsert);
+  ASSERT_EQ(s.insert->rows.size(), 2u);
+  EXPECT_EQ(s.insert->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(s.insert->rows[1][0].AsInt(), -2);
+  EXPECT_TRUE(s.insert->rows[0][4].is_null());
+}
+
+TEST(ParserTest, CreateAndDropTable) {
+  Statement s = MustParse(
+      "CREATE TABLE t (id BIGINT, name VARCHAR(32), price DOUBLE, "
+      "live BOOLEAN, seen TIMESTAMP)");
+  ASSERT_EQ(s.kind, StatementKind::kCreateTable);
+  EXPECT_EQ(s.create_table->schema.num_columns(), 5u);
+  EXPECT_EQ(s.create_table->schema.column(1).type, TypeId::kString);
+  EXPECT_EQ(s.create_table->schema.column(4).type, TypeId::kTimestamp);
+
+  Statement d = MustParse("DROP TABLE t");
+  ASSERT_EQ(d.kind, StatementKind::kDropTable);
+  EXPECT_EQ(d.drop_table->table, "t");
+}
+
+TEST(ParserTest, ExpressionForms) {
+  auto e1 = ParseExpression("a IN (1, 2, 3)");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ((*e1)->kind(), ExprKind::kInList);
+
+  auto e2 = ParseExpression("x BETWEEN 5 AND 10");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->ToCanonicalString(), "x<=10 AND x>=5");
+
+  auto e3 = ParseExpression("NOT a IS NULL");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ((*e3)->kind(), ExprKind::kNot);
+
+  auto e4 = ParseExpression("a + 2 * b - 1 > c / 4");
+  ASSERT_TRUE(e4.ok());
+
+  auto e5 = ParseExpression("(a = 1 OR b = 2) AND NOT c IN (7)");
+  ASSERT_TRUE(e5.ok());
+}
+
+TEST(ParserTest, ErrorMessages) {
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("FROB x").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t garbage trailing").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES (1,)").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (a WIBBLE)").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(*) FROM t").ok());
+}
+
+}  // namespace
+}  // namespace ofi::sql

@@ -1,0 +1,153 @@
+#include "storage/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ofi::storage {
+namespace {
+
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Schema SalesSchema() {
+  return Schema({Column{"region", TypeId::kString, ""},
+                 Column{"amount", TypeId::kInt64, ""},
+                 Column{"price", TypeId::kDouble, ""}});
+}
+
+TEST(EncodingTest, RleCompressesRuns) {
+  std::vector<int64_t> runs(10'000, 7);
+  Int64Chunk chunk = EncodeInt64(runs);
+  EXPECT_EQ(chunk.encoding, Encoding::kRle);
+  EXPECT_LT(chunk.CompressedBytes(), runs.size() * sizeof(int64_t) / 100);
+  std::vector<int64_t> decoded;
+  chunk.Decode(&decoded);
+  EXPECT_EQ(decoded, runs);
+}
+
+TEST(EncodingTest, RandomDataStaysPlain) {
+  Rng rng(1);
+  std::vector<int64_t> random;
+  for (int i = 0; i < 1000; ++i) random.push_back(static_cast<int64_t>(rng.Next()));
+  Int64Chunk chunk = EncodeInt64(random);
+  EXPECT_EQ(chunk.encoding, Encoding::kPlain);
+}
+
+TEST(EncodingTest, DictCompressesLowCardinalityStrings) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i % 2 ? "east" : "west");
+  StringChunk chunk = EncodeString(values);
+  EXPECT_EQ(chunk.encoding, Encoding::kDict);
+  EXPECT_EQ(chunk.At(0), "west");
+  EXPECT_EQ(chunk.At(1), "east");
+}
+
+TEST(EncodingTest, UniqueStringsStayPlain) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 100; ++i) values.push_back("unique_" + std::to_string(i));
+  EXPECT_EQ(EncodeString(values).encoding, Encoding::kPlain);
+}
+
+class ColumnTableTest : public ::testing::Test {
+ protected:
+  ColumnTableTest() : table_(SalesSchema()) {
+    Rng rng(2);
+    for (int64_t i = 0; i < kRows; ++i) {
+      const char* region = i % 3 == 0 ? "east" : (i % 3 == 1 ? "west" : "north");
+      EXPECT_TRUE(table_
+                      .Append({Value(region), Value(i % 100),
+                               Value(static_cast<double>(i) * 0.5)})
+                      .ok());
+    }
+    table_.Seal();
+  }
+  static constexpr int64_t kRows = 10'000;
+  ColumnTable table_;
+};
+
+TEST_F(ColumnTableTest, FilterGtMatchesRowStoreSemantics) {
+  auto sel = table_.FilterGtInt64("amount", 89);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), kRows / 100 * 10);
+  for (uint32_t idx : *sel) EXPECT_GT(static_cast<int64_t>(idx % 100), 89);
+}
+
+TEST_F(ColumnTableTest, FilterEqStringUsesDictionary) {
+  auto sel = table_.FilterEqString("region", "east");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), (kRows + 2) / 3);
+  auto none = table_.FilterEqString("region", "south");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(ColumnTableTest, SumWithAndWithoutSelection) {
+  auto total = table_.SumInt64("amount");
+  ASSERT_TRUE(total.ok());
+  // sum over i%100 for 10k rows = 100 * (0+..+99) = 100*4950.
+  EXPECT_EQ(*total, 100 * 4950);
+  auto sel = table_.FilterGtInt64("amount", 97);  // values 98, 99
+  ASSERT_TRUE(sel.ok());
+  auto partial = table_.SumInt64("amount", &*sel);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(*partial, 100 * (98 + 99));
+}
+
+TEST_F(ColumnTableTest, GatherMaterializesRows) {
+  auto sel = table_.FilterEqString("region", "north");
+  ASSERT_TRUE(sel.ok());
+  auto rows = table_.Gather(*sel);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), sel->size());
+  EXPECT_EQ((*rows)[0][0].AsString(), "north");
+  EXPECT_EQ((*rows)[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ((*rows)[0][2].AsDouble(), 1.0);
+}
+
+TEST_F(ColumnTableTest, CompressionSavesSpace) {
+  EXPECT_LT(table_.CompressedBytes(), table_.PlainBytes());
+}
+
+TEST_F(ColumnTableTest, TypeMismatchRejected) {
+  EXPECT_FALSE(table_.FilterGtInt64("region", 1).ok());
+  EXPECT_FALSE(table_.FilterEqString("amount", "x").ok());
+  EXPECT_FALSE(table_.SumInt64("nope").ok());
+}
+
+TEST(ColumnTableEdgeTest, UnsealedTailInvisibleUntilSeal) {
+  ColumnTable t(SalesSchema());
+  ASSERT_TRUE(t.Append({Value("east"), Value(1), Value(1.0)}).ok());
+  auto sel = t.FilterGtInt64("amount", 0);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());  // buffered, not yet encoded
+  t.Seal();
+  sel = t.FilterGtInt64("amount", 0);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 1u);
+}
+
+TEST(ColumnTableEdgeTest, ArityMismatch) {
+  ColumnTable t(SalesSchema());
+  EXPECT_TRUE(t.Append({Value("east")}).IsInvalidArgument());
+}
+
+TEST(ColumnTableEdgeTest, MultiChunkBoundary) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  const int64_t n = ColumnTable::kChunkRows * 2 + 17;
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Append({Value(i)}).ok());
+  }
+  t.Seal();
+  auto sel = t.FilterGtInt64("v", -1);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), static_cast<size_t>(n));
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ofi::storage

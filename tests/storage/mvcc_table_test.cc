@@ -1,0 +1,220 @@
+#include "storage/mvcc_table.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/local_txn_manager.h"
+
+namespace ofi::storage {
+namespace {
+
+using sql::Column;
+using sql::Row;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+using txn::LocalTxnManager;
+using txn::Snapshot;
+using txn::VisibilityChecker;
+using txn::Xid;
+
+Schema TestSchema() {
+  return Schema({Column{"k", TypeId::kInt64, ""}, Column{"v", TypeId::kInt64, ""}});
+}
+
+class MvccTableTest : public ::testing::Test {
+ protected:
+  MvccTableTest() : table_(TestSchema()) {}
+
+  // Runs `fn` inside a fresh committed transaction.
+  template <typename Fn>
+  void Committed(Fn fn) {
+    Xid xid = mgr_.Begin();
+    Snapshot snap = mgr_.TakeSnapshot();
+    VisibilityChecker vis(&snap, &mgr_.clog(), xid);
+    fn(xid, vis);
+    ASSERT_TRUE(mgr_.Commit(xid).ok());
+  }
+
+  VisibilityChecker ReaderAt(Xid* out_xid, Snapshot* snap) {
+    *out_xid = mgr_.Begin();
+    *snap = mgr_.TakeSnapshot();
+    return VisibilityChecker(snap, &mgr_.clog(), *out_xid);
+  }
+
+  MvccTable table_;
+  LocalTxnManager mgr_;
+};
+
+TEST_F(MvccTableTest, InsertThenReadVisibleAfterCommit) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Insert(Value(1), {Value(1), Value(100)}, xid, vis).ok());
+  });
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  auto row = table_.Read(Value(1), vis);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsInt(), 100);
+}
+
+TEST_F(MvccTableTest, UncommittedInsertInvisibleToOthersVisibleToSelf) {
+  Xid writer = mgr_.Begin();
+  Snapshot wsnap = mgr_.TakeSnapshot();
+  VisibilityChecker wvis(&wsnap, &mgr_.clog(), writer);
+  ASSERT_TRUE(table_.Insert(Value(1), {Value(1), Value(5)}, writer, wvis).ok());
+
+  // Writer sees its own write.
+  EXPECT_TRUE(table_.Read(Value(1), wvis).ok());
+
+  // A concurrent reader does not.
+  Xid rx;
+  Snapshot rsnap;
+  auto rvis = ReaderAt(&rx, &rsnap);
+  EXPECT_TRUE(table_.Read(Value(1), rvis).status().IsNotFound());
+  ASSERT_TRUE(mgr_.Commit(writer).ok());
+}
+
+TEST_F(MvccTableTest, SnapshotIsolationReaderKeepsOldVersion) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Insert(Value(7), {Value(7), Value(1)}, xid, vis).ok());
+  });
+  // Reader takes its snapshot now.
+  Xid rx;
+  Snapshot rsnap;
+  auto rvis = ReaderAt(&rx, &rsnap);
+
+  // A later writer updates and commits.
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Update(Value(7), {Value(7), Value(2)}, xid, vis).ok());
+  });
+
+  // The old reader still sees version 1 (repeatable read).
+  auto row = table_.Read(Value(7), rvis);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsInt(), 1);
+
+  // A fresh reader sees version 2.
+  Xid rx2;
+  Snapshot rsnap2;
+  auto rvis2 = ReaderAt(&rx2, &rsnap2);
+  EXPECT_EQ(table_.Read(Value(7), rvis2).ValueOrDie()[1].AsInt(), 2);
+}
+
+TEST_F(MvccTableTest, WriteWriteConflictAbortsSecondWriter) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Insert(Value(3), {Value(3), Value(0)}, xid, vis).ok());
+  });
+  Xid w1 = mgr_.Begin();
+  Snapshot s1 = mgr_.TakeSnapshot();
+  VisibilityChecker v1(&s1, &mgr_.clog(), w1);
+  Xid w2 = mgr_.Begin();
+  Snapshot s2 = mgr_.TakeSnapshot();
+  VisibilityChecker v2(&s2, &mgr_.clog(), w2);
+
+  ASSERT_TRUE(table_.Update(Value(3), {Value(3), Value(10)}, w1, v1).ok());
+  // Second writer must abort: first-updater-wins.
+  EXPECT_TRUE(table_.Update(Value(3), {Value(3), Value(20)}, w2, v2).IsAborted());
+  ASSERT_TRUE(mgr_.Commit(w1).ok());
+  ASSERT_TRUE(mgr_.Abort(w2).ok());
+}
+
+TEST_F(MvccTableTest, DeleteHidesRowAfterCommit) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Insert(Value(4), {Value(4), Value(9)}, xid, vis).ok());
+  });
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Delete(Value(4), xid, vis).ok());
+  });
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  EXPECT_TRUE(table_.Read(Value(4), vis).status().IsNotFound());
+}
+
+TEST_F(MvccTableTest, AbortedInsertInvisibleAndKeyReusable) {
+  Xid w = mgr_.Begin();
+  Snapshot ws = mgr_.TakeSnapshot();
+  VisibilityChecker wv(&ws, &mgr_.clog(), w);
+  ASSERT_TRUE(table_.Insert(Value(5), {Value(5), Value(1)}, w, wv).ok());
+  ASSERT_TRUE(mgr_.Abort(w).ok());
+
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  EXPECT_TRUE(table_.Read(Value(5), vis).status().IsNotFound());
+
+  // Key can be inserted again by a new transaction.
+  Committed([&](Xid xid, const VisibilityChecker& vis2) {
+    EXPECT_TRUE(table_.Insert(Value(5), {Value(5), Value(2)}, xid, vis2).ok());
+  });
+}
+
+TEST_F(MvccTableTest, RollbackKeyClearsXmax) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    ASSERT_TRUE(table_.Insert(Value(6), {Value(6), Value(1)}, xid, vis).ok());
+  });
+  Xid w = mgr_.Begin();
+  Snapshot ws = mgr_.TakeSnapshot();
+  VisibilityChecker wv(&ws, &mgr_.clog(), w);
+  ASSERT_TRUE(table_.Update(Value(6), {Value(6), Value(2)}, w, wv).ok());
+  table_.RollbackKey(Value(6), w);
+  ASSERT_TRUE(mgr_.Abort(w).ok());
+
+  // Another writer can now update without a conflict.
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    EXPECT_TRUE(table_.Update(Value(6), {Value(6), Value(3)}, xid, vis).ok());
+  });
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  EXPECT_EQ(table_.Read(Value(6), vis).ValueOrDie()[1].AsInt(), 3);
+}
+
+TEST_F(MvccTableTest, VacuumRemovesDeadVersions) {
+  for (int i = 0; i < 5; ++i) {
+    Committed([&](Xid xid, const VisibilityChecker& vis) {
+      if (i == 0) {
+        ASSERT_TRUE(table_.Insert(Value(8), {Value(8), Value(i)}, xid, vis).ok());
+      } else {
+        ASSERT_TRUE(table_.Update(Value(8), {Value(8), Value(i)}, xid, vis).ok());
+      }
+    });
+  }
+  EXPECT_EQ(table_.num_versions(), 5u);
+  size_t removed = table_.Vacuum(mgr_.next_xid(), mgr_.clog());
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(table_.num_versions(), 1u);
+  // Latest version still readable.
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  EXPECT_EQ(table_.Read(Value(8), vis).ValueOrDie()[1].AsInt(), 4);
+}
+
+TEST_F(MvccTableTest, ScanVisibleReturnsOnlyLiveRows) {
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(table_.Insert(Value(i), {Value(i), Value(i * 10)}, xid, vis).ok());
+    }
+  });
+  Committed([&](Xid xid, const VisibilityChecker& vis) {
+    for (int i = 0; i < 10; i += 2) {
+      ASSERT_TRUE(table_.Delete(Value(i), xid, vis).ok());
+    }
+  });
+  Xid rx;
+  Snapshot snap;
+  auto vis = ReaderAt(&rx, &snap);
+  EXPECT_EQ(table_.ScanVisible(vis).size(), 5u);
+}
+
+TEST_F(MvccTableTest, ArityMismatchRejected) {
+  Xid w = mgr_.Begin();
+  Snapshot ws = mgr_.TakeSnapshot();
+  VisibilityChecker wv(&ws, &mgr_.clog(), w);
+  EXPECT_TRUE(table_.Insert(Value(1), {Value(1)}, w, wv).IsInvalidArgument());
+  ASSERT_TRUE(mgr_.Abort(w).ok());
+}
+
+}  // namespace
+}  // namespace ofi::storage

@@ -1,0 +1,183 @@
+#include "streaming/streaming.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::streaming {
+namespace {
+
+using sql::AggFunc;
+using sql::Column;
+using sql::Expr;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Schema SpeedSchema() {
+  return Schema({Column{"time", TypeId::kTimestamp, ""},
+                 Column{"junction", TypeId::kInt64, ""},
+                 Column{"speed", TypeId::kDouble, ""}});
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() : engine_(SpeedSchema()) {}
+
+  StreamEngine engine_;
+  std::vector<WindowResult> emitted_;
+
+  EmitCallback Collect() {
+    return [this](const WindowResult& r) { emitted_.push_back(r); };
+  }
+};
+
+TEST_F(StreamingTest, TumblingWindowCountEmitsOnWatermark) {
+  ContinuousQuerySpec spec;
+  spec.name = "per_100";
+  spec.window_us = 100;
+  ASSERT_TRUE(engine_.Register(spec, Collect()).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine_.Ingest(i * 20, {Value(1), Value(50.0)}).ok());
+  }
+  // Events at 0..180: window [0,100) closed when t=100 arrived.
+  ASSERT_EQ(emitted_.size(), 1u);
+  EXPECT_EQ(emitted_[0].window_start, 0);
+  EXPECT_EQ(emitted_[0].count, 5u);
+  engine_.Flush();
+  ASSERT_EQ(emitted_.size(), 2u);
+  EXPECT_EQ(emitted_[1].window_start, 100);
+}
+
+TEST_F(StreamingTest, KeyedAggregation) {
+  ContinuousQuerySpec spec;
+  spec.name = "avg_speed_by_junction";
+  spec.key_column = "junction";
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = "speed";
+  spec.window_us = 1000;
+  ASSERT_TRUE(engine_.Register(spec, Collect()).ok());
+
+  ASSERT_TRUE(engine_.Ingest(10, {Value(1), Value(40.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(20, {Value(1), Value(60.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(30, {Value(2), Value(100.0)}).ok());
+  engine_.Flush();
+  ASSERT_EQ(emitted_.size(), 2u);
+  // Keys 1 and 2; key 1 averages 50.
+  for (const auto& r : emitted_) {
+    if (r.key.AsInt() == 1) EXPECT_DOUBLE_EQ(r.value, 50.0);
+    if (r.key.AsInt() == 2) EXPECT_DOUBLE_EQ(r.value, 100.0);
+  }
+}
+
+TEST_F(StreamingTest, FilterAppliesBeforeAggregation) {
+  ContinuousQuerySpec spec;
+  spec.name = "speeders";
+  spec.filter = Expr::Gt("speed", Value(80.0));
+  spec.window_us = 1000;
+  ASSERT_TRUE(engine_.Register(spec, Collect()).ok());
+  ASSERT_TRUE(engine_.Ingest(1, {Value(1), Value(70.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(2, {Value(1), Value(90.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(3, {Value(1), Value(120.0)}).ok());
+  engine_.Flush();
+  ASSERT_EQ(emitted_.size(), 1u);
+  EXPECT_EQ(emitted_[0].count, 2u);
+}
+
+TEST_F(StreamingTest, LateEventsDroppedAndCounted) {
+  ContinuousQuerySpec spec;
+  spec.name = "strict";
+  spec.window_us = 100;
+  spec.allowed_lateness_us = 0;
+  ASSERT_TRUE(engine_.Register(spec, Collect()).ok());
+  ASSERT_TRUE(engine_.Ingest(50, {Value(1), Value(1.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(150, {Value(1), Value(1.0)}).ok());  // closes [0,100)
+  ASSERT_EQ(emitted_.size(), 1u);
+  EXPECT_EQ(emitted_[0].count, 1u);
+  // An event for the closed window arrives late.
+  ASSERT_TRUE(engine_.Ingest(60, {Value(1), Value(1.0)}).ok());
+  EXPECT_EQ(engine_.late_events(), 1u);
+  engine_.Flush();
+  ASSERT_EQ(emitted_.size(), 2u);
+  EXPECT_EQ(emitted_[1].count, 1u);  // late event did NOT sneak in
+}
+
+TEST_F(StreamingTest, AllowedLatenessAcceptsStragglers) {
+  ContinuousQuerySpec spec;
+  spec.name = "lenient";
+  spec.window_us = 100;
+  spec.allowed_lateness_us = 100;
+  ASSERT_TRUE(engine_.Register(spec, Collect()).ok());
+  ASSERT_TRUE(engine_.Ingest(50, {Value(1), Value(1.0)}).ok());
+  ASSERT_TRUE(engine_.Ingest(150, {Value(1), Value(1.0)}).ok());
+  EXPECT_TRUE(emitted_.empty());  // [0,100) held open until watermark 200
+  ASSERT_TRUE(engine_.Ingest(60, {Value(1), Value(1.0)}).ok());  // straggler in
+  ASSERT_TRUE(engine_.Ingest(210, {Value(1), Value(1.0)}).ok());
+  ASSERT_EQ(emitted_.size(), 1u);
+  EXPECT_EQ(emitted_[0].count, 2u);
+  EXPECT_EQ(engine_.late_events(), 0u);
+}
+
+TEST_F(StreamingTest, MinMaxSumAggregates) {
+  for (auto [agg, expected] :
+       std::vector<std::pair<AggFunc, double>>{{AggFunc::kMin, 10.0},
+                                               {AggFunc::kMax, 30.0},
+                                               {AggFunc::kSum, 60.0}}) {
+    StreamEngine engine(SpeedSchema());
+    std::vector<WindowResult> results;
+    ContinuousQuerySpec spec;
+    spec.name = "agg";
+    spec.agg = agg;
+    spec.agg_column = "speed";
+    spec.window_us = 1000;
+    ASSERT_TRUE(engine
+                    .Register(spec, [&](const WindowResult& r) {
+                      results.push_back(r);
+                    })
+                    .ok());
+    ASSERT_TRUE(engine.Ingest(1, {Value(1), Value(10.0)}).ok());
+    ASSERT_TRUE(engine.Ingest(2, {Value(1), Value(20.0)}).ok());
+    ASSERT_TRUE(engine.Ingest(3, {Value(1), Value(30.0)}).ok());
+    engine.Flush();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_DOUBLE_EQ(results[0].value, expected);
+  }
+}
+
+TEST_F(StreamingTest, RegistrationErrors) {
+  ContinuousQuerySpec bad_window;
+  bad_window.window_us = 0;
+  EXPECT_FALSE(engine_.Register(bad_window, Collect()).ok());
+
+  ContinuousQuerySpec bad_col;
+  bad_col.key_column = "nope";
+  EXPECT_FALSE(engine_.Register(bad_col, Collect()).ok());
+
+  ContinuousQuerySpec sum_without_col;
+  sum_without_col.agg = AggFunc::kSum;
+  EXPECT_FALSE(engine_.Register(sum_without_col, Collect()).ok());
+
+  EXPECT_TRUE(engine_.Unregister(99).IsNotFound());
+}
+
+TEST_F(StreamingTest, MultipleQueriesShareTheStream) {
+  ContinuousQuerySpec count_all;
+  count_all.name = "all";
+  count_all.window_us = 1000;
+  ContinuousQuerySpec max_speed;
+  max_speed.name = "max";
+  max_speed.agg = AggFunc::kMax;
+  max_speed.agg_column = "speed";
+  max_speed.window_us = 1000;
+  ASSERT_TRUE(engine_.Register(count_all, Collect()).ok());
+  ASSERT_TRUE(engine_.Register(max_speed, Collect()).ok());
+  ASSERT_TRUE(engine_.Ingest(1, {Value(1), Value(44.0)}).ok());
+  engine_.Flush();
+  EXPECT_EQ(emitted_.size(), 2u);
+}
+
+TEST_F(StreamingTest, ArityChecked) {
+  EXPECT_TRUE(engine_.Ingest(0, {Value(1)}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ofi::streaming

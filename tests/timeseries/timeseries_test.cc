@@ -1,0 +1,137 @@
+#include "timeseries/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::timeseries {
+namespace {
+
+using sql::Column;
+using sql::TypeId;
+using sql::Value;
+
+TEST(SeriesTest, RangeQuery) {
+  Series s;
+  for (int i = 0; i < 100; ++i) s.Append(i * 10, i);
+  auto range = s.Range(100, 200);
+  ASSERT_EQ(range.size(), 10u);
+  EXPECT_EQ(range.front().ts, 100);
+  EXPECT_EQ(range.back().ts, 190);
+}
+
+TEST(SeriesTest, OutOfOrderAppendsSortLazily) {
+  Series s;
+  s.Append(30, 3);
+  s.Append(10, 1);
+  s.Append(20, 2);
+  auto range = s.Range(0, 100);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].ts, 10);
+  EXPECT_EQ(range[2].ts, 30);
+  EXPECT_EQ(s.max_ts(), 30);
+}
+
+TEST(SeriesTest, DownsampleAggregations) {
+  Series s;
+  // Two windows of 5 samples each: values 0..4 then 10..14.
+  for (int i = 0; i < 5; ++i) s.Append(i, i);
+  for (int i = 0; i < 5; ++i) s.Append(100 + i, 10 + i);
+  auto avg = s.Downsample(0, 200, 100, AggKind::kAvg);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(avg[1].value, 12.0);
+  auto mx = s.Downsample(0, 200, 100, AggKind::kMax);
+  EXPECT_DOUBLE_EQ(mx[0].value, 4.0);
+  auto cnt = s.Downsample(0, 200, 100, AggKind::kCount);
+  EXPECT_DOUBLE_EQ(cnt[1].value, 5.0);
+}
+
+TEST(SeriesTest, DownsampleOmitsEmptyWindows) {
+  Series s;
+  s.Append(10, 1);
+  s.Append(510, 2);
+  auto out = s.Downsample(0, 600, 100, AggKind::kSum);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].window_start, 0);
+  EXPECT_EQ(out[1].window_start, 500);
+}
+
+TEST(SeriesTest, Retention) {
+  Series s;
+  for (int i = 0; i < 10; ++i) s.Append(i, i);
+  EXPECT_EQ(s.Retain(5), 5u);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.min_ts(), 5);
+}
+
+TEST(MetricStoreTest, NamedSeries) {
+  MetricStore m;
+  m.Append("cpu", 1, 0.5);
+  m.Append("cpu", 2, 0.6);
+  m.Append("mem", 1, 100);
+  EXPECT_EQ(m.num_series(), 2u);
+  ASSERT_TRUE(m.Get("cpu").ok());
+  EXPECT_EQ((*m.Get("cpu"))->size(), 2u);
+  EXPECT_TRUE(m.Get("disk").status().IsNotFound());
+}
+
+TEST(ContinuousAggregateTest, IngestMaintainsRollups) {
+  ContinuousAggregate agg(100, AggKind::kAvg);
+  for (int i = 0; i < 10; ++i) agg.Ingest(i * 25, i);  // windows 0,100,200
+  EXPECT_EQ(agg.num_windows(), 3u);
+  auto windows = agg.Windows(0, 300);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows[0].value, 1.5);  // samples 0..3 -> mean 1.5
+}
+
+TEST(ContinuousAggregateTest, NegativeTimestampsBucketCorrectly) {
+  ContinuousAggregate agg(100, AggKind::kCount);
+  agg.Ingest(-150, 1);
+  agg.Ingest(-50, 1);
+  auto windows = agg.Windows(-200, 0);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window_start, -200);
+  EXPECT_EQ(windows[1].window_start, -100);
+}
+
+class EventStoreTest : public ::testing::Test {
+ protected:
+  EventStoreTest()
+      : store_({Column{"carid", TypeId::kInt64, ""},
+                Column{"juncid", TypeId::kInt64, ""}}) {}
+  EventStore store_;
+};
+
+TEST_F(EventStoreTest, SchemaHasTimeFirst) {
+  EXPECT_EQ(store_.schema().num_columns(), 3u);
+  EXPECT_EQ(store_.schema().column(0).name, "time");
+  EXPECT_EQ(store_.schema().column(0).type, TypeId::kTimestamp);
+}
+
+TEST_F(EventStoreTest, WindowQueryIsTheGtimeseriesExpr) {
+  // Cars seen at junctions over 60 minutes; query the last 30 minutes.
+  const int64_t kMinute = 60'000'000;
+  for (int64_t m = 0; m < 60; ++m) {
+    ASSERT_TRUE(store_.Append(m * kMinute, {Value(m % 7), Value(m % 3)}).ok());
+  }
+  sql::Table recent = store_.Window(/*now=*/59 * kMinute, 30 * kMinute);
+  EXPECT_EQ(recent.num_rows(), 31u);  // minutes 29..59 inclusive
+  // All rows inside the window.
+  for (const auto& row : recent.rows()) {
+    EXPECT_GE(row[0].AsInt(), 29 * kMinute);
+  }
+}
+
+TEST_F(EventStoreTest, ArityChecked) {
+  EXPECT_TRUE(store_.Append(0, {Value(1)}).IsInvalidArgument());
+}
+
+TEST_F(EventStoreTest, RetainDropsOldEvents) {
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_.Append(i, {Value(i), Value(0)}).ok());
+  }
+  EXPECT_EQ(store_.Retain(7), 7u);
+  EXPECT_EQ(store_.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ofi::timeseries

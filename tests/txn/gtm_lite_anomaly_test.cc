@@ -1,0 +1,290 @@
+/// Reproduces the two visibility anomalies of paper §II-A2 (experiment E2)
+/// and verifies that Algorithm 1's UPGRADE/DOWNGRADE resolutions fix them.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Schema KvSchema() {
+  return Schema({Column{"k", TypeId::kInt64, ""}, Column{"v", TypeId::kInt64, ""}});
+}
+
+/// Finds an int64 key owned by `shard`.
+Value KeyOnShard(const Cluster& cluster, int shard, int64_t start = 0) {
+  for (int64_t k = start;; ++k) {
+    if (cluster.ShardFor(Value(k)) == shard) return Value(k);
+  }
+}
+
+class GtmLiteAnomalyTest : public ::testing::Test {
+ protected:
+  GtmLiteAnomalyTest() : cluster_(2, Protocol::kGtmLite) {
+    EXPECT_TRUE(cluster_.CreateTable("t", KvSchema()).ok());
+    ka_ = KeyOnShard(cluster_, 0);
+    kb_ = KeyOnShard(cluster_, 1);
+    // Seed both keys with v=0 via committed single-shard transactions.
+    for (const Value& k : {ka_, kb_}) {
+      Txn t = cluster_.Begin(TxnScope::kSingleShard);
+      EXPECT_TRUE(t.Insert("t", k, {k, Value(0)}).ok());
+      EXPECT_TRUE(t.Commit().ok());
+    }
+  }
+
+  int64_t MustRead(Txn& t, const Value& k) {
+    auto row = t.Read("t", k);
+    EXPECT_TRUE(row.ok()) << row.status().ToString();
+    return row.ok() ? (*row)[1].AsInt() : -999;
+  }
+
+  Cluster cluster_;
+  Value ka_, kb_;
+};
+
+// ---------------------------------------------------------------------------
+// Anomaly1: global snapshot says committed, local state still prepared.
+// The reader must UPGRADE (wait for the commit confirmation) and see the
+// writer's data on *every* data node.
+// ---------------------------------------------------------------------------
+TEST_F(GtmLiteAnomalyTest, Anomaly1UpgradeWaitsForCommitConfirmation) {
+  cluster_.set_delay_commit_confirmations(true);
+
+  // Multi-shard writer: commits at the GTM; confirmations stay queued.
+  Txn writer = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(writer.Update("t", ka_, {ka_, Value(1)}).ok());
+  ASSERT_TRUE(writer.Update("t", kb_, {kb_, Value(1)}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_GT(cluster_.dn(0)->pending_commit_count(), 0u);
+  EXPECT_GT(cluster_.dn(1)->pending_commit_count(), 0u);
+
+  // Reader begins after the GTM commit: its global snapshot proves the
+  // writer committed, but both DNs still see it as prepared.
+  Txn reader = cluster_.Begin(TxnScope::kMultiShard);
+  EXPECT_EQ(MustRead(reader, ka_), 1);
+  EXPECT_EQ(MustRead(reader, kb_), 1);
+  EXPECT_GE(reader.upgrades(), 2);
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
+TEST_F(GtmLiteAnomalyTest, Anomaly1NoWaitWhenConfirmationsAlreadyLanded) {
+  Txn writer = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(writer.Update("t", ka_, {ka_, Value(1)}).ok());
+  ASSERT_TRUE(writer.Update("t", kb_, {kb_, Value(1)}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  Txn reader = cluster_.Begin(TxnScope::kMultiShard);
+  EXPECT_EQ(MustRead(reader, ka_), 1);
+  EXPECT_EQ(MustRead(reader, kb_), 1);
+  EXPECT_EQ(reader.upgrades(), 0);
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly2 (paper Fig. 2): reader's global snapshot is OLD (writer T1 still
+// active in it) but its local snapshot is NEW (T1 and a dependent
+// single-shard T3 already committed locally). Without DOWNGRADE the reader
+// would see T3's update but not T1's — the anomaly. With DOWNGRADE it sees
+// neither: the consistent pre-T1 state.
+// ---------------------------------------------------------------------------
+TEST_F(GtmLiteAnomalyTest, Anomaly2DowngradeHidesDependentLocalCommits) {
+  // T2 (reader) begins first: its global snapshot will list T1 as active.
+  Txn t1 = cluster_.Begin(TxnScope::kMultiShard);
+  Txn t2 = cluster_.Begin(TxnScope::kMultiShard);
+
+  // T1: multi-shard write a=1 (DN0) and b=1 (DN1); full commit.
+  ASSERT_TRUE(t1.Update("t", ka_, {ka_, Value(1)}).ok());
+  ASSERT_TRUE(t1.Update("t", kb_, {kb_, Value(1)}).ok());
+  ASSERT_TRUE(t1.Commit().ok());
+
+  // T3: same session as T1, single-shard dependent write a=2 on DN0.
+  Txn t3 = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t3.Update("t", ka_, {ka_, Value(2)}).ok());
+  ASSERT_TRUE(t3.Commit().ok());
+
+  // T2 now reads a: local snapshot (taken at first touch, i.e. now) has T1
+  // and T3 committed; global snapshot says T1 active. DOWNGRADE must hide
+  // both, yielding the original a=0, NOT the anomalous a=2.
+  EXPECT_EQ(MustRead(t2, ka_), 0);
+  EXPECT_GE(t2.downgrades(), 1);
+  ASSERT_TRUE(t2.Commit().ok());
+
+  // A fresh reader sees the final state a=2, b=1.
+  Txn t4 = cluster_.Begin(TxnScope::kMultiShard);
+  EXPECT_EQ(MustRead(t4, ka_), 2);
+  EXPECT_EQ(MustRead(t4, kb_), 1);
+  EXPECT_EQ(t4.downgrades(), 0);
+  ASSERT_TRUE(t4.Commit().ok());
+}
+
+// The exact Fig. 2 tuple-chain walkthrough at the storage level: after T1
+// (delete tuple1, insert tuple2) and T3 (update tuple2 -> tuple3), the key's
+// version chain holds three versions with the paper's xmin/xmax pattern.
+TEST_F(GtmLiteAnomalyTest, Fig2VersionChainShape) {
+  Txn t1 = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(t1.Update("t", ka_, {ka_, Value(1)}).ok());
+  ASSERT_TRUE(t1.Update("t", kb_, {kb_, Value(1)}).ok());
+  ASSERT_TRUE(t1.Commit().ok());
+  Txn t3 = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t3.Update("t", ka_, {ka_, Value(2)}).ok());
+  ASSERT_TRUE(t3.Commit().ok());
+
+  auto table = cluster_.dn(0)->GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const auto* chain = (*table)->Versions(ka_);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_EQ(chain->size(), 3u);
+  // tuple1: xmax = T1; tuple2: xmin = T1, xmax = T3; tuple3: xmin = T3.
+  EXPECT_NE((*chain)[0].xmax, txn::kInvalidXid);
+  EXPECT_EQ((*chain)[1].xmin, (*chain)[0].xmax);
+  EXPECT_EQ((*chain)[2].xmin, (*chain)[1].xmax);
+  EXPECT_EQ((*chain)[2].xmax, txn::kInvalidXid);
+  EXPECT_EQ((*chain)[0].data[1].AsInt(), 0);
+  EXPECT_EQ((*chain)[1].data[1].AsInt(), 1);
+  EXPECT_EQ((*chain)[2].data[1].AsInt(), 2);
+}
+
+// An old global snapshot alone (no dependent T3) must also hide T1's
+// locally committed writes — the simple half of Anomaly2.
+TEST_F(GtmLiteAnomalyTest, OldGlobalSnapshotHidesCommittedWriter) {
+  Txn reader = cluster_.Begin(TxnScope::kMultiShard);
+  Txn writer = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(writer.Update("t", ka_, {ka_, Value(42)}).ok());
+  ASSERT_TRUE(writer.Update("t", kb_, {kb_, Value(42)}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  EXPECT_EQ(MustRead(reader, ka_), 0);
+  EXPECT_EQ(MustRead(reader, kb_), 0);
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
+// Consistency across shards: a multi-shard reader must see a multi-shard
+// writer's effects on ALL shards or NONE, under any begin interleaving.
+TEST_F(GtmLiteAnomalyTest, MultiShardReadsAreAllOrNothing) {
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    bool reader_first = iteration % 2 == 0;
+    Txn writer = cluster_.Begin(TxnScope::kMultiShard);
+    std::optional<Txn> reader;
+    if (reader_first) reader.emplace(cluster_.Begin(TxnScope::kMultiShard));
+    ASSERT_TRUE(writer.Update("t", ka_, {ka_, Value(100 + iteration)}).ok());
+    ASSERT_TRUE(writer.Update("t", kb_, {kb_, Value(100 + iteration)}).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+    if (!reader_first) reader.emplace(cluster_.Begin(TxnScope::kMultiShard));
+
+    int64_t va = MustRead(*reader, ka_);
+    int64_t vb = MustRead(*reader, kb_);
+    EXPECT_EQ(va, vb) << "torn read at iteration " << iteration;
+    ASSERT_TRUE(reader->Commit().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol plumbing.
+// ---------------------------------------------------------------------------
+TEST_F(GtmLiteAnomalyTest, SingleShardTxnNeverContactsGtm) {
+  uint64_t before = cluster_.gtm().requests_served();
+  Txn t = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t.Update("t", ka_, {ka_, Value(5)}).ok());
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_EQ(cluster_.gtm().requests_served(), before);
+}
+
+TEST_F(GtmLiteAnomalyTest, SingleShardTxnRejectsSecondShard) {
+  Txn t = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t.Update("t", ka_, {ka_, Value(5)}).ok());
+  EXPECT_TRUE(t.Update("t", kb_, {kb_, Value(5)}).IsInvalidArgument());
+  ASSERT_TRUE(t.Abort().ok());
+}
+
+TEST_F(GtmLiteAnomalyTest, AbortRollsBackAcrossShards) {
+  Txn t = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(t.Update("t", ka_, {ka_, Value(77)}).ok());
+  ASSERT_TRUE(t.Update("t", kb_, {kb_, Value(77)}).ok());
+  ASSERT_TRUE(t.Abort().ok());
+
+  Txn r = cluster_.Begin(TxnScope::kMultiShard);
+  EXPECT_EQ(MustRead(r, ka_), 0);
+  EXPECT_EQ(MustRead(r, kb_), 0);
+  ASSERT_TRUE(r.Commit().ok());
+
+  // And the key is writable again (no stranded xmax).
+  Txn w = cluster_.Begin(TxnScope::kSingleShard);
+  EXPECT_TRUE(w.Update("t", ka_, {ka_, Value(78)}).ok());
+  ASSERT_TRUE(w.Commit().ok());
+}
+
+TEST_F(GtmLiteAnomalyTest, CommittedTxnCannotBeAborted) {
+  Txn t = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t.Update("t", ka_, {ka_, Value(9)}).ok());
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_TRUE(t.Abort().IsInvalidArgument());
+  // The committed value survives.
+  Txn r = cluster_.Begin(TxnScope::kSingleShard);
+  EXPECT_EQ(MustRead(r, ka_), 9);
+  ASSERT_TRUE(r.Commit().ok());
+}
+
+TEST_F(GtmLiteAnomalyTest, WriteWriteConflictAcrossProtocols) {
+  Txn w1 = cluster_.Begin(TxnScope::kSingleShard);
+  Txn w2 = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(w1.Update("t", ka_, {ka_, Value(1)}).ok());
+  EXPECT_TRUE(w2.Update("t", ka_, {ka_, Value(2)}).IsAborted());
+  ASSERT_TRUE(w2.Abort().ok());
+  ASSERT_TRUE(w1.Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline protocol sanity: global snapshots make reads consistent without
+// any merge machinery.
+// ---------------------------------------------------------------------------
+class BaselineProtocolTest : public ::testing::Test {
+ protected:
+  BaselineProtocolTest() : cluster_(2, Protocol::kBaselineGtm) {
+    EXPECT_TRUE(cluster_.CreateTable("t", KvSchema()).ok());
+    ka_ = KeyOnShard(cluster_, 0);
+    kb_ = KeyOnShard(cluster_, 1);
+    for (const Value& k : {ka_, kb_}) {
+      Txn t = cluster_.Begin(TxnScope::kSingleShard);
+      EXPECT_TRUE(t.Insert("t", k, {k, Value(0)}).ok());
+      EXPECT_TRUE(t.Commit().ok());
+    }
+  }
+  Cluster cluster_;
+  Value ka_, kb_;
+};
+
+TEST_F(BaselineProtocolTest, EveryTxnContactsGtm) {
+  uint64_t before = cluster_.gtm().requests_served();
+  Txn t = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t.Update("t", ka_, {ka_, Value(1)}).ok());
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_GT(cluster_.gtm().requests_served(), before);
+}
+
+TEST_F(BaselineProtocolTest, GlobalSnapshotConsistentAcrossShards) {
+  Txn reader = cluster_.Begin(TxnScope::kMultiShard);
+  Txn writer = cluster_.Begin(TxnScope::kMultiShard);
+  ASSERT_TRUE(writer.Update("t", ka_, {ka_, Value(9)}).ok());
+  ASSERT_TRUE(writer.Update("t", kb_, {kb_, Value(9)}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  auto ra = reader.Read("t", ka_);
+  auto rb = reader.Read("t", kb_);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ((*ra)[1].AsInt(), 0);
+  EXPECT_EQ((*rb)[1].AsInt(), 0);
+  ASSERT_TRUE(reader.Commit().ok());
+
+  Txn fresh = cluster_.Begin(TxnScope::kMultiShard);
+  EXPECT_EQ(fresh.Read("t", ka_).ValueOrDie()[1].AsInt(), 9);
+  EXPECT_EQ(fresh.Read("t", kb_).ValueOrDie()[1].AsInt(), 9);
+  ASSERT_TRUE(fresh.Commit().ok());
+}
+
+}  // namespace
+}  // namespace ofi::cluster

@@ -1,0 +1,197 @@
+/// Unit tests for Algorithm 1 (MergeSnapshot) in isolation: upgrade,
+/// downgrade, LCO-suffix tainting, horizon pruning.
+#include "txn/merge_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/gtm.h"
+#include "txn/local_txn_manager.h"
+
+namespace ofi::txn {
+namespace {
+
+CommitWaiter NoWait() {
+  return [](Xid, Gxid) {
+    ADD_FAILURE() << "unexpected UPGRADE wait";
+    return TxnState::kCommitted;
+  };
+}
+
+TEST(MergeSnapshotTest, GloballyActiveLocalCommitHidden) {
+  LocalTxnManager mgr;
+  // Multi-shard T1 commits locally but is active in the reader's global
+  // snapshot (gxid 10).
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+
+  Snapshot global{.xmin = 10, .xmax = 11, .active = {10}};
+  Snapshot local = mgr.TakeSnapshot();
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+
+  VisibilityChecker vis(&merged, &mgr.clog(), /*reader=*/999);
+  EXPECT_FALSE(vis.XidVisible(t1));
+}
+
+TEST(MergeSnapshotTest, UpgradeWaitsForPreparedTxn) {
+  LocalTxnManager mgr;
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Prepare(t1).ok());
+
+  // Global snapshot: gxid 10 already committed (not in active, < xmax).
+  Snapshot global{.xmin = 11, .xmax = 11, .active = {}};
+  Snapshot local = mgr.TakeSnapshot();
+
+  int waits = 0;
+  auto waiter = [&](Xid lxid, Gxid gxid) {
+    EXPECT_EQ(lxid, t1);
+    EXPECT_EQ(gxid, 10u);
+    ++waits;
+    EXPECT_TRUE(mgr.Commit(lxid, gxid).ok());
+    return TxnState::kCommitted;
+  };
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), waiter);
+  EXPECT_EQ(waits, 1);
+  EXPECT_EQ(merged.upgrades, 1);
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_TRUE(vis.XidVisible(t1));
+}
+
+TEST(MergeSnapshotTest, UpgradeOfAbortedTxnStaysInvisible) {
+  LocalTxnManager mgr;
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Prepare(t1).ok());
+
+  Snapshot global{.xmin = 11, .xmax = 11, .active = {}};
+  Snapshot local = mgr.TakeSnapshot();
+  auto waiter = [&](Xid lxid, Gxid) {
+    EXPECT_TRUE(mgr.Abort(lxid).ok());
+    return TxnState::kAborted;
+  };
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), waiter);
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_FALSE(vis.XidVisible(t1));
+}
+
+TEST(MergeSnapshotTest, LcoSuffixDowngradesDependents) {
+  LocalTxnManager mgr;
+  // LCO: [S1(local), T1(gxid 10), S2(local), T2(gxid 11)].
+  Xid s1 = mgr.Begin();
+  ASSERT_TRUE(mgr.Commit(s1).ok());
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+  Xid s2 = mgr.Begin();
+  ASSERT_TRUE(mgr.Commit(s2).ok());
+  Xid t2 = mgr.Begin();
+  mgr.BindGxid(t2, 11);
+  ASSERT_TRUE(mgr.Commit(t2, 11).ok());
+
+  // Reader's global snapshot: T1 (gxid 10) active, T2 (gxid 11) unborn.
+  Snapshot global{.xmin = 10, .xmax = 11, .active = {10}};
+  Snapshot local = mgr.TakeSnapshot();
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_TRUE(vis.XidVisible(s1));    // before the taint: visible
+  EXPECT_FALSE(vis.XidVisible(t1));   // globally active
+  EXPECT_FALSE(vis.XidVisible(s2));   // downgraded (after T1 in LCO)
+  EXPECT_FALSE(vis.XidVisible(t2));   // downgraded + unborn globally
+  EXPECT_GE(merged.downgrades, 2);
+}
+
+TEST(MergeSnapshotTest, CleanMergeNoAdjustments) {
+  LocalTxnManager mgr;
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+  // Global snapshot sees gxid 10 as committed.
+  Snapshot global{.xmin = 11, .xmax = 11, .active = {}};
+  Snapshot local = mgr.TakeSnapshot();
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+  EXPECT_EQ(merged.upgrades, 0);
+  EXPECT_EQ(merged.downgrades, 0);
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_TRUE(vis.XidVisible(t1));
+}
+
+TEST(MergeSnapshotTest, MergedXminCoversDowngradedXids) {
+  LocalTxnManager mgr;
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+  for (int i = 0; i < 5; ++i) {
+    Xid s = mgr.Begin();
+    ASSERT_TRUE(mgr.Commit(s).ok());
+  }
+  Snapshot global{.xmin = 10, .xmax = 11, .active = {10}};
+  Snapshot local = mgr.TakeSnapshot();
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+  for (Xid x : merged.local.active) {
+    EXPECT_GE(x, merged.local.xmin);
+  }
+}
+
+TEST(CommitLogTest, PruneBelowHorizon) {
+  CommitLog clog;
+  // Three multi-shard commits with gxids 5, 10, 15 plus local ones between.
+  for (int i = 0; i < 3; ++i) {
+    Xid x = static_cast<Xid>(i * 2 + 1);
+    clog.Begin(x);
+    clog.MapGxid(5 + 5 * i, x);
+    ASSERT_TRUE(clog.Commit(x, 5 + 5 * i).ok());
+    Xid local = x + 1;
+    clog.Begin(local);
+    ASSERT_TRUE(clog.Commit(local).ok());
+  }
+  ASSERT_EQ(clog.lco().size(), 6u);
+
+  clog.PruneBelowHorizon(/*horizon=*/11);
+  // Entries up to (gxid 10 + its trailing local) pruned; gxid 15 kept.
+  ASSERT_EQ(clog.lco().size(), 2u);
+  EXPECT_EQ(clog.lco()[0].gxid, 15u);
+  EXPECT_EQ(clog.LocalXidFor(5), kInvalidXid);
+  EXPECT_EQ(clog.LocalXidFor(10), kInvalidXid);
+  EXPECT_NE(clog.LocalXidFor(15), kInvalidXid);
+  // States survive pruning (tuple visibility still needs them).
+  EXPECT_TRUE(clog.IsCommitted(1));
+}
+
+TEST(CommitLogTest, PruneKeepsPreparedMappings) {
+  CommitLog clog;
+  clog.Begin(1);
+  clog.MapGxid(5, 1);
+  ASSERT_TRUE(clog.Prepare(1).ok());
+  clog.PruneBelowHorizon(100);
+  // Still prepared: the mapping must survive for a future UPGRADE wait.
+  EXPECT_EQ(clog.LocalXidFor(5), 1u);
+}
+
+TEST(GtmTest, SafeHorizonTracksOldestSnapshot) {
+  Gtm gtm;
+  Gxid g1 = gtm.BeginGlobal();
+  EXPECT_EQ(gtm.SafeHorizon(), g1);
+  Gxid g2 = gtm.BeginGlobal();
+  // g2's snapshot can reference g1; horizon stays at g1 even after g1 ends.
+  ASSERT_TRUE(gtm.CommitGlobal(g1).ok());
+  EXPECT_EQ(gtm.SafeHorizon(), g1);
+  ASSERT_TRUE(gtm.CommitGlobal(g2).ok());
+  EXPECT_EQ(gtm.SafeHorizon(), gtm.next_gxid());
+}
+
+TEST(GtmTest, CommitAbortStateMachine) {
+  Gtm gtm;
+  Gxid g = gtm.BeginGlobal();
+  ASSERT_TRUE(gtm.CommitGlobal(g).ok());
+  EXPECT_TRUE(gtm.IsCommitted(g));
+  EXPECT_TRUE(gtm.AbortGlobal(g).IsInvalidArgument());
+  Gxid g2 = gtm.BeginGlobal();
+  ASSERT_TRUE(gtm.AbortGlobal(g2).ok());
+  EXPECT_TRUE(gtm.CommitGlobal(g2).IsInvalidArgument());
+  EXPECT_TRUE(gtm.CommitGlobal(9999).IsNotFound());
+}
+
+}  // namespace
+}  // namespace ofi::txn

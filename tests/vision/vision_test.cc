@@ -1,0 +1,108 @@
+#include "vision/vision.h"
+
+#include <gtest/gtest.h>
+
+namespace ofi::vision {
+namespace {
+
+Detection Det(int64_t frame, Timestamp ts, const char* label, double conf,
+              BBox box) {
+  Detection d;
+  d.frame = frame;
+  d.ts = ts;
+  d.label = label;
+  d.confidence = conf;
+  d.bbox = box;
+  return d;
+}
+
+TEST(BBoxTest, IouBasics) {
+  BBox a{0, 0, 10, 10}, b{5, 5, 10, 10}, c{100, 100, 1, 1};
+  EXPECT_NEAR(a.Iou(b), 25.0 / 175.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.Iou(c), 0.0);
+  EXPECT_DOUBLE_EQ(a.Iou(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.Center().x, 5.0);
+}
+
+TEST(VisionStoreTest, QueryByLabelTimeConfidence) {
+  VisionStore store;
+  store.Ingest(Det(1, 100, "car", 0.9, {0, 0, 5, 5}));
+  store.Ingest(Det(1, 100, "pedestrian", 0.8, {10, 0, 2, 4}));
+  store.Ingest(Det(2, 200, "car", 0.4, {1, 0, 5, 5}));
+  store.Ingest(Det(3, 300, "car", 0.95, {2, 0, 5, 5}));
+
+  EXPECT_EQ(store.Query("car", 0, 1000).size(), 3u);
+  EXPECT_EQ(store.Query("car", 0, 1000, 0.5).size(), 2u);
+  EXPECT_EQ(store.Query("car", 150, 250).size(), 1u);
+  EXPECT_EQ(store.Query("bicycle", 0, 1000).size(), 0u);
+}
+
+TEST(VisionStoreTest, GreedyIouTrackingLinksDetections) {
+  VisionStore store;
+  // A car moving right ~2px/frame: boxes overlap heavily -> one track.
+  for (int f = 0; f < 5; ++f) {
+    store.Ingest(Det(f, f * 33, "car", 0.9,
+                     {static_cast<double>(f * 2), 0, 20, 10}));
+  }
+  // Another car far away -> second track.
+  store.Ingest(Det(0, 0, "car", 0.9, {500, 500, 20, 10}));
+
+  EXPECT_EQ(store.num_tracks(), 2);
+  auto track0 = store.Track(0);
+  ASSERT_EQ(track0.size(), 5u);
+  // Time-ordered path.
+  for (size_t i = 1; i < track0.size(); ++i) {
+    EXPECT_LT(track0[i - 1]->ts, track0[i]->ts);
+  }
+}
+
+TEST(VisionStoreTest, TrackingRespectsLabels) {
+  VisionStore store;
+  store.Ingest(Det(0, 0, "car", 0.9, {0, 0, 10, 10}));
+  // Same place, later frame, different label: must NOT join the car track.
+  store.Ingest(Det(1, 33, "pedestrian", 0.9, {0, 0, 10, 10}));
+  EXPECT_EQ(store.num_tracks(), 2);
+}
+
+TEST(VisionStoreTest, DistinctTracksCountsObjectsNotDetections) {
+  VisionStore store;
+  for (int f = 0; f < 10; ++f) {
+    store.Ingest(Det(f, f * 33, "car", 0.9,
+                     {static_cast<double>(f), 0, 20, 10}));
+  }
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.DistinctTracks("car", 0, 1000), 1);
+}
+
+TEST(VisionStoreTest, CountByLabelWindow) {
+  VisionStore store;
+  store.Ingest(Det(0, 10, "car", 0.9, {0, 0, 5, 5}));
+  store.Ingest(Det(0, 10, "pedestrian", 0.9, {9, 0, 2, 4}));
+  store.Ingest(Det(1, 500, "car", 0.9, {100, 0, 5, 5}));
+  auto counts = store.CountByLabel(0, 100);
+  EXPECT_EQ(counts["car"], 1);
+  EXPECT_EQ(counts["pedestrian"], 1);
+  EXPECT_EQ(store.CountByLabel(0, 1000)["car"], 2);
+}
+
+TEST(VisionStoreTest, ExplicitTrackIdsHonored) {
+  VisionStore store;
+  Detection d = Det(0, 0, "car", 0.9, {0, 0, 5, 5});
+  d.track = 42;
+  store.Ingest(d);
+  EXPECT_EQ(store.Track(42).size(), 1u);
+  EXPECT_GE(store.num_tracks(), 43);
+}
+
+TEST(VisionStoreTest, RelationalView) {
+  VisionStore store;
+  store.Ingest(Det(7, 123, "car", 0.87, {1, 2, 3, 4}));
+  sql::Table t = store.AsTable();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.schema().num_columns(), 10u);
+  EXPECT_EQ(t.rows()[0][3].AsString(), "car");
+  EXPECT_DOUBLE_EQ(t.rows()[0][4].AsDouble(), 0.87);
+}
+
+}  // namespace
+}  // namespace ofi::vision
