@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autodb.dir/bench_autodb.cc.o"
+  "CMakeFiles/bench_autodb.dir/bench_autodb.cc.o.d"
+  "bench_autodb"
+  "bench_autodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_sync.dir/bench_edge_sync.cc.o"
+  "CMakeFiles/bench_edge_sync.dir/bench_edge_sync.cc.o.d"
+  "bench_edge_sync"
+  "bench_edge_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmdb_kv.dir/bench_gmdb_kv.cc.o"
+  "CMakeFiles/bench_gmdb_kv.dir/bench_gmdb_kv.cc.o.d"
+  "bench_gmdb_kv"
+  "bench_gmdb_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmdb_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_gmdb_kv.
+# This may be replaced when dependencies are built.

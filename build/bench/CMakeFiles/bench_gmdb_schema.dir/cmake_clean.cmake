@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmdb_schema.dir/bench_gmdb_schema.cc.o"
+  "CMakeFiles/bench_gmdb_schema.dir/bench_gmdb_schema.cc.o.d"
+  "bench_gmdb_schema"
+  "bench_gmdb_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmdb_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

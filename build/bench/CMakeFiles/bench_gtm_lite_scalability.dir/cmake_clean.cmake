@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gtm_lite_scalability.dir/bench_gtm_lite_scalability.cc.o"
+  "CMakeFiles/bench_gtm_lite_scalability.dir/bench_gtm_lite_scalability.cc.o.d"
+  "bench_gtm_lite_scalability"
+  "bench_gtm_lite_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gtm_lite_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

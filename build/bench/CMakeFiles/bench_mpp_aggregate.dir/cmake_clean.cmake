@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpp_aggregate.dir/bench_mpp_aggregate.cc.o"
+  "CMakeFiles/bench_mpp_aggregate.dir/bench_mpp_aggregate.cc.o.d"
+  "bench_mpp_aggregate"
+  "bench_mpp_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpp_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multimodel.dir/bench_multimodel.cc.o"
+  "CMakeFiles/bench_multimodel.dir/bench_multimodel.cc.o.d"
+  "bench_multimodel"
+  "bench_multimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_store.dir/bench_plan_store.cc.o"
+  "CMakeFiles/bench_plan_store.dir/bench_plan_store.cc.o.d"
+  "bench_plan_store"
+  "bench_plan_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_merge.dir/bench_snapshot_merge.cc.o"
+  "CMakeFiles/bench_snapshot_merge.dir/bench_snapshot_merge.cc.o.d"
+  "bench_snapshot_merge"
+  "bench_snapshot_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

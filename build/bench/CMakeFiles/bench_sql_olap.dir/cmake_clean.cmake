@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sql_olap.dir/bench_sql_olap.cc.o"
+  "CMakeFiles/bench_sql_olap.dir/bench_sql_olap.cc.o.d"
+  "bench_sql_olap"
+  "bench_sql_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sql_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

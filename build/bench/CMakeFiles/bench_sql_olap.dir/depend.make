@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sql_olap.
+# This may be replaced when dependencies are built.

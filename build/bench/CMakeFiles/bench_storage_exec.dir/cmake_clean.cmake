@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_exec.dir/bench_storage_exec.cc.o"
+  "CMakeFiles/bench_storage_exec.dir/bench_storage_exec.cc.o.d"
+  "bench_storage_exec"
+  "bench_storage_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

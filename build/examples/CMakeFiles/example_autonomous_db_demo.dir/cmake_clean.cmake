@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autonomous_db_demo.dir/autonomous_db_demo.cpp.o"
+  "CMakeFiles/example_autonomous_db_demo.dir/autonomous_db_demo.cpp.o.d"
+  "example_autonomous_db_demo"
+  "example_autonomous_db_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autonomous_db_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

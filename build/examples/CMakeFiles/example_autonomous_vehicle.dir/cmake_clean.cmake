@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autonomous_vehicle.dir/autonomous_vehicle.cpp.o"
+  "CMakeFiles/example_autonomous_vehicle.dir/autonomous_vehicle.cpp.o.d"
+  "example_autonomous_vehicle"
+  "example_autonomous_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autonomous_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

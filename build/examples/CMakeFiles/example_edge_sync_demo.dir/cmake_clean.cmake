@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_sync_demo.dir/edge_sync_demo.cpp.o"
+  "CMakeFiles/example_edge_sync_demo.dir/edge_sync_demo.cpp.o.d"
+  "example_edge_sync_demo"
+  "example_edge_sync_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_sync_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

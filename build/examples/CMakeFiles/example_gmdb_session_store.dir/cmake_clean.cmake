@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gmdb_session_store.dir/gmdb_session_store.cpp.o"
+  "CMakeFiles/example_gmdb_session_store.dir/gmdb_session_store.cpp.o.d"
+  "example_gmdb_session_store"
+  "example_gmdb_session_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gmdb_session_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_gmdb_session_store.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_htap_report.dir/htap_report.cpp.o"
+  "CMakeFiles/example_htap_report.dir/htap_report.cpp.o.d"
+  "example_htap_report"
+  "example_htap_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_htap_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

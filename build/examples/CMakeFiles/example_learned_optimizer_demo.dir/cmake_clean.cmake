@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_learned_optimizer_demo.dir/learned_optimizer_demo.cpp.o"
+  "CMakeFiles/example_learned_optimizer_demo.dir/learned_optimizer_demo.cpp.o.d"
+  "example_learned_optimizer_demo"
+  "example_learned_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_learned_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_learned_optimizer_demo.
+# This may be replaced when dependencies are built.

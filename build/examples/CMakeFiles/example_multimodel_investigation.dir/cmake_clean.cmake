@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multimodel_investigation.dir/multimodel_investigation.cpp.o"
+  "CMakeFiles/example_multimodel_investigation.dir/multimodel_investigation.cpp.o.d"
+  "example_multimodel_investigation"
+  "example_multimodel_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multimodel_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

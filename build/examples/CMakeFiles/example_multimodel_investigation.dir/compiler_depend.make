@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_multimodel_investigation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_shell.dir/sql_shell.cpp.o"
+  "CMakeFiles/example_sql_shell.dir/sql_shell.cpp.o.d"
+  "example_sql_shell"
+  "example_sql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sql")
+subdirs("txn")
+subdirs("storage")
+subdirs("cluster")
+subdirs("optimizer")
+subdirs("graph")
+subdirs("timeseries")
+subdirs("spatial")
+subdirs("streaming")
+subdirs("vision")
+subdirs("multimodel")
+subdirs("gmdb")
+subdirs("autodb")
+subdirs("edge")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodb/access_guard.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/access_guard.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/access_guard.cc.o.d"
+  "/root/repo/src/autodb/anomaly_manager.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/anomaly_manager.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/anomaly_manager.cc.o.d"
+  "/root/repo/src/autodb/change_manager.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/change_manager.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/change_manager.cc.o.d"
+  "/root/repo/src/autodb/info_store.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/info_store.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/info_store.cc.o.d"
+  "/root/repo/src/autodb/ml.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/ml.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/ml.cc.o.d"
+  "/root/repo/src/autodb/workload_manager.cc" "src/autodb/CMakeFiles/ofi_autodb.dir/workload_manager.cc.o" "gcc" "src/autodb/CMakeFiles/ofi_autodb.dir/workload_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/ofi_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

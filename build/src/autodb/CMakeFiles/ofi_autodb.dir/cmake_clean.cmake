@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_autodb.dir/access_guard.cc.o"
+  "CMakeFiles/ofi_autodb.dir/access_guard.cc.o.d"
+  "CMakeFiles/ofi_autodb.dir/anomaly_manager.cc.o"
+  "CMakeFiles/ofi_autodb.dir/anomaly_manager.cc.o.d"
+  "CMakeFiles/ofi_autodb.dir/change_manager.cc.o"
+  "CMakeFiles/ofi_autodb.dir/change_manager.cc.o.d"
+  "CMakeFiles/ofi_autodb.dir/info_store.cc.o"
+  "CMakeFiles/ofi_autodb.dir/info_store.cc.o.d"
+  "CMakeFiles/ofi_autodb.dir/ml.cc.o"
+  "CMakeFiles/ofi_autodb.dir/ml.cc.o.d"
+  "CMakeFiles/ofi_autodb.dir/workload_manager.cc.o"
+  "CMakeFiles/ofi_autodb.dir/workload_manager.cc.o.d"
+  "libofi_autodb.a"
+  "libofi_autodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_autodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

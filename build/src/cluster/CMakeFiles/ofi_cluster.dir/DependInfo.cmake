@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/ofi_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/ofi_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/data_node.cc" "src/cluster/CMakeFiles/ofi_cluster.dir/data_node.cc.o" "gcc" "src/cluster/CMakeFiles/ofi_cluster.dir/data_node.cc.o.d"
+  "/root/repo/src/cluster/mpp_query.cc" "src/cluster/CMakeFiles/ofi_cluster.dir/mpp_query.cc.o" "gcc" "src/cluster/CMakeFiles/ofi_cluster.dir/mpp_query.cc.o.d"
+  "/root/repo/src/cluster/replication.cc" "src/cluster/CMakeFiles/ofi_cluster.dir/replication.cc.o" "gcc" "src/cluster/CMakeFiles/ofi_cluster.dir/replication.cc.o.d"
+  "/root/repo/src/cluster/tpcc_workload.cc" "src/cluster/CMakeFiles/ofi_cluster.dir/tpcc_workload.cc.o" "gcc" "src/cluster/CMakeFiles/ofi_cluster.dir/tpcc_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ofi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ofi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ofi_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/ofi_cluster.dir/data_node.cc.o"
+  "CMakeFiles/ofi_cluster.dir/data_node.cc.o.d"
+  "CMakeFiles/ofi_cluster.dir/mpp_query.cc.o"
+  "CMakeFiles/ofi_cluster.dir/mpp_query.cc.o.d"
+  "CMakeFiles/ofi_cluster.dir/replication.cc.o"
+  "CMakeFiles/ofi_cluster.dir/replication.cc.o.d"
+  "CMakeFiles/ofi_cluster.dir/tpcc_workload.cc.o"
+  "CMakeFiles/ofi_cluster.dir/tpcc_workload.cc.o.d"
+  "libofi_cluster.a"
+  "libofi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_common.dir/logging.cc.o"
+  "CMakeFiles/ofi_common.dir/logging.cc.o.d"
+  "CMakeFiles/ofi_common.dir/md5.cc.o"
+  "CMakeFiles/ofi_common.dir/md5.cc.o.d"
+  "CMakeFiles/ofi_common.dir/status.cc.o"
+  "CMakeFiles/ofi_common.dir/status.cc.o.d"
+  "libofi_common.a"
+  "libofi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_edge.dir/mbaas.cc.o"
+  "CMakeFiles/ofi_edge.dir/mbaas.cc.o.d"
+  "CMakeFiles/ofi_edge.dir/platform.cc.o"
+  "CMakeFiles/ofi_edge.dir/platform.cc.o.d"
+  "CMakeFiles/ofi_edge.dir/versioned_store.cc.o"
+  "CMakeFiles/ofi_edge.dir/versioned_store.cc.o.d"
+  "libofi_edge.a"
+  "libofi_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmdb/cluster.cc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/cluster.cc.o" "gcc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/cluster.cc.o.d"
+  "/root/repo/src/gmdb/schema_registry.cc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/schema_registry.cc.o" "gcc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/schema_registry.cc.o.d"
+  "/root/repo/src/gmdb/store.cc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/store.cc.o" "gcc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/store.cc.o.d"
+  "/root/repo/src/gmdb/tree_object.cc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/tree_object.cc.o" "gcc" "src/gmdb/CMakeFiles/ofi_gmdb.dir/tree_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

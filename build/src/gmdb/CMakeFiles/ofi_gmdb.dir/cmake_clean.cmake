@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_gmdb.dir/cluster.cc.o"
+  "CMakeFiles/ofi_gmdb.dir/cluster.cc.o.d"
+  "CMakeFiles/ofi_gmdb.dir/schema_registry.cc.o"
+  "CMakeFiles/ofi_gmdb.dir/schema_registry.cc.o.d"
+  "CMakeFiles/ofi_gmdb.dir/store.cc.o"
+  "CMakeFiles/ofi_gmdb.dir/store.cc.o.d"
+  "CMakeFiles/ofi_gmdb.dir/tree_object.cc.o"
+  "CMakeFiles/ofi_gmdb.dir/tree_object.cc.o.d"
+  "libofi_gmdb.a"
+  "libofi_gmdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_gmdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

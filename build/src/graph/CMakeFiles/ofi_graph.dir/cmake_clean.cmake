@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_graph.dir/property_graph.cc.o"
+  "CMakeFiles/ofi_graph.dir/property_graph.cc.o.d"
+  "CMakeFiles/ofi_graph.dir/traversal.cc.o"
+  "CMakeFiles/ofi_graph.dir/traversal.cc.o.d"
+  "libofi_graph.a"
+  "libofi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_multimodel.dir/multimodel.cc.o"
+  "CMakeFiles/ofi_multimodel.dir/multimodel.cc.o.d"
+  "libofi_multimodel.a"
+  "libofi_multimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_multimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

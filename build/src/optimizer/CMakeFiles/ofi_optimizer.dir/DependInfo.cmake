@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan_store.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/plan_store.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/plan_store.cc.o.d"
+  "/root/repo/src/optimizer/sql_session.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/sql_session.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/sql_session.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/stats.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/stats.cc.o.d"
+  "/root/repo/src/optimizer/step_text.cc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/step_text.cc.o" "gcc" "src/optimizer/CMakeFiles/ofi_optimizer.dir/step_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/ofi_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/ofi_optimizer.dir/plan_store.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/plan_store.cc.o.d"
+  "CMakeFiles/ofi_optimizer.dir/sql_session.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/sql_session.cc.o.d"
+  "CMakeFiles/ofi_optimizer.dir/stats.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/stats.cc.o.d"
+  "CMakeFiles/ofi_optimizer.dir/step_text.cc.o"
+  "CMakeFiles/ofi_optimizer.dir/step_text.cc.o.d"
+  "libofi_optimizer.a"
+  "libofi_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_spatial.dir/spatial.cc.o"
+  "CMakeFiles/ofi_spatial.dir/spatial.cc.o.d"
+  "libofi_spatial.a"
+  "libofi_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

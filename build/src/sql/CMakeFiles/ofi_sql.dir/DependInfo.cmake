@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/ofi_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/expr.cc" "src/sql/CMakeFiles/ofi_sql.dir/expr.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/expr.cc.o.d"
+  "/root/repo/src/sql/external_table.cc" "src/sql/CMakeFiles/ofi_sql.dir/external_table.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/external_table.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/ofi_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/ofi_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/plan.cc" "src/sql/CMakeFiles/ofi_sql.dir/plan.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/plan.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/sql/CMakeFiles/ofi_sql.dir/planner.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/planner.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/ofi_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/ofi_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/ofi_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/ofi_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_sql.dir/executor.cc.o"
+  "CMakeFiles/ofi_sql.dir/executor.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/expr.cc.o"
+  "CMakeFiles/ofi_sql.dir/expr.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/external_table.cc.o"
+  "CMakeFiles/ofi_sql.dir/external_table.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/lexer.cc.o"
+  "CMakeFiles/ofi_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/parser.cc.o"
+  "CMakeFiles/ofi_sql.dir/parser.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/plan.cc.o"
+  "CMakeFiles/ofi_sql.dir/plan.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/planner.cc.o"
+  "CMakeFiles/ofi_sql.dir/planner.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/schema.cc.o"
+  "CMakeFiles/ofi_sql.dir/schema.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/table.cc.o"
+  "CMakeFiles/ofi_sql.dir/table.cc.o.d"
+  "CMakeFiles/ofi_sql.dir/value.cc.o"
+  "CMakeFiles/ofi_sql.dir/value.cc.o.d"
+  "libofi_sql.a"
+  "libofi_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

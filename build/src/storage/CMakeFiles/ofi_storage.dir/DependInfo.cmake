@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/column_store.cc" "src/storage/CMakeFiles/ofi_storage.dir/column_store.cc.o" "gcc" "src/storage/CMakeFiles/ofi_storage.dir/column_store.cc.o.d"
+  "/root/repo/src/storage/mvcc_table.cc" "src/storage/CMakeFiles/ofi_storage.dir/mvcc_table.cc.o" "gcc" "src/storage/CMakeFiles/ofi_storage.dir/mvcc_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ofi_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_storage.dir/column_store.cc.o"
+  "CMakeFiles/ofi_storage.dir/column_store.cc.o.d"
+  "CMakeFiles/ofi_storage.dir/mvcc_table.cc.o"
+  "CMakeFiles/ofi_storage.dir/mvcc_table.cc.o.d"
+  "libofi_storage.a"
+  "libofi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

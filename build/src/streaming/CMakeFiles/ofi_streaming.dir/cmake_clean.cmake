@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_streaming.dir/streaming.cc.o"
+  "CMakeFiles/ofi_streaming.dir/streaming.cc.o.d"
+  "libofi_streaming.a"
+  "libofi_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_timeseries.dir/timeseries.cc.o"
+  "CMakeFiles/ofi_timeseries.dir/timeseries.cc.o.d"
+  "libofi_timeseries.a"
+  "libofi_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

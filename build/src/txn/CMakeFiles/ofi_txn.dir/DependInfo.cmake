@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/commit_log.cc" "src/txn/CMakeFiles/ofi_txn.dir/commit_log.cc.o" "gcc" "src/txn/CMakeFiles/ofi_txn.dir/commit_log.cc.o.d"
+  "/root/repo/src/txn/gtm.cc" "src/txn/CMakeFiles/ofi_txn.dir/gtm.cc.o" "gcc" "src/txn/CMakeFiles/ofi_txn.dir/gtm.cc.o.d"
+  "/root/repo/src/txn/local_txn_manager.cc" "src/txn/CMakeFiles/ofi_txn.dir/local_txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/ofi_txn.dir/local_txn_manager.cc.o.d"
+  "/root/repo/src/txn/merge_snapshot.cc" "src/txn/CMakeFiles/ofi_txn.dir/merge_snapshot.cc.o" "gcc" "src/txn/CMakeFiles/ofi_txn.dir/merge_snapshot.cc.o.d"
+  "/root/repo/src/txn/snapshot.cc" "src/txn/CMakeFiles/ofi_txn.dir/snapshot.cc.o" "gcc" "src/txn/CMakeFiles/ofi_txn.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_txn.dir/commit_log.cc.o"
+  "CMakeFiles/ofi_txn.dir/commit_log.cc.o.d"
+  "CMakeFiles/ofi_txn.dir/gtm.cc.o"
+  "CMakeFiles/ofi_txn.dir/gtm.cc.o.d"
+  "CMakeFiles/ofi_txn.dir/local_txn_manager.cc.o"
+  "CMakeFiles/ofi_txn.dir/local_txn_manager.cc.o.d"
+  "CMakeFiles/ofi_txn.dir/merge_snapshot.cc.o"
+  "CMakeFiles/ofi_txn.dir/merge_snapshot.cc.o.d"
+  "CMakeFiles/ofi_txn.dir/snapshot.cc.o"
+  "CMakeFiles/ofi_txn.dir/snapshot.cc.o.d"
+  "libofi_txn.a"
+  "libofi_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ofi_txn.
+# This may be replaced when dependencies are built.

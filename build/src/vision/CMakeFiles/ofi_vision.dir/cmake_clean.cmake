@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofi_vision.dir/vision.cc.o"
+  "CMakeFiles/ofi_vision.dir/vision.cc.o.d"
+  "libofi_vision.a"
+  "libofi_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofi_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodb_test.dir/autodb/autodb_test.cc.o"
+  "CMakeFiles/autodb_test.dir/autodb/autodb_test.cc.o.d"
+  "autodb_test"
+  "autodb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_store_test.dir/storage/column_store_test.cc.o"
+  "CMakeFiles/column_store_test.dir/storage/column_store_test.cc.o.d"
+  "column_store_test"
+  "column_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

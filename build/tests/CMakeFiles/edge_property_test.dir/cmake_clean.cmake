@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_property_test.dir/edge/edge_property_test.cc.o"
+  "CMakeFiles/edge_property_test.dir/edge/edge_property_test.cc.o.d"
+  "edge_property_test"
+  "edge_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge/edge_sync_test.cc" "tests/CMakeFiles/edge_sync_test.dir/edge/edge_sync_test.cc.o" "gcc" "tests/CMakeFiles/edge_sync_test.dir/edge/edge_sync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ofi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ofi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ofi_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/ofi_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/multimodel/CMakeFiles/ofi_multimodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ofi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/ofi_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/ofi_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/ofi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmdb/CMakeFiles/ofi_gmdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodb/CMakeFiles/ofi_autodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/ofi_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/ofi_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ofi_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ofi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

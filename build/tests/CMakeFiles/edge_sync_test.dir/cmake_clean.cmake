@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_sync_test.dir/edge/edge_sync_test.cc.o"
+  "CMakeFiles/edge_sync_test.dir/edge/edge_sync_test.cc.o.d"
+  "edge_sync_test"
+  "edge_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_table_test.dir/sql/external_table_test.cc.o"
+  "CMakeFiles/external_table_test.dir/sql/external_table_test.cc.o.d"
+  "external_table_test"
+  "external_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtm_lite_anomaly_test.dir/txn/gtm_lite_anomaly_test.cc.o"
+  "CMakeFiles/gtm_lite_anomaly_test.dir/txn/gtm_lite_anomaly_test.cc.o.d"
+  "gtm_lite_anomaly_test"
+  "gtm_lite_anomaly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtm_lite_anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gtm_lite_anomaly_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_recovery_test.dir/cluster/ha_recovery_test.cc.o"
+  "CMakeFiles/ha_recovery_test.dir/cluster/ha_recovery_test.cc.o.d"
+  "ha_recovery_test"
+  "ha_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbaas_test.dir/edge/mbaas_test.cc.o"
+  "CMakeFiles/mbaas_test.dir/edge/mbaas_test.cc.o.d"
+  "mbaas_test"
+  "mbaas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbaas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md5_test.dir/common/md5_test.cc.o"
+  "CMakeFiles/md5_test.dir/common/md5_test.cc.o.d"
+  "md5_test"
+  "md5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_snapshot_test.dir/txn/merge_snapshot_test.cc.o"
+  "CMakeFiles/merge_snapshot_test.dir/txn/merge_snapshot_test.cc.o.d"
+  "merge_snapshot_test"
+  "merge_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_query_test.dir/cluster/mpp_query_test.cc.o"
+  "CMakeFiles/mpp_query_test.dir/cluster/mpp_query_test.cc.o.d"
+  "mpp_query_test"
+  "mpp_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodel_test.dir/multimodel/multimodel_test.cc.o"
+  "CMakeFiles/multimodel_test.dir/multimodel/multimodel_test.cc.o.d"
+  "multimodel_test"
+  "multimodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

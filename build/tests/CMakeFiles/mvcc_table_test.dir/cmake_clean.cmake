@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_table_test.dir/storage/mvcc_table_test.cc.o"
+  "CMakeFiles/mvcc_table_test.dir/storage/mvcc_table_test.cc.o.d"
+  "mvcc_table_test"
+  "mvcc_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objects_as_table_test.dir/gmdb/objects_as_table_test.cc.o"
+  "CMakeFiles/objects_as_table_test.dir/gmdb/objects_as_table_test.cc.o.d"
+  "objects_as_table_test"
+  "objects_as_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objects_as_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_store_test.dir/optimizer/plan_store_test.cc.o"
+  "CMakeFiles/plan_store_test.dir/optimizer/plan_store_test.cc.o.d"
+  "plan_store_test"
+  "plan_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

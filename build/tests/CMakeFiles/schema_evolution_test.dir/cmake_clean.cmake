@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_evolution_test.dir/gmdb/schema_evolution_test.cc.o"
+  "CMakeFiles/schema_evolution_test.dir/gmdb/schema_evolution_test.cc.o.d"
+  "schema_evolution_test"
+  "schema_evolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

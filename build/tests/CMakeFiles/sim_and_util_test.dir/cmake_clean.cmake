@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_and_util_test.dir/common/sim_and_util_test.cc.o"
+  "CMakeFiles/sim_and_util_test.dir/common/sim_and_util_test.cc.o.d"
+  "sim_and_util_test"
+  "sim_and_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_and_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_session_test.dir/optimizer/sql_session_test.cc.o"
+  "CMakeFiles/sql_session_test.dir/optimizer/sql_session_test.cc.o.d"
+  "sql_session_test"
+  "sql_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_test.dir/timeseries/timeseries_test.cc.o"
+  "CMakeFiles/timeseries_test.dir/timeseries/timeseries_test.cc.o.d"
+  "timeseries_test"
+  "timeseries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

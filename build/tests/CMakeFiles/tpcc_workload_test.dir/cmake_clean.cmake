@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_workload_test.dir/cluster/tpcc_workload_test.cc.o"
+  "CMakeFiles/tpcc_workload_test.dir/cluster/tpcc_workload_test.cc.o.d"
+  "tpcc_workload_test"
+  "tpcc_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_object_test.dir/gmdb/tree_object_test.cc.o"
+  "CMakeFiles/tree_object_test.dir/gmdb/tree_object_test.cc.o.d"
+  "tree_object_test"
+  "tree_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

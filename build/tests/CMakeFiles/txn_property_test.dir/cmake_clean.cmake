@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_property_test.dir/txn/txn_property_test.cc.o"
+  "CMakeFiles/txn_property_test.dir/txn/txn_property_test.cc.o.d"
+  "txn_property_test"
+  "txn_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vacuum_test.dir/cluster/vacuum_test.cc.o"
+  "CMakeFiles/vacuum_test.dir/cluster/vacuum_test.cc.o.d"
+  "vacuum_test"
+  "vacuum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vacuum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
