@@ -16,29 +16,29 @@ namespace {
 
 using namespace ofi::txn;  // NOLINT
 
-/// Builds a DN commit log with `history` committed transactions, a
-/// `multi_shard_fraction` of which carry gxids.
-LocalTxnManager BuildHistory(int history, double multi_shard_fraction,
-                             Gxid* next_gxid) {
-  LocalTxnManager mgr;
+/// Fills a DN commit log with `history` committed transactions, a
+/// `multi_shard_fraction` of which carry gxids. (LocalTxnManager holds a
+/// mutex, so it is filled in place rather than returned by value.)
+void BuildHistory(LocalTxnManager* mgr, int history,
+                  double multi_shard_fraction, Gxid* next_gxid) {
   for (int i = 0; i < history; ++i) {
-    Xid x = mgr.Begin();
+    Xid x = mgr->Begin();
     bool multi = (i % 100) < static_cast<int>(multi_shard_fraction * 100);
     if (multi) {
       Gxid g = (*next_gxid)++;
-      mgr.BindGxid(x, g);
-      mgr.Commit(x, g);
+      mgr->BindGxid(x, g);
+      mgr->Commit(x, g);
     } else {
-      mgr.Commit(x);
+      mgr->Commit(x);
     }
   }
-  return mgr;
 }
 
 void BM_MergeSnapshot(benchmark::State& state) {
   int history = static_cast<int>(state.range(0));
   Gxid next_gxid = 1;
-  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  LocalTxnManager mgr;
+  BuildHistory(&mgr, history, 0.10, &next_gxid);
   Snapshot global{.xmin = next_gxid, .xmax = next_gxid, .active = {}};
   Snapshot local = mgr.TakeSnapshot();
   auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
@@ -53,7 +53,8 @@ BENCHMARK(BM_MergeSnapshot)->Arg(100)->Arg(1'000)->Arg(10'000);
 void BM_MergeSnapshotAfterPrune(benchmark::State& state) {
   int history = static_cast<int>(state.range(0));
   Gxid next_gxid = 1;
-  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  LocalTxnManager mgr;
+  BuildHistory(&mgr, history, 0.10, &next_gxid);
   // Horizon pruning: everything committed is below the horizon.
   mgr.mutable_clog().PruneBelowHorizon(next_gxid);
   Snapshot global{.xmin = next_gxid, .xmax = next_gxid, .active = {}};
@@ -72,7 +73,8 @@ BENCHMARK(BM_MergeSnapshotAfterPrune)->Arg(100)->Arg(1'000)->Arg(10'000);
 void BM_MergeSnapshotWorstCaseDowngrade(benchmark::State& state) {
   int history = static_cast<int>(state.range(0));
   Gxid next_gxid = 1;
-  LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+  LocalTxnManager mgr;
+  BuildHistory(&mgr, history, 0.10, &next_gxid);
   Snapshot global{.xmin = 1, .xmax = 2, .active = {1}};  // ancient snapshot
   Snapshot local = mgr.TakeSnapshot();
   auto waiter = [](Xid, Gxid) { return TxnState::kCommitted; };
@@ -90,7 +92,8 @@ void PrintSummary() {
   printf("\n=== E2: snapshot-merge resolution rates (10%% multi-shard) ===\n");
   for (int history : {100, 1'000, 10'000}) {
     Gxid next_gxid = 1;
-    LocalTxnManager mgr = BuildHistory(history, 0.10, &next_gxid);
+    LocalTxnManager mgr;
+  BuildHistory(&mgr, history, 0.10, &next_gxid);
     // Old global snapshot that misses the last 10% of gxids.
     Gxid cutoff = next_gxid - next_gxid / 10;
     Snapshot global{.xmin = cutoff, .xmax = cutoff, .active = {}};

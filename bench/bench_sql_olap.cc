@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "cluster/mpp_query.h"
 #include "common/rng.h"
 #include "optimizer/optimizer.h"
 #include "sql/executor.h"
@@ -180,6 +182,49 @@ void BM_StarQueryNoPushdown(benchmark::State& state) {
   state.counters["rows_processed"] = static_cast<double>(cost.rows_processed);
 }
 BENCHMARK(BM_StarQueryNoPushdown)->Unit(benchmark::kMillisecond);
+
+/// The same star-schema fact table, hash-sharded across a simulated MPP
+/// cluster: distributed GROUP BY via scatter-gather, serial inline scatter
+/// vs the shared thread pool (range(1): 0 = serial, 1 = pool).
+void BM_DistributedFactAggregate(benchmark::State& state) {
+  int dns = static_cast<int>(state.range(0));
+  cluster::DistributedOptions options;
+  options.parallel = state.range(1) != 0;
+  auto cl = std::make_unique<cluster::Cluster>(dns, cluster::Protocol::kGtmLite);
+  Schema schema({Column{"k", TypeId::kInt64, "f"},
+                 Column{"cust", TypeId::kInt64, "f"},
+                 Column{"prod", TypeId::kInt64, "f"},
+                 Column{"amount", TypeId::kInt64, "f"}});
+  (void)cl->CreateTable("fact", schema);
+  Rng rng(51);
+  for (int64_t i = 0; i < 50'000; ++i) {
+    cluster::Txn t = cl->Begin(cluster::TxnScope::kSingleShard);
+    (void)t.Insert("fact", Value(i),
+                   {Value(i), Value(rng.Uniform(0, 999)),
+                    Value(rng.Uniform(0, 99)), Value(rng.Uniform(1, 500))});
+    (void)t.Commit();
+  }
+  cluster::DistributedResult last;
+  for (auto _ : state) {
+    auto r = cluster::DistributedAggregate(
+        cl.get(), "fact", nullptr, {"f.prod"},
+        {{sql::AggFunc::kSum, "f.amount", "total"},
+         {sql::AggFunc::kCount, "", "n"}},
+        options);
+    if (r.ok()) last = std::move(r).ValueOrDie();
+    benchmark::DoNotOptimize(last.table);
+  }
+  state.counters["sim_us"] = static_cast<double>(last.sim_latency_us);
+  state.counters["sim_serial_us"] =
+      static_cast<double>(last.sim_latency_serial_us);
+}
+BENCHMARK(BM_DistributedFactAggregate)
+    ->ArgNames({"dns", "pool"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void PrintAblation() {
   printf("\n=== optimizer ablation on the star query (executor rows processed) ===\n");

@@ -142,7 +142,7 @@ Txn Cluster::Begin(TxnScope scope, SimTime start_time) {
 Txn::Txn(Cluster* cluster, TxnScope scope, SimTime start)
     : cluster_(cluster), scope_(scope), now_(start) {}
 
-Result<Txn::DnContext*> Txn::Touch(int dn) {
+Result<Txn::DnContext*> Txn::OpenContext(int dn, SimTime* clock) {
   if (cluster_->IsDown(dn)) {
     return Status::Unavailable("dn" + std::to_string(dn) + " is down");
   }
@@ -169,13 +169,13 @@ Result<Txn::DnContext*> Txn::Touch(int dn) {
     // Multi-shard GTM-lite: local xid + local snapshot, then Algorithm 1.
     // The snapshot merge is real DN work (xidMap probe + LCO traversal):
     // charge one statement's worth of service for it.
-    now_ = cluster_->ChargeDnStmt(dn, now_);
+    *clock = cluster_->ChargeDnStmt(dn, *clock);
     ctx.xid = node->txn_mgr().Begin();
     node->txn_mgr().BindGxid(ctx.xid, gxid_);
     ctx.local_snapshot = node->txn_mgr().TakeSnapshot();
-    auto waiter = [this, node](txn::Xid lxid, txn::Gxid) {
+    auto waiter = [this, node, clock](txn::Xid lxid, txn::Gxid) {
       // UPGRADE: the reader waits out the commit-confirmation window.
-      now_ += cluster_->latency().commit_confirm_delay_us;
+      *clock += cluster_->latency().commit_confirm_delay_us;
       return node->FinishPendingCommit(lxid);
     };
     ctx.merged = txn::MergeSnapshots(*global_snapshot_, *ctx.local_snapshot,
@@ -187,6 +187,26 @@ Result<Txn::DnContext*> Txn::Touch(int dn) {
   }
   auto [ins, _] = dns_.emplace(dn, std::move(ctx));
   return &ins->second;
+}
+
+Result<Txn::DnContext*> Txn::Touch(int dn) { return OpenContext(dn, &now_); }
+
+Result<SimTime> Txn::PrepareShard(int dn, SimTime arrival) {
+  if (finished_) return Status::InvalidArgument("txn finished");
+  SimTime clock = arrival;
+  OFI_ASSIGN_OR_RETURN(DnContext * ctx, OpenContext(dn, &clock));
+  (void)ctx;
+  return clock;
+}
+
+Result<std::vector<sql::Row>> Txn::ScanShardPrepared(const std::string& table,
+                                                     int dn) const {
+  auto it = dns_.find(dn);
+  if (it == dns_.end()) {
+    return Status::InvalidArgument("shard not prepared: dn" + std::to_string(dn));
+  }
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
+  return t->ScanVisible(CheckerFor(dn, it->second));
 }
 
 txn::VisibilityChecker Txn::CheckerFor(int dn, const DnContext& ctx) const {

@@ -16,6 +16,7 @@
 /// the Fig. 3 scalability bench measures.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <set>
@@ -51,6 +52,27 @@ class Txn {
   Result<sql::Row> Read(const std::string& table, const sql::Value& key);
   /// Visible-row scan of one shard (tests / examples).
   Result<std::vector<sql::Row>> ScanShard(const std::string& table, int dn);
+
+  // --- Parallel MPP scatter support (see cluster/mpp_query.cc) --------------
+  /// Opens this transaction's context on `dn` (local xid + local snapshot +
+  /// Algorithm-1 merge for multi-shard GTM-lite), charging the merge work as
+  /// an independent request arriving at `arrival` on that DN instead of
+  /// chaining this transaction's serial clock — the scatter fans out to all
+  /// DNs at once. Returns the simulated completion time of the context setup
+  /// (== `arrival` if the shard was already open). Not thread-safe; call
+  /// from the coordinator thread before any concurrent scans.
+  Result<SimTime> PrepareShard(int dn, SimTime arrival);
+
+  /// Visible-row scan of a shard previously opened via PrepareShard() (or
+  /// any statement). Charges no simulated time and mutates nothing on this
+  /// transaction, so distinct DNs may be scanned concurrently from thread
+  /// pool workers while writers run under the storage/txn shared locks.
+  Result<std::vector<sql::Row>> ScanShardPrepared(const std::string& table,
+                                                  int dn) const;
+
+  /// Advances this transaction's serial clock to at least `t` (the CN
+  /// resumes once the last gathered partial has arrived).
+  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
 
   Status Insert(const std::string& table, const sql::Value& key, sql::Row row);
   Status Update(const std::string& table, const sql::Value& key, sql::Row row);
@@ -91,7 +113,10 @@ class Txn {
   };
 
   /// Lazily opens this transaction's context on DN `dn` (local xid, local
-  /// snapshot, snapshot merge for multi-shard GTM-lite).
+  /// snapshot, snapshot merge for multi-shard GTM-lite), chaining the
+  /// simulated merge work onto `*clock`.
+  Result<DnContext*> OpenContext(int dn, SimTime* clock);
+  /// OpenContext chained on this transaction's serial clock.
   Result<DnContext*> Touch(int dn);
   txn::VisibilityChecker CheckerFor(int dn, const DnContext& ctx) const;
   Status CommitSingleShard();

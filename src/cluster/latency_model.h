@@ -23,6 +23,12 @@ struct LatencyModel {
   /// Delay between the GTM marking a txn committed and the commit
   /// confirmation landing on a DN — the Anomaly1 window (paper §II-A2).
   SimTime commit_confirm_delay_us = 30;
+  /// CN-side work to receive and merge ONE gathered partial-aggregate state
+  /// during MPP scatter-gather. The parallel scatter completes at
+  /// max-over-DNs + num_partials x this (the only per-DN *linear* term left
+  /// on the critical path; it is small because partial state is group-sized,
+  /// not row-sized).
+  SimTime cn_gather_service_us = 5;
 };
 
 }  // namespace ofi::cluster

@@ -1,5 +1,8 @@
 #include "cluster/mpp_query.h"
 
+#include <algorithm>
+#include <map>
+
 #include "sql/executor.h"
 
 namespace ofi::cluster {
@@ -7,9 +10,12 @@ namespace {
 
 using sql::AggFunc;
 using sql::AggSpec;
+using sql::Column;
 using sql::Expr;
 using sql::Row;
 using sql::Table;
+using sql::TypeId;
+using sql::Value;
 
 /// The partial aggregates one requested aggregate decomposes into, and how
 /// the final stage merges them.
@@ -64,57 +70,173 @@ size_t TableBytes(const Table& t) {
   return n;
 }
 
+std::string BareName(const std::string& qualified) {
+  auto dot = qualified.rfind('.');
+  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+}
+
+/// Output column names for the group-by keys. A bare name is used only when
+/// it stays unambiguous across every output column; `GROUP BY a.x, b.x`
+/// keeps the qualified names (both stripping to `x` would collide in the
+/// projected schema). Returns InvalidArgument if names collide even
+/// qualified.
+Result<std::vector<std::string>> GroupOutputNames(
+    const std::vector<std::string>& group_by,
+    const std::vector<DistributedAgg>& aggs) {
+  std::map<std::string, int> bare_uses;
+  for (const auto& g : group_by) ++bare_uses[BareName(g)];
+  for (const auto& a : aggs) ++bare_uses[a.name];
+
+  std::vector<std::string> names;
+  names.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    const std::string bare = BareName(g);
+    names.push_back(bare_uses[bare] > 1 ? g : bare);
+  }
+
+  std::map<std::string, int> final_uses;
+  for (const auto& n : names) ++final_uses[n];
+  for (const auto& a : aggs) ++final_uses[a.name];
+  for (const auto& [name, uses] : final_uses) {
+    if (uses > 1) {
+      return Status::InvalidArgument("ambiguous output column: " + name);
+    }
+  }
+  return names;
+}
+
+/// One shard's scatter output, filled in by a pool worker.
+struct ShardPartial {
+  Status status = Status::OK();
+  Table partial;
+  size_t partial_bytes = 0;
+  size_t naive_bytes = 0;
+};
+
 }  // namespace
 
 Result<DistributedResult> DistributedAggregate(
     Cluster* cluster, const std::string& table, sql::ExprPtr filter,
-    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs) {
+    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs,
+    const DistributedOptions& options) {
   DistributedResult out;
 
   std::vector<PartialPlan> plans;
   plans.reserve(aggs.size());
   for (const auto& a : aggs) plans.push_back(DecomposeAgg(a));
 
+  OFI_ASSIGN_OR_RETURN(std::vector<std::string> group_names,
+                       GroupOutputNames(group_by, aggs));
+
+  // The nodes serving data, one entry per live serving node: after a
+  // failover the promoted backup hosts the failed primary's rows in the
+  // same MVCC tables as its own shard, so scanning each serving node once
+  // covers every shard exactly once.
+  std::vector<int> serving;
+  for (int shard = 0; shard < cluster->num_dns(); ++shard) {
+    int dn = cluster->EffectiveDn(shard);
+    if (std::find(serving.begin(), serving.end(), dn) == serving.end()) {
+      serving.push_back(dn);
+    }
+  }
+  const int num_serving = static_cast<int>(serving.size());
+
   // One consistent snapshot across every shard.
   Txn reader = cluster->Begin(TxnScope::kMultiShard);
 
-  // Scatter: per-shard partial aggregation.
-  Table partial_union;
-  bool first_shard = true;
-  for (int dn = 0; dn < cluster->num_dns(); ++dn) {
-    OFI_ASSIGN_OR_RETURN(storage::MvccTable * shard_table,
-                         cluster->dn(dn)->GetTable(table));
-    OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, reader.ScanShard(table, dn));
-    out.naive_bytes += TableBytes(Table(shard_table->schema(), rows));
+  // Scatter, phase 1 (coordinator thread): open every shard context and
+  // charge the simulated fan-out. Every DN receives the request at
+  // scatter_start and performs snapshot-merge + partial scan serialized on
+  // its own resource, so the parallel critical path is the slowest DN; the
+  // old serial model (round trips chained back-to-back) is kept alongside
+  // for comparison.
+  const SimTime scatter_start = reader.now();
+  SimTime parallel_done = scatter_start;
+  SimTime serial_sum = 0;
+  std::vector<storage::MvccTable*> shard_tables(serving.size(), nullptr);
+  for (int i = 0; i < num_serving; ++i) {
+    const int dn = serving[i];
+    OFI_ASSIGN_OR_RETURN(shard_tables[i], cluster->dn(dn)->GetTable(table));
+    OFI_ASSIGN_OR_RETURN(SimTime merged_at,
+                         reader.PrepareShard(dn, scatter_start));
+    // The partial scan+aggregate statement, shipping group-sized state back.
+    SimTime done = cluster->ChargeDnStmt(dn, merged_at);
+    parallel_done = std::max(parallel_done, done);
+    serial_sum += done - scatter_start;
+  }
+  const SimTime gather_cost =
+      static_cast<SimTime>(num_serving) * cluster->latency().cn_gather_service_us;
+  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
+  out.sim_latency_serial_us = serial_sum + gather_cost;
+
+  // Scatter, phase 2 (thread pool): per-DN visible scan + partial
+  // aggregation. Workers touch only read paths (storage/txn shared locks)
+  // plus their own slot; expression trees are cloned per worker because
+  // Bind() caches column indices in place.
+  std::vector<ShardPartial> slots(serving.size());
+  auto run_shard = [&](int i) {
+    const int dn = serving[i];
+    ShardPartial& slot = slots[static_cast<size_t>(i)];
+    auto rows = reader.ScanShardPrepared(table, dn);
+    if (!rows.ok()) {
+      slot.status = rows.status();
+      return;
+    }
+    for (const auto& row : *rows) slot.naive_bytes += sql::RowByteSize(row);
 
     sql::Catalog shard_catalog;
-    shard_catalog.Register("shard",
-                           Table(shard_table->schema(), std::move(rows)));
-    sql::PlanPtr scan = sql::MakeScan("shard", filter);
+    shard_catalog.Register(
+        "shard", Table(shard_tables[static_cast<size_t>(i)]->schema(),
+                       std::move(*rows)));
     std::vector<AggSpec> partial_specs;
     for (const auto& p : plans) {
-      partial_specs.insert(partial_specs.end(), p.partial.begin(),
-                           p.partial.end());
+      for (const auto& spec : p.partial) {
+        partial_specs.push_back(
+            AggSpec{spec.func, spec.arg ? spec.arg->Clone() : nullptr,
+                    spec.name});
+      }
     }
+    sql::PlanPtr scan =
+        sql::MakeScan("shard", filter ? filter->Clone() : nullptr);
     sql::PlanPtr agg_plan = sql::MakeAggregate(scan, group_by, partial_specs);
     sql::Executor exec(&shard_catalog);
-    OFI_ASSIGN_OR_RETURN(Table partial, exec.Execute(agg_plan));
-    out.partial_bytes += TableBytes(partial);
-    // Shipping the partial state costs one DN round trip.
-    out.sim_latency_us = cluster->ChargeDnStmt(dn, out.sim_latency_us);
+    auto partial = exec.Execute(agg_plan);
+    if (!partial.ok()) {
+      slot.status = partial.status();
+      return;
+    }
+    slot.partial_bytes = TableBytes(*partial);
+    slot.partial = std::move(*partial);
+  };
+  if (options.parallel) {
+    common::ThreadPool* pool =
+        options.pool ? options.pool : &common::ThreadPool::Shared();
+    pool->ParallelFor(num_serving, run_shard);
+  } else {
+    for (int i = 0; i < num_serving; ++i) run_shard(i);
+  }
 
+  // Gather: merge partials deterministically in DN order.
+  Table partial_union;
+  bool first_shard = true;
+  for (auto& slot : slots) {
+    OFI_RETURN_NOT_OK(slot.status);
+    out.partial_bytes += slot.partial_bytes;
+    out.naive_bytes += slot.naive_bytes;
     if (first_shard) {
-      partial_union = std::move(partial);
+      partial_union = std::move(slot.partial);
       first_shard = false;
     } else {
-      for (auto& row : partial.mutable_rows()) {
+      for (auto& row : slot.partial.mutable_rows()) {
         OFI_RETURN_NOT_OK(partial_union.Append(std::move(row)));
       }
     }
   }
+  // The CN resumes once the last partial has been gathered.
+  reader.AdvanceTo(parallel_done + gather_cost);
   OFI_RETURN_NOT_OK(reader.Commit());
 
-  // Gather: final aggregation over the partials at the CN.
+  // Final aggregation over the partials at the CN.
   sql::Catalog cn_catalog;
   cn_catalog.Register("partials", std::move(partial_union));
   std::vector<AggSpec> final_specs;
@@ -124,32 +246,52 @@ Result<DistributedResult> DistributedAggregate(
   }
   sql::PlanPtr final_plan =
       sql::MakeAggregate(sql::MakeScan("partials"), group_by, final_specs);
-
-  // AVG post-processing: divide the merged sum by the merged count, and
-  // project the outputs back to the requested names/order.
-  std::vector<sql::ExprPtr> projections;
-  std::vector<std::string> names;
-  for (const auto& g : group_by) {
-    projections.push_back(Expr::ColumnRef(g));
-    std::string bare = g;
-    auto dot = bare.rfind('.');
-    if (dot != std::string::npos) bare = bare.substr(dot + 1);
-    names.push_back(bare);
-  }
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    if (plans[i].is_avg) {
-      projections.push_back(Expr::Arith(sql::ArithOp::kDiv,
-                                        Expr::ColumnRef(plans[i].sum_name),
-                                        Expr::ColumnRef(plans[i].count_name)));
-    } else {
-      projections.push_back(Expr::ColumnRef(aggs[i].name));
-    }
-    names.push_back(aggs[i].name);
-  }
-  sql::PlanPtr projected =
-      sql::MakeProject(final_plan, std::move(projections), std::move(names));
   sql::Executor cn_exec(&cn_catalog);
-  OFI_ASSIGN_OR_RETURN(out.table, cn_exec.Execute(projected));
+  OFI_ASSIGN_OR_RETURN(Table merged, cn_exec.Execute(final_plan));
+
+  // Project to the requested names/order. AVG's post-division is done here
+  // in code rather than as a `/` expression so the SQL-standard edge case is
+  // explicit: a group whose column was NULL on every shard merges to
+  // COUNT 0 (and SUM NULL) and must yield NULL, not divide by zero.
+  std::vector<Column> out_cols;
+  std::vector<size_t> first_col(aggs.size(), 0);
+  for (size_t gi = 0; gi < group_by.size(); ++gi) {
+    out_cols.push_back(
+        Column{group_names[gi], merged.schema().column(gi).type, ""});
+  }
+  size_t col = group_by.size();
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    first_col[i] = col;
+    if (plans[i].is_avg) {
+      out_cols.push_back(Column{aggs[i].name, TypeId::kDouble, ""});
+      col += 2;  // sum + count
+    } else {
+      out_cols.push_back(
+          Column{aggs[i].name, merged.schema().column(col).type, ""});
+      col += 1;
+    }
+  }
+  Table result{sql::Schema(std::move(out_cols))};
+  for (const auto& row : merged.rows()) {
+    Row r;
+    r.reserve(group_by.size() + aggs.size());
+    for (size_t gi = 0; gi < group_by.size(); ++gi) r.push_back(row[gi]);
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (plans[i].is_avg) {
+        const Value& sum = row[first_col[i]];
+        const Value& count = row[first_col[i] + 1];
+        if (sum.is_null() || count.is_null() || count.AsDouble() == 0) {
+          r.push_back(Value::Null());
+        } else {
+          r.push_back(Value(sum.AsDouble() / count.AsDouble()));
+        }
+      } else {
+        r.push_back(row[first_col[i]]);
+      }
+    }
+    OFI_RETURN_NOT_OK(result.Append(std::move(r)));
+  }
+  out.table = std::move(result);
   return out;
 }
 

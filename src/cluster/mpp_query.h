@@ -7,12 +7,23 @@
 /// multi-shard snapshot; the coordinator merges partials with the FINAL
 /// aggregation (COUNT→sum of counts, AVG→sum/count pair, ...), so only
 /// group-sized partial states — not rows — cross the network.
+///
+/// The scatter phase is genuinely parallel: per-DN scans + partial
+/// aggregation run as tasks on a shared fixed-size thread pool
+/// (common/thread_pool.h), reading through the storage/txn shared-mutex
+/// read path, and partials are gathered deterministically in DN order. The
+/// simulated latency model matches: every DN receives the scatter request
+/// at the same instant and works concurrently on its own serialized
+/// resource, so the CN-observed latency is the max over DNs plus a small
+/// per-partial gather cost — not the serial sum of round trips (which is
+/// still reported for comparison).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "sql/plan.h"
 
 namespace ofi::cluster {
@@ -24,6 +35,17 @@ struct DistributedAgg {
   std::string name;
 };
 
+/// Execution knobs for DistributedAggregate.
+struct DistributedOptions {
+  /// Run per-DN partial scans/aggregation on the shared thread pool. When
+  /// false the scatter executes inline on the caller thread (the pre-pool
+  /// behaviour, kept for speedup measurements). Results are identical —
+  /// partials are always merged in DN order.
+  bool parallel = true;
+  /// Pool override; nullptr uses common::ThreadPool::Shared().
+  common::ThreadPool* pool = nullptr;
+};
+
 /// Result of a distributed aggregate, with the data-movement accounting the
 /// pattern exists to minimize.
 struct DistributedResult {
@@ -32,15 +54,23 @@ struct DistributedResult {
   size_t partial_bytes = 0;
   /// Bytes that a naive ship-all-rows plan would have moved.
   size_t naive_bytes = 0;
+  /// Simulated CN-observed scatter-gather latency under the parallel model:
+  /// max over DNs of (merge + partial scan on that DN's serialized
+  /// resource) plus one cn_gather_service_us per gathered partial.
   SimTime sim_latency_us = 0;
+  /// The old serial model for comparison: the same per-DN round trips
+  /// chained back-to-back, so N shards cost ~N times one shard.
+  SimTime sim_latency_serial_us = 0;
 };
 
 /// Runs `SELECT group_by..., aggs... FROM table [WHERE filter] GROUP BY
 /// group_by` across every shard with partial/final aggregation. The scan
 /// runs under one multi-shard transaction, so the answer is a consistent
-/// snapshot of the whole cluster.
+/// snapshot of the whole cluster. With replication enabled, shards whose
+/// primary is down are served (exactly once) by the promoted backup.
 Result<DistributedResult> DistributedAggregate(
     Cluster* cluster, const std::string& table, sql::ExprPtr filter,
-    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs);
+    std::vector<std::string> group_by, std::vector<DistributedAgg> aggs,
+    const DistributedOptions& options = DistributedOptions{});
 
 }  // namespace ofi::cluster

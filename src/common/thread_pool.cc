@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ofi::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = n;
+  for (int i = 0; i < n; ++i) {
+    Submit([&, i] {
+      fn(i);
+      // Notify while holding the lock: once `remaining` hits 0 the caller
+      // may return and destroy done_cv, so the signal must not outlive the
+      // critical section.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace ofi::common

@@ -89,6 +89,20 @@ ExprPtr Expr::InList(ExprPtr x, std::vector<Value> list) {
   return e;
 }
 
+ExprPtr Expr::Clone() const {
+  auto e = ExprPtr(new Expr(kind_));
+  e->column_name_ = column_name_;
+  e->bound_index_ = -1;  // clones start unbound
+  e->literal_ = literal_;
+  e->compare_op_ = compare_op_;
+  e->arith_op_ = arith_op_;
+  e->logical_op_ = logical_op_;
+  e->in_list_ = in_list_;
+  e->children_.reserve(children_.size());
+  for (const auto& c : children_) e->children_.push_back(c->Clone());
+  return e;
+}
+
 Status Expr::Bind(const Schema& schema) {
   if (kind_ == ExprKind::kColumn) {
     OFI_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column_name_));

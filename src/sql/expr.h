@@ -72,6 +72,12 @@ class Expr {
     return Compare(CompareOp::kEq, ColumnRef(std::move(l)), ColumnRef(std::move(r)));
   }
 
+  /// Deep copy of this expression tree, unbound. Expressions cache bound
+  /// column indices in-place, so a tree shared across threads that each
+  /// Bind() it is a data race — give every concurrent executor (e.g. the
+  /// parallel MPP scatter workers) its own clone.
+  ExprPtr Clone() const;
+
   // --- Binding & evaluation -------------------------------------------------
   /// Resolves every column reference against `schema`, caching indices.
   /// Must be called (on the root) before Eval.

@@ -18,6 +18,7 @@ Status MvccTable::Insert(const sql::Value& key, sql::Row row, txn::Xid xid,
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("insert: row arity mismatch");
   }
+  std::unique_lock lock(mu_);
   auto& chain = chains_[key];
   if (FindVisible(chain, vis) >= 0) {
     return Status::AlreadyExists("insert: key exists: " + key.ToString());
@@ -32,6 +33,7 @@ Status MvccTable::Update(const sql::Value& key, sql::Row row, txn::Xid xid,
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("update: row arity mismatch");
   }
+  std::unique_lock lock(mu_);
   auto it = chains_.find(key);
   if (it == chains_.end()) return Status::NotFound("update: " + key.ToString());
   int idx = FindVisible(it->second, vis);
@@ -49,6 +51,7 @@ Status MvccTable::Update(const sql::Value& key, sql::Row row, txn::Xid xid,
 
 Status MvccTable::Delete(const sql::Value& key, txn::Xid xid,
                          const txn::VisibilityChecker& vis) {
+  std::unique_lock lock(mu_);
   auto it = chains_.find(key);
   if (it == chains_.end()) return Status::NotFound("delete: " + key.ToString());
   int idx = FindVisible(it->second, vis);
@@ -63,6 +66,7 @@ Status MvccTable::Delete(const sql::Value& key, txn::Xid xid,
 
 Result<sql::Row> MvccTable::Read(const sql::Value& key,
                                  const txn::VisibilityChecker& vis) const {
+  std::shared_lock lock(mu_);
   auto it = chains_.find(key);
   if (it == chains_.end()) return Status::NotFound("read: " + key.ToString());
   int idx = FindVisible(it->second, vis);
@@ -72,6 +76,7 @@ Result<sql::Row> MvccTable::Read(const sql::Value& key,
 
 std::vector<sql::Row> MvccTable::ScanVisible(
     const txn::VisibilityChecker& vis) const {
+  std::shared_lock lock(mu_);
   std::vector<sql::Row> out;
   for (const auto& [key, chain] : chains_) {
     int idx = FindVisible(chain, vis);
@@ -81,6 +86,7 @@ std::vector<sql::Row> MvccTable::ScanVisible(
 }
 
 void MvccTable::RollbackXid(txn::Xid xid) {
+  std::unique_lock lock(mu_);
   for (auto& [key, chain] : chains_) {
     for (auto& v : chain) {
       if (v.xmax == xid) v.xmax = txn::kInvalidXid;
@@ -89,6 +95,7 @@ void MvccTable::RollbackXid(txn::Xid xid) {
 }
 
 void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
+  std::unique_lock lock(mu_);
   auto it = chains_.find(key);
   if (it == chains_.end()) return;
   for (auto& v : it->second) {
@@ -97,6 +104,7 @@ void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
 }
 
 size_t MvccTable::Vacuum(txn::Xid horizon, const txn::CommitLog& clog) {
+  std::unique_lock lock(mu_);
   size_t removed = 0;
   for (auto it = chains_.begin(); it != chains_.end();) {
     auto& chain = it->second;
@@ -122,6 +130,7 @@ size_t MvccTable::Vacuum(txn::Xid horizon, const txn::CommitLog& clog) {
 }
 
 const std::vector<TupleVersion>* MvccTable::Versions(const sql::Value& key) const {
+  std::shared_lock lock(mu_);
   auto it = chains_.find(key);
   return it == chains_.end() ? nullptr : &it->second;
 }

@@ -5,6 +5,8 @@
 /// created by T1 and deleted by T3, tuple3 created by T3).
 #pragma once
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +28,11 @@ struct TupleVersion {
 /// \brief A keyed MVCC heap. Writes are first-updater-wins: updating or
 /// deleting a version whose xmax is already set by a live transaction
 /// aborts the second writer (write-write conflict).
+///
+/// Thread safety: version chains are guarded by a std::shared_mutex —
+/// reads/scans take a shared lock and run concurrently (the parallel MPP
+/// scatter path), writes take an exclusive lock. Versions() returns a
+/// pointer into guarded state; it is for single-threaded use (tests).
 class MvccTable {
  public:
   explicit MvccTable(sql::Schema schema) : schema_(std::move(schema)) {}
@@ -67,14 +74,21 @@ class MvccTable {
   /// Raw version chain for a key (tests and the Fig. 2 walkthrough).
   const std::vector<TupleVersion>* Versions(const sql::Value& key) const;
 
-  size_t num_keys() const { return chains_.size(); }
-  size_t num_versions() const { return num_versions_; }
+  size_t num_keys() const {
+    std::shared_lock lock(mu_);
+    return chains_.size();
+  }
+  size_t num_versions() const {
+    std::shared_lock lock(mu_);
+    return num_versions_;
+  }
 
  private:
-  // Newest visible version index in a chain, or -1.
+  // Newest visible version index in a chain, or -1. Caller holds mu_.
   int FindVisible(const std::vector<TupleVersion>& chain,
                   const txn::VisibilityChecker& vis) const;
 
+  mutable std::shared_mutex mu_;  // guards chains_ and num_versions_
   sql::Schema schema_;
   std::unordered_map<sql::Value, std::vector<TupleVersion>> chains_;
   size_t num_versions_ = 0;

@@ -3,6 +3,7 @@
 namespace ofi::txn {
 
 Status CommitLog::Prepare(Xid xid) {
+  std::unique_lock lock(mu_);
   auto it = states_.find(xid);
   if (it == states_.end()) return Status::NotFound("prepare: unknown xid");
   if (it->second != TxnState::kInProgress) {
@@ -13,6 +14,7 @@ Status CommitLog::Prepare(Xid xid) {
 }
 
 Status CommitLog::Commit(Xid xid, Gxid gxid) {
+  std::unique_lock lock(mu_);
   auto it = states_.find(xid);
   if (it == states_.end()) return Status::NotFound("commit: unknown xid");
   if (it->second == TxnState::kCommitted) return Status::OK();  // idempotent
@@ -25,6 +27,7 @@ Status CommitLog::Commit(Xid xid, Gxid gxid) {
 }
 
 Status CommitLog::Abort(Xid xid) {
+  std::unique_lock lock(mu_);
   auto it = states_.find(xid);
   if (it == states_.end()) return Status::NotFound("abort: unknown xid");
   if (it->second == TxnState::kCommitted) {
@@ -35,6 +38,7 @@ Status CommitLog::Abort(Xid xid) {
 }
 
 void CommitLog::PruneBelowHorizon(Gxid horizon) {
+  std::unique_lock lock(mu_);
   // LCO: remove the longest prefix of entries that can never taint a future
   // merge (local-only, or multi-shard already below the horizon).
   size_t prefix = 0;
@@ -51,7 +55,7 @@ void CommitLog::PruneBelowHorizon(Gxid horizon) {
   for (auto it = gxid_to_local_.begin(); it != gxid_to_local_.end();) {
     // A still-prepared local xid must stay mapped: a reader may yet need the
     // UPGRADE wait for its delayed commit confirmation.
-    TxnState st = State(it->second);
+    TxnState st = StateLocked(it->second);
     bool finished = st == TxnState::kCommitted || st == TxnState::kAborted;
     if (it->first < horizon && finished) {
       local_to_gxid_.erase(it->second);
@@ -63,6 +67,7 @@ void CommitLog::PruneBelowHorizon(Gxid horizon) {
 }
 
 void CommitLog::TrimLco(size_t keep_last) {
+  std::unique_lock lock(mu_);
   if (lco_.size() <= keep_last) return;
   lco_.erase(lco_.begin(), lco_.end() - static_cast<ptrdiff_t>(keep_last));
 }

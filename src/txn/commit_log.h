@@ -2,9 +2,19 @@
 /// \brief Per-data-node transaction status: xid states, the Local Commit
 /// Order (LCO) consumed by Algorithm 1's downgradeTX, and the xidMap from
 /// global to local xids for multi-shard transactions.
+///
+/// Thread safety: all methods are guarded by an internal std::shared_mutex
+/// (readers concurrent, writers exclusive) so the parallel MPP scatter can
+/// run visibility checks from pool workers while writers commit. The
+/// reference accessors lco() / xid_map() are the exception — they hand out
+/// views into guarded state and are for single-threaded use (tests);
+/// concurrent code must use LcoCopy() / XidMapCopy().
 #pragma once
 
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -22,7 +32,10 @@ struct LcoEntry {
 class CommitLog {
  public:
   /// Registers a new in-progress transaction.
-  void Begin(Xid xid) { states_[xid] = TxnState::kInProgress; }
+  void Begin(Xid xid) {
+    std::unique_lock lock(mu_);
+    states_[xid] = TxnState::kInProgress;
+  }
 
   /// Transitions to Prepared (2PC phase one). InProgress only.
   Status Prepare(Xid xid);
@@ -37,8 +50,8 @@ class CommitLog {
   /// Current state; unknown xids report Aborted (pg convention: an xid with
   /// no clog record crashed before commit).
   TxnState State(Xid xid) const {
-    auto it = states_.find(xid);
-    return it == states_.end() ? TxnState::kAborted : it->second;
+    std::shared_lock lock(mu_);
+    return StateLocked(xid);
   }
 
   bool IsCommitted(Xid xid) const { return State(xid) == TxnState::kCommitted; }
@@ -46,11 +59,18 @@ class CommitLog {
   bool IsPrepared(Xid xid) const { return State(xid) == TxnState::kPrepared; }
   bool IsInProgress(Xid xid) const { return State(xid) == TxnState::kInProgress; }
 
-  /// The local commit order, oldest first.
+  /// The local commit order, oldest first (single-threaded callers only).
   const std::vector<LcoEntry>& lco() const { return lco_; }
+
+  /// Concurrent-safe snapshot of the LCO, oldest first.
+  std::vector<LcoEntry> LcoCopy() const {
+    std::shared_lock lock(mu_);
+    return lco_;
+  }
 
   /// Registers the gxid ↔ local-xid mapping for a multi-shard transaction.
   void MapGxid(Gxid gxid, Xid local_xid) {
+    std::unique_lock lock(mu_);
     gxid_to_local_[gxid] = local_xid;
     local_to_gxid_[local_xid] = gxid;
   }
@@ -58,24 +78,33 @@ class CommitLog {
   /// Local xid for a gxid on this DN; kInvalidXid if the transaction never
   /// touched this DN.
   Xid LocalXidFor(Gxid gxid) const {
+    std::shared_lock lock(mu_);
     auto it = gxid_to_local_.find(gxid);
     return it == gxid_to_local_.end() ? kInvalidXid : it->second;
   }
 
   /// Gxid for a local xid; kNoGxid for single-shard transactions.
   Gxid GxidFor(Xid xid) const {
-    auto it = local_to_gxid_.find(xid);
-    return it == local_to_gxid_.end() ? kNoGxid : it->second;
+    std::shared_lock lock(mu_);
+    return GxidForLocked(xid);
   }
 
+  /// The gxid → local-xid map (single-threaded callers only).
   const std::unordered_map<Gxid, Xid>& xid_map() const { return gxid_to_local_; }
+
+  /// Concurrent-safe snapshot of the gxid → local-xid map.
+  std::vector<std::pair<Gxid, Xid>> XidMapCopy() const {
+    std::shared_lock lock(mu_);
+    return {gxid_to_local_.begin(), gxid_to_local_.end()};
+  }
 
   /// All currently prepared transactions with their gxids (2PC in-doubt
   /// recovery scans this after a coordinator failure).
   std::vector<std::pair<Xid, Gxid>> PreparedXids() const {
+    std::shared_lock lock(mu_);
     std::vector<std::pair<Xid, Gxid>> out;
     for (const auto& [xid, state] : states_) {
-      if (state == TxnState::kPrepared) out.emplace_back(xid, GxidFor(xid));
+      if (state == TxnState::kPrepared) out.emplace_back(xid, GxidForLocked(xid));
     }
     return out;
   }
@@ -93,6 +122,16 @@ class CommitLog {
   void PruneBelowHorizon(Gxid horizon);
 
  private:
+  TxnState StateLocked(Xid xid) const {
+    auto it = states_.find(xid);
+    return it == states_.end() ? TxnState::kAborted : it->second;
+  }
+  Gxid GxidForLocked(Xid xid) const {
+    auto it = local_to_gxid_.find(xid);
+    return it == local_to_gxid_.end() ? kNoGxid : it->second;
+  }
+
+  mutable std::shared_mutex mu_;
   std::unordered_map<Xid, TxnState> states_;
   std::unordered_map<Gxid, Xid> gxid_to_local_;
   std::unordered_map<Xid, Gxid> local_to_gxid_;

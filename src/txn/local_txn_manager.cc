@@ -3,19 +3,27 @@
 namespace ofi::txn {
 
 Xid LocalTxnManager::Begin() {
-  Xid xid = next_xid_++;
-  active_.insert(xid);
+  Xid xid;
+  {
+    std::unique_lock lock(mu_);
+    xid = next_xid_++;
+    active_.insert(xid);
+  }
   clog_.Begin(xid);
   return xid;
 }
 
 void LocalTxnManager::BeginExternal(Xid xid) {
-  active_.insert(xid);
+  {
+    std::unique_lock lock(mu_);
+    active_.insert(xid);
+    if (xid >= next_xid_) next_xid_ = xid + 1;
+  }
   clog_.Begin(xid);
-  if (xid >= next_xid_) next_xid_ = xid + 1;
 }
 
 Snapshot LocalTxnManager::TakeSnapshot() const {
+  std::shared_lock lock(mu_);
   Snapshot s;
   s.xmax = next_xid_;
   s.xmin = active_.empty() ? s.xmax : *active_.begin();
@@ -25,12 +33,14 @@ Snapshot LocalTxnManager::TakeSnapshot() const {
 
 Status LocalTxnManager::Commit(Xid xid, Gxid gxid) {
   OFI_RETURN_NOT_OK(clog_.Commit(xid, gxid));
+  std::unique_lock lock(mu_);
   active_.erase(xid);
   return Status::OK();
 }
 
 Status LocalTxnManager::Abort(Xid xid) {
   OFI_RETURN_NOT_OK(clog_.Abort(xid));
+  std::unique_lock lock(mu_);
   active_.erase(xid);
   return Status::OK();
 }

@@ -2,9 +2,16 @@
 /// \brief Per-data-node transaction manager: local XID allocation, local
 /// snapshots, and the commit log. Under GTM-lite, single-shard transactions
 /// live entirely here — no GTM round trips (paper §II-A2).
+///
+/// Thread safety: xid allocation and the active set are guarded by a
+/// std::shared_mutex (snapshot readers concurrent, begin/commit/abort
+/// exclusive) so parallel MPP scatter workers can take visibility decisions
+/// while other transactions run. The commit log has its own internal lock.
 #pragma once
 
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/result.h"
 #include "txn/commit_log.h"
@@ -41,10 +48,17 @@ class LocalTxnManager {
   const CommitLog& clog() const { return clog_; }
   CommitLog& mutable_clog() { return clog_; }
 
-  Xid next_xid() const { return next_xid_; }
-  size_t active_count() const { return active_.size(); }
+  Xid next_xid() const {
+    std::shared_lock lock(mu_);
+    return next_xid_;
+  }
+  size_t active_count() const {
+    std::shared_lock lock(mu_);
+    return active_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;  // guards next_xid_ and active_
   Xid next_xid_ = 1;
   std::set<Xid> active_;  // in-progress and prepared local xids
   CommitLog clog_;

@@ -9,6 +9,12 @@ MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
   MergedSnapshot merged;
   merged.local = local;
 
+  // Snapshot the clog structures up front (shared-lock copies): the merge
+  // must iterate a stable view while concurrent writers append to the LCO,
+  // and the UPGRADE waiter itself commits entries mid-merge.
+  const auto xid_map = clog.XidMapCopy();
+  const auto lco = clog.LcoCopy();
+
   // Step 1-2 (Algorithm 1 lines 1-4): seed the merged active map with the
   // local images of globally active transactions plus all locally active
   // transactions. `local` already carries the latter; add the former.
@@ -24,7 +30,7 @@ MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
   // For every multi-shard transaction known to this DN whose gxid is
   // *visible* in the global snapshot: the reader must see it. If it is still
   // prepared (Anomaly1 window) wait for the commit confirmation.
-  for (const auto& [gxid, lxid] : clog.xid_map()) {
+  for (const auto& [gxid, lxid] : xid_map) {
     if (global.InFlight(gxid)) continue;  // globally active: stays invisible
     TxnState state = clog.State(lxid);
     if (state == TxnState::kPrepared || state == TxnState::kInProgress) {
@@ -40,7 +46,7 @@ MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
   // entry whose owning global transaction is invisible in the global
   // snapshot, treat that entry and every later local commit as "active".
   bool tainted = false;
-  for (const LcoEntry& e : clog.lco()) {
+  for (const LcoEntry& e : lco) {
     if (!tainted && e.gxid != kNoGxid && global.InFlight(e.gxid)) {
       tainted = true;
     }
@@ -57,6 +63,22 @@ MergedSnapshot MergeSnapshots(const Snapshot& global, const Snapshot& local,
   for (Xid x : merged.local.active) {
     merged.local.xmin = std::min(merged.local.xmin, x);
   }
+
+  // Line 7 (continued): an UPGRADEd xid can sit at or above local.xmax —
+  // the local snapshot predates the multi-shard writer's local begin while
+  // the global snapshot already proves it committed. Raise xmax above every
+  // forced-committed xid so the snapshot invariant (every visible xid <
+  // xmax) holds for all consumers of `merged.local`, and push each *other*
+  // xid inside the raised window onto the active list so raising xmax never
+  // leaks an unrelated late commit into visibility.
+  Xid raised_xmax = merged.local.xmax;
+  for (Xid x : merged.forced_committed) {
+    if (x >= raised_xmax) raised_xmax = x + 1;
+  }
+  for (Xid x = merged.local.xmax; x < raised_xmax; ++x) {
+    if (merged.forced_committed.count(x) == 0) merged.local.active.insert(x);
+  }
+  merged.local.xmax = raised_xmax;
 
   return merged;
 }

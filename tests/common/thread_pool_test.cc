@@ -1,0 +1,81 @@
+/// The shared thread pool behind the parallel MPP scatter: every submitted
+/// task runs exactly once, ParallelFor covers every index and blocks until
+/// done, and the destructor drains the queue before joining.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace ofi::common {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue and joins.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForBlocksUntilAllDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.ParallelFor(50, [&done](int) { done.fetch_add(1); });
+  // If ParallelFor returned early this would race; with the barrier it is
+  // always exactly 50 here.
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallCountsRunInline) {
+  ThreadPool pool(4);
+  int plain = 0;  // no atomic needed: n <= 1 runs on the caller thread
+  pool.ParallelFor(0, [&plain](int) { ++plain; });
+  EXPECT_EQ(plain, 0);
+  pool.ParallelFor(1, [&plain](int i) {
+    EXPECT_EQ(i, 0);
+    ++plain;
+  });
+  EXPECT_EQ(plain, 1);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.ParallelFor(4, [&ran](int) { ran = true; });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastTwoThreads) {
+  // Sized for parallelism even on single-core CI hosts.
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 2);
+}
+
+TEST(ThreadPoolTest, TasksSeeWritesFromSubmitter) {
+  ThreadPool pool(3);
+  std::vector<int> results(64, 0);
+  pool.ParallelFor(64, [&results](int i) { results[static_cast<size_t>(i)] = i * i; });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+}  // namespace
+}  // namespace ofi::common

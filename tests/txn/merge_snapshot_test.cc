@@ -134,6 +134,56 @@ TEST(MergeSnapshotTest, MergedXminCoversDowngradedXids) {
   }
 }
 
+// Regression: an UPGRADEd multi-shard commit can carry a local xid at or
+// above the reader's local xmax (the local snapshot was taken before the
+// writer's local begin, but the global snapshot proves it committed).
+// MergeSnapshots must raise merged.local.xmax above every forced-committed
+// xid so the snapshot invariant (visible => xid < xmax) holds for plain
+// consumers of merged.local — without leaking other late commits in.
+TEST(MergeSnapshotTest, UpgradeAboveLocalXmaxRaisesXmax) {
+  LocalTxnManager mgr;
+  Snapshot local = mgr.TakeSnapshot();  // before any local activity: xmax == 1
+
+  // After the snapshot: a local commit, then a multi-shard commit.
+  Xid s = mgr.Begin();
+  ASSERT_TRUE(mgr.Commit(s).ok());
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+  ASSERT_GE(t1, local.xmax);  // the premise of the regression
+
+  // Reader's global snapshot has gxid 10 committed -> UPGRADE t1.
+  Snapshot global{.xmin = 11, .xmax = 11, .active = {}};
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+  ASSERT_EQ(merged.forced_committed.count(t1), 1u);
+
+  // Invariant restored: the forced-committed xid sits below the merged xmax.
+  EXPECT_GT(merged.local.xmax, t1);
+  EXPECT_FALSE(merged.local.InFlight(t1));
+
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_TRUE(vis.XidVisible(t1));
+  // The unrelated local commit in the raised window stays invisible: it
+  // happened after the reader's snapshot and nothing upgraded it.
+  EXPECT_FALSE(vis.XidVisible(s));
+  EXPECT_TRUE(merged.local.InFlight(s));
+}
+
+TEST(MergeSnapshotTest, UpgradeBelowLocalXmaxLeavesXmaxAlone) {
+  LocalTxnManager mgr;
+  Xid t1 = mgr.Begin();
+  mgr.BindGxid(t1, 10);
+  ASSERT_TRUE(mgr.Commit(t1, 10).ok());
+  Snapshot local = mgr.TakeSnapshot();  // already covers t1
+  ASSERT_LT(t1, local.xmax);
+
+  Snapshot global{.xmin = 11, .xmax = 11, .active = {}};
+  MergedSnapshot merged = MergeSnapshots(global, local, mgr.clog(), NoWait());
+  EXPECT_EQ(merged.local.xmax, local.xmax);
+  VisibilityChecker vis(&merged, &mgr.clog(), 999);
+  EXPECT_TRUE(vis.XidVisible(t1));
+}
+
 TEST(CommitLogTest, PruneBelowHorizon) {
   CommitLog clog;
   // Three multi-shard commits with gxids 5, 10, 15 plus local ones between.
