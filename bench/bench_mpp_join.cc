@@ -1,0 +1,203 @@
+/// \file bench_mpp_join.cc
+/// \brief Cross-shard joins over the exchange (paper Fig. 1: data nodes
+/// "exchange data on-demand and execute the query in parallel"). Compares
+/// broadcast vs repartition vs the naive ship-everything baseline on skewed
+/// and uniform key distributions: bytes moved, exchange batches, and both
+/// simulated-latency models (parallel max-over-DNs vs chained round trips).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "cluster/mpp_query.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+/// Orders (left, `rows` rows) joined to customers (right, `dim_rows` rows)
+/// on customer id. skew=false draws keys uniformly; skew=true draws them
+/// Zipf(0.99), piling most orders onto a few hot customers.
+std::unique_ptr<Cluster> BuildJoinCluster(int dns, int64_t rows,
+                                          int64_t dim_rows, bool skew) {
+  auto cluster = std::make_unique<Cluster>(dns, Protocol::kGtmLite);
+  Schema orders({Column{"o_id", TypeId::kInt64, ""},
+                 Column{"cust", TypeId::kInt64, ""},
+                 Column{"amount", TypeId::kInt64, ""}});
+  Schema customers({Column{"c_id", TypeId::kInt64, ""},
+                    Column{"segment", TypeId::kInt64, ""}});
+  (void)cluster->CreateTable("orders", orders);
+  (void)cluster->CreateTable("customers", customers);
+  Rng rng(41);
+  Zipfian zipf(static_cast<uint64_t>(dim_rows), 0.99, 41);
+  for (int64_t c = 0; c < dim_rows; ++c) {
+    Txn t = cluster->Begin(TxnScope::kSingleShard);
+    (void)t.Insert("customers", Value(c), {Value(c), Value(rng.Uniform(0, 7))});
+    (void)t.Commit();
+  }
+  for (int64_t o = 0; o < rows; ++o) {
+    int64_t cust = skew ? static_cast<int64_t>(zipf.Next())
+                        : rng.Uniform(0, dim_rows - 1);
+    Txn t = cluster->Begin(TxnScope::kSingleShard);
+    (void)t.Insert("orders", Value(o),
+                   {Value(o), Value(cust), Value(rng.Uniform(1, 1000))});
+    (void)t.Commit();
+  }
+  return cluster;
+}
+
+DistributedJoinSpec JoinSpec() {
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "customers";
+  spec.left_key = "cust";
+  spec.right_key = "c_id";
+  return spec;
+}
+
+/// range: dns, dim_rows, strategy (0 broadcast / 1 repartition / 2 auto),
+/// skew.
+void BM_DistributedJoin(benchmark::State& state) {
+  int dns = static_cast<int>(state.range(0));
+  int64_t dim_rows = state.range(1);
+  auto cluster = BuildJoinCluster(dns, 8'000, dim_rows, state.range(3) != 0);
+  DistributedJoinOptions options;
+  options.strategy = state.range(2) == 0   ? JoinStrategy::kBroadcast
+                     : state.range(2) == 1 ? JoinStrategy::kRepartition
+                                           : JoinStrategy::kAuto;
+  DistributedJoinResult last;
+  for (auto _ : state) {
+    auto r = DistributedJoin(cluster.get(), JoinSpec(), options);
+    if (r.ok()) last = std::move(r).ValueOrDie();
+    benchmark::DoNotOptimize(last.table);
+  }
+  state.counters["moved_bytes"] =
+      static_cast<double>(last.shuffle_bytes + last.broadcast_bytes);
+  state.counters["naive_bytes"] = static_cast<double>(last.naive_bytes);
+  state.counters["batches"] = static_cast<double>(last.exchange_batches);
+  state.counters["sim_us"] = static_cast<double>(last.sim_latency_us);
+  state.counters["sim_serial_us"] =
+      static_cast<double>(last.sim_latency_serial_us);
+}
+BENCHMARK(BM_DistributedJoin)
+    ->ArgNames({"dns", "dim", "strat", "skew"})
+    ->Args({4, 100, 0, 0})
+    ->Args({4, 100, 1, 0})
+    ->Args({4, 100, 2, 0})
+    ->Args({4, 8000, 0, 0})
+    ->Args({4, 8000, 1, 0})
+    ->Args({4, 8000, 2, 0})
+    ->Args({4, 8000, 1, 1})
+    ->Args({8, 8000, 1, 0})
+    ->Unit(benchmark::kMillisecond);
+
+const char* StratName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kBroadcast: return "broadcast";
+    case JoinStrategy::kRepartition: return "repartition";
+    case JoinStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// Bytes moved per strategy vs the naive baseline, small and large build
+/// sides, uniform and skewed keys.
+void PrintMovementTable() {
+  printf("\n=== Distributed join: bytes moved across DNs (4 DNs, 8000 orders) "
+         "===\n");
+  printf("%-9s %-8s %-12s %12s %12s %12s %8s\n", "dim rows", "keys", "strategy",
+         "moved (B)", "naive (B)", "batches", "auto?");
+  for (auto [dim_rows, skew] :
+       {std::pair<int64_t, bool>{100, false}, {8000, false}, {8000, true}}) {
+    auto cluster = BuildJoinCluster(4, 8'000, dim_rows, skew);
+    auto auto_r = DistributedJoin(cluster.get(), JoinSpec());
+    JoinStrategy chosen =
+        auto_r.ok() ? auto_r->strategy : JoinStrategy::kBroadcast;
+    for (auto strat : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+      DistributedJoinOptions options;
+      options.strategy = strat;
+      auto r = DistributedJoin(cluster.get(), JoinSpec(), options);
+      if (!r.ok()) continue;
+      printf("%-9lld %-8s %-12s %12zu %12zu %12zu %8s\n", (long long)dim_rows,
+             skew ? "zipf" : "uniform", StratName(strat),
+             r->shuffle_bytes + r->broadcast_bytes, r->naive_bytes,
+             r->exchange_batches, strat == chosen ? "<-" : "");
+    }
+  }
+  printf("(broadcast ~ |small| x (N-1) wins on a small build side; "
+         "repartition ~ (|L|+|R|) x (N-1)/N wins when both sides are large; "
+         "skew does not change totals, only per-channel balance)\n\n");
+}
+
+/// Per-channel balance under skew: repartition sends each key to one owner,
+/// so a Zipf-hot key concentrates bytes on one destination DN.
+void PrintSkewTable() {
+  printf("=== Repartition channel balance: uniform vs zipf keys (4 DNs) ===\n");
+  printf("%-8s %14s %14s %8s\n", "keys", "max in (B)", "min in (B)",
+         "imbal");
+  for (bool skew : {false, true}) {
+    auto cluster = BuildJoinCluster(4, 8'000, 8'000, skew);
+    DistributedJoinOptions options;
+    options.strategy = JoinStrategy::kRepartition;
+    auto r = DistributedJoin(cluster.get(), JoinSpec(), options);
+    if (!r.ok()) continue;
+    std::map<int, size_t> in_bytes;
+    for (const auto& ch : r->channels) {
+      if (ch.src != ch.dst) in_bytes[ch.dst] += ch.bytes;
+    }
+    size_t max_in = 0, min_in = SIZE_MAX;
+    for (const auto& [dst, b] : in_bytes) {
+      max_in = std::max(max_in, b);
+      min_in = std::min(min_in, b);
+    }
+    if (min_in == SIZE_MAX) min_in = 0;
+    printf("%-8s %14zu %14zu %7.2fx\n", skew ? "zipf" : "uniform", max_in,
+           min_in,
+           static_cast<double>(max_in) /
+               static_cast<double>(std::max<size_t>(1, min_in)));
+  }
+  printf("(the hot key's owner DN receives disproportionate bytes under "
+         "zipf — the classic shuffle-skew problem broadcast avoids)\n\n");
+}
+
+/// Both simulated-latency models across cluster sizes.
+void PrintLatencyTable() {
+  printf("=== Distributed join: simulated latency, parallel vs chained ===\n");
+  printf("%-4s %-12s %14s %16s\n", "DNs", "strategy", "sim par (us)",
+         "sim serial (us)");
+  for (int dns : {2, 4, 8}) {
+    auto cluster = BuildJoinCluster(dns, 8'000, 8'000, false);
+    for (auto strat : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+      DistributedJoinOptions options;
+      options.strategy = strat;
+      cluster->ResetSimTime();
+      auto r = DistributedJoin(cluster.get(), JoinSpec(), options);
+      if (!r.ok()) continue;
+      printf("%-4d %-12s %14lld %16lld\n", dns, StratName(strat),
+             (long long)r->sim_latency_us, (long long)r->sim_latency_serial_us);
+    }
+  }
+  printf("(parallel: exchange completes at the slowest sender + one hop, so "
+         "repartition IMPROVES with DNs as each node ships/decodes 1/N; the "
+         "chained model grows with N)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintMovementTable();
+  PrintSkewTable();
+  PrintLatencyTable();
+  return 0;
+}

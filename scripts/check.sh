@@ -14,6 +14,12 @@ run_preset() {
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
+  # The exchange/join tests cross threads by design (pool scatter, channel
+  # sends, vacuum-under-exchange stress) — run them by name so a filtered or
+  # stale test list can never skip the reason this gate exists.
+  echo "=== ${preset}: exchange/join focus ==="
+  ctest --preset "${preset}" -R "exchange|distributed_join|vacuum_exchange" \
+    --output-on-failure
 }
 
 case "${want}" in

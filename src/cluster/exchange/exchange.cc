@@ -1,0 +1,411 @@
+#include "cluster/exchange/exchange.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ofi::cluster::exchange {
+namespace {
+
+using sql::Row;
+using sql::TypeId;
+using sql::Value;
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+bool ReadU8(const std::string& buf, size_t* off, uint8_t* v) {
+  if (*off + 1 > buf.size()) return false;
+  *v = static_cast<uint8_t>(buf[(*off)++]);
+  return true;
+}
+
+bool ReadU32(const std::string& buf, size_t* off, uint32_t* v) {
+  if (*off + 4 > buf.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[*off + i])) << (8 * i);
+  }
+  *off += 4;
+  return true;
+}
+
+bool ReadU64(const std::string& buf, size_t* off, uint64_t* v) {
+  if (*off + 8 > buf.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[*off + i])) << (8 * i);
+  }
+  *off += 8;
+  return true;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<Value> DecodeValue(const std::string& buf, size_t* off) {
+  uint8_t tag;
+  if (!ReadU8(buf, off, &tag)) {
+    return Status::InvalidArgument("exchange batch truncated (value tag)");
+  }
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      uint8_t b;
+      if (!ReadU8(buf, off, &b)) {
+        return Status::InvalidArgument("exchange batch truncated (bool)");
+      }
+      return Value(b != 0);
+    }
+    case TypeId::kInt64: {
+      uint64_t v;
+      if (!ReadU64(buf, off, &v)) {
+        return Status::InvalidArgument("exchange batch truncated (int64)");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case TypeId::kTimestamp: {
+      uint64_t v;
+      if (!ReadU64(buf, off, &v)) {
+        return Status::InvalidArgument("exchange batch truncated (timestamp)");
+      }
+      return Value::Timestamp(static_cast<int64_t>(v));
+    }
+    case TypeId::kDouble: {
+      uint64_t bits;
+      if (!ReadU64(buf, off, &bits)) {
+        return Status::InvalidArgument("exchange batch truncated (double)");
+      }
+      return Value(BitsToDouble(bits));
+    }
+    case TypeId::kString: {
+      uint32_t len;
+      if (!ReadU32(buf, off, &len) || *off + len > buf.size()) {
+        return Status::InvalidArgument("exchange batch truncated (string)");
+      }
+      std::string s = buf.substr(*off, len);
+      *off += len;
+      return Value(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("exchange batch: unknown type tag " +
+                                 std::to_string(tag));
+}
+
+// FNV-1a over normalized payload bytes; see HashForPartition contract.
+struct Fnv {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  void Mix(uint8_t b) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  void Mix64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) Mix(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+};
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  AppendU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      AppendU8(out, v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      AppendU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case TypeId::kDouble:
+      AppendU64(out, DoubleBits(v.AsDouble()));
+      break;
+    case TypeId::kString:
+      AppendU32(out, static_cast<uint32_t>(v.AsString().size()));
+      out->append(v.AsString());
+      break;
+  }
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  AppendU32(out, static_cast<uint32_t>(row.size()));
+  for (const auto& v : row) EncodeValue(v, out);
+}
+
+std::string EncodeBatch(const std::vector<Row>& rows, size_t begin, size_t end) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) EncodeRow(rows[i], &out);
+  return out;
+}
+
+Result<std::vector<Row>> DecodeBatch(const std::string& buf) {
+  size_t off = 0;
+  uint32_t num_rows;
+  if (!ReadU32(buf, &off, &num_rows)) {
+    return Status::InvalidArgument("exchange batch truncated (row count)");
+  }
+  std::vector<Row> rows;
+  rows.reserve(num_rows);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    uint32_t num_vals;
+    if (!ReadU32(buf, &off, &num_vals)) {
+      return Status::InvalidArgument("exchange batch truncated (value count)");
+    }
+    Row row;
+    row.reserve(num_vals);
+    for (uint32_t c = 0; c < num_vals; ++c) {
+      OFI_ASSIGN_OR_RETURN(Value v, DecodeValue(buf, &off));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (off != buf.size()) {
+    return Status::InvalidArgument("exchange batch has trailing bytes");
+  }
+  return rows;
+}
+
+size_t EncodedValueSize(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull: return 1;
+    case TypeId::kBool: return 2;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+    case TypeId::kDouble: return 9;
+    case TypeId::kString: return 5 + v.AsString().size();
+  }
+  return 1;
+}
+
+size_t EncodedRowSize(const Row& row) {
+  size_t n = 4;
+  for (const auto& v : row) n += EncodedValueSize(v);
+  return n;
+}
+
+size_t EncodedBytes(const std::vector<Row>& rows, size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = 1;
+  size_t n = 0;
+  for (const auto& r : rows) n += EncodedRowSize(r);
+  size_t batches = (rows.size() + batch_rows - 1) / batch_rows;
+  return n + 4 * std::max<size_t>(batches, 1);  // batch headers
+}
+
+uint64_t HashForPartition(const Value& v) {
+  // Normalization mirrors Value::Compare equivalence classes: all numeric
+  // types that compare equal must hash equal (1 == 1.0 == TIMESTAMP(1)).
+  Fnv f;
+  switch (v.type()) {
+    case TypeId::kNull:
+      f.Mix(0);
+      break;
+    case TypeId::kBool:
+      f.Mix(1);
+      f.Mix(v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      f.Mix(2);
+      f.Mix64(static_cast<uint64_t>(v.AsInt()));
+      break;
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        f.Mix(2);  // integral double joins the int64 class
+        f.Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      } else {
+        f.Mix(3);
+        f.Mix64(DoubleBits(d));
+      }
+      break;
+    }
+    case TypeId::kString:
+      f.Mix(4);
+      for (char c : v.AsString()) f.Mix(static_cast<uint8_t>(c));
+      break;
+  }
+  return f.h;
+}
+
+void ExchangeNetwork::SendRows(int src, int dst, const std::vector<Row>& rows) {
+  ExchangeChannel& ch = channel(src, dst);
+  for (size_t begin = 0; begin < rows.size(); begin += batch_rows_) {
+    size_t end = std::min(begin + batch_rows_, rows.size());
+    ch.Send(EncodeBatch(rows, begin, end));
+  }
+}
+
+Result<std::vector<Row>> ExchangeNetwork::ReceiveRows(int dst) {
+  std::vector<Row> out;
+  for (int src = 0; src < n_; ++src) {
+    for (auto& batch : channel(src, dst).Drain()) {
+      OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, DecodeBatch(batch));
+      for (auto& r : rows) out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<ChannelStats> ExchangeNetwork::Stats() const {
+  std::vector<ChannelStats> out;
+  for (int src = 0; src < n_; ++src) {
+    for (int dst = 0; dst < n_; ++dst) {
+      const ExchangeChannel& ch = channel(src, dst);
+      size_t batches = ch.batches();
+      if (batches == 0) continue;
+      out.push_back(ChannelStats{src, dst, ch.bytes(), batches});
+    }
+  }
+  return out;
+}
+
+size_t ExchangeNetwork::CrossNodeBytes() const {
+  size_t n = 0;
+  for (int src = 0; src < n_; ++src) {
+    for (int dst = 0; dst < n_; ++dst) {
+      if (src != dst) n += channel(src, dst).bytes();
+    }
+  }
+  return n;
+}
+
+size_t ExchangeNetwork::CrossNodeBatches() const {
+  size_t n = 0;
+  for (int src = 0; src < n_; ++src) {
+    for (int dst = 0; dst < n_; ++dst) {
+      if (src != dst) n += channel(src, dst).batches();
+    }
+  }
+  return n;
+}
+
+size_t ExchangeNetwork::OutBytes(int src) const {
+  size_t n = 0;
+  for (int dst = 0; dst < n_; ++dst) {
+    if (dst != src) n += channel(src, dst).bytes();
+  }
+  return n;
+}
+
+size_t ExchangeNetwork::OutBatches(int src) const {
+  size_t n = 0;
+  for (int dst = 0; dst < n_; ++dst) {
+    if (dst != src) n += channel(src, dst).batches();
+  }
+  return n;
+}
+
+size_t ExchangeNetwork::InBytes(int dst) const {
+  size_t n = 0;
+  for (int src = 0; src < n_; ++src) {
+    if (src != dst) n += channel(src, dst).bytes();
+  }
+  return n;
+}
+
+size_t ExchangeNetwork::InBatches(int dst) const {
+  size_t n = 0;
+  for (int src = 0; src < n_; ++src) {
+    if (src != dst) n += channel(src, dst).batches();
+  }
+  return n;
+}
+
+void ShufflePartition(ExchangeNetwork* net, int src,
+                      const std::vector<Row>& rows, size_t key_idx) {
+  const int n = net->num_nodes();
+  std::vector<std::vector<Row>> parts(static_cast<size_t>(n));
+  for (const auto& row : rows) {
+    int dst = static_cast<int>(HashForPartition(row[key_idx]) %
+                               static_cast<uint64_t>(n));
+    parts[static_cast<size_t>(dst)].push_back(row);
+  }
+  for (int dst = 0; dst < n; ++dst) {
+    net->SendRows(src, dst, parts[static_cast<size_t>(dst)]);
+  }
+}
+
+void BroadcastRows(ExchangeNetwork* net, int src, const std::vector<Row>& rows) {
+  for (int dst = 0; dst < net->num_nodes(); ++dst) {
+    net->SendRows(src, dst, rows);
+  }
+}
+
+SimTime ExchangeServiceTime(size_t bytes, size_t batches,
+                            const ExchangeLatencyParams& p) {
+  SimTime kib = static_cast<SimTime>((bytes + 1023) / 1024);
+  return static_cast<SimTime>(batches) * p.batch_service_us +
+         kib * p.kb_service_us;
+}
+
+std::vector<SimTime> SimulateExchange(
+    SimScheduler* scheduler, const std::vector<int>& node_resources,
+    const std::vector<const ExchangeNetwork*>& nets,
+    const std::vector<SimTime>& start, const ExchangeLatencyParams& p) {
+  const int n = static_cast<int>(node_resources.size());
+
+  // Senders: each node serializes its whole cross-node outgoing traffic on
+  // its own serialized resource, starting when its scan completed.
+  std::vector<SimTime> send_done(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    size_t bytes = 0, batches = 0;
+    for (const auto* net : nets) {
+      bytes += net->OutBytes(i);
+      batches += net->OutBatches(i);
+    }
+    SimTime service = ExchangeServiceTime(bytes, batches, p);
+    send_done[i] =
+        service == 0
+            ? start[i]
+            : scheduler->Charge(node_resources[i], start[i], service);
+  }
+
+  // Receivers: node j can decode once the slowest sender shipping to it has
+  // finished, plus one network hop (max-over-senders, not a chained sum).
+  std::vector<SimTime> done(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    SimTime arrival = std::max(start[j], send_done[j]);
+    size_t bytes = 0, batches = 0;
+    bool any_in = false;
+    for (int i = 0; i < n; ++i) {
+      if (i == j) continue;
+      size_t b = 0;
+      for (const auto* net : nets) b += net->channel(i, j).batches();
+      if (b == 0) continue;
+      any_in = true;
+      arrival = std::max(arrival, send_done[i] + p.network_hop_us);
+    }
+    for (const auto* net : nets) {
+      bytes += net->InBytes(j);
+      batches += net->InBatches(j);
+    }
+    SimTime service = any_in ? ExchangeServiceTime(bytes, batches, p) : 0;
+    done[j] = service == 0
+                  ? arrival
+                  : scheduler->Charge(node_resources[j], arrival, service);
+  }
+  return done;
+}
+
+}  // namespace ofi::cluster::exchange

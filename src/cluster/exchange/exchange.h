@@ -1,0 +1,210 @@
+/// \file exchange.h
+/// \brief The distributed exchange subsystem: moving serialized row batches
+/// between data nodes (paper Fig. 1: data nodes "exchange data on-demand and
+/// execute the query in parallel"). Before this layer the cluster could only
+/// scatter-gather aggregate — rows never crossed shards, so every join was
+/// single-node. The exchange provides the two classic MPP data-movement
+/// operators:
+///
+/// * ShufflePartition — hash-repartition: every node splits its local rows
+///   by a hash of the join key and ships partition j to node j, so rows
+///   with equal keys meet on one node regardless of where they started.
+/// * BroadcastRows — every node ships its full local row set to every other
+///   node, so one (small) side of a join is complete everywhere.
+///
+/// Rows move as *serialized* batches through per-(src,dst) channels with
+/// byte/batch accounting, because bytes moved is the quantity MPP planners
+/// optimize (broadcast ~ |small| x (N-1) vs repartition ~ (|L|+|R|) x
+/// (N-1)/N). Delivery is deterministic: a receiver drains channels in
+/// source-node order and each channel preserves send order, so downstream
+/// operators see a platform-independent row order.
+///
+/// The simulated latency model is consistent with the max-over-DNs scatter
+/// in cluster/mpp_query.h: every node serializes+sends its outgoing traffic
+/// and decodes its incoming traffic as work on its own serialized resource
+/// (per-batch overhead + per-KiB payload cost, see LatencyModel), and the
+/// exchange completes on node j when the slowest contributing sender has
+/// finished plus one network hop — not the serial sum over nodes (which
+/// callers still report for comparison).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "sql/schema.h"
+
+namespace ofi::cluster::exchange {
+
+// --- Row/batch wire format ---------------------------------------------------
+// Batch   := u32 row_count, Row*
+// Row     := u32 value_count, Value*
+// Value   := u8 TypeId tag, payload
+// Payload := bool: u8 | int64/timestamp: i64 LE | double: IEEE bits LE
+//          | string: u32 LE length + bytes | null: empty
+// All integers little-endian, so encoded bytes (and therefore the byte
+// accounting) are platform-independent.
+
+/// Appends the encoding of one value to `out`.
+void EncodeValue(const sql::Value& v, std::string* out);
+/// Appends the encoding of one row to `out`.
+void EncodeRow(const sql::Row& row, std::string* out);
+/// Encodes `rows[begin, end)` as one batch.
+std::string EncodeBatch(const std::vector<sql::Row>& rows, size_t begin,
+                        size_t end);
+
+/// Decodes one batch produced by EncodeBatch; InvalidArgument on corrupt or
+/// truncated input.
+Result<std::vector<sql::Row>> DecodeBatch(const std::string& buf);
+
+/// Encoded size of a value/row without materializing the bytes (used for
+/// the ship-all-rows baseline and planner-side cost estimates).
+size_t EncodedValueSize(const sql::Value& v);
+size_t EncodedRowSize(const sql::Row& row);
+/// Total encoded bytes of `rows` framed into batches of `batch_rows`.
+size_t EncodedBytes(const std::vector<sql::Row>& rows, size_t batch_rows);
+
+/// Partition hash, consistent with sql::Value::Equals (1, 1.0 and
+/// TIMESTAMP(1) hash identically; NULLs hash together) and stable across
+/// platforms (FNV-1a over the normalized payload) — so a repartitioned join
+/// routes every matching pair to the same partition on any host.
+uint64_t HashForPartition(const sql::Value& v);
+
+// --- Channels ----------------------------------------------------------------
+
+/// Byte/batch accounting for one (src,dst) channel.
+struct ChannelStats {
+  int src = 0;
+  int dst = 0;
+  size_t bytes = 0;
+  size_t batches = 0;
+};
+
+/// \brief One directed src->dst mailbox carrying serialized batches.
+/// Thread-safe: senders run on thread-pool workers. Order-preserving.
+class ExchangeChannel {
+ public:
+  void Send(std::string batch) {
+    std::lock_guard lock(mu_);
+    bytes_ += batch.size();
+    ++batches_;
+    queue_.push_back(std::move(batch));
+  }
+
+  /// Removes and returns every queued batch in send order.
+  std::vector<std::string> Drain() {
+    std::lock_guard lock(mu_);
+    std::vector<std::string> out;
+    out.swap(queue_);
+    return out;
+  }
+
+  size_t bytes() const {
+    std::lock_guard lock(mu_);
+    return bytes_;
+  }
+  size_t batches() const {
+    std::lock_guard lock(mu_);
+    return batches_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> queue_;
+  size_t bytes_ = 0;    // lifetime total, not decremented by Drain
+  size_t batches_ = 0;
+};
+
+/// \brief The all-to-all mailbox grid for one exchange step: num_nodes^2
+/// channels. Loopback (src == dst) traffic still goes through the codec —
+/// the receive path is identical for local and remote rows — but is excluded
+/// from the cross-node byte/batch accounting and from simulated latency,
+/// matching a real DN keeping its own partition in memory.
+class ExchangeNetwork {
+ public:
+  explicit ExchangeNetwork(int num_nodes, size_t batch_rows = 64)
+      : n_(num_nodes),
+        batch_rows_(batch_rows == 0 ? 1 : batch_rows),
+        channels_(static_cast<size_t>(num_nodes) * num_nodes) {}
+
+  int num_nodes() const { return n_; }
+  size_t batch_rows() const { return batch_rows_; }
+
+  ExchangeChannel& channel(int src, int dst) {
+    return channels_[static_cast<size_t>(src) * n_ + dst];
+  }
+  const ExchangeChannel& channel(int src, int dst) const {
+    return channels_[static_cast<size_t>(src) * n_ + dst];
+  }
+
+  /// Encodes `rows` into batches of at most batch_rows() and sends them
+  /// src -> dst. Safe to call concurrently for distinct `src`.
+  void SendRows(int src, int dst, const std::vector<sql::Row>& rows);
+
+  /// Drains and decodes everything addressed to `dst`, concatenated in
+  /// source-node order (deterministic receive order).
+  Result<std::vector<sql::Row>> ReceiveRows(int dst);
+
+  /// Per-channel accounting for every non-empty channel, in (src,dst) order.
+  std::vector<ChannelStats> Stats() const;
+
+  /// Cross-node traffic (loopback excluded) — the bytes a real network moves.
+  size_t CrossNodeBytes() const;
+  size_t CrossNodeBatches() const;
+  /// Cross-node traffic leaving `src` / entering `dst`.
+  size_t OutBytes(int src) const;
+  size_t OutBatches(int src) const;
+  size_t InBytes(int dst) const;
+  size_t InBatches(int dst) const;
+
+ private:
+  int n_;
+  size_t batch_rows_;
+  std::vector<ExchangeChannel> channels_;  // row-major [src][dst]
+};
+
+// --- Operators ---------------------------------------------------------------
+
+/// Hash-repartition: splits `rows` by HashForPartition(row[key_idx]) %
+/// num_nodes and sends each partition from `src` to its owning node,
+/// preserving relative row order within each partition. Rows with NULL keys
+/// are routed like any other value (an inner join drops them at the probe).
+void ShufflePartition(ExchangeNetwork* net, int src,
+                      const std::vector<sql::Row>& rows, size_t key_idx);
+
+/// Broadcast: sends every row from `src` to every node (including the
+/// loopback copy to itself, so receivers assemble the full relation from
+/// channels alone).
+void BroadcastRows(ExchangeNetwork* net, int src,
+                   const std::vector<sql::Row>& rows);
+
+// --- Simulated latency -------------------------------------------------------
+
+/// Cost constants for one exchange step (taken from cluster::LatencyModel).
+struct ExchangeLatencyParams {
+  SimTime network_hop_us = 25;
+  SimTime batch_service_us = 4;  // per-batch serialize/deserialize overhead
+  SimTime kb_service_us = 2;     // per KiB of payload, sender and receiver
+};
+
+/// Serialized service time for moving `bytes` in `batches` on one node.
+SimTime ExchangeServiceTime(size_t bytes, size_t batches,
+                            const ExchangeLatencyParams& p);
+
+/// Charges one exchange step on the per-node serialized resources and
+/// returns, per node, the time its input rows are fully decoded and ready.
+/// Node i starts sending at start[i] (its scan completion); node j can start
+/// decoding once the slowest sender shipping to it has finished, plus one
+/// network hop — the max-over-senders structure that keeps the parallel
+/// exchange flat in N while a chained model grows linearly. Nodes with no
+/// cross-node input finish at max(start[j], own send completion).
+/// `nets` traffic is summed (a join repartitions two relations at once).
+std::vector<SimTime> SimulateExchange(
+    SimScheduler* scheduler, const std::vector<int>& node_resources,
+    const std::vector<const ExchangeNetwork*>& nets,
+    const std::vector<SimTime>& start, const ExchangeLatencyParams& p);
+
+}  // namespace ofi::cluster::exchange

@@ -29,6 +29,13 @@ struct LatencyModel {
   /// on the critical path; it is small because partial state is group-sized,
   /// not row-sized).
   SimTime cn_gather_service_us = 5;
+  /// Serialized DN work to encode or decode one exchange batch (shuffle /
+  /// broadcast framing overhead, see cluster/exchange).
+  SimTime exchange_batch_service_us = 4;
+  /// Serialized DN (or CN, on gather) work per KiB of exchange payload. The
+  /// per-byte term is what makes bytes-moved the planning currency: the
+  /// broadcast-vs-repartition choice trades exactly this cost.
+  SimTime exchange_kb_service_us = 2;
 };
 
 }  // namespace ofi::cluster

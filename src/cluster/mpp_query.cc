@@ -113,6 +113,31 @@ struct ShardPartial {
   size_t naive_bytes = 0;
 };
 
+/// The nodes serving data, one entry per live serving node (after failover
+/// the promoted backup hosts the failed primary's rows in its own MVCC
+/// tables, so scanning each serving node once covers every shard once).
+std::vector<int> ServingDns(Cluster* cluster) {
+  std::vector<int> serving;
+  for (int shard = 0; shard < cluster->num_dns(); ++shard) {
+    int dn = cluster->EffectiveDn(shard);
+    if (std::find(serving.begin(), serving.end(), dn) == serving.end()) {
+      serving.push_back(dn);
+    }
+  }
+  return serving;
+}
+
+/// Dispatches fn(0..n-1) per the parallel/pool options (shared contract
+/// with DistributedAggregate: execution mode never changes results).
+void RunScatter(bool parallel, common::ThreadPool* pool, int n,
+                const std::function<void(int)>& fn) {
+  if (parallel) {
+    (pool ? pool : &common::ThreadPool::Shared())->ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 Result<DistributedResult> DistributedAggregate(
@@ -128,17 +153,7 @@ Result<DistributedResult> DistributedAggregate(
   OFI_ASSIGN_OR_RETURN(std::vector<std::string> group_names,
                        GroupOutputNames(group_by, aggs));
 
-  // The nodes serving data, one entry per live serving node: after a
-  // failover the promoted backup hosts the failed primary's rows in the
-  // same MVCC tables as its own shard, so scanning each serving node once
-  // covers every shard exactly once.
-  std::vector<int> serving;
-  for (int shard = 0; shard < cluster->num_dns(); ++shard) {
-    int dn = cluster->EffectiveDn(shard);
-    if (std::find(serving.begin(), serving.end(), dn) == serving.end()) {
-      serving.push_back(dn);
-    }
-  }
+  std::vector<int> serving = ServingDns(cluster);
   const int num_serving = static_cast<int>(serving.size());
 
   // One consistent snapshot across every shard.
@@ -208,13 +223,7 @@ Result<DistributedResult> DistributedAggregate(
     slot.partial_bytes = TableBytes(*partial);
     slot.partial = std::move(*partial);
   };
-  if (options.parallel) {
-    common::ThreadPool* pool =
-        options.pool ? options.pool : &common::ThreadPool::Shared();
-    pool->ParallelFor(num_serving, run_shard);
-  } else {
-    for (int i = 0; i < num_serving; ++i) run_shard(i);
-  }
+  RunScatter(options.parallel, options.pool, num_serving, run_shard);
 
   // Gather: merge partials deterministically in DN order.
   Table partial_union;
@@ -291,6 +300,267 @@ Result<DistributedResult> DistributedAggregate(
     }
     OFI_RETURN_NOT_OK(result.Append(std::move(r)));
   }
+  out.table = std::move(result);
+  return out;
+}
+
+Result<DistributedJoinResult> DistributedJoin(
+    Cluster* cluster, const DistributedJoinSpec& spec,
+    const DistributedJoinOptions& options) {
+  DistributedJoinResult out;
+
+  std::vector<int> serving = ServingDns(cluster);
+  const int n = static_cast<int>(serving.size());
+  const size_t batch_rows = options.batch_rows == 0 ? 1 : options.batch_rows;
+
+  // Schemas are identical on every DN; resolve them (and the key columns)
+  // once from the first serving node.
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * left0,
+                       cluster->dn(serving[0])->GetTable(spec.left_table));
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * right0,
+                       cluster->dn(serving[0])->GetTable(spec.right_table));
+  const sql::Schema left_schema = left0->schema();
+  const sql::Schema right_schema = right0->schema();
+  OFI_ASSIGN_OR_RETURN(size_t left_key_idx, left_schema.IndexOf(spec.left_key));
+  OFI_ASSIGN_OR_RETURN(size_t right_key_idx,
+                       right_schema.IndexOf(spec.right_key));
+
+  // One consistent snapshot across every shard for BOTH sides of the join.
+  Txn reader = cluster->Begin(TxnScope::kMultiShard);
+
+  // Phase 1 (coordinator): open every shard context and charge the fan-out —
+  // snapshot merge plus one scan statement per side. Every DN receives the
+  // request at scatter_start and works on its own serialized resource.
+  const SimTime scatter_start = reader.now();
+  std::vector<SimTime> scan_done(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int dn = serving[i];
+    OFI_ASSIGN_OR_RETURN(SimTime merged_at,
+                         reader.PrepareShard(dn, scatter_start));
+    SimTime t = cluster->ChargeDnStmt(dn, merged_at);   // scan left shard
+    scan_done[static_cast<size_t>(i)] = cluster->ChargeDnStmt(dn, t);  // right
+  }
+
+  // Phase 2 (thread pool): per-DN visible scan + filter of both sides.
+  struct ShardInput {
+    Status status = Status::OK();
+    std::vector<Row> left, right;
+  };
+  std::vector<ShardInput> inputs(static_cast<size_t>(n));
+  auto scan_side = [&](int dn, const std::string& table,
+                       const sql::ExprPtr& filter, const sql::Schema& schema,
+                       std::vector<Row>* rows_out) -> Status {
+    OFI_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         reader.ScanShardPrepared(table, dn));
+    if (filter) {
+      // Cloned per worker: Bind() caches column indices in place.
+      sql::ExprPtr f = filter->Clone();
+      OFI_RETURN_NOT_OK(f->Bind(schema));
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      for (auto& row : rows) {
+        Value v = f->Eval(row);
+        if (!v.is_null() && v.AsBool()) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+    *rows_out = std::move(rows);
+    return Status::OK();
+  };
+  RunScatter(options.parallel, options.pool, n, [&](int i) {
+    ShardInput& slot = inputs[static_cast<size_t>(i)];
+    slot.status = scan_side(serving[i], spec.left_table, spec.left_filter,
+                            left_schema, &slot.left);
+    if (slot.status.ok()) {
+      slot.status = scan_side(serving[i], spec.right_table, spec.right_filter,
+                              right_schema, &slot.right);
+    }
+  });
+  size_t actual_left_bytes = 0, actual_right_bytes = 0;
+  for (const auto& slot : inputs) {
+    OFI_RETURN_NOT_OK(slot.status);
+    actual_left_bytes += exchange::EncodedBytes(slot.left, batch_rows);
+    actual_right_bytes += exchange::EncodedBytes(slot.right, batch_rows);
+  }
+  out.naive_bytes = actual_left_bytes + actual_right_bytes;
+
+  // Strategy decision. Estimated relation sizes come from optimizer stats
+  // when the caller wired a registry through; otherwise from the actual
+  // scanned encoded sizes (exact, but unavailable to a real planner —
+  // that is precisely what the stats path models).
+  double est_left = static_cast<double>(actual_left_bytes);
+  double est_right = static_cast<double>(actual_right_bytes);
+  if (options.stats != nullptr) {
+    if (const auto* ts = options.stats->Get(spec.left_table)) {
+      est_left = ts->EstimatedBytes();
+    }
+    if (const auto* ts = options.stats->Get(spec.right_table)) {
+      est_right = ts->EstimatedBytes();
+    }
+  }
+  out.broadcast_left = est_left <= est_right;
+  JoinStrategy strategy = options.strategy;
+  if (strategy == JoinStrategy::kAuto) {
+    // Broadcast ships the small side to the N-1 other nodes; repartition
+    // ships the (N-1)/N fraction of both sides that hashes off-node.
+    double cost_broadcast = std::min(est_left, est_right) * (n - 1);
+    double cost_repartition =
+        (est_left + est_right) * static_cast<double>(n - 1) / std::max(n, 1);
+    strategy = cost_broadcast <= cost_repartition ? JoinStrategy::kBroadcast
+                                                  : JoinStrategy::kRepartition;
+  }
+  out.strategy = strategy;
+
+  // Phase 3 (thread pool): move rows through the exchange. Each worker only
+  // writes channels whose source is its own node, so sends are race-free by
+  // construction (channels are mutex-guarded regardless).
+  exchange::ExchangeNetwork left_net(n, batch_rows);
+  exchange::ExchangeNetwork right_net(n, batch_rows);
+  if (strategy == JoinStrategy::kBroadcast) {
+    RunScatter(options.parallel, options.pool, n, [&](int i) {
+      if (out.broadcast_left) {
+        exchange::BroadcastRows(&left_net, i, inputs[static_cast<size_t>(i)].left);
+      } else {
+        exchange::BroadcastRows(&right_net, i,
+                                inputs[static_cast<size_t>(i)].right);
+      }
+    });
+  } else {
+    RunScatter(options.parallel, options.pool, n, [&](int i) {
+      exchange::ShufflePartition(&left_net, i,
+                                 inputs[static_cast<size_t>(i)].left,
+                                 left_key_idx);
+      exchange::ShufflePartition(&right_net, i,
+                                 inputs[static_cast<size_t>(i)].right,
+                                 right_key_idx);
+    });
+  }
+
+  // Phase 4 (thread pool): each DN assembles its slice (local rows for the
+  // side that did not move, exchange-delivered rows for the one that did)
+  // and runs the ordinary hash join from src/sql on it.
+  struct ShardJoin {
+    Status status = Status::OK();
+    Table result;
+  };
+  std::vector<ShardJoin> joins(static_cast<size_t>(n));
+  RunScatter(options.parallel, options.pool, n, [&](int j) {
+    ShardJoin& slot = joins[static_cast<size_t>(j)];
+    ShardInput& in = inputs[static_cast<size_t>(j)];
+    auto side_rows = [&](bool is_left) -> Result<std::vector<Row>> {
+      const bool moved = strategy == JoinStrategy::kRepartition ||
+                         (is_left == out.broadcast_left);
+      if (!moved) return std::move(is_left ? in.left : in.right);
+      return (is_left ? left_net : right_net).ReceiveRows(j);
+    };
+    auto lrows = side_rows(true);
+    if (!lrows.ok()) {
+      slot.status = lrows.status();
+      return;
+    }
+    auto rrows = side_rows(false);
+    if (!rrows.ok()) {
+      slot.status = rrows.status();
+      return;
+    }
+    sql::ExprPtr pred = Expr::EqCols(spec.left_key, spec.right_key);
+    if (spec.residual) pred = Expr::And(pred, spec.residual->Clone());
+    sql::PlanPtr plan = sql::MakeJoin(
+        sql::MakeValues(Table(left_schema, std::move(*lrows))),
+        sql::MakeValues(Table(right_schema, std::move(*rrows))), pred);
+    sql::Catalog catalog;  // Values plans read no tables
+    sql::Executor exec(&catalog);
+    auto joined = exec.Execute(plan);
+    if (!joined.ok()) {
+      slot.status = joined.status();
+      return;
+    }
+    slot.result = std::move(*joined);
+  });
+
+  // Simulated latency: sends start when a node's scans are done; node j can
+  // join once the slowest sender shipping to it has finished (+1 hop) and
+  // its own decode service completes; then one join statement per DN.
+  exchange::ExchangeLatencyParams params{
+      cluster->latency().network_hop_us,
+      cluster->latency().exchange_batch_service_us,
+      cluster->latency().exchange_kb_service_us};
+  std::vector<int> resources(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    resources[static_cast<size_t>(i)] = cluster->dn_resource(serving[i]);
+  }
+  std::vector<SimTime> exchange_done = exchange::SimulateExchange(
+      &cluster->scheduler(), resources,
+      {&left_net, &right_net}, scan_done, params);
+  SimTime parallel_done = scatter_start;
+  SimTime serial_sum = 0;
+  for (int j = 0; j < n; ++j) {
+    SimTime done =
+        cluster->ChargeDnStmt(serving[j], exchange_done[static_cast<size_t>(j)]);
+    parallel_done = std::max(parallel_done, done);
+    serial_sum += done - scatter_start;
+  }
+
+  // Gather: concatenate per-DN partial results deterministically in DN
+  // order. The CN pays the per-partial merge plus a size-aware receive for
+  // the joined rows (joins, unlike aggregates, gather row-sized state).
+  Table result(left_schema.Concat(right_schema));
+  for (auto& slot : joins) {
+    OFI_RETURN_NOT_OK(slot.status);
+    out.result_bytes += exchange::EncodedBytes(slot.result.rows(), batch_rows);
+    for (auto& row : slot.result.mutable_rows()) {
+      OFI_RETURN_NOT_OK(result.Append(std::move(row)));
+    }
+  }
+  const SimTime gather_cost =
+      static_cast<SimTime>(n) * cluster->latency().cn_gather_service_us +
+      exchange::ExchangeServiceTime(out.result_bytes, 0, params);
+  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
+  out.sim_latency_serial_us = serial_sum + gather_cost;
+  reader.AdvanceTo(parallel_done + gather_cost);
+  OFI_RETURN_NOT_OK(reader.Commit());
+
+  // Accounting + metrics: cross-DN bytes per strategy, per-channel stats
+  // with exchange-node indices mapped back to real DN ids.
+  out.shuffle_bytes = strategy == JoinStrategy::kRepartition
+                          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
+                          : 0;
+  out.broadcast_bytes =
+      strategy == JoinStrategy::kBroadcast
+          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
+          : 0;
+  out.exchange_batches =
+      left_net.CrossNodeBatches() + right_net.CrossNodeBatches();
+  for (const auto* net : {&left_net, &right_net}) {
+    for (exchange::ChannelStats ch : net->Stats()) {
+      ch.src = serving[ch.src];
+      ch.dst = serving[ch.dst];
+      // Merge the two relations' traffic per (src,dst) pair.
+      auto it = std::find_if(out.channels.begin(), out.channels.end(),
+                             [&](const exchange::ChannelStats& c) {
+                               return c.src == ch.src && c.dst == ch.dst;
+                             });
+      if (it == out.channels.end()) {
+        out.channels.push_back(ch);
+      } else {
+        it->bytes += ch.bytes;
+        it->batches += ch.batches;
+      }
+      if (ch.src != ch.dst) {
+        const std::string pair = "exchange.bytes.d" + std::to_string(ch.src) +
+                                 "->d" + std::to_string(ch.dst);
+        cluster->metrics().Add(pair, static_cast<int64_t>(ch.bytes));
+      }
+    }
+  }
+  cluster->metrics().Add("exchange.bytes",
+                         static_cast<int64_t>(out.shuffle_bytes +
+                                              out.broadcast_bytes));
+  cluster->metrics().Add("exchange.batches",
+                         static_cast<int64_t>(out.exchange_batches));
+  cluster->metrics().Add(strategy == JoinStrategy::kBroadcast
+                             ? "join.broadcast"
+                             : "join.repartition");
   out.table = std::move(result);
   return out;
 }

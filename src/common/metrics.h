@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,23 +94,39 @@ class LatencyHistogram {
 
 /// \brief A named bag of counters and histograms; the unit every component
 /// reports into and the autonomous DB reads out of.
+///
+/// Counter operations are thread-safe (background maintenance like vacuum
+/// reports concurrently with the MPP coordinator). Histogram() hands out a
+/// reference into the registry: the lookup is guarded, but recording into
+/// the returned histogram is single-threaded by convention.
 class MetricsRegistry {
  public:
   void Add(const std::string& counter, int64_t delta = 1) {
+    std::lock_guard lock(mu_);
     counters_[counter] += delta;
   }
   int64_t Get(const std::string& counter) const {
+    std::lock_guard lock(mu_);
     auto it = counters_.find(counter);
     return it == counters_.end() ? 0 : it->second;
   }
-  LatencyHistogram& Histogram(const std::string& name) { return histograms_[name]; }
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  LatencyHistogram& Histogram(const std::string& name) {
+    std::lock_guard lock(mu_);
+    return histograms_[name];
+  }
+  /// Snapshot of every counter (copy: safe to iterate while writers run).
+  std::map<std::string, int64_t> counters() const {
+    std::lock_guard lock(mu_);
+    return counters_;
+  }
   void Reset() {
+    std::lock_guard lock(mu_);
     counters_.clear();
     histograms_.clear();
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, LatencyHistogram> histograms_;
 };

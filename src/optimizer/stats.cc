@@ -52,6 +52,12 @@ double ColumnStats::LtSelectivity(const sql::Value& v) const {
   return 1.0;
 }
 
+double TableStats::AvgRowBytes() const {
+  double total = 0;
+  for (const auto& [name, cs] : columns) total += cs.avg_width;
+  return std::max(total, 1.0);
+}
+
 const ColumnStats* TableStats::Column(const std::string& name) const {
   auto it = columns.find(name);
   if (it != columns.end()) return &it->second;
@@ -74,8 +80,10 @@ TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets,
     cs.type = schema.column(c).type;
     std::vector<double> numeric;
     std::unordered_map<sql::Value, uint64_t> frequencies;
+    uint64_t width_sum = 0;
     for (const auto& row : table.rows()) {
       const sql::Value& v = row[c];
+      width_sum += v.ByteSize();
       if (v.is_null()) {
         ++cs.num_nulls;
         continue;
@@ -87,6 +95,10 @@ TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets,
       }
     }
     cs.ndv = frequencies.size();
+    cs.avg_width = stats.num_rows == 0
+                       ? 0.0
+                       : static_cast<double>(width_sum) /
+                             static_cast<double>(stats.num_rows);
     // MCV list: the mcv_size most frequent values, kept only when they are
     // actually skewed (frequency above the uniform expectation).
     if (!frequencies.empty() && mcv_size > 0) {

@@ -29,6 +29,10 @@ struct ColumnStats {
   /// Most common values with exact frequencies — the standard defense
   /// against skew, where uniform-within-ndv misestimates badly.
   std::vector<std::pair<sql::Value, uint64_t>> mcv;
+  /// Mean per-row byte footprint of this column (NULLs included), from
+  /// Value::ByteSize. Feeds bytes-moved estimates for the distributed
+  /// exchange planner (broadcast vs repartition).
+  double avg_width = 0;
 
   /// Fraction of rows with value == v: exact for MCVs, uniform over the
   /// remaining (non-MCV) values otherwise.
@@ -43,6 +47,13 @@ struct TableStats {
   std::map<std::string, ColumnStats> columns;  // by bare column name
 
   const ColumnStats* Column(const std::string& name) const;
+
+  /// Estimated mean bytes per row (sum of column widths); >= 1 when the
+  /// table has columns so size products stay meaningful on empty stats.
+  double AvgRowBytes() const;
+  /// Estimated total bytes of the relation — the quantity the exchange
+  /// planner compares across broadcast and repartition plans.
+  double EstimatedBytes() const { return static_cast<double>(num_rows) * AvgRowBytes(); }
 };
 
 /// Computes full statistics for a table (ANALYZE).

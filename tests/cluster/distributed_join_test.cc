@@ -1,0 +1,464 @@
+/// Cross-shard joins over the exchange: under BOTH movement strategies the
+/// distributed result must be bit-identical (after canonical ordering) to
+/// the single-node hash-join reference, on randomized workloads and on the
+/// edge cases (empty shard, all rows on one shard, NULL join keys,
+/// duplicate keys). Byte accounting must favor the right strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/mpp_query.h"
+#include "common/rng.h"
+#include "sql/executor.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::Column;
+using sql::Expr;
+using sql::Row;
+using sql::Schema;
+using sql::Table;
+using sql::TypeId;
+using sql::Value;
+
+Schema OrdersSchema() {
+  return Schema({Column{"o_id", TypeId::kInt64, ""},
+                 Column{"cust", TypeId::kInt64, ""},
+                 Column{"amount", TypeId::kInt64, ""}});
+}
+
+Schema CustomersSchema() {
+  return Schema({Column{"c_id", TypeId::kInt64, ""},
+                 Column{"segment", TypeId::kInt64, ""}});
+}
+
+/// Total order over rows so "bit-identical after canonical ordering" is a
+/// straight vector comparison. Compares the rendered values (NULL sorts
+/// first) column by column.
+std::string RowKey(const Row& r) {
+  std::string k;
+  for (const auto& v : r) {
+    k += v.is_null() ? std::string("\x01<null>") : v.ToString();
+    k += '\x1f';
+  }
+  return k;
+}
+
+std::vector<Row> Canonical(const Table& t) {
+  std::vector<Row> rows = t.rows();
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return RowKey(a) < RowKey(b);
+  });
+  return rows;
+}
+
+void ExpectSameRows(const Table& got, const Table& want) {
+  std::vector<Row> g = Canonical(got), w = Canonical(want);
+  ASSERT_EQ(g.size(), w.size());
+  for (size_t i = 0; i < g.size(); ++i) {
+    ASSERT_EQ(g[i].size(), w[i].size()) << "row " << i;
+    for (size_t c = 0; c < g[i].size(); ++c) {
+      // Bit-identical: same type AND same payload, not just Compare-equal.
+      EXPECT_EQ(g[i][c].type(), w[i][c].type()) << i << "," << c;
+      EXPECT_TRUE(g[i][c].Equals(w[i][c]))
+          << i << "," << c << ": " << g[i][c].ToString() << " vs "
+          << w[i][c].ToString();
+    }
+  }
+}
+
+/// Single-node reference: both tables whole in one catalog, same join plan.
+Table ReferenceJoin(const std::vector<Row>& left, const std::vector<Row>& right,
+                    const DistributedJoinSpec& spec) {
+  sql::Catalog catalog;
+  catalog.Register(spec.left_table, Table(OrdersSchema(), left));
+  catalog.Register(spec.right_table, Table(CustomersSchema(), right));
+  sql::ExprPtr pred = Expr::EqCols(spec.left_key, spec.right_key);
+  if (spec.residual) pred = Expr::And(pred, spec.residual->Clone());
+  auto plan = sql::MakeJoin(
+      sql::MakeScan(spec.left_table,
+                    spec.left_filter ? spec.left_filter->Clone() : nullptr),
+      sql::MakeScan(spec.right_table,
+                    spec.right_filter ? spec.right_filter->Clone() : nullptr),
+      pred);
+  sql::Executor exec(&catalog);
+  return exec.Execute(plan).ValueOrDie();
+}
+
+class DistributedJoinTest : public ::testing::Test {
+ protected:
+  DistributedJoinTest() : cluster_(4, Protocol::kGtmLite) {
+    EXPECT_TRUE(cluster_.CreateTable("orders", OrdersSchema()).ok());
+    EXPECT_TRUE(cluster_.CreateTable("customers", CustomersSchema()).ok());
+  }
+
+  void InsertOrder(Row row) {
+    Txn t = cluster_.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("orders", row[0], row).ok());
+    ASSERT_TRUE(t.Commit().ok());
+    orders_.push_back(std::move(row));
+  }
+
+  void InsertCustomer(Row row) {
+    Txn t = cluster_.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("customers", row[0], row).ok());
+    ASSERT_TRUE(t.Commit().ok());
+    customers_.push_back(std::move(row));
+  }
+
+  void LoadRandom(int num_orders, int num_customers, uint64_t seed,
+                  double null_fraction = 0.05) {
+    Rng rng(seed);
+    for (int64_t c = 0; c < num_customers; ++c) {
+      InsertCustomer({Value(c), Value(rng.Uniform(0, 3))});
+    }
+    for (int64_t o = 0; o < num_orders; ++o) {
+      // Duplicate keys on both sides by construction; some orders point at
+      // customers that do not exist, some have NULL keys.
+      Value cust = rng.Chance(null_fraction)
+                       ? Value::Null()
+                       : Value(rng.Uniform(0, num_customers + 5));
+      InsertOrder({Value(o), cust, Value(rng.Uniform(1, 1000))});
+    }
+  }
+
+  DistributedJoinSpec Spec() {
+    DistributedJoinSpec spec;
+    spec.left_table = "orders";
+    spec.right_table = "customers";
+    spec.left_key = "cust";
+    spec.right_key = "c_id";
+    return spec;
+  }
+
+  void ExpectMatchesReference(const DistributedJoinSpec& spec,
+                              JoinStrategy strategy) {
+    DistributedJoinOptions opts;
+    opts.strategy = strategy;
+    auto result = DistributedJoin(&cluster_, spec, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(result->table, ReferenceJoin(orders_, customers_, spec));
+  }
+
+  Cluster cluster_;
+  std::vector<Row> orders_;
+  std::vector<Row> customers_;
+};
+
+TEST_F(DistributedJoinTest, RandomizedBothStrategiesMatchReference) {
+  LoadRandom(300, 40, /*seed=*/101);
+  ExpectMatchesReference(Spec(), JoinStrategy::kBroadcast);
+  ExpectMatchesReference(Spec(), JoinStrategy::kRepartition);
+}
+
+TEST_F(DistributedJoinTest, SeveralSeedsUnderAutoStrategy) {
+  // Fresh cluster per seed; kAuto must pick some strategy and stay exact.
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Cluster cluster(4, Protocol::kGtmLite);
+    ASSERT_TRUE(cluster.CreateTable("orders", OrdersSchema()).ok());
+    ASSERT_TRUE(cluster.CreateTable("customers", CustomersSchema()).ok());
+    std::vector<Row> orders, customers;
+    Rng rng(seed);
+    for (int64_t c = 0; c < 25; ++c) {
+      Row row = {Value(c), Value(rng.Uniform(0, 2))};
+      Txn t = cluster.Begin(TxnScope::kSingleShard);
+      ASSERT_TRUE(t.Insert("customers", row[0], row).ok());
+      ASSERT_TRUE(t.Commit().ok());
+      customers.push_back(row);
+    }
+    for (int64_t o = 0; o < 120; ++o) {
+      Row row = {Value(o), Value(rng.Uniform(0, 30)), Value(rng.Uniform(1, 99))};
+      Txn t = cluster.Begin(TxnScope::kSingleShard);
+      ASSERT_TRUE(t.Insert("orders", row[0], row).ok());
+      ASSERT_TRUE(t.Commit().ok());
+      orders.push_back(row);
+    }
+    DistributedJoinSpec spec;
+    spec.left_table = "orders";
+    spec.right_table = "customers";
+    spec.left_key = "cust";
+    spec.right_key = "c_id";
+    auto result = DistributedJoin(&cluster, spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(result->table, ReferenceJoin(orders, customers, spec));
+  }
+}
+
+TEST_F(DistributedJoinTest, FiltersPushedBelowExchangeAndResidualApplied) {
+  LoadRandom(200, 30, /*seed=*/55);
+  DistributedJoinSpec spec = Spec();
+  spec.left_filter = Expr::Gt("amount", Value(300));
+  spec.right_filter = Expr::Lt("segment", Value(3));
+  spec.residual = Expr::Gt("amount", Value(350));
+  ExpectMatchesReference(spec, JoinStrategy::kBroadcast);
+  ExpectMatchesReference(spec, JoinStrategy::kRepartition);
+}
+
+TEST_F(DistributedJoinTest, NullKeysNeverMatch) {
+  InsertCustomer({Value(int64_t{1}), Value(int64_t{0})});
+  InsertCustomer({Value(int64_t{2}), Value(int64_t{1})});
+  InsertOrder({Value(int64_t{10}), Value::Null(), Value(int64_t{5})});
+  InsertOrder({Value(int64_t{11}), Value(int64_t{1}), Value(int64_t{6})});
+  InsertOrder({Value(int64_t{12}), Value::Null(), Value(int64_t{7})});
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster_, Spec(), opts);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->table.num_rows(), 1u);
+    EXPECT_EQ(result->table.rows()[0][0].AsInt(), 11);
+    ExpectSameRows(result->table, ReferenceJoin(orders_, customers_, Spec()));
+  }
+}
+
+TEST_F(DistributedJoinTest, DuplicateKeysProduceFullCrossProductPerKey) {
+  // c_id doubles as the storage key, so right-side duplicates are not
+  // representable here (the self-join below covers both-sides duplicates);
+  // this pins the left-side multiplicity exactly: 3 orders sharing key 7 x
+  // 1 customer -> 3 joined rows.
+  InsertCustomer({Value(int64_t{7}), Value(int64_t{0})});
+  for (int64_t o = 0; o < 3; ++o) {
+    InsertOrder({Value(o), Value(int64_t{7}), Value(o * 10)});
+  }
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster_, Spec(), opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.num_rows(), 3u);
+    ExpectSameRows(result->table, ReferenceJoin(orders_, customers_, Spec()));
+  }
+}
+
+// Self-join on a non-unique column: duplicate join keys on BOTH sides, so
+// every key with multiplicity m contributes m^2 joined rows.
+TEST_F(DistributedJoinTest, SelfJoinWithDuplicatesOnBothSides) {
+  Rng rng(17);
+  for (int64_t o = 0; o < 60; ++o) {
+    InsertOrder({Value(o), Value(rng.Uniform(0, 9)), Value(rng.Uniform(1, 50))});
+  }
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "orders";
+  spec.left_key = "cust";
+  spec.right_key = "cust";
+  sql::Catalog catalog;
+  catalog.Register("orders", Table(OrdersSchema(), orders_));
+  sql::Executor exec(&catalog);
+  Table want = exec.Execute(sql::MakeJoin(sql::MakeScan("orders"),
+                                          sql::MakeScan("orders"),
+                                          Expr::EqCols("cust", "cust")))
+                   .ValueOrDie();
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster_, spec, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(result->table, want);
+  }
+}
+
+TEST_F(DistributedJoinTest, EmptyTablesAndEmptyShards) {
+  // Both sides empty.
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster_, Spec(), opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->table.num_rows(), 0u);
+    EXPECT_EQ(result->table.schema().num_columns(), 5u);
+  }
+  // All rows on ONE shard: every key hashes to the same DN.
+  int64_t k = 0;
+  int dn0 = cluster_.ShardFor(Value(k));
+  std::vector<int64_t> same_shard;
+  for (int64_t i = 0; same_shard.size() < 6; ++i) {
+    if (cluster_.ShardFor(Value(i)) == dn0) same_shard.push_back(i);
+  }
+  for (size_t i = 0; i < same_shard.size(); ++i) {
+    if (i < 2) {
+      InsertCustomer({Value(same_shard[i]), Value(int64_t{1})});
+    } else {
+      InsertOrder({Value(same_shard[i]), Value(same_shard[0]),
+                   Value(static_cast<int64_t>(i))});
+    }
+  }
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster_, Spec(), opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.num_rows(), 4u);
+    ExpectSameRows(result->table, ReferenceJoin(orders_, customers_, Spec()));
+  }
+}
+
+TEST_F(DistributedJoinTest, SerialAndParallelExecutionBitIdentical) {
+  LoadRandom(150, 20, /*seed=*/31);
+  DistributedJoinOptions par, ser;
+  ser.parallel = false;
+  cluster_.ResetSimTime();
+  auto a = DistributedJoin(&cluster_, Spec(), par);
+  cluster_.ResetSimTime();
+  auto b = DistributedJoin(&cluster_, Spec(), ser);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->strategy, b->strategy);
+  EXPECT_EQ(a->shuffle_bytes, b->shuffle_bytes);
+  EXPECT_EQ(a->broadcast_bytes, b->broadcast_bytes);
+  EXPECT_EQ(a->sim_latency_us, b->sim_latency_us);
+  // NOT canonicalized: the gather order itself must be deterministic.
+  ASSERT_EQ(a->table.num_rows(), b->table.num_rows());
+  for (size_t i = 0; i < a->table.num_rows(); ++i) {
+    for (size_t c = 0; c < a->table.schema().num_columns(); ++c) {
+      EXPECT_TRUE(a->table.rows()[i][c].Equals(b->table.rows()[i][c]));
+    }
+  }
+}
+
+TEST_F(DistributedJoinTest, AutoPrefersBroadcastForSmallBuildSide) {
+  LoadRandom(400, 8, /*seed=*/77, /*null_fraction=*/0.0);
+  auto result = DistributedJoin(&cluster_, Spec());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy, JoinStrategy::kBroadcast);
+  EXPECT_FALSE(result->broadcast_left);  // customers (right) is tiny
+  EXPECT_GT(result->broadcast_bytes, 0u);
+  EXPECT_EQ(result->shuffle_bytes, 0u);
+}
+
+TEST_F(DistributedJoinTest, AutoPrefersRepartitionWhenBothSidesLarge) {
+  Rng rng(13);
+  for (int64_t c = 0; c < 300; ++c) {
+    InsertCustomer({Value(c), Value(rng.Uniform(0, 3))});
+  }
+  for (int64_t o = 0; o < 300; ++o) {
+    InsertOrder({Value(o), Value(rng.Uniform(0, 299)), Value(o)});
+  }
+  auto result = DistributedJoin(&cluster_, Spec());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy, JoinStrategy::kRepartition);
+  EXPECT_GT(result->shuffle_bytes, 0u);
+  EXPECT_EQ(result->broadcast_bytes, 0u);
+  // Repartition must also ship fewer bytes than forcing broadcast here.
+  DistributedJoinOptions bc;
+  bc.strategy = JoinStrategy::kBroadcast;
+  auto forced = DistributedJoin(&cluster_, Spec(), bc);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_LT(result->shuffle_bytes, forced->broadcast_bytes);
+  ExpectSameRows(result->table, forced->table);
+}
+
+TEST_F(DistributedJoinTest, OptimizerStatsDriveTheStrategyDecision) {
+  LoadRandom(200, 10, /*seed=*/3, /*null_fraction=*/0.0);
+  // Stats claiming both sides are huge flip kAuto to repartition even
+  // though the actual small build side would have favored broadcast.
+  optimizer::TableStats big;
+  big.num_rows = 1000000;
+  optimizer::ColumnStats wide;
+  wide.avg_width = 64;
+  big.columns["x"] = wide;
+  optimizer::StatsRegistry registry;
+  registry.Put("orders", big);
+  registry.Put("customers", big);
+  DistributedJoinOptions opts;
+  opts.stats = &registry;
+  auto result = DistributedJoin(&cluster_, Spec(), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy, JoinStrategy::kRepartition);
+  // And without the registry the same data picks broadcast.
+  auto untouched = DistributedJoin(&cluster_, Spec());
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(untouched->strategy, JoinStrategy::kBroadcast);
+  ExpectSameRows(result->table, untouched->table);
+}
+
+TEST_F(DistributedJoinTest, ChannelAccountingAndMetricsAreConsistent) {
+  LoadRandom(250, 25, /*seed=*/9);
+  cluster_.metrics().Reset();
+  DistributedJoinOptions opts;
+  opts.strategy = JoinStrategy::kRepartition;
+  auto result = DistributedJoin(&cluster_, Spec(), opts);
+  ASSERT_TRUE(result.ok());
+  // Channel stats (cross-DN part) must sum to shuffle_bytes.
+  size_t cross = 0, loop = 0;
+  for (const auto& ch : result->channels) {
+    (ch.src == ch.dst ? loop : cross) += ch.bytes;
+  }
+  EXPECT_EQ(cross, result->shuffle_bytes);
+  EXPECT_GT(loop, 0u);  // loopback traffic exists but is not "moved"
+  EXPECT_EQ(cluster_.metrics().Get("exchange.bytes"),
+            static_cast<int64_t>(result->shuffle_bytes));
+  EXPECT_EQ(cluster_.metrics().Get("exchange.batches"),
+            static_cast<int64_t>(result->exchange_batches));
+  EXPECT_EQ(cluster_.metrics().Get("join.repartition"), 1);
+  // Per-pair counters sum back to the total.
+  int64_t pair_sum = 0;
+  for (const auto& [name, v] : cluster_.metrics().counters()) {
+    if (name.rfind("exchange.bytes.d", 0) == 0) pair_sum += v;
+  }
+  EXPECT_EQ(pair_sum, static_cast<int64_t>(result->shuffle_bytes));
+}
+
+TEST_F(DistributedJoinTest, LatencyModelsAndByteBaselinesBehave) {
+  LoadRandom(300, 30, /*seed=*/21);
+  cluster_.ResetSimTime();
+  auto result = DistributedJoin(&cluster_, Spec());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->sim_latency_us, 0);
+  // The chained model must cost strictly more than max-over-DNs on 4 DNs.
+  EXPECT_GT(result->sim_latency_serial_us, result->sim_latency_us);
+  // Either strategy moves less than shipping both relations to one node.
+  EXPECT_LT(result->shuffle_bytes + result->broadcast_bytes,
+            result->naive_bytes);
+  EXPECT_GT(result->result_bytes, 0u);
+}
+
+TEST_F(DistributedJoinTest, FailoverServesEveryRowExactlyOnce) {
+  Cluster cluster(4, Protocol::kGtmLite);
+  ASSERT_TRUE(cluster.EnableReplication().ok());
+  ASSERT_TRUE(cluster.CreateTable("orders", OrdersSchema()).ok());
+  ASSERT_TRUE(cluster.CreateTable("customers", CustomersSchema()).ok());
+  std::vector<Row> orders, customers;
+  Rng rng(5);
+  for (int64_t c = 0; c < 20; ++c) {
+    Row row = {Value(c), Value(rng.Uniform(0, 2))};
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("customers", row[0], row).ok());
+    ASSERT_TRUE(t.Commit().ok());
+    customers.push_back(row);
+  }
+  for (int64_t o = 0; o < 100; ++o) {
+    Row row = {Value(o), Value(rng.Uniform(0, 21)), Value(o)};
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("orders", row[0], row).ok());
+    ASSERT_TRUE(t.Commit().ok());
+    orders.push_back(row);
+  }
+  ASSERT_TRUE(cluster.FailDn(2).ok());
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "customers";
+  spec.left_key = "cust";
+  spec.right_key = "c_id";
+  for (auto s : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions opts;
+    opts.strategy = s;
+    auto result = DistributedJoin(&cluster, spec, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(result->table, ReferenceJoin(orders, customers, spec));
+  }
+}
+
+TEST_F(DistributedJoinTest, UnknownTableOrKeyFails) {
+  DistributedJoinSpec spec = Spec();
+  spec.left_table = "nope";
+  EXPECT_FALSE(DistributedJoin(&cluster_, spec).ok());
+  spec = Spec();
+  spec.right_key = "no_such_col";
+  EXPECT_FALSE(DistributedJoin(&cluster_, spec).ok());
+}
+
+}  // namespace
+}  // namespace ofi::cluster
