@@ -14,11 +14,13 @@ run_preset() {
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
-  # The exchange/join tests cross threads by design (pool scatter, channel
-  # sends, vacuum-under-exchange stress) — run them by name so a filtered or
-  # stale test list can never skip the reason this gate exists.
-  echo "=== ${preset}: exchange/join focus ==="
-  ctest --preset "${preset}" -R "exchange|distributed_join|vacuum_exchange" \
+  # The exchange/join/columnar-scan tests cross threads by design (pool
+  # scatter, channel sends, vacuum-under-exchange stress, morsel-parallel
+  # chunk scans) — run them by name so a filtered or stale test list can
+  # never skip the reason this gate exists.
+  echo "=== ${preset}: exchange/join/columnar focus ==="
+  ctest --preset "${preset}" \
+    -R "exchange|distributed_join|vacuum_exchange|column_store|column_scan|columnar_mpp" \
     --output-on-failure
 }
 

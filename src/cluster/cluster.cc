@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include "txn/snapshot.h"
+
 namespace ofi::cluster {
 
 Cluster::Cluster(int num_dns, Protocol protocol, LatencyModel latency)
@@ -18,6 +20,52 @@ Status Cluster::CreateTable(const std::string& name, const sql::Schema& schema) 
   return Status::OK();
 }
 
+Status Cluster::RegisterColumnar(const std::string& name) {
+  for (auto& dn : dns_) {
+    OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
+    // Epoch read BEFORE the scan: a mutation racing the build flags the
+    // shard stale (conservative) rather than silently fresh.
+    uint64_t epoch = heap->epoch();
+    txn::Snapshot snap = dn->txn_mgr().TakeSnapshot();
+    // Settled = nothing in flight at build time, so the chunks hold exactly
+    // the committed state any later snapshot would see (until epoch moves).
+    bool settled = snap.active.empty();
+    txn::VisibilityChecker vis(&snap, &dn->txn_mgr().clog(), txn::kInvalidXid);
+    std::vector<sql::Row> rows = heap->ScanVisible(vis);
+    // Cluster on row value (leading column first): scans over key ranges then
+    // touch few chunks and zone maps prune the rest. Also makes the build
+    // deterministic — ScanVisible order is a hash-map walk.
+    std::sort(rows.begin(), rows.end(), [](const sql::Row& a, const sql::Row& b) {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    });
+    DataNode::ColumnarShard shard;
+    shard.table = std::make_unique<storage::ColumnTable>(heap->schema());
+    for (auto& row : rows) {
+      OFI_RETURN_NOT_OK(shard.table->Append(row));
+    }
+    shard.table->Seal();
+    shard.heap_epoch = epoch;
+    shard.settled = settled;
+    dn->RegisterColumnar(name, std::move(shard));
+  }
+  columnar_tables_.insert(name);
+  metrics_.Add("columnar.registered");
+  return Status::OK();
+}
+
+bool Cluster::IsColumnar(const std::string& name) const {
+  return columnar_tables_.count(name) > 0;
+}
+
+void Cluster::DropColumnar(const std::string& name) {
+  for (auto& dn : dns_) dn->DropColumnar(name);
+  columnar_tables_.erase(name);
+}
+
 SimTime Cluster::ChargeGtm(SimTime arrival) {
   SimTime a = arrival + latency_.network_hop_us;
   SimTime done = scheduler_.Charge(gtm_resource_, a, latency_.gtm_service_us);
@@ -34,6 +82,16 @@ SimTime Cluster::ChargeDnCommit(int dn, SimTime arrival) {
   SimTime a = arrival + latency_.network_hop_us;
   SimTime done =
       scheduler_.Charge(dn_resources_[dn], a, latency_.dn_commit_service_us);
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnColumnarScan(int dn, SimTime arrival,
+                                      size_t chunks_scanned) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime service = latency_.columnar_stmt_service_us +
+                    static_cast<SimTime>(chunks_scanned) *
+                        latency_.columnar_chunk_service_us;
+  SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
   return done + latency_.network_hop_us;
 }
 

@@ -142,6 +142,18 @@ class Cluster {
   /// Creates `name` on every DN; rows are hash-sharded by their key.
   Status CreateTable(const std::string& name, const sql::Schema& schema);
 
+  /// Builds a columnar copy of `name` on every DN from a fresh local
+  /// snapshot (rows sorted by value so chunks are clustered and zone maps
+  /// selective). The copy freezes the table as of registration: each shard
+  /// records the heap's mutation epoch, and the MPP path falls back to the
+  /// row store on any DN whose heap has mutated since (or that had
+  /// transactions in flight during the build). Re-registering rebuilds.
+  Status RegisterColumnar(const std::string& name);
+  /// True when `name` has a columnar copy registered (on DN 0, which implies
+  /// all DNs — registration is all-or-nothing).
+  bool IsColumnar(const std::string& name) const;
+  void DropColumnar(const std::string& name);
+
   /// Starts a transaction whose simulated clock begins at `start_time`
   /// (closed-loop clients pass their own current time).
   Txn Begin(TxnScope scope, SimTime start_time = 0);
@@ -207,6 +219,10 @@ class Cluster {
   SimTime ChargeDnStmt(int dn, SimTime arrival);
   /// One DN prepare/commit/abort message round trip.
   SimTime ChargeDnCommit(int dn, SimTime arrival);
+  /// One columnar partial-scan round trip: fixed statement setup plus a
+  /// per-chunk term for chunks actually scanned (zone-map-pruned chunks are
+  /// free, so pruning is visible in sim_latency_us).
+  SimTime ChargeDnColumnarScan(int dn, SimTime arrival, size_t chunks_scanned);
 
   void ResetSimTime() { scheduler_.Reset(); }
 
@@ -229,6 +245,7 @@ class Cluster {
   std::function<int(const sql::Value&)> sharder_;
   int begins_since_maintenance_ = 0;
   bool replication_enabled_ = false;
+  std::set<std::string> columnar_tables_;
   std::vector<bool> down_;
   std::vector<ShadowShard> shadows_;  // indexed by primary DN
 };

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "storage/column_store.h"
 #include "storage/mvcc_table.h"
 #include "txn/gtm.h"
 #include "txn/local_txn_manager.h"
@@ -62,6 +63,28 @@ class DataNode {
   /// Returns the number of transactions resolved.
   int RecoverInDoubt(const txn::Gtm& gtm);
 
+  // --- Columnar side-store (OLAP scan path, see cluster/mpp_query) ----------
+  /// One table's columnar copy on this DN, frozen at build time. `heap_epoch`
+  /// is the source MvccTable's mutation epoch when the chunks were built and
+  /// `settled` records that no transaction was in flight then; the MPP path
+  /// uses the pair to detect staleness (any later heap mutation bumps the
+  /// epoch) and falls back to the row store instead of serving stale chunks.
+  struct ColumnarShard {
+    std::unique_ptr<storage::ColumnTable> table;
+    uint64_t heap_epoch = 0;
+    bool settled = false;
+  };
+
+  void RegisterColumnar(const std::string& name, ColumnarShard shard) {
+    columnar_[name] = std::move(shard);
+  }
+  /// nullptr when the table has no columnar copy on this DN.
+  const ColumnarShard* GetColumnarShard(const std::string& name) const {
+    auto it = columnar_.find(name);
+    return it == columnar_.end() ? nullptr : &it->second;
+  }
+  void DropColumnar(const std::string& name) { columnar_.erase(name); }
+
  private:
   struct PendingCommit {
     txn::Xid xid;
@@ -71,6 +94,7 @@ class DataNode {
   int id_;
   txn::LocalTxnManager txn_mgr_;
   std::unordered_map<std::string, std::unique_ptr<storage::MvccTable>> tables_;
+  std::unordered_map<std::string, ColumnarShard> columnar_;
   std::deque<PendingCommit> pending_commits_;
 };
 

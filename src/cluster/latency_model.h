@@ -36,6 +36,13 @@ struct LatencyModel {
   /// per-byte term is what makes bytes-moved the planning currency: the
   /// broadcast-vs-repartition choice trades exactly this cost.
   SimTime exchange_kb_service_us = 2;
+  /// Serialized DN work to start one columnar partial scan (kernel setup,
+  /// zone-map consultation). Much cheaper than dn_stmt_service_us because
+  /// no row heap is walked.
+  SimTime columnar_stmt_service_us = 10;
+  /// Serialized DN work per column chunk actually scanned. Chunks pruned by
+  /// zone maps are free — pruning shows up directly in sim_latency_us.
+  SimTime columnar_chunk_service_us = 3;
 };
 
 }  // namespace ofi::cluster

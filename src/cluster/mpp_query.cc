@@ -111,7 +111,210 @@ struct ShardPartial {
   Table partial;
   size_t partial_bytes = 0;
   size_t naive_bytes = 0;
+  bool columnar = false;
+  storage::ScanStats stats;  // columnar shards only
 };
+
+// --- Columnar scan path (storage/column_store) -------------------------------
+
+/// A filter the columnar kernels evaluate natively: TRUE, one inclusive
+/// int64 range on a column, or one string equality. Comparison predicates
+/// lower onto the range with saturated bounds, and And() of ranges on the
+/// same column intersects. Anything else falls back to the row store.
+struct ColumnarPredicate {
+  enum class Kind { kAll, kIntRange, kStringEq };
+  Kind kind = Kind::kAll;
+  std::string column;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  std::string needle;
+  /// Statically unsatisfiable (x > INT64_MAX, or an empty intersection):
+  /// the scan short-circuits to an empty selection.
+  bool never = false;
+};
+
+std::optional<ColumnarPredicate> RecognizeExpr(const Expr& e) {
+  if (e.kind() == sql::ExprKind::kCompare) {
+    if (e.children().size() != 2) return std::nullopt;
+    const Expr& l = *e.children()[0];
+    const Expr& r = *e.children()[1];
+    if (l.kind() != sql::ExprKind::kColumn || r.kind() != sql::ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    const Value& lit = r.literal();
+    ColumnarPredicate p;
+    p.column = l.column_name();
+    if (lit.type() == TypeId::kString && e.compare_op() == sql::CompareOp::kEq) {
+      p.kind = ColumnarPredicate::Kind::kStringEq;
+      p.needle = lit.AsString();
+      return p;
+    }
+    if (lit.type() != TypeId::kInt64) return std::nullopt;
+    const int64_t v = lit.AsInt();
+    p.kind = ColumnarPredicate::Kind::kIntRange;
+    switch (e.compare_op()) {
+      case sql::CompareOp::kEq:
+        p.lo = p.hi = v;
+        break;
+      case sql::CompareOp::kGt:
+        if (v == std::numeric_limits<int64_t>::max()) p.never = true;
+        else p.lo = v + 1;
+        break;
+      case sql::CompareOp::kGe:
+        p.lo = v;
+        break;
+      case sql::CompareOp::kLt:
+        if (v == std::numeric_limits<int64_t>::min()) p.never = true;
+        else p.hi = v - 1;
+        break;
+      case sql::CompareOp::kLe:
+        p.hi = v;
+        break;
+      default:
+        return std::nullopt;  // <> needs NULL-aware decode; not worth it
+    }
+    return p;
+  }
+  if (e.kind() == sql::ExprKind::kLogical &&
+      e.logical_op() == sql::LogicalOp::kAnd && e.children().size() == 2) {
+    auto a = RecognizeExpr(*e.children()[0]);
+    auto b = RecognizeExpr(*e.children()[1]);
+    if (!a || !b || a->kind != ColumnarPredicate::Kind::kIntRange ||
+        b->kind != ColumnarPredicate::Kind::kIntRange || a->column != b->column) {
+      return std::nullopt;
+    }
+    a->lo = std::max(a->lo, b->lo);
+    a->hi = std::min(a->hi, b->hi);
+    a->never = a->never || b->never || a->lo > a->hi;
+    return a;
+  }
+  return std::nullopt;
+}
+
+/// nullopt = filter not columnar-evaluable (row fallback for the query).
+std::optional<ColumnarPredicate> RecognizeFilter(const sql::ExprPtr& filter) {
+  if (!filter) return ColumnarPredicate{};  // kAll
+  return RecognizeExpr(*filter);
+}
+
+/// True when every partial aggregate can run as a pure column kernel:
+/// global aggregation (no GROUP BY) of COUNT(*)/COUNT/SUM/MIN/MAX over
+/// columns typed exactly kInt64 (timestamps/doubles would change the
+/// executor's output value types). AVG qualifies via its SUM+COUNT split.
+bool KernelAggsSupported(const std::vector<std::string>& group_by,
+                         const std::vector<PartialPlan>& plans,
+                         const sql::Schema& schema) {
+  if (!group_by.empty()) return false;
+  for (const auto& p : plans) {
+    for (const auto& spec : p.partial) {
+      if (spec.arg == nullptr) continue;  // COUNT(*)
+      if (spec.arg->kind() != sql::ExprKind::kColumn) return false;
+      auto idx = schema.IndexOf(spec.arg->column_name());
+      if (!idx.ok() || schema.column(*idx).type != TypeId::kInt64) return false;
+    }
+  }
+  return true;
+}
+
+/// Runs the recognized filter, returning the selection (nullopt = all rows,
+/// so aggregate kernels can take their zone-map-only fast paths).
+Result<std::optional<std::vector<uint32_t>>> RunColumnarFilter(
+    const storage::ColumnTable& ct, const ColumnarPredicate& pred,
+    const storage::ScanOptions& sopts, storage::ScanStats* stats) {
+  if (pred.never) {
+    return std::optional<std::vector<uint32_t>>{std::vector<uint32_t>{}};
+  }
+  switch (pred.kind) {
+    case ColumnarPredicate::Kind::kAll:
+      return std::optional<std::vector<uint32_t>>{};
+    case ColumnarPredicate::Kind::kIntRange: {
+      OFI_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> sel,
+          ct.FilterBetweenInt64(pred.column, pred.lo, pred.hi, sopts, stats));
+      return std::optional<std::vector<uint32_t>>{std::move(sel)};
+    }
+    case ColumnarPredicate::Kind::kStringEq: {
+      OFI_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                           ct.FilterEqString(pred.column, pred.needle, sopts, stats));
+      return std::optional<std::vector<uint32_t>>{std::move(sel)};
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Pure-kernel partial aggregate: the exact Table the row-path executor
+/// would produce for a global aggregate (COUNT -> kInt64 with 0 on empty,
+/// SUM/MIN/MAX -> the column's type with NULL when nothing contributes),
+/// computed without materializing a single row.
+Result<Table> RunColumnarKernelAgg(const storage::ColumnTable& ct,
+                                   const std::vector<uint32_t>* sel,
+                                   bool never,
+                                   const std::vector<AggSpec>& partial_specs,
+                                   const storage::ScanOptions& sopts,
+                                   storage::ScanStats* stats) {
+  std::vector<Column> cols;
+  Row r;
+  for (const auto& spec : partial_specs) {
+    if (spec.arg == nullptr) {
+      // COUNT(*): rows in the selection; NULLs count too.
+      cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+      int64_t c = sel ? static_cast<int64_t>(sel->size())
+                      : (never ? 0 : static_cast<int64_t>(ct.sealed_rows()));
+      r.push_back(Value(c));
+      continue;
+    }
+    const std::string& col = spec.arg->column_name();
+    switch (spec.func) {
+      case AggFunc::kCount: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(int64_t c, ct.CountInt64(col, sel, sopts, stats));
+        r.push_back(Value(c));
+        break;
+      }
+      case AggFunc::kSum: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> s,
+                             ct.SumInt64(col, sel, sopts, stats));
+        r.push_back(s ? Value(*s) : Value::Null());
+        break;
+      }
+      case AggFunc::kMin: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
+                             ct.MinInt64(col, sel, sopts, stats));
+        r.push_back(m ? Value(*m) : Value::Null());
+        break;
+      }
+      case AggFunc::kMax: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
+                             ct.MaxInt64(col, sel, sopts, stats));
+        r.push_back(m ? Value(*m) : Value::Null());
+        break;
+      }
+      default:
+        return Status::Internal("non-decomposed aggregate in kernel path");
+    }
+  }
+  Table out{sql::Schema(std::move(cols))};
+  out.mutable_rows().push_back(std::move(r));
+  return out;
+}
+
+/// Distinct chunks containing selected rows — the chunk cost the gather
+/// (materializing) path charges, since it decodes those chunks.
+size_t ChunksTouched(const std::vector<uint32_t>& sel) {
+  size_t touched = 0;
+  size_t last = SIZE_MAX;
+  for (uint32_t r : sel) {
+    size_t c = r / storage::ColumnTable::kChunkRows;
+    if (c != last) {
+      ++touched;
+      last = c;
+    }
+  }
+  return touched;
+}
 
 /// The nodes serving data, one entry per live serving node (after failover
 /// the promoted backup hosts the failed primary's rows in its own MVCC
@@ -159,39 +362,131 @@ Result<DistributedResult> DistributedAggregate(
   // One consistent snapshot across every shard.
   Txn reader = cluster->Begin(TxnScope::kMultiShard);
 
+  std::vector<storage::MvccTable*> shard_tables(serving.size(), nullptr);
+  for (int i = 0; i < num_serving; ++i) {
+    OFI_ASSIGN_OR_RETURN(shard_tables[i],
+                         cluster->dn(serving[i])->GetTable(table));
+  }
+
+  // Columnar eligibility. The filter must be kernel-recognizable (checked
+  // once for the query), and each shard's copy must be fresh: built with no
+  // transaction in flight AND no heap mutation since (the mutation epoch
+  // detects deletes that version counts cannot). Stale shards fall back to
+  // the row store individually — results are identical either way.
+  std::optional<ColumnarPredicate> pred;
+  if (options.use_columnar && cluster->IsColumnar(table)) {
+    pred = RecognizeFilter(filter);
+    if (!pred.has_value()) {
+      cluster->metrics().Add("columnar.fallback_filter");
+    }
+  }
+  std::vector<const DataNode::ColumnarShard*> col_shards(serving.size(), nullptr);
+  bool kernel_path = false;
+  if (pred.has_value()) {
+    kernel_path =
+        KernelAggsSupported(group_by, plans, shard_tables[0]->schema());
+    for (int i = 0; i < num_serving; ++i) {
+      const DataNode::ColumnarShard* shard =
+          cluster->dn(serving[i])->GetColumnarShard(table);
+      if (shard != nullptr && shard->table != nullptr && shard->settled &&
+          shard->heap_epoch == shard_tables[i]->epoch()) {
+        col_shards[i] = shard;
+      } else if (shard != nullptr) {
+        cluster->metrics().Add("columnar.fallback_stale");
+      }
+    }
+  }
+
   // Scatter, phase 1 (coordinator thread): open every shard context and
   // charge the simulated fan-out. Every DN receives the request at
   // scatter_start and performs snapshot-merge + partial scan serialized on
   // its own resource, so the parallel critical path is the slowest DN; the
   // old serial model (round trips chained back-to-back) is kept alongside
-  // for comparison.
+  // for comparison. Columnar shards charge per chunk actually scanned, so
+  // their statement cost is only known after phase 2 — record the merge
+  // completion now and charge the scan afterwards (each DN's resource is
+  // independent, so the deferred charge stays deterministic).
   const SimTime scatter_start = reader.now();
   SimTime parallel_done = scatter_start;
   SimTime serial_sum = 0;
-  std::vector<storage::MvccTable*> shard_tables(serving.size(), nullptr);
+  std::vector<SimTime> merged_at(serving.size(), scatter_start);
   for (int i = 0; i < num_serving; ++i) {
     const int dn = serving[i];
-    OFI_ASSIGN_OR_RETURN(shard_tables[i], cluster->dn(dn)->GetTable(table));
-    OFI_ASSIGN_OR_RETURN(SimTime merged_at,
-                         reader.PrepareShard(dn, scatter_start));
-    // The partial scan+aggregate statement, shipping group-sized state back.
-    SimTime done = cluster->ChargeDnStmt(dn, merged_at);
+    OFI_ASSIGN_OR_RETURN(merged_at[i], reader.PrepareShard(dn, scatter_start));
+    if (col_shards[i] != nullptr) continue;
+    // The row-path partial scan+aggregate statement.
+    SimTime done = cluster->ChargeDnStmt(dn, merged_at[i]);
     parallel_done = std::max(parallel_done, done);
     serial_sum += done - scatter_start;
   }
-  const SimTime gather_cost =
-      static_cast<SimTime>(num_serving) * cluster->latency().cn_gather_service_us;
-  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
-  out.sim_latency_serial_us = serial_sum + gather_cost;
 
-  // Scatter, phase 2 (thread pool): per-DN visible scan + partial
-  // aggregation. Workers touch only read paths (storage/txn shared locks)
-  // plus their own slot; expression trees are cloned per worker because
-  // Bind() caches column indices in place.
+  // Scatter, phase 2 (thread pool): per-DN partial aggregation. Row shards
+  // scan the MVCC heap through the executor; columnar shards run the
+  // filter/aggregate kernels over their chunk copy (pure kernels for global
+  // int64 aggregates, else filter + Gather + executor). Workers touch only
+  // read paths plus their own slot; expression trees are cloned per worker
+  // because Bind() caches column indices in place. Morsel parallelism
+  // inside a shard is only enabled for inline scatters — pool workers must
+  // not nest ParallelFor.
+  storage::ScanOptions sopts;
+  sopts.parallel = options.columnar_morsel_parallel && !options.parallel;
+  sopts.pool = options.pool;
   std::vector<ShardPartial> slots(serving.size());
   auto run_shard = [&](int i) {
     const int dn = serving[i];
     ShardPartial& slot = slots[static_cast<size_t>(i)];
+
+    std::vector<AggSpec> partial_specs;
+    for (const auto& p : plans) {
+      for (const auto& spec : p.partial) {
+        partial_specs.push_back(AggSpec{
+            spec.func, spec.arg ? spec.arg->Clone() : nullptr, spec.name});
+      }
+    }
+
+    if (col_shards[i] != nullptr) {
+      const storage::ColumnTable& ct = *col_shards[i]->table;
+      slot.columnar = true;
+      slot.naive_bytes = ct.PlainBytes();
+      auto sel = RunColumnarFilter(ct, *pred, sopts, &slot.stats);
+      if (!sel.ok()) {
+        slot.status = sel.status();
+        return;
+      }
+      auto compute = [&]() -> Result<Table> {
+        if (kernel_path) {
+          return RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
+                                      pred->never, partial_specs, sopts,
+                                      &slot.stats);
+        }
+        // Gather path: materialize the selection and run the ordinary
+        // partial aggregate (GROUP BY, non-int64 aggregates).
+        std::vector<uint32_t> all;
+        if (!sel->has_value()) {
+          all.resize(ct.sealed_rows());
+          for (uint32_t k = 0; k < all.size(); ++k) all[k] = k;
+        }
+        const std::vector<uint32_t>& s = sel->has_value() ? **sel : all;
+        slot.stats.chunks_scanned += ChunksTouched(s);
+        OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, ct.Gather(s));
+        sql::Catalog shard_catalog;
+        shard_catalog.Register("shard", Table(ct.schema(), std::move(rows)));
+        // Filter already applied by the kernel — scan without it.
+        sql::PlanPtr agg_plan = sql::MakeAggregate(sql::MakeScan("shard"),
+                                                   group_by, partial_specs);
+        sql::Executor exec(&shard_catalog);
+        return exec.Execute(agg_plan);
+      };
+      Result<Table> partial = compute();
+      if (!partial.ok()) {
+        slot.status = partial.status();
+        return;
+      }
+      slot.partial_bytes = TableBytes(*partial);
+      slot.partial = std::move(*partial);
+      return;
+    }
+
     auto rows = reader.ScanShardPrepared(table, dn);
     if (!rows.ok()) {
       slot.status = rows.status();
@@ -203,14 +498,6 @@ Result<DistributedResult> DistributedAggregate(
     shard_catalog.Register(
         "shard", Table(shard_tables[static_cast<size_t>(i)]->schema(),
                        std::move(*rows)));
-    std::vector<AggSpec> partial_specs;
-    for (const auto& p : plans) {
-      for (const auto& spec : p.partial) {
-        partial_specs.push_back(
-            AggSpec{spec.func, spec.arg ? spec.arg->Clone() : nullptr,
-                    spec.name});
-      }
-    }
     sql::PlanPtr scan =
         sql::MakeScan("shard", filter ? filter->Clone() : nullptr);
     sql::PlanPtr agg_plan = sql::MakeAggregate(scan, group_by, partial_specs);
@@ -225,6 +512,20 @@ Result<DistributedResult> DistributedAggregate(
   };
   RunScatter(options.parallel, options.pool, num_serving, run_shard);
 
+  // Deferred latency for columnar shards: fixed setup + per-chunk service
+  // for chunks actually scanned. Zone-map-pruned chunks cost nothing.
+  for (int i = 0; i < num_serving; ++i) {
+    if (col_shards[i] == nullptr) continue;
+    SimTime done = cluster->ChargeDnColumnarScan(
+        serving[i], merged_at[i], slots[static_cast<size_t>(i)].stats.chunks_scanned);
+    parallel_done = std::max(parallel_done, done);
+    serial_sum += done - scatter_start;
+  }
+  const SimTime gather_cost =
+      static_cast<SimTime>(num_serving) * cluster->latency().cn_gather_service_us;
+  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
+  out.sim_latency_serial_us = serial_sum + gather_cost;
+
   // Gather: merge partials deterministically in DN order.
   Table partial_union;
   bool first_shard = true;
@@ -232,6 +533,10 @@ Result<DistributedResult> DistributedAggregate(
     OFI_RETURN_NOT_OK(slot.status);
     out.partial_bytes += slot.partial_bytes;
     out.naive_bytes += slot.naive_bytes;
+    if (slot.columnar) {
+      ++out.columnar_shards;
+      out.scan_stats.MergeFrom(slot.stats);
+    }
     if (first_shard) {
       partial_union = std::move(slot.partial);
       first_shard = false;
@@ -240,6 +545,17 @@ Result<DistributedResult> DistributedAggregate(
         OFI_RETURN_NOT_OK(partial_union.Append(std::move(row)));
       }
     }
+  }
+  if (out.columnar_shards > 0) {
+    auto& m = cluster->metrics();
+    m.Add("columnar.scans", static_cast<int64_t>(out.columnar_shards));
+    m.Add("columnar.chunks_scanned",
+          static_cast<int64_t>(out.scan_stats.chunks_scanned));
+    m.Add("columnar.chunks_pruned",
+          static_cast<int64_t>(out.scan_stats.chunks_pruned));
+    m.Add("columnar.rows_filtered",
+          static_cast<int64_t>(out.scan_stats.rows_matched));
+    m.Add("columnar.morsels", static_cast<int64_t>(out.scan_stats.morsels));
   }
   // The CN resumes once the last partial has been gathered.
   reader.AdvanceTo(parallel_done + gather_cost);

@@ -46,6 +46,18 @@ struct DistributedOptions {
   bool parallel = true;
   /// Pool override; nullptr uses common::ThreadPool::Shared().
   common::ThreadPool* pool = nullptr;
+  /// Serve partial scans from the table's columnar copy when one is
+  /// registered (Cluster::RegisterColumnar), the filter is a recognizable
+  /// column-vs-literal predicate, and the shard is fresh (heap mutation
+  /// epoch unchanged since the copy was built). Stale shards and
+  /// unsupported filters transparently fall back to the row store; results
+  /// are identical either way.
+  bool use_columnar = true;
+  /// Run each columnar shard scan morsel-parallel on the pool. Only honored
+  /// when `parallel` is false (inline scatter): pool workers must not nest
+  /// ParallelFor, so a parallel scatter always scans its shards serially
+  /// (the shards themselves are already concurrent).
+  bool columnar_morsel_parallel = false;
 };
 
 /// Result of a distributed aggregate, with the data-movement accounting the
@@ -63,6 +75,12 @@ struct DistributedResult {
   /// The old serial model for comparison: the same per-DN round trips
   /// chained back-to-back, so N shards cost ~N times one shard.
   SimTime sim_latency_serial_us = 0;
+  /// Shards served from the columnar store (0 = pure row path).
+  size_t columnar_shards = 0;
+  /// Merged scan counters across columnar shards: chunks pruned by zone
+  /// maps never contribute to sim_latency_us, and rows_decoded is the
+  /// machine-independent work metric EXPERIMENTS.md E15 reports.
+  storage::ScanStats scan_stats;
 };
 
 /// Runs `SELECT group_by..., aggs... FROM table [WHERE filter] GROUP BY

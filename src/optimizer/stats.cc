@@ -128,6 +128,35 @@ TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets,
   return stats;
 }
 
+TableStats AnalyzeColumnTableZones(const storage::ColumnTable& table) {
+  TableStats stats;
+  const sql::Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    auto summary = table.ZoneSummary(schema.column(c).name);
+    if (!summary.ok()) continue;
+    ColumnStats cs;
+    cs.type = summary->type;
+    cs.num_nulls = summary->nulls;
+    cs.num_values = summary->rows - summary->nulls;
+    if (summary->has_int_range) {
+      cs.min = static_cast<double>(summary->min);
+      cs.max = static_cast<double>(summary->max);
+    }
+    cs.ndv = summary->dict_ndv;  // strings: lower bound; 0 = unknown
+    if (summary->rows > 0) {
+      // NULLs take 1 byte in row form; plain_bytes charges full width.
+      uint64_t bytes = summary->plain_bytes;
+      if (summary->type != sql::TypeId::kString) {
+        bytes = cs.num_values * 8 + cs.num_nulls * 1;
+      }
+      cs.avg_width = static_cast<double>(bytes) / static_cast<double>(summary->rows);
+    }
+    stats.num_rows = summary->rows;
+    stats.columns[schema.column(c).name] = std::move(cs);
+  }
+  return stats;
+}
+
 void StatsRegistry::AnalyzeAll(const sql::Catalog& catalog) {
   for (const auto& name : catalog.TableNames()) {
     auto t = catalog.Get(name);

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "sql/table.h"
+#include "storage/column_store.h"
 
 namespace ofi::optimizer {
 
@@ -59,6 +60,14 @@ struct TableStats {
 /// Computes full statistics for a table (ANALYZE).
 TableStats AnalyzeTable(const sql::Table& table, size_t histogram_buckets = 32,
                         size_t mcv_size = 8);
+
+/// ANALYZE from a columnar table's zone maps — no chunk is decoded. Row,
+/// null and min/max figures are exact (zone maps are exact per chunk);
+/// string ndv is a lower bound from the largest per-chunk dictionary;
+/// histograms and MCVs are left empty (they need values). avg_width comes
+/// from the plain-encoded payload size, feeding the exchange planner's
+/// EstimatedBytes without touching data.
+TableStats AnalyzeColumnTableZones(const storage::ColumnTable& table);
 
 /// \brief Named stats registry the optimizer consults.
 class StatsRegistry {

@@ -1,14 +1,69 @@
 #include "storage/column_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ofi::storage {
+namespace {
+
+/// Builds the packed validity bitmap (empty when every row is valid).
+std::vector<uint64_t> PackValidity(const std::vector<bool>* valid, size_t n) {
+  if (valid == nullptr) return {};
+  bool any_null = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(*valid)[i]) {
+      any_null = true;
+      break;
+    }
+  }
+  if (!any_null) return {};
+  std::vector<uint64_t> bits((n + 63) / 64, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if ((*valid)[i]) bits[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  return bits;
+}
+
+uint32_t CountNulls(const std::vector<uint64_t>& validity, size_t n) {
+  if (validity.empty()) return 0;
+  return static_cast<uint32_t>(n - BitmapCountValid(validity, 0, n));
+}
+
+}  // namespace
+
+size_t BitmapCountValid(const std::vector<uint64_t>& validity, size_t begin,
+                        size_t end) {
+  if (validity.empty()) return end - begin;
+  size_t count = 0;
+  size_t i = begin;
+  // Partial leading word.
+  while (i < end && (i & 63) != 0) count += BitmapValidAt(validity, i++);
+  // Whole words.
+  while (i + 64 <= end) {
+    count += static_cast<size_t>(__builtin_popcountll(validity[i >> 6]));
+    i += 64;
+  }
+  // Partial trailing word.
+  while (i < end) count += BitmapValidAt(validity, i++);
+  return count;
+}
+
+void ScanStats::MergeFrom(const ScanStats& o) {
+  chunks_total += o.chunks_total;
+  chunks_scanned += o.chunks_scanned;
+  chunks_pruned += o.chunks_pruned;
+  rows_decoded += o.rows_decoded;
+  rows_matched += o.rows_matched;
+  morsels += o.morsels;
+}
 
 size_t Int64Chunk::CompressedBytes() const {
+  size_t n = validity.size() * sizeof(uint64_t);
   if (encoding == Encoding::kRle) {
-    return rle_values.size() * sizeof(int64_t) + rle_lengths.size() * sizeof(uint32_t);
+    return n + rle_values.size() * sizeof(int64_t) +
+           rle_lengths.size() * sizeof(uint32_t);
   }
-  return plain.size() * sizeof(int64_t);
+  return n + plain.size() * sizeof(int64_t);
 }
 
 void Int64Chunk::Decode(std::vector<int64_t>* out) const {
@@ -24,20 +79,30 @@ void Int64Chunk::Decode(std::vector<int64_t>* out) const {
 }
 
 size_t StringChunk::CompressedBytes() const {
+  size_t n = validity.size() * sizeof(uint64_t);
   if (encoding == Encoding::kDict) {
-    size_t n = codes.size() * sizeof(uint32_t);
+    n += codes.size() * sizeof(uint32_t);
     for (const auto& s : dict) n += s.size() + 4;
     return n;
   }
-  size_t n = 0;
   for (const auto& s : plain) n += s.size() + 4;
   return n;
 }
 
-Int64Chunk EncodeInt64(const std::vector<int64_t>& values) {
+Int64Chunk EncodeInt64(const std::vector<int64_t>& values,
+                       const std::vector<bool>* valid) {
   Int64Chunk chunk;
   chunk.num_rows = values.size();
-  // Build RLE and keep it only if it actually compresses.
+  chunk.validity = PackValidity(valid, values.size());
+  chunk.zone.num_rows = static_cast<uint32_t>(values.size());
+  chunk.zone.null_count = CountNulls(chunk.validity, values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!chunk.ValidAt(i)) continue;
+    chunk.zone.min = std::min(chunk.zone.min, values[i]);
+    chunk.zone.max = std::max(chunk.zone.max, values[i]);
+  }
+  // Build RLE and keep it only if it actually compresses. NULL placeholders
+  // participate in runs like any value; validity is consulted on scan.
   std::vector<int64_t> rv;
   std::vector<uint32_t> rl;
   for (int64_t v : values) {
@@ -60,9 +125,19 @@ Int64Chunk EncodeInt64(const std::vector<int64_t>& values) {
   return chunk;
 }
 
-StringChunk EncodeString(const std::vector<std::string>& values) {
+StringChunk EncodeString(const std::vector<std::string>& values,
+                         const std::vector<bool>* valid) {
   StringChunk chunk;
   chunk.num_rows = values.size();
+  chunk.validity = PackValidity(valid, values.size());
+  chunk.null_count = CountNulls(chunk.validity, values.size());
+  bool first = true;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!chunk.ValidAt(i)) continue;
+    if (first || values[i] < chunk.zone_min) chunk.zone_min = values[i];
+    if (first || values[i] > chunk.zone_max) chunk.zone_max = values[i];
+    first = false;
+  }
   std::unordered_map<std::string, uint32_t> index;
   std::vector<std::string> dict;
   std::vector<uint32_t> codes;
@@ -94,51 +169,61 @@ ColumnTable::ColumnTable(sql::Schema schema) : schema_(std::move(schema)) {
   }
 }
 
+size_t ColumnTable::num_chunks() const {
+  if (columns_.empty()) return 0;
+  const ColumnData& c = columns_[0];
+  return c.type == sql::TypeId::kString ? c.string_chunks.size()
+                                        : c.int_chunks.size();
+}
+
 Status ColumnTable::Append(const sql::Row& row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("column append: arity mismatch");
   }
   for (size_t i = 0; i < row.size(); ++i) {
     ColumnData& c = columns_[i];
+    const bool valid = !row[i].is_null();
     switch (c.type) {
       case sql::TypeId::kInt64:
       case sql::TypeId::kTimestamp:
-        c.int_tail.push_back(row[i].is_null() ? 0 : row[i].AsInt());
+        c.int_tail.push_back(valid ? row[i].AsInt() : 0);
         break;
       case sql::TypeId::kDouble: {
-        double d = row[i].is_null() ? 0.0 : row[i].AsDouble();
+        double d = valid ? row[i].AsDouble() : 0.0;
         int64_t bits;
         std::memcpy(&bits, &d, sizeof(bits));
         c.int_tail.push_back(bits);
         break;
       }
       case sql::TypeId::kString:
-        c.string_tail.push_back(row[i].is_null() ? "" : row[i].AsString());
+        c.string_tail.push_back(valid ? row[i].AsString() : "");
         break;
       default:
         return Status::NotImplemented("column type unsupported");
     }
+    c.tail_valid.push_back(valid);
   }
   ++num_rows_;
-  if (num_rows_ % kChunkRows == 0) {
-    for (auto& c : columns_) EncodeTail(&c);
-  }
+  if (num_rows_ - sealed_rows_ == kChunkRows) Seal();
   return Status::OK();
 }
 
 void ColumnTable::Seal() {
+  if (sealed_rows_ == num_rows_) return;  // idempotent: nothing buffered
   for (auto& c : columns_) EncodeTail(&c);
+  sealed_rows_ = num_rows_;
 }
 
 void ColumnTable::EncodeTail(ColumnData* c) {
   if (!c->int_tail.empty()) {
-    c->int_chunks.push_back(EncodeInt64(c->int_tail));
+    c->int_chunks.push_back(EncodeInt64(c->int_tail, &c->tail_valid));
     c->int_tail.clear();
   }
   if (!c->string_tail.empty()) {
-    c->string_chunks.push_back(EncodeString(c->string_tail));
+    c->string_chunks.push_back(EncodeString(c->string_tail, &c->tail_valid));
     c->string_tail.clear();
   }
+  c->tail_valid.clear();
 }
 
 Result<size_t> ColumnTable::ColIndex(const std::string& col,
@@ -153,85 +238,297 @@ Result<size_t> ColumnTable::ColIndex(const std::string& col,
   return idx;
 }
 
-Result<std::vector<uint32_t>> ColumnTable::FilterGtInt64(const std::string& col,
-                                                         int64_t bound) const {
-  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
-  std::vector<uint32_t> sel;
-  uint32_t base = 0;
-  std::vector<int64_t> decoded;
-  for (const auto& chunk : columns_[idx].int_chunks) {
-    if (chunk.encoding == Encoding::kRle) {
-      // Operate on runs directly: whole runs pass or fail at once.
-      uint32_t off = 0;
-      for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
-        if (chunk.rle_values[r] > bound) {
-          for (uint32_t k = 0; k < chunk.rle_lengths[r]; ++k) {
-            sel.push_back(base + off + k);
-          }
-        }
-        off += chunk.rle_lengths[r];
-      }
-    } else {
-      for (size_t i = 0; i < chunk.plain.size(); ++i) {
-        if (chunk.plain[i] > bound) sel.push_back(base + static_cast<uint32_t>(i));
-      }
-    }
-    base += static_cast<uint32_t>(chunk.num_rows);
+void ColumnTable::RunMorsels(
+    size_t chunk_count, const ScanOptions& opts,
+    const std::function<void(size_t, size_t, size_t)>& fn) const {
+  if (chunk_count == 0) return;
+  const size_t per = std::max<size_t>(1, opts.morsel_chunks);
+  const size_t num_morsels = (chunk_count + per - 1) / per;
+  auto run = [&](size_t m) {
+    const size_t begin = m * per;
+    const size_t end = std::min(begin + per, chunk_count);
+    fn(begin, end, m);
+  };
+  if (opts.parallel && num_morsels > 1) {
+    common::ThreadPool* pool =
+        opts.pool ? opts.pool : &common::ThreadPool::Shared();
+    pool->ParallelFor(static_cast<int>(num_morsels),
+                      [&](int m) { run(static_cast<size_t>(m)); });
+  } else {
+    for (size_t m = 0; m < num_morsels; ++m) run(m);
   }
-  (void)decoded;
-  return sel;
 }
 
-Result<std::vector<uint32_t>> ColumnTable::FilterEqString(
-    const std::string& col, const std::string& needle) const {
-  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kString));
-  std::vector<uint32_t> sel;
-  uint32_t base = 0;
-  for (const auto& chunk : columns_[idx].string_chunks) {
-    if (chunk.encoding == Encoding::kDict) {
-      // Compare against the dictionary once, then match codes.
-      int32_t code = -1;
-      for (size_t d = 0; d < chunk.dict.size(); ++d) {
-        if (chunk.dict[d] == needle) {
-          code = static_cast<int32_t>(d);
-          break;
-        }
+Result<std::vector<uint32_t>> ColumnTable::FilterRangeInt64(
+    const std::string& col, int64_t lo, int64_t hi, const ScanOptions& opts,
+    ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+
+  // Global row id of each chunk's first row, precomputed so morsels are
+  // independent.
+  std::vector<uint32_t> chunk_base(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    chunk_base[c + 1] = chunk_base[c] + static_cast<uint32_t>(chunks[c].num_rows);
+  }
+
+  const size_t per = std::max<size_t>(1, opts.morsel_chunks);
+  const size_t num_morsels = chunks.empty() ? 0 : (chunks.size() + per - 1) / per;
+  std::vector<std::vector<uint32_t>> morsel_sel(num_morsels);
+  std::vector<ScanStats> morsel_stats(num_morsels);
+
+  RunMorsels(chunks.size(), opts, [&](size_t begin, size_t end, size_t m) {
+    std::vector<uint32_t>& sel = morsel_sel[m];
+    ScanStats& st = morsel_stats[m];
+    for (size_t c = begin; c < end; ++c) {
+      const Int64Chunk& chunk = chunks[c];
+      const uint32_t base = chunk_base[c];
+      ++st.chunks_total;
+      // Zone-map pruning: no non-null value can land in [lo, hi].
+      if (chunk.zone.all_null() || chunk.zone.max < lo || chunk.zone.min > hi) {
+        ++st.chunks_pruned;
+        continue;
       }
-      if (code >= 0) {
-        for (size_t i = 0; i < chunk.codes.size(); ++i) {
-          if (chunk.codes[i] == static_cast<uint32_t>(code)) {
+      // Full-match short-circuit: every non-null value is in range. With no
+      // NULLs the selection is the whole chunk — no value is decoded.
+      if (chunk.validity.empty() && chunk.zone.min >= lo && chunk.zone.max <= hi) {
+        ++st.chunks_pruned;
+        for (uint32_t k = 0; k < chunk.num_rows; ++k) sel.push_back(base + k);
+        continue;
+      }
+      ++st.chunks_scanned;
+      if (chunk.encoding == Encoding::kRle) {
+        // Operate on runs directly: whole runs pass or fail at once.
+        uint32_t off = 0;
+        for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
+          ++st.rows_decoded;
+          const uint32_t len = chunk.rle_lengths[r];
+          const int64_t v = chunk.rle_values[r];
+          if (v >= lo && v <= hi) {
+            for (uint32_t k = 0; k < len; ++k) {
+              if (chunk.ValidAt(off + k)) sel.push_back(base + off + k);
+            }
+          }
+          off += len;
+        }
+      } else {
+        for (size_t i = 0; i < chunk.plain.size(); ++i) {
+          ++st.rows_decoded;
+          if (chunk.plain[i] >= lo && chunk.plain[i] <= hi && chunk.ValidAt(i)) {
             sel.push_back(base + static_cast<uint32_t>(i));
           }
         }
       }
-    } else {
-      for (size_t i = 0; i < chunk.plain.size(); ++i) {
-        if (chunk.plain[i] == needle) sel.push_back(base + static_cast<uint32_t>(i));
-      }
     }
-    base += static_cast<uint32_t>(chunk.num_rows);
+  });
+
+  // Deterministic chunk-order merge: morsel m covers chunks [m*per, ...), so
+  // concatenation in morsel order is exactly the serial scan order.
+  std::vector<uint32_t> sel;
+  ScanStats merged;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    sel.insert(sel.end(), morsel_sel[m].begin(), morsel_sel[m].end());
+    merged.MergeFrom(morsel_stats[m]);
   }
+  merged.morsels = num_morsels;
+  merged.rows_matched = sel.size();
+  if (stats != nullptr) stats->MergeFrom(merged);
   return sel;
 }
 
-Result<int64_t> ColumnTable::SumInt64(const std::string& col,
-                                      const std::vector<uint32_t>* sel) const {
-  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
-  const auto& chunks = columns_[idx].int_chunks;
-  int64_t sum = 0;
-  if (sel == nullptr) {
-    for (const auto& chunk : chunks) {
-      if (chunk.encoding == Encoding::kRle) {
-        for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
-          sum += chunk.rle_values[r] * chunk.rle_lengths[r];
+Result<std::vector<uint32_t>> ColumnTable::FilterGtInt64(
+    const std::string& col, int64_t bound, const ScanOptions& opts,
+    ScanStats* stats) const {
+  if (bound == std::numeric_limits<int64_t>::max()) {
+    OFI_RETURN_NOT_OK(ColIndex(col, sql::TypeId::kInt64).status());
+    return std::vector<uint32_t>{};
+  }
+  return FilterRangeInt64(col, bound + 1, std::numeric_limits<int64_t>::max(),
+                          opts, stats);
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterGeInt64(
+    const std::string& col, int64_t bound, const ScanOptions& opts,
+    ScanStats* stats) const {
+  return FilterRangeInt64(col, bound, std::numeric_limits<int64_t>::max(),
+                          opts, stats);
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterLtInt64(
+    const std::string& col, int64_t bound, const ScanOptions& opts,
+    ScanStats* stats) const {
+  if (bound == std::numeric_limits<int64_t>::min()) {
+    OFI_RETURN_NOT_OK(ColIndex(col, sql::TypeId::kInt64).status());
+    return std::vector<uint32_t>{};
+  }
+  return FilterRangeInt64(col, std::numeric_limits<int64_t>::min(), bound - 1,
+                          opts, stats);
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterLeInt64(
+    const std::string& col, int64_t bound, const ScanOptions& opts,
+    ScanStats* stats) const {
+  return FilterRangeInt64(col, std::numeric_limits<int64_t>::min(), bound,
+                          opts, stats);
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterBetweenInt64(
+    const std::string& col, int64_t lo, int64_t hi, const ScanOptions& opts,
+    ScanStats* stats) const {
+  return FilterRangeInt64(col, lo, hi, opts, stats);
+}
+
+Result<std::vector<uint32_t>> ColumnTable::FilterEqString(
+    const std::string& col, const std::string& needle, const ScanOptions& opts,
+    ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kString));
+  const auto& chunks = columns_[idx].string_chunks;
+
+  std::vector<uint32_t> chunk_base(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    chunk_base[c + 1] = chunk_base[c] + static_cast<uint32_t>(chunks[c].num_rows);
+  }
+
+  const size_t per = std::max<size_t>(1, opts.morsel_chunks);
+  const size_t num_morsels = chunks.empty() ? 0 : (chunks.size() + per - 1) / per;
+  std::vector<std::vector<uint32_t>> morsel_sel(num_morsels);
+  std::vector<ScanStats> morsel_stats(num_morsels);
+
+  RunMorsels(chunks.size(), opts, [&](size_t begin, size_t end, size_t m) {
+    std::vector<uint32_t>& sel = morsel_sel[m];
+    ScanStats& st = morsel_stats[m];
+    for (size_t c = begin; c < end; ++c) {
+      const StringChunk& chunk = chunks[c];
+      const uint32_t base = chunk_base[c];
+      ++st.chunks_total;
+      // Zone-map pruning on the lexicographic span.
+      if (chunk.all_null() || needle < chunk.zone_min || needle > chunk.zone_max) {
+        ++st.chunks_pruned;
+        continue;
+      }
+      ++st.chunks_scanned;
+      if (chunk.encoding == Encoding::kDict) {
+        // Compare against the dictionary once, then match codes.
+        int32_t code = -1;
+        for (size_t d = 0; d < chunk.dict.size(); ++d) {
+          ++st.rows_decoded;
+          if (chunk.dict[d] == needle) {
+            code = static_cast<int32_t>(d);
+            break;
+          }
+        }
+        if (code >= 0) {
+          st.rows_decoded += chunk.codes.size();
+          for (size_t i = 0; i < chunk.codes.size(); ++i) {
+            if (chunk.codes[i] == static_cast<uint32_t>(code) && chunk.ValidAt(i)) {
+              sel.push_back(base + static_cast<uint32_t>(i));
+            }
+          }
         }
       } else {
-        for (int64_t v : chunk.plain) sum += v;
+        st.rows_decoded += chunk.plain.size();
+        for (size_t i = 0; i < chunk.plain.size(); ++i) {
+          if (chunk.plain[i] == needle && chunk.ValidAt(i)) {
+            sel.push_back(base + static_cast<uint32_t>(i));
+          }
+        }
       }
     }
-    return sum;
+  });
+
+  std::vector<uint32_t> sel;
+  ScanStats merged;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    sel.insert(sel.end(), morsel_sel[m].begin(), morsel_sel[m].end());
+    merged.MergeFrom(morsel_stats[m]);
   }
-  // Selection path: decode chunk-by-chunk on demand.
+  merged.morsels = num_morsels;
+  merged.rows_matched = sel.size();
+  if (stats != nullptr) stats->MergeFrom(merged);
+  return sel;
+}
+
+namespace {
+
+/// Per-morsel aggregate partial. Sum wraps modularly (commutative and
+/// associative), so any merge order is bit-identical.
+struct AggPartial {
+  int64_t sum = 0;
+  int64_t count = 0;  // non-null values seen
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  void MergeFrom(const AggPartial& o) {
+    sum += o.sum;
+    count += o.count;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+};
+
+}  // namespace
+
+Result<std::optional<int64_t>> ColumnTable::SumInt64(
+    const std::string& col, const std::vector<uint32_t>* sel,
+    const ScanOptions& opts, ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+
+  if (sel == nullptr) {
+    const size_t per = std::max<size_t>(1, opts.morsel_chunks);
+    const size_t num_morsels =
+        chunks.empty() ? 0 : (chunks.size() + per - 1) / per;
+    std::vector<AggPartial> partials(num_morsels);
+    std::vector<ScanStats> morsel_stats(num_morsels);
+    RunMorsels(chunks.size(), opts, [&](size_t begin, size_t end, size_t m) {
+      AggPartial& p = partials[m];
+      ScanStats& st = morsel_stats[m];
+      for (size_t c = begin; c < end; ++c) {
+        const Int64Chunk& chunk = chunks[c];
+        ++st.chunks_total;
+        if (chunk.zone.all_null()) {
+          ++st.chunks_pruned;
+          continue;
+        }
+        ++st.chunks_scanned;
+        p.count += chunk.zone.non_null();
+        if (chunk.encoding == Encoding::kRle) {
+          // Aggregate runs without decoding: value x count of valid rows in
+          // the run (popcount over the validity bitmap when NULLs exist).
+          uint32_t off = 0;
+          for (size_t r = 0; r < chunk.rle_values.size(); ++r) {
+            ++st.rows_decoded;
+            const uint32_t len = chunk.rle_lengths[r];
+            const int64_t valid_len = static_cast<int64_t>(
+                BitmapCountValid(chunk.validity, off, off + len));
+            p.sum += chunk.rle_values[r] * valid_len;
+            off += len;
+          }
+        } else {
+          st.rows_decoded += chunk.plain.size();
+          for (size_t i = 0; i < chunk.plain.size(); ++i) {
+            if (chunk.ValidAt(i)) p.sum += chunk.plain[i];
+          }
+        }
+      }
+    });
+    AggPartial total;
+    ScanStats merged;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      total.MergeFrom(partials[m]);
+      merged.MergeFrom(morsel_stats[m]);
+    }
+    merged.morsels = num_morsels;
+    if (stats != nullptr) stats->MergeFrom(merged);
+    if (total.count == 0) return std::optional<int64_t>{};
+    return std::optional<int64_t>{total.sum};
+  }
+
+  // Selection path: decode chunk-by-chunk on demand (selections are sorted
+  // by construction, so each chunk is decoded at most once).
+  ScanStats st;
+  int64_t sum = 0;
+  int64_t count = 0;
   std::vector<int64_t> decoded;
   size_t chunk_idx = 0;
   uint32_t chunk_start = 0;
@@ -244,29 +541,162 @@ Result<int64_t> ColumnTable::SumInt64(const std::string& col,
     }
     if (decoded.empty() && chunk_idx < chunks.size()) {
       chunks[chunk_idx].Decode(&decoded);
+      ++st.chunks_scanned;
+      st.rows_decoded += decoded.size();
     }
   };
   for (uint32_t row : *sel) {
     ensure_chunk(row);
     if (chunk_idx >= chunks.size()) break;
+    if (!chunks[chunk_idx].ValidAt(row - chunk_start)) continue;
     sum += decoded[row - chunk_start];
+    ++count;
   }
-  return sum;
+  st.chunks_total = chunks.size();
+  if (stats != nullptr) stats->MergeFrom(st);
+  if (count == 0) return std::optional<int64_t>{};
+  return std::optional<int64_t>{sum};
+}
+
+Result<std::optional<int64_t>> ColumnTable::MinInt64(
+    const std::string& col, const std::vector<uint32_t>* sel,
+    const ScanOptions& opts, ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+  if (sel == nullptr) {
+    // Answered from zone maps alone (the small-materialized-aggregate win).
+    ScanStats st;
+    st.chunks_total = chunks.size();
+    st.chunks_pruned = chunks.size();
+    std::optional<int64_t> best;
+    for (const auto& chunk : chunks) {
+      if (chunk.zone.all_null()) continue;
+      best = best ? std::min(*best, chunk.zone.min) : chunk.zone.min;
+    }
+    if (stats != nullptr) stats->MergeFrom(st);
+    return best;
+  }
+  ScanStats st;
+  std::optional<int64_t> best;
+  std::vector<int64_t> decoded;
+  size_t chunk_idx = 0;
+  uint32_t chunk_start = 0;
+  for (uint32_t row : *sel) {
+    while (chunk_idx < chunks.size() &&
+           row >= chunk_start + chunks[chunk_idx].num_rows) {
+      chunk_start += static_cast<uint32_t>(chunks[chunk_idx].num_rows);
+      ++chunk_idx;
+      decoded.clear();
+    }
+    if (chunk_idx >= chunks.size()) break;
+    if (decoded.empty()) {
+      chunks[chunk_idx].Decode(&decoded);
+      ++st.chunks_scanned;
+      st.rows_decoded += decoded.size();
+    }
+    if (!chunks[chunk_idx].ValidAt(row - chunk_start)) continue;
+    int64_t v = decoded[row - chunk_start];
+    best = best ? std::min(*best, v) : v;
+  }
+  st.chunks_total = chunks.size();
+  if (stats != nullptr) stats->MergeFrom(st);
+  return best;
+}
+
+Result<std::optional<int64_t>> ColumnTable::MaxInt64(
+    const std::string& col, const std::vector<uint32_t>* sel,
+    const ScanOptions& opts, ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+  if (sel == nullptr) {
+    ScanStats st;
+    st.chunks_total = chunks.size();
+    st.chunks_pruned = chunks.size();
+    std::optional<int64_t> best;
+    for (const auto& chunk : chunks) {
+      if (chunk.zone.all_null()) continue;
+      best = best ? std::max(*best, chunk.zone.max) : chunk.zone.max;
+    }
+    if (stats != nullptr) stats->MergeFrom(st);
+    return best;
+  }
+  ScanStats st;
+  std::optional<int64_t> best;
+  std::vector<int64_t> decoded;
+  size_t chunk_idx = 0;
+  uint32_t chunk_start = 0;
+  for (uint32_t row : *sel) {
+    while (chunk_idx < chunks.size() &&
+           row >= chunk_start + chunks[chunk_idx].num_rows) {
+      chunk_start += static_cast<uint32_t>(chunks[chunk_idx].num_rows);
+      ++chunk_idx;
+      decoded.clear();
+    }
+    if (chunk_idx >= chunks.size()) break;
+    if (decoded.empty()) {
+      chunks[chunk_idx].Decode(&decoded);
+      ++st.chunks_scanned;
+      st.rows_decoded += decoded.size();
+    }
+    if (!chunks[chunk_idx].ValidAt(row - chunk_start)) continue;
+    int64_t v = decoded[row - chunk_start];
+    best = best ? std::max(*best, v) : v;
+  }
+  st.chunks_total = chunks.size();
+  if (stats != nullptr) stats->MergeFrom(st);
+  return best;
+}
+
+Result<int64_t> ColumnTable::CountInt64(const std::string& col,
+                                        const std::vector<uint32_t>* sel,
+                                        const ScanOptions& opts,
+                                        ScanStats* stats) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  const auto& chunks = columns_[idx].int_chunks;
+  ScanStats st;
+  st.chunks_total = chunks.size();
+  int64_t count = 0;
+  if (sel == nullptr) {
+    // Zone maps carry exact null counts — no chunk is touched.
+    st.chunks_pruned = chunks.size();
+    for (const auto& chunk : chunks) count += chunk.zone.non_null();
+  } else {
+    // Validity bitmaps only; values are never decoded.
+    size_t chunk_idx = 0;
+    uint32_t chunk_start = 0;
+    for (uint32_t row : *sel) {
+      while (chunk_idx < chunks.size() &&
+             row >= chunk_start + chunks[chunk_idx].num_rows) {
+        chunk_start += static_cast<uint32_t>(chunks[chunk_idx].num_rows);
+        ++chunk_idx;
+      }
+      if (chunk_idx >= chunks.size()) break;
+      count += chunks[chunk_idx].ValidAt(row - chunk_start) ? 1 : 0;
+    }
+  }
+  if (stats != nullptr) stats->MergeFrom(st);
+  return count;
 }
 
 Result<std::vector<sql::Row>> ColumnTable::Gather(
     const std::vector<uint32_t>& sel) const {
-  // Decode every column fully once, then gather. Fine at bench scale.
+  // Decode every int column fully once, then gather. Fine at bench scale.
   std::vector<std::vector<int64_t>> int_cols(columns_.size());
+  std::vector<std::vector<uint8_t>> int_valid(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
     if (columns_[c].type == sql::TypeId::kString) continue;
     std::vector<int64_t> all;
+    std::vector<uint8_t> valid;
     std::vector<int64_t> tmp;
     for (const auto& chunk : columns_[c].int_chunks) {
       chunk.Decode(&tmp);
       all.insert(all.end(), tmp.begin(), tmp.end());
+      for (size_t i = 0; i < chunk.num_rows; ++i) {
+        valid.push_back(chunk.ValidAt(i) ? 1 : 0);
+      }
     }
     int_cols[c] = std::move(all);
+    int_valid[c] = std::move(valid);
   }
   std::vector<sql::Row> out;
   out.reserve(sel.size());
@@ -276,12 +706,18 @@ Result<std::vector<sql::Row>> ColumnTable::Gather(
     for (size_t c = 0; c < columns_.size(); ++c) {
       switch (columns_[c].type) {
         case sql::TypeId::kInt64:
-          row.push_back(sql::Value(int_cols[c][r]));
+          row.push_back(int_valid[c][r] ? sql::Value(int_cols[c][r])
+                                        : sql::Value::Null());
           break;
         case sql::TypeId::kTimestamp:
-          row.push_back(sql::Value::Timestamp(int_cols[c][r]));
+          row.push_back(int_valid[c][r] ? sql::Value::Timestamp(int_cols[c][r])
+                                        : sql::Value::Null());
           break;
         case sql::TypeId::kDouble: {
+          if (!int_valid[c][r]) {
+            row.push_back(sql::Value::Null());
+            break;
+          }
           double d;
           std::memcpy(&d, &int_cols[c][r], sizeof(d));
           row.push_back(sql::Value(d));
@@ -292,7 +728,9 @@ Result<std::vector<sql::Row>> ColumnTable::Gather(
           uint32_t base = 0;
           for (const auto& chunk : columns_[c].string_chunks) {
             if (r < base + chunk.num_rows) {
-              row.push_back(sql::Value(chunk.At(r - base)));
+              row.push_back(chunk.ValidAt(r - base)
+                                ? sql::Value(chunk.At(r - base))
+                                : sql::Value::Null());
               break;
             }
             base += static_cast<uint32_t>(chunk.num_rows);
@@ -306,6 +744,51 @@ Result<std::vector<sql::Row>> ColumnTable::Gather(
     out.push_back(std::move(row));
   }
   return out;
+}
+
+Result<ColumnZoneSummary> ColumnTable::ZoneSummary(const std::string& col) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(col));
+  const ColumnData& c = columns_[idx];
+  ColumnZoneSummary s;
+  s.type = c.type;
+  if (c.type == sql::TypeId::kString) {
+    s.num_chunks = c.string_chunks.size();
+    bool first = true;
+    for (const auto& chunk : c.string_chunks) {
+      s.rows += chunk.num_rows;
+      s.nulls += chunk.null_count;
+      s.dict_ndv = std::max<uint64_t>(
+          s.dict_ndv,
+          chunk.encoding == Encoding::kDict ? chunk.dict.size() : 0);
+      // Plain payload bytes without decoding: dict entry sizes x code counts
+      // are not tracked, so charge the encoded representative per row.
+      if (chunk.encoding == Encoding::kDict) {
+        for (uint32_t code : chunk.codes) s.plain_bytes += chunk.dict[code].size() + 4;
+      } else {
+        for (const auto& str : chunk.plain) s.plain_bytes += str.size() + 4;
+      }
+      if (chunk.all_null()) continue;
+      if (first || chunk.zone_min < s.str_min) s.str_min = chunk.zone_min;
+      if (first || chunk.zone_max > s.str_max) s.str_max = chunk.zone_max;
+      first = false;
+    }
+    s.has_string_range = !first;
+  } else {
+    s.num_chunks = c.int_chunks.size();
+    bool first = true;
+    for (const auto& chunk : c.int_chunks) {
+      s.rows += chunk.num_rows;
+      s.nulls += chunk.zone.null_count;
+      s.plain_bytes += chunk.num_rows * 8;
+      if (chunk.zone.all_null()) continue;
+      if (first || chunk.zone.min < s.min) s.min = chunk.zone.min;
+      if (first || chunk.zone.max > s.max) s.max = chunk.zone.max;
+      first = false;
+    }
+    // Double columns store raw IEEE bits; their int span is not an ordering.
+    s.has_int_range = !first && c.type != sql::TypeId::kDouble;
+  }
+  return s;
 }
 
 size_t ColumnTable::CompressedBytes() const {

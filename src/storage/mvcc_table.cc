@@ -25,6 +25,7 @@ Status MvccTable::Insert(const sql::Value& key, sql::Row row, txn::Xid xid,
   }
   chain.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -46,6 +47,7 @@ Status MvccTable::Update(const sql::Value& key, sql::Row row, txn::Xid xid,
   cur.xmax = xid;
   it->second.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -61,6 +63,7 @@ Status MvccTable::Delete(const sql::Value& key, txn::Xid xid,
     return Status::Aborted("write-write conflict on " + key.ToString());
   }
   cur.xmax = xid;
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -92,6 +95,7 @@ void MvccTable::RollbackXid(txn::Xid xid) {
       if (v.xmax == xid) v.xmax = txn::kInvalidXid;
     }
   }
+  ++mutation_epoch_;
 }
 
 void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
@@ -101,6 +105,7 @@ void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
   for (auto& v : it->second) {
     if (v.xmax == xid) v.xmax = txn::kInvalidXid;
   }
+  ++mutation_epoch_;
 }
 
 size_t MvccTable::Vacuum(txn::Xid horizon, const txn::CommitLog& clog) {
@@ -126,6 +131,7 @@ size_t MvccTable::Vacuum(txn::Xid horizon, const txn::CommitLog& clog) {
     }
   }
   num_versions_ -= removed;
+  if (removed > 0) ++mutation_epoch_;
   return removed;
 }
 

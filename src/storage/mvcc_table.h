@@ -82,16 +82,25 @@ class MvccTable {
     std::shared_lock lock(mu_);
     return num_versions_;
   }
+  /// Monotone counter bumped by every mutating call (Insert/Update/Delete/
+  /// Rollback*/Vacuum). Deletes only set xmax, so num_versions() cannot
+  /// detect them; the columnar side-store (cluster/data_node) compares
+  /// epochs to decide whether its chunks are stale.
+  uint64_t epoch() const {
+    std::shared_lock lock(mu_);
+    return mutation_epoch_;
+  }
 
  private:
   // Newest visible version index in a chain, or -1. Caller holds mu_.
   int FindVisible(const std::vector<TupleVersion>& chain,
                   const txn::VisibilityChecker& vis) const;
 
-  mutable std::shared_mutex mu_;  // guards chains_ and num_versions_
+  mutable std::shared_mutex mu_;  // guards chains_, num_versions_, epoch
   sql::Schema schema_;
   std::unordered_map<sql::Value, std::vector<TupleVersion>> chains_;
   size_t num_versions_ = 0;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace ofi::storage

@@ -1,0 +1,295 @@
+/// \file column_scan_test.cc
+/// \brief Zone-map pruning edge cases and morsel-parallel vs serial scan
+/// equivalence (the determinism contract of DESIGN.md §3c). The randomized
+/// equivalence tests also run under the tsan preset via scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "storage/column_store.h"
+
+namespace ofi::storage {
+namespace {
+
+using sql::Column;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Schema IntSchema() { return Schema({Column{"v", TypeId::kInt64, ""}}); }
+
+/// kChunkRows-aligned table with clustered (monotone) keys: chunk c spans
+/// exactly [c * kChunkRows, (c+1) * kChunkRows).
+ColumnTable ClusteredTable(size_t chunks) {
+  ColumnTable t(IntSchema());
+  for (size_t i = 0; i < chunks * ColumnTable::kChunkRows; ++i) {
+    EXPECT_TRUE(t.Append({Value(static_cast<int64_t>(i))}).ok());
+  }
+  t.Seal();
+  return t;
+}
+
+TEST(ZoneMapPruningTest, ClusteredKeysPruneNonOverlappingChunks) {
+  ColumnTable t = ClusteredTable(8);
+  const int64_t n = ColumnTable::kChunkRows;
+  ScanStats stats;
+  // Range fully inside chunk 2: 7 of 8 chunks must be pruned.
+  auto sel = t.FilterBetweenInt64("v", 2 * n + 10, 2 * n + 20, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 11u);
+  EXPECT_EQ(stats.chunks_total, 8u);
+  EXPECT_EQ(stats.chunks_pruned, 7u);
+  EXPECT_EQ(stats.chunks_scanned, 1u);
+  EXPECT_LE(stats.rows_decoded, static_cast<size_t>(n));
+  EXPECT_EQ(stats.rows_matched, sel->size());
+}
+
+TEST(ZoneMapPruningTest, AllChunksPruned) {
+  ColumnTable t = ClusteredTable(4);
+  ScanStats stats;
+  auto sel = t.FilterGeInt64("v", 1'000'000'000, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());
+  EXPECT_EQ(stats.chunks_pruned, 4u);
+  EXPECT_EQ(stats.chunks_scanned, 0u);
+  EXPECT_EQ(stats.rows_decoded, 0u);
+}
+
+TEST(ZoneMapPruningTest, FullRangeEmitsWithoutDecoding) {
+  ColumnTable t = ClusteredTable(4);
+  ScanStats stats;
+  // Every chunk lies fully inside the range and has no NULLs: indices are
+  // emitted straight from chunk bounds, no value decoded.
+  auto sel = t.FilterGeInt64("v", 0, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 4 * ColumnTable::kChunkRows);
+  EXPECT_EQ(stats.rows_decoded, 0u);
+  EXPECT_EQ(stats.chunks_pruned, 4u);
+}
+
+TEST(ZoneMapPruningTest, EmptyTable) {
+  ColumnTable t(IntSchema());
+  t.Seal();
+  ScanStats stats;
+  auto sel = t.FilterGtInt64("v", 0, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());
+  EXPECT_EQ(stats.chunks_total, 0u);
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_FALSE(sum->has_value());
+  auto cnt = t.CountInt64("v");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(*cnt, 0);
+}
+
+TEST(ZoneMapPruningTest, SingleChunk) {
+  ColumnTable t(IntSchema());
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  t.Seal();
+  ScanStats stats;
+  auto sel = t.FilterBetweenInt64("v", 40, 49, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 10u);
+  EXPECT_EQ(stats.chunks_total, 1u);
+  EXPECT_EQ(stats.chunks_scanned, 1u);
+}
+
+TEST(ZoneMapPruningTest, AllNullChunkIsPruned) {
+  ColumnTable t(IntSchema());
+  for (size_t i = 0; i < ColumnTable::kChunkRows; ++i) {
+    ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  }
+  for (size_t i = 0; i < ColumnTable::kChunkRows; ++i) {
+    ASSERT_TRUE(t.Append({Value(static_cast<int64_t>(i))}).ok());
+  }
+  t.Seal();
+  ScanStats stats;
+  auto sel = t.FilterGeInt64("v", std::numeric_limits<int64_t>::min(), {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), ColumnTable::kChunkRows);
+  // The all-NULL chunk never scans; zone maps carry its null count.
+  EXPECT_GE(stats.chunks_pruned, 1u);
+  for (uint32_t idx : *sel) EXPECT_GE(idx, ColumnTable::kChunkRows);
+}
+
+TEST(ZoneMapPruningTest, BoundExactlyAtChunkMinAndMax) {
+  ColumnTable t = ClusteredTable(3);
+  const int64_t n = ColumnTable::kChunkRows;
+  // lo == chunk 1's min, hi == chunk 1's max: chunk 1 full-range-matches,
+  // chunks 0 and 2 prune. Boundary rows must be included exactly once.
+  ScanStats stats;
+  auto sel = t.FilterBetweenInt64("v", n, 2 * n - 1, {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), static_cast<size_t>(n));
+  EXPECT_EQ((*sel)[0], static_cast<uint32_t>(n));
+  EXPECT_EQ(sel->back(), static_cast<uint32_t>(2 * n - 1));
+  EXPECT_EQ(stats.chunks_scanned, 0u);  // prune + full-range short-circuit
+  // One past the max: nothing from chunk 1's right edge leaks.
+  auto above = t.FilterGtInt64("v", 2 * n - 1, {}, &stats);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(above->front(), static_cast<uint32_t>(2 * n));
+}
+
+TEST(ZoneMapPruningTest, MinMaxCountAnsweredFromZoneMapsAlone) {
+  ColumnTable t = ClusteredTable(4);
+  ScanStats stats;
+  auto mn = t.MinInt64("v", nullptr, {}, &stats);
+  auto mx = t.MaxInt64("v", nullptr, {}, &stats);
+  auto cnt = t.CountInt64("v", nullptr, {}, &stats);
+  ASSERT_TRUE(mn.ok() && mx.ok() && cnt.ok());
+  EXPECT_EQ(**mn, 0);
+  EXPECT_EQ(**mx, static_cast<int64_t>(4 * ColumnTable::kChunkRows - 1));
+  EXPECT_EQ(*cnt, static_cast<int64_t>(4 * ColumnTable::kChunkRows));
+  EXPECT_EQ(stats.rows_decoded, 0u);
+  EXPECT_EQ(stats.chunks_scanned, 0u);
+}
+
+TEST(ZoneMapPruningTest, StringEqualityPrunesByLexicographicSpan) {
+  ColumnTable t(Schema({Column{"s", TypeId::kString, ""}}));
+  for (size_t i = 0; i < ColumnTable::kChunkRows; ++i) {
+    ASSERT_TRUE(t.Append({Value(i % 2 ? "apple" : "avocado")}).ok());
+  }
+  for (size_t i = 0; i < ColumnTable::kChunkRows; ++i) {
+    ASSERT_TRUE(t.Append({Value(i % 2 ? "mango" : "melon")}).ok());
+  }
+  t.Seal();
+  ScanStats stats;
+  auto sel = t.FilterEqString("s", "mango", {}, &stats);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), ColumnTable::kChunkRows / 2);
+  EXPECT_EQ(stats.chunks_pruned, 1u);  // the a* chunk cannot contain "mango"
+  EXPECT_EQ(stats.chunks_scanned, 1u);
+}
+
+TEST(ZoneMapPruningTest, SumOverRleRunsDoesNotDecodeRows) {
+  ColumnTable t(IntSchema());
+  const size_t n = 2 * ColumnTable::kChunkRows;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Append({Value(static_cast<int64_t>(i / 1024))}).ok());
+  }
+  t.Seal();
+  ScanStats stats;
+  auto sum = t.SumInt64("v", nullptr, {}, &stats);
+  ASSERT_TRUE(sum.ok());
+  int64_t expect = 0;
+  for (size_t i = 0; i < n; ++i) expect += static_cast<int64_t>(i / 1024);
+  EXPECT_EQ(**sum, expect);
+  // Runs of 1024 identical values: rows_decoded counts runs, not rows.
+  EXPECT_LE(stats.rows_decoded, n / 1024 + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel vs serial equivalence. Randomized data (values, NULLs,
+// runs), every kernel, multiple morsel sizes — results must be bit-identical.
+// ---------------------------------------------------------------------------
+
+ColumnTable RandomTable(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  ColumnTable t(Schema({Column{"k", TypeId::kInt64, ""},
+                        Column{"s", TypeId::kString, ""}}));
+  static const char* kTags[] = {"red", "green", "blue", "cyan"};
+  size_t i = 0;
+  while (i < rows) {
+    // Mix runs (RLE-friendly) and unique stretches (plain), with NULLs.
+    size_t run = 1 + rng.Next() % 512;
+    bool make_run = rng.Next() % 2 == 0;
+    int64_t run_value = static_cast<int64_t>(rng.Next() % 10'000);
+    for (size_t r = 0; r < run && i < rows; ++r, ++i) {
+      bool null_row = rng.Next() % 10 == 0;
+      int64_t v = make_run ? run_value : static_cast<int64_t>(rng.Next() % 10'000);
+      EXPECT_TRUE(t.Append({null_row ? Value::Null() : Value(v),
+                            Value(kTags[rng.Next() % 4])})
+                      .ok());
+    }
+  }
+  t.Seal();
+  return t;
+}
+
+TEST(MorselParallelTest, RandomizedParallelMatchesSerialBitIdentical) {
+  common::ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ColumnTable t = RandomTable(seed, 6 * ColumnTable::kChunkRows + 123);
+    for (size_t morsel_chunks : {1, 2, 3, 16}) {
+      ScanOptions par{/*parallel=*/true, &pool, morsel_chunks};
+      ScanOptions ser{/*parallel=*/false, nullptr, morsel_chunks};
+
+      auto s1 = t.FilterBetweenInt64("k", 2'000, 7'999, ser, nullptr);
+      auto p1 = t.FilterBetweenInt64("k", 2'000, 7'999, par, nullptr);
+      ASSERT_TRUE(s1.ok() && p1.ok());
+      EXPECT_EQ(*s1, *p1) << "seed=" << seed << " morsel=" << morsel_chunks;
+
+      auto s2 = t.FilterGtInt64("k", 5'000, ser, nullptr);
+      auto p2 = t.FilterGtInt64("k", 5'000, par, nullptr);
+      ASSERT_TRUE(s2.ok() && p2.ok());
+      EXPECT_EQ(*s2, *p2);
+
+      auto s3 = t.FilterEqString("s", "blue", ser, nullptr);
+      auto p3 = t.FilterEqString("s", "blue", par, nullptr);
+      ASSERT_TRUE(s3.ok() && p3.ok());
+      EXPECT_EQ(*s3, *p3);
+
+      auto s4 = t.SumInt64("k", nullptr, ser, nullptr);
+      auto p4 = t.SumInt64("k", nullptr, par, nullptr);
+      ASSERT_TRUE(s4.ok() && p4.ok());
+      EXPECT_EQ(*s4, *p4);
+    }
+  }
+}
+
+TEST(MorselParallelTest, ParallelStatsMatchSerialStats) {
+  common::ThreadPool pool(4);
+  ColumnTable t = RandomTable(11, 8 * ColumnTable::kChunkRows);
+  ScanStats ser_stats, par_stats;
+  auto s = t.FilterBetweenInt64("k", 1'000, 3'000, {false, nullptr, 2}, &ser_stats);
+  auto p = t.FilterBetweenInt64("k", 1'000, 3'000, {true, &pool, 2}, &par_stats);
+  ASSERT_TRUE(s.ok() && p.ok());
+  EXPECT_EQ(ser_stats.chunks_total, par_stats.chunks_total);
+  EXPECT_EQ(ser_stats.chunks_scanned, par_stats.chunks_scanned);
+  EXPECT_EQ(ser_stats.chunks_pruned, par_stats.chunks_pruned);
+  EXPECT_EQ(ser_stats.rows_decoded, par_stats.rows_decoded);
+  EXPECT_EQ(ser_stats.rows_matched, par_stats.rows_matched);
+  EXPECT_EQ(ser_stats.morsels, par_stats.morsels);
+  EXPECT_GT(par_stats.morsels, 1u);
+}
+
+TEST(MorselParallelTest, SharedPoolDefault) {
+  // parallel=true with no explicit pool uses ThreadPool::Shared().
+  ColumnTable t = ClusteredTable(4);
+  ScanOptions opts;
+  opts.parallel = true;
+  auto sel = t.FilterGeInt64("v", 0, opts, nullptr);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 4 * ColumnTable::kChunkRows);
+}
+
+TEST(ZoneSummaryTest, ExactRollupWithoutDecode) {
+  ColumnTable t(Schema({Column{"k", TypeId::kInt64, ""},
+                        Column{"s", TypeId::kString, ""}}));
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.Append({i % 7 == 0 ? Value::Null() : Value(i),
+                          Value(i % 2 ? "aa" : "zz")})
+                    .ok());
+  }
+  t.Seal();
+  auto ks = t.ZoneSummary("k");
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->rows, 5000u);
+  EXPECT_EQ(ks->nulls, 5000u / 7 + 1);
+  ASSERT_TRUE(ks->has_int_range);
+  EXPECT_EQ(ks->min, 1);
+  EXPECT_EQ(ks->max, 4999);
+  auto ss = t.ZoneSummary("s");
+  ASSERT_TRUE(ss.ok());
+  ASSERT_TRUE(ss->has_string_range);
+  EXPECT_EQ(ss->str_min, "aa");
+  EXPECT_EQ(ss->str_max, "zz");
+  EXPECT_EQ(ss->dict_ndv, 2u);
+  EXPECT_GT(ss->plain_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ofi::storage

@@ -134,6 +134,179 @@ TEST(ColumnTableEdgeTest, ArityMismatch) {
   EXPECT_TRUE(t.Append({Value("east")}).IsInvalidArgument());
 }
 
+TEST_F(ColumnTableTest, WidenedFilterKernels) {
+  auto lt = table_.FilterLtInt64("amount", 10);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->size(), kRows / 100 * 10);
+  for (uint32_t idx : *lt) EXPECT_LT(static_cast<int64_t>(idx % 100), 10);
+
+  auto ge = table_.FilterGeInt64("amount", 90);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->size(), kRows / 100 * 10);
+
+  auto le = table_.FilterLeInt64("amount", 9);
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(*le, *lt);
+
+  auto between = table_.FilterBetweenInt64("amount", 10, 19);
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(between->size(), kRows / 100 * 10);
+  for (uint32_t idx : *between) {
+    EXPECT_GE(static_cast<int64_t>(idx % 100), 10);
+    EXPECT_LE(static_cast<int64_t>(idx % 100), 19);
+  }
+}
+
+TEST_F(ColumnTableTest, MinMaxCountKernels) {
+  auto mn = table_.MinInt64("amount");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(*mn, 0);
+  auto mx = table_.MaxInt64("amount");
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(*mx, 99);
+  auto cnt = table_.CountInt64("amount");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(*cnt, kRows);
+
+  auto sel = table_.FilterBetweenInt64("amount", 40, 49);
+  ASSERT_TRUE(sel.ok());
+  auto mn2 = table_.MinInt64("amount", &*sel);
+  auto mx2 = table_.MaxInt64("amount", &*sel);
+  auto cnt2 = table_.CountInt64("amount", &*sel);
+  ASSERT_TRUE(mn2.ok() && mx2.ok() && cnt2.ok());
+  EXPECT_EQ(*mn2, 40);
+  EXPECT_EQ(*mx2, 49);
+  EXPECT_EQ(*cnt2, static_cast<int64_t>(sel->size()));
+}
+
+TEST_F(ColumnTableTest, SaturatedBoundsDoNotWrap) {
+  auto gt_max = table_.FilterGtInt64("amount", std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(gt_max.ok());
+  EXPECT_TRUE(gt_max->empty());
+  auto lt_min = table_.FilterLtInt64("amount", std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(lt_min.ok());
+  EXPECT_TRUE(lt_min->empty());
+}
+
+TEST(ColumnNullTest, FiltersNeverMatchNull) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Append({i % 2 == 0 ? Value(i) : Value::Null()}).ok());
+  }
+  t.Seal();
+  // NULL placeholders are stored as 0; a filter covering 0 must not see them.
+  auto sel = t.FilterGeInt64("v", 0);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 50u);
+  for (uint32_t idx : *sel) EXPECT_EQ(idx % 2, 0u);
+}
+
+TEST(ColumnNullTest, AggregatesSkipNulls) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  int64_t expect_sum = 0;
+  for (int64_t i = 1; i <= 100; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(t.Append({Value::Null()}).ok());
+    } else {
+      ASSERT_TRUE(t.Append({Value(i)}).ok());
+      expect_sum += i;
+    }
+  }
+  t.Seal();
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(sum->has_value());
+  EXPECT_EQ(**sum, expect_sum);
+  auto cnt = t.CountInt64("v");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(*cnt, 100 - 100 / 3);
+  auto mn = t.MinInt64("v");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(**mn, 1);  // i=3 is NULL, 1 and 2 are not
+}
+
+TEST(ColumnNullTest, AllNullColumnAggregatesToNull) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  t.Seal();
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_FALSE(sum->has_value());
+  auto mn = t.MinInt64("v");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_FALSE(mn->has_value());
+  auto mx = t.MaxInt64("v");
+  ASSERT_TRUE(mx.ok());
+  EXPECT_FALSE(mx->has_value());
+  auto cnt = t.CountInt64("v");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(*cnt, 0);
+  auto sel = t.FilterGeInt64("v", std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());
+}
+
+TEST(ColumnNullTest, GatherMaterializesNullBack) {
+  ColumnTable t(SalesSchema());
+  ASSERT_TRUE(t.Append({Value("east"), Value(1), Value(1.5)}).ok());
+  ASSERT_TRUE(t.Append({Value::Null(), Value::Null(), Value::Null()}).ok());
+  ASSERT_TRUE(t.Append({Value("west"), Value(3), Value(3.5)}).ok());
+  t.Seal();
+  auto rows = t.Gather({0, 1, 2});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_FALSE((*rows)[0][0].is_null());
+  EXPECT_TRUE((*rows)[1][0].is_null());
+  EXPECT_TRUE((*rows)[1][1].is_null());
+  EXPECT_TRUE((*rows)[1][2].is_null());
+  EXPECT_EQ((*rows)[2][1].AsInt(), 3);
+  EXPECT_DOUBLE_EQ((*rows)[2][2].AsDouble(), 3.5);
+}
+
+TEST(ColumnNullTest, NullStringNeverMatchesEquality) {
+  ColumnTable t(Schema({Column{"s", TypeId::kString, ""}}));
+  ASSERT_TRUE(t.Append({Value("")}).ok());
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());  // placeholder is also ""
+  ASSERT_TRUE(t.Append({Value("x")}).ok());
+  t.Seal();
+  auto sel = t.FilterEqString("s", "");
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ((*sel)[0], 0u);
+}
+
+TEST(SealTest, SealIsIdempotent) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  t.Seal();
+  EXPECT_EQ(t.num_chunks(), 1u);
+  EXPECT_EQ(t.sealed_rows(), 100u);
+  t.Seal();  // no new appends: must not create an empty/duplicate chunk
+  t.Seal();
+  EXPECT_EQ(t.num_chunks(), 1u);
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 4950);
+}
+
+TEST(SealTest, AppendAfterSealEncodesOnlyNewTail) {
+  ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  t.Seal();
+  ASSERT_EQ(t.num_chunks(), 1u);
+  for (int64_t i = 100; i < 150; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  EXPECT_EQ(t.sealed_rows(), 100u);  // tail buffered, not yet visible
+  t.Seal();
+  EXPECT_EQ(t.num_chunks(), 2u);  // old chunk untouched, tail became its own
+  EXPECT_EQ(t.sealed_rows(), 150u);
+  auto sum = t.SumInt64("v");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 150 * 149 / 2);
+  auto sel = t.FilterGeInt64("v", 100);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 50u);
+}
+
 TEST(ColumnTableEdgeTest, MultiChunkBoundary) {
   ColumnTable t(Schema({Column{"v", TypeId::kInt64, ""}}));
   const int64_t n = ColumnTable::kChunkRows * 2 + 17;
