@@ -6,24 +6,80 @@
 ///
 ///   echo "CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1),(2); \
 ///         SELECT COUNT(*) FROM t;" | ./example_sql_shell
+///
+/// With `--distributed[=N]` the session runs on a simulated N-DN MPP
+/// cluster (default 3): tables are hash-sharded, SELECTs are lowered onto
+/// the distributed physical-operator layer when the shape allows (EXPLAIN
+/// then prints the physical tree — scan paths, join strategy, partial/final
+/// aggregation), and fall back single-node with a reason otherwise. Extra
+/// meta-commands: `\analyze` refreshes optimizer statistics, `\columnar t`
+/// registers a columnar copy of t, `\refresh t` re-snapshots stale shards.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "cluster/distributed_sql.h"
 #include "optimizer/sql_session.h"
 
 using namespace ofi;  // NOLINT
 
-int main() {
-  optimizer::SqlSession session;
-  printf("openfidb sql shell — end statements with ';', \\q to quit\n");
+int main(int argc, char** argv) {
+  int num_dns = 0;  // 0 = single-node session
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--distributed") == 0) {
+      num_dns = 3;
+    } else if (std::strncmp(argv[i], "--distributed=", 14) == 0) {
+      num_dns = std::atoi(argv[i] + 14);
+      if (num_dns < 1) {
+        std::fprintf(stderr, "bad --distributed=N value\n");
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--distributed[=N]]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  optimizer::SqlSession local;
+  std::unique_ptr<cluster::DistributedSqlSession> dist;
+  if (num_dns > 0) {
+    dist = std::make_unique<cluster::DistributedSqlSession>(num_dns);
+    printf("openfidb sql shell — distributed over %d DNs, end statements "
+           "with ';', \\q to quit\n", num_dns);
+  } else {
+    printf("openfidb sql shell — end statements with ';', \\q to quit\n");
+  }
 
   std::string buffer;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "\\q") break;
     if (line == "\\store") {
-      printf("%s", session.plan_store().ToTableString().c_str());
+      printf("%s", local.plan_store().ToTableString().c_str());
+      continue;
+    }
+    if (line == "\\analyze") {
+      if (dist) dist->Analyze(); else local.Analyze();
+      printf("ok\n");
+      continue;
+    }
+    if (line.rfind("\\columnar ", 0) == 0 || line.rfind("\\refresh ", 0) == 0) {
+      if (!dist) {
+        printf("error: columnar copies need --distributed\n");
+        continue;
+      }
+      bool refresh = line[1] == 'r';
+      std::string table = line.substr(line.find(' ') + 1);
+      if (refresh) {
+        auto n = dist->RefreshColumnar(table);
+        if (n.ok()) printf("ok (%zu shards rebuilt)\n", *n);
+        else printf("error: %s\n", n.status().ToString().c_str());
+      } else {
+        Status s = dist->RegisterColumnar(table);
+        if (s.ok()) printf("ok\n");
+        else printf("error: %s\n", s.ToString().c_str());
+      }
       continue;
     }
     buffer += line + "\n";
@@ -37,7 +93,7 @@ int main() {
 
       if (stmt.find("EXPLAIN") == stmt.find_first_not_of(" \t\n\r")) {
         std::string inner = stmt.substr(stmt.find("EXPLAIN") + 7);
-        auto plan = session.Explain(inner);
+        auto plan = dist ? dist->Explain(inner) : local.Explain(inner);
         if (plan.ok()) {
           printf("%s", plan->c_str());
         } else {
@@ -45,15 +101,30 @@ int main() {
         }
         continue;
       }
-      auto result = session.Execute(stmt);
+      auto result = dist ? dist->Execute(stmt) : local.Execute(stmt);
       if (!result.ok()) {
         printf("error: %s\n", result.status().ToString().c_str());
         continue;
       }
       if (result->schema().num_columns() > 0) {
-        printf("%s(%zu rows, max q-error %.2f)\n",
-               result->ToString(50).c_str(), result->num_rows(),
-               session.last_max_qerror());
+        if (dist) {
+          const auto& info = dist->last();
+          if (info.distributed) {
+            printf("%s(%zu rows, distributed over %d DNs, "
+                   "sim_latency_us=%lld)\n",
+                   result->ToString(50).c_str(), result->num_rows(),
+                   info.stats.num_serving,
+                   (long long)info.stats.sim_latency_us);
+          } else {
+            printf("%s(%zu rows, single-node fallback: %s)\n",
+                   result->ToString(50).c_str(), result->num_rows(),
+                   info.fallback_reason.c_str());
+          }
+        } else {
+          printf("%s(%zu rows, max q-error %.2f)\n",
+                 result->ToString(50).c_str(), result->num_rows(),
+                 local.last_max_qerror());
+        }
       } else {
         printf("ok\n");
       }

@@ -18,10 +18,12 @@ run_preset() {
   # scatter, channel sends, vacuum-under-exchange stress, morsel-parallel
   # chunk scans) — run them by name so a filtered or stale test list can
   # never skip the reason this gate exists.
-  echo "=== ${preset}: exchange/join/columnar focus ==="
+  echo "=== ${preset}: exchange/join/columnar/distributed-sql focus ==="
   ctest --preset "${preset}" \
-    -R "exchange|distributed_join|vacuum_exchange|column_store|column_scan|columnar_mpp" \
+    -R "exchange|distributed_join|vacuum_exchange|column_store|column_scan|columnar_mpp|distributed_sql|exchange_limit|columnar_refresh" \
     --output-on-failure
+  echo "=== ${preset}: sql shell smoke (distributed) ==="
+  scripts/sql_shell_smoke.sh "build-${preset}"
 }
 
 case "${want}" in

@@ -20,41 +20,77 @@ Status Cluster::CreateTable(const std::string& name, const sql::Schema& schema) 
   return Status::OK();
 }
 
+namespace {
+
+/// Builds one DN's columnar shard from a fresh local snapshot and registers
+/// it, replacing any existing shard (shared by initial registration and
+/// refresh — the freshness contract must be identical in both).
+Status BuildColumnarShard(DataNode* dn, const std::string& name) {
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
+  // Epoch read BEFORE the scan: a mutation racing the build flags the
+  // shard stale (conservative) rather than silently fresh.
+  uint64_t epoch = heap->epoch();
+  txn::Snapshot snap = dn->txn_mgr().TakeSnapshot();
+  // Settled = nothing in flight at build time, so the chunks hold exactly
+  // the committed state any later snapshot would see (until epoch moves).
+  bool settled = snap.active.empty();
+  txn::VisibilityChecker vis(&snap, &dn->txn_mgr().clog(), txn::kInvalidXid);
+  std::vector<sql::Row> rows = heap->ScanVisible(vis);
+  // Cluster on row value (leading column first): scans over key ranges then
+  // touch few chunks and zone maps prune the rest. Also makes the build
+  // deterministic — ScanVisible order is a hash-map walk.
+  std::sort(rows.begin(), rows.end(), [](const sql::Row& a, const sql::Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  DataNode::ColumnarShard shard;
+  shard.table = std::make_unique<storage::ColumnTable>(heap->schema());
+  for (auto& row : rows) {
+    OFI_RETURN_NOT_OK(shard.table->Append(row));
+  }
+  shard.table->Seal();
+  shard.heap_epoch = epoch;
+  shard.settled = settled;
+  dn->RegisterColumnar(name, std::move(shard));
+  return Status::OK();
+}
+
+}  // namespace
+
 Status Cluster::RegisterColumnar(const std::string& name) {
   for (auto& dn : dns_) {
-    OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
-    // Epoch read BEFORE the scan: a mutation racing the build flags the
-    // shard stale (conservative) rather than silently fresh.
-    uint64_t epoch = heap->epoch();
-    txn::Snapshot snap = dn->txn_mgr().TakeSnapshot();
-    // Settled = nothing in flight at build time, so the chunks hold exactly
-    // the committed state any later snapshot would see (until epoch moves).
-    bool settled = snap.active.empty();
-    txn::VisibilityChecker vis(&snap, &dn->txn_mgr().clog(), txn::kInvalidXid);
-    std::vector<sql::Row> rows = heap->ScanVisible(vis);
-    // Cluster on row value (leading column first): scans over key ranges then
-    // touch few chunks and zone maps prune the rest. Also makes the build
-    // deterministic — ScanVisible order is a hash-map walk.
-    std::sort(rows.begin(), rows.end(), [](const sql::Row& a, const sql::Row& b) {
-      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-        int c = a[i].Compare(b[i]);
-        if (c != 0) return c < 0;
-      }
-      return a.size() < b.size();
-    });
-    DataNode::ColumnarShard shard;
-    shard.table = std::make_unique<storage::ColumnTable>(heap->schema());
-    for (auto& row : rows) {
-      OFI_RETURN_NOT_OK(shard.table->Append(row));
-    }
-    shard.table->Seal();
-    shard.heap_epoch = epoch;
-    shard.settled = settled;
-    dn->RegisterColumnar(name, std::move(shard));
+    OFI_RETURN_NOT_OK(BuildColumnarShard(dn.get(), name));
   }
   columnar_tables_.insert(name);
   metrics_.Add("columnar.registered");
   return Status::OK();
+}
+
+Result<size_t> Cluster::RefreshColumnar(const std::string& name) {
+  if (!IsColumnar(name)) {
+    return Status::NotFound("no columnar copy registered for " + name);
+  }
+  size_t rebuilt = 0;
+  for (auto& dn : dns_) {
+    OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
+    const DataNode::ColumnarShard* shard = dn->GetColumnarShard(name);
+    // Same freshness test the MPP scan path applies: anything it would
+    // fall back on (missing, unsettled, or mutated since the build) gets
+    // rebuilt; fresh shards are left untouched.
+    if (shard != nullptr && shard->table != nullptr && shard->settled &&
+        shard->heap_epoch == heap->epoch()) {
+      continue;
+    }
+    OFI_RETURN_NOT_OK(BuildColumnarShard(dn.get(), name));
+    ++rebuilt;
+  }
+  if (rebuilt > 0) {
+    metrics_.Add("columnar.refreshes", static_cast<int64_t>(rebuilt));
+  }
+  return rebuilt;
 }
 
 bool Cluster::IsColumnar(const std::string& name) const {

@@ -149,6 +149,13 @@ class Cluster {
   /// row store on any DN whose heap has mutated since (or that had
   /// transactions in flight during the build). Re-registering rebuilds.
   Status RegisterColumnar(const std::string& name);
+  /// Re-snapshots every shard of `name` whose columnar copy has gone stale
+  /// (heap mutated since the build, or built while transactions were in
+  /// flight), leaving fresh shards untouched, and returns how many were
+  /// rebuilt (counted in the columnar.refreshes metric). NotFound when no
+  /// columnar copy is registered. The cheap incremental alternative to
+  /// re-registering after writes land.
+  Result<size_t> RefreshColumnar(const std::string& name);
   /// True when `name` has a columnar copy registered (on DN 0, which implies
   /// all DNs — registration is all-or-nothing).
   bool IsColumnar(const std::string& name) const;

@@ -1,0 +1,1519 @@
+#include "cluster/distributed_plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/executor.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::AggFunc;
+using sql::AggSpec;
+using sql::Column;
+using sql::Expr;
+using sql::Row;
+using sql::Table;
+using sql::TypeId;
+using sql::Value;
+
+/// The partial aggregates one requested aggregate decomposes into, and how
+/// the final stage merges them.
+struct PartialPlan {
+  std::vector<AggSpec> partial;  // computed per shard
+  // Final-stage spec over the unioned partials; AVG needs a post-division.
+  std::vector<AggSpec> final_specs;
+  bool is_avg = false;
+  std::string sum_name, count_name;  // for AVG
+};
+
+PartialPlan DecomposeAgg(const DistributedAgg& agg) {
+  PartialPlan plan;
+  switch (agg.func) {
+    case AggFunc::kCount:
+      plan.partial = {AggSpec{AggFunc::kCount,
+                              agg.column.empty() ? nullptr
+                                                 : Expr::ColumnRef(agg.column),
+                              agg.name}};
+      // Final: COUNT partials SUM together.
+      plan.final_specs = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.name), agg.name}};
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      plan.partial = {AggSpec{agg.func, Expr::ColumnRef(agg.column), agg.name}};
+      plan.final_specs = {
+          AggSpec{agg.func == AggFunc::kSum ? AggFunc::kSum : agg.func,
+                  Expr::ColumnRef(agg.name), agg.name}};
+      break;
+    case AggFunc::kAvg:
+      // AVG decomposes into (SUM, COUNT); the CN divides at the end.
+      plan.is_avg = true;
+      plan.sum_name = agg.name + "$sum";
+      plan.count_name = agg.name + "$cnt";
+      plan.partial = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.column), plan.sum_name},
+          AggSpec{AggFunc::kCount, Expr::ColumnRef(agg.column), plan.count_name}};
+      plan.final_specs = {
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.sum_name), plan.sum_name},
+          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.count_name),
+                  plan.count_name}};
+      break;
+  }
+  return plan;
+}
+
+size_t TableBytes(const Table& t) {
+  size_t n = 0;
+  for (const auto& row : t.rows()) n += sql::RowByteSize(row);
+  return n;
+}
+
+std::string BareName(const std::string& qualified) {
+  auto dot = qualified.rfind('.');
+  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+}
+
+/// Output column names for the group-by keys. A bare name is used only when
+/// it stays unambiguous across every output column; `GROUP BY a.x, b.x`
+/// keeps the qualified names (both stripping to `x` would collide in the
+/// projected schema). Returns InvalidArgument if names collide even
+/// qualified.
+Result<std::vector<std::string>> GroupOutputNames(
+    const std::vector<std::string>& group_by,
+    const std::vector<DistributedAgg>& aggs) {
+  std::map<std::string, int> bare_uses;
+  for (const auto& g : group_by) ++bare_uses[BareName(g)];
+  for (const auto& a : aggs) ++bare_uses[a.name];
+
+  std::vector<std::string> names;
+  names.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    const std::string bare = BareName(g);
+    names.push_back(bare_uses[bare] > 1 ? g : bare);
+  }
+
+  std::map<std::string, int> final_uses;
+  for (const auto& n : names) ++final_uses[n];
+  for (const auto& a : aggs) ++final_uses[a.name];
+  for (const auto& [name, uses] : final_uses) {
+    if (uses > 1) {
+      return Status::InvalidArgument("ambiguous output column: " + name);
+    }
+  }
+  return names;
+}
+
+/// One shard's fragment output, filled in by a pool worker.
+struct FragSlot {
+  Status status = Status::OK();
+  Table table;  // partial-aggregate rows or plain result rows
+  size_t partial_bytes = 0;
+  size_t naive_bytes = 0;
+  bool columnar = false;
+  storage::ScanStats stats;  // columnar shards only
+};
+
+// --- Columnar scan path (storage/column_store) -------------------------------
+
+/// A filter the columnar kernels evaluate natively: TRUE, one inclusive
+/// int64 range on a column, or one string equality. Comparison predicates
+/// lower onto the range with saturated bounds, and And() of ranges on the
+/// same column intersects. Anything else falls back to the row store.
+struct ColumnarPredicate {
+  enum class Kind { kAll, kIntRange, kStringEq };
+  Kind kind = Kind::kAll;
+  std::string column;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  std::string needle;
+  /// Statically unsatisfiable (x > INT64_MAX, or an empty intersection):
+  /// the scan short-circuits to an empty selection.
+  bool never = false;
+};
+
+std::optional<ColumnarPredicate> RecognizeExpr(const Expr& e) {
+  if (e.kind() == sql::ExprKind::kCompare) {
+    if (e.children().size() != 2) return std::nullopt;
+    const Expr& l = *e.children()[0];
+    const Expr& r = *e.children()[1];
+    if (l.kind() != sql::ExprKind::kColumn || r.kind() != sql::ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    const Value& lit = r.literal();
+    ColumnarPredicate p;
+    p.column = l.column_name();
+    if (lit.type() == TypeId::kString && e.compare_op() == sql::CompareOp::kEq) {
+      p.kind = ColumnarPredicate::Kind::kStringEq;
+      p.needle = lit.AsString();
+      return p;
+    }
+    if (lit.type() != TypeId::kInt64) return std::nullopt;
+    const int64_t v = lit.AsInt();
+    p.kind = ColumnarPredicate::Kind::kIntRange;
+    switch (e.compare_op()) {
+      case sql::CompareOp::kEq:
+        p.lo = p.hi = v;
+        break;
+      case sql::CompareOp::kGt:
+        if (v == std::numeric_limits<int64_t>::max()) p.never = true;
+        else p.lo = v + 1;
+        break;
+      case sql::CompareOp::kGe:
+        p.lo = v;
+        break;
+      case sql::CompareOp::kLt:
+        if (v == std::numeric_limits<int64_t>::min()) p.never = true;
+        else p.hi = v - 1;
+        break;
+      case sql::CompareOp::kLe:
+        p.hi = v;
+        break;
+      default:
+        return std::nullopt;  // <> needs NULL-aware decode; not worth it
+    }
+    return p;
+  }
+  if (e.kind() == sql::ExprKind::kLogical &&
+      e.logical_op() == sql::LogicalOp::kAnd && e.children().size() == 2) {
+    auto a = RecognizeExpr(*e.children()[0]);
+    auto b = RecognizeExpr(*e.children()[1]);
+    if (!a || !b || a->kind != ColumnarPredicate::Kind::kIntRange ||
+        b->kind != ColumnarPredicate::Kind::kIntRange || a->column != b->column) {
+      return std::nullopt;
+    }
+    a->lo = std::max(a->lo, b->lo);
+    a->hi = std::min(a->hi, b->hi);
+    a->never = a->never || b->never || a->lo > a->hi;
+    return a;
+  }
+  return std::nullopt;
+}
+
+/// nullopt = filter not columnar-evaluable (row fallback for the query).
+std::optional<ColumnarPredicate> RecognizeFilter(const sql::ExprPtr& filter) {
+  if (!filter) return ColumnarPredicate{};  // kAll
+  return RecognizeExpr(*filter);
+}
+
+/// True when every partial aggregate can run as a pure column kernel:
+/// global aggregation (no GROUP BY) of COUNT(*)/COUNT/SUM/MIN/MAX over
+/// columns typed exactly kInt64 (timestamps/doubles would change the
+/// executor's output value types). AVG qualifies via its SUM+COUNT split.
+bool KernelAggsSupported(const std::vector<std::string>& group_by,
+                         const std::vector<PartialPlan>& plans,
+                         const sql::Schema& schema) {
+  if (!group_by.empty()) return false;
+  for (const auto& p : plans) {
+    for (const auto& spec : p.partial) {
+      if (spec.arg == nullptr) continue;  // COUNT(*)
+      if (spec.arg->kind() != sql::ExprKind::kColumn) return false;
+      auto idx = schema.IndexOf(spec.arg->column_name());
+      if (!idx.ok() || schema.column(*idx).type != TypeId::kInt64) return false;
+    }
+  }
+  return true;
+}
+
+/// Runs the recognized filter, returning the selection (nullopt = all rows,
+/// so aggregate kernels can take their zone-map-only fast paths).
+Result<std::optional<std::vector<uint32_t>>> RunColumnarFilter(
+    const storage::ColumnTable& ct, const ColumnarPredicate& pred,
+    const storage::ScanOptions& sopts, storage::ScanStats* stats) {
+  if (pred.never) {
+    return std::optional<std::vector<uint32_t>>{std::vector<uint32_t>{}};
+  }
+  switch (pred.kind) {
+    case ColumnarPredicate::Kind::kAll:
+      return std::optional<std::vector<uint32_t>>{};
+    case ColumnarPredicate::Kind::kIntRange: {
+      OFI_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> sel,
+          ct.FilterBetweenInt64(pred.column, pred.lo, pred.hi, sopts, stats));
+      return std::optional<std::vector<uint32_t>>{std::move(sel)};
+    }
+    case ColumnarPredicate::Kind::kStringEq: {
+      OFI_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                           ct.FilterEqString(pred.column, pred.needle, sopts, stats));
+      return std::optional<std::vector<uint32_t>>{std::move(sel)};
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Pure-kernel partial aggregate: the exact Table the row-path executor
+/// would produce for a global aggregate (COUNT -> kInt64 with 0 on empty,
+/// SUM/MIN/MAX -> the column's type with NULL when nothing contributes),
+/// computed without materializing a single row.
+Result<Table> RunColumnarKernelAgg(const storage::ColumnTable& ct,
+                                   const std::vector<uint32_t>* sel,
+                                   bool never,
+                                   const std::vector<AggSpec>& partial_specs,
+                                   const storage::ScanOptions& sopts,
+                                   storage::ScanStats* stats) {
+  std::vector<Column> cols;
+  Row r;
+  for (const auto& spec : partial_specs) {
+    if (spec.arg == nullptr) {
+      // COUNT(*): rows in the selection; NULLs count too.
+      cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+      int64_t c = sel ? static_cast<int64_t>(sel->size())
+                      : (never ? 0 : static_cast<int64_t>(ct.sealed_rows()));
+      r.push_back(Value(c));
+      continue;
+    }
+    const std::string& col = spec.arg->column_name();
+    switch (spec.func) {
+      case AggFunc::kCount: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(int64_t c, ct.CountInt64(col, sel, sopts, stats));
+        r.push_back(Value(c));
+        break;
+      }
+      case AggFunc::kSum: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> s,
+                             ct.SumInt64(col, sel, sopts, stats));
+        r.push_back(s ? Value(*s) : Value::Null());
+        break;
+      }
+      case AggFunc::kMin: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
+                             ct.MinInt64(col, sel, sopts, stats));
+        r.push_back(m ? Value(*m) : Value::Null());
+        break;
+      }
+      case AggFunc::kMax: {
+        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
+                             ct.MaxInt64(col, sel, sopts, stats));
+        r.push_back(m ? Value(*m) : Value::Null());
+        break;
+      }
+      default:
+        return Status::Internal("non-decomposed aggregate in kernel path");
+    }
+  }
+  Table out{sql::Schema(std::move(cols))};
+  out.mutable_rows().push_back(std::move(r));
+  return out;
+}
+
+/// Distinct chunks containing selected rows — the chunk cost the gather
+/// (materializing) path charges, since it decodes those chunks.
+size_t ChunksTouched(const std::vector<uint32_t>& sel) {
+  size_t touched = 0;
+  size_t last = SIZE_MAX;
+  for (uint32_t r : sel) {
+    size_t c = r / storage::ColumnTable::kChunkRows;
+    if (c != last) {
+      ++touched;
+      last = c;
+    }
+  }
+  return touched;
+}
+
+/// Dispatches fn(0..n-1) per the parallel/pool options (shared contract
+/// across every fragment: execution mode never changes results).
+void RunScatter(bool parallel, common::ThreadPool* pool, int n,
+                const std::function<void(int)>& fn) {
+  if (parallel) {
+    (pool ? pool : &common::ThreadPool::Shared())->ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string AggListToString(const std::vector<std::string>& group_by,
+                            const std::vector<DistributedAgg>& aggs) {
+  std::string s = "groups=[";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += group_by[i];
+  }
+  s += "] aggs=[";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += AggFuncName(aggs[i].func);
+    s += "(";
+    s += aggs[i].column.empty() ? "*" : aggs[i].column;
+    s += ") AS ";
+    s += aggs[i].name;
+  }
+  s += "]";
+  return s;
+}
+
+/// \brief Executes one distributed physical plan inside one multi-shard
+/// snapshot, replaying the exact simulated charge sequence of the old
+/// monolithic entry points.
+///
+/// Latency model: `frontier_[i]` tracks when serving node i finishes its
+/// last charged statement (starting at scatter_start). Fragments advance
+/// the frontier — prepare, scan statement(s), exchange, join statement —
+/// and the run completes at max over frontiers plus the CN gather cost,
+/// while the comparison serial model sums the per-DN frontiers. Because
+/// the SimScheduler's gap-fitting Charge is order-independent across
+/// distinct resources, decomposing one monolithic loop into per-fragment
+/// loops leaves every per-DN completion time bit-identical as long as the
+/// per-resource charge order is preserved — which the frontier guarantees.
+class DistPlanExecutor {
+ public:
+  DistPlanExecutor(Cluster* cluster, const DistExecOptions& opts)
+      : cluster_(cluster),
+        opts_(opts),
+        batch_rows_(opts.batch_rows == 0 ? 1 : opts.batch_rows) {}
+
+  Result<DistPlanResult> Run(const DistOpPtr& root);
+
+ private:
+  Status ExecScanFragment(const DistOp& scan, bool fused, bool count_naive,
+                          std::vector<FragSlot>* slots_out);
+  Status ExecJoinFragment(const DistOp& join, const DistOp& left_scan,
+                          const DistOp& right_scan, bool fused,
+                          std::vector<FragSlot>* slots_out);
+  Result<Table> FinalAggregate(Table partial_union);
+
+  exchange::ExchangeLatencyParams ExchangeParams() const {
+    return exchange::ExchangeLatencyParams{
+        cluster_->latency().network_hop_us,
+        cluster_->latency().exchange_batch_service_us,
+        cluster_->latency().exchange_kb_service_us};
+  }
+
+  Cluster* cluster_;
+  DistExecOptions opts_;
+  size_t batch_rows_;
+
+  std::vector<int> serving_;
+  int n_ = 0;
+  Txn* reader_ = nullptr;  // the Run-local multi-shard snapshot
+  SimTime scatter_start_ = 0;
+  // Per-serving-DN completion time of its latest charged statement.
+  std::vector<SimTime> frontier_;
+
+  // Aggregate decomposition (set when the plan has PartialAgg/FinalAgg).
+  std::vector<PartialPlan> plans_;
+  std::vector<std::string> group_names_;
+  std::vector<std::string> agg_group_;
+  std::vector<DistributedAgg> agg_specs_;
+
+  // Join context (set when the core is a DistHashJoin).
+  sql::Schema left_schema_, right_schema_;
+  size_t left_key_idx_ = 0, right_key_idx_ = 0;
+
+  DistExecStats stats_;
+  // Metrics the old entry points only emitted after Commit; recorded during
+  // fragment execution and replayed in Run() at the same point.
+  std::vector<std::pair<std::string, int64_t>> pending_metrics_;
+};
+
+Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
+  if (opts_.parallel && opts_.columnar_morsel_parallel) {
+    return Status::InvalidArgument(
+        "columnar_morsel_parallel requires parallel == false: pool workers "
+        "must not nest ParallelFor (disable the scatter parallelism to "
+        "morsel-parallelize within shards)");
+  }
+
+  // Shape: FinalAgg? -> Gather -> PartialAgg? -> (DistScan | DistHashJoin
+  // over two (optionally exchange-wrapped) DistScans).
+  const DistOp* node = root.get();
+  if (node == nullptr) {
+    return Status::InvalidArgument("empty distributed plan");
+  }
+  const DistOp* final_agg = nullptr;
+  if (node->kind == DistOpKind::kDistFinalAgg) {
+    if (node->children.size() != 1) {
+      return Status::InvalidArgument("DistFinalAgg must have one child");
+    }
+    final_agg = node;
+    node = node->children[0].get();
+  }
+  if (node == nullptr || node->kind != DistOpKind::kGather ||
+      node->children.size() != 1) {
+    return Status::InvalidArgument(
+        "distributed plan root must be Gather (optionally under DistFinalAgg)");
+  }
+  node = node->children[0].get();
+  const DistOp* partial_agg = nullptr;
+  if (node != nullptr && node->kind == DistOpKind::kDistPartialAgg) {
+    if (node->children.size() != 1) {
+      return Status::InvalidArgument("DistPartialAgg must have one child");
+    }
+    partial_agg = node;
+    node = node->children[0].get();
+  }
+  if ((partial_agg == nullptr) != (final_agg == nullptr)) {
+    return Status::InvalidArgument(
+        "DistPartialAgg and DistFinalAgg must appear together");
+  }
+  const bool fused = partial_agg != nullptr;
+  const bool rows_gather = !fused;
+
+  const DistOp* core = node;
+  const DistOp* left_scan = nullptr;
+  const DistOp* right_scan = nullptr;
+  if (core == nullptr) {
+    return Status::InvalidArgument("distributed plan has no core operator");
+  }
+  if (core->kind == DistOpKind::kDistHashJoin) {
+    if (core->children.size() != 2) {
+      return Status::InvalidArgument("DistHashJoin must have two children");
+    }
+    auto unwrap = [](const DistOp* c) -> const DistOp* {
+      if (c != nullptr && c->kind == DistOpKind::kDistExchange &&
+          c->children.size() == 1) {
+        return c->children[0].get();
+      }
+      return c;
+    };
+    left_scan = unwrap(core->children[0].get());
+    right_scan = unwrap(core->children[1].get());
+    if (left_scan == nullptr || left_scan->kind != DistOpKind::kDistScan ||
+        right_scan == nullptr || right_scan->kind != DistOpKind::kDistScan) {
+      return Status::InvalidArgument(
+          "DistHashJoin inputs must be DistScans (optionally exchange-wrapped)");
+    }
+  } else if (core->kind != DistOpKind::kDistScan) {
+    return Status::InvalidArgument("unsupported distributed core operator");
+  }
+
+  // Aggregate decomposition before any transaction begins (same order as
+  // the old entry point: plan validation errors surface first).
+  if (final_agg != nullptr) {
+    agg_group_ = final_agg->group_by;
+    agg_specs_ = final_agg->aggs;
+    plans_.reserve(agg_specs_.size());
+    for (const auto& a : agg_specs_) plans_.push_back(DecomposeAgg(a));
+    OFI_ASSIGN_OR_RETURN(group_names_, GroupOutputNames(agg_group_, agg_specs_));
+  }
+
+  serving_ = ServingDns(cluster_);
+  n_ = static_cast<int>(serving_.size());
+  stats_.num_serving = n_;
+
+  // Join key resolution happens before Begin (as the old DistributedJoin
+  // did); schemas are identical on every DN, so the first serving node is
+  // authoritative.
+  if (left_scan != nullptr) {
+    OFI_ASSIGN_OR_RETURN(storage::MvccTable * left0,
+                         cluster_->dn(serving_[0])->GetTable(left_scan->table));
+    OFI_ASSIGN_OR_RETURN(
+        storage::MvccTable * right0,
+        cluster_->dn(serving_[0])->GetTable(right_scan->table));
+    left_schema_ = left0->schema();
+    right_schema_ = right0->schema();
+    OFI_ASSIGN_OR_RETURN(left_key_idx_, left_schema_.IndexOf(core->left_key));
+    OFI_ASSIGN_OR_RETURN(right_key_idx_, right_schema_.IndexOf(core->right_key));
+  }
+
+  // One consistent snapshot across every shard.
+  Txn reader = cluster_->Begin(TxnScope::kMultiShard);
+  reader_ = &reader;
+  scatter_start_ = reader.now();
+  frontier_.assign(static_cast<size_t>(n_), scatter_start_);
+
+  std::vector<FragSlot> slots(static_cast<size_t>(n_));
+  if (left_scan != nullptr) {
+    OFI_RETURN_NOT_OK(
+        ExecJoinFragment(*core, *left_scan, *right_scan, fused, &slots));
+  } else {
+    OFI_RETURN_NOT_OK(
+        ExecScanFragment(*core, fused, /*count_naive=*/true, &slots));
+  }
+
+  // Gather: merge per-DN outputs deterministically in DN order.
+  Table gathered;
+  if (rows_gather) {
+    gathered = Table(slots[0].table.schema());
+    for (auto& slot : slots) {
+      OFI_RETURN_NOT_OK(slot.status);
+      stats_.result_bytes +=
+          exchange::EncodedBytes(slot.table.rows(), batch_rows_);
+      stats_.partial_bytes += slot.partial_bytes;
+      stats_.naive_bytes += slot.naive_bytes;
+      if (slot.columnar) {
+        ++stats_.columnar_shards;
+        stats_.scan_stats.MergeFrom(slot.stats);
+      }
+      for (auto& row : slot.table.mutable_rows()) {
+        OFI_RETURN_NOT_OK(gathered.Append(std::move(row)));
+      }
+    }
+  } else {
+    bool first_shard = true;
+    for (auto& slot : slots) {
+      OFI_RETURN_NOT_OK(slot.status);
+      stats_.partial_bytes += slot.partial_bytes;
+      stats_.naive_bytes += slot.naive_bytes;
+      if (slot.columnar) {
+        ++stats_.columnar_shards;
+        stats_.scan_stats.MergeFrom(slot.stats);
+      }
+      if (first_shard) {
+        gathered = std::move(slot.table);
+        first_shard = false;
+      } else {
+        for (auto& row : slot.table.mutable_rows()) {
+          OFI_RETURN_NOT_OK(gathered.Append(std::move(row)));
+        }
+      }
+    }
+  }
+  if (stats_.columnar_shards > 0) {
+    auto& m = cluster_->metrics();
+    m.Add("columnar.scans", static_cast<int64_t>(stats_.columnar_shards));
+    m.Add("columnar.chunks_scanned",
+          static_cast<int64_t>(stats_.scan_stats.chunks_scanned));
+    m.Add("columnar.chunks_pruned",
+          static_cast<int64_t>(stats_.scan_stats.chunks_pruned));
+    m.Add("columnar.rows_filtered",
+          static_cast<int64_t>(stats_.scan_stats.rows_matched));
+    m.Add("columnar.morsels", static_cast<int64_t>(stats_.scan_stats.morsels));
+  }
+
+  SimTime parallel_done = scatter_start_;
+  SimTime serial_sum = 0;
+  for (SimTime f : frontier_) {
+    parallel_done = std::max(parallel_done, f);
+    serial_sum += f - scatter_start_;
+  }
+  // The CN pays the per-partial merge, plus a size-aware receive when the
+  // gathered state is row-shaped (joins and plain scans, unlike aggregates,
+  // gather row-sized state).
+  SimTime gather_cost = static_cast<SimTime>(n_) *
+                        cluster_->latency().cn_gather_service_us;
+  if (rows_gather) {
+    gather_cost +=
+        exchange::ExchangeServiceTime(stats_.result_bytes, 0, ExchangeParams());
+  }
+  stats_.sim_latency_us = (parallel_done - scatter_start_) + gather_cost;
+  stats_.sim_latency_serial_us = serial_sum + gather_cost;
+  // The CN resumes once the last partial has been gathered.
+  reader.AdvanceTo(parallel_done + gather_cost);
+  OFI_RETURN_NOT_OK(reader.Commit());
+  reader_ = nullptr;
+  for (const auto& [name, delta] : pending_metrics_) {
+    cluster_->metrics().Add(name, delta);
+  }
+
+  DistPlanResult out;
+  if (final_agg != nullptr) {
+    OFI_ASSIGN_OR_RETURN(out.table, FinalAggregate(std::move(gathered)));
+  } else {
+    out.table = std::move(gathered);
+  }
+  out.stats = std::move(stats_);
+  return out;
+}
+
+Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
+                                          bool count_naive,
+                                          std::vector<FragSlot>* slots_out) {
+  const std::string& table = scan.table;
+  std::vector<storage::MvccTable*> shard_tables(serving_.size(), nullptr);
+  for (int i = 0; i < n_; ++i) {
+    OFI_ASSIGN_OR_RETURN(shard_tables[static_cast<size_t>(i)],
+                         cluster_->dn(serving_[i])->GetTable(table));
+  }
+
+  // Columnar eligibility. The filter must be kernel-recognizable (checked
+  // once for the fragment), and each shard's copy must be fresh: built with
+  // no transaction in flight AND no heap mutation since (the mutation epoch
+  // detects deletes that version counts cannot). Stale shards fall back to
+  // the row store individually — results are identical either way.
+  std::optional<ColumnarPredicate> pred;
+  if (scan.path == ScanPath::kColumnar && cluster_->IsColumnar(table)) {
+    pred = RecognizeFilter(scan.filter);
+    if (!pred.has_value()) {
+      cluster_->metrics().Add("columnar.fallback_filter");
+    }
+  }
+  std::vector<const DataNode::ColumnarShard*> col_shards(serving_.size(),
+                                                         nullptr);
+  bool kernel_path = false;
+  if (pred.has_value()) {
+    kernel_path = fused && KernelAggsSupported(agg_group_, plans_,
+                                               shard_tables[0]->schema());
+    for (int i = 0; i < n_; ++i) {
+      const DataNode::ColumnarShard* shard =
+          cluster_->dn(serving_[i])->GetColumnarShard(table);
+      if (shard != nullptr && shard->table != nullptr && shard->settled &&
+          shard->heap_epoch == shard_tables[static_cast<size_t>(i)]->epoch()) {
+        col_shards[static_cast<size_t>(i)] = shard;
+      } else if (shard != nullptr) {
+        cluster_->metrics().Add("columnar.fallback_stale");
+      }
+    }
+  }
+
+  // Phase 1 (coordinator thread): open every shard context and charge the
+  // simulated fan-out. Opening an already-open shard is free — the second
+  // scan fragment of a join chains its statement right after the first
+  // fragment's, exactly as the old single-loop code did. Columnar shards
+  // charge per chunk actually scanned, so their statement cost is only
+  // known after phase 2 — record the merge completion now and charge the
+  // scan afterwards (each DN's resource is independent, so the deferred
+  // charge stays deterministic).
+  for (int i = 0; i < n_; ++i) {
+    const int dn = serving_[i];
+    OFI_ASSIGN_OR_RETURN(frontier_[static_cast<size_t>(i)],
+                         reader_->PrepareShard(dn, frontier_[static_cast<size_t>(i)]));
+    if (col_shards[static_cast<size_t>(i)] != nullptr) continue;
+    frontier_[static_cast<size_t>(i)] =
+        cluster_->ChargeDnStmt(dn, frontier_[static_cast<size_t>(i)]);
+  }
+
+  // Phase 2 (thread pool): per-DN scan (+ fused partial aggregation). Row
+  // shards scan the MVCC heap; columnar shards run the filter/aggregate
+  // kernels over their chunk copy (pure kernels for global int64
+  // aggregates, else filter + Gather + executor). Workers touch only read
+  // paths plus their own slot; expression trees are cloned per worker
+  // because Bind() caches column indices in place. Morsel parallelism
+  // inside a shard is only enabled for inline scatters — pool workers must
+  // not nest ParallelFor.
+  storage::ScanOptions sopts;
+  sopts.parallel = opts_.columnar_morsel_parallel && !opts_.parallel;
+  sopts.pool = opts_.pool;
+  std::vector<FragSlot>& slots = *slots_out;
+  auto run_shard = [&](int i) {
+    const int dn = serving_[i];
+    FragSlot& slot = slots[static_cast<size_t>(i)];
+
+    std::vector<AggSpec> partial_specs;
+    if (fused) {
+      for (const auto& p : plans_) {
+        for (const auto& spec : p.partial) {
+          partial_specs.push_back(AggSpec{
+              spec.func, spec.arg ? spec.arg->Clone() : nullptr, spec.name});
+        }
+      }
+    }
+
+    if (col_shards[static_cast<size_t>(i)] != nullptr) {
+      const storage::ColumnTable& ct = *col_shards[static_cast<size_t>(i)]->table;
+      slot.columnar = true;
+      if (count_naive) slot.naive_bytes = ct.PlainBytes();
+      auto sel = RunColumnarFilter(ct, *pred, sopts, &slot.stats);
+      if (!sel.ok()) {
+        slot.status = sel.status();
+        return;
+      }
+      auto materialize = [&](const std::vector<uint32_t>& s)
+          -> Result<std::vector<Row>> {
+        slot.stats.chunks_scanned += ChunksTouched(s);
+        return ct.Gather(s);
+      };
+      auto all_rows = [&]() {
+        std::vector<uint32_t> all;
+        if (!sel->has_value()) {
+          all.resize(ct.sealed_rows());
+          for (uint32_t k = 0; k < all.size(); ++k) all[k] = k;
+        }
+        return all;
+      };
+      if (fused) {
+        auto compute = [&]() -> Result<Table> {
+          if (kernel_path) {
+            return RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
+                                        pred->never, partial_specs, sopts,
+                                        &slot.stats);
+          }
+          // Gather path: materialize the selection and run the ordinary
+          // partial aggregate (GROUP BY, non-int64 aggregates).
+          std::vector<uint32_t> all = all_rows();
+          OFI_ASSIGN_OR_RETURN(
+              std::vector<Row> rows,
+              materialize(sel->has_value() ? **sel : all));
+          sql::Catalog shard_catalog;
+          shard_catalog.Register("shard", Table(ct.schema(), std::move(rows)));
+          // Filter already applied by the kernel — scan without it.
+          sql::PlanPtr agg_plan = sql::MakeAggregate(sql::MakeScan("shard"),
+                                                     agg_group_, partial_specs);
+          sql::Executor exec(&shard_catalog);
+          return exec.Execute(agg_plan);
+        };
+        Result<Table> partial = compute();
+        if (!partial.ok()) {
+          slot.status = partial.status();
+          return;
+        }
+        slot.partial_bytes = TableBytes(*partial);
+        slot.table = std::move(*partial);
+        return;
+      }
+      // Plain columnar scan: materialize the (filtered) selection. Note the
+      // row order is the columnar registration order (clustered), not the
+      // MVCC heap order; consumers treat shard output as unordered.
+      std::vector<uint32_t> all = all_rows();
+      auto rows = materialize(sel->has_value() ? **sel : all);
+      if (!rows.ok()) {
+        slot.status = rows.status();
+        return;
+      }
+      slot.table = Table(ct.schema(), std::move(*rows));
+      return;
+    }
+
+    auto rows = reader_->ScanShardPrepared(table, dn);
+    if (!rows.ok()) {
+      slot.status = rows.status();
+      return;
+    }
+    if (count_naive) {
+      for (const auto& row : *rows) slot.naive_bytes += sql::RowByteSize(row);
+    }
+
+    if (fused) {
+      sql::Catalog shard_catalog;
+      shard_catalog.Register(
+          "shard", Table(shard_tables[static_cast<size_t>(i)]->schema(),
+                         std::move(*rows)));
+      sql::PlanPtr scan_plan =
+          sql::MakeScan("shard", scan.filter ? scan.filter->Clone() : nullptr);
+      sql::PlanPtr agg_plan =
+          sql::MakeAggregate(scan_plan, agg_group_, partial_specs);
+      sql::Executor exec(&shard_catalog);
+      auto partial = exec.Execute(agg_plan);
+      if (!partial.ok()) {
+        slot.status = partial.status();
+        return;
+      }
+      slot.partial_bytes = TableBytes(*partial);
+      slot.table = std::move(*partial);
+      return;
+    }
+
+    // Plain row scan: apply the pushed-down filter in place.
+    if (scan.filter) {
+      // Cloned per worker: Bind() caches column indices in place.
+      sql::ExprPtr f = scan.filter->Clone();
+      Status bind = f->Bind(shard_tables[static_cast<size_t>(i)]->schema());
+      if (!bind.ok()) {
+        slot.status = bind;
+        return;
+      }
+      std::vector<Row> kept;
+      kept.reserve(rows->size());
+      for (auto& row : *rows) {
+        Value v = f->Eval(row);
+        if (!v.is_null() && v.AsBool()) kept.push_back(std::move(row));
+      }
+      *rows = std::move(kept);
+    }
+    slot.table = Table(shard_tables[static_cast<size_t>(i)]->schema(),
+                       std::move(*rows));
+  };
+  RunScatter(opts_.parallel, opts_.pool, n_, run_shard);
+
+  // Deferred latency for columnar shards: fixed setup + per-chunk service
+  // for chunks actually scanned. Zone-map-pruned chunks cost nothing.
+  for (int i = 0; i < n_; ++i) {
+    if (col_shards[static_cast<size_t>(i)] == nullptr) continue;
+    frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnColumnarScan(
+        serving_[i], frontier_[static_cast<size_t>(i)],
+        slots[static_cast<size_t>(i)].stats.chunks_scanned);
+  }
+  return Status::OK();
+}
+
+Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
+                                          const DistOp& left_scan,
+                                          const DistOp& right_scan, bool fused,
+                                          std::vector<FragSlot>* slots_out) {
+  // Scan both sides as child fragments. The per-DN frontier chains the
+  // right scan's statement directly after the left's, reproducing the old
+  // "prepare once, then one scan statement per side" loop.
+  std::vector<FragSlot> left_slots(serving_.size());
+  std::vector<FragSlot> right_slots(serving_.size());
+  OFI_RETURN_NOT_OK(ExecScanFragment(left_scan, /*fused=*/false,
+                                     /*count_naive=*/false, &left_slots));
+  for (const auto& slot : left_slots) OFI_RETURN_NOT_OK(slot.status);
+  OFI_RETURN_NOT_OK(ExecScanFragment(right_scan, /*fused=*/false,
+                                     /*count_naive=*/false, &right_slots));
+  for (const auto& slot : right_slots) OFI_RETURN_NOT_OK(slot.status);
+
+  size_t actual_left_bytes = 0, actual_right_bytes = 0;
+  for (int i = 0; i < n_; ++i) {
+    actual_left_bytes += exchange::EncodedBytes(
+        left_slots[static_cast<size_t>(i)].table.rows(), batch_rows_);
+    actual_right_bytes += exchange::EncodedBytes(
+        right_slots[static_cast<size_t>(i)].table.rows(), batch_rows_);
+  }
+  stats_.naive_bytes = actual_left_bytes + actual_right_bytes;
+
+  // Strategy decision. Estimated relation sizes come from optimizer stats
+  // when a registry was wired through; otherwise from the actual scanned
+  // encoded sizes (exact, but unavailable to a real planner — that is
+  // precisely what the stats path models). A caller override wins, then a
+  // plan-time choice, then the cost formula.
+  double est_left = static_cast<double>(actual_left_bytes);
+  double est_right = static_cast<double>(actual_right_bytes);
+  if (opts_.stats != nullptr) {
+    if (const auto* ts = opts_.stats->Get(left_scan.table)) {
+      est_left = ts->EstimatedBytes();
+    }
+    if (const auto* ts = opts_.stats->Get(right_scan.table)) {
+      est_right = ts->EstimatedBytes();
+    }
+  }
+  stats_.broadcast_left = est_left <= est_right;
+  JoinStrategy strategy = opts_.strategy_override;
+  if (strategy == JoinStrategy::kAuto) strategy = join.strategy;
+  if (strategy == JoinStrategy::kAuto) {
+    // Broadcast ships the small side to the N-1 other nodes; repartition
+    // ships the (N-1)/N fraction of both sides that hashes off-node.
+    double cost_broadcast = std::min(est_left, est_right) * (n_ - 1);
+    double cost_repartition =
+        (est_left + est_right) * static_cast<double>(n_ - 1) / std::max(n_, 1);
+    strategy = cost_broadcast <= cost_repartition ? JoinStrategy::kBroadcast
+                                                  : JoinStrategy::kRepartition;
+  }
+  stats_.strategy = strategy;
+
+  // Data movement: move rows through the exchange. Each worker only writes
+  // channels whose source is its own node, so sends are race-free by
+  // construction (channels are mutex-guarded regardless). A channel byte
+  // limit turns overflow into a per-DN ResourceExhausted.
+  exchange::ExchangeNetwork left_net(n_, batch_rows_, opts_.max_channel_bytes);
+  exchange::ExchangeNetwork right_net(n_, batch_rows_, opts_.max_channel_bytes);
+  std::vector<Status> send_status(serving_.size(), Status::OK());
+  if (strategy == JoinStrategy::kBroadcast) {
+    RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
+      if (stats_.broadcast_left) {
+        send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
+            &left_net, i, left_slots[static_cast<size_t>(i)].table.rows());
+      } else {
+        send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
+            &right_net, i, right_slots[static_cast<size_t>(i)].table.rows());
+      }
+    });
+  } else {
+    RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
+      Status st = exchange::ShufflePartition(
+          &left_net, i, left_slots[static_cast<size_t>(i)].table.rows(),
+          left_key_idx_);
+      if (st.ok()) {
+        st = exchange::ShufflePartition(
+            &right_net, i, right_slots[static_cast<size_t>(i)].table.rows(),
+            right_key_idx_);
+      }
+      send_status[static_cast<size_t>(i)] = st;
+    });
+  }
+  const size_t denied = left_net.DeniedBytes() + right_net.DeniedBytes();
+  if (denied > 0) {
+    cluster_->metrics().Add("exchange.bytes_spilled_denied",
+                            static_cast<int64_t>(denied));
+  }
+  for (const auto& st : send_status) OFI_RETURN_NOT_OK(st);
+
+  // Per-DN join (+ fused partial aggregation): each DN assembles its slice
+  // (local rows for the side that did not move, exchange-delivered rows for
+  // the one that did) and runs the ordinary hash join from src/sql on it.
+  std::vector<FragSlot>& slots = *slots_out;
+  RunScatter(opts_.parallel, opts_.pool, n_, [&](int j) {
+    FragSlot& slot = slots[static_cast<size_t>(j)];
+    auto side_rows = [&](bool is_left) -> Result<std::vector<Row>> {
+      const bool moved = strategy == JoinStrategy::kRepartition ||
+                         (is_left == stats_.broadcast_left);
+      if (!moved) {
+        return std::move((is_left ? left_slots : right_slots)[
+            static_cast<size_t>(j)].table.mutable_rows());
+      }
+      return (is_left ? left_net : right_net).ReceiveRows(j);
+    };
+    auto lrows = side_rows(true);
+    if (!lrows.ok()) {
+      slot.status = lrows.status();
+      return;
+    }
+    auto rrows = side_rows(false);
+    if (!rrows.ok()) {
+      slot.status = rrows.status();
+      return;
+    }
+    sql::ExprPtr pred = Expr::EqCols(join.left_key, join.right_key);
+    if (join.residual) pred = Expr::And(pred, join.residual->Clone());
+    sql::PlanPtr plan = sql::MakeJoin(
+        sql::MakeValues(Table(left_schema_, std::move(*lrows))),
+        sql::MakeValues(Table(right_schema_, std::move(*rrows))), pred);
+    if (fused) {
+      std::vector<AggSpec> partial_specs;
+      for (const auto& p : plans_) {
+        for (const auto& spec : p.partial) {
+          partial_specs.push_back(AggSpec{
+              spec.func, spec.arg ? spec.arg->Clone() : nullptr, spec.name});
+        }
+      }
+      plan = sql::MakeAggregate(plan, agg_group_, partial_specs);
+    }
+    sql::Catalog catalog;  // Values plans read no tables
+    sql::Executor exec(&catalog);
+    auto joined = exec.Execute(plan);
+    if (!joined.ok()) {
+      slot.status = joined.status();
+      return;
+    }
+    if (fused) slot.partial_bytes = TableBytes(*joined);
+    slot.table = std::move(*joined);
+  });
+
+  // Simulated latency: sends start when a node's scans are done; node j can
+  // join once the slowest sender shipping to it has finished (+1 hop) and
+  // its own decode service completes; then one join statement per DN. The
+  // fused partial aggregate rides in that same statement (scan+agg was one
+  // statement on the aggregate path too).
+  exchange::ExchangeLatencyParams params = ExchangeParams();
+  std::vector<int> resources(serving_.size());
+  for (int i = 0; i < n_; ++i) {
+    resources[static_cast<size_t>(i)] = cluster_->dn_resource(serving_[i]);
+  }
+  std::vector<SimTime> exchange_done = exchange::SimulateExchange(
+      &cluster_->scheduler(), resources, {&left_net, &right_net}, frontier_,
+      params);
+  for (int j = 0; j < n_; ++j) {
+    frontier_[static_cast<size_t>(j)] = cluster_->ChargeDnStmt(
+        serving_[j], exchange_done[static_cast<size_t>(j)]);
+  }
+
+  // Accounting + metrics: cross-DN bytes per strategy, per-channel stats
+  // with exchange-node indices mapped back to real DN ids. The old code
+  // emitted these metrics only after Commit, so they are queued here and
+  // replayed by Run() at that same point.
+  stats_.shuffle_bytes =
+      strategy == JoinStrategy::kRepartition
+          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
+          : 0;
+  stats_.broadcast_bytes =
+      strategy == JoinStrategy::kBroadcast
+          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
+          : 0;
+  stats_.exchange_batches =
+      left_net.CrossNodeBatches() + right_net.CrossNodeBatches();
+  for (const auto* net : {&left_net, &right_net}) {
+    for (exchange::ChannelStats ch : net->Stats()) {
+      ch.src = serving_[static_cast<size_t>(ch.src)];
+      ch.dst = serving_[static_cast<size_t>(ch.dst)];
+      // Merge the two relations' traffic per (src,dst) pair.
+      auto it = std::find_if(stats_.channels.begin(), stats_.channels.end(),
+                             [&](const exchange::ChannelStats& c) {
+                               return c.src == ch.src && c.dst == ch.dst;
+                             });
+      if (it == stats_.channels.end()) {
+        stats_.channels.push_back(ch);
+      } else {
+        it->bytes += ch.bytes;
+        it->batches += ch.batches;
+      }
+      if (ch.src != ch.dst) {
+        pending_metrics_.emplace_back(
+            "exchange.bytes.d" + std::to_string(ch.src) + "->d" +
+                std::to_string(ch.dst),
+            static_cast<int64_t>(ch.bytes));
+      }
+    }
+  }
+  pending_metrics_.emplace_back(
+      "exchange.bytes",
+      static_cast<int64_t>(stats_.shuffle_bytes + stats_.broadcast_bytes));
+  pending_metrics_.emplace_back("exchange.batches",
+                                static_cast<int64_t>(stats_.exchange_batches));
+  pending_metrics_.emplace_back(strategy == JoinStrategy::kBroadcast
+                                    ? "join.broadcast"
+                                    : "join.repartition",
+                                int64_t{1});
+  stats_.joined = true;
+  // Per-DN join statuses stay in the slots: the gather loop surfaces them
+  // (the old code also finished the exchange accounting before checking).
+  return Status::OK();
+}
+
+Result<Table> DistPlanExecutor::FinalAggregate(Table partial_union) {
+  // Final aggregation over the partials at the CN.
+  sql::Catalog cn_catalog;
+  cn_catalog.Register("partials", std::move(partial_union));
+  std::vector<AggSpec> final_specs;
+  for (const auto& p : plans_) {
+    final_specs.insert(final_specs.end(), p.final_specs.begin(),
+                       p.final_specs.end());
+  }
+  sql::PlanPtr final_plan =
+      sql::MakeAggregate(sql::MakeScan("partials"), agg_group_, final_specs);
+  sql::Executor cn_exec(&cn_catalog);
+  OFI_ASSIGN_OR_RETURN(Table merged, cn_exec.Execute(final_plan));
+
+  // Project to the requested names/order. AVG's post-division is done here
+  // in code rather than as a `/` expression so the SQL-standard edge case is
+  // explicit: a group whose column was NULL on every shard merges to
+  // COUNT 0 (and SUM NULL) and must yield NULL, not divide by zero.
+  std::vector<Column> out_cols;
+  std::vector<size_t> first_col(agg_specs_.size(), 0);
+  for (size_t gi = 0; gi < agg_group_.size(); ++gi) {
+    out_cols.push_back(
+        Column{group_names_[gi], merged.schema().column(gi).type, ""});
+  }
+  size_t col = agg_group_.size();
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    first_col[i] = col;
+    if (plans_[i].is_avg) {
+      out_cols.push_back(Column{agg_specs_[i].name, TypeId::kDouble, ""});
+      col += 2;  // sum + count
+    } else {
+      out_cols.push_back(
+          Column{agg_specs_[i].name, merged.schema().column(col).type, ""});
+      col += 1;
+    }
+  }
+  Table result{sql::Schema(std::move(out_cols))};
+  for (const auto& row : merged.rows()) {
+    Row r;
+    r.reserve(agg_group_.size() + agg_specs_.size());
+    for (size_t gi = 0; gi < agg_group_.size(); ++gi) r.push_back(row[gi]);
+    for (size_t i = 0; i < agg_specs_.size(); ++i) {
+      if (plans_[i].is_avg) {
+        const Value& sum = row[first_col[i]];
+        const Value& count = row[first_col[i] + 1];
+        if (sum.is_null() || count.is_null() || count.AsDouble() == 0) {
+          r.push_back(Value::Null());
+        } else {
+          r.push_back(Value(sum.AsDouble() / count.AsDouble()));
+        }
+      } else {
+        r.push_back(row[first_col[i]]);
+      }
+    }
+    OFI_RETURN_NOT_OK(result.Append(std::move(r)));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> ServingDns(Cluster* cluster) {
+  std::vector<int> serving;
+  for (int shard = 0; shard < cluster->num_dns(); ++shard) {
+    int dn = cluster->EffectiveDn(shard);
+    if (std::find(serving.begin(), serving.end(), dn) == serving.end()) {
+      serving.push_back(dn);
+    }
+  }
+  return serving;
+}
+
+const char* ToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kAuto: return "auto";
+    case JoinStrategy::kBroadcast: return "broadcast";
+    case JoinStrategy::kRepartition: return "repartition";
+  }
+  return "?";
+}
+
+const char* ToString(ScanPath p) {
+  switch (p) {
+    case ScanPath::kRow: return "row";
+    case ScanPath::kColumnar: return "columnar";
+  }
+  return "?";
+}
+
+DistOpPtr MakeDistScan(std::string table, sql::ExprPtr filter, ScanPath path) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistScan;
+  op->table = std::move(table);
+  op->filter = std::move(filter);
+  op->path = path;
+  return op;
+}
+
+DistOpPtr MakeDistExchange(DistOpPtr child, ExchangeMode mode,
+                           std::string partition_key) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistExchange;
+  op->children.push_back(std::move(child));
+  op->mode = mode;
+  op->partition_key = std::move(partition_key);
+  return op;
+}
+
+DistOpPtr MakeDistHashJoin(DistOpPtr left, DistOpPtr right,
+                           std::string left_key, std::string right_key,
+                           sql::ExprPtr residual, JoinStrategy strategy) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistHashJoin;
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  op->left_key = std::move(left_key);
+  op->right_key = std::move(right_key);
+  op->residual = std::move(residual);
+  op->strategy = strategy;
+  return op;
+}
+
+DistOpPtr MakeDistPartialAgg(DistOpPtr child, std::vector<std::string> group_by,
+                             std::vector<DistributedAgg> aggs) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistPartialAgg;
+  op->children.push_back(std::move(child));
+  op->group_by = std::move(group_by);
+  op->aggs = std::move(aggs);
+  return op;
+}
+
+DistOpPtr MakeDistFinalAgg(DistOpPtr child, std::vector<std::string> group_by,
+                           std::vector<DistributedAgg> aggs) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistFinalAgg;
+  op->children.push_back(std::move(child));
+  op->group_by = std::move(group_by);
+  op->aggs = std::move(aggs);
+  return op;
+}
+
+DistOpPtr MakeGather(DistOpPtr child, bool gather_rows) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kGather;
+  op->children.push_back(std::move(child));
+  op->gather_rows = gather_rows;
+  return op;
+}
+
+std::string DistOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad;
+  switch (kind) {
+    case DistOpKind::kDistScan:
+      s += "DISTSCAN " + table + " path=";
+      s += cluster::ToString(path);
+      if (filter) s += " pred=[" + filter->ToCanonicalString() + "]";
+      if (est_bytes >= 0) {
+        s += " est=" + std::to_string(static_cast<long long>(est_bytes)) + "B";
+      }
+      break;
+    case DistOpKind::kDistExchange:
+      s += "EXCHANGE ";
+      s += mode == ExchangeMode::kBroadcast
+               ? "broadcast"
+               : (mode == ExchangeMode::kShuffle ? "shuffle" : "local");
+      if (mode == ExchangeMode::kShuffle && !partition_key.empty()) {
+        s += " key=" + partition_key;
+      }
+      break;
+    case DistOpKind::kDistHashJoin:
+      s += "HASHJOIN " + left_key + " = " + right_key + " strategy=";
+      s += cluster::ToString(strategy);
+      if (residual) s += " residual=[" + residual->ToCanonicalString() + "]";
+      break;
+    case DistOpKind::kDistPartialAgg:
+      s += "PARTIALAGG " + AggListToString(group_by, aggs);
+      break;
+    case DistOpKind::kDistFinalAgg:
+      s += "FINALAGG " + AggListToString(group_by, aggs);
+      break;
+    case DistOpKind::kGather:
+      s += "GATHER ";
+      s += gather_rows ? "rows" : "partials";
+      break;
+  }
+  s += "\n";
+  for (const auto& c : children) {
+    if (c) s += c->ToString(indent + 1);
+  }
+  return s;
+}
+
+Result<DistPlanResult> ExecuteDistPlan(Cluster* cluster, const DistOpPtr& root,
+                                       const DistExecOptions& options) {
+  DistPlanExecutor exec(cluster, options);
+  return exec.Run(root);
+}
+
+// --- Lowering ----------------------------------------------------------------
+
+namespace {
+
+/// True when the expression clones and binds cleanly against `schema` —
+/// the lowering's proof that a shard (or the CN join) can evaluate it.
+bool BindsOn(const sql::ExprPtr& e, const sql::Schema& schema) {
+  if (!e) return true;
+  sql::ExprPtr c = e->Clone();
+  return c->Bind(schema).ok();
+}
+
+}  // namespace
+
+DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
+                             const optimizer::StatsRegistry* stats,
+                             const DistExecOptions& options) {
+  DistLowering out;
+  const sql::PlanNode* node = logical.get();
+  if (node == nullptr) {
+    out.fallback_reason = "empty plan";
+    return out;
+  }
+
+  // Peel the CN-side wrappers (re-executed over the gathered result):
+  // Limit / Sort / Project / HAVING filters, outermost first.
+  while (node != nullptr) {
+    if (node->kind == sql::PlanKind::kLimit ||
+        node->kind == sql::PlanKind::kSort ||
+        node->kind == sql::PlanKind::kProject ||
+        node->kind == sql::PlanKind::kFilter) {
+      out.cn_post.push_back(node);
+      node = node->children.empty() ? nullptr : node->children[0].get();
+      continue;
+    }
+    break;
+  }
+  if (node == nullptr) {
+    out.fallback_reason = "plan has no input relation";
+    return out;
+  }
+  if (node->kind == sql::PlanKind::kSetOp) {
+    out.fallback_reason = "set operations / DISTINCT run single-node";
+    return out;
+  }
+  if (node->kind == sql::PlanKind::kValues) {
+    out.fallback_reason = "VALUES input is already local";
+    return out;
+  }
+
+  const sql::PlanNode* agg_node = nullptr;
+  if (node->kind == sql::PlanKind::kAggregate) {
+    agg_node = node;
+    node = node->children.empty() ? nullptr : node->children[0].get();
+    if (node == nullptr) {
+      out.fallback_reason = "aggregate has no input";
+      return out;
+    }
+    if (node->kind == sql::PlanKind::kFilter) {
+      // A Filter squeezed between Aggregate and the core means the planner
+      // could not push every predicate into scans / the join — the shards
+      // cannot evaluate it either.
+      out.fallback_reason = "predicate not pushable to shards";
+      return out;
+    }
+  }
+
+  std::vector<int> serving = ServingDns(cluster);
+  if (serving.empty()) {
+    out.fallback_reason = "no serving data nodes";
+    return out;
+  }
+  DataNode* dn0 = cluster->dn(serving[0]);
+
+  // Lower one logical Scan leaf to a DistScan, choosing the scan path from
+  // columnar registration + filter recognizability, and stamping the
+  // planner's byte estimate for EXPLAIN.
+  auto lower_scan = [&](const sql::PlanNode& s,
+                        sql::Schema* schema_out) -> Result<DistOpPtr> {
+    if (!s.alias.empty()) {
+      return Status::InvalidArgument("aliased scans run single-node");
+    }
+    auto t = dn0->GetTable(s.table_name);
+    if (!t.ok()) {
+      return Status::InvalidArgument("table not sharded on the cluster: " +
+                                     s.table_name);
+    }
+    *schema_out = (*t)->schema();
+    if (s.predicate && !BindsOn(s.predicate, *schema_out)) {
+      return Status::InvalidArgument(
+          "scan predicate does not bind on the shard schema");
+    }
+    ScanPath path = ScanPath::kRow;
+    if (options.use_columnar && cluster->IsColumnar(s.table_name) &&
+        RecognizeFilter(s.predicate).has_value()) {
+      path = ScanPath::kColumnar;
+    }
+    DistOpPtr scan = MakeDistScan(
+        s.table_name, s.predicate ? s.predicate->Clone() : nullptr, path);
+    if (stats != nullptr) {
+      if (const auto* ts = stats->Get(s.table_name)) {
+        scan->est_bytes = ts->EstimatedBytes();
+      }
+    }
+    return scan;
+  };
+
+  // Lower the core: a single table scan, or an inner equi-join of two scans.
+  DistOpPtr core;
+  sql::Schema core_schema;
+  if (node->kind == sql::PlanKind::kScan) {
+    auto scan = lower_scan(*node, &core_schema);
+    if (!scan.ok()) {
+      out.fallback_reason = scan.status().message();
+      return out;
+    }
+    core = std::move(*scan);
+  } else if (node->kind == sql::PlanKind::kJoin) {
+    if (node->join_type != sql::JoinType::kInner) {
+      out.fallback_reason = "only inner joins run distributed";
+      return out;
+    }
+    if (node->children.size() != 2 ||
+        node->children[0]->kind != sql::PlanKind::kScan ||
+        node->children[1]->kind != sql::PlanKind::kScan) {
+      out.fallback_reason = "multi-way joins run single-node";
+      return out;
+    }
+    sql::Schema left_schema, right_schema;
+    auto left = lower_scan(*node->children[0], &left_schema);
+    if (!left.ok()) {
+      out.fallback_reason = left.status().message();
+      return out;
+    }
+    auto right = lower_scan(*node->children[1], &right_schema);
+    if (!right.ok()) {
+      out.fallback_reason = right.status().message();
+      return out;
+    }
+    // Split the join predicate: the first equi conjunct becomes the hash
+    // key; everything else is the residual, evaluated on the joined row.
+    std::vector<sql::ExprPtr> conjuncts;
+    sql::SplitConjuncts(node->predicate, &conjuncts);
+    std::string left_key, right_key;
+    std::vector<sql::ExprPtr> residual_parts;
+    bool found_equi = false;
+    for (auto& c : conjuncts) {
+      std::string lc, rc;
+      if (!found_equi &&
+          sql::IsEquiJoinPredicate(*c, left_schema, right_schema, &lc, &rc)) {
+        found_equi = true;
+        left_key = lc;
+        right_key = rc;
+      } else {
+        residual_parts.push_back(std::move(c));
+      }
+    }
+    if (!found_equi) {
+      out.fallback_reason = "join has no equi-join conjunct";
+      return out;
+    }
+    sql::ExprPtr residual = sql::ConjoinAll(residual_parts);
+    core_schema = left_schema.Concat(right_schema);
+    if (residual && !BindsOn(residual, core_schema)) {
+      out.fallback_reason = "join residual does not bind on the joined schema";
+      return out;
+    }
+    // Exchange annotation + join strategy: resolvable at plan time only
+    // when both relations have statistics (the executor falls back to the
+    // actual scanned sizes otherwise, which EXPLAIN reports as auto).
+    JoinStrategy strategy = JoinStrategy::kAuto;
+    DistOpPtr left_in = std::move(*left);
+    DistOpPtr right_in = std::move(*right);
+    const auto* lstats = stats != nullptr ? stats->Get(node->children[0]->table_name) : nullptr;
+    const auto* rstats = stats != nullptr ? stats->Get(node->children[1]->table_name) : nullptr;
+    if (lstats != nullptr && rstats != nullptr) {
+      const double est_l = lstats->EstimatedBytes();
+      const double est_r = rstats->EstimatedBytes();
+      const int n = static_cast<int>(serving.size());
+      const double cost_broadcast = std::min(est_l, est_r) * (n - 1);
+      const double cost_repartition =
+          (est_l + est_r) * static_cast<double>(n - 1) / std::max(n, 1);
+      strategy = cost_broadcast <= cost_repartition ? JoinStrategy::kBroadcast
+                                                    : JoinStrategy::kRepartition;
+      if (strategy == JoinStrategy::kBroadcast) {
+        const bool broadcast_left = est_l <= est_r;
+        left_in = broadcast_left
+                      ? MakeDistExchange(std::move(left_in),
+                                         ExchangeMode::kBroadcast)
+                      : MakeDistExchange(std::move(left_in), ExchangeMode::kNone);
+        right_in = broadcast_left
+                       ? MakeDistExchange(std::move(right_in),
+                                          ExchangeMode::kNone)
+                       : MakeDistExchange(std::move(right_in),
+                                          ExchangeMode::kBroadcast);
+      } else {
+        left_in = MakeDistExchange(std::move(left_in), ExchangeMode::kShuffle,
+                                   left_key);
+        right_in = MakeDistExchange(std::move(right_in), ExchangeMode::kShuffle,
+                                    right_key);
+      }
+    }
+    core = MakeDistHashJoin(std::move(left_in), std::move(right_in),
+                            std::move(left_key), std::move(right_key),
+                            residual ? residual->Clone() : nullptr, strategy);
+    if (lstats != nullptr || rstats != nullptr) {
+      core->est_bytes = (lstats != nullptr ? lstats->EstimatedBytes() : 0) +
+                        (rstats != nullptr ? rstats->EstimatedBytes() : 0);
+    }
+  } else {
+    out.fallback_reason = "unsupported plan shape below the aggregate";
+    return out;
+  }
+
+  // Lower the aggregate, if any. The shards compute partials and the CN
+  // merges them, so every aggregate argument must be a plain column the
+  // shard schema can resolve, and the output names must match what the
+  // single-node executor would produce (bare group names).
+  if (agg_node != nullptr) {
+    std::vector<DistributedAgg> dist_aggs;
+    for (const auto& g : agg_node->group_by) {
+      if (BareName(g) != g) {
+        out.fallback_reason = "qualified GROUP BY keys run single-node";
+        return out;
+      }
+      if (!core_schema.IndexOf(g).ok()) {
+        out.fallback_reason = "GROUP BY key not resolvable on shards: " + g;
+        return out;
+      }
+    }
+    for (const auto& a : agg_node->aggregates) {
+      DistributedAgg da;
+      da.func = a.func;
+      da.name = a.name;
+      if (a.arg == nullptr) {
+        if (a.func != sql::AggFunc::kCount) {
+          out.fallback_reason = "aggregate with no argument";
+          return out;
+        }
+      } else {
+        if (a.arg->kind() != sql::ExprKind::kColumn) {
+          out.fallback_reason =
+              "aggregate over an expression runs single-node";
+          return out;
+        }
+        da.column = a.arg->column_name();
+        if (!core_schema.IndexOf(da.column).ok()) {
+          out.fallback_reason =
+              "aggregate argument not resolvable on shards: " + da.column;
+          return out;
+        }
+      }
+      dist_aggs.push_back(std::move(da));
+    }
+    auto names = GroupOutputNames(agg_node->group_by, dist_aggs);
+    if (!names.ok()) {
+      out.fallback_reason = names.status().message();
+      return out;
+    }
+    out.root = MakeDistFinalAgg(
+        MakeGather(MakeDistPartialAgg(std::move(core), agg_node->group_by,
+                                      dist_aggs),
+                   /*gather_rows=*/false),
+        agg_node->group_by, dist_aggs);
+    out.cut = agg_node;
+  } else {
+    out.root = MakeGather(std::move(core), /*gather_rows=*/true);
+    out.cut = node;
+  }
+  return out;
+}
+
+}  // namespace ofi::cluster

@@ -1,0 +1,215 @@
+/// \file distributed_plan.h
+/// \brief The distributed physical-operator layer (paper Fig. 1: the CN
+/// "plans SQL and executes it across data nodes"). What used to be two
+/// monolithic entry points (DistributedAggregate / DistributedJoin in
+/// mpp_query.cc) is decomposed into composable physical operators:
+///
+///   DistScan       per-DN shard scan (row store or columnar kernels) with
+///                  the filter pushed below any data movement
+///   DistExchange   shuffle / broadcast annotation on a join input (the
+///                  data movement itself is executed cooperatively by the
+///                  consuming join, because both relations' traffic shares
+///                  each DN's serialized resource in one exchange step)
+///   DistHashJoin   per-DN src/sql hash join over local + exchanged rows
+///   DistPartialAgg per-DN partial aggregation, fused into its child
+///                  fragment's statement (scan+agg or join+agg is one
+///                  statement on the DN, matching the monolith's accounting)
+///   Gather         CN-side union of per-DN partials in DN order
+///   DistFinalAgg   CN-side final aggregation (COUNT->sum of counts,
+///                  AVG->sum/count division) over the gathered partials
+///
+/// Each operator carries its own data-movement and max-over-DNs simulated
+/// latency accounting; executing the tree a shim builds reproduces the old
+/// DistributedResult / DistributedJoinResult numbers bit-identically (the
+/// SimScheduler's gap-fitting Charge is order-independent across distinct
+/// resources, so the per-DN arrival chaining is the only thing that
+/// matters, and the fragment executor preserves it: prepare -> scan
+/// stmt(s) -> exchange -> join stmt per DN).
+///
+/// On top sits a lowering pass (LowerSelectPlan) from the sql::PlanSelect
+/// logical plan to a distributed physical plan — columnar vs row scan from
+/// Cluster columnar registration + filter recognizability, broadcast vs
+/// repartition from StatsRegistry::EstimatedBytes — with a clean
+/// single-node fallback (outer joins, set ops, expressions the cluster
+/// cannot run). Plan nodes above the distributable core (Project / Sort /
+/// Limit / HAVING filters) are re-executed CN-side on the gathered result.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/mpp_query.h"
+#include "sql/plan.h"
+
+namespace ofi::cluster {
+
+enum class DistOpKind : uint8_t {
+  kDistScan,
+  kDistExchange,
+  kDistHashJoin,
+  kDistPartialAgg,
+  kDistFinalAgg,
+  kGather,
+};
+
+/// Planner's scan-path choice. kColumnar means "serve from the columnar
+/// copy where possible": the executor still re-checks filter
+/// recognizability and per-shard freshness at run time and falls back to
+/// the row store per shard (results are identical either way).
+enum class ScanPath : uint8_t { kRow, kColumnar };
+
+/// Data-movement annotation on a join input. kNone = the relation stays
+/// put (the other side broadcasts). Executed by the consuming join.
+enum class ExchangeMode : uint8_t { kNone, kBroadcast, kShuffle };
+
+struct DistOp;
+using DistOpPtr = std::shared_ptr<DistOp>;
+
+/// \brief One node of a distributed physical plan.
+struct DistOp {
+  DistOpKind kind = DistOpKind::kDistScan;
+  std::vector<DistOpPtr> children;
+
+  // kDistScan
+  std::string table;
+  sql::ExprPtr filter;  // pushed below the exchange; owned by this plan
+  ScanPath path = ScanPath::kRow;
+
+  // kDistExchange
+  ExchangeMode mode = ExchangeMode::kNone;
+  std::string partition_key;  // shuffle only
+
+  // kDistHashJoin
+  std::string left_key, right_key;
+  sql::ExprPtr residual;  // evaluated on the joined row
+  /// kAuto = resolve at execution from stats (or actual scanned bytes).
+  JoinStrategy strategy = JoinStrategy::kAuto;
+
+  // kDistPartialAgg / kDistFinalAgg
+  std::vector<std::string> group_by;
+  std::vector<DistributedAgg> aggs;
+
+  // kGather
+  /// True when row-shaped state (join/scan output) is gathered: the CN
+  /// pays a size-aware receive on top of the per-partial merge cost.
+  bool gather_rows = false;
+
+  /// Planner-estimated relation bytes (EXPLAIN); -1 = not estimated.
+  double est_bytes = -1;
+
+  /// Physical-tree rendering for EXPLAIN (same indent style as
+  /// sql::PlanNode::ToString).
+  std::string ToString(int indent = 0) const;
+};
+
+// --- Builder helpers ---------------------------------------------------------
+DistOpPtr MakeDistScan(std::string table, sql::ExprPtr filter,
+                       ScanPath path = ScanPath::kRow);
+DistOpPtr MakeDistExchange(DistOpPtr child, ExchangeMode mode,
+                           std::string partition_key = "");
+DistOpPtr MakeDistHashJoin(DistOpPtr left, DistOpPtr right,
+                           std::string left_key, std::string right_key,
+                           sql::ExprPtr residual,
+                           JoinStrategy strategy = JoinStrategy::kAuto);
+DistOpPtr MakeDistPartialAgg(DistOpPtr child,
+                             std::vector<std::string> group_by,
+                             std::vector<DistributedAgg> aggs);
+DistOpPtr MakeDistFinalAgg(DistOpPtr child, std::vector<std::string> group_by,
+                           std::vector<DistributedAgg> aggs);
+DistOpPtr MakeGather(DistOpPtr child, bool gather_rows);
+
+// --- Execution ---------------------------------------------------------------
+
+/// Knobs for executing a distributed physical plan (the union of the old
+/// DistributedOptions and DistributedJoinOptions knobs).
+struct DistExecOptions {
+  bool parallel = true;
+  common::ThreadPool* pool = nullptr;
+  bool use_columnar = true;
+  /// Morsel-parallel columnar shard scans. Only valid with parallel ==
+  /// false (pool workers must not nest ParallelFor); the combination with
+  /// parallel == true is rejected with InvalidArgument.
+  bool columnar_morsel_parallel = false;
+  size_t batch_rows = 64;
+  /// Per-exchange-channel queued-byte limit; 0 = unbounded. Exceeding it
+  /// fails the query with ResourceExhausted (see exchange.h).
+  size_t max_channel_bytes = 0;
+  /// Stats for the kAuto broadcast-vs-repartition decision; null falls
+  /// back to actual scanned encoded sizes.
+  const optimizer::StatsRegistry* stats = nullptr;
+  /// Forced join strategy; kAuto defers to the plan node, then to cost.
+  JoinStrategy strategy_override = JoinStrategy::kAuto;
+};
+
+/// Accounting produced by one distributed plan execution — the union of
+/// the DistributedResult and DistributedJoinResult number sets, filled in
+/// by whichever operators ran.
+struct DistExecStats {
+  SimTime sim_latency_us = 0;
+  SimTime sim_latency_serial_us = 0;
+  int num_serving = 0;
+  // Aggregate-path accounting.
+  size_t partial_bytes = 0;
+  size_t naive_bytes = 0;
+  size_t columnar_shards = 0;
+  storage::ScanStats scan_stats;
+  // Join-path accounting.
+  bool joined = false;
+  JoinStrategy strategy = JoinStrategy::kBroadcast;
+  bool broadcast_left = false;
+  size_t shuffle_bytes = 0;
+  size_t broadcast_bytes = 0;
+  size_t result_bytes = 0;
+  size_t exchange_batches = 0;
+  std::vector<exchange::ChannelStats> channels;
+};
+
+struct DistPlanResult {
+  sql::Table table;
+  DistExecStats stats;
+};
+
+/// Executes a distributed physical plan on the cluster inside one
+/// multi-shard snapshot. The root must be a Gather, optionally under a
+/// DistFinalAgg. Replays the monolithic entry points' exact simulated
+/// charge sequences, so a plan built by the DistributedAggregate /
+/// DistributedJoin shims reproduces their historical numbers.
+Result<DistPlanResult> ExecuteDistPlan(Cluster* cluster, const DistOpPtr& root,
+                                       const DistExecOptions& options = {});
+
+// --- Lowering (sql::PlanSelect logical plan -> distributed physical plan) ----
+
+/// Outcome of trying to lower a logical plan. `root == nullptr` means the
+/// shape cannot run distributed; `fallback_reason` says why. `cut` is the
+/// logical node the distributed plan replaces and `cn_post` the ancestors
+/// above it (outermost first) the CN re-executes over the gathered result;
+/// both point into the logical tree passed in, which must outlive them.
+struct DistLowering {
+  DistOpPtr root;
+  std::string fallback_reason;
+  const sql::PlanNode* cut = nullptr;
+  std::vector<const sql::PlanNode*> cn_post;
+
+  bool ok() const { return root != nullptr; }
+};
+
+/// Lowers a planned SELECT onto the cluster. Distributable cores: a single
+/// table scan, an inner equi-join of two table scans, or either under an
+/// aggregate whose arguments are plain columns. Everything else (outer /
+/// semi joins, multi-way joins, set ops / DISTINCT, aliased scans,
+/// non-column aggregate arguments, predicates that do not bind against the
+/// shard schemas) falls back single-node with a reason.
+DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
+                             const optimizer::StatsRegistry* stats,
+                             const DistExecOptions& options = {});
+
+/// The nodes serving data, one entry per live serving node (after failover
+/// the promoted backup hosts the failed primary's rows in its own MVCC
+/// tables, so scanning each serving node once covers every shard once).
+std::vector<int> ServingDns(Cluster* cluster);
+
+const char* ToString(JoinStrategy s);
+const char* ToString(ScanPath p);
+
+}  // namespace ofi::cluster

@@ -248,12 +248,15 @@ uint64_t HashForPartition(const Value& v) {
   return f.h;
 }
 
-void ExchangeNetwork::SendRows(int src, int dst, const std::vector<Row>& rows) {
+Status ExchangeNetwork::SendRows(int src, int dst,
+                                 const std::vector<Row>& rows) {
   ExchangeChannel& ch = channel(src, dst);
   for (size_t begin = 0; begin < rows.size(); begin += batch_rows_) {
     size_t end = std::min(begin + batch_rows_, rows.size());
-    ch.Send(EncodeBatch(rows, begin, end));
+    OFI_RETURN_NOT_OK(ch.Send(EncodeBatch(rows, begin, end),
+                              max_channel_bytes_));
   }
+  return Status::OK();
 }
 
 Result<std::vector<Row>> ExchangeNetwork::ReceiveRows(int dst) {
@@ -332,8 +335,14 @@ size_t ExchangeNetwork::InBatches(int dst) const {
   return n;
 }
 
-void ShufflePartition(ExchangeNetwork* net, int src,
-                      const std::vector<Row>& rows, size_t key_idx) {
+size_t ExchangeNetwork::DeniedBytes() const {
+  size_t n = 0;
+  for (const auto& ch : channels_) n += ch.denied_bytes();
+  return n;
+}
+
+Status ShufflePartition(ExchangeNetwork* net, int src,
+                        const std::vector<Row>& rows, size_t key_idx) {
   const int n = net->num_nodes();
   std::vector<std::vector<Row>> parts(static_cast<size_t>(n));
   for (const auto& row : rows) {
@@ -342,14 +351,17 @@ void ShufflePartition(ExchangeNetwork* net, int src,
     parts[static_cast<size_t>(dst)].push_back(row);
   }
   for (int dst = 0; dst < n; ++dst) {
-    net->SendRows(src, dst, parts[static_cast<size_t>(dst)]);
+    OFI_RETURN_NOT_OK(net->SendRows(src, dst, parts[static_cast<size_t>(dst)]));
   }
+  return Status::OK();
 }
 
-void BroadcastRows(ExchangeNetwork* net, int src, const std::vector<Row>& rows) {
+Status BroadcastRows(ExchangeNetwork* net, int src,
+                     const std::vector<Row>& rows) {
   for (int dst = 0; dst < net->num_nodes(); ++dst) {
-    net->SendRows(src, dst, rows);
+    OFI_RETURN_NOT_OK(net->SendRows(src, dst, rows));
   }
+  return Status::OK();
 }
 
 SimTime ExchangeServiceTime(size_t bytes, size_t batches,

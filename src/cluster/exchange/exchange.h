@@ -85,13 +85,27 @@ struct ChannelStats {
 
 /// \brief One directed src->dst mailbox carrying serialized batches.
 /// Thread-safe: senders run on thread-pool workers. Order-preserving.
+/// Queued (undrained) bytes can be capped: a Send that would exceed
+/// `max_bytes` is denied with ResourceExhausted instead of growing the
+/// queue without bound, and the denied payload is counted for metrics.
 class ExchangeChannel {
  public:
-  void Send(std::string batch) {
+  /// `max_bytes` caps the bytes queued (sent, not yet drained) in this
+  /// channel; 0 = unbounded (the historical behavior).
+  Status Send(std::string batch, size_t max_bytes = 0) {
     std::lock_guard lock(mu_);
+    if (max_bytes != 0 && queued_bytes_ + batch.size() > max_bytes) {
+      denied_bytes_ += batch.size();
+      return Status::ResourceExhausted(
+          "exchange channel over byte limit: " +
+          std::to_string(queued_bytes_ + batch.size()) + " > " +
+          std::to_string(max_bytes));
+    }
     bytes_ += batch.size();
+    queued_bytes_ += batch.size();
     ++batches_;
     queue_.push_back(std::move(batch));
+    return Status::OK();
   }
 
   /// Removes and returns every queued batch in send order.
@@ -99,6 +113,7 @@ class ExchangeChannel {
     std::lock_guard lock(mu_);
     std::vector<std::string> out;
     out.swap(queue_);
+    queued_bytes_ = 0;
     return out;
   }
 
@@ -110,12 +125,22 @@ class ExchangeChannel {
     std::lock_guard lock(mu_);
     return batches_;
   }
+  size_t queued_bytes() const {
+    std::lock_guard lock(mu_);
+    return queued_bytes_;
+  }
+  size_t denied_bytes() const {
+    std::lock_guard lock(mu_);
+    return denied_bytes_;
+  }
 
  private:
   mutable std::mutex mu_;
   std::vector<std::string> queue_;
   size_t bytes_ = 0;    // lifetime total, not decremented by Drain
   size_t batches_ = 0;
+  size_t queued_bytes_ = 0;  // currently enqueued; Drain resets to 0
+  size_t denied_bytes_ = 0;  // payload refused by the byte limit
 };
 
 /// \brief The all-to-all mailbox grid for one exchange step: num_nodes^2
@@ -125,13 +150,18 @@ class ExchangeChannel {
 /// matching a real DN keeping its own partition in memory.
 class ExchangeNetwork {
  public:
-  explicit ExchangeNetwork(int num_nodes, size_t batch_rows = 64)
+  /// `max_channel_bytes` caps each channel's queued bytes (0 = unbounded);
+  /// see ExchangeChannel::Send.
+  explicit ExchangeNetwork(int num_nodes, size_t batch_rows = 64,
+                           size_t max_channel_bytes = 0)
       : n_(num_nodes),
         batch_rows_(batch_rows == 0 ? 1 : batch_rows),
+        max_channel_bytes_(max_channel_bytes),
         channels_(static_cast<size_t>(num_nodes) * num_nodes) {}
 
   int num_nodes() const { return n_; }
   size_t batch_rows() const { return batch_rows_; }
+  size_t max_channel_bytes() const { return max_channel_bytes_; }
 
   ExchangeChannel& channel(int src, int dst) {
     return channels_[static_cast<size_t>(src) * n_ + dst];
@@ -141,8 +171,9 @@ class ExchangeNetwork {
   }
 
   /// Encodes `rows` into batches of at most batch_rows() and sends them
-  /// src -> dst. Safe to call concurrently for distinct `src`.
-  void SendRows(int src, int dst, const std::vector<sql::Row>& rows);
+  /// src -> dst. Safe to call concurrently for distinct `src`. Fails with
+  /// ResourceExhausted when the channel byte limit would be exceeded.
+  Status SendRows(int src, int dst, const std::vector<sql::Row>& rows);
 
   /// Drains and decodes everything addressed to `dst`, concatenated in
   /// source-node order (deterministic receive order).
@@ -159,10 +190,13 @@ class ExchangeNetwork {
   size_t OutBatches(int src) const;
   size_t InBytes(int dst) const;
   size_t InBatches(int dst) const;
+  /// Total payload denied across every channel by the byte limit.
+  size_t DeniedBytes() const;
 
  private:
   int n_;
   size_t batch_rows_;
+  size_t max_channel_bytes_;
   std::vector<ExchangeChannel> channels_;  // row-major [src][dst]
 };
 
@@ -172,14 +206,16 @@ class ExchangeNetwork {
 /// num_nodes and sends each partition from `src` to its owning node,
 /// preserving relative row order within each partition. Rows with NULL keys
 /// are routed like any other value (an inner join drops them at the probe).
-void ShufflePartition(ExchangeNetwork* net, int src,
-                      const std::vector<sql::Row>& rows, size_t key_idx);
+/// ResourceExhausted when a channel byte limit denies a batch.
+Status ShufflePartition(ExchangeNetwork* net, int src,
+                        const std::vector<sql::Row>& rows, size_t key_idx);
 
 /// Broadcast: sends every row from `src` to every node (including the
 /// loopback copy to itself, so receivers assemble the full relation from
-/// channels alone).
-void BroadcastRows(ExchangeNetwork* net, int src,
-                   const std::vector<sql::Row>& rows);
+/// channels alone). ResourceExhausted when a channel byte limit denies a
+/// batch.
+Status BroadcastRows(ExchangeNetwork* net, int src,
+                     const std::vector<sql::Row>& rows);
 
 // --- Simulated latency -------------------------------------------------------
 

@@ -1,883 +1,89 @@
+/// \file mpp_query.cc
+/// \brief Compatibility shims: the historical DistributedAggregate /
+/// DistributedJoin entry points, now expressed as tiny distributed physical
+/// plans executed by cluster/distributed_plan. The operator layer replays
+/// the monoliths' exact simulated charge sequences, so every number these
+/// shims return (latencies included) is bit-identical to the old inline
+/// implementations.
 #include "cluster/mpp_query.h"
 
-#include <algorithm>
-#include <map>
-
-#include "sql/executor.h"
+#include "cluster/distributed_plan.h"
 
 namespace ofi::cluster {
-namespace {
-
-using sql::AggFunc;
-using sql::AggSpec;
-using sql::Column;
-using sql::Expr;
-using sql::Row;
-using sql::Table;
-using sql::TypeId;
-using sql::Value;
-
-/// The partial aggregates one requested aggregate decomposes into, and how
-/// the final stage merges them.
-struct PartialPlan {
-  std::vector<AggSpec> partial;  // computed per shard
-  // Final-stage spec over the unioned partials; AVG needs a post-division.
-  std::vector<AggSpec> final_specs;
-  bool is_avg = false;
-  std::string sum_name, count_name;  // for AVG
-};
-
-PartialPlan DecomposeAgg(const DistributedAgg& agg) {
-  PartialPlan plan;
-  switch (agg.func) {
-    case AggFunc::kCount:
-      plan.partial = {AggSpec{AggFunc::kCount,
-                              agg.column.empty() ? nullptr
-                                                 : Expr::ColumnRef(agg.column),
-                              agg.name}};
-      // Final: COUNT partials SUM together.
-      plan.final_specs = {
-          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.name), agg.name}};
-      break;
-    case AggFunc::kSum:
-    case AggFunc::kMin:
-    case AggFunc::kMax:
-      plan.partial = {AggSpec{agg.func, Expr::ColumnRef(agg.column), agg.name}};
-      plan.final_specs = {
-          AggSpec{agg.func == AggFunc::kSum ? AggFunc::kSum : agg.func,
-                  Expr::ColumnRef(agg.name), agg.name}};
-      break;
-    case AggFunc::kAvg:
-      // AVG decomposes into (SUM, COUNT); the CN divides at the end.
-      plan.is_avg = true;
-      plan.sum_name = agg.name + "$sum";
-      plan.count_name = agg.name + "$cnt";
-      plan.partial = {
-          AggSpec{AggFunc::kSum, Expr::ColumnRef(agg.column), plan.sum_name},
-          AggSpec{AggFunc::kCount, Expr::ColumnRef(agg.column), plan.count_name}};
-      plan.final_specs = {
-          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.sum_name), plan.sum_name},
-          AggSpec{AggFunc::kSum, Expr::ColumnRef(plan.count_name),
-                  plan.count_name}};
-      break;
-  }
-  return plan;
-}
-
-size_t TableBytes(const Table& t) {
-  size_t n = 0;
-  for (const auto& row : t.rows()) n += sql::RowByteSize(row);
-  return n;
-}
-
-std::string BareName(const std::string& qualified) {
-  auto dot = qualified.rfind('.');
-  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
-}
-
-/// Output column names for the group-by keys. A bare name is used only when
-/// it stays unambiguous across every output column; `GROUP BY a.x, b.x`
-/// keeps the qualified names (both stripping to `x` would collide in the
-/// projected schema). Returns InvalidArgument if names collide even
-/// qualified.
-Result<std::vector<std::string>> GroupOutputNames(
-    const std::vector<std::string>& group_by,
-    const std::vector<DistributedAgg>& aggs) {
-  std::map<std::string, int> bare_uses;
-  for (const auto& g : group_by) ++bare_uses[BareName(g)];
-  for (const auto& a : aggs) ++bare_uses[a.name];
-
-  std::vector<std::string> names;
-  names.reserve(group_by.size());
-  for (const auto& g : group_by) {
-    const std::string bare = BareName(g);
-    names.push_back(bare_uses[bare] > 1 ? g : bare);
-  }
-
-  std::map<std::string, int> final_uses;
-  for (const auto& n : names) ++final_uses[n];
-  for (const auto& a : aggs) ++final_uses[a.name];
-  for (const auto& [name, uses] : final_uses) {
-    if (uses > 1) {
-      return Status::InvalidArgument("ambiguous output column: " + name);
-    }
-  }
-  return names;
-}
-
-/// One shard's scatter output, filled in by a pool worker.
-struct ShardPartial {
-  Status status = Status::OK();
-  Table partial;
-  size_t partial_bytes = 0;
-  size_t naive_bytes = 0;
-  bool columnar = false;
-  storage::ScanStats stats;  // columnar shards only
-};
-
-// --- Columnar scan path (storage/column_store) -------------------------------
-
-/// A filter the columnar kernels evaluate natively: TRUE, one inclusive
-/// int64 range on a column, or one string equality. Comparison predicates
-/// lower onto the range with saturated bounds, and And() of ranges on the
-/// same column intersects. Anything else falls back to the row store.
-struct ColumnarPredicate {
-  enum class Kind { kAll, kIntRange, kStringEq };
-  Kind kind = Kind::kAll;
-  std::string column;
-  int64_t lo = std::numeric_limits<int64_t>::min();
-  int64_t hi = std::numeric_limits<int64_t>::max();
-  std::string needle;
-  /// Statically unsatisfiable (x > INT64_MAX, or an empty intersection):
-  /// the scan short-circuits to an empty selection.
-  bool never = false;
-};
-
-std::optional<ColumnarPredicate> RecognizeExpr(const Expr& e) {
-  if (e.kind() == sql::ExprKind::kCompare) {
-    if (e.children().size() != 2) return std::nullopt;
-    const Expr& l = *e.children()[0];
-    const Expr& r = *e.children()[1];
-    if (l.kind() != sql::ExprKind::kColumn || r.kind() != sql::ExprKind::kLiteral) {
-      return std::nullopt;
-    }
-    const Value& lit = r.literal();
-    ColumnarPredicate p;
-    p.column = l.column_name();
-    if (lit.type() == TypeId::kString && e.compare_op() == sql::CompareOp::kEq) {
-      p.kind = ColumnarPredicate::Kind::kStringEq;
-      p.needle = lit.AsString();
-      return p;
-    }
-    if (lit.type() != TypeId::kInt64) return std::nullopt;
-    const int64_t v = lit.AsInt();
-    p.kind = ColumnarPredicate::Kind::kIntRange;
-    switch (e.compare_op()) {
-      case sql::CompareOp::kEq:
-        p.lo = p.hi = v;
-        break;
-      case sql::CompareOp::kGt:
-        if (v == std::numeric_limits<int64_t>::max()) p.never = true;
-        else p.lo = v + 1;
-        break;
-      case sql::CompareOp::kGe:
-        p.lo = v;
-        break;
-      case sql::CompareOp::kLt:
-        if (v == std::numeric_limits<int64_t>::min()) p.never = true;
-        else p.hi = v - 1;
-        break;
-      case sql::CompareOp::kLe:
-        p.hi = v;
-        break;
-      default:
-        return std::nullopt;  // <> needs NULL-aware decode; not worth it
-    }
-    return p;
-  }
-  if (e.kind() == sql::ExprKind::kLogical &&
-      e.logical_op() == sql::LogicalOp::kAnd && e.children().size() == 2) {
-    auto a = RecognizeExpr(*e.children()[0]);
-    auto b = RecognizeExpr(*e.children()[1]);
-    if (!a || !b || a->kind != ColumnarPredicate::Kind::kIntRange ||
-        b->kind != ColumnarPredicate::Kind::kIntRange || a->column != b->column) {
-      return std::nullopt;
-    }
-    a->lo = std::max(a->lo, b->lo);
-    a->hi = std::min(a->hi, b->hi);
-    a->never = a->never || b->never || a->lo > a->hi;
-    return a;
-  }
-  return std::nullopt;
-}
-
-/// nullopt = filter not columnar-evaluable (row fallback for the query).
-std::optional<ColumnarPredicate> RecognizeFilter(const sql::ExprPtr& filter) {
-  if (!filter) return ColumnarPredicate{};  // kAll
-  return RecognizeExpr(*filter);
-}
-
-/// True when every partial aggregate can run as a pure column kernel:
-/// global aggregation (no GROUP BY) of COUNT(*)/COUNT/SUM/MIN/MAX over
-/// columns typed exactly kInt64 (timestamps/doubles would change the
-/// executor's output value types). AVG qualifies via its SUM+COUNT split.
-bool KernelAggsSupported(const std::vector<std::string>& group_by,
-                         const std::vector<PartialPlan>& plans,
-                         const sql::Schema& schema) {
-  if (!group_by.empty()) return false;
-  for (const auto& p : plans) {
-    for (const auto& spec : p.partial) {
-      if (spec.arg == nullptr) continue;  // COUNT(*)
-      if (spec.arg->kind() != sql::ExprKind::kColumn) return false;
-      auto idx = schema.IndexOf(spec.arg->column_name());
-      if (!idx.ok() || schema.column(*idx).type != TypeId::kInt64) return false;
-    }
-  }
-  return true;
-}
-
-/// Runs the recognized filter, returning the selection (nullopt = all rows,
-/// so aggregate kernels can take their zone-map-only fast paths).
-Result<std::optional<std::vector<uint32_t>>> RunColumnarFilter(
-    const storage::ColumnTable& ct, const ColumnarPredicate& pred,
-    const storage::ScanOptions& sopts, storage::ScanStats* stats) {
-  if (pred.never) {
-    return std::optional<std::vector<uint32_t>>{std::vector<uint32_t>{}};
-  }
-  switch (pred.kind) {
-    case ColumnarPredicate::Kind::kAll:
-      return std::optional<std::vector<uint32_t>>{};
-    case ColumnarPredicate::Kind::kIntRange: {
-      OFI_ASSIGN_OR_RETURN(
-          std::vector<uint32_t> sel,
-          ct.FilterBetweenInt64(pred.column, pred.lo, pred.hi, sopts, stats));
-      return std::optional<std::vector<uint32_t>>{std::move(sel)};
-    }
-    case ColumnarPredicate::Kind::kStringEq: {
-      OFI_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
-                           ct.FilterEqString(pred.column, pred.needle, sopts, stats));
-      return std::optional<std::vector<uint32_t>>{std::move(sel)};
-    }
-  }
-  return Status::Internal("unreachable");
-}
-
-/// Pure-kernel partial aggregate: the exact Table the row-path executor
-/// would produce for a global aggregate (COUNT -> kInt64 with 0 on empty,
-/// SUM/MIN/MAX -> the column's type with NULL when nothing contributes),
-/// computed without materializing a single row.
-Result<Table> RunColumnarKernelAgg(const storage::ColumnTable& ct,
-                                   const std::vector<uint32_t>* sel,
-                                   bool never,
-                                   const std::vector<AggSpec>& partial_specs,
-                                   const storage::ScanOptions& sopts,
-                                   storage::ScanStats* stats) {
-  std::vector<Column> cols;
-  Row r;
-  for (const auto& spec : partial_specs) {
-    if (spec.arg == nullptr) {
-      // COUNT(*): rows in the selection; NULLs count too.
-      cols.push_back(Column{spec.name, TypeId::kInt64, ""});
-      int64_t c = sel ? static_cast<int64_t>(sel->size())
-                      : (never ? 0 : static_cast<int64_t>(ct.sealed_rows()));
-      r.push_back(Value(c));
-      continue;
-    }
-    const std::string& col = spec.arg->column_name();
-    switch (spec.func) {
-      case AggFunc::kCount: {
-        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
-        OFI_ASSIGN_OR_RETURN(int64_t c, ct.CountInt64(col, sel, sopts, stats));
-        r.push_back(Value(c));
-        break;
-      }
-      case AggFunc::kSum: {
-        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
-        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> s,
-                             ct.SumInt64(col, sel, sopts, stats));
-        r.push_back(s ? Value(*s) : Value::Null());
-        break;
-      }
-      case AggFunc::kMin: {
-        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
-        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
-                             ct.MinInt64(col, sel, sopts, stats));
-        r.push_back(m ? Value(*m) : Value::Null());
-        break;
-      }
-      case AggFunc::kMax: {
-        cols.push_back(Column{spec.name, TypeId::kInt64, ""});
-        OFI_ASSIGN_OR_RETURN(std::optional<int64_t> m,
-                             ct.MaxInt64(col, sel, sopts, stats));
-        r.push_back(m ? Value(*m) : Value::Null());
-        break;
-      }
-      default:
-        return Status::Internal("non-decomposed aggregate in kernel path");
-    }
-  }
-  Table out{sql::Schema(std::move(cols))};
-  out.mutable_rows().push_back(std::move(r));
-  return out;
-}
-
-/// Distinct chunks containing selected rows — the chunk cost the gather
-/// (materializing) path charges, since it decodes those chunks.
-size_t ChunksTouched(const std::vector<uint32_t>& sel) {
-  size_t touched = 0;
-  size_t last = SIZE_MAX;
-  for (uint32_t r : sel) {
-    size_t c = r / storage::ColumnTable::kChunkRows;
-    if (c != last) {
-      ++touched;
-      last = c;
-    }
-  }
-  return touched;
-}
-
-/// The nodes serving data, one entry per live serving node (after failover
-/// the promoted backup hosts the failed primary's rows in its own MVCC
-/// tables, so scanning each serving node once covers every shard once).
-std::vector<int> ServingDns(Cluster* cluster) {
-  std::vector<int> serving;
-  for (int shard = 0; shard < cluster->num_dns(); ++shard) {
-    int dn = cluster->EffectiveDn(shard);
-    if (std::find(serving.begin(), serving.end(), dn) == serving.end()) {
-      serving.push_back(dn);
-    }
-  }
-  return serving;
-}
-
-/// Dispatches fn(0..n-1) per the parallel/pool options (shared contract
-/// with DistributedAggregate: execution mode never changes results).
-void RunScatter(bool parallel, common::ThreadPool* pool, int n,
-                const std::function<void(int)>& fn) {
-  if (parallel) {
-    (pool ? pool : &common::ThreadPool::Shared())->ParallelFor(n, fn);
-  } else {
-    for (int i = 0; i < n; ++i) fn(i);
-  }
-}
-
-}  // namespace
 
 Result<DistributedResult> DistributedAggregate(
     Cluster* cluster, const std::string& table, sql::ExprPtr filter,
     std::vector<std::string> group_by, std::vector<DistributedAgg> aggs,
     const DistributedOptions& options) {
+  // Scan -> fused partial agg -> gather partials -> final agg at the CN.
+  // The scan path records the caller's intent; the executor still falls
+  // back per shard on staleness or an unrecognizable filter.
+  DistOpPtr plan = MakeDistFinalAgg(
+      MakeGather(MakeDistPartialAgg(
+                     MakeDistScan(table, std::move(filter),
+                                  options.use_columnar ? ScanPath::kColumnar
+                                                       : ScanPath::kRow),
+                     group_by, aggs),
+                 /*gather_rows=*/false),
+      group_by, aggs);
+
+  DistExecOptions eopts;
+  eopts.parallel = options.parallel;
+  eopts.pool = options.pool;
+  eopts.use_columnar = options.use_columnar;
+  eopts.columnar_morsel_parallel = options.columnar_morsel_parallel;
+  OFI_ASSIGN_OR_RETURN(DistPlanResult r, ExecuteDistPlan(cluster, plan, eopts));
+
   DistributedResult out;
-
-  std::vector<PartialPlan> plans;
-  plans.reserve(aggs.size());
-  for (const auto& a : aggs) plans.push_back(DecomposeAgg(a));
-
-  OFI_ASSIGN_OR_RETURN(std::vector<std::string> group_names,
-                       GroupOutputNames(group_by, aggs));
-
-  std::vector<int> serving = ServingDns(cluster);
-  const int num_serving = static_cast<int>(serving.size());
-
-  // One consistent snapshot across every shard.
-  Txn reader = cluster->Begin(TxnScope::kMultiShard);
-
-  std::vector<storage::MvccTable*> shard_tables(serving.size(), nullptr);
-  for (int i = 0; i < num_serving; ++i) {
-    OFI_ASSIGN_OR_RETURN(shard_tables[i],
-                         cluster->dn(serving[i])->GetTable(table));
-  }
-
-  // Columnar eligibility. The filter must be kernel-recognizable (checked
-  // once for the query), and each shard's copy must be fresh: built with no
-  // transaction in flight AND no heap mutation since (the mutation epoch
-  // detects deletes that version counts cannot). Stale shards fall back to
-  // the row store individually — results are identical either way.
-  std::optional<ColumnarPredicate> pred;
-  if (options.use_columnar && cluster->IsColumnar(table)) {
-    pred = RecognizeFilter(filter);
-    if (!pred.has_value()) {
-      cluster->metrics().Add("columnar.fallback_filter");
-    }
-  }
-  std::vector<const DataNode::ColumnarShard*> col_shards(serving.size(), nullptr);
-  bool kernel_path = false;
-  if (pred.has_value()) {
-    kernel_path =
-        KernelAggsSupported(group_by, plans, shard_tables[0]->schema());
-    for (int i = 0; i < num_serving; ++i) {
-      const DataNode::ColumnarShard* shard =
-          cluster->dn(serving[i])->GetColumnarShard(table);
-      if (shard != nullptr && shard->table != nullptr && shard->settled &&
-          shard->heap_epoch == shard_tables[i]->epoch()) {
-        col_shards[i] = shard;
-      } else if (shard != nullptr) {
-        cluster->metrics().Add("columnar.fallback_stale");
-      }
-    }
-  }
-
-  // Scatter, phase 1 (coordinator thread): open every shard context and
-  // charge the simulated fan-out. Every DN receives the request at
-  // scatter_start and performs snapshot-merge + partial scan serialized on
-  // its own resource, so the parallel critical path is the slowest DN; the
-  // old serial model (round trips chained back-to-back) is kept alongside
-  // for comparison. Columnar shards charge per chunk actually scanned, so
-  // their statement cost is only known after phase 2 — record the merge
-  // completion now and charge the scan afterwards (each DN's resource is
-  // independent, so the deferred charge stays deterministic).
-  const SimTime scatter_start = reader.now();
-  SimTime parallel_done = scatter_start;
-  SimTime serial_sum = 0;
-  std::vector<SimTime> merged_at(serving.size(), scatter_start);
-  for (int i = 0; i < num_serving; ++i) {
-    const int dn = serving[i];
-    OFI_ASSIGN_OR_RETURN(merged_at[i], reader.PrepareShard(dn, scatter_start));
-    if (col_shards[i] != nullptr) continue;
-    // The row-path partial scan+aggregate statement.
-    SimTime done = cluster->ChargeDnStmt(dn, merged_at[i]);
-    parallel_done = std::max(parallel_done, done);
-    serial_sum += done - scatter_start;
-  }
-
-  // Scatter, phase 2 (thread pool): per-DN partial aggregation. Row shards
-  // scan the MVCC heap through the executor; columnar shards run the
-  // filter/aggregate kernels over their chunk copy (pure kernels for global
-  // int64 aggregates, else filter + Gather + executor). Workers touch only
-  // read paths plus their own slot; expression trees are cloned per worker
-  // because Bind() caches column indices in place. Morsel parallelism
-  // inside a shard is only enabled for inline scatters — pool workers must
-  // not nest ParallelFor.
-  storage::ScanOptions sopts;
-  sopts.parallel = options.columnar_morsel_parallel && !options.parallel;
-  sopts.pool = options.pool;
-  std::vector<ShardPartial> slots(serving.size());
-  auto run_shard = [&](int i) {
-    const int dn = serving[i];
-    ShardPartial& slot = slots[static_cast<size_t>(i)];
-
-    std::vector<AggSpec> partial_specs;
-    for (const auto& p : plans) {
-      for (const auto& spec : p.partial) {
-        partial_specs.push_back(AggSpec{
-            spec.func, spec.arg ? spec.arg->Clone() : nullptr, spec.name});
-      }
-    }
-
-    if (col_shards[i] != nullptr) {
-      const storage::ColumnTable& ct = *col_shards[i]->table;
-      slot.columnar = true;
-      slot.naive_bytes = ct.PlainBytes();
-      auto sel = RunColumnarFilter(ct, *pred, sopts, &slot.stats);
-      if (!sel.ok()) {
-        slot.status = sel.status();
-        return;
-      }
-      auto compute = [&]() -> Result<Table> {
-        if (kernel_path) {
-          return RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
-                                      pred->never, partial_specs, sopts,
-                                      &slot.stats);
-        }
-        // Gather path: materialize the selection and run the ordinary
-        // partial aggregate (GROUP BY, non-int64 aggregates).
-        std::vector<uint32_t> all;
-        if (!sel->has_value()) {
-          all.resize(ct.sealed_rows());
-          for (uint32_t k = 0; k < all.size(); ++k) all[k] = k;
-        }
-        const std::vector<uint32_t>& s = sel->has_value() ? **sel : all;
-        slot.stats.chunks_scanned += ChunksTouched(s);
-        OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, ct.Gather(s));
-        sql::Catalog shard_catalog;
-        shard_catalog.Register("shard", Table(ct.schema(), std::move(rows)));
-        // Filter already applied by the kernel — scan without it.
-        sql::PlanPtr agg_plan = sql::MakeAggregate(sql::MakeScan("shard"),
-                                                   group_by, partial_specs);
-        sql::Executor exec(&shard_catalog);
-        return exec.Execute(agg_plan);
-      };
-      Result<Table> partial = compute();
-      if (!partial.ok()) {
-        slot.status = partial.status();
-        return;
-      }
-      slot.partial_bytes = TableBytes(*partial);
-      slot.partial = std::move(*partial);
-      return;
-    }
-
-    auto rows = reader.ScanShardPrepared(table, dn);
-    if (!rows.ok()) {
-      slot.status = rows.status();
-      return;
-    }
-    for (const auto& row : *rows) slot.naive_bytes += sql::RowByteSize(row);
-
-    sql::Catalog shard_catalog;
-    shard_catalog.Register(
-        "shard", Table(shard_tables[static_cast<size_t>(i)]->schema(),
-                       std::move(*rows)));
-    sql::PlanPtr scan =
-        sql::MakeScan("shard", filter ? filter->Clone() : nullptr);
-    sql::PlanPtr agg_plan = sql::MakeAggregate(scan, group_by, partial_specs);
-    sql::Executor exec(&shard_catalog);
-    auto partial = exec.Execute(agg_plan);
-    if (!partial.ok()) {
-      slot.status = partial.status();
-      return;
-    }
-    slot.partial_bytes = TableBytes(*partial);
-    slot.partial = std::move(*partial);
-  };
-  RunScatter(options.parallel, options.pool, num_serving, run_shard);
-
-  // Deferred latency for columnar shards: fixed setup + per-chunk service
-  // for chunks actually scanned. Zone-map-pruned chunks cost nothing.
-  for (int i = 0; i < num_serving; ++i) {
-    if (col_shards[i] == nullptr) continue;
-    SimTime done = cluster->ChargeDnColumnarScan(
-        serving[i], merged_at[i], slots[static_cast<size_t>(i)].stats.chunks_scanned);
-    parallel_done = std::max(parallel_done, done);
-    serial_sum += done - scatter_start;
-  }
-  const SimTime gather_cost =
-      static_cast<SimTime>(num_serving) * cluster->latency().cn_gather_service_us;
-  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
-  out.sim_latency_serial_us = serial_sum + gather_cost;
-
-  // Gather: merge partials deterministically in DN order.
-  Table partial_union;
-  bool first_shard = true;
-  for (auto& slot : slots) {
-    OFI_RETURN_NOT_OK(slot.status);
-    out.partial_bytes += slot.partial_bytes;
-    out.naive_bytes += slot.naive_bytes;
-    if (slot.columnar) {
-      ++out.columnar_shards;
-      out.scan_stats.MergeFrom(slot.stats);
-    }
-    if (first_shard) {
-      partial_union = std::move(slot.partial);
-      first_shard = false;
-    } else {
-      for (auto& row : slot.partial.mutable_rows()) {
-        OFI_RETURN_NOT_OK(partial_union.Append(std::move(row)));
-      }
-    }
-  }
-  if (out.columnar_shards > 0) {
-    auto& m = cluster->metrics();
-    m.Add("columnar.scans", static_cast<int64_t>(out.columnar_shards));
-    m.Add("columnar.chunks_scanned",
-          static_cast<int64_t>(out.scan_stats.chunks_scanned));
-    m.Add("columnar.chunks_pruned",
-          static_cast<int64_t>(out.scan_stats.chunks_pruned));
-    m.Add("columnar.rows_filtered",
-          static_cast<int64_t>(out.scan_stats.rows_matched));
-    m.Add("columnar.morsels", static_cast<int64_t>(out.scan_stats.morsels));
-  }
-  // The CN resumes once the last partial has been gathered.
-  reader.AdvanceTo(parallel_done + gather_cost);
-  OFI_RETURN_NOT_OK(reader.Commit());
-
-  // Final aggregation over the partials at the CN.
-  sql::Catalog cn_catalog;
-  cn_catalog.Register("partials", std::move(partial_union));
-  std::vector<AggSpec> final_specs;
-  for (const auto& p : plans) {
-    final_specs.insert(final_specs.end(), p.final_specs.begin(),
-                       p.final_specs.end());
-  }
-  sql::PlanPtr final_plan =
-      sql::MakeAggregate(sql::MakeScan("partials"), group_by, final_specs);
-  sql::Executor cn_exec(&cn_catalog);
-  OFI_ASSIGN_OR_RETURN(Table merged, cn_exec.Execute(final_plan));
-
-  // Project to the requested names/order. AVG's post-division is done here
-  // in code rather than as a `/` expression so the SQL-standard edge case is
-  // explicit: a group whose column was NULL on every shard merges to
-  // COUNT 0 (and SUM NULL) and must yield NULL, not divide by zero.
-  std::vector<Column> out_cols;
-  std::vector<size_t> first_col(aggs.size(), 0);
-  for (size_t gi = 0; gi < group_by.size(); ++gi) {
-    out_cols.push_back(
-        Column{group_names[gi], merged.schema().column(gi).type, ""});
-  }
-  size_t col = group_by.size();
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    first_col[i] = col;
-    if (plans[i].is_avg) {
-      out_cols.push_back(Column{aggs[i].name, TypeId::kDouble, ""});
-      col += 2;  // sum + count
-    } else {
-      out_cols.push_back(
-          Column{aggs[i].name, merged.schema().column(col).type, ""});
-      col += 1;
-    }
-  }
-  Table result{sql::Schema(std::move(out_cols))};
-  for (const auto& row : merged.rows()) {
-    Row r;
-    r.reserve(group_by.size() + aggs.size());
-    for (size_t gi = 0; gi < group_by.size(); ++gi) r.push_back(row[gi]);
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (plans[i].is_avg) {
-        const Value& sum = row[first_col[i]];
-        const Value& count = row[first_col[i] + 1];
-        if (sum.is_null() || count.is_null() || count.AsDouble() == 0) {
-          r.push_back(Value::Null());
-        } else {
-          r.push_back(Value(sum.AsDouble() / count.AsDouble()));
-        }
-      } else {
-        r.push_back(row[first_col[i]]);
-      }
-    }
-    OFI_RETURN_NOT_OK(result.Append(std::move(r)));
-  }
-  out.table = std::move(result);
+  out.table = std::move(r.table);
+  out.partial_bytes = r.stats.partial_bytes;
+  out.naive_bytes = r.stats.naive_bytes;
+  out.sim_latency_us = r.stats.sim_latency_us;
+  out.sim_latency_serial_us = r.stats.sim_latency_serial_us;
+  out.columnar_shards = r.stats.columnar_shards;
+  out.scan_stats = r.stats.scan_stats;
   return out;
 }
 
 Result<DistributedJoinResult> DistributedJoin(
     Cluster* cluster, const DistributedJoinSpec& spec,
     const DistributedJoinOptions& options) {
+  // Two row scans feeding a hash join, gathered as rows. The strategy
+  // stays kAuto in the plan; the caller's choice rides in as the
+  // execution-time override so kAuto keeps resolving from runtime sizes
+  // (this entry point never had plan-time statistics).
+  DistOpPtr plan = MakeGather(
+      MakeDistHashJoin(
+          MakeDistScan(spec.left_table,
+                       spec.left_filter ? spec.left_filter->Clone() : nullptr),
+          MakeDistScan(spec.right_table, spec.right_filter
+                                             ? spec.right_filter->Clone()
+                                             : nullptr),
+          spec.left_key, spec.right_key,
+          spec.residual ? spec.residual->Clone() : nullptr),
+      /*gather_rows=*/true);
+
+  DistExecOptions eopts;
+  eopts.parallel = options.parallel;
+  eopts.pool = options.pool;
+  eopts.batch_rows = options.batch_rows;
+  eopts.max_channel_bytes = options.max_channel_bytes;
+  eopts.stats = options.stats;
+  eopts.strategy_override = options.strategy;
+  OFI_ASSIGN_OR_RETURN(DistPlanResult r, ExecuteDistPlan(cluster, plan, eopts));
+
   DistributedJoinResult out;
-
-  std::vector<int> serving = ServingDns(cluster);
-  const int n = static_cast<int>(serving.size());
-  const size_t batch_rows = options.batch_rows == 0 ? 1 : options.batch_rows;
-
-  // Schemas are identical on every DN; resolve them (and the key columns)
-  // once from the first serving node.
-  OFI_ASSIGN_OR_RETURN(storage::MvccTable * left0,
-                       cluster->dn(serving[0])->GetTable(spec.left_table));
-  OFI_ASSIGN_OR_RETURN(storage::MvccTable * right0,
-                       cluster->dn(serving[0])->GetTable(spec.right_table));
-  const sql::Schema left_schema = left0->schema();
-  const sql::Schema right_schema = right0->schema();
-  OFI_ASSIGN_OR_RETURN(size_t left_key_idx, left_schema.IndexOf(spec.left_key));
-  OFI_ASSIGN_OR_RETURN(size_t right_key_idx,
-                       right_schema.IndexOf(spec.right_key));
-
-  // One consistent snapshot across every shard for BOTH sides of the join.
-  Txn reader = cluster->Begin(TxnScope::kMultiShard);
-
-  // Phase 1 (coordinator): open every shard context and charge the fan-out —
-  // snapshot merge plus one scan statement per side. Every DN receives the
-  // request at scatter_start and works on its own serialized resource.
-  const SimTime scatter_start = reader.now();
-  std::vector<SimTime> scan_done(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const int dn = serving[i];
-    OFI_ASSIGN_OR_RETURN(SimTime merged_at,
-                         reader.PrepareShard(dn, scatter_start));
-    SimTime t = cluster->ChargeDnStmt(dn, merged_at);   // scan left shard
-    scan_done[static_cast<size_t>(i)] = cluster->ChargeDnStmt(dn, t);  // right
-  }
-
-  // Phase 2 (thread pool): per-DN visible scan + filter of both sides.
-  struct ShardInput {
-    Status status = Status::OK();
-    std::vector<Row> left, right;
-  };
-  std::vector<ShardInput> inputs(static_cast<size_t>(n));
-  auto scan_side = [&](int dn, const std::string& table,
-                       const sql::ExprPtr& filter, const sql::Schema& schema,
-                       std::vector<Row>* rows_out) -> Status {
-    OFI_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                         reader.ScanShardPrepared(table, dn));
-    if (filter) {
-      // Cloned per worker: Bind() caches column indices in place.
-      sql::ExprPtr f = filter->Clone();
-      OFI_RETURN_NOT_OK(f->Bind(schema));
-      std::vector<Row> kept;
-      kept.reserve(rows.size());
-      for (auto& row : rows) {
-        Value v = f->Eval(row);
-        if (!v.is_null() && v.AsBool()) kept.push_back(std::move(row));
-      }
-      rows = std::move(kept);
-    }
-    *rows_out = std::move(rows);
-    return Status::OK();
-  };
-  RunScatter(options.parallel, options.pool, n, [&](int i) {
-    ShardInput& slot = inputs[static_cast<size_t>(i)];
-    slot.status = scan_side(serving[i], spec.left_table, spec.left_filter,
-                            left_schema, &slot.left);
-    if (slot.status.ok()) {
-      slot.status = scan_side(serving[i], spec.right_table, spec.right_filter,
-                              right_schema, &slot.right);
-    }
-  });
-  size_t actual_left_bytes = 0, actual_right_bytes = 0;
-  for (const auto& slot : inputs) {
-    OFI_RETURN_NOT_OK(slot.status);
-    actual_left_bytes += exchange::EncodedBytes(slot.left, batch_rows);
-    actual_right_bytes += exchange::EncodedBytes(slot.right, batch_rows);
-  }
-  out.naive_bytes = actual_left_bytes + actual_right_bytes;
-
-  // Strategy decision. Estimated relation sizes come from optimizer stats
-  // when the caller wired a registry through; otherwise from the actual
-  // scanned encoded sizes (exact, but unavailable to a real planner —
-  // that is precisely what the stats path models).
-  double est_left = static_cast<double>(actual_left_bytes);
-  double est_right = static_cast<double>(actual_right_bytes);
-  if (options.stats != nullptr) {
-    if (const auto* ts = options.stats->Get(spec.left_table)) {
-      est_left = ts->EstimatedBytes();
-    }
-    if (const auto* ts = options.stats->Get(spec.right_table)) {
-      est_right = ts->EstimatedBytes();
-    }
-  }
-  out.broadcast_left = est_left <= est_right;
-  JoinStrategy strategy = options.strategy;
-  if (strategy == JoinStrategy::kAuto) {
-    // Broadcast ships the small side to the N-1 other nodes; repartition
-    // ships the (N-1)/N fraction of both sides that hashes off-node.
-    double cost_broadcast = std::min(est_left, est_right) * (n - 1);
-    double cost_repartition =
-        (est_left + est_right) * static_cast<double>(n - 1) / std::max(n, 1);
-    strategy = cost_broadcast <= cost_repartition ? JoinStrategy::kBroadcast
-                                                  : JoinStrategy::kRepartition;
-  }
-  out.strategy = strategy;
-
-  // Phase 3 (thread pool): move rows through the exchange. Each worker only
-  // writes channels whose source is its own node, so sends are race-free by
-  // construction (channels are mutex-guarded regardless).
-  exchange::ExchangeNetwork left_net(n, batch_rows);
-  exchange::ExchangeNetwork right_net(n, batch_rows);
-  if (strategy == JoinStrategy::kBroadcast) {
-    RunScatter(options.parallel, options.pool, n, [&](int i) {
-      if (out.broadcast_left) {
-        exchange::BroadcastRows(&left_net, i, inputs[static_cast<size_t>(i)].left);
-      } else {
-        exchange::BroadcastRows(&right_net, i,
-                                inputs[static_cast<size_t>(i)].right);
-      }
-    });
-  } else {
-    RunScatter(options.parallel, options.pool, n, [&](int i) {
-      exchange::ShufflePartition(&left_net, i,
-                                 inputs[static_cast<size_t>(i)].left,
-                                 left_key_idx);
-      exchange::ShufflePartition(&right_net, i,
-                                 inputs[static_cast<size_t>(i)].right,
-                                 right_key_idx);
-    });
-  }
-
-  // Phase 4 (thread pool): each DN assembles its slice (local rows for the
-  // side that did not move, exchange-delivered rows for the one that did)
-  // and runs the ordinary hash join from src/sql on it.
-  struct ShardJoin {
-    Status status = Status::OK();
-    Table result;
-  };
-  std::vector<ShardJoin> joins(static_cast<size_t>(n));
-  RunScatter(options.parallel, options.pool, n, [&](int j) {
-    ShardJoin& slot = joins[static_cast<size_t>(j)];
-    ShardInput& in = inputs[static_cast<size_t>(j)];
-    auto side_rows = [&](bool is_left) -> Result<std::vector<Row>> {
-      const bool moved = strategy == JoinStrategy::kRepartition ||
-                         (is_left == out.broadcast_left);
-      if (!moved) return std::move(is_left ? in.left : in.right);
-      return (is_left ? left_net : right_net).ReceiveRows(j);
-    };
-    auto lrows = side_rows(true);
-    if (!lrows.ok()) {
-      slot.status = lrows.status();
-      return;
-    }
-    auto rrows = side_rows(false);
-    if (!rrows.ok()) {
-      slot.status = rrows.status();
-      return;
-    }
-    sql::ExprPtr pred = Expr::EqCols(spec.left_key, spec.right_key);
-    if (spec.residual) pred = Expr::And(pred, spec.residual->Clone());
-    sql::PlanPtr plan = sql::MakeJoin(
-        sql::MakeValues(Table(left_schema, std::move(*lrows))),
-        sql::MakeValues(Table(right_schema, std::move(*rrows))), pred);
-    sql::Catalog catalog;  // Values plans read no tables
-    sql::Executor exec(&catalog);
-    auto joined = exec.Execute(plan);
-    if (!joined.ok()) {
-      slot.status = joined.status();
-      return;
-    }
-    slot.result = std::move(*joined);
-  });
-
-  // Simulated latency: sends start when a node's scans are done; node j can
-  // join once the slowest sender shipping to it has finished (+1 hop) and
-  // its own decode service completes; then one join statement per DN.
-  exchange::ExchangeLatencyParams params{
-      cluster->latency().network_hop_us,
-      cluster->latency().exchange_batch_service_us,
-      cluster->latency().exchange_kb_service_us};
-  std::vector<int> resources(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    resources[static_cast<size_t>(i)] = cluster->dn_resource(serving[i]);
-  }
-  std::vector<SimTime> exchange_done = exchange::SimulateExchange(
-      &cluster->scheduler(), resources,
-      {&left_net, &right_net}, scan_done, params);
-  SimTime parallel_done = scatter_start;
-  SimTime serial_sum = 0;
-  for (int j = 0; j < n; ++j) {
-    SimTime done =
-        cluster->ChargeDnStmt(serving[j], exchange_done[static_cast<size_t>(j)]);
-    parallel_done = std::max(parallel_done, done);
-    serial_sum += done - scatter_start;
-  }
-
-  // Gather: concatenate per-DN partial results deterministically in DN
-  // order. The CN pays the per-partial merge plus a size-aware receive for
-  // the joined rows (joins, unlike aggregates, gather row-sized state).
-  Table result(left_schema.Concat(right_schema));
-  for (auto& slot : joins) {
-    OFI_RETURN_NOT_OK(slot.status);
-    out.result_bytes += exchange::EncodedBytes(slot.result.rows(), batch_rows);
-    for (auto& row : slot.result.mutable_rows()) {
-      OFI_RETURN_NOT_OK(result.Append(std::move(row)));
-    }
-  }
-  const SimTime gather_cost =
-      static_cast<SimTime>(n) * cluster->latency().cn_gather_service_us +
-      exchange::ExchangeServiceTime(out.result_bytes, 0, params);
-  out.sim_latency_us = (parallel_done - scatter_start) + gather_cost;
-  out.sim_latency_serial_us = serial_sum + gather_cost;
-  reader.AdvanceTo(parallel_done + gather_cost);
-  OFI_RETURN_NOT_OK(reader.Commit());
-
-  // Accounting + metrics: cross-DN bytes per strategy, per-channel stats
-  // with exchange-node indices mapped back to real DN ids.
-  out.shuffle_bytes = strategy == JoinStrategy::kRepartition
-                          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
-                          : 0;
-  out.broadcast_bytes =
-      strategy == JoinStrategy::kBroadcast
-          ? left_net.CrossNodeBytes() + right_net.CrossNodeBytes()
-          : 0;
-  out.exchange_batches =
-      left_net.CrossNodeBatches() + right_net.CrossNodeBatches();
-  for (const auto* net : {&left_net, &right_net}) {
-    for (exchange::ChannelStats ch : net->Stats()) {
-      ch.src = serving[ch.src];
-      ch.dst = serving[ch.dst];
-      // Merge the two relations' traffic per (src,dst) pair.
-      auto it = std::find_if(out.channels.begin(), out.channels.end(),
-                             [&](const exchange::ChannelStats& c) {
-                               return c.src == ch.src && c.dst == ch.dst;
-                             });
-      if (it == out.channels.end()) {
-        out.channels.push_back(ch);
-      } else {
-        it->bytes += ch.bytes;
-        it->batches += ch.batches;
-      }
-      if (ch.src != ch.dst) {
-        const std::string pair = "exchange.bytes.d" + std::to_string(ch.src) +
-                                 "->d" + std::to_string(ch.dst);
-        cluster->metrics().Add(pair, static_cast<int64_t>(ch.bytes));
-      }
-    }
-  }
-  cluster->metrics().Add("exchange.bytes",
-                         static_cast<int64_t>(out.shuffle_bytes +
-                                              out.broadcast_bytes));
-  cluster->metrics().Add("exchange.batches",
-                         static_cast<int64_t>(out.exchange_batches));
-  cluster->metrics().Add(strategy == JoinStrategy::kBroadcast
-                             ? "join.broadcast"
-                             : "join.repartition");
-  out.table = std::move(result);
+  out.table = std::move(r.table);
+  out.strategy = r.stats.strategy;
+  out.broadcast_left = r.stats.broadcast_left;
+  out.shuffle_bytes = r.stats.shuffle_bytes;
+  out.broadcast_bytes = r.stats.broadcast_bytes;
+  out.naive_bytes = r.stats.naive_bytes;
+  out.result_bytes = r.stats.result_bytes;
+  out.exchange_batches = r.stats.exchange_batches;
+  out.channels = std::move(r.stats.channels);
+  out.sim_latency_us = r.stats.sim_latency_us;
+  out.sim_latency_serial_us = r.stats.sim_latency_serial_us;
   return out;
 }
 

@@ -53,10 +53,11 @@ struct DistributedOptions {
   /// unsupported filters transparently fall back to the row store; results
   /// are identical either way.
   bool use_columnar = true;
-  /// Run each columnar shard scan morsel-parallel on the pool. Only honored
+  /// Run each columnar shard scan morsel-parallel on the pool. Only valid
   /// when `parallel` is false (inline scatter): pool workers must not nest
-  /// ParallelFor, so a parallel scatter always scans its shards serially
-  /// (the shards themselves are already concurrent).
+  /// ParallelFor. Setting both flags is rejected with InvalidArgument —
+  /// historically the combination silently disabled morsel parallelism,
+  /// which read as "morsel-parallel" while measuring nothing of the sort.
   bool columnar_morsel_parallel = false;
 };
 
@@ -137,6 +138,11 @@ struct DistributedJoinOptions {
   const optimizer::StatsRegistry* stats = nullptr;
   /// Rows per serialized exchange batch.
   size_t batch_rows = 64;
+  /// Per-exchange-channel queued-byte limit; 0 = unbounded. A Send that
+  /// would exceed it is denied with ResourceExhausted (surfaced as the
+  /// join's Status) and counted in the exchange.bytes_spilled_denied
+  /// metric — the simulation's stand-in for spill-to-disk backpressure.
+  size_t max_channel_bytes = 0;
 };
 
 /// Result of a distributed join, with the data-movement accounting the

@@ -1,0 +1,125 @@
+/// Per-channel byte limits on the exchange (spill-to-disk backpressure,
+/// simulated as denial): a Send that would overflow the cap must fail with
+/// ResourceExhausted without corrupting the channel, the denied payload
+/// must be counted, and a distributed join over a capped exchange must
+/// surface the error as its Status plus the exchange.bytes_spilled_denied
+/// metric.
+#include <gtest/gtest.h>
+
+#include "cluster/mpp_query.h"
+#include "common/rng.h"
+
+namespace ofi::cluster {
+namespace {
+
+using sql::Column;
+using sql::Row;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Row MakeRow(int64_t k, const std::string& pad) {
+  return Row{Value(k), Value(pad)};
+}
+
+TEST(ExchangeLimitTest, ChannelDeniesOverLimitSend) {
+  exchange::ExchangeChannel ch;
+  std::string small(10, 'x');
+  std::string mid(60, 'y');
+  ASSERT_TRUE(ch.Send(small, /*max_bytes=*/64).ok());
+  EXPECT_EQ(ch.queued_bytes(), 10u);
+
+  Status denied = ch.Send(mid, /*max_bytes=*/64);  // 10 + 60 > 64
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), StatusCode::kResourceExhausted);
+  // The denied batch was not queued and the lifetime totals exclude it.
+  EXPECT_EQ(ch.queued_bytes(), 10u);
+  EXPECT_EQ(ch.bytes(), 10u);
+  EXPECT_EQ(ch.batches(), 1u);
+  EXPECT_EQ(ch.denied_bytes(), 60u);
+
+  // Draining frees the budget: the same batch fits afterwards.
+  EXPECT_EQ(ch.Drain().size(), 1u);
+  EXPECT_EQ(ch.queued_bytes(), 0u);
+  ASSERT_TRUE(ch.Send(std::move(mid), /*max_bytes=*/64).ok());
+  EXPECT_EQ(ch.queued_bytes(), 60u);
+}
+
+TEST(ExchangeLimitTest, ZeroLimitMeansUnbounded) {
+  exchange::ExchangeChannel ch;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ch.Send(std::string(1000, 'z')).ok());
+  }
+  EXPECT_EQ(ch.denied_bytes(), 0u);
+  EXPECT_EQ(ch.queued_bytes(), 100000u);
+}
+
+TEST(ExchangeLimitTest, NetworkSendRowsHonorsTheCap) {
+  // A cap smaller than one encoded batch: every SendRows with data fails,
+  // and DeniedBytes aggregates across channels.
+  exchange::ExchangeNetwork net(2, /*batch_rows=*/8, /*max_channel_bytes=*/4);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 20; ++i) rows.push_back(MakeRow(i, "padpadpad"));
+
+  Status st = net.SendRows(0, 1, rows);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(net.DeniedBytes(), 0u);
+  EXPECT_TRUE(net.SendRows(0, 1, {}).ok());  // nothing to send, nothing denied
+
+  exchange::ExchangeNetwork roomy(2, /*batch_rows=*/8);
+  ASSERT_TRUE(roomy.SendRows(0, 1, rows).ok());
+  EXPECT_EQ(roomy.DeniedBytes(), 0u);
+}
+
+TEST(ExchangeLimitTest, DistributedJoinSurfacesDenialAndMetric) {
+  Cluster cluster(4, Protocol::kGtmLite);
+  Schema orders({Column{"o_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  Schema lookup({Column{"l_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  ASSERT_TRUE(cluster.CreateTable("orders", orders).ok());
+  ASSERT_TRUE(cluster.CreateTable("lookup", lookup).ok());
+  std::string pad(64, 'p');
+  for (int64_t i = 0; i < 64; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("orders", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  for (int64_t i = 0; i < 8; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("lookup", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "lookup";
+  spec.left_key = "o_id";
+  spec.right_key = "l_id";
+
+  // Unbounded run first: the join works and nothing is denied.
+  DistributedJoinOptions opts;
+  opts.strategy = JoinStrategy::kRepartition;
+  auto ok = DistributedJoin(&cluster, spec, opts);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->table.num_rows(), 8u);
+  EXPECT_EQ(cluster.metrics().Get("exchange.bytes_spilled_denied"), 0);
+
+  // A cap below one encoded batch: the shuffle is denied on every DN and
+  // the query fails loudly instead of silently dropping rows.
+  opts.max_channel_bytes = 16;
+  auto capped = DistributedJoin(&cluster, spec, opts);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_spilled_denied"), 0);
+
+  // Roomy cap: behaves exactly like unbounded.
+  opts.max_channel_bytes = 1 << 20;
+  auto roomy = DistributedJoin(&cluster, spec, opts);
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_EQ(roomy->table.num_rows(), 8u);
+}
+
+}  // namespace
+}  // namespace ofi::cluster
