@@ -115,6 +115,8 @@ int main(int argc, char** argv) {
                    result->ToString(50).c_str(), result->num_rows(),
                    info.stats.num_serving,
                    (long long)info.stats.sim_latency_us);
+            std::string scans = dist->LastScanReport();
+            if (!scans.empty()) printf("%s", scans.c_str());
           } else {
             printf("%s(%zu rows, single-node fallback: %s)\n",
                    result->ToString(50).c_str(), result->num_rows(),

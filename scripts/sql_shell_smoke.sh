@@ -29,6 +29,11 @@ EXPLAIN SELECT segment, COUNT(*) AS n, SUM(amount) AS total
 SELECT segment, COUNT(*) AS n, SUM(amount) AS total
   FROM orders JOIN customers ON cust = c_id
   WHERE amount > 50 GROUP BY segment;
+\columnar orders
+EXPLAIN SELECT cust, SUM(amount) AS total
+  FROM orders WHERE amount > 50 GROUP BY cust;
+SELECT cust, SUM(amount) AS total
+  FROM orders WHERE amount > 50 GROUP BY cust;
 \q
 SQL
 )"
@@ -55,6 +60,17 @@ expect "DISTSCAN customers path=row"
 expect "2 rows, distributed over 4 DNs, sim_latency_us="
 expect "'gold' \| 3 \| 700"
 expect "'silver' \| 1 \| 260"
+# Grouped-kernel columnar path: EXPLAIN advertises the vectorized GROUP BY
+# with its per-DN scan forecast, and the executed query reports the
+# realized per-DN columnar scan (no row fallback) with correct sums.
+expect "DISTSCAN orders path=columnar scan=columnar\(grouped-kernel\)"
+expect "scan forecast:"
+expect "dn[0-9]+ orders: columnar\(grouped-kernel\) chunks="
+expect "4 rows, distributed over 4 DNs, sim_latency_us="
+expect "10 \| 620"
+expect "11 \| 260"
+expect "12 \| 80"
+expect "13 \| 90"
 
 if [[ "${fail}" -ne 0 ]]; then
   echo "--- shell output ---" >&2

@@ -197,23 +197,52 @@ std::optional<ColumnarPredicate> RecognizeFilter(const sql::ExprPtr& filter) {
   return RecognizeExpr(*filter);
 }
 
-/// True when every partial aggregate can run as a pure column kernel:
-/// global aggregation (no GROUP BY) of COUNT(*)/COUNT/SUM/MIN/MAX over
-/// columns typed exactly kInt64 (timestamps/doubles would change the
-/// executor's output value types). AVG qualifies via its SUM+COUNT split.
-bool KernelAggsSupported(const std::vector<std::string>& group_by,
-                         const std::vector<PartialPlan>& plans,
-                         const sql::Schema& schema) {
-  if (!group_by.empty()) return false;
+/// Why (or that) the fused partial aggregate can run as pure column
+/// kernels. Aggregates must be COUNT(*)/COUNT/SUM/MIN/MAX over columns
+/// typed exactly kInt64 (timestamps/doubles would change the executor's
+/// output value types; AVG qualifies via its SUM+COUNT split); group keys
+/// must resolve on the shard schema with an int64/timestamp/string payload
+/// (the key types the grouped hash kernel carries). Each failure reason
+/// maps to its own `columnar.fallback_*` metric.
+enum class KernelSupport : uint8_t { kOk, kUnsupportedAgg, kUnsupportedGroupBy };
+
+KernelSupport ClassifyKernelSupport(const std::vector<std::string>& group_by,
+                                    const std::vector<PartialPlan>& plans,
+                                    const sql::Schema& schema) {
   for (const auto& p : plans) {
     for (const auto& spec : p.partial) {
       if (spec.arg == nullptr) continue;  // COUNT(*)
-      if (spec.arg->kind() != sql::ExprKind::kColumn) return false;
+      if (spec.arg->kind() != sql::ExprKind::kColumn) {
+        return KernelSupport::kUnsupportedAgg;
+      }
       auto idx = schema.IndexOf(spec.arg->column_name());
-      if (!idx.ok() || schema.column(*idx).type != TypeId::kInt64) return false;
+      if (!idx.ok() || schema.column(*idx).type != TypeId::kInt64) {
+        return KernelSupport::kUnsupportedAgg;
+      }
     }
   }
-  return true;
+  for (const auto& g : group_by) {
+    auto idx = schema.IndexOf(g);
+    if (!idx.ok()) return KernelSupport::kUnsupportedGroupBy;
+    const TypeId t = schema.column(*idx).type;
+    if (t != TypeId::kInt64 && t != TypeId::kTimestamp && t != TypeId::kString) {
+      return KernelSupport::kUnsupportedGroupBy;
+    }
+  }
+  return KernelSupport::kOk;
+}
+
+/// The EXPLAIN/per-DN label for a columnar scan fused with an aggregate.
+std::string KernelSupportDetail(bool grouped, KernelSupport support) {
+  switch (support) {
+    case KernelSupport::kOk:
+      return grouped ? "columnar(grouped-kernel)" : "columnar(kernel)";
+    case KernelSupport::kUnsupportedAgg:
+      return "columnar(materialize:agg)";
+    case KernelSupport::kUnsupportedGroupBy:
+      return "columnar(materialize:groupby-type)";
+  }
+  return "?";
 }
 
 /// Runs the recognized filter, returning the selection (nullopt = all rows,
@@ -301,19 +330,80 @@ Result<Table> RunColumnarKernelAgg(const storage::ColumnTable& ct,
   return out;
 }
 
-/// Distinct chunks containing selected rows — the chunk cost the gather
-/// (materializing) path charges, since it decodes those chunks.
-size_t ChunksTouched(const std::vector<uint32_t>& sel) {
-  size_t touched = 0;
-  size_t last = SIZE_MAX;
-  for (uint32_t r : sel) {
-    size_t c = r / storage::ColumnTable::kChunkRows;
-    if (c != last) {
-      ++touched;
-      last = c;
+/// Grouped-kernel partial aggregate: the exact partial Table the row-path
+/// executor would produce for `GROUP BY group_by` over the shard (group
+/// columns carry the qualified shard-schema Column so the CN final
+/// aggregation resolves them identically; SUM/MIN/MAX of zero non-null
+/// inputs are NULL, COUNT partials are plain int64) — computed by the
+/// vectorized hash kernel without materializing a single row.
+Result<Table> RunColumnarGroupedAgg(const storage::ColumnTable& ct,
+                                    const std::vector<std::string>& group_by,
+                                    const std::vector<uint32_t>* sel,
+                                    const std::vector<AggSpec>& partial_specs,
+                                    const storage::ScanOptions& sopts,
+                                    storage::ScanStats* stats) {
+  std::vector<storage::GroupedAggSpec> kspecs;
+  kspecs.reserve(partial_specs.size());
+  for (const auto& spec : partial_specs) {
+    storage::GroupedAggSpec k;
+    if (spec.arg == nullptr) {
+      k.op = storage::GroupedAggOp::kCountStar;
+    } else {
+      k.column = spec.arg->column_name();
+      switch (spec.func) {
+        case AggFunc::kCount: k.op = storage::GroupedAggOp::kCount; break;
+        case AggFunc::kSum: k.op = storage::GroupedAggOp::kSum; break;
+        case AggFunc::kMin: k.op = storage::GroupedAggOp::kMin; break;
+        case AggFunc::kMax: k.op = storage::GroupedAggOp::kMax; break;
+        default:
+          return Status::Internal("non-decomposed aggregate in kernel path");
+      }
     }
+    kspecs.push_back(std::move(k));
   }
-  return touched;
+  // An unsatisfiable filter yields an empty selection, and a grouped
+  // aggregate over nothing is zero groups — the kernel handles both.
+  OFI_ASSIGN_OR_RETURN(
+      storage::GroupedAggResult res,
+      ct.GroupedAggregate(group_by, kspecs, sel, sopts, stats));
+
+  std::vector<Column> cols;
+  cols.reserve(group_by.size() + kspecs.size());
+  for (const auto& g : group_by) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, ct.schema().IndexOf(g));
+    cols.push_back(ct.schema().column(idx));
+  }
+  for (const auto& spec : partial_specs) {
+    cols.push_back(Column{spec.name, TypeId::kInt64, ""});
+  }
+  Table out{sql::Schema(std::move(cols))};
+  for (size_t g = 0; g < res.num_groups; ++g) {
+    Row r;
+    r.reserve(res.keys.size() + res.aggs.size());
+    for (const auto& kc : res.keys) {
+      if (kc.valid[g] == 0) {
+        r.push_back(Value::Null());
+      } else if (kc.type == TypeId::kString) {
+        r.push_back(Value(kc.strs[g]));
+      } else if (kc.type == TypeId::kTimestamp) {
+        r.push_back(Value::Timestamp(kc.ints[g]));
+      } else {
+        r.push_back(Value(kc.ints[g]));
+      }
+    }
+    for (size_t j = 0; j < res.aggs.size(); ++j) {
+      const auto& ac = res.aggs[j];
+      const bool count_like = kspecs[j].op == storage::GroupedAggOp::kCountStar ||
+                              kspecs[j].op == storage::GroupedAggOp::kCount;
+      if (count_like) {
+        r.push_back(Value(ac.value[g]));
+      } else {
+        r.push_back(ac.count[g] > 0 ? Value(ac.value[g]) : Value::Null());
+      }
+    }
+    out.mutable_rows().push_back(std::move(r));
+  }
+  return out;
 }
 
 /// Dispatches fn(0..n-1) per the parallel/pool options (shared contract
@@ -507,6 +597,26 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
   n_ = static_cast<int>(serving_.size());
   stats_.num_serving = n_;
 
+  // Opt-in auto-refresh: rebuild stale columnar shards before the snapshot
+  // opens, so writes between queries do not silently demote shards to the
+  // row path. Fresh shards are untouched (RefreshColumnar rebuilds only
+  // stale ones), so a quiescent cluster pays nothing.
+  if (opts_.auto_refresh_columnar) {
+    const DistOp* scans[2] = {left_scan != nullptr ? left_scan : core,
+                              right_scan};
+    for (const DistOp* s : scans) {
+      if (s == nullptr || s->kind != DistOpKind::kDistScan) continue;
+      if (s->path != ScanPath::kColumnar || !cluster_->IsColumnar(s->table)) {
+        continue;
+      }
+      OFI_ASSIGN_OR_RETURN(size_t rebuilt, cluster_->RefreshColumnar(s->table));
+      if (rebuilt > 0) {
+        cluster_->metrics().Add("columnar.auto_refreshes",
+                                static_cast<int64_t>(rebuilt));
+      }
+    }
+  }
+
   // Join key resolution happens before Begin (as the old DistributedJoin
   // did); schemas are identical on every DN, so the first serving node is
   // authoritative.
@@ -647,9 +757,23 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
   std::vector<const DataNode::ColumnarShard*> col_shards(serving_.size(),
                                                          nullptr);
   bool kernel_path = false;
+  bool forced_materialize = false;
+  KernelSupport support = KernelSupport::kOk;
   if (pred.has_value()) {
-    kernel_path = fused && KernelAggsSupported(agg_group_, plans_,
-                                               shard_tables[0]->schema());
+    if (fused) {
+      support = ClassifyKernelSupport(agg_group_, plans_,
+                                      shard_tables[0]->schema());
+      kernel_path = support == KernelSupport::kOk;
+      if (support == KernelSupport::kUnsupportedAgg) {
+        cluster_->metrics().Add("columnar.fallback_agg");
+      } else if (support == KernelSupport::kUnsupportedGroupBy) {
+        cluster_->metrics().Add("columnar.fallback_groupby_type");
+      }
+      if (kernel_path && opts_.columnar_force_materialize) {
+        kernel_path = false;
+        forced_materialize = true;
+      }
+    }
     for (int i = 0; i < n_; ++i) {
       const DataNode::ColumnarShard* shard =
           cluster_->dn(serving_[i])->GetColumnarShard(table);
@@ -716,8 +840,10 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       }
       auto materialize = [&](const std::vector<uint32_t>& s)
           -> Result<std::vector<Row>> {
-        slot.stats.chunks_scanned += ChunksTouched(s);
-        return ct.Gather(s);
+        // Chunk-on-demand materialization: only chunks holding selected rows
+        // are decoded (and charged), matching the kernels' accounting units
+        // of one column-chunk each.
+        return ct.MaterializeRows(s, &slot.stats);
       };
       auto all_rows = [&]() {
         std::vector<uint32_t> all;
@@ -729,13 +855,20 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       };
       if (fused) {
         auto compute = [&]() -> Result<Table> {
-          if (kernel_path) {
+          if (kernel_path && agg_group_.empty()) {
             return RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
                                         pred->never, partial_specs, sopts,
                                         &slot.stats);
           }
-          // Gather path: materialize the selection and run the ordinary
-          // partial aggregate (GROUP BY, non-int64 aggregates).
+          if (kernel_path) {
+            // Grouped kernel. An unsatisfiable predicate arrives as an
+            // empty selection; no filter at all means the whole table.
+            return RunColumnarGroupedAgg(ct, agg_group_,
+                                         sel->has_value() ? &**sel : nullptr,
+                                         partial_specs, sopts, &slot.stats);
+          }
+          // Materialize path: decode the selection into rows and run the
+          // ordinary partial aggregate (unsupported agg/group-key types).
           std::vector<uint32_t> all = all_rows();
           OFI_ASSIGN_OR_RETURN(
               std::vector<Row> rows,
@@ -828,6 +961,32 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
     frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnColumnarScan(
         serving_[i], frontier_[static_cast<size_t>(i)],
         slots[static_cast<size_t>(i)].stats.chunks_scanned);
+  }
+
+  // Per-DN realized-path record (EXPLAIN / shell reporting).
+  const bool wanted_columnar =
+      scan.path == ScanPath::kColumnar && cluster_->IsColumnar(table);
+  for (int i = 0; i < n_; ++i) {
+    DistExecStats::DnScanInfo info;
+    info.dn = serving_[i];
+    info.table = table;
+    info.stats = slots[static_cast<size_t>(i)].stats;
+    if (col_shards[static_cast<size_t>(i)] != nullptr) {
+      if (!fused) {
+        info.path = "columnar(materialize)";
+      } else if (kernel_path) {
+        info.path = KernelSupportDetail(!agg_group_.empty(), support);
+      } else if (forced_materialize) {
+        info.path = "columnar(materialize:forced)";
+      } else {
+        info.path = KernelSupportDetail(!agg_group_.empty(), support);
+      }
+    } else if (wanted_columnar) {
+      info.path = pred.has_value() ? "row(stale)" : "row(filter)";
+    } else {
+      info.path = "row";
+    }
+    stats_.per_dn.push_back(std::move(info));
   }
   return Status::OK();
 }
@@ -1201,6 +1360,7 @@ std::string DistOp::ToString(int indent) const {
     case DistOpKind::kDistScan:
       s += "DISTSCAN " + table + " path=";
       s += cluster::ToString(path);
+      if (!scan_detail.empty()) s += " scan=" + scan_detail;
       if (filter) s += " pred=[" + filter->ToCanonicalString() + "]";
       if (est_bytes >= 0) {
         s += " est=" + std::to_string(static_cast<long long>(est_bytes)) + "B";
@@ -1337,12 +1497,21 @@ DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
           "scan predicate does not bind on the shard schema");
     }
     ScanPath path = ScanPath::kRow;
-    if (options.use_columnar && cluster->IsColumnar(s.table_name) &&
-        RecognizeFilter(s.predicate).has_value()) {
-      path = ScanPath::kColumnar;
+    std::string detail;
+    if (options.use_columnar && cluster->IsColumnar(s.table_name)) {
+      if (RecognizeFilter(s.predicate).has_value()) {
+        path = ScanPath::kColumnar;
+        detail = "columnar(materialize)";
+      } else {
+        // Pre-demoted to the row path here, so the executor never sees the
+        // columnar attempt — count the fallback at lowering time.
+        detail = "row(filter not recognized)";
+        cluster->metrics().Add("columnar.fallback_filter");
+      }
     }
     DistOpPtr scan = MakeDistScan(
         s.table_name, s.predicate ? s.predicate->Clone() : nullptr, path);
+    scan->scan_detail = std::move(detail);
     if (stats != nullptr) {
       if (const auto* ts = stats->Get(s.table_name)) {
         scan->est_bytes = ts->EstimatedBytes();
@@ -1503,6 +1672,18 @@ DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
       out.fallback_reason = names.status().message();
       return out;
     }
+    // Annotate the fused scan with the kernel decision EXPLAIN will show:
+    // grouped-kernel / kernel when the partial aggregate runs as pure
+    // column kernels on fresh shards, else the materialize reason.
+    if (core->kind == DistOpKind::kDistScan &&
+        core->path == ScanPath::kColumnar) {
+      std::vector<PartialPlan> plans;
+      plans.reserve(dist_aggs.size());
+      for (const auto& a : dist_aggs) plans.push_back(DecomposeAgg(a));
+      core->scan_detail = KernelSupportDetail(
+          !agg_node->group_by.empty(),
+          ClassifyKernelSupport(agg_node->group_by, plans, core_schema));
+    }
     out.root = MakeDistFinalAgg(
         MakeGather(MakeDistPartialAgg(std::move(core), agg_node->group_by,
                                       dist_aggs),
@@ -1514,6 +1695,76 @@ DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
     out.cut = node;
   }
   return out;
+}
+
+namespace {
+
+void CollectScans(const DistOpPtr& op, std::vector<const DistOp*>* out) {
+  if (op == nullptr) return;
+  if (op->kind == DistOpKind::kDistScan) out->push_back(op.get());
+  for (const auto& c : op->children) CollectScans(c, out);
+}
+
+}  // namespace
+
+std::string ExplainScanPaths(Cluster* cluster, const DistOpPtr& root) {
+  std::vector<const DistOp*> scans;
+  CollectScans(root, &scans);
+  if (scans.empty()) return "";
+  std::string s;
+  const std::vector<int> serving = ServingDns(cluster);
+  for (const DistOp* scan : scans) {
+    for (int dn : serving) {
+      s += "  dn" + std::to_string(dn) + " " + scan->table + ": ";
+      if (scan->path != ScanPath::kColumnar ||
+          !cluster->IsColumnar(scan->table)) {
+        s += scan->scan_detail.empty() ? "row" : scan->scan_detail;
+        s += "\n";
+        continue;
+      }
+      auto pred = RecognizeFilter(scan->filter);
+      if (!pred.has_value()) {
+        s += "row(filter not recognized)\n";
+        continue;
+      }
+      auto heap = cluster->dn(dn)->GetTable(scan->table);
+      const DataNode::ColumnarShard* shard =
+          cluster->dn(dn)->GetColumnarShard(scan->table);
+      const bool fresh = heap.ok() && shard != nullptr &&
+                         shard->table != nullptr && shard->settled &&
+                         shard->heap_epoch == (*heap)->epoch();
+      if (!fresh) {
+        s += "row(stale columnar shard)\n";
+        continue;
+      }
+      const storage::ColumnTable& ct = *shard->table;
+      s += scan->scan_detail.empty() ? "columnar" : scan->scan_detail;
+      s += " chunks=" + std::to_string(ct.num_chunks());
+      storage::PruneEstimate est;
+      bool have_est = false;
+      if (pred->kind == ColumnarPredicate::Kind::kIntRange) {
+        auto e = ct.EstimatePruningInt64(pred->column, pred->lo, pred->hi);
+        if (e.ok()) {
+          est = *e;
+          have_est = true;
+        }
+      } else if (pred->kind == ColumnarPredicate::Kind::kStringEq) {
+        auto e = ct.EstimatePruningStringEq(pred->column, pred->needle);
+        if (e.ok()) {
+          est = *e;
+          have_est = true;
+        }
+      }
+      if (pred->never) {
+        s += " prune=all(never-true predicate)";
+      } else if (have_est) {
+        s += " prune~" + std::to_string(est.chunks_prunable) + "/" +
+             std::to_string(est.chunks_total);
+      }
+      s += "\n";
+    }
+  }
+  return s;
 }
 
 }  // namespace ofi::cluster

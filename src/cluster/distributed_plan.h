@@ -98,6 +98,14 @@ struct DistOp {
   /// Planner-estimated relation bytes (EXPLAIN); -1 = not estimated.
   double est_bytes = -1;
 
+  /// kDistScan: the lowered execution flavor for EXPLAIN, e.g.
+  /// "columnar(grouped-kernel)", "columnar(materialize:agg)" or
+  /// "row(filter not recognized)". Empty = nothing noteworthy (plain row
+  /// scan of a table with no columnar copy). Predictive — the executor
+  /// still re-checks per shard and may fall back (see DistExecStats::per_dn
+  /// for what actually ran).
+  std::string scan_detail;
+
   /// Physical-tree rendering for EXPLAIN (same indent style as
   /// sql::PlanNode::ToString).
   std::string ToString(int indent = 0) const;
@@ -140,6 +148,15 @@ struct DistExecOptions {
   const optimizer::StatsRegistry* stats = nullptr;
   /// Forced join strategy; kAuto defers to the plan node, then to cost.
   JoinStrategy strategy_override = JoinStrategy::kAuto;
+  /// Opt-in: rebuild stale columnar shards (Cluster::RefreshColumnar)
+  /// before a plan with columnar scans runs, so writes between queries do
+  /// not silently demote shards to the row path. Rebuilt shards are counted
+  /// by the `columnar.auto_refreshes` metric.
+  bool auto_refresh_columnar = false;
+  /// Bench/test knob: force the columnar materialize (Gather + row
+  /// aggregate) path even when the fused aggregate is kernel-eligible —
+  /// isolates kernel-vs-materialize cost on identical data and plans.
+  bool columnar_force_materialize = false;
 };
 
 /// Accounting produced by one distributed plan execution — the union of
@@ -154,6 +171,16 @@ struct DistExecStats {
   size_t naive_bytes = 0;
   size_t columnar_shards = 0;
   storage::ScanStats scan_stats;
+  /// What each DN actually did for each scanned table (`path` is the
+  /// realized flavor, e.g. "columnar(grouped-kernel)" or "row(stale)") with
+  /// that shard's scan counters — the per-DN breakdown of scan_stats.
+  struct DnScanInfo {
+    int dn = 0;
+    std::string table;
+    std::string path;
+    storage::ScanStats stats;
+  };
+  std::vector<DnScanInfo> per_dn;
   // Join-path accounting.
   bool joined = false;
   JoinStrategy strategy = JoinStrategy::kBroadcast;
@@ -203,6 +230,12 @@ struct DistLowering {
 DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
                              const optimizer::StatsRegistry* stats,
                              const DistExecOptions& options = {});
+
+/// Per-DN scan forecast for EXPLAIN: for every DistScan in the plan, one
+/// line per serving DN with the predicted path (columnar fresh / stale /
+/// row), the shard's chunk count and the zone-map pruning estimate for the
+/// scan's recognized filter — computed from metadata only, nothing runs.
+std::string ExplainScanPaths(Cluster* cluster, const DistOpPtr& root);
 
 /// The nodes serving data, one entry per live serving node (after failover
 /// the promoted backup hosts the failed primary's rows in its own MVCC

@@ -134,6 +134,26 @@ Result<sql::Table> DistributedSqlSession::Execute(
   return Status::Internal("unhandled statement kind");
 }
 
+std::string DistributedSqlSession::LastScanReport() const {
+  if (!last_.distributed || last_.stats.per_dn.empty()) return "";
+  std::string out;
+  for (const auto& info : last_.stats.per_dn) {
+    out += "  dn" + std::to_string(info.dn) + " " + info.table + ": " +
+           info.path;
+    if (info.path.rfind("columnar", 0) == 0) {
+      out += " chunks=" + std::to_string(info.stats.chunks_scanned) + "/" +
+             std::to_string(info.stats.chunks_total) +
+             " pruned=" + std::to_string(info.stats.chunks_pruned) +
+             " rows=" + std::to_string(info.stats.rows_decoded);
+      if (info.stats.morsels > 1) {
+        out += " morsels=" + std::to_string(info.stats.morsels);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 Result<std::string> DistributedSqlSession::Explain(const std::string& query) {
   OFI_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(query));
   if (stmt.kind != sql::StatementKind::kSelect) {
@@ -149,6 +169,10 @@ Result<std::string> DistributedSqlSession::Explain(const std::string& query) {
   std::string out = "DISTRIBUTED PLAN (over " +
                     std::to_string(ServingDns(&cluster_).size()) + " DNs)\n" +
                     lowering.root->ToString();
+  // Per-DN scan forecast (predicted path, shard freshness, zone-map prune
+  // estimate) — metadata only, nothing executes.
+  std::string paths = ExplainScanPaths(&cluster_, lowering.root);
+  if (!paths.empty()) out += "scan forecast:\n" + paths;
   if (!lowering.cn_post.empty()) {
     out += "CN-side post:";
     // Rendered in execution order (innermost node runs first after gather).

@@ -66,6 +66,13 @@ class DistributedSqlSession {
   };
   const QueryInfo& last() const { return last_; }
 
+  /// Human-readable per-DN scan breakdown of the last distributed SELECT
+  /// (realized path + chunk/row counters per shard), e.g.
+  ///   dn0 sales: columnar(grouped-kernel) chunks=3/5 pruned=2 rows=1200
+  /// Empty when the last statement was not a distributed SELECT or its plan
+  /// scanned nothing.
+  std::string LastScanReport() const;
+
   Cluster& cluster() { return cluster_; }
   sql::Catalog& catalog() { return catalog_; }
   const optimizer::StatsRegistry& stats() const { return stats_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 namespace ofi::storage {
 namespace {
@@ -676,6 +677,446 @@ Result<int64_t> ColumnTable::CountInt64(const std::string& col,
   }
   if (stats != nullptr) stats->MergeFrom(st);
   return count;
+}
+
+namespace {
+
+/// Platform-stable 64-bit mixers (the partition-hash requirement from
+/// cluster/exchange applies here too: morsel merges must not depend on
+/// std::hash implementation details).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashString64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return (h ^ v) * 0x9ddfea08eb382d69ULL;
+}
+
+constexpr uint64_t kNullKeyHash = 0x7f4a7c159e3779b9ULL;
+
+/// One key column's value for the row being probed.
+struct KeyRef {
+  bool valid = false;
+  int64_t i = 0;
+  const std::string* s = nullptr;  // set for string keys
+};
+
+/// A flat open-addressing group table with columnar group storage. The
+/// storage doubles as the kernel's result (GroupedAggResult), so the merged
+/// table is returned without a copy.
+struct GroupTable {
+  GroupedAggResult data;
+  std::vector<uint64_t> group_hash;  // per group, parallel to data
+  std::vector<uint32_t> slots;       // group index + 1; 0 = empty
+  size_t mask = 0;
+
+  GroupTable(const std::vector<sql::TypeId>& key_types, size_t num_aggs) {
+    data.keys.resize(key_types.size());
+    for (size_t k = 0; k < key_types.size(); ++k) {
+      data.keys[k].type = key_types[k];
+    }
+    data.aggs.resize(num_aggs);
+    slots.assign(16, 0);
+    mask = slots.size() - 1;
+  }
+
+  void Rehash() {
+    slots.assign(slots.size() * 2, 0);
+    mask = slots.size() - 1;
+    for (uint32_t g = 0; g < data.num_groups; ++g) {
+      size_t i = group_hash[g] & mask;
+      while (slots[i] != 0) i = (i + 1) & mask;
+      slots[i] = g + 1;
+    }
+  }
+
+  bool KeyEquals(uint32_t g, const std::vector<KeyRef>& key) const {
+    for (size_t k = 0; k < key.size(); ++k) {
+      const auto& kc = data.keys[k];
+      const bool gv = kc.valid[g] != 0;
+      if (gv != key[k].valid) return false;
+      if (!gv) continue;  // NULL == NULL for grouping
+      if (kc.type == sql::TypeId::kString) {
+        if (kc.strs[g] != *key[k].s) return false;
+      } else {
+        if (kc.ints[g] != key[k].i) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Finds the group for `key`, appending a new one (with init'd aggregate
+  /// states) on first sight. Insertion order is the result's group order.
+  uint32_t FindOrAdd(uint64_t h, const std::vector<KeyRef>& key,
+                     const std::vector<GroupedAggSpec>& specs) {
+    if ((data.num_groups + 1) * 10 > slots.size() * 7) Rehash();
+    size_t i = h & mask;
+    while (slots[i] != 0) {
+      const uint32_t g = slots[i] - 1;
+      if (group_hash[g] == h && KeyEquals(g, key)) return g;
+      i = (i + 1) & mask;
+    }
+    const uint32_t g = static_cast<uint32_t>(data.num_groups++);
+    slots[i] = g + 1;
+    group_hash.push_back(h);
+    for (size_t k = 0; k < key.size(); ++k) {
+      auto& kc = data.keys[k];
+      kc.valid.push_back(key[k].valid ? 1 : 0);
+      if (kc.type == sql::TypeId::kString) {
+        kc.strs.push_back(key[k].valid ? *key[k].s : std::string());
+      } else {
+        kc.ints.push_back(key[k].valid ? key[k].i : 0);
+      }
+    }
+    for (size_t j = 0; j < specs.size(); ++j) {
+      int64_t init = 0;
+      if (specs[j].op == GroupedAggOp::kMin) {
+        init = std::numeric_limits<int64_t>::max();
+      } else if (specs[j].op == GroupedAggOp::kMax) {
+        init = std::numeric_limits<int64_t>::min();
+      }
+      data.aggs[j].value.push_back(init);
+      data.aggs[j].count.push_back(0);
+    }
+    return g;
+  }
+
+  /// Folds one input value (valid = non-NULL) into group g's state for
+  /// aggregate j. kCountStar counts NULLs too; everything else skips them.
+  void Accumulate(uint32_t g, size_t j, GroupedAggOp op, bool valid, int64_t v) {
+    auto& a = data.aggs[j];
+    switch (op) {
+      case GroupedAggOp::kCountStar:
+        ++a.value[g];
+        ++a.count[g];
+        break;
+      case GroupedAggOp::kCount:
+        if (valid) {
+          ++a.value[g];
+          ++a.count[g];
+        }
+        break;
+      case GroupedAggOp::kSum:
+        if (valid) {
+          a.value[g] += v;
+          ++a.count[g];
+        }
+        break;
+      case GroupedAggOp::kMin:
+        if (valid) {
+          a.value[g] = std::min(a.value[g], v);
+          ++a.count[g];
+        }
+        break;
+      case GroupedAggOp::kMax:
+        if (valid) {
+          a.value[g] = std::max(a.value[g], v);
+          ++a.count[g];
+        }
+        break;
+    }
+  }
+
+  /// Merges another partial table, preserving this table's insertion order
+  /// (new groups append in `o`'s order — morsel-order merges are therefore
+  /// identical to the serial scan's first-appearance order).
+  void MergeFrom(const GroupTable& o, const std::vector<GroupedAggSpec>& specs) {
+    std::vector<KeyRef> key(o.data.keys.size());
+    for (uint32_t og = 0; og < o.data.num_groups; ++og) {
+      for (size_t k = 0; k < o.data.keys.size(); ++k) {
+        const auto& kc = o.data.keys[k];
+        key[k].valid = kc.valid[og] != 0;
+        if (kc.type == sql::TypeId::kString) {
+          key[k].s = &kc.strs[og];
+        } else {
+          key[k].i = kc.ints[og];
+        }
+      }
+      const uint32_t g = FindOrAdd(o.group_hash[og], key, specs);
+      for (size_t j = 0; j < specs.size(); ++j) {
+        auto& dst = data.aggs[j];
+        const auto& src = o.data.aggs[j];
+        switch (specs[j].op) {
+          case GroupedAggOp::kCountStar:
+          case GroupedAggOp::kCount:
+          case GroupedAggOp::kSum:
+            dst.value[g] += src.value[og];
+            break;
+          case GroupedAggOp::kMin:
+            dst.value[g] = std::min(dst.value[g], src.value[og]);
+            break;
+          case GroupedAggOp::kMax:
+            dst.value[g] = std::max(dst.value[g], src.value[og]);
+            break;
+        }
+        dst.count[g] += src.count[og];
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<uint32_t> ColumnTable::ChunkBases() const {
+  std::vector<uint32_t> bases{0};
+  if (columns_.empty()) return bases;
+  const ColumnData& c = columns_[0];
+  if (c.type == sql::TypeId::kString) {
+    for (const auto& chunk : c.string_chunks) {
+      bases.push_back(bases.back() + static_cast<uint32_t>(chunk.num_rows));
+    }
+  } else {
+    for (const auto& chunk : c.int_chunks) {
+      bases.push_back(bases.back() + static_cast<uint32_t>(chunk.num_rows));
+    }
+  }
+  return bases;
+}
+
+Result<GroupedAggResult> ColumnTable::GroupedAggregate(
+    const std::vector<std::string>& key_cols,
+    const std::vector<GroupedAggSpec>& aggs, const std::vector<uint32_t>* sel,
+    const ScanOptions& opts, ScanStats* stats) const {
+  if (key_cols.empty()) {
+    return Status::InvalidArgument("grouped aggregate needs group keys");
+  }
+  // Resolve keys (int64/timestamp/string) and aggregate inputs (int64
+  // payload); every column a chunk pass reads is resolved once up front.
+  std::vector<size_t> key_idx(key_cols.size());
+  std::vector<sql::TypeId> key_types(key_cols.size());
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(key_cols[k]));
+    const sql::TypeId t = columns_[idx].type;
+    if (t != sql::TypeId::kInt64 && t != sql::TypeId::kTimestamp &&
+        t != sql::TypeId::kString) {
+      return Status::InvalidArgument("group key type unsupported: " +
+                                     key_cols[k]);
+    }
+    key_idx[k] = idx;
+    key_types[k] = t;
+  }
+  std::vector<size_t> agg_idx(aggs.size(), SIZE_MAX);
+  for (size_t j = 0; j < aggs.size(); ++j) {
+    if (aggs[j].op == GroupedAggOp::kCountStar) continue;
+    OFI_ASSIGN_OR_RETURN(agg_idx[j], ColIndex(aggs[j].column, sql::TypeId::kInt64));
+  }
+  // The distinct columns each chunk pass decodes (the per-column-chunk work
+  // unit the scan counters charge).
+  std::vector<size_t> used_cols;
+  for (size_t idx : key_idx) {
+    if (std::find(used_cols.begin(), used_cols.end(), idx) == used_cols.end()) {
+      used_cols.push_back(idx);
+    }
+  }
+  for (size_t idx : agg_idx) {
+    if (idx != SIZE_MAX &&
+        std::find(used_cols.begin(), used_cols.end(), idx) == used_cols.end()) {
+      used_cols.push_back(idx);
+    }
+  }
+
+  const std::vector<uint32_t> bases = ChunkBases();
+  const size_t chunk_count = bases.size() - 1;
+  const size_t per = std::max<size_t>(1, opts.morsel_chunks);
+  const size_t num_morsels =
+      chunk_count == 0 ? 0 : (chunk_count + per - 1) / per;
+
+  std::vector<std::unique_ptr<GroupTable>> partials(num_morsels);
+  std::vector<ScanStats> morsel_stats(num_morsels);
+
+  RunMorsels(chunk_count, opts, [&](size_t begin, size_t end, size_t m) {
+    partials[m] = std::make_unique<GroupTable>(key_types, aggs.size());
+    GroupTable& gt = *partials[m];
+    ScanStats& st = morsel_stats[m];
+    // Per-used-column decode scratch, refilled per chunk.
+    std::vector<std::vector<int64_t>> decoded(columns_.size());
+    std::vector<KeyRef> key(key_idx.size());
+    for (size_t c = begin; c < end; ++c) {
+      const uint32_t base = bases[c];
+      const uint32_t rows = bases[c + 1] - base;
+      // Selected rows of this chunk: [lo, hi) into *sel, or the whole chunk.
+      size_t sel_lo = 0, sel_hi = 0;
+      if (sel != nullptr) {
+        sel_lo = static_cast<size_t>(
+            std::lower_bound(sel->begin(), sel->end(), base) - sel->begin());
+        sel_hi = static_cast<size_t>(
+            std::lower_bound(sel->begin(), sel->end(), base + rows) -
+            sel->begin());
+      }
+      const size_t selected =
+          sel != nullptr ? sel_hi - sel_lo : static_cast<size_t>(rows);
+      st.chunks_total += used_cols.size();
+      if (selected == 0) {
+        // Filter already pruned every row here: the grouped kernel never
+        // touches the chunk (the zone-map win carries through the group by).
+        st.chunks_pruned += used_cols.size();
+        continue;
+      }
+      st.chunks_scanned += used_cols.size();
+      st.rows_decoded += selected * used_cols.size();
+      for (size_t idx : used_cols) {
+        if (columns_[idx].type != sql::TypeId::kString) {
+          columns_[idx].int_chunks[c].Decode(&decoded[idx]);
+        }
+      }
+      for (size_t s = 0; s < selected; ++s) {
+        const uint32_t row =
+            sel != nullptr ? (*sel)[sel_lo + s] : base + static_cast<uint32_t>(s);
+        const size_t off = row - base;
+        uint64_t h = 0x2545f4914f6cdd1dULL;
+        for (size_t k = 0; k < key_idx.size(); ++k) {
+          const size_t idx = key_idx[k];
+          if (key_types[k] == sql::TypeId::kString) {
+            const StringChunk& chunk = columns_[idx].string_chunks[c];
+            key[k].valid = chunk.ValidAt(off);
+            key[k].s = &chunk.At(off);
+            h = HashCombine(h, key[k].valid ? HashString64(*key[k].s)
+                                            : kNullKeyHash);
+          } else {
+            const Int64Chunk& chunk = columns_[idx].int_chunks[c];
+            key[k].valid = chunk.ValidAt(off);
+            key[k].i = decoded[idx][off];
+            h = HashCombine(h, key[k].valid
+                                   ? Mix64(static_cast<uint64_t>(key[k].i))
+                                   : kNullKeyHash);
+          }
+        }
+        const uint32_t g = gt.FindOrAdd(h, key, aggs);
+        for (size_t j = 0; j < aggs.size(); ++j) {
+          if (aggs[j].op == GroupedAggOp::kCountStar) {
+            gt.Accumulate(g, j, aggs[j].op, true, 0);
+            continue;
+          }
+          const Int64Chunk& chunk = columns_[agg_idx[j]].int_chunks[c];
+          gt.Accumulate(g, j, aggs[j].op, chunk.ValidAt(off),
+                        decoded[agg_idx[j]][off]);
+        }
+      }
+    }
+  });
+
+  // Deterministic merge in morsel order: group order = first appearance in
+  // chunk order, identical serial vs parallel.
+  GroupTable merged(key_types, aggs.size());
+  ScanStats st;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    merged.MergeFrom(*partials[m], aggs);
+    st.MergeFrom(morsel_stats[m]);
+  }
+  st.morsels = num_morsels;
+  st.rows_matched = merged.data.num_groups;
+  if (stats != nullptr) stats->MergeFrom(st);
+  return std::move(merged.data);
+}
+
+Result<std::vector<sql::Row>> ColumnTable::MaterializeRows(
+    const std::vector<uint32_t>& sel, ScanStats* stats) const {
+  const size_t ncols = columns_.size();
+  const std::vector<uint32_t> bases = ChunkBases();
+  const size_t chunk_count = bases.size() - 1;
+  ScanStats st;
+  st.chunks_total = chunk_count * ncols;
+  std::vector<sql::Row> out;
+  out.reserve(sel.size());
+  std::vector<std::vector<int64_t>> decoded(ncols);
+  size_t pos = 0;
+  for (size_t c = 0; c < chunk_count && pos < sel.size(); ++c) {
+    const uint32_t base = bases[c];
+    const uint32_t end = bases[c + 1];
+    if (sel[pos] >= end) continue;  // no selected row in this chunk
+    size_t last = pos;
+    while (last < sel.size() && sel[last] < end) ++last;
+    st.chunks_scanned += ncols;
+    st.rows_decoded += (last - pos) * ncols;
+    for (size_t col = 0; col < ncols; ++col) {
+      if (columns_[col].type != sql::TypeId::kString) {
+        columns_[col].int_chunks[c].Decode(&decoded[col]);
+      }
+    }
+    for (size_t s = pos; s < last; ++s) {
+      const size_t off = sel[s] - base;
+      sql::Row row;
+      row.reserve(ncols);
+      for (size_t col = 0; col < ncols; ++col) {
+        switch (columns_[col].type) {
+          case sql::TypeId::kString: {
+            const StringChunk& chunk = columns_[col].string_chunks[c];
+            row.push_back(chunk.ValidAt(off) ? sql::Value(chunk.At(off))
+                                             : sql::Value::Null());
+            break;
+          }
+          case sql::TypeId::kTimestamp: {
+            const Int64Chunk& chunk = columns_[col].int_chunks[c];
+            row.push_back(chunk.ValidAt(off)
+                              ? sql::Value::Timestamp(decoded[col][off])
+                              : sql::Value::Null());
+            break;
+          }
+          case sql::TypeId::kDouble: {
+            const Int64Chunk& chunk = columns_[col].int_chunks[c];
+            if (!chunk.ValidAt(off)) {
+              row.push_back(sql::Value::Null());
+              break;
+            }
+            double d;
+            std::memcpy(&d, &decoded[col][off], sizeof(d));
+            row.push_back(sql::Value(d));
+            break;
+          }
+          default: {
+            const Int64Chunk& chunk = columns_[col].int_chunks[c];
+            row.push_back(chunk.ValidAt(off) ? sql::Value(decoded[col][off])
+                                             : sql::Value::Null());
+          }
+        }
+      }
+      out.push_back(std::move(row));
+    }
+    pos = last;
+  }
+  st.chunks_pruned = st.chunks_total - st.chunks_scanned;
+  if (stats != nullptr) stats->MergeFrom(st);
+  return out;
+}
+
+Result<PruneEstimate> ColumnTable::EstimatePruningInt64(const std::string& col,
+                                                        int64_t lo,
+                                                        int64_t hi) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kInt64));
+  PruneEstimate e;
+  for (const auto& chunk : columns_[idx].int_chunks) {
+    ++e.chunks_total;
+    if (chunk.zone.all_null() || chunk.zone.max < lo || chunk.zone.min > hi ||
+        (chunk.validity.empty() && chunk.zone.min >= lo && chunk.zone.max <= hi)) {
+      ++e.chunks_prunable;
+    }
+  }
+  return e;
+}
+
+Result<PruneEstimate> ColumnTable::EstimatePruningStringEq(
+    const std::string& col, const std::string& needle) const {
+  OFI_ASSIGN_OR_RETURN(size_t idx, ColIndex(col, sql::TypeId::kString));
+  PruneEstimate e;
+  for (const auto& chunk : columns_[idx].string_chunks) {
+    ++e.chunks_total;
+    if (chunk.all_null() || needle < chunk.zone_min || needle > chunk.zone_max) {
+      ++e.chunks_prunable;
+    }
+  }
+  return e;
 }
 
 Result<std::vector<sql::Row>> ColumnTable::Gather(

@@ -134,6 +134,51 @@ struct ScanOptions {
   size_t morsel_chunks = 4;
 };
 
+// --- Grouped aggregation ----------------------------------------------------
+
+/// One aggregate computed per group by ColumnTable::GroupedAggregate. All
+/// partial states are int64 (SUM wraps modularly; COUNT/MIN/MAX are exact),
+/// so per-morsel partials merge associatively and bit-identically.
+enum class GroupedAggOp : uint8_t { kCountStar, kCount, kSum, kMin, kMax };
+
+struct GroupedAggSpec {
+  GroupedAggOp op = GroupedAggOp::kCountStar;
+  std::string column;  // aggregated column; empty for kCountStar
+};
+
+/// \brief Columnar output of one grouped aggregation: per-group key values
+/// (SoA, NULL keys form their own group) and per-aggregate partial states.
+/// Group order is first-appearance order of the serial chunk scan — the
+/// morsel-parallel driver merges per-worker tables in morsel order, so the
+/// order (and every value) is identical to the serial kernel.
+struct GroupedAggResult {
+  struct KeyColumn {
+    sql::TypeId type = sql::TypeId::kInt64;
+    std::vector<int64_t> ints;        // int64/timestamp keys
+    std::vector<std::string> strs;    // string keys
+    std::vector<uint8_t> valid;       // 0 = the NULL-key group
+  };
+  struct AggColumn {
+    /// The partial state per group (count for kCountStar/kCount).
+    std::vector<int64_t> value;
+    /// Non-null inputs folded into the state per group; 0 means SQL NULL
+    /// for SUM/MIN/MAX (COUNT aggregates are never NULL).
+    std::vector<int64_t> count;
+  };
+  std::vector<KeyColumn> keys;
+  std::vector<AggColumn> aggs;
+  size_t num_groups = 0;
+};
+
+/// \brief Zone-map-only pruning forecast for one filter — what EXPLAIN
+/// reports per DN without touching a chunk.
+struct PruneEstimate {
+  size_t chunks_total = 0;
+  /// Chunks the filter kernel would never decode (zone-pruned or emitted
+  /// whole via the full-range short-circuit).
+  size_t chunks_prunable = 0;
+};
+
 /// \brief Zone-map-derived column summary (no chunk is decoded): exact row,
 /// NULL and min/max bounds for ANALYZE-style statistics.
 struct ColumnZoneSummary {
@@ -231,8 +276,39 @@ class ColumnTable {
       const std::string& col, const std::vector<uint32_t>* sel = nullptr,
       const ScanOptions& opts = ScanOptions{}, ScanStats* stats = nullptr) const;
 
+  // --- Grouped aggregation --------------------------------------------------
+  /// Vectorized hash GROUP BY: builds per-group partial states for `aggs`
+  /// keyed by `key_cols` (int64/timestamp and string keys; NULL keys form
+  /// their own group, exactly as SQL grouping treats NULL = NULL). `sel`
+  /// restricts to a sorted selection (nullptr = all sealed rows); chunks
+  /// with no selected row are skipped without decoding. Aggregate inputs
+  /// must be int64-payload columns; SUM/MIN/MAX of zero non-null inputs
+  /// surface count == 0 (SQL NULL), COUNT/COUNT(*) are never NULL. The
+  /// morsel-parallel mode builds one flat hash table per worker and merges
+  /// them in morsel order — output is bit-identical to the serial kernel,
+  /// including group order (first appearance in chunk order).
+  Result<GroupedAggResult> GroupedAggregate(
+      const std::vector<std::string>& key_cols,
+      const std::vector<GroupedAggSpec>& aggs,
+      const std::vector<uint32_t>* sel = nullptr,
+      const ScanOptions& opts = ScanOptions{}, ScanStats* stats = nullptr) const;
+
   /// Materializes selected rows back into row form (NULL-correct).
   Result<std::vector<sql::Row>> Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Gather without the full-table decode: only chunks containing selected
+  /// rows are decoded, and the scan counters (charged per column-chunk)
+  /// record exactly that — the columnar feed for distributed join sides and
+  /// the grouped-aggregate row fallback. `sel` must be sorted ascending.
+  Result<std::vector<sql::Row>> MaterializeRows(const std::vector<uint32_t>& sel,
+                                                ScanStats* stats = nullptr) const;
+
+  /// Zone-map-only forecasts of how many chunks an int64-range / string-eq
+  /// filter would prune — per-DN EXPLAIN evidence, no chunk is decoded.
+  Result<PruneEstimate> EstimatePruningInt64(const std::string& col, int64_t lo,
+                                             int64_t hi) const;
+  Result<PruneEstimate> EstimatePruningStringEq(const std::string& col,
+                                                const std::string& needle) const;
 
   /// Zone-map rollup for one column (exact rows/nulls/min/max, no decode) —
   /// feeds optimizer::AnalyzeColumnTableZones.
@@ -256,6 +332,9 @@ class ColumnTable {
   };
 
   Result<size_t> ColIndex(const std::string& col, sql::TypeId expect) const;
+  /// Global row id of each chunk's first row, plus a trailing sentinel of
+  /// sealed_rows() — all columns chunk identically, so one table serves all.
+  std::vector<uint32_t> ChunkBases() const;
   void EncodeTail(ColumnData* c);
   /// Runs fn(chunk_begin, chunk_end, morsel_index) over fixed chunk ranges,
   /// on the pool when opts.parallel — ranges are identical either way, so

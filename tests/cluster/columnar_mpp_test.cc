@@ -137,15 +137,25 @@ TEST_F(ColumnarMppTest, FilterEliminatingEverythingMatchesRowPath) {
   EXPECT_EQ(res.scan_stats.rows_decoded, 0u);
 }
 
-TEST_F(ColumnarMppTest, GroupByUsesGatherPathAndMatchesRowPath) {
+TEST_F(ColumnarMppTest, GroupByUsesGroupedKernelAndMatchesRowPath) {
+  const int64_t fallback_agg0 = cluster_.metrics().Get("columnar.fallback_agg");
+  const int64_t fallback_gb0 =
+      cluster_.metrics().Get("columnar.fallback_groupby_type");
   auto res = RunBoth([] { return sql::ExprPtr{}; }, {"region"},
                      {{AggFunc::kCount, "", "n"},
                       {AggFunc::kSum, "amount", "total"},
                       {AggFunc::kAvg, "amount", "av"}});
-  // GROUP BY cannot use the pure kernels, but the shards are still served
-  // from the columnar copy (filter + Gather + ordinary partial aggregate).
+  // GROUP BY runs the vectorized grouped hash kernel on every fresh shard:
+  // no row materialization, no fallback counters.
   EXPECT_EQ(res.columnar_shards, 4u);
   EXPECT_EQ(res.table.num_rows(), 5u);
+  EXPECT_EQ(cluster_.metrics().Get("columnar.fallback_agg"), fallback_agg0);
+  EXPECT_EQ(cluster_.metrics().Get("columnar.fallback_groupby_type"),
+            fallback_gb0);
+  // The kernel decodes only the referenced columns (region, amount): one
+  // chunk each on every shard — 2 column-chunks x 4 shards. A materializing
+  // path would have decoded all three columns.
+  EXPECT_EQ(res.scan_stats.chunks_scanned, 8u);
 }
 
 TEST_F(ColumnarMppTest, FilteredGroupByMatchesRowPath) {
