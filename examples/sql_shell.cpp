@@ -14,6 +14,13 @@
 /// aggregation), and fall back single-node with a reason otherwise. Extra
 /// meta-commands: `\analyze` refreshes optimizer statistics, `\columnar t`
 /// registers a columnar copy of t, `\refresh t` re-snapshots stale shards.
+///
+/// Exchange overflow knobs (distributed only): `--exchange-cap=N` bounds
+/// each exchange channel's in-memory window to N bytes (overflow spills to
+/// disk and is reported after the query), `--spill-dir=PATH` picks the temp
+/// directory, `--spill-budget=N` caps live on-disk spill bytes,
+/// `--build-cap=N` caps the per-DN join build partition, and
+/// `--strict-exchange` restores the old deny-with-ResourceExhausted cap.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -26,6 +33,9 @@ using namespace ofi;  // NOLINT
 
 int main(int argc, char** argv) {
   int num_dns = 0;  // 0 = single-node session
+  size_t exchange_cap = 0, spill_budget = 0, build_cap = 0;
+  std::string spill_dir;
+  bool strict_exchange = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--distributed") == 0) {
       num_dns = 3;
@@ -35,16 +45,40 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --distributed=N value\n");
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--exchange-cap=", 15) == 0) {
+      exchange_cap = static_cast<size_t>(std::atoll(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--spill-dir=", 12) == 0) {
+      spill_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--spill-budget=", 15) == 0) {
+      spill_budget = static_cast<size_t>(std::atoll(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--build-cap=", 12) == 0) {
+      build_cap = static_cast<size_t>(std::atoll(argv[i] + 12));
+    } else if (std::strcmp(argv[i], "--strict-exchange") == 0) {
+      strict_exchange = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--distributed[=N]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--distributed[=N]] [--exchange-cap=BYTES] "
+                   "[--spill-dir=PATH] [--spill-budget=BYTES] "
+                   "[--build-cap=BYTES] [--strict-exchange]\n",
+                   argv[0]);
       return 1;
     }
+  }
+  if (num_dns == 0 && (exchange_cap || spill_budget || build_cap ||
+                       !spill_dir.empty() || strict_exchange)) {
+    std::fprintf(stderr, "exchange/spill knobs need --distributed\n");
+    return 1;
   }
 
   optimizer::SqlSession local;
   std::unique_ptr<cluster::DistributedSqlSession> dist;
   if (num_dns > 0) {
     dist = std::make_unique<cluster::DistributedSqlSession>(num_dns);
+    dist->exec_options().max_channel_bytes = exchange_cap;
+    dist->exec_options().strict_channel_limit = strict_exchange;
+    dist->exec_options().spill_dir = spill_dir;
+    dist->exec_options().max_spill_bytes = spill_budget;
+    dist->exec_options().max_build_bytes = build_cap;
     printf("openfidb sql shell — distributed over %d DNs, end statements "
            "with ';', \\q to quit\n", num_dns);
   } else {
@@ -117,6 +151,11 @@ int main(int argc, char** argv) {
                    (long long)info.stats.sim_latency_us);
             std::string scans = dist->LastScanReport();
             if (!scans.empty()) printf("%s", scans.c_str());
+            if (info.stats.spill_bytes + info.stats.build_spill_bytes > 0) {
+              printf("spill: exchange=%zuB (%zu segments) build=%zuB\n",
+                     info.stats.spill_bytes, info.stats.spill_segments,
+                     info.stats.build_spill_bytes);
+            }
           } else {
             printf("%s(%zu rows, single-node fallback: %s)\n",
                    result->ToString(50).c_str(), result->num_rows(),

@@ -111,6 +111,7 @@ struct FragSlot {
   Table table;  // partial-aggregate rows or plain result rows
   size_t partial_bytes = 0;
   size_t naive_bytes = 0;
+  size_t build_spill_bytes = 0;  // join build partition spooled to disk
   bool columnar = false;
   storage::ScanStats stats;  // columnar shards only
 };
@@ -482,7 +483,9 @@ class DistPlanExecutor {
     return exchange::ExchangeLatencyParams{
         cluster_->latency().network_hop_us,
         cluster_->latency().exchange_batch_service_us,
-        cluster_->latency().exchange_kb_service_us};
+        cluster_->latency().exchange_kb_service_us,
+        cluster_->latency().spill_write_kb_service_us,
+        cluster_->latency().spill_read_kb_service_us};
   }
 
   Cluster* cluster_;
@@ -1048,9 +1051,16 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
   // Data movement: move rows through the exchange. Each worker only writes
   // channels whose source is its own node, so sends are race-free by
   // construction (channels are mutex-guarded regardless). A channel byte
-  // limit turns overflow into a per-DN ResourceExhausted.
-  exchange::ExchangeNetwork left_net(n_, batch_rows_, opts_.max_channel_bytes);
-  exchange::ExchangeNetwork right_net(n_, batch_rows_, opts_.max_channel_bytes);
+  // limit bounds the in-memory window; overflow spills to per-channel temp
+  // files (or is denied under strict_channel_limit / an exhausted spill
+  // budget). One budget spans both relations' networks and the build side.
+  exchange::SpillBudget spill_budget(opts_.max_spill_bytes);
+  exchange::ExchangeSpillConfig spill_cfg{
+      opts_.spill_dir, opts_.strict_channel_limit, &spill_budget};
+  exchange::ExchangeNetwork left_net(n_, batch_rows_, opts_.max_channel_bytes,
+                                     spill_cfg);
+  exchange::ExchangeNetwork right_net(n_, batch_rows_, opts_.max_channel_bytes,
+                                      spill_cfg);
   std::vector<Status> send_status(serving_.size(), Status::OK());
   if (strategy == JoinStrategy::kBroadcast) {
     RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
@@ -1075,16 +1085,30 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
       send_status[static_cast<size_t>(i)] = st;
     });
   }
+  // Hard-limit denials and rolled-back partial sends are emitted
+  // immediately (not via pending_metrics_): they describe a query that is
+  // about to fail, and pending metrics only replay after a commit.
   const size_t denied = left_net.DeniedBytes() + right_net.DeniedBytes();
   if (denied > 0) {
-    cluster_->metrics().Add("exchange.bytes_spilled_denied",
+    cluster_->metrics().Add("exchange.bytes_denied",
                             static_cast<int64_t>(denied));
+  }
+  const size_t aborted = left_net.AbortedBytes() + right_net.AbortedBytes();
+  if (aborted > 0) {
+    cluster_->metrics().Add("exchange.bytes_aborted",
+                            static_cast<int64_t>(aborted));
   }
   for (const auto& st : send_status) OFI_RETURN_NOT_OK(st);
 
   // Per-DN join (+ fused partial aggregation): each DN assembles its slice
   // (local rows for the side that did not move, exchange-delivered rows for
   // the one that did) and runs the ordinary hash join from src/sql on it.
+  // Under max_build_bytes the build partition (the smaller side — the one
+  // broadcast would ship) is spooled through a capped local spill channel
+  // and re-read before the join: encode/decode is lossless, so the result
+  // is bit-identical and the overflow only costs simulated spill I/O.
+  exchange::ExchangeSpillConfig build_cfg{opts_.spill_dir, /*strict=*/false,
+                                          &spill_budget};
   std::vector<FragSlot>& slots = *slots_out;
   RunScatter(opts_.parallel, opts_.pool, n_, [&](int j) {
     FragSlot& slot = slots[static_cast<size_t>(j)];
@@ -1097,6 +1121,32 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
       }
       return (is_left ? left_net : right_net).ReceiveRows(j);
     };
+    auto spool_build = [&](std::vector<Row>* rows) -> Status {
+      if (opts_.max_build_bytes == 0 ||
+          exchange::EncodedBytes(*rows, batch_rows_) <=
+              opts_.max_build_bytes) {
+        return Status::OK();  // fits in memory, no round trip
+      }
+      exchange::ExchangeChannel ch;
+      exchange::ExchangeChannel::SendLimits limits{opts_.max_build_bytes,
+                                                   &build_cfg};
+      for (size_t b = 0; b < rows->size(); b += batch_rows_) {
+        size_t e = std::min(b + batch_rows_, rows->size());
+        OFI_RETURN_NOT_OK(ch.Send(exchange::EncodeBatch(*rows, b, e), limits));
+      }
+      std::vector<Row> out;
+      out.reserve(rows->size());
+      while (true) {
+        OFI_ASSIGN_OR_RETURN(std::optional<std::string> batch, ch.PopBatch());
+        if (!batch.has_value()) break;
+        OFI_ASSIGN_OR_RETURN(std::vector<Row> decoded,
+                             exchange::DecodeBatch(*batch));
+        for (auto& r : decoded) out.push_back(std::move(r));
+      }
+      slot.build_spill_bytes = ch.spilled_bytes();
+      *rows = std::move(out);
+      return Status::OK();
+    };
     auto lrows = side_rows(true);
     if (!lrows.ok()) {
       slot.status = lrows.status();
@@ -1107,6 +1157,8 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
       slot.status = rrows.status();
       return;
     }
+    slot.status = spool_build(stats_.broadcast_left ? &*lrows : &*rrows);
+    if (!slot.status.ok()) return;
     sql::ExprPtr pred = Expr::EqCols(join.left_key, join.right_key);
     if (join.residual) pred = Expr::And(pred, join.residual->Clone());
     sql::PlanPtr plan = sql::MakeJoin(
@@ -1147,8 +1199,17 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
       &cluster_->scheduler(), resources, {&left_net, &right_net}, frontier_,
       params);
   for (int j = 0; j < n_; ++j) {
-    frontier_[static_cast<size_t>(j)] = cluster_->ChargeDnStmt(
-        serving_[j], exchange_done[static_cast<size_t>(j)]);
+    // A spooled build partition pays its disk write + read on the owning
+    // DN before the join statement can start.
+    SimTime arrival = exchange_done[static_cast<size_t>(j)];
+    size_t build_spill = slots[static_cast<size_t>(j)].build_spill_bytes;
+    if (build_spill > 0) {
+      arrival = cluster_->scheduler().Charge(
+          resources[static_cast<size_t>(j)], arrival,
+          exchange::SpillServiceTime(build_spill, params));
+    }
+    frontier_[static_cast<size_t>(j)] =
+        cluster_->ChargeDnStmt(serving_[j], arrival);
   }
 
   // Accounting + metrics: cross-DN bytes per strategy, per-channel stats
@@ -1165,6 +1226,20 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
           : 0;
   stats_.exchange_batches =
       left_net.CrossNodeBatches() + right_net.CrossNodeBatches();
+  stats_.spill_bytes = left_net.SpilledBytes() + right_net.SpilledBytes();
+  stats_.spill_segments =
+      left_net.SpillSegments() + right_net.SpillSegments();
+  for (const auto& slot : slots) {
+    stats_.build_spill_bytes += slot.build_spill_bytes;
+  }
+  if (stats_.spill_bytes + stats_.build_spill_bytes > 0) {
+    pending_metrics_.emplace_back(
+        "exchange.bytes_spilled",
+        static_cast<int64_t>(stats_.spill_bytes + stats_.build_spill_bytes));
+    pending_metrics_.emplace_back(
+        "exchange.spill_segments",
+        static_cast<int64_t>(stats_.spill_segments));
+  }
   for (const auto* net : {&left_net, &right_net}) {
     for (exchange::ChannelStats ch : net->Stats()) {
       ch.src = serving_[static_cast<size_t>(ch.src)];

@@ -140,9 +140,28 @@ struct DistExecOptions {
   /// parallel == true is rejected with InvalidArgument.
   bool columnar_morsel_parallel = false;
   size_t batch_rows = 64;
-  /// Per-exchange-channel queued-byte limit; 0 = unbounded. Exceeding it
-  /// fails the query with ResourceExhausted (see exchange.h).
+  /// Per-exchange-channel in-memory queued-byte cap; 0 = unbounded. A Send
+  /// over the cap transparently spills the batch to a per-channel temp file
+  /// (results stay bit-identical, the query just pays spill I/O in
+  /// simulated time); the old fail-with-ResourceExhausted behavior is kept
+  /// behind strict_channel_limit (see exchange.h).
   size_t max_channel_bytes = 0;
+  /// Opt-in hard admission control: deny over-cap sends with
+  /// ResourceExhausted instead of spilling (counted in
+  /// exchange.bytes_denied, never exchange.bytes_spilled).
+  bool strict_channel_limit = false;
+  /// Directory for exchange/build spill segment files; empty = the system
+  /// temp directory. Segments are deleted as they are consumed and always
+  /// by the time the query returns, success or failure.
+  std::string spill_dir;
+  /// Cap on this query's total live on-disk spill bytes across every
+  /// exchange channel and join build side; 0 = unbounded. Exhausting it is
+  /// the one remaining overflow failure mode (ResourceExhausted).
+  size_t max_spill_bytes = 0;
+  /// Per-DN cap on the in-memory hash-join build partition; a build side
+  /// exceeding it is spooled through a spill channel and re-read at build
+  /// time (bit-identical, charged as spill I/O). 0 = never spill the build.
+  size_t max_build_bytes = 0;
   /// Stats for the kAuto broadcast-vs-repartition decision; null falls
   /// back to actual scanned encoded sizes.
   const optimizer::StatsRegistry* stats = nullptr;
@@ -189,6 +208,13 @@ struct DistExecStats {
   size_t broadcast_bytes = 0;
   size_t result_bytes = 0;
   size_t exchange_batches = 0;
+  /// Exchange payload spilled to temp files by capped channels (loopback
+  /// included — the disk I/O is real even for the local partition).
+  size_t spill_bytes = 0;
+  size_t spill_segments = 0;
+  /// Join build partitions spooled to disk under max_build_bytes, summed
+  /// over DNs.
+  size_t build_spill_bytes = 0;
   std::vector<exchange::ChannelStats> channels;
 };
 

@@ -173,6 +173,28 @@ Result<std::string> DistributedSqlSession::Explain(const std::string& query) {
   // estimate) — metadata only, nothing executes.
   std::string paths = ExplainScanPaths(&cluster_, lowering.root);
   if (!paths.empty()) out += "scan forecast:\n" + paths;
+  // Exchange overflow policy: only worth a line when a cap is set.
+  if (exec_options_.max_channel_bytes > 0) {
+    out += "exchange: channel cap " +
+           std::to_string(exec_options_.max_channel_bytes) + "B, overflow " +
+           (exec_options_.strict_channel_limit ? std::string("denied (strict)")
+                                               : std::string("spills to ") +
+                                                     (exec_options_.spill_dir
+                                                          .empty()
+                                                          ? "system temp dir"
+                                                          : exec_options_
+                                                                .spill_dir));
+    if (exec_options_.max_spill_bytes > 0) {
+      out += ", spill budget " + std::to_string(exec_options_.max_spill_bytes) +
+             "B";
+    }
+    out += "\n";
+  }
+  if (exec_options_.max_build_bytes > 0) {
+    out += "join build: in-memory cap " +
+           std::to_string(exec_options_.max_build_bytes) +
+           "B per DN, overflow spools to spill\n";
+  }
   if (!lowering.cn_post.empty()) {
     out += "CN-side post:";
     // Rendered in execution order (innermost node runs first after gather).

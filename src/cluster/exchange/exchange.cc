@@ -1,7 +1,10 @@
 #include "cluster/exchange/exchange.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 
 namespace ofi::cluster::exchange {
 namespace {
@@ -165,12 +168,24 @@ Result<std::vector<Row>> DecodeBatch(const std::string& buf) {
   if (!ReadU32(buf, &off, &num_rows)) {
     return Status::InvalidArgument("exchange batch truncated (row count)");
   }
+  // Sanity-bound the header before reserving: every row needs at least a
+  // 4-byte value count, so a count larger than the payload could hold is
+  // corruption (e.g. a damaged spill segment), not a huge allocation.
+  if (num_rows > (buf.size() - off) / 4) {
+    return Status::InvalidArgument("exchange batch: implausible row count " +
+                                   std::to_string(num_rows));
+  }
   std::vector<Row> rows;
   rows.reserve(num_rows);
   for (uint32_t r = 0; r < num_rows; ++r) {
     uint32_t num_vals;
     if (!ReadU32(buf, &off, &num_vals)) {
       return Status::InvalidArgument("exchange batch truncated (value count)");
+    }
+    if (num_vals > buf.size() - off) {  // every value is >= 1 byte
+      return Status::InvalidArgument(
+          "exchange batch: implausible value count " +
+          std::to_string(num_vals));
     }
     Row row;
     row.reserve(num_vals);
@@ -248,13 +263,215 @@ uint64_t HashForPartition(const Value& v) {
   return f.h;
 }
 
+// --- SpillFile ---------------------------------------------------------------
+
+Status SpillFile::Append(const std::string& blob, const std::string& dir,
+                         size_t* offset_out) {
+  if (f_ == nullptr) {
+    std::error_code ec;
+    std::filesystem::path base =
+        dir.empty() ? std::filesystem::temp_directory_path(ec)
+                    : std::filesystem::path(dir);
+    if (ec) {
+      return Status::Internal("spill: no temp directory: " + ec.message());
+    }
+    if (!dir.empty()) {
+      // A configured spill_dir need not pre-exist; fopen still reports the
+      // failure if creation was impossible.
+      std::filesystem::create_directories(base, ec);
+    }
+    static std::atomic<uint64_t> counter{0};
+    std::string name = "ofi-exchange-" + std::to_string(::getpid()) + "-" +
+                       std::to_string(counter.fetch_add(1)) + ".spill";
+    path_ = (base / name).string();
+    f_ = std::fopen(path_.c_str(), "wb+");
+    if (f_ == nullptr) {
+      std::string p = std::move(path_);
+      path_.clear();
+      return Status::Internal("spill: cannot create " + p);
+    }
+    end_ = 0;
+  }
+  if (std::fseek(f_, static_cast<long>(end_), SEEK_SET) != 0 ||
+      std::fwrite(blob.data(), 1, blob.size(), f_) != blob.size() ||
+      std::fflush(f_) != 0) {
+    return Status::Internal("spill: short write to " + path_);
+  }
+  *offset_out = end_;
+  end_ += blob.size();
+  return Status::OK();
+}
+
+Result<std::string> SpillFile::Read(size_t offset, size_t size) {
+  if (f_ == nullptr) {
+    return Status::Corruption("spill: segment read with no spill file");
+  }
+  std::string out(size, '\0');
+  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(out.data(), 1, size, f_) != size) {
+    return Status::Corruption("spill: truncated segment in " + path_ +
+                              " (offset " + std::to_string(offset) + ", " +
+                              std::to_string(size) + " bytes)");
+  }
+  return out;
+}
+
+void SpillFile::Remove() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    std::remove(path_.c_str());
+    f_ = nullptr;
+  }
+  path_.clear();
+  end_ = 0;
+}
+
+// --- ExchangeChannel ---------------------------------------------------------
+
+Status ExchangeChannel::Send(std::string batch, const SendLimits& limits) {
+  const size_t size = batch.size();
+  std::lock_guard lock(mu_);
+  // Memory path: under the cap and no spill pending (once anything is on
+  // disk, newer sends must follow it there or FIFO order would break).
+  if (limits.max_queued_bytes == 0 ||
+      (spill_segs_.empty() &&
+       queued_bytes_ + size <= limits.max_queued_bytes)) {
+    queued_bytes_ += size;
+    bytes_ += size;
+    ++batches_;
+    queue_.push_back(std::move(batch));
+    return Status::OK();
+  }
+  const ExchangeSpillConfig* spill = limits.spill;
+  if (spill == nullptr || spill->strict) {
+    denied_bytes_ += size;
+    return Status::ResourceExhausted(
+        "exchange channel over byte limit (" +
+        std::to_string(queued_bytes_ + size) + " > " +
+        std::to_string(limits.max_queued_bytes) + " queued bytes)");
+  }
+  if (spill->budget != nullptr && !spill->budget->Reserve(size)) {
+    denied_bytes_ += size;
+    return Status::ResourceExhausted(
+        "exchange spill budget exhausted (" + std::to_string(size) +
+        " bytes over " + std::to_string(spill->budget->max_bytes) + ")");
+  }
+  size_t offset = 0;
+  Status st = spill_.Append(batch, spill->temp_dir, &offset);
+  if (!st.ok()) {
+    if (spill->budget != nullptr) spill->budget->Release(size);
+    return st;
+  }
+  budget_ = spill->budget;
+  spill_segs_.push_back(Seg{offset, size});
+  bytes_ += size;
+  ++batches_;
+  spilled_bytes_ += size;
+  ++spill_segments_;
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> ExchangeChannel::PopBatch() {
+  std::lock_guard lock(mu_);
+  if (!queue_.empty()) {
+    std::string batch = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= batch.size();
+    return std::optional<std::string>(std::move(batch));
+  }
+  if (!spill_segs_.empty()) {
+    Seg seg = spill_segs_.front();
+    OFI_ASSIGN_OR_RETURN(std::string batch, spill_.Read(seg.offset, seg.size));
+    spill_segs_.pop_front();
+    if (budget_ != nullptr) budget_->Release(seg.size);
+    // Last segment consumed: the temp file's job is done, delete it now
+    // rather than waiting for the network's destructor.
+    if (spill_segs_.empty()) spill_.Remove();
+    return std::optional<std::string>(std::move(batch));
+  }
+  return std::optional<std::string>();
+}
+
+Result<std::vector<std::string>> ExchangeChannel::Drain() {
+  std::vector<std::string> out;
+  while (true) {
+    OFI_ASSIGN_OR_RETURN(std::optional<std::string> batch, PopBatch());
+    if (!batch.has_value()) break;
+    out.push_back(std::move(*batch));
+  }
+  return out;
+}
+
+void ExchangeChannel::Discard() {
+  std::lock_guard lock(mu_);
+  DiscardLocked();
+}
+
+void ExchangeChannel::DiscardLocked() {
+  size_t dropped = queued_bytes_;
+  size_t dropped_batches = queue_.size() + spill_segs_.size();
+  size_t dropped_spill = 0;
+  for (const Seg& seg : spill_segs_) dropped_spill += seg.size;
+  if (budget_ != nullptr && dropped_spill > 0) budget_->Release(dropped_spill);
+  spill_segments_ -= spill_segs_.size();
+  queue_.clear();
+  spill_segs_.clear();
+  spill_.Remove();
+  queued_bytes_ = 0;
+  bytes_ -= dropped + dropped_spill;
+  batches_ -= dropped_batches;
+  spilled_bytes_ -= dropped_spill;
+  aborted_bytes_ += dropped + dropped_spill;
+}
+
+ExchangeChannel::Checkpoint ExchangeChannel::Mark() const {
+  std::lock_guard lock(mu_);
+  Checkpoint cp;
+  cp.batches = batches_;
+  cp.bytes = bytes_;
+  cp.spilled_bytes = spilled_bytes_;
+  cp.spill_segments = spill_segments_;
+  cp.mem_count = queue_.size();
+  cp.seg_count = spill_segs_.size();
+  cp.spill_end = spill_.logical_end();
+  return cp;
+}
+
+void ExchangeChannel::RollbackTo(const Checkpoint& cp) {
+  std::lock_guard lock(mu_);
+  size_t dropped = 0;
+  while (queue_.size() > cp.mem_count) {
+    dropped += queue_.back().size();
+    queued_bytes_ -= queue_.back().size();
+    queue_.pop_back();
+  }
+  size_t dropped_spill = 0;
+  while (spill_segs_.size() > cp.seg_count) {
+    dropped_spill += spill_segs_.back().size;
+    spill_segs_.pop_back();
+  }
+  if (budget_ != nullptr && dropped_spill > 0) budget_->Release(dropped_spill);
+  if (spill_segs_.empty() && cp.spill_end == 0) {
+    spill_.Remove();
+  } else {
+    spill_.TruncateTo(cp.spill_end);
+  }
+  bytes_ = cp.bytes;
+  batches_ = cp.batches;
+  spilled_bytes_ = cp.spilled_bytes;
+  spill_segments_ = cp.spill_segments;
+  aborted_bytes_ += dropped + dropped_spill;
+}
+
+// --- ExchangeNetwork ---------------------------------------------------------
+
 Status ExchangeNetwork::SendRows(int src, int dst,
                                  const std::vector<Row>& rows) {
   ExchangeChannel& ch = channel(src, dst);
+  const ExchangeChannel::SendLimits limits = send_limits();
   for (size_t begin = 0; begin < rows.size(); begin += batch_rows_) {
     size_t end = std::min(begin + batch_rows_, rows.size());
-    OFI_RETURN_NOT_OK(ch.Send(EncodeBatch(rows, begin, end),
-                              max_channel_bytes_));
+    OFI_RETURN_NOT_OK(ch.Send(EncodeBatch(rows, begin, end), limits));
   }
   return Status::OK();
 }
@@ -262,8 +479,14 @@ Status ExchangeNetwork::SendRows(int src, int dst,
 Result<std::vector<Row>> ExchangeNetwork::ReceiveRows(int dst) {
   std::vector<Row> out;
   for (int src = 0; src < n_; ++src) {
-    for (auto& batch : channel(src, dst).Drain()) {
-      OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, DecodeBatch(batch));
+    ExchangeChannel& ch = channel(src, dst);
+    // Stream one batch at a time: the full channel payload never has to be
+    // resident — the memory window drains first, then spill segments are
+    // read back in send order.
+    while (true) {
+      OFI_ASSIGN_OR_RETURN(std::optional<std::string> batch, ch.PopBatch());
+      if (!batch.has_value()) break;
+      OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, DecodeBatch(*batch));
       for (auto& r : rows) out.push_back(std::move(r));
     }
   }
@@ -341,6 +564,62 @@ size_t ExchangeNetwork::DeniedBytes() const {
   return n;
 }
 
+size_t ExchangeNetwork::SpilledBytes() const {
+  size_t n = 0;
+  for (const auto& ch : channels_) n += ch.spilled_bytes();
+  return n;
+}
+
+size_t ExchangeNetwork::SpillSegments() const {
+  size_t n = 0;
+  for (const auto& ch : channels_) n += ch.spill_segments();
+  return n;
+}
+
+size_t ExchangeNetwork::SpilledInBytes(int dst) const {
+  size_t n = 0;
+  for (int src = 0; src < n_; ++src) n += channel(src, dst).spilled_bytes();
+  return n;
+}
+
+size_t ExchangeNetwork::AbortedBytes() const {
+  size_t n = 0;
+  for (const auto& ch : channels_) n += ch.aborted_bytes();
+  return n;
+}
+
+namespace {
+
+// Rolls every channel out of `src` back to its pre-operator checkpoint when
+// a multi-destination send fails partway, so the failed operator leaves no
+// queued payload and no inflated byte/batch accounting behind (the dropped
+// payload is tracked in AbortedBytes).
+class ScatterGuard {
+ public:
+  ScatterGuard(ExchangeNetwork* net, int src) : net_(net), src_(src) {
+    marks_.reserve(static_cast<size_t>(net->num_nodes()));
+    for (int dst = 0; dst < net->num_nodes(); ++dst) {
+      marks_.push_back(net->channel(src, dst).Mark());
+    }
+  }
+  ~ScatterGuard() {
+    if (armed_) {
+      for (int dst = 0; dst < net_->num_nodes(); ++dst) {
+        net_->channel(src_, dst).RollbackTo(marks_[static_cast<size_t>(dst)]);
+      }
+    }
+  }
+  void Commit() { armed_ = false; }
+
+ private:
+  ExchangeNetwork* net_;
+  int src_;
+  bool armed_ = true;
+  std::vector<ExchangeChannel::Checkpoint> marks_;
+};
+
+}  // namespace
+
 Status ShufflePartition(ExchangeNetwork* net, int src,
                         const std::vector<Row>& rows, size_t key_idx) {
   const int n = net->num_nodes();
@@ -350,17 +629,21 @@ Status ShufflePartition(ExchangeNetwork* net, int src,
                                static_cast<uint64_t>(n));
     parts[static_cast<size_t>(dst)].push_back(row);
   }
+  ScatterGuard guard(net, src);
   for (int dst = 0; dst < n; ++dst) {
     OFI_RETURN_NOT_OK(net->SendRows(src, dst, parts[static_cast<size_t>(dst)]));
   }
+  guard.Commit();
   return Status::OK();
 }
 
 Status BroadcastRows(ExchangeNetwork* net, int src,
                      const std::vector<Row>& rows) {
+  ScatterGuard guard(net, src);
   for (int dst = 0; dst < net->num_nodes(); ++dst) {
     OFI_RETURN_NOT_OK(net->SendRows(src, dst, rows));
   }
+  guard.Commit();
   return Status::OK();
 }
 
@@ -369,6 +652,12 @@ SimTime ExchangeServiceTime(size_t bytes, size_t batches,
   SimTime kib = static_cast<SimTime>((bytes + 1023) / 1024);
   return static_cast<SimTime>(batches) * p.batch_service_us +
          kib * p.kb_service_us;
+}
+
+SimTime SpillServiceTime(size_t bytes, const ExchangeLatencyParams& p) {
+  if (bytes == 0) return 0;
+  SimTime kib = static_cast<SimTime>((bytes + 1023) / 1024);
+  return kib * (p.spill_write_kb_us + p.spill_read_kb_us);
 }
 
 std::vector<SimTime> SimulateExchange(
@@ -413,6 +702,12 @@ std::vector<SimTime> SimulateExchange(
       batches += net->InBatches(j);
     }
     SimTime service = any_in ? ExchangeServiceTime(bytes, batches, p) : 0;
+    // Spilled bytes entering j pay a disk write + read on j's resource —
+    // loopback included, since the spill file is real even when the network
+    // hop is not.
+    size_t spilled_in = 0;
+    for (const auto* net : nets) spilled_in += net->SpilledInBytes(j);
+    service += SpillServiceTime(spilled_in, p);
     done[j] = service == 0
                   ? arrival
                   : scheduler->Charge(node_resources[j], arrival, service);

@@ -19,17 +19,32 @@
 /// source-node order and each channel preserves send order, so downstream
 /// operators see a platform-independent row order.
 ///
+/// Channels are *streaming* queues with a bounded in-memory window: a Send
+/// that would exceed `max_bytes` of queued (sent, not yet received) payload
+/// transparently spills the overflow batch to a per-channel temp file
+/// instead of failing. Spilled segments are re-read in send order on the
+/// receive path, so delivery order — and therefore query results — are
+/// bit-identical to the uncapped run; the query just pays disk I/O in
+/// simulated time (see ExchangeLatencyParams). The historical deny-on-cap
+/// behavior survives behind an opt-in strict mode (ExchangeSpillConfig::
+/// strict), and a shared SpillBudget bounds total on-disk bytes per query.
+///
 /// The simulated latency model is consistent with the max-over-DNs scatter
 /// in cluster/mpp_query.h: every node serializes+sends its outgoing traffic
 /// and decodes its incoming traffic as work on its own serialized resource
 /// (per-batch overhead + per-KiB payload cost, see LatencyModel), and the
 /// exchange completes on node j when the slowest contributing sender has
 /// finished plus one network hop — not the serial sum over nodes (which
-/// callers still report for comparison).
+/// callers still report for comparison). Spilled bytes additionally charge
+/// a disk write + read per KiB on the receiving node's resource.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +88,84 @@ size_t EncodedBytes(const std::vector<sql::Row>& rows, size_t batch_rows);
 /// routes every matching pair to the same partition on any host.
 uint64_t HashForPartition(const sql::Value& v);
 
+// --- Spill-to-disk -----------------------------------------------------------
+
+/// Shared cap on the bytes a query may hold spilled on disk at once, across
+/// every consumer (both relations' exchange networks and the join build
+/// side). max_bytes == 0 means unbounded; `used` tracks live on-disk bytes
+/// (reserved on spill, released when the segment is consumed or discarded).
+struct SpillBudget {
+  explicit SpillBudget(size_t max = 0) : max_bytes(max) {}
+  size_t max_bytes = 0;
+  std::atomic<size_t> used{0};
+
+  /// Reserves `n` bytes; false when the budget would be exceeded.
+  bool Reserve(size_t n) {
+    if (max_bytes == 0) {
+      used.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    size_t cur = used.load(std::memory_order_relaxed);
+    while (cur + n <= max_bytes) {
+      if (used.compare_exchange_weak(cur, cur + n,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void Release(size_t n) { used.fetch_sub(n, std::memory_order_relaxed); }
+};
+
+/// How a channel handles a Send that would exceed its queued-byte cap.
+struct ExchangeSpillConfig {
+  /// Directory for spill segment files; empty = the system temp directory.
+  std::string temp_dir;
+  /// Opt-in strict mode: deny with ResourceExhausted instead of spilling
+  /// (the historical behavior, kept for hard admission-control setups).
+  bool strict = false;
+  /// Shared on-disk byte budget; nullptr = unbounded. Exhaustion denies
+  /// like strict mode — the one overflow failure mode that remains.
+  SpillBudget* budget = nullptr;
+};
+
+/// \brief An append-only temp file of spill segments, with random-access
+/// reads. Created lazily on first Append, deleted on Remove()/destruction —
+/// a failing query can never leak segments because the owning channel (and
+/// network) destructors call Remove().
+///
+/// Not thread-safe on its own; the owning ExchangeChannel serializes access
+/// under its mutex.
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile() { Remove(); }
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends `blob` at the logical end, creating the file on first use.
+  /// Returns the segment's offset in `*offset_out`.
+  Status Append(const std::string& blob, const std::string& dir,
+                size_t* offset_out);
+  /// Reads `size` bytes at `offset`; Corruption when the file is shorter
+  /// than the recorded segment (truncated/corrupt spill).
+  Result<std::string> Read(size_t offset, size_t size);
+  /// Rolls the logical end back (failed partial send); later Appends
+  /// overwrite the abandoned tail.
+  void TruncateTo(size_t logical_end) { end_ = logical_end; }
+  /// Closes and unlinks the file now (all segments consumed or discarded).
+  void Remove();
+
+  bool active() const { return f_ != nullptr; }
+  size_t logical_end() const { return end_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FILE* f_ = nullptr;
+  std::string path_;
+  size_t end_ = 0;  // logical append offset (file may be longer after rollback)
+};
+
 // --- Channels ----------------------------------------------------------------
 
 /// Byte/batch accounting for one (src,dst) channel.
@@ -83,39 +176,65 @@ struct ChannelStats {
   size_t batches = 0;
 };
 
-/// \brief One directed src->dst mailbox carrying serialized batches.
-/// Thread-safe: senders run on thread-pool workers. Order-preserving.
-/// Queued (undrained) bytes can be capped: a Send that would exceed
-/// `max_bytes` is denied with ResourceExhausted instead of growing the
-/// queue without bound, and the denied payload is counted for metrics.
+/// \brief One directed src->dst streaming mailbox carrying serialized
+/// batches. Thread-safe: senders run on thread-pool workers. FIFO: receive
+/// order is always send order, spilled or not.
+///
+/// The in-memory queue is bounded by SendLimits::max_queued_bytes
+/// (backpressure): an over-cap Send spills the batch to the channel's temp
+/// file instead of growing the queue (or being denied — strict mode only).
+/// Once any segment is on disk, subsequent sends spill too until the spill
+/// is fully consumed, so disk never reorders ahead of memory.
 class ExchangeChannel {
  public:
-  /// `max_bytes` caps the bytes queued (sent, not yet drained) in this
-  /// channel; 0 = unbounded (the historical behavior).
-  Status Send(std::string batch, size_t max_bytes = 0) {
-    std::lock_guard lock(mu_);
-    if (max_bytes != 0 && queued_bytes_ + batch.size() > max_bytes) {
-      denied_bytes_ += batch.size();
-      return Status::ResourceExhausted(
-          "exchange channel over byte limit: " +
-          std::to_string(queued_bytes_ + batch.size()) + " > " +
-          std::to_string(max_bytes));
-    }
-    bytes_ += batch.size();
-    queued_bytes_ += batch.size();
-    ++batches_;
-    queue_.push_back(std::move(batch));
-    return Status::OK();
-  }
+  /// Per-send policy (owned by the network, shared across its channels).
+  struct SendLimits {
+    /// Cap on in-memory queued (sent, not yet received) bytes; 0 = no cap.
+    size_t max_queued_bytes = 0;
+    /// Overflow handling; nullptr with a cap = deny (no spill configured).
+    const ExchangeSpillConfig* spill = nullptr;
+  };
 
-  /// Removes and returns every queued batch in send order.
-  std::vector<std::string> Drain() {
-    std::lock_guard lock(mu_);
-    std::vector<std::string> out;
-    out.swap(queue_);
-    queued_bytes_ = 0;
-    return out;
-  }
+  /// Snapshot of the send-side state, for rolling back a failed multi-
+  /// channel operator send (ShufflePartition / BroadcastRows). Only valid
+  /// while no receive runs on this channel between Mark and RollbackTo.
+  struct Checkpoint {
+    size_t batches = 0;
+    size_t bytes = 0;
+    size_t spilled_bytes = 0;
+    size_t spill_segments = 0;
+    size_t mem_count = 0;
+    size_t seg_count = 0;
+    size_t spill_end = 0;
+  };
+
+  ExchangeChannel() = default;
+  ~ExchangeChannel() { Discard(); }
+
+  /// Queues one batch, spilling or denying per `limits` (see class docs).
+  Status Send(std::string batch, const SendLimits& limits);
+  /// Uncapped send (no limit, no spill).
+  Status Send(std::string batch) { return Send(std::move(batch), SendLimits{}); }
+
+  /// Removes and returns the oldest queued batch (reading it back from the
+  /// spill file when the memory queue is empty); nullopt when the channel
+  /// is empty. Corruption when a spill segment cannot be read back whole.
+  Result<std::optional<std::string>> PopBatch();
+
+  /// Removes and returns every queued batch in send order (memory window
+  /// first, then spilled segments — which is exactly send order).
+  Result<std::vector<std::string>> Drain();
+
+  /// Drops all queued and spilled payload without delivering it, rolling
+  /// the lifetime byte/batch totals back so an aborted exchange does not
+  /// inflate traffic accounting; the dropped payload moves to
+  /// aborted_bytes(). Deletes the spill file.
+  void Discard();
+
+  Checkpoint Mark() const;
+  /// Restores the send-side state captured by Mark(), discarding batches
+  /// sent since (see Discard for the accounting contract).
+  void RollbackTo(const Checkpoint& cp);
 
   size_t bytes() const {
     std::lock_guard lock(mu_);
@@ -129,39 +248,82 @@ class ExchangeChannel {
     std::lock_guard lock(mu_);
     return queued_bytes_;
   }
+  /// Payload refused by strict mode or an exhausted spill budget.
   size_t denied_bytes() const {
     std::lock_guard lock(mu_);
     return denied_bytes_;
   }
+  /// Spilled payload delivered or still deliverable (not reduced by
+  /// receives; Discard/RollbackTo move undelivered spill to aborted_bytes).
+  size_t spilled_bytes() const {
+    std::lock_guard lock(mu_);
+    return spilled_bytes_;
+  }
+  size_t spill_segments() const {
+    std::lock_guard lock(mu_);
+    return spill_segments_;
+  }
+  /// Payload dropped by Discard/RollbackTo (failed exchanges).
+  size_t aborted_bytes() const {
+    std::lock_guard lock(mu_);
+    return aborted_bytes_;
+  }
+  /// Path of the live spill file; empty when nothing is spilled (test and
+  /// debugging hook — e.g. the truncated-segment error-path test).
+  std::string spill_path() const {
+    std::lock_guard lock(mu_);
+    return spill_.path();
+  }
 
  private:
+  struct Seg {
+    size_t offset = 0;
+    size_t size = 0;
+  };
+
+  void DiscardLocked();
+
   mutable std::mutex mu_;
-  std::vector<std::string> queue_;
-  size_t bytes_ = 0;    // lifetime total, not decremented by Drain
+  std::deque<std::string> queue_;  // in-memory window (oldest first)
+  std::deque<Seg> spill_segs_;     // on-disk overflow, newer than everything in queue_
+  SpillFile spill_;
+  SpillBudget* budget_ = nullptr;  // budget the live spill bytes are held on
+  size_t bytes_ = 0;    // lifetime accepted payload, rolled back on Discard
   size_t batches_ = 0;
-  size_t queued_bytes_ = 0;  // currently enqueued; Drain resets to 0
-  size_t denied_bytes_ = 0;  // payload refused by the byte limit
+  size_t queued_bytes_ = 0;   // currently in queue_; receives decrement
+  size_t denied_bytes_ = 0;   // refused by strict mode / budget
+  size_t spilled_bytes_ = 0;  // lifetime payload written to disk
+  size_t spill_segments_ = 0;
+  size_t aborted_bytes_ = 0;  // dropped by Discard / RollbackTo
 };
 
 /// \brief The all-to-all mailbox grid for one exchange step: num_nodes^2
 /// channels. Loopback (src == dst) traffic still goes through the codec —
 /// the receive path is identical for local and remote rows — but is excluded
-/// from the cross-node byte/batch accounting and from simulated latency,
-/// matching a real DN keeping its own partition in memory.
+/// from the cross-node byte/batch accounting and from simulated network
+/// latency, matching a real DN keeping its own partition in memory. Spilled
+/// loopback bytes DO count (and charge): disk I/O is paid even for the
+/// partition that never crosses the wire.
 class ExchangeNetwork {
  public:
-  /// `max_channel_bytes` caps each channel's queued bytes (0 = unbounded);
-  /// see ExchangeChannel::Send.
+  /// `max_channel_bytes` caps each channel's in-memory queued bytes (0 =
+  /// unbounded); overflow spills per `spill` (see ExchangeChannel).
   explicit ExchangeNetwork(int num_nodes, size_t batch_rows = 64,
-                           size_t max_channel_bytes = 0)
+                           size_t max_channel_bytes = 0,
+                           ExchangeSpillConfig spill = {})
       : n_(num_nodes),
         batch_rows_(batch_rows == 0 ? 1 : batch_rows),
         max_channel_bytes_(max_channel_bytes),
+        spill_(std::move(spill)),
         channels_(static_cast<size_t>(num_nodes) * num_nodes) {}
 
   int num_nodes() const { return n_; }
   size_t batch_rows() const { return batch_rows_; }
   size_t max_channel_bytes() const { return max_channel_bytes_; }
+  const ExchangeSpillConfig& spill_config() const { return spill_; }
+  ExchangeChannel::SendLimits send_limits() const {
+    return ExchangeChannel::SendLimits{max_channel_bytes_, &spill_};
+  }
 
   ExchangeChannel& channel(int src, int dst) {
     return channels_[static_cast<size_t>(src) * n_ + dst];
@@ -171,12 +333,16 @@ class ExchangeNetwork {
   }
 
   /// Encodes `rows` into batches of at most batch_rows() and sends them
-  /// src -> dst. Safe to call concurrently for distinct `src`. Fails with
-  /// ResourceExhausted when the channel byte limit would be exceeded.
+  /// src -> dst. Safe to call concurrently for distinct `src`. Over-cap
+  /// batches spill to disk; fails with ResourceExhausted only in strict
+  /// mode or when the spill budget is exhausted.
   Status SendRows(int src, int dst, const std::vector<sql::Row>& rows);
 
-  /// Drains and decodes everything addressed to `dst`, concatenated in
-  /// source-node order (deterministic receive order).
+  /// Streams and decodes everything addressed to `dst`, one batch at a
+  /// time, concatenated in source-node order then send order (deterministic
+  /// receive order, spilled or not). Consumed spill segments free their
+  /// budget; a channel's spill file is deleted the moment its last segment
+  /// is read.
   Result<std::vector<sql::Row>> ReceiveRows(int dst);
 
   /// Per-channel accounting for every non-empty channel, in (src,dst) order.
@@ -190,13 +356,23 @@ class ExchangeNetwork {
   size_t OutBatches(int src) const;
   size_t InBytes(int dst) const;
   size_t InBatches(int dst) const;
-  /// Total payload denied across every channel by the byte limit.
+  /// Total payload denied across every channel (strict mode / spill budget).
   size_t DeniedBytes() const;
+  /// Total payload spilled to disk across every channel (loopback included —
+  /// the disk write is real even when the network hop is not).
+  size_t SpilledBytes() const;
+  size_t SpillSegments() const;
+  /// Spilled payload entering `dst` (loopback included), the bytes whose
+  /// disk write+read charge lands on the receiving node.
+  size_t SpilledInBytes(int dst) const;
+  /// Total payload dropped by failed sends' rollback across every channel.
+  size_t AbortedBytes() const;
 
  private:
   int n_;
   size_t batch_rows_;
   size_t max_channel_bytes_;
+  ExchangeSpillConfig spill_;
   std::vector<ExchangeChannel> channels_;  // row-major [src][dst]
 };
 
@@ -206,14 +382,15 @@ class ExchangeNetwork {
 /// num_nodes and sends each partition from `src` to its owning node,
 /// preserving relative row order within each partition. Rows with NULL keys
 /// are routed like any other value (an inner join drops them at the probe).
-/// ResourceExhausted when a channel byte limit denies a batch.
+/// On failure (strict mode / spill budget) every batch this call already
+/// queued is rolled back, so a failed shuffle leaves the network's byte and
+/// batch accounting untouched (the payload is counted in AbortedBytes).
 Status ShufflePartition(ExchangeNetwork* net, int src,
                         const std::vector<sql::Row>& rows, size_t key_idx);
 
 /// Broadcast: sends every row from `src` to every node (including the
 /// loopback copy to itself, so receivers assemble the full relation from
-/// channels alone). ResourceExhausted when a channel byte limit denies a
-/// batch.
+/// channels alone). Same rollback-on-failure contract as ShufflePartition.
 Status BroadcastRows(ExchangeNetwork* net, int src,
                      const std::vector<sql::Row>& rows);
 
@@ -224,11 +401,17 @@ struct ExchangeLatencyParams {
   SimTime network_hop_us = 25;
   SimTime batch_service_us = 4;  // per-batch serialize/deserialize overhead
   SimTime kb_service_us = 2;     // per KiB of payload, sender and receiver
+  SimTime spill_write_kb_us = 6;  // per KiB written to a spill file
+  SimTime spill_read_kb_us = 4;   // per KiB read back from a spill file
 };
 
 /// Serialized service time for moving `bytes` in `batches` on one node.
 SimTime ExchangeServiceTime(size_t bytes, size_t batches,
                             const ExchangeLatencyParams& p);
+
+/// Serialized service time for writing `bytes` to spill and reading them
+/// back (both halves are paid by the node that owns the spill file).
+SimTime SpillServiceTime(size_t bytes, const ExchangeLatencyParams& p);
 
 /// Charges one exchange step on the per-node serialized resources and
 /// returns, per node, the time its input rows are fully decoded and ready.
@@ -236,8 +419,10 @@ SimTime ExchangeServiceTime(size_t bytes, size_t batches,
 /// decoding once the slowest sender shipping to it has finished, plus one
 /// network hop — the max-over-senders structure that keeps the parallel
 /// exchange flat in N while a chained model grows linearly. Nodes with no
-/// cross-node input finish at max(start[j], own send completion).
-/// `nets` traffic is summed (a join repartitions two relations at once).
+/// cross-node input finish at max(start[j], own send completion). Spilled
+/// bytes entering node j (loopback included) additionally charge a disk
+/// write + read on j's resource. `nets` traffic is summed (a join
+/// repartitions two relations at once).
 std::vector<SimTime> SimulateExchange(
     SimScheduler* scheduler, const std::vector<int>& node_resources,
     const std::vector<const ExchangeNetwork*>& nets,

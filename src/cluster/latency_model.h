@@ -36,6 +36,13 @@ struct LatencyModel {
   /// per-byte term is what makes bytes-moved the planning currency: the
   /// broadcast-vs-repartition choice trades exactly this cost.
   SimTime exchange_kb_service_us = 2;
+  /// Serialized DN work per KiB written to an exchange spill file when a
+  /// capped channel overflows its in-memory window (sequential append).
+  SimTime spill_write_kb_service_us = 6;
+  /// Serialized DN work per KiB read back from a spill file on the receive
+  /// path. Write + read together are what a spilled byte costs over a
+  /// resident one — spilling trades latency for completing at all.
+  SimTime spill_read_kb_service_us = 4;
   /// Serialized DN work to start one columnar partial scan (kernel setup,
   /// zone-map consultation). Much cheaper than dn_stmt_service_us because
   /// no row heap is walked.

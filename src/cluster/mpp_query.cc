@@ -68,6 +68,10 @@ Result<DistributedJoinResult> DistributedJoin(
   eopts.pool = options.pool;
   eopts.batch_rows = options.batch_rows;
   eopts.max_channel_bytes = options.max_channel_bytes;
+  eopts.strict_channel_limit = options.strict_channel_limit;
+  eopts.spill_dir = options.spill_dir;
+  eopts.max_spill_bytes = options.max_spill_bytes;
+  eopts.max_build_bytes = options.max_build_bytes;
   eopts.stats = options.stats;
   eopts.strategy_override = options.strategy;
   OFI_ASSIGN_OR_RETURN(DistPlanResult r, ExecuteDistPlan(cluster, plan, eopts));
@@ -81,6 +85,8 @@ Result<DistributedJoinResult> DistributedJoin(
   out.naive_bytes = r.stats.naive_bytes;
   out.result_bytes = r.stats.result_bytes;
   out.exchange_batches = r.stats.exchange_batches;
+  out.spill_bytes = r.stats.spill_bytes;
+  out.build_spill_bytes = r.stats.build_spill_bytes;
   out.channels = std::move(r.stats.channels);
   out.sim_latency_us = r.stats.sim_latency_us;
   out.sim_latency_serial_us = r.stats.sim_latency_serial_us;

@@ -138,11 +138,23 @@ struct DistributedJoinOptions {
   const optimizer::StatsRegistry* stats = nullptr;
   /// Rows per serialized exchange batch.
   size_t batch_rows = 64;
-  /// Per-exchange-channel queued-byte limit; 0 = unbounded. A Send that
-  /// would exceed it is denied with ResourceExhausted (surfaced as the
-  /// join's Status) and counted in the exchange.bytes_spilled_denied
-  /// metric — the simulation's stand-in for spill-to-disk backpressure.
+  /// Per-exchange-channel in-memory queued-byte cap; 0 = unbounded. An
+  /// over-cap Send transparently spills the batch to a per-channel temp
+  /// file — the join completes bit-identical to the uncapped run, charged
+  /// extra spill I/O in simulated time and counted in the
+  /// exchange.bytes_spilled metric. Set strict_channel_limit to get the
+  /// old deny-with-ResourceExhausted behavior instead.
   size_t max_channel_bytes = 0;
+  /// Opt-in hard admission control: deny over-cap sends (counted in
+  /// exchange.bytes_denied) rather than spilling.
+  bool strict_channel_limit = false;
+  /// Directory for spill segment files; empty = the system temp directory.
+  std::string spill_dir;
+  /// Cap on the query's total live on-disk spill bytes; 0 = unbounded.
+  size_t max_spill_bytes = 0;
+  /// Per-DN cap on the in-memory join build partition; overflow spools
+  /// through a spill file. 0 = never spill the build side.
+  size_t max_build_bytes = 0;
 };
 
 /// Result of a distributed join, with the data-movement accounting the
@@ -164,6 +176,11 @@ struct DistributedJoinResult {
   size_t result_bytes = 0;
   /// Cross-DN exchange batches sent.
   size_t exchange_batches = 0;
+  /// Exchange payload spilled to temp files by capped channels (loopback
+  /// included — the disk write is real even for the local partition).
+  size_t spill_bytes = 0;
+  /// Join build partitions spooled to disk under max_build_bytes.
+  size_t build_spill_bytes = 0;
   /// Per-(src DN, dst DN) byte/batch accounting, loopback included.
   std::vector<exchange::ChannelStats> channels;
   /// Parallel latency model: max over DNs of (prepare + scan + exchange +

@@ -153,6 +153,49 @@ TEST_F(DistributedJoinTest, RandomizedBothStrategiesMatchReference) {
   ExpectMatchesReference(Spec(), JoinStrategy::kRepartition);
 }
 
+TEST_F(DistributedJoinTest, TinyChannelCapSpillsEveryExchangeBitIdentical) {
+  // A cap smaller than any encoded batch forces spill on every exchange
+  // channel, both strategies. The join must stay bit-identical to the
+  // single-node reference AND to the uncapped distributed run row-for-row
+  // (deterministic receive order survives the disk round trip), with the
+  // overflow accounted in spill_bytes and charged in simulated latency.
+  LoadRandom(300, 40, /*seed=*/101);
+  for (auto strategy : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    DistributedJoinOptions plain;
+    plain.strategy = strategy;
+    auto uncapped = DistributedJoin(&cluster_, Spec(), plain);
+    ASSERT_TRUE(uncapped.ok());
+    EXPECT_EQ(uncapped->spill_bytes, 0u);
+
+    DistributedJoinOptions capped = plain;
+    capped.max_channel_bytes = 16;
+    auto spilled = DistributedJoin(&cluster_, Spec(), capped);
+    ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+    EXPECT_GT(spilled->spill_bytes, 0u);
+    // Lifetime traffic accounting is cap-independent.
+    EXPECT_EQ(spilled->shuffle_bytes, uncapped->shuffle_bytes);
+    EXPECT_EQ(spilled->broadcast_bytes, uncapped->broadcast_bytes);
+    EXPECT_EQ(spilled->exchange_batches, uncapped->exchange_batches);
+    // The spilled run is strictly slower in simulated time — disk I/O is
+    // charged, not free.
+    EXPECT_GT(spilled->sim_latency_us, uncapped->sim_latency_us);
+
+    // Row-for-row identical gather order, then the reference check.
+    ASSERT_EQ(spilled->table.num_rows(), uncapped->table.num_rows());
+    for (size_t i = 0; i < uncapped->table.num_rows(); ++i) {
+      const Row& a = uncapped->table.rows()[i];
+      const Row& b = spilled->table.rows()[i];
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t c = 0; c < a.size(); ++c) {
+        EXPECT_TRUE(a[c].Equals(b[c])) << "row " << i << " col " << c;
+      }
+    }
+    ExpectSameRows(spilled->table, ReferenceJoin(orders_, customers_, Spec()));
+  }
+  EXPECT_GT(cluster_.metrics().Get("exchange.bytes_spilled"), 0);
+  EXPECT_EQ(cluster_.metrics().Get("exchange.bytes_denied"), 0);
+}
+
 TEST_F(DistributedJoinTest, SeveralSeedsUnderAutoStrategy) {
   // Fresh cluster per seed; kAuto must pick some strategy and stay exact.
   for (uint64_t seed : {7u, 8u, 9u}) {

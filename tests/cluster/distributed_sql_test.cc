@@ -6,6 +6,7 @@
 /// int64: partial SUM/COUNT states are exact, so even AVG's CN-side
 /// division is reproducible (both sides divide the same exact operands).
 #include <algorithm>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -266,6 +267,100 @@ TEST_F(DistributedSqlTest, AcceptanceJoinAggregateOverFourDns) {
   EXPECT_TRUE(explain->find("strategy=broadcast") != std::string::npos ||
               explain->find("strategy=repartition") != std::string::npos)
       << *explain;
+}
+
+TEST_F(DistributedSqlTest, CappedExchangeSpillsAndStaysEquivalent) {
+  // A channel cap tiny enough that every exchange batch overflows the
+  // in-memory window: the whole randomized join suite must keep returning
+  // bit-identical rows (the oracle comparison inside Query), with the
+  // overflow accounted in spill_bytes / exchange.bytes_spilled and every
+  // temp segment cleaned up before the query returns.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "ofi-sql-spill-capped";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  CreateOrdersCustomers();
+  LoadRandom(606, 140, 18);
+  dist_.Analyze();
+  local_.Analyze();
+  dist_.exec_options().max_channel_bytes = 48;
+  dist_.exec_options().spill_dir = dir.string();
+
+  Rng rng(707);
+  size_t spilling_queries = 0;
+  for (int q = 0; q < 6; ++q) {
+    std::string where = " WHERE amount > " + std::to_string(rng.Uniform(0, 450));
+    Query("SELECT segment, COUNT(*) AS n, SUM(amount) AS total FROM orders "
+          "JOIN customers ON cust = c_id" + where + " GROUP BY segment");
+    ASSERT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
+    EXPECT_TRUE(dist_.last().stats.joined);
+    if (dist_.last().stats.spill_bytes > 0) ++spilling_queries;
+    EXPECT_TRUE(fs::is_empty(dir));  // segments never outlive their query
+  }
+  EXPECT_EQ(spilling_queries, 6u);
+  EXPECT_GT(dist_.cluster().metrics().Get("exchange.bytes_spilled"), 0);
+  EXPECT_EQ(dist_.cluster().metrics().Get("exchange.bytes_denied"), 0);
+
+  // Deterministic receive order: with the cap lifted the same query must
+  // produce the identical row sequence, not just the same row set.
+  const std::string q =
+      "SELECT o_id, amount, segment FROM orders JOIN customers ON cust = c_id";
+  auto capped = dist_.Execute(q);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_GT(dist_.last().stats.spill_bytes, 0u);
+  dist_.exec_options().max_channel_bytes = 0;
+  auto uncapped = dist_.Execute(q);
+  ASSERT_TRUE(uncapped.ok());
+  EXPECT_EQ(dist_.last().stats.spill_bytes, 0u);
+  ASSERT_EQ(capped->num_rows(), uncapped->num_rows());
+  for (size_t i = 0; i < capped->num_rows(); ++i) {
+    EXPECT_EQ(RowKey(capped->rows()[i]), RowKey(uncapped->rows()[i]))
+        << "row order diverged at " << i;
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(DistributedSqlTest, BuildSideBudgetSpoolsWithoutChangingResults) {
+  CreateOrdersCustomers();
+  LoadRandom(909, 120, 16);
+  dist_.Analyze();
+  local_.Analyze();
+  dist_.exec_options().max_build_bytes = 128;  // far below any build side
+
+  Query("SELECT segment, SUM(amount) AS total FROM orders JOIN customers "
+        "ON cust = c_id GROUP BY segment");
+  ASSERT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
+  EXPECT_GT(dist_.last().stats.build_spill_bytes, 0u);
+  EXPECT_GT(dist_.cluster().metrics().Get("exchange.bytes_spilled"), 0);
+}
+
+TEST_F(DistributedSqlTest, ExplainReportsSpillPolicy) {
+  CreateOrdersCustomers();
+  Exec("INSERT INTO orders VALUES (1, 5, 100, 1)");
+  Exec("INSERT INTO customers VALUES (5, 2)");
+  dist_.exec_options().max_channel_bytes = 4096;
+  dist_.exec_options().max_spill_bytes = 1 << 20;
+  dist_.exec_options().max_build_bytes = 8192;
+
+  const std::string q =
+      "SELECT segment, COUNT(*) AS n FROM orders JOIN customers ON "
+      "cust = c_id GROUP BY segment";
+  auto spills = dist_.Explain(q);
+  ASSERT_TRUE(spills.ok());
+  EXPECT_NE(spills->find("exchange: channel cap 4096B"), std::string::npos)
+      << *spills;
+  EXPECT_NE(spills->find("overflow spills to"), std::string::npos) << *spills;
+  EXPECT_NE(spills->find("spill budget 1048576B"), std::string::npos)
+      << *spills;
+  EXPECT_NE(spills->find("join build: in-memory cap 8192B"), std::string::npos)
+      << *spills;
+
+  dist_.exec_options().strict_channel_limit = true;
+  auto strict = dist_.Explain(q);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_NE(strict->find("overflow denied (strict)"), std::string::npos)
+      << *strict;
 }
 
 // --- Plan-layer unit tests ---------------------------------------------------

@@ -1,9 +1,11 @@
-/// Per-channel byte limits on the exchange (spill-to-disk backpressure,
-/// simulated as denial): a Send that would overflow the cap must fail with
-/// ResourceExhausted without corrupting the channel, the denied payload
-/// must be counted, and a distributed join over a capped exchange must
-/// surface the error as its Status plus the exchange.bytes_spilled_denied
-/// metric.
+/// Per-channel byte limits on the exchange. The cap now bounds the
+/// in-memory window: an over-cap Send transparently spills to a temp file
+/// (spill path covered in exchange_spill_test.cc); this suite pins the
+/// *limit* semantics — strict mode restores the historical deny with
+/// ResourceExhausted, denial is accounted in denied_bytes / the
+/// exchange.bytes_denied metric, and a capped distributed join either
+/// completes via spill (default) or fails loudly (strict) instead of
+/// silently dropping rows.
 #include <gtest/gtest.h>
 
 #include "cluster/mpp_query.h"
@@ -22,14 +24,22 @@ Row MakeRow(int64_t k, const std::string& pad) {
   return Row{Value(k), Value(pad)};
 }
 
-TEST(ExchangeLimitTest, ChannelDeniesOverLimitSend) {
+exchange::ExchangeChannel::SendLimits Strict(size_t cap,
+                                             exchange::ExchangeSpillConfig* c) {
+  c->strict = true;
+  return exchange::ExchangeChannel::SendLimits{cap, c};
+}
+
+TEST(ExchangeLimitTest, StrictChannelDeniesOverLimitSend) {
   exchange::ExchangeChannel ch;
+  exchange::ExchangeSpillConfig cfg;
+  auto limits = Strict(64, &cfg);
   std::string small(10, 'x');
   std::string mid(60, 'y');
-  ASSERT_TRUE(ch.Send(small, /*max_bytes=*/64).ok());
+  ASSERT_TRUE(ch.Send(small, limits).ok());
   EXPECT_EQ(ch.queued_bytes(), 10u);
 
-  Status denied = ch.Send(mid, /*max_bytes=*/64);  // 10 + 60 > 64
+  Status denied = ch.Send(mid, limits);  // 10 + 60 > 64
   EXPECT_FALSE(denied.ok());
   EXPECT_EQ(denied.code(), StatusCode::kResourceExhausted);
   // The denied batch was not queued and the lifetime totals exclude it.
@@ -37,12 +47,26 @@ TEST(ExchangeLimitTest, ChannelDeniesOverLimitSend) {
   EXPECT_EQ(ch.bytes(), 10u);
   EXPECT_EQ(ch.batches(), 1u);
   EXPECT_EQ(ch.denied_bytes(), 60u);
+  EXPECT_EQ(ch.spilled_bytes(), 0u);
 
   // Draining frees the budget: the same batch fits afterwards.
-  EXPECT_EQ(ch.Drain().size(), 1u);
+  auto drained = ch.Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), 1u);
   EXPECT_EQ(ch.queued_bytes(), 0u);
-  ASSERT_TRUE(ch.Send(std::move(mid), /*max_bytes=*/64).ok());
+  ASSERT_TRUE(ch.Send(std::move(mid), limits).ok());
   EXPECT_EQ(ch.queued_bytes(), 60u);
+}
+
+TEST(ExchangeLimitTest, CapWithNoSpillConfigDenies) {
+  // A raw SendLimits cap with spill == nullptr has nowhere to overflow to:
+  // the channel must deny, not crash or silently drop.
+  exchange::ExchangeChannel ch;
+  exchange::ExchangeChannel::SendLimits limits{16, nullptr};
+  ASSERT_TRUE(ch.Send(std::string(10, 'a'), limits).ok());
+  Status st = ch.Send(std::string(10, 'b'), limits);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ch.denied_bytes(), 10u);
 }
 
 TEST(ExchangeLimitTest, ZeroLimitMeansUnbounded) {
@@ -51,13 +75,18 @@ TEST(ExchangeLimitTest, ZeroLimitMeansUnbounded) {
     ASSERT_TRUE(ch.Send(std::string(1000, 'z')).ok());
   }
   EXPECT_EQ(ch.denied_bytes(), 0u);
+  EXPECT_EQ(ch.spilled_bytes(), 0u);
   EXPECT_EQ(ch.queued_bytes(), 100000u);
 }
 
-TEST(ExchangeLimitTest, NetworkSendRowsHonorsTheCap) {
-  // A cap smaller than one encoded batch: every SendRows with data fails,
-  // and DeniedBytes aggregates across channels.
-  exchange::ExchangeNetwork net(2, /*batch_rows=*/8, /*max_channel_bytes=*/4);
+TEST(ExchangeLimitTest, StrictNetworkSendRowsHonorsTheCap) {
+  // A cap smaller than one encoded batch under strict mode: every SendRows
+  // with data fails, DeniedBytes aggregates across channels, and the failed
+  // operator's rollback leaves no queued payload behind.
+  exchange::ExchangeSpillConfig strict;
+  strict.strict = true;
+  exchange::ExchangeNetwork net(2, /*batch_rows=*/8, /*max_channel_bytes=*/4,
+                                strict);
   std::vector<Row> rows;
   for (int64_t i = 0; i < 20; ++i) rows.push_back(MakeRow(i, "padpadpad"));
 
@@ -72,7 +101,7 @@ TEST(ExchangeLimitTest, NetworkSendRowsHonorsTheCap) {
   EXPECT_EQ(roomy.DeniedBytes(), 0u);
 }
 
-TEST(ExchangeLimitTest, DistributedJoinSurfacesDenialAndMetric) {
+TEST(ExchangeLimitTest, CappedJoinSpillsByDefaultAndDeniesUnderStrict) {
   Cluster cluster(4, Protocol::kGtmLite);
   Schema orders({Column{"o_id", TypeId::kInt64, ""},
                  Column{"pad", TypeId::kString, ""}});
@@ -98,27 +127,41 @@ TEST(ExchangeLimitTest, DistributedJoinSurfacesDenialAndMetric) {
   spec.left_key = "o_id";
   spec.right_key = "l_id";
 
-  // Unbounded run first: the join works and nothing is denied.
+  // Unbounded run first: the join works, nothing spilled or denied.
   DistributedJoinOptions opts;
   opts.strategy = JoinStrategy::kRepartition;
   auto ok = DistributedJoin(&cluster, spec, opts);
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->table.num_rows(), 8u);
-  EXPECT_EQ(cluster.metrics().Get("exchange.bytes_spilled_denied"), 0);
+  EXPECT_EQ(ok->spill_bytes, 0u);
+  EXPECT_EQ(cluster.metrics().Get("exchange.bytes_spilled"), 0);
+  EXPECT_EQ(cluster.metrics().Get("exchange.bytes_denied"), 0);
 
-  // A cap below one encoded batch: the shuffle is denied on every DN and
-  // the query fails loudly instead of silently dropping rows.
+  // A cap below one encoded batch: the retired failure mode. The shuffle
+  // now spills on every channel and the join completes with the same rows,
+  // only slower in simulated time.
   opts.max_channel_bytes = 16;
   auto capped = DistributedJoin(&cluster, spec, opts);
-  ASSERT_FALSE(capped.ok());
-  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_GT(cluster.metrics().Get("exchange.bytes_spilled_denied"), 0);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->table.num_rows(), 8u);
+  EXPECT_GT(capped->spill_bytes, 0u);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_spilled"), 0);
+  EXPECT_GT(capped->sim_latency_us, ok->sim_latency_us);
 
-  // Roomy cap: behaves exactly like unbounded.
+  // Strict mode restores the hard limit: the query fails loudly instead of
+  // silently dropping rows, counted in exchange.bytes_denied.
+  opts.strict_channel_limit = true;
+  auto denied = DistributedJoin(&cluster, spec, opts);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_denied"), 0);
+
+  // Roomy cap: behaves exactly like unbounded in either mode.
   opts.max_channel_bytes = 1 << 20;
   auto roomy = DistributedJoin(&cluster, spec, opts);
   ASSERT_TRUE(roomy.ok());
   EXPECT_EQ(roomy->table.num_rows(), 8u);
+  EXPECT_EQ(roomy->spill_bytes, 0u);
 }
 
 }  // namespace

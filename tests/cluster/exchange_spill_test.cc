@@ -1,0 +1,382 @@
+/// Spill-to-disk backpressure on the exchange: over-cap sends stream
+/// through per-channel temp files without changing results, receive order,
+/// or (lifetime) byte accounting; spill files live exactly as long as their
+/// undelivered segments; a failed query leaks neither files nor accounting;
+/// and a truncated or corrupt segment surfaces as an error, never as wrong
+/// rows. The failing-query leak test runs under asan in CI (scripts/check.sh
+/// focus list), which also catches leaked FILE* streams.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/mpp_query.h"
+#include "common/rng.h"
+
+namespace ofi::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+using sql::Column;
+using sql::Row;
+using sql::Schema;
+using sql::TypeId;
+using sql::Value;
+
+Row MakeRow(int64_t k, const std::string& pad) {
+  return Row{Value(k), Value(pad)};
+}
+
+/// A fresh per-test spill directory, removed (with contents check hooks)
+/// on teardown.
+class ExchangeSpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("ofi-spill-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  size_t FilesInDir() const {
+    size_t n = 0;
+    for (auto it = fs::directory_iterator(dir_); it != fs::directory_iterator();
+         ++it) {
+      ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ExchangeSpillTest, ChannelSpillPreservesSendOrder) {
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), /*strict=*/false, &budget};
+  exchange::ExchangeChannel::SendLimits limits{32, &cfg};
+  exchange::ExchangeChannel ch;
+
+  // 20-byte batches against a 32-byte window: the first fits in memory,
+  // everything after spills (and keeps spilling — disk must never reorder
+  // ahead of memory).
+  std::vector<std::string> sent;
+  for (int i = 0; i < 8; ++i) {
+    sent.push_back(std::string(20, static_cast<char>('a' + i)));
+    ASSERT_TRUE(ch.Send(sent.back(), limits).ok()) << i;
+  }
+  EXPECT_EQ(ch.bytes(), 160u);
+  EXPECT_EQ(ch.batches(), 8u);
+  EXPECT_EQ(ch.queued_bytes(), 20u);       // only the first batch is resident
+  EXPECT_EQ(ch.spilled_bytes(), 140u);     // the other seven hit disk
+  EXPECT_EQ(ch.spill_segments(), 7u);
+  EXPECT_EQ(budget.used.load(), 140u);
+  EXPECT_FALSE(ch.spill_path().empty());
+  EXPECT_TRUE(fs::exists(ch.spill_path()));
+  EXPECT_EQ(FilesInDir(), 1u);
+
+  // Receive order is exactly send order, memory window first.
+  for (int i = 0; i < 8; ++i) {
+    auto batch = ch.PopBatch();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_TRUE(batch->has_value());
+    EXPECT_EQ(**batch, sent[static_cast<size_t>(i)]) << i;
+  }
+  auto end = ch.PopBatch();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+
+  // Consuming the last segment freed the budget and deleted the file.
+  EXPECT_EQ(budget.used.load(), 0u);
+  EXPECT_EQ(FilesInDir(), 0u);
+  EXPECT_TRUE(ch.spill_path().empty());
+
+  // The channel is reusable after a full drain: memory path again.
+  ASSERT_TRUE(ch.Send(std::string(10, 'z'), limits).ok());
+  EXPECT_EQ(ch.queued_bytes(), 10u);
+}
+
+TEST_F(ExchangeSpillTest, DiscardDeletesSpillAndRollsBackAccounting) {
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), false, &budget};
+  exchange::ExchangeChannel::SendLimits limits{16, &cfg};
+  {
+    exchange::ExchangeChannel ch;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(ch.Send(std::string(10, 'q'), limits).ok());
+    }
+    EXPECT_EQ(ch.spilled_bytes(), 30u);
+    EXPECT_EQ(FilesInDir(), 1u);
+
+    ch.Discard();
+    // Undelivered payload moved wholesale to aborted accounting.
+    EXPECT_EQ(ch.bytes(), 0u);
+    EXPECT_EQ(ch.batches(), 0u);
+    EXPECT_EQ(ch.spilled_bytes(), 0u);
+    EXPECT_EQ(ch.aborted_bytes(), 40u);
+    EXPECT_EQ(budget.used.load(), 0u);
+    EXPECT_EQ(FilesInDir(), 0u);
+
+    // Destructor path: leave a spilled batch behind on scope exit.
+    ASSERT_TRUE(ch.Send(std::string(20, 'r'), limits).ok());
+    ASSERT_TRUE(ch.Send(std::string(20, 's'), limits).ok());
+    EXPECT_EQ(FilesInDir(), 1u);
+  }
+  EXPECT_EQ(budget.used.load(), 0u);
+  EXPECT_EQ(FilesInDir(), 0u);
+}
+
+TEST_F(ExchangeSpillTest, SpillBudgetExhaustionDenies) {
+  exchange::SpillBudget budget(/*max=*/50);
+  exchange::ExchangeSpillConfig cfg{dir_.string(), false, &budget};
+  exchange::ExchangeChannel::SendLimits limits{16, &cfg};
+  exchange::ExchangeChannel ch;
+
+  ASSERT_TRUE(ch.Send(std::string(10, 'a'), limits).ok());  // memory
+  ASSERT_TRUE(ch.Send(std::string(30, 'b'), limits).ok());  // spill, 30/50
+  Status st = ch.Send(std::string(30, 'c'), limits);        // would be 60/50
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ch.denied_bytes(), 30u);
+  EXPECT_EQ(ch.spilled_bytes(), 30u);
+  ASSERT_TRUE(ch.Send(std::string(20, 'd'), limits).ok());  // fits, 50/50
+
+  // Draining releases the budget as segments are consumed.
+  auto drained = ch.Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), 3u);
+  EXPECT_EQ(budget.used.load(), 0u);
+  ASSERT_TRUE(ch.Send(std::string(30, 'e'), limits).ok());
+}
+
+TEST_F(ExchangeSpillTest, NetworkSpillDeliversBitIdenticalRowsInOrder) {
+  ofi::Rng rng(77);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 300; ++i) {
+    rows.push_back(MakeRow(static_cast<int64_t>(rng.Next() % 1000),
+                           std::string(1 + i % 40, 'x')));
+  }
+
+  exchange::ExchangeNetwork uncapped(3, /*batch_rows=*/16);
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), false, &budget};
+  exchange::ExchangeNetwork capped(3, /*batch_rows=*/16,
+                                   /*max_channel_bytes=*/64, cfg);
+
+  for (int src = 0; src < 3; ++src) {
+    ASSERT_TRUE(exchange::ShufflePartition(&uncapped, src, rows, 0).ok());
+    ASSERT_TRUE(exchange::ShufflePartition(&capped, src, rows, 0).ok());
+  }
+  EXPECT_GT(capped.SpilledBytes(), 0u);
+  EXPECT_EQ(capped.DeniedBytes(), 0u);
+  // Identical lifetime traffic accounting, spilled or not.
+  EXPECT_EQ(capped.CrossNodeBytes(), uncapped.CrossNodeBytes());
+  EXPECT_EQ(capped.CrossNodeBatches(), uncapped.CrossNodeBatches());
+
+  size_t total = 0;
+  for (int dst = 0; dst < 3; ++dst) {
+    auto want = uncapped.ReceiveRows(dst);
+    auto got = capped.ReceiveRows(dst);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Bit-identical rows in the identical (deterministic) order.
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      ASSERT_EQ((*got)[i].size(), (*want)[i].size());
+      for (size_t c = 0; c < (*want)[i].size(); ++c) {
+        EXPECT_TRUE((*got)[i][c].Equals((*want)[i][c]));
+      }
+    }
+    total += got->size();
+  }
+  EXPECT_EQ(total, 3 * rows.size());
+  // Every consumed segment freed its budget and deleted its file.
+  EXPECT_EQ(budget.used.load(), 0u);
+  EXPECT_EQ(FilesInDir(), 0u);
+}
+
+TEST_F(ExchangeSpillTest, FailedShuffleRollsBackPartialSends) {
+  // Strict mode with a cap that admits some batches and then denies: the
+  // failed operator must leave zero queued payload, zero cross-node
+  // accounting, and no spill files — the old partial-send bug.
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), /*strict=*/true, &budget};
+  exchange::ExchangeNetwork net(2, /*batch_rows=*/4,
+                                /*max_channel_bytes=*/200, cfg);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 64; ++i) rows.push_back(MakeRow(i, "padpadpad"));
+
+  Status st = exchange::ShufflePartition(&net, 0, rows, 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(net.DeniedBytes(), 0u);
+  // Rollback: nothing stays queued or counted, the payload is quarantined
+  // in the aborted counter instead of inflating traffic stats.
+  EXPECT_EQ(net.CrossNodeBytes(), 0u);
+  EXPECT_EQ(net.CrossNodeBatches(), 0u);
+  EXPECT_GT(net.AbortedBytes(), 0u);
+  for (int dst = 0; dst < 2; ++dst) {
+    EXPECT_EQ(net.channel(0, dst).queued_bytes(), 0u);
+  }
+  auto empty = net.ReceiveRows(1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(FilesInDir(), 0u);
+}
+
+TEST_F(ExchangeSpillTest, TruncatedSpillSegmentIsCorruption) {
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), false, &budget};
+  exchange::ExchangeChannel::SendLimits limits{8, &cfg};
+  exchange::ExchangeChannel ch;
+  ASSERT_TRUE(ch.Send(std::string(8, 'm'), limits).ok());   // memory
+  ASSERT_TRUE(ch.Send(std::string(64, 's'), limits).ok());  // spill
+  ASSERT_FALSE(ch.spill_path().empty());
+
+  // Truncate the segment behind the channel's back (torn write / bad disk).
+  fs::resize_file(ch.spill_path(), 10);
+
+  auto mem = ch.PopBatch();
+  ASSERT_TRUE(mem.ok());  // the resident batch is unaffected
+  auto spilled = ch.PopBatch();
+  ASSERT_FALSE(spilled.ok());
+  EXPECT_EQ(spilled.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ExchangeSpillTest, CorruptSpilledBatchFailsDecodeNotSilently) {
+  // Same-size garbage passes the segment read but must then fail
+  // DecodeBatch with InvalidArgument on the receive path — corrupt spill
+  // can never turn into wrong rows.
+  exchange::SpillBudget budget;
+  exchange::ExchangeSpillConfig cfg{dir_.string(), false, &budget};
+  exchange::ExchangeNetwork net(2, /*batch_rows=*/4, /*max_channel_bytes=*/8,
+                                cfg);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 16; ++i) rows.push_back(MakeRow(i, "padpad"));
+  ASSERT_TRUE(net.SendRows(0, 1, rows).ok());
+  std::string path = net.channel(0, 1).spill_path();
+  ASSERT_FALSE(path.empty());
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::in);
+    f.seekp(0);
+    f.write("\xff\xff\xff\xff\xff\xff\xff\xff", 8);
+  }
+  auto got = net.ReceiveRows(1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExchangeSpillTest, FailingQueryLeaksNoSpillFiles) {
+  // End-to-end lifecycle check (asan also verifies no FILE* leaks): a
+  // distributed join that spills and then fails on an exhausted spill
+  // budget must leave the spill directory empty.
+  Cluster cluster(4, Protocol::kGtmLite);
+  Schema orders({Column{"o_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  Schema lookup({Column{"l_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  ASSERT_TRUE(cluster.CreateTable("orders", orders).ok());
+  ASSERT_TRUE(cluster.CreateTable("lookup", lookup).ok());
+  std::string pad(128, 'p');
+  for (int64_t i = 0; i < 96; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("orders", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  for (int64_t i = 0; i < 16; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("lookup", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "lookup";
+  spec.left_key = "o_id";
+  spec.right_key = "l_id";
+
+  DistributedJoinOptions opts;
+  opts.strategy = JoinStrategy::kRepartition;
+  opts.parallel = false;  // deterministic send order across DNs
+  opts.max_channel_bytes = 64;
+  opts.spill_dir = dir_.string();
+  // A budget bigger than any one batch (~1.2KB at 8 rows/batch) but
+  // smaller than the first DN's orders partition (~3.5KB): the first
+  // shuffle is guaranteed to spill at least one batch and then run out
+  // mid-operator — exercising rollback (aborted accounting) as well as
+  // denial, with live spill files for the failure path to clean up.
+  opts.batch_rows = 8;
+  opts.max_spill_bytes = 2048;
+  auto fail = DistributedJoin(&cluster, spec, opts);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_denied"), 0);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_aborted"), 0);
+  EXPECT_EQ(FilesInDir(), 0u);  // every spill segment was cleaned up
+
+  // Same query with a sufficient budget completes — and still cleans up.
+  opts.max_spill_bytes = 0;
+  auto ok = DistributedJoin(&cluster, spec, opts);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->table.num_rows(), 16u);
+  EXPECT_GT(ok->spill_bytes, 0u);
+  EXPECT_EQ(FilesInDir(), 0u);
+}
+
+TEST_F(ExchangeSpillTest, BuildSideSpillKeepsJoinBitIdentical) {
+  Cluster cluster(4, Protocol::kGtmLite);
+  Schema orders({Column{"o_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  Schema lookup({Column{"l_id", TypeId::kInt64, ""},
+                 Column{"pad", TypeId::kString, ""}});
+  ASSERT_TRUE(cluster.CreateTable("orders", orders).ok());
+  ASSERT_TRUE(cluster.CreateTable("lookup", lookup).ok());
+  std::string pad(64, 'p');
+  for (int64_t i = 0; i < 64; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("orders", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  for (int64_t i = 0; i < 32; ++i) {
+    Txn t = cluster.Begin(TxnScope::kSingleShard);
+    ASSERT_TRUE(t.Insert("lookup", Value(i), MakeRow(i, pad)).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  DistributedJoinSpec spec;
+  spec.left_table = "orders";
+  spec.right_table = "lookup";
+  spec.left_key = "o_id";
+  spec.right_key = "l_id";
+
+  DistributedJoinOptions opts;
+  opts.strategy = JoinStrategy::kBroadcast;
+  auto plain = DistributedJoin(&cluster, spec, opts);
+  ASSERT_TRUE(plain.ok());
+
+  opts.max_build_bytes = 256;  // well under the broadcast side's size
+  opts.spill_dir = dir_.string();
+  auto spooled = DistributedJoin(&cluster, spec, opts);
+  ASSERT_TRUE(spooled.ok()) << spooled.status().ToString();
+  EXPECT_GT(spooled->build_spill_bytes, 0u);
+  EXPECT_GT(spooled->sim_latency_us, plain->sim_latency_us);
+  EXPECT_GT(cluster.metrics().Get("exchange.bytes_spilled"), 0);
+  EXPECT_EQ(FilesInDir(), 0u);
+
+  // Bit-identical result rows (both gathers are deterministic DN-order).
+  ASSERT_EQ(spooled->table.num_rows(), plain->table.num_rows());
+  for (size_t i = 0; i < plain->table.num_rows(); ++i) {
+    const Row& a = plain->table.rows()[i];
+    const Row& b = spooled->table.rows()[i];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_TRUE(a[c].Equals(b[c]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofi::cluster
