@@ -1,0 +1,251 @@
+/// \file bench_oltp_traffic.cc
+/// \brief Experiment E19 — the headline OLTP traffic scale curve: modified
+/// TPC-C throughput and p99 latency vs concurrent session count (256 → 2048)
+/// for
+///   * per-commit   : every transaction pays its own 2PC round + log force
+///   * group commit : commit-ready txns flush in batched windows
+///                    (batched prepares per DN, one GTM round, one log force)
+/// at both the all-single-shard (SS) and 90%-single-shard (MS) mixes, plus an
+/// admission-control sweep showing graceful degradation under a max-in-flight
+/// gate.
+///
+/// The latency model is the commit-bound calibration: statement service is
+/// cheap (5 µs) relative to the durable log force (250 µs), the regime where
+/// amortizing the force across a window pays — the same model the
+/// TrafficScaleTest acceptance gate uses.
+///
+/// Besides the plain-text tables, the binary writes the full sweep as
+/// machine-readable JSON (default `BENCH_oltp_traffic.json`, override with
+/// the OFI_BENCH_JSON env var) so trajectory tooling can diff runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/traffic/traffic.h"
+
+namespace {
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+using traffic::RunTraffic;
+using traffic::TrafficOptions;
+using traffic::TrafficResult;
+
+constexpr int kDns = 4;
+constexpr SimTime kWindowUs = 2000;
+constexpr int kMaxBatch = 64;
+
+LatencyModel CommitBoundLatency() {
+  LatencyModel m;
+  m.network_hop_us = 5;
+  m.gtm_service_us = 1;
+  m.dn_stmt_service_us = 5;
+  m.dn_commit_service_us = 15;
+  m.log_write_service_us = 250;
+  m.dn_batch_record_service_us = 3;
+  return m;
+}
+
+TpccConfig E19Config(double multi_shard_fraction) {
+  TpccConfig cfg;
+  cfg.warehouses_per_dn = 256;  // 1024 warehouses across 4 DNs
+  cfg.customers_per_warehouse = 30;
+  cfg.stock_per_warehouse = 30;
+  cfg.multi_shard_fraction = multi_shard_fraction;
+  cfg.duration_us = 250'000;
+  return cfg;
+}
+
+TrafficResult RunOnce(int sessions, bool grouped, double ms_fraction,
+                      int max_in_flight = 0) {
+  Cluster cluster(kDns, Protocol::kGtmLite, CommitBoundLatency());
+  TpccConfig cfg = E19Config(ms_fraction);
+  Status st = LoadTpcc(&cluster, cfg);
+  if (!st.ok()) {
+    fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return {};
+  }
+  TrafficOptions opts;
+  opts.sessions = sessions;
+  opts.group_commit.enabled = grouped;
+  opts.group_commit.window_us = kWindowUs;
+  opts.group_commit.max_batch = kMaxBatch;
+  opts.admission.max_in_flight = max_in_flight;
+  opts.admission.max_queue = sessions;  // queue, never shed, in the sweep
+  Result<TrafficResult> r = RunTraffic(&cluster, cfg, opts);
+  if (!r.ok()) {
+    fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
+    return {};
+  }
+  return *r;
+}
+
+struct Leg {
+  const char* mix;
+  const char* mechanism;
+  int sessions;
+  int max_in_flight;
+  TrafficResult r;
+};
+
+std::vector<Leg> RunScaleSweep() {
+  std::vector<Leg> legs;
+  for (double ms : {0.0, 0.10}) {
+    const char* mix = ms == 0.0 ? "ss" : "ms90";
+    for (bool grouped : {false, true}) {
+      for (int sessions : {256, 512, 1024, 2048}) {
+        legs.push_back(Leg{mix, grouped ? "grouped" : "percommit", sessions, 0,
+                           RunOnce(sessions, grouped, ms)});
+      }
+    }
+  }
+  return legs;
+}
+
+std::vector<Leg> RunAdmissionSweep() {
+  std::vector<Leg> legs;
+  for (int gate : {0, 1024, 512, 256}) {
+    legs.push_back(
+        Leg{"ms90", "grouped", 2048, gate, RunOnce(2048, true, 0.10, gate)});
+  }
+  return legs;
+}
+
+void BM_E19(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  bool grouped = state.range(1) != 0;
+  TrafficResult last{};
+  for (auto _ : state) {
+    last = RunOnce(sessions, grouped, 0.10);
+    benchmark::DoNotOptimize(last.committed);
+  }
+  state.counters["tps"] = last.throughput_tps;
+  state.counters["p99_us"] = static_cast<double>(last.latency_p99_us);
+  state.counters["aborted"] = static_cast<double>(last.aborted);
+  state.counters["log_writes"] = static_cast<double>(last.log_writes);
+}
+
+void RegisterAll() {
+  for (int grouped : {0, 1}) {
+    benchmark::RegisterBenchmark(
+        (std::string("E19/MS90/") + (grouped ? "grouped" : "percommit") +
+         "/sessions:2048")
+            .c_str(),
+        BM_E19)
+        ->Args({2048, grouped})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintScaleTable(const std::vector<Leg>& legs) {
+  printf("\n=== E19: OLTP traffic scale curve (4 DNs, GTM-Lite, "
+         "window=%lldus max_batch=%d) ===\n",
+         static_cast<long long>(kWindowUs), kMaxBatch);
+  printf("%-5s %-10s %9s %10s %9s %9s %9s %8s %10s\n", "mix", "mechanism",
+         "sessions", "tps", "p50_us", "p95_us", "p99_us", "aborted",
+         "log_writes");
+  for (const Leg& l : legs) {
+    printf("%-5s %-10s %9d %10.0f %9lld %9lld %9lld %8llu %10lld\n", l.mix,
+           l.mechanism, l.sessions, l.r.throughput_tps,
+           static_cast<long long>(l.r.latency_p50_us),
+           static_cast<long long>(l.r.latency_p95_us),
+           static_cast<long long>(l.r.latency_p99_us),
+           static_cast<unsigned long long>(l.r.aborted),
+           static_cast<long long>(l.r.log_writes));
+  }
+  printf("(expect: grouped >=2x per-commit tps at 2048 sessions, at equal or "
+         "better p99)\n");
+}
+
+void PrintAdmissionTable(const std::vector<Leg>& legs) {
+  printf("\n=== E19: admission control at 2048 sessions (grouped, MS90) ===\n");
+  printf("%-13s %10s %9s %9s %9s %12s\n", "max_in_flight", "tps", "p99_us",
+         "queued", "shed", "avg_wait_us");
+  for (const Leg& l : legs) {
+    double avg_wait =
+        l.r.admission_queued > 0
+            ? static_cast<double>(l.r.admission_wait_us) /
+                  static_cast<double>(l.r.admission_queued)
+            : 0.0;
+    printf("%-13s %10.0f %9lld %9lld %9lld %12.0f\n",
+           l.max_in_flight == 0 ? "unlimited"
+                                : std::to_string(l.max_in_flight).c_str(),
+           l.r.throughput_tps, static_cast<long long>(l.r.latency_p99_us),
+           static_cast<long long>(l.r.admission_queued),
+           static_cast<long long>(l.r.admission_shed), avg_wait);
+  }
+  printf("(expect: tighter gates trade tps for queue wait gracefully — no "
+         "collapse)\n\n");
+}
+
+void WriteJson(const std::vector<Leg>& scale, const std::vector<Leg>& adm) {
+  const char* path = std::getenv("OFI_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_oltp_traffic.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  auto emit_leg = [f](const Leg& l, bool admission, bool last) {
+    fprintf(f,
+            "    {\"mix\": \"%s\", \"mechanism\": \"%s\", \"sessions\": %d, ",
+            l.mix, l.mechanism, l.sessions);
+    if (admission) fprintf(f, "\"max_in_flight\": %d, ", l.max_in_flight);
+    fprintf(f,
+            "\"tps\": %.1f, \"p50_us\": %lld, \"p95_us\": %lld, "
+            "\"p99_us\": %lld, \"mean_us\": %.1f, \"committed\": %llu, "
+            "\"aborted\": %llu, \"shed\": %llu, \"gtm_requests\": %llu, "
+            "\"group_batches\": %lld, \"group_txns\": %lld, "
+            "\"log_writes\": %lld, \"admission_queued\": %lld, "
+            "\"admission_shed\": %lld, \"admission_wait_us\": %lld}%s\n",
+            l.r.throughput_tps, static_cast<long long>(l.r.latency_p50_us),
+            static_cast<long long>(l.r.latency_p95_us),
+            static_cast<long long>(l.r.latency_p99_us), l.r.latency_mean_us,
+            static_cast<unsigned long long>(l.r.committed),
+            static_cast<unsigned long long>(l.r.aborted),
+            static_cast<unsigned long long>(l.r.shed),
+            static_cast<unsigned long long>(l.r.gtm_requests),
+            static_cast<long long>(l.r.group_batches),
+            static_cast<long long>(l.r.group_txns),
+            static_cast<long long>(l.r.log_writes),
+            static_cast<long long>(l.r.admission_queued),
+            static_cast<long long>(l.r.admission_shed),
+            static_cast<long long>(l.r.admission_wait_us), last ? "" : ",");
+  };
+  fprintf(f, "{\n  \"bench\": \"oltp_traffic\",\n");
+  fprintf(f,
+          "  \"config\": {\"dns\": %d, \"protocol\": \"gtm_lite\", "
+          "\"warehouses_per_dn\": 256, \"duration_us\": 250000, "
+          "\"window_us\": %lld, \"max_batch\": %d, "
+          "\"log_write_service_us\": 250, \"dn_stmt_service_us\": 5},\n",
+          kDns, static_cast<long long>(kWindowUs), kMaxBatch);
+  fprintf(f, "  \"scale_curve\": [\n");
+  for (size_t i = 0; i < scale.size(); ++i) {
+    emit_leg(scale[i], false, i + 1 == scale.size());
+  }
+  fprintf(f, "  ],\n  \"admission\": [\n");
+  for (size_t i = 0; i < adm.size(); ++i) {
+    emit_leg(adm[i], true, i + 1 == adm.size());
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::vector<Leg> scale = RunScaleSweep();
+  std::vector<Leg> adm = RunAdmissionSweep();
+  PrintScaleTable(scale);
+  PrintAdmissionTable(adm);
+  WriteJson(scale, adm);
+  return 0;
+}

@@ -1,0 +1,160 @@
+/// \file oltp_driver.cpp
+/// \brief CLI front end for the OLTP traffic subsystem: load a TPC-C-style
+/// cluster and drive N pipelined sessions against it, with group commit and
+/// admission control switchable from the command line.
+///
+///   example_oltp_driver [--sessions N] [--dns N] [--duration-ms N]
+///                       [--warehouses N] [--ms-fraction F] [--think-us N]
+///                       [--group] [--window-us N] [--max-batch N]
+///                       [--max-in-flight N] [--max-queue N] [--baseline]
+///
+/// Prints the run summary (throughput, latency percentiles, abort/shed
+/// counts, group-commit and admission activity) in a human-readable block.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/traffic/traffic.h"
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+
+namespace {
+
+int64_t ArgInt(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    fprintf(stderr, "%s needs a value\n", flag);
+    exit(2);
+  }
+  return std::atoll(argv[++*i]);
+}
+
+void Usage(const char* prog) {
+  fprintf(stderr,
+          "usage: %s [--sessions N] [--dns N] [--duration-ms N]\n"
+          "          [--warehouses N] [--ms-fraction F] [--think-us N]\n"
+          "          [--group] [--window-us N] [--max-batch N]\n"
+          "          [--max-in-flight N] [--max-queue N] [--baseline]\n",
+          prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int dns = 4;
+  int64_t duration_ms = 250;
+  bool baseline = false;
+  TpccConfig cfg;
+  cfg.warehouses_per_dn = 64;
+  cfg.customers_per_warehouse = 30;
+  cfg.stock_per_warehouse = 30;
+  cfg.multi_shard_fraction = 0.10;
+  traffic::TrafficOptions opts;
+  opts.sessions = 512;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--sessions") == 0) {
+      opts.sessions = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--dns") == 0) {
+      dns = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--duration-ms") == 0) {
+      duration_ms = ArgInt(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--warehouses") == 0) {
+      cfg.warehouses_per_dn = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--ms-fraction") == 0) {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      cfg.multi_shard_fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(a, "--think-us") == 0) {
+      opts.think_time_us = ArgInt(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--group") == 0) {
+      opts.group_commit.enabled = true;
+    } else if (std::strcmp(a, "--window-us") == 0) {
+      opts.group_commit.window_us = ArgInt(argc, argv, &i, a);
+    } else if (std::strcmp(a, "--max-batch") == 0) {
+      opts.group_commit.max_batch = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--max-in-flight") == 0) {
+      opts.admission.max_in_flight = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--max-queue") == 0) {
+      opts.admission.max_queue = static_cast<int>(ArgInt(argc, argv, &i, a));
+    } else if (std::strcmp(a, "--baseline") == 0) {
+      baseline = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  cfg.duration_us = duration_ms * 1000;
+
+  Cluster cluster(dns, baseline ? Protocol::kBaselineGtm : Protocol::kGtmLite,
+                  LatencyModel{});
+  if (Status st = LoadTpcc(&cluster, cfg); !st.ok()) {
+    fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<traffic::TrafficResult> run = traffic::RunTraffic(&cluster, cfg, opts);
+  if (!run.ok()) {
+    fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const traffic::TrafficResult& r = *run;
+
+  printf("=== OLTP traffic run ===\n");
+  printf("cluster        : %d DNs, %s, %d warehouses\n", dns,
+         baseline ? "baseline-GTM" : "GTM-Lite", cfg.warehouses_per_dn * dns);
+  printf("sessions       : %d (%.0f%% multi-shard), %lld ms simulated\n",
+         opts.sessions, cfg.multi_shard_fraction * 100,
+         static_cast<long long>(duration_ms));
+  printf("group commit   : %s", opts.group_commit.enabled ? "on" : "off");
+  if (opts.group_commit.enabled) {
+    printf(" (window %lld us, max batch %zu)",
+           static_cast<long long>(opts.group_commit.window_us),
+           opts.group_commit.max_batch);
+  }
+  printf("\nadmission gate : ");
+  if (opts.admission.max_in_flight > 0) {
+    printf("%d in flight, queue %zu\n", opts.admission.max_in_flight,
+           opts.admission.max_queue);
+  } else {
+    printf("unlimited\n");
+  }
+  printf("\ncommitted      : %llu (%.0f txn/s)\n",
+         static_cast<unsigned long long>(r.committed), r.throughput_tps);
+  printf("aborted / shed : %llu / %llu\n",
+         static_cast<unsigned long long>(r.aborted),
+         static_cast<unsigned long long>(r.shed));
+  printf("latency (us)   : p50 %lld  p95 %lld  p99 %lld  mean %.0f\n",
+         static_cast<long long>(r.latency_p50_us),
+         static_cast<long long>(r.latency_p95_us),
+         static_cast<long long>(r.latency_p99_us), r.latency_mean_us);
+  printf("gtm requests   : %llu\n",
+         static_cast<unsigned long long>(r.gtm_requests));
+  if (opts.group_commit.enabled) {
+    printf("group commit   : %lld batches, %lld txns (avg %.1f/batch), "
+           "%lld log forces\n",
+           static_cast<long long>(r.group_batches),
+           static_cast<long long>(r.group_txns),
+           r.group_batches > 0 ? static_cast<double>(r.group_txns) /
+                                     static_cast<double>(r.group_batches)
+                               : 0.0,
+           static_cast<long long>(r.log_writes));
+  } else {
+    printf("log forces     : %lld\n", static_cast<long long>(r.log_writes));
+  }
+  if (r.admission_queued > 0 || r.admission_shed > 0) {
+    printf("admission      : %lld queued, %lld shed, avg wait %.0f us, "
+           "peak in-flight %d\n",
+           static_cast<long long>(r.admission_queued),
+           static_cast<long long>(r.admission_shed),
+           r.admission_queued > 0
+               ? static_cast<double>(r.admission_wait_us) /
+                     static_cast<double>(r.admission_queued)
+               : 0.0,
+           r.max_in_flight_seen);
+  }
+  return 0;
+}

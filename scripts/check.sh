@@ -16,11 +16,12 @@ run_preset() {
   ctest --preset "${preset}" -j "${jobs}"
   # The exchange/join/columnar-scan tests cross threads by design (pool
   # scatter, channel sends, vacuum-under-exchange stress, morsel-parallel
-  # chunk scans) — run them by name so a filtered or stale test list can
+  # chunk scans), and the admission-queue stress drives the CN gate from
+  # 8 real threads — run them by name so a filtered or stale test list can
   # never skip the reason this gate exists.
-  echo "=== ${preset}: exchange/join/columnar/distributed-sql focus ==="
+  echo "=== ${preset}: exchange/join/columnar/distributed-sql/traffic focus ==="
   ctest --preset "${preset}" \
-    -R "exchange|distributed_join|vacuum_exchange|column_store|column_scan|column_groupby|columnar_mpp|distributed_sql|distributed_groupby|exchange_limit|exchange_spill|columnar_refresh" \
+    -R "exchange|distributed_join|vacuum_exchange|column_store|column_scan|column_groupby|columnar_mpp|distributed_sql|distributed_groupby|exchange_limit|exchange_spill|columnar_refresh|traffic|admission_queue|group_commit|tpcc" \
     --output-on-failure
   echo "=== ${preset}: sql shell smoke (distributed) ==="
   scripts/sql_shell_smoke.sh "build-${preset}"

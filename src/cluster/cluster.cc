@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <map>
+
 #include "txn/snapshot.h"
 
 namespace ofi::cluster {
@@ -118,6 +120,21 @@ SimTime Cluster::ChargeDnCommit(int dn, SimTime arrival) {
   SimTime a = arrival + latency_.network_hop_us;
   SimTime done =
       scheduler_.Charge(dn_resources_[dn], a, latency_.dn_commit_service_us);
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnCommitBatch(int dn, SimTime arrival, size_t records,
+                                     bool durable) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime service = latency_.dn_commit_service_us;
+  if (records > 1) {
+    service += static_cast<SimTime>(records - 1) * latency_.dn_batch_record_service_us;
+  }
+  if (durable) {
+    service += latency_.log_write_service_us;
+    metrics_.Add("commitlog.log_writes");
+  }
+  SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
   return done + latency_.network_hop_us;
 }
 
@@ -367,9 +384,10 @@ Status Txn::Delete(const std::string& table, const sql::Value& key) {
 }
 
 Status Txn::CommitSingleShard() {
-  // GTM-lite single-shard: one local commit message, zero GTM traffic.
+  // GTM-lite single-shard: one local commit message (with its own log
+  // force), zero GTM traffic.
   for (auto& [dn, ctx] : dns_) {
-    now_ = cluster_->ChargeDnCommit(dn, now_);
+    now_ = cluster_->ChargeDnCommitBatch(dn, now_, 1, /*durable=*/true);
     OFI_RETURN_NOT_OK(cluster_->dn(dn)->txn_mgr().Commit(ctx.xid, txn::kNoGxid));
   }
   return Status::OK();
@@ -380,9 +398,11 @@ Status Txn::CommitTwoPhase() {
   const bool single_dn = dns_.size() <= 1;
 
   // Phase one: prepare every participant (skipped for a 1-DN transaction).
+  // A prepare is durable — the DN must survive a crash still knowing it
+  // promised to commit — so each message carries a log force.
   if (!single_dn) {
     for (auto& [dn, ctx] : dns_) {
-      now_ = cluster_->ChargeDnCommit(dn, now_);
+      now_ = cluster_->ChargeDnCommitBatch(dn, now_, 1, /*durable=*/true);
       Status st = cluster_->dn(dn)->txn_mgr().Prepare(ctx.xid);
       if (!st.ok()) {
         Abort();
@@ -395,7 +415,7 @@ Status Txn::CommitTwoPhase() {
     // PG-XC order: commit on every node, then dequeue from the GTM, so a
     // fresh global snapshot never exposes a half-committed transaction.
     for (auto& [dn, ctx] : dns_) {
-      now_ = cluster_->ChargeDnCommit(dn, now_);
+      now_ = cluster_->ChargeDnCommitBatch(dn, now_, 1, /*durable=*/true);
       OFI_RETURN_NOT_OK(cluster_->dn(dn)->txn_mgr().Commit(ctx.xid, gxid_));
     }
     now_ = cluster_->ChargeGtm(now_);
@@ -409,7 +429,7 @@ Status Txn::CommitTwoPhase() {
   now_ = cluster_->ChargeGtm(now_);
   OFI_RETURN_NOT_OK(cluster_->gtm().CommitGlobal(gxid_));
   for (auto& [dn, ctx] : dns_) {
-    now_ = cluster_->ChargeDnCommit(dn, now_);
+    now_ = cluster_->ChargeDnCommitBatch(dn, now_, 1, /*durable=*/true);
     if (cluster_->delay_commit_confirmations() && !single_dn) {
       cluster_->dn(dn)->EnqueuePendingCommit(ctx.xid, gxid_);
     } else {
@@ -448,6 +468,164 @@ Status Txn::Commit() {
     cluster_->metrics().Add("txn.commit_failed");
   }
   return st;
+}
+
+std::vector<GroupCommitOutcome> Cluster::CommitBatch(
+    const std::vector<Txn*>& txns, SimTime flush_time) {
+  std::vector<GroupCommitOutcome> out(txns.size());
+  const bool baseline = protocol_ == Protocol::kBaselineGtm;
+
+  std::vector<bool> live(txns.size(), false);
+  for (size_t i = 0; i < txns.size(); ++i) {
+    Txn* t = txns[i];
+    if (t == nullptr || t->finished_) {
+      out[i].status = Status::InvalidArgument("txn already finished");
+      continue;
+    }
+    t->finished_ = true;
+    live[i] = true;
+    out[i].done = flush_time;
+  }
+
+  // One record per (transaction, participant DN). A transaction prepares
+  // only when it spans more than one DN — same rule as the per-commit path.
+  struct Rec {
+    size_t i;
+    Txn* t;
+    Txn::DnContext* ctx;
+  };
+  std::map<int, std::vector<Rec>> by_dn;
+  std::map<int, std::vector<Rec>> prep_by_dn;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (!live[i]) continue;
+    Txn* t = txns[i];
+    for (auto& [dn, ctx] : t->dns_) {
+      by_dn[dn].push_back(Rec{i, t, &ctx});
+      if (t->dns_.size() > 1) prep_by_dn[dn].push_back(Rec{i, t, &ctx});
+    }
+  }
+
+  // Phase one: one batched prepare message per DN, all records sharing one
+  // round trip and one log force. The batch's prepare barrier is the max
+  // over DNs — the coordinator sends the decision only once every
+  // participant has promised.
+  SimTime prep_barrier = flush_time;
+  for (auto& [dn, recs] : prep_by_dn) {
+    SimTime done = ChargeDnCommitBatch(dn, flush_time, recs.size(), true);
+    prep_barrier = std::max(prep_barrier, done);
+    for (Rec& r : recs) {
+      if (!live[r.i]) continue;
+      Status st = dns_[dn]->txn_mgr().Prepare(r.ctx->xid);
+      if (!st.ok()) {
+        live[r.i] = false;
+        out[r.i].status = st;
+        (void)r.t->Abort();  // rolls back every touched DN, frees the gxid
+      }
+    }
+  }
+
+  // The global decision: one GTM round trip carrying every global commit in
+  // the batch (GTM-lite sends it before the DN confirmations, the baseline
+  // dequeues after every DN has committed).
+  auto charge_gtm_batch = [this](SimTime arrival, size_t n) {
+    SimTime a = arrival + latency_.network_hop_us;
+    SimTime done = scheduler_.Charge(gtm_resource_, a,
+                                     static_cast<SimTime>(n) * latency_.gtm_service_us);
+    return done + latency_.network_hop_us;
+  };
+  SimTime gtm_done = prep_barrier;
+  if (!baseline) {
+    std::vector<Txn*> global;
+    for (size_t i = 0; i < txns.size(); ++i) {
+      if (live[i] && txns[i]->gxid_ != txn::kNoGxid) global.push_back(txns[i]);
+    }
+    if (!global.empty()) {
+      gtm_done = charge_gtm_batch(prep_barrier, global.size());
+      for (Txn* t : global) (void)gtm_.CommitGlobal(t->gxid_);
+    }
+  }
+
+  // Apply phase: one batched confirmation message per DN. Every record is
+  // staged into the DN's group-commit window and the window is flushed
+  // once — a single log write makes the whole batch visible atomically
+  // with respect to snapshots taken before/after the flush.
+  SimTime apply_barrier = flush_time;
+  for (auto& [dn, recs] : by_dn) {
+    size_t n_live = 0;
+    SimTime arrival = flush_time;
+    for (Rec& r : recs) {
+      if (!live[r.i]) continue;
+      ++n_live;
+      if (r.t->dns_.size() > 1) arrival = std::max(arrival, prep_barrier);
+      if (!baseline && r.t->gxid_ != txn::kNoGxid) {
+        arrival = std::max(arrival, gtm_done);
+      }
+    }
+    if (n_live == 0) continue;
+    SimTime done = ChargeDnCommitBatch(dn, arrival, n_live, true);
+    apply_barrier = std::max(apply_barrier, done);
+    for (Rec& r : recs) {
+      if (!live[r.i]) continue;
+      if (!baseline && delay_commit_confirm_ && r.t->dns_.size() > 1) {
+        // Anomaly1 test hook: the confirmation queues instead of applying.
+        dns_[dn]->EnqueuePendingCommit(r.ctx->xid, r.t->gxid_);
+      } else {
+        Status st = dns_[dn]->txn_mgr().StageCommit(r.ctx->xid, r.t->gxid_);
+        if (!st.ok()) {
+          live[r.i] = false;
+          out[r.i].status = st;
+        }
+      }
+      out[r.i].done = std::max(out[r.i].done, done);
+    }
+    dns_[dn]->txn_mgr().FlushStaged();
+  }
+  {
+    int64_t survivors = 0;
+    for (size_t i = 0; i < txns.size(); ++i) {
+      if (live[i]) ++survivors;
+    }
+    metrics_.Add("group_commit.txns", survivors);
+  }
+  metrics_.Add("group_commit.batches");
+
+  if (baseline) {
+    // PG-XC order: the GTM dequeue happens only after every node committed.
+    std::vector<Txn*> global;
+    for (size_t i = 0; i < txns.size(); ++i) {
+      if (live[i] && txns[i]->gxid_ != txn::kNoGxid) global.push_back(txns[i]);
+    }
+    if (!global.empty()) {
+      gtm_done = charge_gtm_batch(apply_barrier, global.size());
+      for (Txn* t : global) (void)gtm_.CommitGlobal(t->gxid_);
+      for (size_t i = 0; i < txns.size(); ++i) {
+        if (live[i] && txns[i]->gxid_ != txn::kNoGxid) {
+          out[i].done = std::max(out[i].done, gtm_done);
+        }
+      }
+    }
+  }
+
+  // Wrap-up per survivor: committed flag, metrics, replication shipping.
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (!live[i]) continue;
+    Txn* t = txns[i];
+    t->committed_ = true;
+    metrics_.Add("txn.commit");
+    if (replication_enabled_) {
+      SimTime done = out[i].done;
+      for (auto& [dn, ctx] : t->dns_) {
+        if (ctx.writes.empty()) continue;
+        for (const auto& w : ctx.writes) {
+          ShipToBackup(dn, ReplicationRecord{w.table, w.key, w.row, w.deleted});
+        }
+        done = ChargeDnCommit(BackupOf(dn), done);
+      }
+      out[i].done = done;
+    }
+    t->now_ = std::max(t->now_, out[i].done);
+  }
+  return out;
 }
 
 Status Txn::Abort() {

@@ -36,6 +36,14 @@ namespace ofi::cluster {
 
 enum class Protocol { kBaselineGtm, kGtmLite };
 
+/// Per-transaction outcome of a batched group commit (Cluster::CommitBatch).
+struct GroupCommitOutcome {
+  Status status;
+  /// Simulated time the commit ack reached the coordinator (valid when
+  /// status is OK).
+  SimTime done = 0;
+};
+
 /// Declared scope of a transaction. Applications shard by design (paper:
 /// "database is designed with application sharding in mind"), so the CN
 /// knows upfront whether a transaction is single-shard.
@@ -165,6 +173,18 @@ class Cluster {
   /// (closed-loop clients pass their own current time).
   Txn Begin(TxnScope scope, SimTime start_time = 0);
 
+  /// Group commit: commits every transaction in `txns` through ONE batched
+  /// 2PC round per data node departing at `flush_time` — one prepare message
+  /// per DN carrying every participant record, one GTM round trip carrying
+  /// every global commit, one apply message per DN that stages the whole
+  /// window into the commit log and forces it with a single log write.
+  /// Visibility order matches the per-commit path (GTM-lite: GTM first,
+  /// then DNs; baseline: DNs first, then GTM dequeue), and the applied
+  /// state is bit-identical to committing each transaction individually.
+  /// Transactions whose prepare fails are aborted; the rest proceed.
+  std::vector<GroupCommitOutcome> CommitBatch(const std::vector<Txn*>& txns,
+                                              SimTime flush_time);
+
   int ShardFor(const sql::Value& key) const {
     if (sharder_) return sharder_(key) % static_cast<int>(dns_.size());
     return static_cast<int>(key.Hash() % dns_.size());
@@ -226,6 +246,12 @@ class Cluster {
   SimTime ChargeDnStmt(int dn, SimTime arrival);
   /// One DN prepare/commit/abort message round trip.
   SimTime ChargeDnCommit(int dn, SimTime arrival);
+  /// One batched prepare/commit round trip carrying `records` transaction
+  /// records: the first record costs dn_commit_service_us, each further one
+  /// the marginal dn_batch_record_service_us, plus one log_write_service_us
+  /// when `durable` (the whole batch shares a single log force).
+  SimTime ChargeDnCommitBatch(int dn, SimTime arrival, size_t records,
+                              bool durable);
   /// One columnar partial-scan round trip: fixed statement setup plus a
   /// per-chunk term for chunks actually scanned (zone-map-pruned chunks are
   /// free, so pruning is visible in sim_latency_us).

@@ -20,6 +20,17 @@ struct LatencyModel {
   SimTime dn_stmt_service_us = 40;
   /// Serialized DN work per prepare/commit/abort message.
   SimTime dn_commit_service_us = 15;
+  /// Serialized DN work to force the commit log durable (one fsync). An
+  /// order of magnitude above an in-memory statement, like a fast NVMe
+  /// fsync next to a buffer-pool op. Charged once per prepare/commit-apply
+  /// message in per-commit mode; group commit charges it once per *flush*,
+  /// which is the whole amortization the batched window buys.
+  SimTime log_write_service_us = 120;
+  /// Marginal serialized DN work per ADDITIONAL prepare/commit record
+  /// carried by one batched 2PC message (the first record pays
+  /// dn_commit_service_us). Decoding a record is cheap next to the fsync
+  /// and the round trip, which is why batching wins.
+  SimTime dn_batch_record_service_us = 3;
   /// Delay between the GTM marking a txn committed and the commit
   /// confirmation landing on a DN — the Anomaly1 window (paper §II-A2).
   SimTime commit_confirm_delay_us = 30;

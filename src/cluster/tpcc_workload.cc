@@ -1,15 +1,11 @@
 #include "cluster/tpcc_workload.h"
 
-#include <algorithm>
-#include <deque>
-#include <queue>
-#include <vector>
+#include "cluster/traffic/traffic.h"
 
 namespace ofi::cluster {
 namespace {
 
 using sql::Column;
-using sql::Row;
 using sql::Schema;
 using sql::TypeId;
 using sql::Value;
@@ -36,6 +32,17 @@ Schema OrderSchema() {
 }  // namespace
 
 Status LoadTpcc(Cluster* cluster, const TpccConfig& config) {
+  if (config.warehouses_per_dn <= 0)
+    return Status::InvalidArgument("tpcc: warehouses_per_dn must be positive");
+  if (config.clients_per_dn <= 0)
+    return Status::InvalidArgument("tpcc: clients_per_dn must be positive");
+  if (config.duration_us <= 0)
+    return Status::InvalidArgument("tpcc: duration_us must be positive");
+  if (config.customers_per_warehouse <= 0 || config.stock_per_warehouse <= 0)
+    return Status::InvalidArgument("tpcc: per-warehouse sizes must be positive");
+  if (config.multi_shard_fraction < 0.0 || config.multi_shard_fraction > 1.0)
+    return Status::InvalidArgument("tpcc: multi_shard_fraction must be in [0, 1]");
+
   cluster->set_sharder([](const Value& key) {
     return static_cast<int>(tpcc::WarehouseOf(key.AsInt()));
   });
@@ -68,279 +75,28 @@ Status LoadTpcc(Cluster* cluster, const TpccConfig& config) {
   return Status::OK();
 }
 
-namespace {
-
-/// Per-client state of the closed loop.
-struct Client {
-  int id = 0;
-  int64_t home_warehouse = 0;
-  SimTime now = 0;
-  Rng rng;
-  int64_t next_order_seq = 0;
-  uint64_t committed = 0;
-  uint64_t aborted = 0;
-  std::deque<sql::Value> undelivered;  // this client's open orders
-};
-
-/// The warehouse sharding means "another shard" = a warehouse on another DN.
-int64_t RemoteWarehouse(const Client& c, Rng* rng, int warehouses_per_dn,
-                        int num_dns) {
-  if (num_dns <= 1) {
-    // Degenerate 1-node cluster: any other warehouse (still one shard; the
-    // transaction still runs the multi-shard protocol, as declared).
-    int total = warehouses_per_dn;
-    if (total <= 1) return c.home_warehouse;
-    int64_t w = rng->Uniform(0, total - 1);
-    return w == c.home_warehouse ? (w + 1) % total : w;
-  }
-  int home_dn = static_cast<int>(c.home_warehouse) % num_dns;
-  int other_dn = static_cast<int>(rng->Uniform(0, num_dns - 2));
-  if (other_dn >= home_dn) ++other_dn;
-  int64_t slot = rng->Uniform(0, warehouses_per_dn - 1);
-  return slot * num_dns + other_dn;
-}
-
-/// Payment: +ytd on warehouse and district, +balance on a customer.
-Status RunPayment(Cluster* cluster, Client* c, const TpccConfig& cfg,
-                  bool multi_shard, SimTime* out_now) {
-  int64_t w = c->home_warehouse;
-  int64_t cust_w =
-      multi_shard
-          ? RemoteWarehouse(*c, &c->rng, cfg.warehouses_per_dn, cluster->num_dns())
-          : w;
-  int64_t cust =
-      c->rng.NURand(1023, 0, cfg.customers_per_warehouse - 1) %
-      cfg.customers_per_warehouse;
-  Txn t = cluster->Begin(multi_shard ? TxnScope::kMultiShard
-                                     : TxnScope::kSingleShard,
-                         c->now);
-  auto run = [&]() -> Status {
-    Value wk(tpcc::WarehouseKey(w));
-    OFI_ASSIGN_OR_RETURN(Row wrow, t.Read("warehouse", wk));
-    wrow[1] = Value(wrow[1].AsInt() + 10);
-    OFI_RETURN_NOT_OK(t.Update("warehouse", wk, wrow));
-
-    Value dk(tpcc::DistrictKey(w, c->rng.Uniform(0, 9)));
-    OFI_ASSIGN_OR_RETURN(Row drow, t.Read("district", dk));
-    drow[1] = Value(drow[1].AsInt() + 10);
-    OFI_RETURN_NOT_OK(t.Update("district", dk, drow));
-
-    Value ck(tpcc::CustomerKey(cust_w, cust));
-    OFI_ASSIGN_OR_RETURN(Row crow, t.Read("customer", ck));
-    crow[1] = Value(crow[1].AsInt() - 10);
-    crow[2] = Value(crow[2].AsInt() + 1);
-    OFI_RETURN_NOT_OK(t.Update("customer", ck, crow));
-    return t.Commit();
-  };
-  Status st = run();
-  if (!st.ok()) (void)t.Abort();
-  *out_now = t.now();
-  return st;
-}
-
-/// NewOrder: read customer, bump district, insert an order, decrement stock.
-Status RunNewOrder(Cluster* cluster, Client* c, const TpccConfig& cfg,
-                   bool multi_shard, SimTime* out_now) {
-  int64_t w = c->home_warehouse;
-  Txn t = cluster->Begin(multi_shard ? TxnScope::kMultiShard
-                                     : TxnScope::kSingleShard,
-                         c->now);
-  auto run = [&]() -> Status {
-    int64_t cust = c->rng.NURand(1023, 0, cfg.customers_per_warehouse - 1) %
-                   cfg.customers_per_warehouse;
-    Value ck(tpcc::CustomerKey(w, cust));
-    OFI_ASSIGN_OR_RETURN(Row crow, t.Read("customer", ck));
-    (void)crow;
-
-    Value dk(tpcc::DistrictKey(w, c->rng.Uniform(0, 9)));
-    OFI_ASSIGN_OR_RETURN(Row drow, t.Read("district", dk));
-    drow[1] = Value(drow[1].AsInt() + 1);
-    OFI_RETURN_NOT_OK(t.Update("district", dk, drow));
-
-    int64_t lines = c->rng.Uniform(2, 4);
-    // Order sequence stays inside the warehouse's key range so the order
-    // row co-locates with its warehouse (client id keeps writers disjoint).
-    int64_t seq = (c->next_order_seq++ * 1024 + (c->id & 1023)) % 400'000;
-    Value ok(tpcc::OrderKey(w, seq));
-    OFI_RETURN_NOT_OK(
-        t.Insert("orders", ok, {ok, Value(cust), Value(lines), Value(0)}));
-    c->undelivered.push_back(ok);
-
-    for (int64_t line = 0; line < lines; ++line) {
-      int64_t item_w =
-          (multi_shard && line == 0)
-              ? RemoteWarehouse(*c, &c->rng, cfg.warehouses_per_dn,
-                                cluster->num_dns())
-              : w;
-      Value sk(tpcc::StockKey(item_w,
-                              c->rng.Uniform(0, cfg.stock_per_warehouse - 1)));
-      OFI_ASSIGN_OR_RETURN(Row srow, t.Read("stock", sk));
-      srow[1] = Value(srow[1].AsInt() <= 10 ? 91 : srow[1].AsInt() - 1);
-      OFI_RETURN_NOT_OK(t.Update("stock", sk, srow));
-    }
-    return t.Commit();
-  };
-  Status st = run();
-  if (!st.ok()) (void)t.Abort();
-  *out_now = t.now();
-  return st;
-}
-
-/// Delivery: marks up to 10 of this client's oldest open orders delivered
-/// and credits the customers (the TPC-C batch transaction).
-Status RunDelivery(Cluster* cluster, Client* c, const TpccConfig& cfg,
-                   SimTime* out_now) {
-  int64_t w = c->home_warehouse;
-  Txn t = cluster->Begin(TxnScope::kSingleShard, c->now);
-  size_t batch = std::min<size_t>(10, c->undelivered.size());
-  auto run = [&]() -> Status {
-    int64_t credited = 0;
-    for (size_t i = 0; i < batch; ++i) {
-      const sql::Value& ok = c->undelivered[i];
-      OFI_ASSIGN_OR_RETURN(Row orow, t.Read("orders", ok));
-      orow[3] = Value(1);
-      OFI_RETURN_NOT_OK(t.Update("orders", ok, orow));
-      Value ck(tpcc::CustomerKey(w, orow[1].AsInt()));
-      OFI_ASSIGN_OR_RETURN(Row crow, t.Read("customer", ck));
-      crow[1] = Value(crow[1].AsInt() + 1);
-      OFI_RETURN_NOT_OK(t.Update("customer", ck, crow));
-      ++credited;
-    }
-    // The credit comes out of the warehouse's collected ytd: money moves,
-    // it is never minted (the conservation invariant the tests check).
-    if (credited > 0) {
-      Value wk(tpcc::WarehouseKey(w));
-      OFI_ASSIGN_OR_RETURN(Row wrow, t.Read("warehouse", wk));
-      wrow[1] = Value(wrow[1].AsInt() - credited);
-      OFI_RETURN_NOT_OK(t.Update("warehouse", wk, wrow));
-    }
-    return t.Commit();
-  };
-  Status st = run();
-  if (st.ok()) {
-    c->undelivered.erase(c->undelivered.begin(),
-                         c->undelivered.begin() + static_cast<ptrdiff_t>(batch));
-  } else {
-    (void)t.Abort();
-  }
-  *out_now = t.now();
-  return st;
-}
-
-/// StockLevel: read-only — count low-stock items behind a district
-/// (the TPC-C consistency-heavy read).
-Status RunStockLevel(Cluster* cluster, Client* c, const TpccConfig& cfg,
-                     SimTime* out_now) {
-  int64_t w = c->home_warehouse;
-  Txn t = cluster->Begin(TxnScope::kSingleShard, c->now);
-  auto run = [&]() -> Status {
-    OFI_RETURN_NOT_OK(
-        t.Read("district", Value(tpcc::DistrictKey(w, c->rng.Uniform(0, 9))))
-            .status());
-    int low = 0;
-    for (int i = 0; i < 20; ++i) {
-      Value sk(tpcc::StockKey(w, c->rng.Uniform(0, cfg.stock_per_warehouse - 1)));
-      OFI_ASSIGN_OR_RETURN(Row srow, t.Read("stock", sk));
-      if (srow[1].AsInt() < 15) ++low;
-    }
-    (void)low;
-    return t.Commit();
-  };
-  Status st = run();
-  if (!st.ok()) (void)t.Abort();
-  *out_now = t.now();
-  return st;
-}
-
-/// OrderStatus: read-only customer + district probe.
-Status RunOrderStatus(Cluster* cluster, Client* c, const TpccConfig& cfg,
-                      SimTime* out_now) {
-  int64_t w = c->home_warehouse;
-  Txn t = cluster->Begin(TxnScope::kSingleShard, c->now);
-  auto run = [&]() -> Status {
-    int64_t cust = c->rng.NURand(1023, 0, cfg.customers_per_warehouse - 1) %
-                   cfg.customers_per_warehouse;
-    OFI_RETURN_NOT_OK(
-        t.Read("customer", Value(tpcc::CustomerKey(w, cust))).status());
-    OFI_RETURN_NOT_OK(
-        t.Read("district", Value(tpcc::DistrictKey(w, c->rng.Uniform(0, 9))))
-            .status());
-    return t.Commit();
-  };
-  Status st = run();
-  if (!st.ok()) (void)t.Abort();
-  *out_now = t.now();
-  return st;
-}
-
-}  // namespace
-
 TpccResult RunTpcc(Cluster* cluster, const TpccConfig& config) {
-  int num_clients = config.clients_per_dn * cluster->num_dns();
-  int total_warehouses = config.warehouses_per_dn * cluster->num_dns();
-  std::vector<Client> clients(num_clients);
-  for (int i = 0; i < num_clients; ++i) {
-    clients[i].id = i;
-    // Spread clients over warehouses; warehouse w lives on DN (w % num_dns),
-    // so consecutive clients land on different DNs.
-    clients[i].home_warehouse = i % total_warehouses;
-    clients[i].rng = Rng(config.seed * 7919 + i);
-  }
-
-  uint64_t gtm_before = cluster->gtm().requests_served();
-  int64_t upgrades_before = cluster->metrics().Get("merge.upgrades");
-  int64_t downgrades_before = cluster->metrics().Get("merge.downgrades");
-
-  // Smallest-sim-time-first closed loop.
-  auto cmp = [&](int a, int b) { return clients[a].now > clients[b].now; };
-  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
-  for (int i = 0; i < num_clients; ++i) heap.push(i);
+  traffic::TrafficOptions options;
+  options.sessions = config.clients_per_dn * cluster->num_dns();
+  options.think_time_us = 0;
+  // Group commit and admission control stay off: this entry point keeps the
+  // legacy closed-loop semantics (every commit forces the log on its own).
+  options.group_commit.enabled = false;
+  options.admission.max_in_flight = 0;
 
   TpccResult result;
-  uint64_t txns_run = 0;
-  while (!heap.empty()) {
-    int ci = heap.top();
-    heap.pop();
-    Client& c = clients[ci];
-    if (c.now >= config.duration_us) continue;  // this client is done
-    // The heap top is the global minimum arrival: older busy intervals can
-    // be dropped from the simulated resources.
-    if (++txns_run % 512 == 0) cluster->scheduler().Trim(c.now);
-
-    bool multi_shard = c.rng.Chance(config.multi_shard_fraction);
-    double mix = c.rng.NextDouble();
-    SimTime now_after = c.now;
-    Status st;
-    if (mix < 0.44) {
-      st = RunNewOrder(cluster, &c, config, multi_shard, &now_after);
-    } else if (mix < 0.86) {
-      st = RunPayment(cluster, &c, config, multi_shard, &now_after);
-    } else if (mix < 0.90) {
-      st = RunOrderStatus(cluster, &c, config, &now_after);
-    } else if (mix < 0.95 && !c.undelivered.empty()) {
-      st = RunDelivery(cluster, &c, config, &now_after);
-    } else {
-      st = RunStockLevel(cluster, &c, config, &now_after);
-    }
-    c.now = std::max(now_after, c.now + 1);
-    if (st.ok()) {
-      ++c.committed;
-    } else {
-      ++c.aborted;
-    }
-    heap.push(ci);
-  }
-
-  for (const Client& c : clients) {
-    result.committed += c.committed;
-    result.aborted += c.aborted;
-  }
-  result.throughput_tps = static_cast<double>(result.committed) /
-                          (static_cast<double>(config.duration_us) / 1e6);
-  result.gtm_requests = cluster->gtm().requests_served() - gtm_before;
-  result.upgrades = cluster->metrics().Get("merge.upgrades") - upgrades_before;
-  result.downgrades =
-      cluster->metrics().Get("merge.downgrades") - downgrades_before;
+  Result<traffic::TrafficResult> run =
+      traffic::RunTraffic(cluster, config, options);
+  if (!run.ok()) return result;
+  result.committed = run->committed;
+  result.aborted = run->aborted;
+  result.throughput_tps = run->throughput_tps;
+  result.latency_p50_us = run->latency_p50_us;
+  result.latency_p95_us = run->latency_p95_us;
+  result.latency_p99_us = run->latency_p99_us;
+  result.gtm_requests = run->gtm_requests;
+  result.upgrades = run->upgrades;
+  result.downgrades = run->downgrades;
   return result;
 }
 

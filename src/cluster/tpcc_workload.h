@@ -36,6 +36,11 @@ struct TpccResult {
   uint64_t aborted = 0;
   /// Committed transactions per simulated second.
   double throughput_tps = 0;
+  /// Per-transaction simulated commit latency, exact percentiles over the
+  /// committed transactions of the run.
+  SimTime latency_p50_us = 0;
+  SimTime latency_p95_us = 0;
+  SimTime latency_p99_us = 0;
   /// Serialized requests the GTM served during the run.
   uint64_t gtm_requests = 0;
   /// Snapshot-merge resolutions observed (GTM-lite only).
@@ -45,10 +50,15 @@ struct TpccResult {
 
 /// Loads the TPC-C-like tables into `cluster` (warehouse / district /
 /// customer / stock, co-located per warehouse) and installs the
-/// warehouse sharder. Call once per cluster before RunTpcc.
+/// warehouse sharder. Call once per cluster before RunTpcc. Returns
+/// InvalidArgument on a nonsensical config (non-positive warehouse /
+/// client / duration / sizing knobs).
 Status LoadTpcc(Cluster* cluster, const TpccConfig& config);
 
-/// Runs the closed-loop workload and reports throughput.
+/// Runs the closed-loop workload and reports throughput. A thin wrapper
+/// over traffic::RunTraffic (the session-pipelined engine) with group
+/// commit and admission control off: clients_per_dn * num_dns sessions,
+/// no think time.
 TpccResult RunTpcc(Cluster* cluster, const TpccConfig& config);
 
 /// Key layout helpers (exposed for tests).

@@ -1,0 +1,38 @@
+#include "cluster/traffic/admission.h"
+
+#include <algorithm>
+
+namespace ofi::cluster::traffic {
+
+AdmissionDecision AdmissionController::Request(int64_t ticket, SimTime now) {
+  std::lock_guard lock(mu_);
+  if (config_.max_in_flight <= 0 || in_flight_ < config_.max_in_flight) {
+    ++in_flight_;
+    ++total_admitted_;
+    return AdmissionDecision::kAdmitted;
+  }
+  if (queue_.size() < config_.max_queue) {
+    queue_.push_back(Waiter{ticket, now});
+    ++total_queued_;
+    return AdmissionDecision::kQueued;
+  }
+  ++total_shed_;
+  return AdmissionDecision::kShed;
+}
+
+bool AdmissionController::Release(SimTime now, int64_t* next_ticket,
+                                  SimTime* admitted_at) {
+  std::lock_guard lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (queue_.empty()) return false;
+  Waiter w = queue_.front();
+  queue_.pop_front();
+  ++in_flight_;
+  ++total_admitted_;
+  total_wait_us_ += std::max<SimTime>(0, now - w.enqueued_at);
+  if (next_ticket != nullptr) *next_ticket = w.ticket;
+  if (admitted_at != nullptr) *admitted_at = now;
+  return true;
+}
+
+}  // namespace ofi::cluster::traffic

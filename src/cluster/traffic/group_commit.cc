@@ -1,0 +1,25 @@
+#include "cluster/traffic/group_commit.h"
+
+namespace ofi::cluster::traffic {
+
+std::vector<GroupCommitCoordinator::FlushedTxn> GroupCommitCoordinator::Flush(
+    SimTime flush_time) {
+  std::vector<FlushedTxn> out;
+  if (window_.empty()) return out;
+  ++generation_;
+
+  std::vector<Txn*> txns;
+  txns.reserve(window_.size());
+  for (const Entry& e : window_) txns.push_back(e.txn);
+  std::vector<GroupCommitOutcome> outcomes =
+      cluster_->CommitBatch(txns, flush_time);
+
+  out.reserve(window_.size());
+  for (size_t i = 0; i < window_.size(); ++i) {
+    out.push_back(FlushedTxn{window_[i].ticket, std::move(outcomes[i])});
+  }
+  window_.clear();
+  return out;
+}
+
+}  // namespace ofi::cluster::traffic

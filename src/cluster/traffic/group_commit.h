@@ -1,0 +1,88 @@
+/// \file group_commit.h
+/// \brief CN-side group-commit coordinator for the traffic engine: instead
+/// of forcing the commit log once per transaction, commit-ready
+/// transactions accumulate in an open *window* and flush together through
+/// Cluster::CommitBatch — one batched 2PC round per data node and one log
+/// force for the whole window. The window closes when it fills
+/// (`max_batch`) or when its deadline (`window_us` after the first entrant)
+/// fires, whichever comes first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace ofi::cluster::traffic {
+
+struct GroupCommitConfig {
+  bool enabled = false;
+  /// How long the first commit in a window waits for company.
+  SimTime window_us = 200;
+  /// Window size that triggers an immediate flush.
+  size_t max_batch = 64;
+};
+
+/// \brief Accumulates commit-ready transactions and flushes them as one
+/// batch. Single-threaded: driven by the traffic engine's event loop.
+class GroupCommitCoordinator {
+ public:
+  GroupCommitCoordinator(Cluster* cluster, GroupCommitConfig config)
+      : cluster_(cluster), config_(config) {}
+
+  struct Enqueued {
+    /// The window is full — the caller should Flush() right away instead of
+    /// waiting for the deadline.
+    bool flush_now = false;
+    /// Deadline for the window this transaction joined (valid when it was
+    /// the first entrant: the caller schedules a flush event here).
+    SimTime deadline = 0;
+    bool schedule_deadline = false;
+    /// Window generation, for recognizing stale deadline events.
+    uint64_t generation = 0;
+  };
+
+  /// Adds a commit-ready transaction (identified by `ticket`) to the open
+  /// window at simulated time `now`. The Txn must stay alive until the
+  /// window flushes.
+  Enqueued Add(int64_t ticket, Txn* txn, SimTime now) {
+    Enqueued e;
+    if (window_.empty()) {
+      e.schedule_deadline = true;
+      e.deadline = now + config_.window_us;
+    }
+    window_.push_back(Entry{ticket, txn});
+    e.generation = generation_;
+    e.flush_now = window_.size() >= config_.max_batch;
+    return e;
+  }
+
+  /// True when a deadline event carrying `generation` refers to a window
+  /// that already flushed (its timer should be ignored).
+  bool IsStale(uint64_t generation) const { return generation != generation_; }
+
+  struct FlushedTxn {
+    int64_t ticket;
+    GroupCommitOutcome outcome;
+  };
+
+  /// Closes the open window and commits it through one CommitBatch round
+  /// departing at `flush_time`. Returns the per-transaction outcomes in
+  /// window (stage) order.
+  std::vector<FlushedTxn> Flush(SimTime flush_time);
+
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  struct Entry {
+    int64_t ticket;
+    Txn* txn;
+  };
+
+  Cluster* cluster_;
+  GroupCommitConfig config_;
+  std::vector<Entry> window_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace ofi::cluster::traffic

@@ -1,0 +1,171 @@
+#include "cluster/traffic/session.h"
+
+#include <algorithm>
+
+namespace ofi::cluster::traffic {
+namespace {
+
+using sql::Row;
+using sql::Value;
+
+/// The warehouse sharding means "another shard" = a warehouse on another DN
+/// (degenerate 1-node clusters pick any other warehouse; the transaction
+/// still runs the multi-shard protocol, as declared).
+int64_t RemoteWarehouse(int64_t home, Rng* rng, const WorkloadParams& p) {
+  if (p.num_dns <= 1) {
+    if (p.total_warehouses <= 1) return home;
+    int64_t w = rng->Uniform(0, p.total_warehouses - 1);
+    return w == home ? (w + 1) % p.total_warehouses : w;
+  }
+  int home_dn = static_cast<int>(home) % p.num_dns;
+  int other_dn = static_cast<int>(rng->Uniform(0, p.num_dns - 2));
+  if (other_dn >= home_dn) ++other_dn;
+  int64_t slot = rng->Uniform(0, p.warehouses_per_dn - 1);
+  return slot * p.num_dns + other_dn;
+}
+
+}  // namespace
+
+void Session::PlanNextTxn(const WorkloadParams& p) {
+  plan.clear();
+  next_op = 0;
+  delivery_batch = 0;
+  pending_order_key = -1;
+
+  // Same draw order as the legacy closed loop, so the mix distribution is
+  // unchanged.
+  bool multi_shard = rng.Chance(p.multi_shard_fraction);
+  double mix = rng.NextDouble();
+  int64_t w = home_warehouse;
+
+  if (mix < 0.44) {
+    // NewOrder: read customer, bump district, insert an order, decrement
+    // stock (line 0 remote when multi-shard).
+    type = TxnType::kNewOrder;
+    scope = multi_shard ? TxnScope::kMultiShard : TxnScope::kSingleShard;
+    int64_t cust = rng.NURand(1023, 0, p.customers_per_warehouse - 1) %
+                   p.customers_per_warehouse;
+    plan.push_back(Op{Op::Kind::kRead, "customer", tpcc::CustomerKey(w, cust), {}});
+    plan.push_back(Op{Op::Kind::kAddDeltas, "district",
+                      tpcc::DistrictKey(w, rng.Uniform(0, 9)),
+                      {{1, 1}}});
+    int64_t lines = rng.Uniform(2, 4);
+    // Order sequence stays inside the warehouse's key range so the order
+    // row co-locates with its warehouse (session id keeps writers disjoint).
+    int64_t seq = (next_order_seq++ * 1024 + (id & 1023)) % 400'000;
+    int64_t ok = tpcc::OrderKey(w, seq);
+    Op insert{Op::Kind::kInsertOrder, "orders", ok, {}};
+    insert.customer = cust;
+    insert.lines = lines;
+    plan.push_back(std::move(insert));
+    pending_order_key = ok;
+    for (int64_t line = 0; line < lines; ++line) {
+      int64_t item_w =
+          (multi_shard && line == 0) ? RemoteWarehouse(w, &rng, p) : w;
+      plan.push_back(Op{Op::Kind::kStockDecrement, "stock",
+                        tpcc::StockKey(item_w,
+                                       rng.Uniform(0, p.stock_per_warehouse - 1)),
+                        {}});
+    }
+  } else if (mix < 0.86) {
+    // Payment: +ytd on district and warehouse, +balance on a customer
+    // (remote when multi-shard). The hot warehouse row goes LAST so the
+    // first-updater-wins conflict window is only the commit tail, not the
+    // whole transaction.
+    type = TxnType::kPayment;
+    scope = multi_shard ? TxnScope::kMultiShard : TxnScope::kSingleShard;
+    int64_t cust_w = multi_shard ? RemoteWarehouse(w, &rng, p) : w;
+    int64_t cust = rng.NURand(1023, 0, p.customers_per_warehouse - 1) %
+                   p.customers_per_warehouse;
+    plan.push_back(Op{Op::Kind::kAddDeltas, "district",
+                      tpcc::DistrictKey(w, rng.Uniform(0, 9)),
+                      {{1, 10}}});
+    plan.push_back(Op{Op::Kind::kAddDeltas, "customer",
+                      tpcc::CustomerKey(cust_w, cust),
+                      {{1, -10}, {2, 1}}});
+    plan.push_back(Op{Op::Kind::kAddDeltas, "warehouse", tpcc::WarehouseKey(w),
+                      {{1, 10}}});
+  } else if (mix < 0.90) {
+    // OrderStatus: read-only customer + district probe.
+    type = TxnType::kOrderStatus;
+    scope = TxnScope::kSingleShard;
+    int64_t cust = rng.NURand(1023, 0, p.customers_per_warehouse - 1) %
+                   p.customers_per_warehouse;
+    plan.push_back(Op{Op::Kind::kRead, "customer", tpcc::CustomerKey(w, cust), {}});
+    plan.push_back(Op{Op::Kind::kRead, "district",
+                      tpcc::DistrictKey(w, rng.Uniform(0, 9)), {}});
+  } else if (mix < 0.95 && !undelivered.empty()) {
+    // Delivery: mark up to 10 of this session's oldest open orders
+    // delivered and credit the customers; the credit comes out of the
+    // warehouse's collected ytd (money moves, it is never minted).
+    type = TxnType::kDelivery;
+    scope = TxnScope::kSingleShard;
+    delivery_batch = std::min<size_t>(10, undelivered.size());
+    for (size_t i = 0; i < delivery_batch; ++i) {
+      plan.push_back(Op{Op::Kind::kDeliverOrder, "orders", undelivered[i], {}});
+    }
+    plan.push_back(Op{Op::Kind::kAddDeltas, "warehouse", tpcc::WarehouseKey(w),
+                      {{1, -static_cast<int64_t>(delivery_batch)}}});
+  } else {
+    // StockLevel: read-only — a district probe plus 20 stock reads.
+    type = TxnType::kStockLevel;
+    scope = TxnScope::kSingleShard;
+    plan.push_back(Op{Op::Kind::kRead, "district",
+                      tpcc::DistrictKey(w, rng.Uniform(0, 9)), {}});
+    for (int i = 0; i < 20; ++i) {
+      plan.push_back(Op{Op::Kind::kRead, "stock",
+                        tpcc::StockKey(w, rng.Uniform(0, p.stock_per_warehouse - 1)),
+                        {}});
+    }
+  }
+}
+
+Status Session::ExecuteNextOp() {
+  const Op& op = plan[next_op++];
+  Txn& t = *txn;
+  switch (op.kind) {
+    case Op::Kind::kRead:
+      return t.Read(op.table, Value(op.key)).status();
+    case Op::Kind::kAddDeltas: {
+      OFI_ASSIGN_OR_RETURN(Row row, t.Read(op.table, Value(op.key)));
+      for (const Op::ColDelta& d : op.deltas) {
+        row[d.col] = Value(row[d.col].AsInt() + d.delta);
+      }
+      return t.Update(op.table, Value(op.key), std::move(row));
+    }
+    case Op::Kind::kStockDecrement: {
+      OFI_ASSIGN_OR_RETURN(Row row, t.Read(op.table, Value(op.key)));
+      row[1] = Value(row[1].AsInt() <= 10 ? 91 : row[1].AsInt() - 1);
+      return t.Update(op.table, Value(op.key), std::move(row));
+    }
+    case Op::Kind::kInsertOrder: {
+      Value ok(op.key);
+      return t.Insert(op.table, ok,
+                      {ok, Value(op.customer), Value(op.lines), Value(0)});
+    }
+    case Op::Kind::kDeliverOrder: {
+      Value ok(op.key);
+      OFI_ASSIGN_OR_RETURN(Row orow, t.Read("orders", ok));
+      int64_t cust = orow[1].AsInt();
+      orow[3] = Value(1);
+      OFI_RETURN_NOT_OK(t.Update("orders", ok, std::move(orow)));
+      // Credit the order's customer (same warehouse as the order).
+      Value ck(tpcc::CustomerKey(tpcc::WarehouseOf(op.key), cust));
+      OFI_ASSIGN_OR_RETURN(Row crow, t.Read("customer", ck));
+      crow[1] = Value(crow[1].AsInt() + 1);
+      return t.Update("customer", ck, std::move(crow));
+    }
+  }
+  return Status::Internal("unreachable op kind");
+}
+
+void Session::OnCommitted() {
+  ++committed;
+  if (delivery_batch > 0) {
+    undelivered.erase(undelivered.begin(),
+                      undelivered.begin() + static_cast<ptrdiff_t>(delivery_batch));
+  }
+  if (pending_order_key >= 0) undelivered.push_back(pending_order_key);
+}
+
+}  // namespace ofi::cluster::traffic

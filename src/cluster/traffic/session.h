@@ -1,0 +1,100 @@
+/// \file session.h
+/// \brief A resumable simulated OLTP session: one TPC-C-style terminal
+/// whose transaction is a *plan of ops* executed one step at a time, so
+/// thousands of sessions interleave on the shared simulated resources at
+/// statement granularity instead of running one blocking loop each.
+///
+/// The mix and per-transaction logic mirror the legacy closed-loop driver
+/// (NewOrder / Payment / OrderStatus / Delivery / StockLevel, warehouse
+/// co-located keys, explicit single-shard fraction) — the difference is
+/// that every statement is a yield point for the traffic scheduler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cluster/tpcc_workload.h"
+#include "common/rng.h"
+
+namespace ofi::cluster::traffic {
+
+/// The modified-TPC-C transaction mix (paper §II-A2).
+enum class TxnType { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
+
+/// One step of a transaction plan. A step is the unit of work between two
+/// scheduler yields: a point read, or a read-modify-write of one row.
+struct Op {
+  enum class Kind {
+    kRead,            // point read of `key` in `table`
+    kAddDeltas,       // read `key`, add every (col, delta), write back
+    kStockDecrement,  // the TPC-C stock decrement with the wrap-at-10 rule
+    kInsertOrder,     // insert the order row
+    kDeliverOrder,    // mark one order delivered and credit its customer
+  };
+  struct ColDelta {
+    int col;
+    int64_t delta;
+  };
+
+  Kind kind;
+  const char* table = "";
+  int64_t key = 0;
+  std::vector<ColDelta> deltas;  // kAddDeltas payload
+  int64_t customer = 0;          // kInsertOrder payload
+  int64_t lines = 0;             // kInsertOrder payload
+};
+
+/// Workload shape shared by every session (derived from TpccConfig).
+struct WorkloadParams {
+  int total_warehouses = 0;
+  int warehouses_per_dn = 0;
+  int num_dns = 0;
+  double multi_shard_fraction = 0.0;
+  int customers_per_warehouse = 0;
+  int stock_per_warehouse = 0;
+};
+
+/// \brief One simulated session. The traffic engine owns the scheduling;
+/// the session owns its RNG stream, its open transaction and its plan.
+struct Session {
+  int id = 0;
+  int64_t home_warehouse = 0;
+  Rng rng;
+  int64_t next_order_seq = 0;
+  std::deque<int64_t> undelivered;  // this session's open order keys
+
+  // --- Current transaction -------------------------------------------------
+  TxnType type = TxnType::kPayment;
+  TxnScope scope = TxnScope::kSingleShard;
+  std::vector<Op> plan;
+  size_t next_op = 0;
+  std::optional<Txn> txn;
+  /// When this transaction arrived at the CN (before any admission wait);
+  /// committed latency = commit ack time - arrival.
+  SimTime arrival_us = 0;
+  size_t delivery_batch = 0;      // orders to pop from `undelivered` on commit
+  int64_t pending_order_key = -1;  // NewOrder key to record on commit
+
+  // --- Tallies -------------------------------------------------------------
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t shed = 0;
+
+  /// Draws the next transaction (type, scope, plan) from the mix. The draw
+  /// order matches the legacy closed-loop driver.
+  void PlanNextTxn(const WorkloadParams& p);
+
+  /// Executes the next op of the plan on the open transaction. OK = step
+  /// done (caller yields until txn->now()); error = the transaction must
+  /// abort.
+  Status ExecuteNextOp();
+
+  bool PlanExhausted() const { return next_op >= plan.size(); }
+
+  /// Post-commit bookkeeping (pops delivered orders, records new ones).
+  void OnCommitted();
+};
+
+}  // namespace ofi::cluster::traffic

@@ -1,0 +1,268 @@
+#include "cluster/traffic/traffic.h"
+
+#include <algorithm>
+
+#include "cluster/traffic/session.h"
+#include <queue>
+#include <vector>
+
+namespace ofi::cluster::traffic {
+namespace {
+
+/// Exact percentile over a sorted sample (nearest-rank).
+SimTime Percentile(const std::vector<SimTime>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  size_t rank = (sorted.size() * static_cast<size_t>(p) + 99) / 100;
+  if (rank < 1) rank = 1;
+  return sorted[rank - 1];
+}
+
+struct Event {
+  SimTime time;
+  uint64_t seq;  // FIFO tie-break at equal times
+  enum class Kind { kStep, kFlush } kind;
+  int session = 0;           // kStep
+  uint64_t generation = 0;   // kFlush
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+Status Validate(const TpccConfig& config, const TrafficOptions& options) {
+  if (options.sessions <= 0)
+    return Status::InvalidArgument("traffic: sessions must be positive");
+  if (config.warehouses_per_dn <= 0)
+    return Status::InvalidArgument("traffic: warehouses_per_dn must be positive");
+  if (config.duration_us <= 0)
+    return Status::InvalidArgument("traffic: duration_us must be positive");
+  if (config.customers_per_warehouse <= 0 || config.stock_per_warehouse <= 0)
+    return Status::InvalidArgument("traffic: per-warehouse sizes must be positive");
+  if (config.multi_shard_fraction < 0.0 || config.multi_shard_fraction > 1.0)
+    return Status::InvalidArgument(
+        "traffic: multi_shard_fraction must be in [0, 1]");
+  if (options.group_commit.enabled && options.group_commit.max_batch == 0)
+    return Status::InvalidArgument("traffic: group-commit max_batch must be > 0");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TrafficResult> RunTraffic(Cluster* cluster, const TpccConfig& config,
+                                 const TrafficOptions& options) {
+  if (cluster == nullptr)
+    return Status::InvalidArgument("traffic: cluster is null");
+  OFI_RETURN_NOT_OK(Validate(config, options));
+
+  WorkloadParams params;
+  params.num_dns = cluster->num_dns();
+  params.warehouses_per_dn = config.warehouses_per_dn;
+  params.total_warehouses = config.warehouses_per_dn * cluster->num_dns();
+  params.multi_shard_fraction = config.multi_shard_fraction;
+  params.customers_per_warehouse = config.customers_per_warehouse;
+  params.stock_per_warehouse = config.stock_per_warehouse;
+
+  std::vector<Session> sessions(options.sessions);
+  for (int i = 0; i < options.sessions; ++i) {
+    sessions[i].id = i;
+    // Spread sessions over warehouses; warehouse w lives on DN (w % num_dns),
+    // so consecutive sessions land on different DNs.
+    sessions[i].home_warehouse = i % params.total_warehouses;
+    sessions[i].rng = Rng(config.seed * 7919 + i);
+  }
+  // True while a session holds an admission slot granted by a queue
+  // promotion it has not yet consumed.
+  std::vector<char> preadmitted(sessions.size(), 0);
+
+  AdmissionController admission(options.admission);
+  GroupCommitCoordinator group_commit(cluster, options.group_commit);
+
+  const uint64_t gtm_before = cluster->gtm().requests_served();
+  MetricsRegistry& metrics = cluster->metrics();
+  const int64_t upgrades_before = metrics.Get("merge.upgrades");
+  const int64_t downgrades_before = metrics.Get("merge.downgrades");
+  const int64_t batches_before = metrics.Get("group_commit.batches");
+  const int64_t gc_txns_before = metrics.Get("group_commit.txns");
+  const int64_t log_writes_before = metrics.Get("commitlog.log_writes");
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap;
+  uint64_t next_seq = 0;
+  auto schedule_step = [&](int session, SimTime at) {
+    heap.push(Event{at, next_seq++, Event::Kind::kStep, session, 0});
+  };
+  auto schedule_flush = [&](SimTime at, uint64_t generation) {
+    heap.push(Event{at, next_seq++, Event::Kind::kFlush, 0, generation});
+  };
+
+  const SimTime backoff = std::max<SimTime>(1, options.abort_backoff_us);
+  std::vector<SimTime> latencies;
+  TrafficResult result;
+
+  /// A transaction that held an admission slot finished at `now`: free the
+  /// slot and, if a session is waiting, admit it and resume it.
+  auto release_slot = [&](SimTime now) {
+    int64_t ticket = 0;
+    SimTime admitted_at = 0;
+    if (admission.Release(now, &ticket, &admitted_at)) {
+      preadmitted[ticket] = 1;
+      result.max_in_flight_seen =
+          std::max(result.max_in_flight_seen, admission.in_flight());
+      schedule_step(static_cast<int>(ticket), admitted_at);
+    }
+  };
+
+  auto handle_flush = [&](SimTime flush_time) {
+    for (GroupCommitCoordinator::FlushedTxn& f : group_commit.Flush(flush_time)) {
+      Session& ss = sessions[f.ticket];
+      if (f.outcome.status.ok()) {
+        SimTime done = std::max(flush_time, f.outcome.done);
+        latencies.push_back(done - ss.arrival_us);
+        ss.OnCommitted();
+        ss.txn.reset();
+        release_slot(done);
+        schedule_step(ss.id, done + options.think_time_us);
+      } else {
+        // CommitBatch already aborted the transaction (failed prepare).
+        ++ss.aborted;
+        ss.txn.reset();
+        release_slot(flush_time);
+        schedule_step(ss.id, flush_time + backoff);
+      }
+    }
+  };
+
+  for (int i = 0; i < options.sessions; ++i) schedule_step(i, 0);
+
+  uint64_t events = 0;
+  while (!heap.empty()) {
+    Event ev = heap.top();
+    heap.pop();
+    // Event times are monotone and every future resource arrival is at or
+    // after the current event, so older busy intervals can be dropped.
+    if (++events % 4096 == 0) cluster->scheduler().Trim(ev.time);
+
+    if (ev.kind == Event::Kind::kFlush) {
+      if (!group_commit.IsStale(ev.generation)) handle_flush(ev.time);
+      continue;
+    }
+
+    Session& ss = sessions[ev.session];
+    if (!ss.txn.has_value()) {
+      // Arrival: this session wants to start its next transaction.
+      if (ev.time >= config.duration_us) {
+        // Run over. If this session was promoted from the admission queue,
+        // pass the slot on so the queue drains.
+        if (preadmitted[ev.session]) {
+          preadmitted[ev.session] = 0;
+          release_slot(ev.time);
+        }
+        continue;
+      }
+      if (preadmitted[ev.session]) {
+        preadmitted[ev.session] = 0;  // arrival_us was set when it queued
+      } else {
+        ss.arrival_us = ev.time;
+        switch (admission.Request(ev.session, ev.time)) {
+          case AdmissionDecision::kQueued:
+            continue;  // parked; Release() will resume it
+          case AdmissionDecision::kShed:
+            ++ss.shed;
+            schedule_step(ev.session, ev.time + backoff);
+            continue;
+          case AdmissionDecision::kAdmitted:
+            result.max_in_flight_seen =
+                std::max(result.max_in_flight_seen, admission.in_flight());
+            break;
+        }
+      }
+      ss.PlanNextTxn(params);
+      ss.txn = cluster->Begin(ss.scope, ev.time);
+      schedule_step(ev.session, ev.time);  // first op, after peers at this time
+      continue;
+    }
+
+    Txn& txn = *ss.txn;
+    txn.AdvanceTo(ev.time);
+
+    if (!ss.PlanExhausted()) {
+      Status st = ss.ExecuteNextOp();
+      if (st.ok()) {
+        schedule_step(ev.session, std::max(ev.time + 1, txn.now()));
+      } else {
+        (void)txn.Abort();
+        SimTime done = std::max(ev.time, txn.now());
+        ++ss.aborted;
+        ss.txn.reset();
+        release_slot(done);
+        schedule_step(ev.session, done + backoff);
+      }
+      continue;
+    }
+
+    // Commit point.
+    if (options.group_commit.enabled) {
+      GroupCommitCoordinator::Enqueued e =
+          group_commit.Add(ev.session, &txn, ev.time);
+      if (e.flush_now) {
+        handle_flush(ev.time);
+      } else if (e.schedule_deadline) {
+        schedule_flush(e.deadline, e.generation);
+      }
+      continue;  // parked until its window flushes
+    }
+    Status st = txn.Commit();
+    SimTime done = std::max(ev.time, txn.now());
+    if (st.ok()) {
+      latencies.push_back(done - ss.arrival_us);
+      ss.OnCommitted();
+      ss.txn.reset();
+      release_slot(done);
+      schedule_step(ev.session, done + options.think_time_us);
+    } else {
+      (void)txn.Abort();
+      done = std::max(done, txn.now());
+      ++ss.aborted;
+      ss.txn.reset();
+      release_slot(done);
+      schedule_step(ev.session, done + backoff);
+    }
+  }
+
+  for (const Session& ss : sessions) {
+    result.committed += ss.committed;
+    result.aborted += ss.aborted;
+    result.shed += ss.shed;
+  }
+  result.throughput_tps = static_cast<double>(result.committed) /
+                          (static_cast<double>(config.duration_us) / 1e6);
+
+  std::sort(latencies.begin(), latencies.end());
+  result.latency_p50_us = Percentile(latencies, 50);
+  result.latency_p95_us = Percentile(latencies, 95);
+  result.latency_p99_us = Percentile(latencies, 99);
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (SimTime l : latencies) sum += static_cast<double>(l);
+    result.latency_mean_us = sum / static_cast<double>(latencies.size());
+  }
+
+  result.gtm_requests = cluster->gtm().requests_served() - gtm_before;
+  result.upgrades = metrics.Get("merge.upgrades") - upgrades_before;
+  result.downgrades = metrics.Get("merge.downgrades") - downgrades_before;
+  result.group_batches = metrics.Get("group_commit.batches") - batches_before;
+  result.group_txns = metrics.Get("group_commit.txns") - gc_txns_before;
+  result.log_writes = metrics.Get("commitlog.log_writes") - log_writes_before;
+
+  result.admission_queued = admission.total_queued();
+  result.admission_shed = admission.total_shed();
+  result.admission_wait_us = admission.total_wait_us();
+  metrics.Add("admission.queued", result.admission_queued);
+  metrics.Add("admission.shed", result.admission_shed);
+  metrics.Add("admission.wait_us", result.admission_wait_us);
+  return result;
+}
+
+}  // namespace ofi::cluster::traffic

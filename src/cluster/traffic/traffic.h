@@ -1,0 +1,81 @@
+/// \file traffic.h
+/// \brief The OLTP traffic engine: thousands of simulated sessions driven
+/// as resumable state machines by one smallest-time-first event scheduler.
+///
+/// Each session runs the modified-TPC-C mix (session.h) one *statement* at
+/// a time — every op is a yield point, so sessions genuinely interleave on
+/// the shared simulated resources instead of executing whole transactions
+/// back to back. On top of the raw pipeline sit the two CN-side mechanisms
+/// this subsystem exists to measure:
+///
+/// * group commit (group_commit.h) — commit-ready transactions accumulate
+///   in a window and flush through one batched 2PC round + one log force;
+/// * admission control (admission.h) — a max-in-flight gate with a bounded
+///   wait queue; queue time is charged to transaction latency and overflow
+///   is shed.
+///
+/// RunTpcc (tpcc_workload.h) is a thin wrapper over RunTraffic with both
+/// mechanisms off, preserving the legacy closed-loop semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/tpcc_workload.h"
+#include "cluster/traffic/admission.h"
+#include "cluster/traffic/group_commit.h"
+
+namespace ofi::cluster::traffic {
+
+struct TrafficOptions {
+  /// Total simulated sessions (must be > 0). Unlike TpccConfig's
+  /// clients_per_dn this is an absolute count — the headline experiments
+  /// sweep it to thousands per cluster.
+  int sessions = 64;
+  /// Idle time a session waits between commit ack and its next arrival.
+  SimTime think_time_us = 0;
+  /// Back-off before a session retries after an abort or a shed.
+  SimTime abort_backoff_us = 50;
+  GroupCommitConfig group_commit;
+  AdmissionConfig admission;
+};
+
+struct TrafficResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  /// Arrivals turned away by admission control (sessions retry after
+  /// back-off; each refusal counts once).
+  uint64_t shed = 0;
+  double throughput_tps = 0;
+
+  /// Per-transaction simulated commit latency (arrival at the CN — before
+  /// any admission wait — to commit ack), exact percentiles.
+  SimTime latency_p50_us = 0;
+  SimTime latency_p95_us = 0;
+  SimTime latency_p99_us = 0;
+  double latency_mean_us = 0;
+
+  uint64_t gtm_requests = 0;
+  int64_t upgrades = 0;
+  int64_t downgrades = 0;
+
+  /// Group-commit activity during the run (0 when disabled).
+  int64_t group_batches = 0;
+  int64_t group_txns = 0;
+  /// Durable log forces charged by the commit path (batched or not).
+  int64_t log_writes = 0;
+
+  /// Admission-control activity during the run.
+  int64_t admission_queued = 0;
+  int64_t admission_shed = 0;
+  int64_t admission_wait_us = 0;
+  int max_in_flight_seen = 0;
+};
+
+/// Runs `options.sessions` sessions of the modified-TPC-C mix against
+/// `cluster` for `config.duration_us` of simulated time. The cluster must
+/// already be loaded via LoadTpcc. Returns InvalidArgument on nonsensical
+/// options or config.
+Result<TrafficResult> RunTraffic(Cluster* cluster, const TpccConfig& config,
+                                 const TrafficOptions& options);
+
+}  // namespace ofi::cluster::traffic

@@ -37,6 +37,41 @@ Status CommitLog::Abort(Xid xid) {
   return Status::OK();
 }
 
+Status CommitLog::StageCommit(Xid xid, Gxid gxid) {
+  std::unique_lock lock(mu_);
+  auto it = states_.find(xid);
+  if (it == states_.end()) return Status::NotFound("stage: unknown xid");
+  if (it->second == TxnState::kAborted) {
+    return Status::InvalidArgument("stage: xid already aborted");
+  }
+  if (it->second == TxnState::kCommitted) return Status::OK();  // idempotent
+  for (const LcoEntry& e : staged_) {
+    if (e.xid == xid) return Status::OK();  // already in the window
+  }
+  staged_.push_back(LcoEntry{xid, gxid});
+  return Status::OK();
+}
+
+std::vector<Xid> CommitLog::FlushStaged() {
+  std::unique_lock lock(mu_);
+  std::vector<Xid> flushed;
+  flushed.reserve(staged_.size());
+  for (const LcoEntry& e : staged_) {
+    auto it = states_.find(e.xid);
+    // Aborted in the window (2PC coordinator decided abort) or already
+    // committed (recovery sweep resolved it): nothing to apply here.
+    if (it == states_.end() || it->second == TxnState::kAborted ||
+        it->second == TxnState::kCommitted) {
+      continue;
+    }
+    it->second = TxnState::kCommitted;
+    lco_.push_back(e);
+    flushed.push_back(e.xid);
+  }
+  staged_.clear();
+  return flushed;
+}
+
 void CommitLog::PruneBelowHorizon(Gxid horizon) {
   std::unique_lock lock(mu_);
   // LCO: remove the longest prefix of entries that can never taint a future

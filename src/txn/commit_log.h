@@ -44,6 +44,28 @@ class CommitLog {
   /// Appends to the LCO, recording the owning gxid (kNoGxid if local-only).
   Status Commit(Xid xid, Gxid gxid = kNoGxid);
 
+  // --- Group commit (batched durable apply) ---------------------------------
+  /// Stages a commit into the open group-commit window WITHOUT making it
+  /// visible: the xid keeps its InProgress/Prepared state (so snapshots and
+  /// visibility checks treat it as uncommitted) until FlushStaged() forces
+  /// the whole window durable in one log write. Idempotent for an xid that
+  /// is already committed (a recovery sweep may have resolved it first);
+  /// staging an aborted xid is an error, staging twice is a no-op.
+  Status StageCommit(Xid xid, Gxid gxid = kNoGxid);
+
+  /// Flushes the open window: every staged xid transitions to Committed and
+  /// is appended to the LCO in stage order, under a single lock acquisition
+  /// (the simulated counterpart charges one log write for the batch).
+  /// Staged xids that were aborted or already committed in the meantime are
+  /// skipped. Returns the xids that transitioned to Committed here.
+  std::vector<Xid> FlushStaged();
+
+  /// Commits currently staged and awaiting a flush.
+  size_t staged_count() const {
+    std::shared_lock lock(mu_);
+    return staged_.size();
+  }
+
   /// Aborts. Allowed from InProgress or Prepared.
   Status Abort(Xid xid);
 
@@ -136,6 +158,7 @@ class CommitLog {
   std::unordered_map<Gxid, Xid> gxid_to_local_;
   std::unordered_map<Xid, Gxid> local_to_gxid_;
   std::vector<LcoEntry> lco_;
+  std::vector<LcoEntry> staged_;  // open group-commit window, stage order
 };
 
 }  // namespace ofi::txn

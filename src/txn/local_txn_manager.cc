@@ -38,6 +38,19 @@ Status LocalTxnManager::Commit(Xid xid, Gxid gxid) {
   return Status::OK();
 }
 
+Status LocalTxnManager::StageCommit(Xid xid, Gxid gxid) {
+  return clog_.StageCommit(xid, gxid);
+}
+
+size_t LocalTxnManager::FlushStaged() {
+  std::vector<Xid> flushed = clog_.FlushStaged();
+  if (!flushed.empty()) {
+    std::unique_lock lock(mu_);
+    for (Xid xid : flushed) active_.erase(xid);
+  }
+  return flushed.size();
+}
+
 Status LocalTxnManager::Abort(Xid xid) {
   OFI_RETURN_NOT_OK(clog_.Abort(xid));
   std::unique_lock lock(mu_);

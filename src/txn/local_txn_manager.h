@@ -43,6 +43,16 @@ class LocalTxnManager {
   /// Commits; removes from the active set and appends to the LCO.
   Status Commit(Xid xid, Gxid gxid = kNoGxid);
 
+  /// Stages a commit into the clog's group-commit window. The xid STAYS in
+  /// the active set (new snapshots keep it invisible) until FlushStaged()
+  /// applies the whole window durably.
+  Status StageCommit(Xid xid, Gxid gxid = kNoGxid);
+
+  /// Flushes the open window: staged xids become committed, leave the
+  /// active set, and enter the LCO in stage order. Returns how many
+  /// transactions this flush made visible.
+  size_t FlushStaged();
+
   Status Abort(Xid xid);
 
   const CommitLog& clog() const { return clog_; }

@@ -1,0 +1,151 @@
+/// Group-commit window semantics in the transaction layer: staged commits
+/// must stay invisible (InProgress/Prepared state, active set, snapshots)
+/// until the window flushes, aborts inside an open window must win, and a
+/// 2PC recovery sweep that resolves a staged transaction first must leave
+/// the flush idempotent — the clog and the GTM always agree.
+#include <gtest/gtest.h>
+
+#include "txn/gtm.h"
+#include "txn/local_txn_manager.h"
+
+namespace ofi::txn {
+namespace {
+
+TEST(CommitLogGroupCommitTest, StagedCommitStaysInProgressUntilFlush) {
+  CommitLog clog;
+  clog.Begin(1);
+  ASSERT_TRUE(clog.StageCommit(1).ok());
+
+  // The window is open: the transaction must not be visible yet.
+  EXPECT_TRUE(clog.IsInProgress(1));
+  EXPECT_FALSE(clog.IsCommitted(1));
+  EXPECT_EQ(clog.staged_count(), 1u);
+  EXPECT_TRUE(clog.lco().empty());
+
+  std::vector<Xid> flushed = clog.FlushStaged();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], 1u);
+  EXPECT_TRUE(clog.IsCommitted(1));
+  ASSERT_EQ(clog.lco().size(), 1u);
+  EXPECT_EQ(clog.lco()[0].xid, 1u);
+  EXPECT_EQ(clog.staged_count(), 0u);
+}
+
+TEST(CommitLogGroupCommitTest, StagedPreparedKeepsPreparedState) {
+  CommitLog clog;
+  clog.Begin(7);
+  ASSERT_TRUE(clog.Prepare(7).ok());
+  ASSERT_TRUE(clog.StageCommit(7, /*gxid=*/42).ok());
+
+  // Prepared-but-unflushed: still prepared, still in-doubt for recovery.
+  EXPECT_TRUE(clog.IsPrepared(7));
+  ASSERT_EQ(clog.PreparedXids().size(), 1u);
+
+  std::vector<Xid> flushed = clog.FlushStaged();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_TRUE(clog.IsCommitted(7));
+  ASSERT_EQ(clog.lco().size(), 1u);
+  EXPECT_EQ(clog.lco()[0].gxid, 42u);
+}
+
+TEST(CommitLogGroupCommitTest, AbortInsideOpenWindowWins) {
+  CommitLog clog;
+  clog.Begin(1);
+  clog.Begin(2);
+  clog.Begin(3);
+  ASSERT_TRUE(clog.StageCommit(1).ok());
+  ASSERT_TRUE(clog.StageCommit(2).ok());
+  ASSERT_TRUE(clog.StageCommit(3).ok());
+
+  // Transaction 2 aborts while the window is still open (e.g. its session
+  // crashed between commit-ready and flush).
+  ASSERT_TRUE(clog.Abort(2).ok());
+
+  std::vector<Xid> flushed = clog.FlushStaged();
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0], 1u);
+  EXPECT_EQ(flushed[1], 3u);
+  EXPECT_TRUE(clog.IsAborted(2));
+  ASSERT_EQ(clog.lco().size(), 2u);
+}
+
+TEST(CommitLogGroupCommitTest, StageValidation) {
+  CommitLog clog;
+  EXPECT_TRUE(clog.StageCommit(99).IsNotFound());
+
+  clog.Begin(1);
+  ASSERT_TRUE(clog.Abort(1).ok());
+  EXPECT_TRUE(clog.StageCommit(1).IsInvalidArgument());
+
+  clog.Begin(2);
+  ASSERT_TRUE(clog.StageCommit(2).ok());
+  ASSERT_TRUE(clog.StageCommit(2).ok());  // staging twice is a no-op
+  EXPECT_EQ(clog.staged_count(), 1u);
+}
+
+TEST(CommitLogGroupCommitTest, RecoveryResolvingFirstMakesFlushIdempotent) {
+  // A recovery sweep may commit a prepared transaction (per the GTM's
+  // verdict) while it is still staged in an open window. The later flush
+  // must not double-apply it.
+  CommitLog clog;
+  clog.Begin(5);
+  ASSERT_TRUE(clog.Prepare(5).ok());
+  ASSERT_TRUE(clog.StageCommit(5, /*gxid=*/11).ok());
+
+  ASSERT_TRUE(clog.Commit(5, 11).ok());  // recovery resolved it first
+  EXPECT_TRUE(clog.StageCommit(5, 11).ok());  // idempotent re-stage
+
+  std::vector<Xid> flushed = clog.FlushStaged();
+  EXPECT_TRUE(flushed.empty());
+  ASSERT_EQ(clog.lco().size(), 1u);  // exactly one LCO entry
+  EXPECT_EQ(clog.lco()[0].xid, 5u);
+}
+
+TEST(LocalTxnManagerGroupCommitTest, StagedXidStaysActiveAndInvisible) {
+  LocalTxnManager mgr;
+  Xid xid = mgr.Begin();
+  ASSERT_TRUE(mgr.StageCommit(xid).ok());
+
+  // Still in the active set: a snapshot taken now treats it as in-flight,
+  // so no reader can observe the staged-but-unflushed commit.
+  EXPECT_EQ(mgr.active_count(), 1u);
+  Snapshot before = mgr.TakeSnapshot();
+  EXPECT_TRUE(before.InFlight(xid));
+
+  EXPECT_EQ(mgr.FlushStaged(), 1u);
+  EXPECT_EQ(mgr.active_count(), 0u);
+  Snapshot after = mgr.TakeSnapshot();
+  EXPECT_FALSE(after.InFlight(xid));
+  EXPECT_TRUE(mgr.clog().IsCommitted(xid));
+}
+
+TEST(LocalTxnManagerGroupCommitTest, FlushAgreesWithGtmAfterRecovery) {
+  // The in-doubt protocol end to end: a prepared multi-shard transaction is
+  // staged, the GTM has already decided commit, and a recovery sweep runs
+  // before the flush. Sweep and flush must agree: committed exactly once.
+  Gtm gtm;
+  LocalTxnManager mgr;
+  Gxid gxid = gtm.BeginGlobal();
+  Xid xid = mgr.Begin();
+  mgr.BindGxid(xid, gxid);
+  ASSERT_TRUE(mgr.Prepare(xid).ok());
+  ASSERT_TRUE(gtm.CommitGlobal(gxid).ok());
+  ASSERT_TRUE(mgr.StageCommit(xid, gxid).ok());
+
+  // Recovery sweep (DataNode::RecoverInDoubt equivalent): the GTM says
+  // committed, so the prepared xid commits immediately.
+  for (const auto& [prepared_xid, prepared_gxid] : mgr.clog().PreparedXids()) {
+    ASSERT_EQ(prepared_xid, xid);
+    ASSERT_EQ(prepared_gxid, gxid);
+    ASSERT_TRUE(gtm.IsCommitted(prepared_gxid));
+    ASSERT_TRUE(mgr.Commit(prepared_xid, prepared_gxid).ok());
+  }
+
+  EXPECT_EQ(mgr.FlushStaged(), 0u);  // nothing left to apply
+  EXPECT_TRUE(mgr.clog().IsCommitted(xid));
+  EXPECT_EQ(mgr.clog().lco().size(), 1u);
+  EXPECT_EQ(mgr.active_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ofi::txn
