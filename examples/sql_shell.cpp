@@ -21,6 +21,9 @@
 /// directory, `--spill-budget=N` caps live on-disk spill bytes,
 /// `--build-cap=N` caps the per-DN join build partition, and
 /// `--strict-exchange` restores the old deny-with-ResourceExhausted cap.
+/// `--pipeline[=workers]` runs producer and consumer fragments
+/// concurrently (pipelined exchange; falls back to barrier under
+/// --strict-exchange) with an optional executor thread count.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -36,6 +39,8 @@ int main(int argc, char** argv) {
   size_t exchange_cap = 0, spill_budget = 0, build_cap = 0;
   std::string spill_dir;
   bool strict_exchange = false;
+  bool pipeline = false;
+  int pipeline_workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--distributed") == 0) {
       num_dns = 3;
@@ -55,17 +60,27 @@ int main(int argc, char** argv) {
       build_cap = static_cast<size_t>(std::atoll(argv[i] + 12));
     } else if (std::strcmp(argv[i], "--strict-exchange") == 0) {
       strict_exchange = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline = true;
+    } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
+      pipeline = true;
+      pipeline_workers = std::atoi(argv[i] + 11);
+      if (pipeline_workers < 1) {
+        std::fprintf(stderr, "bad --pipeline=workers value\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--distributed[=N]] [--exchange-cap=BYTES] "
                    "[--spill-dir=PATH] [--spill-budget=BYTES] "
-                   "[--build-cap=BYTES] [--strict-exchange]\n",
+                   "[--build-cap=BYTES] [--strict-exchange] "
+                   "[--pipeline[=workers]]\n",
                    argv[0]);
       return 1;
     }
   }
   if (num_dns == 0 && (exchange_cap || spill_budget || build_cap ||
-                       !spill_dir.empty() || strict_exchange)) {
+                       !spill_dir.empty() || strict_exchange || pipeline)) {
     std::fprintf(stderr, "exchange/spill knobs need --distributed\n");
     return 1;
   }
@@ -79,6 +94,8 @@ int main(int argc, char** argv) {
     dist->exec_options().spill_dir = spill_dir;
     dist->exec_options().max_spill_bytes = spill_budget;
     dist->exec_options().max_build_bytes = build_cap;
+    dist->exec_options().pipeline = pipeline;
+    dist->exec_options().pipeline_workers = pipeline_workers;
     printf("openfidb sql shell — distributed over %d DNs, end statements "
            "with ';', \\q to quit\n", num_dns);
   } else {
@@ -151,6 +168,11 @@ int main(int argc, char** argv) {
                    (long long)info.stats.sim_latency_us);
             std::string scans = dist->LastScanReport();
             if (!scans.empty()) printf("%s", scans.c_str());
+            if (info.stats.pipelined) {
+              printf("pipeline: overlap_us=%lld batches_streamed=%zu\n",
+                     (long long)info.stats.pipeline_overlap_us,
+                     info.stats.batches_streamed);
+            }
             if (info.stats.spill_bytes + info.stats.build_spill_bytes > 0) {
               printf("spill: exchange=%zuB (%zu segments) build=%zuB\n",
                      info.stats.spill_bytes, info.stats.spill_segments,

@@ -1,7 +1,9 @@
 #include "cluster/distributed_plan.h"
 
 #include <algorithm>
+#include <latch>
 #include <map>
+#include <optional>
 
 #include "sql/executor.h"
 
@@ -491,6 +493,10 @@ class DistPlanExecutor {
   Cluster* cluster_;
   DistExecOptions opts_;
   size_t batch_rows_;
+  // Pipelined fragment execution is in effect (requested and not voided by
+  // strict_channel_limit, whose deny-vs-succeed outcome would otherwise
+  // depend on how far the consumer happened to drain the window).
+  bool pipeline_on_ = false;
 
   std::vector<int> serving_;
   int n_ = 0;
@@ -522,6 +528,8 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
         "must not nest ParallelFor (disable the scatter parallelism to "
         "morsel-parallelize within shards)");
   }
+  pipeline_on_ = opts_.pipeline && !opts_.strict_channel_limit;
+  stats_.pipelined = pipeline_on_;
 
   // Shape: FinalAgg? -> Gather -> PartialAgg? -> (DistScan | DistHashJoin
   // over two (optionally exchange-wrapped) DistScans).
@@ -652,10 +660,14 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
 
   // Gather: merge per-DN outputs deterministically in DN order.
   Table gathered;
+  std::vector<size_t> slot_result_bytes(slots.size(), 0);
   if (rows_gather) {
     gathered = Table(slots[0].table.schema());
+    size_t slot_idx = 0;
     for (auto& slot : slots) {
       OFI_RETURN_NOT_OK(slot.status);
+      slot_result_bytes[slot_idx++] =
+          exchange::EncodedBytes(slot.table.rows(), batch_rows_);
       stats_.result_bytes +=
           exchange::EncodedBytes(slot.table.rows(), batch_rows_);
       stats_.partial_bytes += slot.partial_bytes;
@@ -709,18 +721,59 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
   // The CN pays the per-partial merge, plus a size-aware receive when the
   // gathered state is row-shaped (joins and plain scans, unlike aggregates,
   // gather row-sized state).
-  SimTime gather_cost = static_cast<SimTime>(n_) *
-                        cluster_->latency().cn_gather_service_us;
+  const SimTime per_slot_gather = cluster_->latency().cn_gather_service_us;
+  SimTime gather_cost = static_cast<SimTime>(n_) * per_slot_gather;
   if (rows_gather) {
     gather_cost +=
         exchange::ExchangeServiceTime(stats_.result_bytes, 0, ExchangeParams());
   }
-  stats_.sim_latency_us = (parallel_done - scatter_start_) + gather_cost;
+  SimTime cn_done;
+  if (pipeline_on_) {
+    // Pipelined gather: the CN merges DN i's output the moment that DN is
+    // done (still in DN order — results are gathered identically), instead
+    // of waiting behind the slowest DN. Telescoped cumulative KiB keeps the
+    // total byte service equal to the barrier's one-lump charge, so only
+    // the start times change.
+    const SimTime kb_us = ExchangeParams().kb_service_us;
+    auto kib = [](size_t b) { return static_cast<SimTime>((b + 1023) / 1024); };
+    SimTime cursor = scatter_start_;
+    SimTime first_merge = -1;
+    size_t cum = 0;
+    for (int i = 0; i < n_; ++i) {
+      SimTime begin = std::max(cursor, frontier_[static_cast<size_t>(i)]);
+      if (first_merge < 0) first_merge = begin;
+      SimTime service = per_slot_gather;
+      if (rows_gather) {
+        size_t b = slot_result_bytes[static_cast<size_t>(i)];
+        service += (kib(cum + b) - kib(cum)) * kb_us;
+        cum += b;
+      }
+      cursor = begin + service;
+    }
+    cn_done = cursor;
+    if (first_merge >= 0) {
+      stats_.pipeline_overlap_us +=
+          std::max<SimTime>(0, parallel_done - first_merge);
+    }
+  } else {
+    cn_done = parallel_done + gather_cost;
+  }
+  stats_.sim_latency_us = cn_done - scatter_start_;
   stats_.sim_latency_serial_us = serial_sum + gather_cost;
   // The CN resumes once the last partial has been gathered.
-  reader.AdvanceTo(parallel_done + gather_cost);
+  reader.AdvanceTo(cn_done);
   OFI_RETURN_NOT_OK(reader.Commit());
   reader_ = nullptr;
+  if (pipeline_on_) {
+    pending_metrics_.emplace_back(
+        "pipeline.overlap_us",
+        static_cast<int64_t>(stats_.pipeline_overlap_us));
+    if (stats_.batches_streamed > 0) {
+      pending_metrics_.emplace_back(
+          "exchange.batches_streamed",
+          static_cast<int64_t>(stats_.batches_streamed));
+    }
+  }
   for (const auto& [name, delta] : pending_metrics_) {
     cluster_->metrics().Add(name, delta);
   }
@@ -1062,43 +1115,14 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
   exchange::ExchangeNetwork right_net(n_, batch_rows_, opts_.max_channel_bytes,
                                       spill_cfg);
   std::vector<Status> send_status(serving_.size(), Status::OK());
-  if (strategy == JoinStrategy::kBroadcast) {
-    RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
-      if (stats_.broadcast_left) {
-        send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
-            &left_net, i, left_slots[static_cast<size_t>(i)].table.rows());
-      } else {
-        send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
-            &right_net, i, right_slots[static_cast<size_t>(i)].table.rows());
-      }
-    });
-  } else {
-    RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
-      Status st = exchange::ShufflePartition(
-          &left_net, i, left_slots[static_cast<size_t>(i)].table.rows(),
-          left_key_idx_);
-      if (st.ok()) {
-        st = exchange::ShufflePartition(
-            &right_net, i, right_slots[static_cast<size_t>(i)].table.rows(),
-            right_key_idx_);
-      }
-      send_status[static_cast<size_t>(i)] = st;
-    });
-  }
-  // Hard-limit denials and rolled-back partial sends are emitted
-  // immediately (not via pending_metrics_): they describe a query that is
-  // about to fail, and pending metrics only replay after a commit.
-  const size_t denied = left_net.DeniedBytes() + right_net.DeniedBytes();
-  if (denied > 0) {
-    cluster_->metrics().Add("exchange.bytes_denied",
-                            static_cast<int64_t>(denied));
-  }
-  const size_t aborted = left_net.AbortedBytes() + right_net.AbortedBytes();
-  if (aborted > 0) {
-    cluster_->metrics().Add("exchange.bytes_aborted",
-                            static_cast<int64_t>(aborted));
-  }
-  for (const auto& st : send_status) OFI_RETURN_NOT_OK(st);
+  // Pipelined bookkeeping. send_logs[i] records producer i's flushed batches
+  // in send order (net 0 = left relation, 1 = right) for the deterministic
+  // latency replay; streamed[j] counts the batches consumer j popped through
+  // the blocking path. Each worker writes only its own entry.
+  std::vector<std::vector<exchange::PipelinedSendRec>> send_logs(
+      serving_.size());
+  std::vector<size_t> streamed(serving_.size(), 0);
+  constexpr int64_t kPipelinePopTimeoutMs = 60'000;
 
   // Per-DN join (+ fused partial aggregation): each DN assembles its slice
   // (local rows for the side that did not move, exchange-delivered rows for
@@ -1110,7 +1134,7 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
   exchange::ExchangeSpillConfig build_cfg{opts_.spill_dir, /*strict=*/false,
                                           &spill_budget};
   std::vector<FragSlot>& slots = *slots_out;
-  RunScatter(opts_.parallel, opts_.pool, n_, [&](int j) {
+  auto consume_at = [&](int j, bool wait) {
     FragSlot& slot = slots[static_cast<size_t>(j)];
     auto side_rows = [&](bool is_left) -> Result<std::vector<Row>> {
       const bool moved = strategy == JoinStrategy::kRepartition ||
@@ -1118,6 +1142,13 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
       if (!moved) {
         return std::move((is_left ? left_slots : right_slots)[
             static_cast<size_t>(j)].table.mutable_rows());
+      }
+      if (wait) {
+        // Pipelined: block until each batch (or the producer's close)
+        // arrives, so decoding overlaps the still-running scatters.
+        return (is_left ? left_net : right_net)
+            .ReceiveRowsWait(j, kPipelinePopTimeoutMs,
+                             &streamed[static_cast<size_t>(j)]);
       }
       return (is_left ? left_net : right_net).ReceiveRows(j);
     };
@@ -1183,21 +1214,148 @@ Status DistPlanExecutor::ExecJoinFragment(const DistOp& join,
     }
     if (fused) slot.partial_bytes = TableBytes(*joined);
     slot.table = std::move(*joined);
-  });
+  };
+
+  // Hard-limit denials and rolled-back partial sends are emitted
+  // immediately (not via pending_metrics_): they describe a query that is
+  // about to fail, and pending metrics only replay after a commit.
+  auto emit_exchange_failures = [&] {
+    const size_t denied = left_net.DeniedBytes() + right_net.DeniedBytes();
+    if (denied > 0) {
+      cluster_->metrics().Add("exchange.bytes_denied",
+                              static_cast<int64_t>(denied));
+    }
+    const size_t aborted = left_net.AbortedBytes() + right_net.AbortedBytes();
+    if (aborted > 0) {
+      cluster_->metrics().Add("exchange.bytes_aborted",
+                              static_cast<int64_t>(aborted));
+    }
+  };
+
+  if (!pipeline_on_) {
+    // Barrier mode: every producer fully scatters, then every consumer
+    // joins. The scatter and join phases each fan out on the shared pool.
+    if (strategy == JoinStrategy::kBroadcast) {
+      RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
+        if (stats_.broadcast_left) {
+          send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
+              &left_net, i, left_slots[static_cast<size_t>(i)].table.rows());
+        } else {
+          send_status[static_cast<size_t>(i)] = exchange::BroadcastRows(
+              &right_net, i, right_slots[static_cast<size_t>(i)].table.rows());
+        }
+      });
+    } else {
+      RunScatter(opts_.parallel, opts_.pool, n_, [&](int i) {
+        Status st = exchange::ShufflePartition(
+            &left_net, i, left_slots[static_cast<size_t>(i)].table.rows(),
+            left_key_idx_);
+        if (st.ok()) {
+          st = exchange::ShufflePartition(
+              &right_net, i, right_slots[static_cast<size_t>(i)].table.rows(),
+              right_key_idx_);
+        }
+        send_status[static_cast<size_t>(i)] = st;
+      });
+    }
+    emit_exchange_failures();
+    for (const auto& st : send_status) OFI_RETURN_NOT_OK(st);
+    RunScatter(opts_.parallel, opts_.pool, n_,
+               [&](int j) { consume_at(j, /*wait=*/false); });
+  } else {
+    // Pipelined mode: all N producers and all N consumers run together on
+    // a dedicated pool so DistHashJoin's probe assembly starts while the
+    // upstream scatters are still streaming batches. The pool is sized to
+    // at least one thread per fragment (2N): fewer could park a producer
+    // behind consumers blocked in PopBatchWait. The shared fixed-size pool
+    // is deliberately not used — its workers must never block on each
+    // other (ParallelFor must not nest), and these consumers block by
+    // design.
+    common::ThreadPool pipe_pool(std::max(2 * n_, opts_.pipeline_workers));
+    std::latch all_done(static_cast<std::ptrdiff_t>(2 * n_));
+    for (int i = 0; i < n_; ++i) {
+      pipe_pool.Submit([&, i] {
+        auto scatter_side = [&](exchange::ExchangeNetwork* net, int net_idx,
+                                const std::vector<Row>& rows,
+                                std::optional<size_t> key) -> Status {
+          exchange::ScatterGuard guard(net, i);
+          exchange::StreamingScatter scatter(net, i, key);
+          for (const Row& row : rows) OFI_RETURN_NOT_OK(scatter.Push(row));
+          OFI_RETURN_NOT_OK(scatter.Finish());
+          guard.Commit();
+          for (const auto& rec : scatter.send_log()) {
+            send_logs[static_cast<size_t>(i)].push_back(
+                exchange::PipelinedSendRec{net_idx, rec.dst, rec.bytes});
+          }
+          return Status::OK();
+        };
+        Status st;
+        if (strategy == JoinStrategy::kBroadcast) {
+          st = stats_.broadcast_left
+                   ? scatter_side(
+                         &left_net, 0,
+                         left_slots[static_cast<size_t>(i)].table.rows(),
+                         std::nullopt)
+                   : scatter_side(
+                         &right_net, 1,
+                         right_slots[static_cast<size_t>(i)].table.rows(),
+                         std::nullopt);
+        } else {
+          st = scatter_side(&left_net, 0,
+                            left_slots[static_cast<size_t>(i)].table.rows(),
+                            left_key_idx_);
+          if (st.ok()) {
+            st = scatter_side(&right_net, 1,
+                              right_slots[static_cast<size_t>(i)].table.rows(),
+                              right_key_idx_);
+          }
+        }
+        send_status[static_cast<size_t>(i)] = st;
+        // Success or failure, close every channel this producer owns on
+        // both nets: blocked consumers wake immediately, and an error
+        // status fails them fast instead of letting them time out.
+        left_net.CloseAllFrom(i, st);
+        right_net.CloseAllFrom(i, st);
+        all_done.count_down();
+      });
+    }
+    for (int j = 0; j < n_; ++j) {
+      pipe_pool.Submit([&, j] {
+        consume_at(j, /*wait=*/true);
+        all_done.count_down();
+      });
+    }
+    all_done.wait();
+    emit_exchange_failures();
+    for (const auto& st : send_status) OFI_RETURN_NOT_OK(st);
+  }
 
   // Simulated latency: sends start when a node's scans are done; node j can
   // join once the slowest sender shipping to it has finished (+1 hop) and
   // its own decode service completes; then one join statement per DN. The
   // fused partial aggregate rides in that same statement (scan+agg was one
-  // statement on the aggregate path too).
+  // statement on the aggregate path too). The pipelined replay instead
+  // charges per-batch: consumer decodes start at max(consumer cursor, batch
+  // availability + hop), which is where the overlap win shows up.
   exchange::ExchangeLatencyParams params = ExchangeParams();
   std::vector<int> resources(serving_.size());
   for (int i = 0; i < n_; ++i) {
     resources[static_cast<size_t>(i)] = cluster_->dn_resource(serving_[i]);
   }
-  std::vector<SimTime> exchange_done = exchange::SimulateExchange(
-      &cluster_->scheduler(), resources, {&left_net, &right_net}, frontier_,
-      params);
+  std::vector<SimTime> exchange_done;
+  if (pipeline_on_) {
+    exchange::PipelinedSimResult sim = exchange::SimulatePipelinedExchange(
+        &cluster_->scheduler(), resources, {&left_net, &right_net}, send_logs,
+        frontier_, params);
+    exchange_done = std::move(sim.ready);
+    stats_.pipeline_overlap_us += sim.overlap_us;
+    for (size_t c : streamed) stats_.batches_streamed += c;
+  } else {
+    exchange_done = exchange::SimulateExchange(&cluster_->scheduler(),
+                                               resources,
+                                               {&left_net, &right_net},
+                                               frontier_, params);
+  }
   for (int j = 0; j < n_; ++j) {
     // A spooled build partition pays its disk write + read on the owning
     // DN before the join statement can start.

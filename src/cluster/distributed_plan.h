@@ -176,6 +176,20 @@ struct DistExecOptions {
   /// aggregate) path even when the fused aggregate is kernel-eligible —
   /// isolates kernel-vs-materialize cost on identical data and plans.
   bool columnar_force_materialize = false;
+  /// Pipelined fragment execution: producers stream batches into the
+  /// exchange as each partition fills (StreamingScatter) while consumers
+  /// drain concurrently with blocking pops, so the join probe / final merge
+  /// starts before the slowest producer finishes. Results are bit-identical
+  /// to barrier execution; only simulated latency changes (per-batch
+  /// overlap-aware accounting, see SimulatePipelinedExchange). Ignored —
+  /// falls back to the barrier — under strict_channel_limit, whose
+  /// deny-on-overflow outcome would otherwise depend on consumer timing.
+  bool pipeline = false;
+  /// Threads for the pipelined producer/consumer tasks; the executor always
+  /// uses at least 2×(serving DNs) so every blocking consumer can coexist
+  /// with every producer (fewer would deadlock until the pop deadline).
+  /// 0 = exactly that minimum.
+  int pipeline_workers = 0;
 };
 
 /// Accounting produced by one distributed plan execution — the union of
@@ -216,6 +230,17 @@ struct DistExecStats {
   /// over DNs.
   size_t build_spill_bytes = 0;
   std::vector<exchange::ChannelStats> channels;
+  // Pipelined-execution accounting (DistExecOptions::pipeline).
+  /// True when the pipelined scheduler actually ran (pipeline requested and
+  /// not voided by strict_channel_limit).
+  bool pipelined = false;
+  /// Batches consumers drained through the blocking pipelined path
+  /// (loopback included).
+  size_t batches_streamed = 0;
+  /// Simulated consumer/producer overlap: summed over consumers (and the
+  /// CN gather), the time spent decoding/merging before the last producer
+  /// finished. 0 under barrier execution by construction.
+  SimTime pipeline_overlap_us = 0;
 };
 
 struct DistPlanResult {

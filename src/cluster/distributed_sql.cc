@@ -169,6 +169,14 @@ Result<std::string> DistributedSqlSession::Explain(const std::string& query) {
   std::string out = "DISTRIBUTED PLAN (over " +
                     std::to_string(ServingDns(&cluster_).size()) + " DNs)\n" +
                     lowering.root->ToString();
+  // Execution mode: pipelined fragments overlap produce/consume across the
+  // exchange; strict channel limits force the barrier (deny outcomes would
+  // otherwise depend on drain timing).
+  if (exec_options_.pipeline) {
+    out += exec_options_.strict_channel_limit
+               ? "exec=barrier (pipeline disabled under strict channel limit)\n"
+               : "exec=pipelined\n";
+  }
   // Per-DN scan forecast (predicted path, shard freshness, zone-map prune
   // estimate) — metadata only, nothing executes.
   std::string paths = ExplainScanPaths(&cluster_, lowering.root);

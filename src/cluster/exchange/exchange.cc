@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 
@@ -331,6 +332,9 @@ void SpillFile::Remove() {
 Status ExchangeChannel::Send(std::string batch, const SendLimits& limits) {
   const size_t size = batch.size();
   std::lock_guard lock(mu_);
+  if (closed_) {
+    return Status::Internal("exchange channel: send after close");
+  }
   // Memory path: under the cap and no spill pending (once anything is on
   // disk, newer sends must follow it there or FIFO order would break).
   if (limits.max_queued_bytes == 0 ||
@@ -339,7 +343,8 @@ Status ExchangeChannel::Send(std::string batch, const SendLimits& limits) {
     queued_bytes_ += size;
     bytes_ += size;
     ++batches_;
-    queue_.push_back(std::move(batch));
+    queue_.push_back(MemBatch{++send_seq_, std::move(batch)});
+    cv_.notify_one();
     return Status::OK();
   }
   const ExchangeSpillConfig* spill = limits.spill;
@@ -363,33 +368,74 @@ Status ExchangeChannel::Send(std::string batch, const SendLimits& limits) {
     return st;
   }
   budget_ = spill->budget;
-  spill_segs_.push_back(Seg{offset, size});
+  spill_segs_.push_back(Seg{++send_seq_, offset, size});
   bytes_ += size;
   ++batches_;
   spilled_bytes_ += size;
   ++spill_segments_;
+  cv_.notify_one();
   return Status::OK();
+}
+
+Result<std::string> ExchangeChannel::PopLocked() {
+  if (!queue_.empty()) {
+    std::string batch = std::move(queue_.front().payload);
+    queue_.pop_front();
+    queued_bytes_ -= batch.size();
+    return batch;
+  }
+  Seg seg = spill_segs_.front();
+  OFI_ASSIGN_OR_RETURN(std::string batch, spill_.Read(seg.offset, seg.size));
+  spill_segs_.pop_front();
+  if (budget_ != nullptr) budget_->Release(seg.size);
+  // Last segment consumed: the temp file's job is done, delete it now
+  // rather than waiting for the network's destructor.
+  if (spill_segs_.empty()) spill_.Remove();
+  return batch;
 }
 
 Result<std::optional<std::string>> ExchangeChannel::PopBatch() {
   std::lock_guard lock(mu_);
-  if (!queue_.empty()) {
-    std::string batch = std::move(queue_.front());
-    queue_.pop_front();
-    queued_bytes_ -= batch.size();
-    return std::optional<std::string>(std::move(batch));
+  // A producer failure outranks queued payload: the stream is incomplete,
+  // so delivering its prefix would let a consumer act on partial data.
+  if (closed_ && !close_status_.ok()) return close_status_;
+  if (queue_.empty() && spill_segs_.empty()) {
+    return std::optional<std::string>();
   }
-  if (!spill_segs_.empty()) {
-    Seg seg = spill_segs_.front();
-    OFI_ASSIGN_OR_RETURN(std::string batch, spill_.Read(seg.offset, seg.size));
-    spill_segs_.pop_front();
-    if (budget_ != nullptr) budget_->Release(seg.size);
-    // Last segment consumed: the temp file's job is done, delete it now
-    // rather than waiting for the network's destructor.
-    if (spill_segs_.empty()) spill_.Remove();
-    return std::optional<std::string>(std::move(batch));
+  OFI_ASSIGN_OR_RETURN(std::string batch, PopLocked());
+  return std::optional<std::string>(std::move(batch));
+}
+
+Result<std::optional<std::string>> ExchangeChannel::PopBatchWait(
+    int64_t timeout_ms) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (closed_ && !close_status_.ok()) return close_status_;
+    if (!queue_.empty() || !spill_segs_.empty()) {
+      OFI_ASSIGN_OR_RETURN(std::string batch, PopLocked());
+      return std::optional<std::string>(std::move(batch));
+    }
+    if (closed_) return std::optional<std::string>();  // clean end-of-stream
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::TimedOut("exchange channel: no batch and no close after " +
+                              std::to_string(timeout_ms) + " ms");
+    }
   }
-  return std::optional<std::string>();
+}
+
+void ExchangeChannel::Close(Status st) {
+  {
+    std::lock_guard lock(mu_);
+    if (!closed_) {
+      closed_ = true;
+      close_status_ = std::move(st);
+    } else if (close_status_.ok() && !st.ok()) {
+      close_status_ = std::move(st);
+    }
+  }
+  cv_.notify_all();
 }
 
 Result<std::vector<std::string>> ExchangeChannel::Drain() {
@@ -431,36 +477,44 @@ ExchangeChannel::Checkpoint ExchangeChannel::Mark() const {
   cp.bytes = bytes_;
   cp.spilled_bytes = spilled_bytes_;
   cp.spill_segments = spill_segments_;
-  cp.mem_count = queue_.size();
-  cp.seg_count = spill_segs_.size();
   cp.spill_end = spill_.logical_end();
+  cp.send_seq = send_seq_;
   return cp;
 }
 
 void ExchangeChannel::RollbackTo(const Checkpoint& cp) {
   std::lock_guard lock(mu_);
-  size_t dropped = 0;
-  while (queue_.size() > cp.mem_count) {
-    dropped += queue_.back().size();
-    queued_bytes_ -= queue_.back().size();
+  // Drop the still-queued post-mark batches. They are identified by send
+  // sequence, not by queue position: a concurrent consumer may have drained
+  // any prefix of the queue (including post-mark batches) since the Mark,
+  // and counting positions would then drop pre-mark payload or leave stale
+  // post-mark batches deliverable.
+  while (!queue_.empty() && queue_.back().seq > cp.send_seq) {
+    queued_bytes_ -= queue_.back().payload.size();
     queue_.pop_back();
   }
   size_t dropped_spill = 0;
-  while (spill_segs_.size() > cp.seg_count) {
+  while (!spill_segs_.empty() && spill_segs_.back().seq > cp.send_seq) {
     dropped_spill += spill_segs_.back().size;
     spill_segs_.pop_back();
   }
   if (budget_ != nullptr && dropped_spill > 0) budget_->Release(dropped_spill);
-  if (spill_segs_.empty() && cp.spill_end == 0) {
-    spill_.Remove();
+  if (spill_segs_.empty()) {
+    // No outstanding segments at all — a consumer may even have deleted the
+    // file already via delete-on-last-consume; Remove() is a no-op then.
+    if (spill_.active()) spill_.Remove();
   } else {
     spill_.TruncateTo(cp.spill_end);
   }
+  // Lifetime accounting returns to the mark. Everything accepted after it
+  // counts as aborted — drained-then-rolled-back payload too, since the
+  // consumer that popped it fails with the producer's close status and
+  // never surfaces those rows.
+  aborted_bytes_ += bytes_ - cp.bytes;
   bytes_ = cp.bytes;
   batches_ = cp.batches;
   spilled_bytes_ = cp.spilled_bytes;
   spill_segments_ = cp.spill_segments;
-  aborted_bytes_ += dropped + dropped_spill;
 }
 
 // --- ExchangeNetwork ---------------------------------------------------------
@@ -491,6 +545,27 @@ Result<std::vector<Row>> ExchangeNetwork::ReceiveRows(int dst) {
     }
   }
   return out;
+}
+
+Result<std::vector<Row>> ExchangeNetwork::ReceiveRowsWait(
+    int dst, int64_t timeout_ms, size_t* batches_out) {
+  std::vector<Row> out;
+  for (int src = 0; src < n_; ++src) {
+    ExchangeChannel& ch = channel(src, dst);
+    while (true) {
+      OFI_ASSIGN_OR_RETURN(std::optional<std::string> batch,
+                           ch.PopBatchWait(timeout_ms));
+      if (!batch.has_value()) break;
+      if (batches_out != nullptr) ++*batches_out;
+      OFI_ASSIGN_OR_RETURN(std::vector<Row> rows, DecodeBatch(*batch));
+      for (auto& r : rows) out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+void ExchangeNetwork::CloseAllFrom(int src, Status st) {
+  for (int dst = 0; dst < n_; ++dst) channel(src, dst).Close(st);
 }
 
 std::vector<ChannelStats> ExchangeNetwork::Stats() const {
@@ -588,37 +663,54 @@ size_t ExchangeNetwork::AbortedBytes() const {
   return n;
 }
 
-namespace {
+// --- StreamingScatter --------------------------------------------------------
 
-// Rolls every channel out of `src` back to its pre-operator checkpoint when
-// a multi-destination send fails partway, so the failed operator leaves no
-// queued payload and no inflated byte/batch accounting behind (the dropped
-// payload is tracked in AbortedBytes).
-class ScatterGuard {
- public:
-  ScatterGuard(ExchangeNetwork* net, int src) : net_(net), src_(src) {
-    marks_.reserve(static_cast<size_t>(net->num_nodes()));
-    for (int dst = 0; dst < net->num_nodes(); ++dst) {
-      marks_.push_back(net->channel(src, dst).Mark());
+StreamingScatter::StreamingScatter(ExchangeNetwork* net, int src,
+                                   std::optional<size_t> key_idx)
+    : net_(net),
+      src_(src),
+      key_idx_(key_idx),
+      limits_(net->send_limits()),
+      pending_(static_cast<size_t>(net->num_nodes())) {}
+
+Status StreamingScatter::Push(const Row& row) {
+  const int n = net_->num_nodes();
+  if (key_idx_.has_value()) {
+    int dst = static_cast<int>(HashForPartition(row[*key_idx_]) %
+                               static_cast<uint64_t>(n));
+    pending_[static_cast<size_t>(dst)].push_back(row);
+    if (pending_[static_cast<size_t>(dst)].size() >= net_->batch_rows()) {
+      OFI_RETURN_NOT_OK(FlushDst(dst));
     }
-  }
-  ~ScatterGuard() {
-    if (armed_) {
-      for (int dst = 0; dst < net_->num_nodes(); ++dst) {
-        net_->channel(src_, dst).RollbackTo(marks_[static_cast<size_t>(dst)]);
+  } else {
+    for (int dst = 0; dst < n; ++dst) {
+      pending_[static_cast<size_t>(dst)].push_back(row);
+      if (pending_[static_cast<size_t>(dst)].size() >= net_->batch_rows()) {
+        OFI_RETURN_NOT_OK(FlushDst(dst));
       }
     }
   }
-  void Commit() { armed_ = false; }
+  return Status::OK();
+}
 
- private:
-  ExchangeNetwork* net_;
-  int src_;
-  bool armed_ = true;
-  std::vector<ExchangeChannel::Checkpoint> marks_;
-};
+Status StreamingScatter::Finish() {
+  for (int dst = 0; dst < net_->num_nodes(); ++dst) {
+    if (!pending_[static_cast<size_t>(dst)].empty()) {
+      OFI_RETURN_NOT_OK(FlushDst(dst));
+    }
+  }
+  return Status::OK();
+}
 
-}  // namespace
+Status StreamingScatter::FlushDst(int dst) {
+  auto& rows = pending_[static_cast<size_t>(dst)];
+  std::string batch = EncodeBatch(rows, 0, rows.size());
+  const size_t bytes = batch.size();
+  OFI_RETURN_NOT_OK(net_->channel(src_, dst).Send(std::move(batch), limits_));
+  log_.push_back(SendRec{dst, bytes});
+  rows.clear();
+  return Status::OK();
+}
 
 Status ShufflePartition(ExchangeNetwork* net, int src,
                         const std::vector<Row>& rows, size_t key_idx) {
@@ -713,6 +805,161 @@ std::vector<SimTime> SimulateExchange(
                   : scheduler->Charge(node_resources[j], arrival, service);
   }
   return done;
+}
+
+PipelinedSimResult SimulatePipelinedExchange(
+    SimScheduler* scheduler, const std::vector<int>& node_resources,
+    const std::vector<const ExchangeNetwork*>& nets,
+    const std::vector<std::vector<PipelinedSendRec>>& send_logs,
+    const std::vector<SimTime>& start, const ExchangeLatencyParams& p) {
+  const int n = static_cast<int>(node_resources.size());
+  const int nk = static_cast<int>(nets.size());
+  PipelinedSimResult out;
+  out.ready.assign(static_cast<size_t>(n), 0);
+  out.producer_done.assign(static_cast<size_t>(n), 0);
+  out.first_consume.assign(static_cast<size_t>(n), 0);
+
+  struct Batch {
+    size_t bytes = 0;
+    SimTime avail = 0;  // producer finished encoding it
+    SimTime pop = 0;    // provisional consumer drain completion
+  };
+  // chan[net][src * n + dst], batches in send order.
+  std::vector<std::vector<std::vector<Batch>>> chan(
+      static_cast<size_t>(nk),
+      std::vector<std::vector<Batch>>(static_cast<size_t>(n) * n));
+  auto kib = [](size_t b) { return static_cast<SimTime>((b + 1023) / 1024); };
+
+  // Producers: per-batch encode charges in send order, cross-node only (the
+  // barrier model charges nothing for loopback either). Cumulative-KiB
+  // telescoping makes the per-producer total equal ExchangeServiceTime over
+  // its whole cross-node output.
+  for (int i = 0; i < n; ++i) {
+    SimTime cursor = start[static_cast<size_t>(i)];
+    size_t cum = 0;
+    for (const PipelinedSendRec& rec : send_logs[static_cast<size_t>(i)]) {
+      if (rec.dst != i) {
+        SimTime service = p.batch_service_us +
+                          (kib(cum + rec.bytes) - kib(cum)) * p.kb_service_us;
+        cum += rec.bytes;
+        cursor = scheduler->Charge(node_resources[static_cast<size_t>(i)],
+                                   cursor, service);
+      }
+      chan[static_cast<size_t>(rec.net)][static_cast<size_t>(i) * n + rec.dst]
+          .push_back(Batch{rec.bytes, cursor, 0});
+    }
+    out.producer_done[static_cast<size_t>(i)] = cursor;
+  }
+
+  // Provisional drain times (plain arithmetic, no charges): each consumer
+  // walks its deterministic drain order; a batch is popped at
+  // max(cursor, availability + hop) plus its decode service. Used only to
+  // model the in-memory window occupancy for the spill decision below.
+  for (int j = 0; j < n; ++j) {
+    SimTime cur = start[static_cast<size_t>(j)];
+    size_t cum = 0;
+    for (int k = 0; k < nk; ++k) {
+      for (int i = 0; i < n; ++i) {
+        for (Batch& b : chan[static_cast<size_t>(k)]
+                            [static_cast<size_t>(i) * n + j]) {
+          SimTime arrival = b.avail + (i == j ? 0 : p.network_hop_us);
+          cur = std::max(cur, arrival);
+          if (i != j) {
+            cur += p.batch_service_us +
+                   (kib(cum + b.bytes) - kib(cum)) * p.kb_service_us;
+            cum += b.bytes;
+          }
+          b.pop = cur;
+        }
+      }
+    }
+  }
+
+  // Modeled spill: replay each capped channel's window in send order. A
+  // batch spills when the in-memory window would overflow at its send time,
+  // or an earlier spilled batch is still on disk then (FIFO: memory never
+  // overtakes disk). Deterministic, unlike the real spill counters, which
+  // depend on how far the consumer thread happened to lag the producer.
+  std::vector<size_t> spilled_in(static_cast<size_t>(n), 0);
+  for (int k = 0; k < nk; ++k) {
+    const size_t cap = nets[static_cast<size_t>(k)]->max_channel_bytes();
+    if (cap == 0) continue;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        auto& batches =
+            chan[static_cast<size_t>(k)][static_cast<size_t>(i) * n + j];
+        size_t mem = 0;   // window occupancy at the current send time
+        size_t lo = 0;    // first batch not yet provisionally popped
+        std::vector<bool> spilled(batches.size(), false);
+        SimTime last_spill_pop = -1;
+        for (size_t bi = 0; bi < batches.size(); ++bi) {
+          const Batch& b = batches[bi];
+          while (lo < bi && batches[lo].pop <= b.avail) {
+            if (!spilled[lo]) mem -= batches[lo].bytes;
+            ++lo;
+          }
+          if (last_spill_pop > b.avail || mem + b.bytes > cap) {
+            spilled[bi] = true;
+            spilled_in[static_cast<size_t>(j)] += b.bytes;
+            last_spill_pop = std::max(last_spill_pop, b.pop);
+          } else {
+            mem += b.bytes;
+          }
+        }
+      }
+    }
+  }
+
+  // Final consumer replay with real charges: gap-fitting on the node's own
+  // resource serializes its decode against its own encode (a DN cannot
+  // overlap with itself), which is exactly why a skewed producer — not a
+  // uniform one — is where pipelining wins.
+  SimTime global_prod_end = 0;
+  for (int i = 0; i < n; ++i) {
+    global_prod_end =
+        std::max(global_prod_end, out.producer_done[static_cast<size_t>(i)]);
+  }
+  for (int j = 0; j < n; ++j) {
+    SimTime cur = start[static_cast<size_t>(j)];
+    size_t cum = 0;
+    SimTime first = -1;
+    for (int k = 0; k < nk; ++k) {
+      for (int i = 0; i < n; ++i) {
+        for (const Batch& b : chan[static_cast<size_t>(k)]
+                                  [static_cast<size_t>(i) * n + j]) {
+          SimTime arrival = b.avail + (i == j ? 0 : p.network_hop_us);
+          if (i == j) {
+            cur = std::max(cur, arrival);
+            continue;
+          }
+          SimTime service = p.batch_service_us +
+                            (kib(cum + b.bytes) - kib(cum)) * p.kb_service_us;
+          cum += b.bytes;
+          SimTime done = scheduler->Charge(node_resources[static_cast<size_t>(j)],
+                                           std::max(cur, arrival), service);
+          if (first < 0) first = done - service;
+          cur = done;
+        }
+      }
+    }
+    if (spilled_in[static_cast<size_t>(j)] > 0) {
+      cur = scheduler->Charge(node_resources[static_cast<size_t>(j)], cur,
+                              SpillServiceTime(spilled_in[static_cast<size_t>(j)], p));
+      out.modeled_spill_bytes += spilled_in[static_cast<size_t>(j)];
+    }
+    // The consumer cannot finish draining a channel before observing its
+    // close, which the producer posts after its whole scatter.
+    for (int i = 0; i < n; ++i) {
+      cur = std::max(cur, out.producer_done[static_cast<size_t>(i)] +
+                              (i == j ? 0 : p.network_hop_us));
+    }
+    out.ready[static_cast<size_t>(j)] = cur;
+    out.first_consume[static_cast<size_t>(j)] = first >= 0 ? first : cur;
+    if (first >= 0) {
+      out.overlap_us += std::max<SimTime>(0, global_prod_end - first);
+    }
+  }
+  return out;
 }
 
 }  // namespace ofi::cluster::exchange

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -196,16 +197,18 @@ class ExchangeChannel {
   };
 
   /// Snapshot of the send-side state, for rolling back a failed multi-
-  /// channel operator send (ShufflePartition / BroadcastRows). Only valid
-  /// while no receive runs on this channel between Mark and RollbackTo.
+  /// channel operator send (ShufflePartition / BroadcastRows). Every queued
+  /// batch and spill segment carries the monotone send sequence number it
+  /// was accepted under, so RollbackTo drops exactly the batches sent after
+  /// the Mark — even when a concurrent consumer drained some of them in
+  /// between (the pipelined producer-fails-mid-stream path).
   struct Checkpoint {
     size_t batches = 0;
     size_t bytes = 0;
     size_t spilled_bytes = 0;
     size_t spill_segments = 0;
-    size_t mem_count = 0;
-    size_t seg_count = 0;
     size_t spill_end = 0;
+    uint64_t send_seq = 0;
   };
 
   ExchangeChannel() = default;
@@ -219,7 +222,32 @@ class ExchangeChannel {
   /// Removes and returns the oldest queued batch (reading it back from the
   /// spill file when the memory queue is empty); nullopt when the channel
   /// is empty. Corruption when a spill segment cannot be read back whole.
+  /// Once the channel is closed with an error, every pop fails fast with
+  /// that status — a consumer never sees a silently truncated stream.
   Result<std::optional<std::string>> PopBatch();
+
+  /// Blocking pop for pipelined consumers: waits (condition-variable
+  /// wakeup on Send/Close — no spinning) until a batch is available, the
+  /// channel is closed, or `timeout_ms` elapses. Returns the batch; nullopt
+  /// on clean end-of-stream (closed with OK and fully drained); the close
+  /// status when the producer failed (even if undelivered batches remain —
+  /// fail fast, never hand out a partial stream); TimedOut on deadline.
+  Result<std::optional<std::string>> PopBatchWait(int64_t timeout_ms);
+
+  /// Marks the stream complete. Close(OK) lets waiting consumers drain the
+  /// remaining payload and then see end-of-stream; Close(error) propagates
+  /// the producer's failure to every current and future pop. Idempotent;
+  /// the first non-OK status wins (a later OK close never masks it).
+  void Close(Status st = Status::OK());
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  Status close_status() const {
+    std::lock_guard lock(mu_);
+    return close_status_;
+  }
 
   /// Removes and returns every queued batch in send order (memory window
   /// first, then spilled segments — which is exactly send order).
@@ -276,18 +304,30 @@ class ExchangeChannel {
   }
 
  private:
+  struct MemBatch {
+    uint64_t seq = 0;
+    std::string payload;
+  };
   struct Seg {
+    uint64_t seq = 0;
     size_t offset = 0;
     size_t size = 0;
   };
 
   void DiscardLocked();
+  // Pops the oldest batch (memory first, then spill) under mu_; the caller
+  // has already checked that something is queued.
+  Result<std::string> PopLocked();
 
   mutable std::mutex mu_;
-  std::deque<std::string> queue_;  // in-memory window (oldest first)
+  std::condition_variable cv_;     // signaled on Send and Close
+  std::deque<MemBatch> queue_;     // in-memory window (oldest first)
   std::deque<Seg> spill_segs_;     // on-disk overflow, newer than everything in queue_
   SpillFile spill_;
   SpillBudget* budget_ = nullptr;  // budget the live spill bytes are held on
+  bool closed_ = false;
+  Status close_status_;            // non-OK: producer failed mid-stream
+  uint64_t send_seq_ = 0;          // monotone id of the last accepted Send
   size_t bytes_ = 0;    // lifetime accepted payload, rolled back on Discard
   size_t batches_ = 0;
   size_t queued_bytes_ = 0;   // currently in queue_; receives decrement
@@ -345,6 +385,20 @@ class ExchangeNetwork {
   /// is read.
   Result<std::vector<sql::Row>> ReceiveRows(int dst);
 
+  /// Blocking variant for pipelined consumers: drains each source channel
+  /// with PopBatchWait until the producer closes it, in the same
+  /// deterministic source-node-then-send order as ReceiveRows — so the
+  /// decoded rows are bit-identical regardless of producer/consumer thread
+  /// interleaving. Fails with the producer's close status, or TimedOut when
+  /// a channel stays open past `timeout_ms`. `batches_out` (optional)
+  /// accumulates the number of batches streamed.
+  Result<std::vector<sql::Row>> ReceiveRowsWait(int dst, int64_t timeout_ms,
+                                                size_t* batches_out = nullptr);
+
+  /// Closes every channel out of `src` with `st` (producer completion or
+  /// failure — see ExchangeChannel::Close).
+  void CloseAllFrom(int src, Status st = Status::OK());
+
   /// Per-channel accounting for every non-empty channel, in (src,dst) order.
   std::vector<ChannelStats> Stats() const;
 
@@ -377,6 +431,79 @@ class ExchangeNetwork {
 };
 
 // --- Operators ---------------------------------------------------------------
+
+/// \brief RAII rollback of a multi-destination send: marks every channel out
+/// of `src` at construction and rolls all of them back unless Commit() is
+/// called — a failed scatter leaves no queued payload and no inflated
+/// byte/batch accounting behind (the dropped payload lands in
+/// AbortedBytes). Safe under concurrent consumers: rollback drops exactly
+/// the post-mark batches (by send sequence), and payload a consumer already
+/// drained is still subtracted from the lifetime accounting.
+class ScatterGuard {
+ public:
+  ScatterGuard(ExchangeNetwork* net, int src) : net_(net), src_(src) {
+    marks_.reserve(static_cast<size_t>(net->num_nodes()));
+    for (int dst = 0; dst < net->num_nodes(); ++dst) {
+      marks_.push_back(net->channel(src, dst).Mark());
+    }
+  }
+  ~ScatterGuard() {
+    if (armed_) {
+      for (int dst = 0; dst < net_->num_nodes(); ++dst) {
+        net_->channel(src_, dst).RollbackTo(marks_[static_cast<size_t>(dst)]);
+      }
+    }
+  }
+  void Commit() { armed_ = false; }
+
+ private:
+  ExchangeNetwork* net_;
+  int src_;
+  bool armed_ = true;
+  std::vector<ExchangeChannel::Checkpoint> marks_;
+};
+
+/// \brief Incremental scatter for the pipelined executor: rows are routed
+/// one at a time and each destination's batch is flushed into its channel
+/// the moment batch_rows() have accumulated — consumers start decoding
+/// while the producer is still scanning, instead of after one scatter at
+/// the end. The per-channel batch boundaries and payload are bit-identical
+/// to ShufflePartition / BroadcastRows over the same rows (same relative
+/// row order per partition, same batch_rows framing), so downstream results
+/// cannot depend on which execution mode produced them.
+///
+/// Not thread-safe: one StreamingScatter per producer task. The send log
+/// records every flushed batch in producer send order for the deterministic
+/// post-hoc latency replay (SimulatePipelinedExchange).
+class StreamingScatter {
+ public:
+  /// One flushed batch, in producer send order.
+  struct SendRec {
+    int dst = 0;
+    size_t bytes = 0;
+  };
+
+  /// Broadcast when `key_idx` is nullopt, hash-repartition otherwise.
+  StreamingScatter(ExchangeNetwork* net, int src,
+                   std::optional<size_t> key_idx);
+
+  /// Routes one row; may flush one or more full batches.
+  Status Push(const sql::Row& row);
+  /// Flushes every destination's partial tail batch.
+  Status Finish();
+
+  const std::vector<SendRec>& send_log() const { return log_; }
+
+ private:
+  Status FlushDst(int dst);
+
+  ExchangeNetwork* net_;
+  int src_;
+  std::optional<size_t> key_idx_;  // nullopt = broadcast
+  ExchangeChannel::SendLimits limits_;
+  std::vector<std::vector<sql::Row>> pending_;  // per dst
+  std::vector<SendRec> log_;
+};
 
 /// Hash-repartition: splits `rows` by HashForPartition(row[key_idx]) %
 /// num_nodes and sends each partition from `src` to its owning node,
@@ -426,6 +553,63 @@ SimTime SpillServiceTime(size_t bytes, const ExchangeLatencyParams& p);
 std::vector<SimTime> SimulateExchange(
     SimScheduler* scheduler, const std::vector<int>& node_resources,
     const std::vector<const ExchangeNetwork*>& nets,
+    const std::vector<SimTime>& start, const ExchangeLatencyParams& p);
+
+/// One batch in a producer's send order, for the pipelined replay: which
+/// network (index into `nets`), which destination, how many payload bytes.
+struct PipelinedSendRec {
+  int net = 0;
+  int dst = 0;
+  size_t bytes = 0;
+};
+
+/// Result of the pipelined exchange replay (per node, indexes match
+/// node_resources).
+struct PipelinedSimResult {
+  /// Input fully decoded AND every producer observed closed — when the
+  /// consumer-side join/merge may start.
+  std::vector<SimTime> ready;
+  /// Producer i finished encoding its last batch (its scatter frontier).
+  std::vector<SimTime> producer_done;
+  /// Start of the node's first decode charge (ready[j] when it decodes
+  /// nothing) — the consumer frontier the overlap test pins down.
+  std::vector<SimTime> first_consume;
+  /// Sum over consumers of (global producer completion - first_consume),
+  /// clamped at 0: the simulated time consumers ran while producers were
+  /// still producing. 0 under the barrier model by construction.
+  SimTime overlap_us = 0;
+  /// Deterministically *modeled* spill under the channel caps (see below);
+  /// the real spill counters stay on the channels but depend on thread
+  /// timing once consumers drain concurrently.
+  size_t modeled_spill_bytes = 0;
+};
+
+/// Replays a pipelined exchange deterministically after the (racy) real
+/// execution, charging per-batch work instead of one lump per node:
+///
+/// * Producer i charges each cross-node batch's encode cost sequentially on
+///   its own resource from start[i]; the charge uses telescoped cumulative
+///   KiB so the total equals the barrier model's ExchangeServiceTime.
+///   Loopback batches charge nothing (as in the barrier model) but advance
+///   availability.
+/// * Consumer j replays its deterministic drain order (net-major, then
+///   source-node order, then send order); each cross-node batch's decode is
+///   charged at max(consumer cursor, batch availability + one network hop) —
+///   gap-fitting on j's own resource, so a node's encode and decode still
+///   serialize against each other (a DN cannot overlap with itself).
+/// * Channel caps are modeled (not measured): a batch spills iff the
+///   in-memory window would overflow at its send time given the replayed
+///   drain times, or an earlier spilled batch is still on disk (FIFO);
+///   modeled spilled bytes charge SpillServiceTime on the receiver, like
+///   the barrier model. This keeps simulated latency deterministic even
+///   though the real spill counters race with the consumer.
+/// * ready[j] additionally waits for every producer's close (+hop for
+///   remote producers): the real consumer cannot finish a channel before
+///   observing its close.
+PipelinedSimResult SimulatePipelinedExchange(
+    SimScheduler* scheduler, const std::vector<int>& node_resources,
+    const std::vector<const ExchangeNetwork*>& nets,
+    const std::vector<std::vector<PipelinedSendRec>>& send_logs,
     const std::vector<SimTime>& start, const ExchangeLatencyParams& p);
 
 }  // namespace ofi::cluster::exchange

@@ -321,6 +321,200 @@ TEST_F(DistributedSqlTest, CappedExchangeSpillsAndStaysEquivalent) {
   fs::remove_all(dir);
 }
 
+TEST_F(DistributedSqlTest, PipelinedMatchesBarrierBitIdentical) {
+  // Every query shape runs twice — barrier then pipelined — and must
+  // produce the identical row *sequence* (not just set): the streaming
+  // scatter keeps batch framing and the deterministic receive order, so
+  // thread interleaving cannot leak into results.
+  CreateOrdersCustomers();
+  LoadRandom(1717, 140, 18);
+  dist_.Analyze();
+  local_.Analyze();
+
+  Rng rng(2718);
+  auto both_modes = [&](const std::string& q) {
+    dist_.exec_options().pipeline = false;
+    auto barrier = dist_.Execute(q);
+    ASSERT_TRUE(barrier.ok()) << q << ": " << barrier.status().ToString();
+    EXPECT_FALSE(dist_.last().stats.pipelined);
+    dist_.exec_options().pipeline = true;
+    auto piped = dist_.Execute(q);
+    ASSERT_TRUE(piped.ok()) << q << ": " << piped.status().ToString();
+    if (dist_.last().distributed) {
+      EXPECT_TRUE(dist_.last().stats.pipelined) << q;
+    }
+    ASSERT_EQ(piped->num_rows(), barrier->num_rows()) << q;
+    for (size_t i = 0; i < piped->num_rows(); ++i) {
+      ASSERT_EQ(RowKey(piped->rows()[i]), RowKey(barrier->rows()[i]))
+          << q << " row order diverged at " << i;
+    }
+  };
+
+  for (int q = 0; q < 5; ++q) {
+    std::string where =
+        " WHERE amount > " + std::to_string(rng.Uniform(0, 450));
+    both_modes("SELECT o_id, amount, segment FROM orders JOIN customers ON "
+               "cust = c_id" + where);
+    both_modes("SELECT segment, COUNT(*) AS n, SUM(amount) AS total FROM "
+               "orders JOIN customers ON cust = c_id" + where +
+               " GROUP BY segment");
+  }
+  both_modes("SELECT cust, COUNT(*) AS n, SUM(qty) AS q FROM orders "
+             "GROUP BY cust");
+  both_modes("SELECT * FROM orders");
+  both_modes("SELECT o_id, amount FROM orders ORDER BY o_id LIMIT 10");
+}
+
+TEST_F(DistributedSqlTest, PipelinedCappedExchangeStaysEquivalentNoLeaks) {
+  // Tiny channel cap under the pipelined executor: results stay equivalent
+  // to the single-node oracle and no spill segment outlives its query.
+  // Exact spill counters are NOT asserted — under pipelining they depend
+  // on how far each consumer lagged its producer (the sim charges the
+  // deterministic modeled spill instead).
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "ofi-sql-pipe-capped";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  CreateOrdersCustomers();
+  LoadRandom(606, 140, 18);
+  dist_.Analyze();
+  local_.Analyze();
+  dist_.exec_options().pipeline = true;
+  dist_.exec_options().max_channel_bytes = 48;
+  dist_.exec_options().spill_dir = dir.string();
+
+  Rng rng(707);
+  for (int q = 0; q < 4; ++q) {
+    std::string where =
+        " WHERE amount > " + std::to_string(rng.Uniform(0, 450));
+    Query("SELECT segment, COUNT(*) AS n, SUM(amount) AS total FROM orders "
+          "JOIN customers ON cust = c_id" + where + " GROUP BY segment");
+    ASSERT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
+    EXPECT_TRUE(dist_.last().stats.pipelined);
+    EXPECT_TRUE(fs::is_empty(dir));  // segments never outlive their query
+  }
+
+  // Identical row sequence with and without the cap, same as the barrier
+  // guarantee.
+  const std::string q =
+      "SELECT o_id, amount, segment FROM orders JOIN customers ON cust = c_id";
+  auto capped = dist_.Execute(q);
+  ASSERT_TRUE(capped.ok());
+  dist_.exec_options().max_channel_bytes = 0;
+  auto uncapped = dist_.Execute(q);
+  ASSERT_TRUE(uncapped.ok());
+  ASSERT_EQ(capped->num_rows(), uncapped->num_rows());
+  for (size_t i = 0; i < capped->num_rows(); ++i) {
+    EXPECT_EQ(RowKey(capped->rows()[i]), RowKey(uncapped->rows()[i]))
+        << "row order diverged at " << i;
+  }
+  EXPECT_TRUE(fs::is_empty(dir));
+  fs::remove_all(dir);
+}
+
+TEST_F(DistributedSqlTest, PipelinedFailoverStaysEquivalent) {
+  CreateOrdersCustomers();
+  ASSERT_TRUE(dist_.cluster().EnableReplication().ok());
+  LoadRandom(808, 100, 15);
+  ASSERT_TRUE(dist_.cluster().FailDn(2).ok());
+  dist_.exec_options().pipeline = true;
+
+  Query("SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders");
+  EXPECT_TRUE(dist_.last().distributed);
+  EXPECT_EQ(dist_.last().stats.num_serving, 3);
+  Query("SELECT segment, SUM(amount) AS s FROM orders JOIN customers ON "
+        "cust = c_id WHERE amount > 100 GROUP BY segment");
+  EXPECT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
+  EXPECT_TRUE(dist_.last().stats.pipelined);
+}
+
+TEST_F(DistributedSqlTest, PipelinedOverlapsProducerAndConsumerFrontiers) {
+  // The deterministic overlap assertion: the same join on two identically
+  // loaded clusters (same statements, same sharding — a query's sim
+  // latency depends on the DN timelines, so the two modes must not share
+  // one session) reports pipeline_overlap_us > 0 in pipelined mode (some
+  // consumer decode began before the last producer finished) and finishes
+  // no later in simulated time than the barrier run.
+  DistributedSqlSession barrier_sess(4);
+  DistributedSqlSession piped_sess(4);
+  auto exec_both = [&](const std::string& stmt) {
+    ASSERT_TRUE(barrier_sess.Execute(stmt).ok()) << stmt;
+    ASSERT_TRUE(piped_sess.Execute(stmt).ok()) << stmt;
+  };
+  exec_both("CREATE TABLE orders (o_id BIGINT, cust BIGINT, amount BIGINT, "
+            "qty BIGINT)");
+  exec_both("CREATE TABLE customers (c_id BIGINT, segment BIGINT)");
+  Rng rng(3141);
+  for (int64_t c = 0; c < 20; ++c) {
+    exec_both("INSERT INTO customers VALUES (" + std::to_string(c) + ", " +
+              std::to_string(rng.Uniform(0, 3)) + ")");
+  }
+  for (int64_t o = 0; o < 160; ++o) {
+    exec_both("INSERT INTO orders VALUES (" + std::to_string(o) + ", " +
+              std::to_string(rng.Uniform(0, 20)) + ", " +
+              std::to_string(rng.Uniform(1, 500)) + ", " +
+              std::to_string(rng.Uniform(1, 9)) + ")");
+  }
+  barrier_sess.Analyze();
+  piped_sess.Analyze();
+  piped_sess.exec_options().pipeline = true;
+
+  const std::string q =
+      "SELECT segment, COUNT(*) AS n, SUM(amount) AS total FROM orders "
+      "JOIN customers ON cust = c_id GROUP BY segment";
+  auto b = barrier_sess.Execute(q);
+  ASSERT_TRUE(b.ok());
+  const auto barrier = barrier_sess.last().stats;
+  ASSERT_TRUE(barrier_sess.last().distributed);
+  EXPECT_FALSE(barrier.pipelined);
+  EXPECT_EQ(barrier.pipeline_overlap_us, 0);
+  EXPECT_EQ(barrier.batches_streamed, 0u);
+
+  auto pr = piped_sess.Execute(q);
+  ASSERT_TRUE(pr.ok());
+  const auto piped = piped_sess.last().stats;
+  ASSERT_TRUE(piped_sess.last().distributed);
+  EXPECT_TRUE(piped.pipelined);
+  EXPECT_GT(piped.pipeline_overlap_us, 0);
+  EXPECT_GT(piped.batches_streamed, 0u);
+  EXPECT_LE(piped.sim_latency_us, barrier.sim_latency_us);
+  EXPECT_LT(piped.sim_latency_us, piped.sim_latency_serial_us);
+  // Same answer, bit-identical row order, from both clusters.
+  ASSERT_EQ(b->num_rows(), pr->num_rows());
+  for (size_t i = 0; i < b->num_rows(); ++i) {
+    EXPECT_EQ(RowKey(b->rows()[i]), RowKey(pr->rows()[i]));
+  }
+}
+
+TEST_F(DistributedSqlTest, PipelineFallsBackToBarrierUnderStrictCaps) {
+  // Strict channel limits deny at a timing-dependent point under overlap,
+  // so the executor silently keeps the barrier there (and says so in
+  // EXPLAIN).
+  CreateOrdersCustomers();
+  LoadRandom(999, 60, 10);
+  dist_.exec_options().pipeline = true;
+  dist_.exec_options().max_channel_bytes = 1 << 20;  // roomy: sends succeed
+  dist_.exec_options().strict_channel_limit = true;
+
+  const std::string q =
+      "SELECT segment, COUNT(*) AS n FROM orders JOIN customers ON "
+      "cust = c_id GROUP BY segment";
+  auto explain = dist_.Explain(q);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("exec=barrier (pipeline disabled under strict"),
+            std::string::npos)
+      << *explain;
+  Query(q);
+  ASSERT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
+  EXPECT_FALSE(dist_.last().stats.pipelined);
+
+  dist_.exec_options().strict_channel_limit = false;
+  auto piped = dist_.Explain(q);
+  ASSERT_TRUE(piped.ok());
+  EXPECT_NE(piped->find("exec=pipelined"), std::string::npos) << *piped;
+}
+
 TEST_F(DistributedSqlTest, BuildSideBudgetSpoolsWithoutChangingResults) {
   CreateOrdersCustomers();
   LoadRandom(909, 120, 16);
