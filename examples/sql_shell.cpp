@@ -13,7 +13,12 @@
 /// then prints the physical tree — scan paths, join strategy, partial/final
 /// aggregation), and fall back single-node with a reason otherwise. Extra
 /// meta-commands: `\analyze` refreshes optimizer statistics, `\columnar t`
-/// registers a columnar copy of t, `\refresh t` re-snapshots stale shards.
+/// registers a columnar copy of t, `\refresh t` force-merges the delta
+/// tails so the next scan runs on freshly sealed chunks. Columnar scans are
+/// always fresh regardless (sealed chunks union with the delta tail);
+/// `--delta-merge-threshold=N` sets the tail length that triggers a
+/// background merge (default 4096 records) and `--no-auto-merge` leaves
+/// merging entirely to `\refresh`.
 ///
 /// Exchange overflow knobs (distributed only): `--exchange-cap=N` bounds
 /// each exchange channel's in-memory window to N bytes (overflow spills to
@@ -41,6 +46,8 @@ int main(int argc, char** argv) {
   bool strict_exchange = false;
   bool pipeline = false;
   int pipeline_workers = 0;
+  long long delta_merge_threshold = -1;  // -1 = keep the cluster default
+  bool no_auto_merge = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--distributed") == 0) {
       num_dns = 3;
@@ -69,18 +76,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --pipeline=workers value\n");
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--delta-merge-threshold=", 24) == 0) {
+      delta_merge_threshold = std::atoll(argv[i] + 24);
+      if (delta_merge_threshold < 1) {
+        std::fprintf(stderr, "bad --delta-merge-threshold=N value\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--no-auto-merge") == 0) {
+      no_auto_merge = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--distributed[=N]] [--exchange-cap=BYTES] "
                    "[--spill-dir=PATH] [--spill-budget=BYTES] "
                    "[--build-cap=BYTES] [--strict-exchange] "
-                   "[--pipeline[=workers]]\n",
+                   "[--pipeline[=workers]] [--delta-merge-threshold=N] "
+                   "[--no-auto-merge]\n",
                    argv[0]);
       return 1;
     }
   }
   if (num_dns == 0 && (exchange_cap || spill_budget || build_cap ||
-                       !spill_dir.empty() || strict_exchange || pipeline)) {
+                       !spill_dir.empty() || strict_exchange || pipeline ||
+                       delta_merge_threshold >= 0 || no_auto_merge)) {
     std::fprintf(stderr, "exchange/spill knobs need --distributed\n");
     return 1;
   }
@@ -96,6 +113,11 @@ int main(int argc, char** argv) {
     dist->exec_options().max_build_bytes = build_cap;
     dist->exec_options().pipeline = pipeline;
     dist->exec_options().pipeline_workers = pipeline_workers;
+    if (delta_merge_threshold >= 0) {
+      dist->cluster().set_delta_merge_threshold(
+          static_cast<size_t>(delta_merge_threshold));
+    }
+    if (no_auto_merge) dist->cluster().set_auto_merge(false);
     printf("openfidb sql shell — distributed over %d DNs, end statements "
            "with ';', \\q to quit\n", num_dns);
   } else {
@@ -124,7 +146,7 @@ int main(int argc, char** argv) {
       std::string table = line.substr(line.find(' ') + 1);
       if (refresh) {
         auto n = dist->RefreshColumnar(table);
-        if (n.ok()) printf("ok (%zu shards rebuilt)\n", *n);
+        if (n.ok()) printf("ok (%zu shards merged)\n", *n);
         else printf("error: %s\n", n.status().ToString().c_str());
       } else {
         Status s = dist->RegisterColumnar(table);

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/thread_pool.h"
 #include "txn/snapshot.h"
 
 namespace ofi::cluster {
@@ -24,38 +25,22 @@ Status Cluster::CreateTable(const std::string& name, const sql::Schema& schema) 
 
 namespace {
 
-/// Builds one DN's columnar shard from a fresh local snapshot and registers
-/// it, replacing any existing shard (shared by initial registration and
-/// refresh — the freshness contract must be identical in both).
-Status BuildColumnarShard(DataNode* dn, const std::string& name) {
+/// Builds one DN's delta-store shard and registers it, replacing any
+/// existing shard. AttachChangeListener snapshots the heap and installs
+/// the listener under one exclusive lock, so the shard's base state plus
+/// its event stream cover every heap version exactly once.
+Status BuildColumnarShard(DataNode* dn, const std::string& name,
+                          const txn::Gtm& gtm) {
   OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
-  // Epoch read BEFORE the scan: a mutation racing the build flags the
-  // shard stale (conservative) rather than silently fresh.
-  uint64_t epoch = heap->epoch();
-  txn::Snapshot snap = dn->txn_mgr().TakeSnapshot();
-  // Settled = nothing in flight at build time, so the chunks hold exactly
-  // the committed state any later snapshot would see (until epoch moves).
-  bool settled = snap.active.empty();
-  txn::VisibilityChecker vis(&snap, &dn->txn_mgr().clog(), txn::kInvalidXid);
-  std::vector<sql::Row> rows = heap->ScanVisible(vis);
-  // Cluster on row value (leading column first): scans over key ranges then
-  // touch few chunks and zone maps prune the rest. Also makes the build
-  // deterministic — ScanVisible order is a hash-map walk.
-  std::sort(rows.begin(), rows.end(), [](const sql::Row& a, const sql::Row& b) {
-    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-      int c = a[i].Compare(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  });
-  DataNode::ColumnarShard shard;
-  shard.table = std::make_unique<storage::ColumnTable>(heap->schema());
-  for (auto& row : rows) {
-    OFI_RETURN_NOT_OK(shard.table->Append(row));
-  }
-  shard.table->Seal();
-  shard.heap_epoch = epoch;
-  shard.settled = settled;
+  auto shard = std::make_shared<storage::DeltaShard>(heap->schema());
+  storage::HeapDump dump = heap->AttachChangeListener(
+      [shard](const storage::HeapChange& c) { shard->OnHeapChange(c); });
+  // The DN-local horizon (Vacuum's convention) and the GTM safe horizon
+  // bound what the base build may fold into sealed chunks; the rest of the
+  // dump starts life in the delta tail.
+  txn::Xid horizon = dn->txn_mgr().TakeSnapshot().xmin;
+  shard->InstallBase(std::move(dump), &dn->txn_mgr().clog(), horizon,
+                     gtm.SafeHorizon(), heap->epoch());
   dn->RegisterColumnar(name, std::move(shard));
   return Status::OK();
 }
@@ -64,36 +49,74 @@ Status BuildColumnarShard(DataNode* dn, const std::string& name) {
 
 Status Cluster::RegisterColumnar(const std::string& name) {
   for (auto& dn : dns_) {
-    OFI_RETURN_NOT_OK(BuildColumnarShard(dn.get(), name));
+    OFI_RETURN_NOT_OK(BuildColumnarShard(dn.get(), name, gtm_));
   }
   columnar_tables_.insert(name);
   metrics_.Add("columnar.registered");
   return Status::OK();
 }
 
+storage::DeltaShard::MergeResult Cluster::RunMerge(
+    int dn, const std::shared_ptr<storage::DeltaShard>& shard,
+    const std::string& name, SimTime arrival) {
+  DataNode* node = dns_[dn].get();
+  auto heap = node->GetTable(name);
+  if (!heap.ok()) return storage::DeltaShard::MergeResult{};
+  txn::Xid horizon = node->txn_mgr().TakeSnapshot().xmin;
+  storage::DeltaShard::MergeResult res = shard->Merge(
+      node->txn_mgr().clog(), horizon, gtm_.SafeHorizon(), (*heap)->epoch());
+  if (res.changed()) {
+    size_t work = res.folded + res.dropped;
+    (void)ChargeDnMerge(dn, arrival, work);
+    metrics_.Add("columnar.merges");
+    metrics_.Add("columnar.merge_rows", static_cast<int64_t>(work));
+  }
+  return res;
+}
+
 Result<size_t> Cluster::RefreshColumnar(const std::string& name) {
   if (!IsColumnar(name)) {
     return Status::NotFound("no columnar copy registered for " + name);
   }
-  size_t rebuilt = 0;
-  for (auto& dn : dns_) {
-    OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
-    const DataNode::ColumnarShard* shard = dn->GetColumnarShard(name);
-    // Same freshness test the MPP scan path applies: anything it would
-    // fall back on (missing, unsettled, or mutated since the build) gets
-    // rebuilt; fresh shards are left untouched.
-    if (shard != nullptr && shard->table != nullptr && shard->settled &&
-        shard->heap_epoch == heap->epoch()) {
-      continue;
-    }
-    OFI_RETURN_NOT_OK(BuildColumnarShard(dn.get(), name));
-    ++rebuilt;
+  size_t merged = 0;
+  for (size_t i = 0; i < dns_.size(); ++i) {
+    auto shard = dns_[i]->GetColumnarShard(name);
+    if (shard == nullptr) continue;
+    if (RunMerge(static_cast<int>(i), shard, name, 0).changed()) ++merged;
   }
-  if (rebuilt > 0) {
-    metrics_.Add("columnar.refreshes", static_cast<int64_t>(rebuilt));
+  if (merged > 0) {
+    metrics_.Add("columnar.refreshes", static_cast<int64_t>(merged));
   }
-  return rebuilt;
+  return merged;
 }
+
+void Cluster::NoteColumnarWrite(int dn, const std::string& table, SimTime now) {
+  if (!auto_merge_ || columnar_tables_.count(table) == 0) return;
+  auto shard = dns_[dn]->GetColumnarShard(table);
+  if (shard == nullptr || shard->delta_size() < delta_merge_threshold_) return;
+  if (!shard->TryScheduleMerge()) return;  // a merge task is already queued
+  {
+    std::lock_guard lock(merge_wait_mu_);
+    ++merges_inflight_;
+  }
+  // The merge runs off the query path on the shared pool; its simulated
+  // cost is charged on the DN resource with the triggering write's time as
+  // arrival (the DN starts folding as soon as the tail crosses the
+  // threshold).
+  common::ThreadPool::Shared().Submit([this, dn, shard, table, now] {
+    (void)RunMerge(dn, shard, table, now);
+    shard->MergeTaskDone();
+    std::lock_guard lock(merge_wait_mu_);
+    if (--merges_inflight_ == 0) merge_cv_.notify_all();
+  });
+}
+
+void Cluster::WaitForMerges() {
+  std::unique_lock lock(merge_wait_mu_);
+  merge_cv_.wait(lock, [this] { return merges_inflight_ == 0; });
+}
+
+Cluster::~Cluster() { WaitForMerges(); }
 
 bool Cluster::IsColumnar(const std::string& name) const {
   return columnar_tables_.count(name) > 0;
@@ -139,13 +162,23 @@ SimTime Cluster::ChargeDnCommitBatch(int dn, SimTime arrival, size_t records,
 }
 
 SimTime Cluster::ChargeDnColumnarScan(int dn, SimTime arrival,
-                                      size_t chunks_scanned) {
+                                      size_t chunks_scanned,
+                                      size_t delta_rows) {
   SimTime a = arrival + latency_.network_hop_us;
   SimTime service = latency_.columnar_stmt_service_us +
                     static_cast<SimTime>(chunks_scanned) *
-                        latency_.columnar_chunk_service_us;
+                        latency_.columnar_chunk_service_us +
+                    static_cast<SimTime>((delta_rows + 255) / 256) *
+                        latency_.columnar_delta_block_service_us;
   SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
   return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnMerge(int dn, SimTime arrival, size_t records) {
+  SimTime blocks = static_cast<SimTime>((records + 255) / 256);
+  SimTime service =
+      std::max<SimTime>(1, blocks * latency_.columnar_merge_block_service_us);
+  return scheduler_.Charge(dn_resources_[dn], arrival, service);
 }
 
 Status Cluster::EnableReplication() {
@@ -226,8 +259,11 @@ int Cluster::RecoverInDoubtTransactions() {
 Txn Cluster::Begin(TxnScope scope, SimTime start_time) {
   // Periodic background maintenance: prune per-DN merge state below the
   // global safe horizon so xidMap/LCO scans stay O(recent transactions).
-  if (++begins_since_maintenance_ >= 64) {
-    begins_since_maintenance_ = 0;
+  // (Atomic counter: concurrent Begins may both cross the boundary, which
+  // just prunes twice — PruneBelowHorizon is idempotent.)
+  if (begins_since_maintenance_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      64) {
+    begins_since_maintenance_.store(0, std::memory_order_relaxed);
     txn::Gxid horizon = gtm_.SafeHorizon();
     for (auto& dn : dns_) {
       dn->txn_mgr().mutable_clog().PruneBelowHorizon(horizon);
@@ -320,6 +356,14 @@ Result<std::vector<sql::Row>> Txn::ScanShardPrepared(const std::string& table,
   return t->ScanVisible(CheckerFor(dn, it->second));
 }
 
+Result<txn::VisibilityChecker> Txn::VisibilityForPrepared(int dn) const {
+  auto it = dns_.find(dn);
+  if (it == dns_.end()) {
+    return Status::InvalidArgument("shard not prepared: dn" + std::to_string(dn));
+  }
+  return CheckerFor(dn, it->second);
+}
+
 txn::VisibilityChecker Txn::CheckerFor(int dn, const DnContext& ctx) const {
   const txn::CommitLog& clog = cluster_->dn(dn)->txn_mgr().clog();
   if (cluster_->protocol() == Protocol::kBaselineGtm) {
@@ -357,6 +401,7 @@ Status Txn::Insert(const std::string& table, const sql::Value& key, sql::Row row
   sql::Row row_copy = row;
   OFI_RETURN_NOT_OK(t->Insert(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
+  cluster_->NoteColumnarWrite(dn, table, now_);
   return Status::OK();
 }
 
@@ -369,6 +414,7 @@ Status Txn::Update(const std::string& table, const sql::Value& key, sql::Row row
   sql::Row row_copy = row;
   OFI_RETURN_NOT_OK(t->Update(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
+  cluster_->NoteColumnarWrite(dn, table, now_);
   return Status::OK();
 }
 
@@ -380,6 +426,7 @@ Status Txn::Delete(const std::string& table, const sql::Value& key) {
   now_ = cluster_->ChargeDnStmt(dn, now_);
   OFI_RETURN_NOT_OK(t->Delete(key, ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, {}, true});
+  cluster_->NoteColumnarWrite(dn, table, now_);
   return Status::OK();
 }
 

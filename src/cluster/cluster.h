@@ -17,7 +17,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -77,6 +80,12 @@ class Txn {
   /// pool workers while writers run under the storage/txn shared locks.
   Result<std::vector<sql::Row>> ScanShardPrepared(const std::string& table,
                                                   int dn) const;
+
+  /// This transaction's MVCC visibility checker on a shard previously opened
+  /// via PrepareShard(). The checker holds pointers into the transaction's
+  /// own context storage (stable until commit/abort), so columnar scans can
+  /// evaluate the delta tail at exactly the snapshot the row path would use.
+  Result<txn::VisibilityChecker> VisibilityForPrepared(int dn) const;
 
   /// Advances this transaction's serial clock to at least `t` (the CN
   /// resumes once the last gathered partial has arrived).
@@ -150,20 +159,39 @@ class Cluster {
   /// Creates `name` on every DN; rows are hash-sharded by their key.
   Status CreateTable(const std::string& name, const sql::Schema& schema);
 
-  /// Builds a columnar copy of `name` on every DN from a fresh local
-  /// snapshot (rows sorted by value so chunks are clustered and zone maps
-  /// selective). The copy freezes the table as of registration: each shard
-  /// records the heap's mutation epoch, and the MPP path falls back to the
-  /// row store on any DN whose heap has mutated since (or that had
-  /// transactions in flight during the build). Re-registering rebuilds.
+  /// Builds a columnar delta-store copy of `name` on every DN (see
+  /// storage/delta_store.h): universally visible versions seal into
+  /// clustered chunks, everything newer lands in a row-format delta tail
+  /// that the heap's change listener keeps current from then on. Scans
+  /// union sealed kernels with the tail, so the copy never goes stale —
+  /// there is no freshness fallback. Re-registering rebuilds from scratch.
   Status RegisterColumnar(const std::string& name);
-  /// Re-snapshots every shard of `name` whose columnar copy has gone stale
-  /// (heap mutated since the build, or built while transactions were in
-  /// flight), leaving fresh shards untouched, and returns how many were
-  /// rebuilt (counted in the columnar.refreshes metric). NotFound when no
-  /// columnar copy is registered. The cheap incremental alternative to
-  /// re-registering after writes land.
+  /// Synchronously force-merges every shard of `name` — folds the delta
+  /// tail into sealed chunks up to the current visibility horizons — and
+  /// returns how many shards changed (counted in the columnar.refreshes
+  /// metric). NotFound when no columnar copy is registered. With auto
+  /// merge on, background merges already bound tail growth; this is the
+  /// deterministic "make the tail short now" hook.
   Result<size_t> RefreshColumnar(const std::string& name);
+
+  // --- Delta-merge policy (see storage/delta_store.h) ------------------------
+  /// Tail size at which a write schedules a background merge of that shard
+  /// on the shared thread pool.
+  void set_delta_merge_threshold(size_t rows) { delta_merge_threshold_ = rows; }
+  size_t delta_merge_threshold() const { return delta_merge_threshold_; }
+  /// When false, writes never schedule background merges (tails grow until
+  /// RefreshColumnar is called) — the knob the HTAP bench sweeps.
+  void set_auto_merge(bool v) { auto_merge_ = v; }
+  bool auto_merge() const { return auto_merge_; }
+  /// Write-path hook: called after a successful Insert/Update/Delete on a
+  /// columnar table's shard. Schedules at most one background merge task
+  /// per shard at a time once the tail passes the threshold.
+  void NoteColumnarWrite(int dn, const std::string& table, SimTime now);
+  /// Blocks until every scheduled background merge has completed (tests,
+  /// benches, and the destructor).
+  void WaitForMerges();
+
+  ~Cluster();
   /// True when `name` has a columnar copy registered (on DN 0, which implies
   /// all DNs — registration is all-or-nothing).
   bool IsColumnar(const std::string& name) const;
@@ -254,8 +282,13 @@ class Cluster {
                               bool durable);
   /// One columnar partial-scan round trip: fixed statement setup plus a
   /// per-chunk term for chunks actually scanned (zone-map-pruned chunks are
-  /// free, so pruning is visible in sim_latency_us).
-  SimTime ChargeDnColumnarScan(int dn, SimTime arrival, size_t chunks_scanned);
+  /// free, so pruning is visible in sim_latency_us) plus a per-256-record
+  /// term for delta-tail rows examined by the unioned row-path pass.
+  SimTime ChargeDnColumnarScan(int dn, SimTime arrival, size_t chunks_scanned,
+                               size_t delta_rows = 0);
+  /// DN-internal merge work: per-256-record folding cost, charged on the
+  /// DN's serialized resource but without network hops (no CN round trip).
+  SimTime ChargeDnMerge(int dn, SimTime arrival, size_t records);
 
   void ResetSimTime() { scheduler_.Reset(); }
 
@@ -265,6 +298,12 @@ class Cluster {
 
  private:
   friend class Txn;
+
+  /// Merges one shard's delta tail against the current visibility horizons,
+  /// charging the DN and publishing metrics when anything changed.
+  storage::DeltaShard::MergeResult RunMerge(
+      int dn, const std::shared_ptr<storage::DeltaShard>& shard,
+      const std::string& name, SimTime arrival);
 
   Protocol protocol_;
   LatencyModel latency_;
@@ -276,9 +315,14 @@ class Cluster {
   MetricsRegistry metrics_;
   bool delay_commit_confirm_ = false;
   std::function<int(const sql::Value&)> sharder_;
-  int begins_since_maintenance_ = 0;
+  std::atomic<int> begins_since_maintenance_{0};
   bool replication_enabled_ = false;
   std::set<std::string> columnar_tables_;
+  size_t delta_merge_threshold_ = 4096;
+  bool auto_merge_ = true;
+  std::mutex merge_wait_mu_;
+  std::condition_variable merge_cv_;
+  int merges_inflight_ = 0;  // guarded by merge_wait_mu_
   std::vector<bool> down_;
   std::vector<ShadowShard> shadows_;  // indexed by primary DN
 };

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "storage/column_store.h"
+#include "storage/delta_store.h"
 #include "storage/mvcc_table.h"
 #include "txn/gtm.h"
 #include "txn/local_txn_manager.h"
@@ -64,26 +65,30 @@ class DataNode {
   int RecoverInDoubt(const txn::Gtm& gtm);
 
   // --- Columnar side-store (OLAP scan path, see cluster/mpp_query) ----------
-  /// One table's columnar copy on this DN, frozen at build time. `heap_epoch`
-  /// is the source MvccTable's mutation epoch when the chunks were built and
-  /// `settled` records that no transaction was in flight then; the MPP path
-  /// uses the pair to detect staleness (any later heap mutation bumps the
-  /// epoch) and falls back to the row store instead of serving stale chunks.
-  struct ColumnarShard {
-    std::unique_ptr<storage::ColumnTable> table;
-    uint64_t heap_epoch = 0;
-    bool settled = false;
-  };
-
-  void RegisterColumnar(const std::string& name, ColumnarShard shard) {
+  /// One table's columnar copy on this DN: a storage::DeltaShard of sealed
+  /// chunks plus the row-format delta tail the heap's change listener feeds
+  /// (see storage/delta_store.h). Scans union sealed kernels with the tail,
+  /// so the columnar path never goes stale and never falls back for
+  /// freshness. Registration wires the heap listener; DropColumnar detaches
+  /// it before releasing the shard.
+  void RegisterColumnar(const std::string& name,
+                        std::shared_ptr<storage::DeltaShard> shard) {
     columnar_[name] = std::move(shard);
   }
-  /// nullptr when the table has no columnar copy on this DN.
-  const ColumnarShard* GetColumnarShard(const std::string& name) const {
+  /// nullptr when the table has no columnar copy on this DN. Returned by
+  /// value: the shard outlives a scan even if dropped mid-flight.
+  std::shared_ptr<storage::DeltaShard> GetColumnarShard(
+      const std::string& name) const {
     auto it = columnar_.find(name);
-    return it == columnar_.end() ? nullptr : &it->second;
+    return it == columnar_.end() ? nullptr : it->second;
   }
-  void DropColumnar(const std::string& name) { columnar_.erase(name); }
+  void DropColumnar(const std::string& name) {
+    auto it = columnar_.find(name);
+    if (it == columnar_.end()) return;
+    auto tit = tables_.find(name);
+    if (tit != tables_.end()) tit->second->DetachChangeListener();
+    columnar_.erase(it);
+  }
 
  private:
   struct PendingCommit {
@@ -94,7 +99,7 @@ class DataNode {
   int id_;
   txn::LocalTxnManager txn_mgr_;
   std::unordered_map<std::string, std::unique_ptr<storage::MvccTable>> tables_;
-  std::unordered_map<std::string, ColumnarShard> columnar_;
+  std::unordered_map<std::string, std::shared_ptr<storage::DeltaShard>> columnar_;
   std::deque<PendingCommit> pending_commits_;
 };
 

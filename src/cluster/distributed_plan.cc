@@ -1,11 +1,14 @@
 #include "cluster/distributed_plan.h"
 
 #include <algorithm>
+#include <iterator>
 #include <latch>
 #include <map>
 #include <optional>
 
 #include "sql/executor.h"
+#include "storage/delta_store.h"
+#include "txn/snapshot.h"
 
 namespace ofi::cluster {
 namespace {
@@ -409,6 +412,182 @@ Result<Table> RunColumnarGroupedAgg(const storage::ColumnTable& ct,
   return out;
 }
 
+// --- Delta-tail union (storage/delta_store) ---------------------------------
+
+/// Row-path evaluation of the recognized predicate over one delta-tail row
+/// (SQL semantics: NULL never matches) — the delta half of the scan union
+/// must filter exactly as the kernels filter the sealed half.
+bool DeltaRowMatches(const ColumnarPredicate& pred, const sql::Schema& schema,
+                     const Row& row) {
+  if (pred.never) return false;
+  if (pred.kind == ColumnarPredicate::Kind::kAll) return true;
+  auto idx = schema.IndexOf(pred.column);
+  if (!idx.ok()) return false;
+  const Value& v = row[*idx];
+  if (v.is_null()) return false;
+  if (pred.kind == ColumnarPredicate::Kind::kIntRange) {
+    if (v.type() != TypeId::kInt64 && v.type() != TypeId::kTimestamp) {
+      return false;
+    }
+    const int64_t x = v.AsInt();
+    return x >= pred.lo && x <= pred.hi;
+  }
+  return v.type() == TypeId::kString && v.AsString() == pred.needle;
+}
+
+int64_t WrapAdd(int64_t a, int64_t b) {
+  // SUM wraps modularly (matching the column kernels), so sealed + delta
+  // partials combine associatively and bit-identically to the row path.
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+/// Folds filtered delta-tail rows into the one-row global-aggregate partial
+/// the kernel produced for the sealed chunks. All combines are null-aware
+/// and associative, so the merged partial equals what one kernel over
+/// sealed+delta would have produced.
+Status MergeDeltaIntoKernelAgg(Table* partial,
+                               const std::vector<AggSpec>& specs,
+                               const sql::Schema& schema,
+                               const std::vector<Row>& delta_rows) {
+  if (delta_rows.empty()) return Status::OK();
+  Row& out = partial->mutable_rows()[0];
+  for (size_t j = 0; j < specs.size(); ++j) {
+    const AggSpec& spec = specs[j];
+    if (spec.arg == nullptr) {  // COUNT(*)
+      out[j] = Value(out[j].AsInt() + static_cast<int64_t>(delta_rows.size()));
+      continue;
+    }
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(spec.arg->column_name()));
+    int64_t count = 0;
+    std::optional<int64_t> acc;
+    for (const Row& r : delta_rows) {
+      const Value& v = r[idx];
+      if (v.is_null()) continue;
+      const int64_t x = v.AsInt();
+      ++count;
+      if (!acc.has_value()) {
+        acc = x;
+      } else if (spec.func == AggFunc::kSum) {
+        acc = WrapAdd(*acc, x);
+      } else if (spec.func == AggFunc::kMin) {
+        acc = std::min(*acc, x);
+      } else if (spec.func == AggFunc::kMax) {
+        acc = std::max(*acc, x);
+      }
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        out[j] = Value(out[j].AsInt() + count);
+        break;
+      case AggFunc::kSum:
+        if (acc.has_value()) {
+          out[j] = out[j].is_null() ? Value(*acc)
+                                    : Value(WrapAdd(out[j].AsInt(), *acc));
+        }
+        break;
+      case AggFunc::kMin:
+        if (acc.has_value()) {
+          out[j] = out[j].is_null() ? Value(*acc)
+                                    : Value(std::min(out[j].AsInt(), *acc));
+        }
+        break;
+      case AggFunc::kMax:
+        if (acc.has_value()) {
+          out[j] = out[j].is_null() ? Value(*acc)
+                                    : Value(std::max(out[j].AsInt(), *acc));
+        }
+        break;
+      default:
+        return Status::Internal("non-decomposed aggregate in kernel path");
+    }
+  }
+  return Status::OK();
+}
+
+/// Folds filtered delta-tail rows into the grouped partial the hash kernel
+/// produced for the sealed chunks. Grouping treats NULL = NULL (Value::
+/// Equals), matching both the kernel and the row-path executor; groups the
+/// delta introduces append at the tail (shard output group order is
+/// unspecified — the CN final aggregation and tests canonicalize).
+Status MergeDeltaIntoGroupedAgg(Table* partial,
+                                const std::vector<std::string>& group_by,
+                                const std::vector<AggSpec>& specs,
+                                const sql::Schema& schema,
+                                const std::vector<Row>& delta_rows) {
+  if (delta_rows.empty()) return Status::OK();
+  std::vector<size_t> key_idx;
+  key_idx.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    OFI_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(g));
+    key_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx(specs.size(), 0);
+  for (size_t j = 0; j < specs.size(); ++j) {
+    if (specs[j].arg == nullptr) continue;
+    OFI_ASSIGN_OR_RETURN(size_t idx,
+                         schema.IndexOf(specs[j].arg->column_name()));
+    agg_idx[j] = idx;
+  }
+  const size_t nk = key_idx.size();
+  auto& rows = partial->mutable_rows();
+  for (const Row& r : delta_rows) {
+    size_t gi = rows.size();
+    for (size_t t = 0; t < rows.size(); ++t) {
+      bool match = true;
+      for (size_t k = 0; k < nk; ++k) {
+        if (!rows[t][k].Equals(r[key_idx[k]])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        gi = t;
+        break;
+      }
+    }
+    if (gi == rows.size()) {
+      Row fresh;
+      fresh.reserve(nk + specs.size());
+      for (size_t k = 0; k < nk; ++k) fresh.push_back(r[key_idx[k]]);
+      for (const auto& spec : specs) {
+        const bool count_like = spec.func == AggFunc::kCount;
+        fresh.push_back(count_like ? Value(static_cast<int64_t>(0))
+                                   : Value::Null());
+      }
+      rows.push_back(std::move(fresh));
+    }
+    Row& out = rows[gi];
+    for (size_t j = 0; j < specs.size(); ++j) {
+      Value& cell = out[nk + j];
+      if (specs[j].arg == nullptr) {  // COUNT(*)
+        cell = Value(cell.AsInt() + 1);
+        continue;
+      }
+      const Value& v = r[agg_idx[j]];
+      if (v.is_null()) continue;
+      const int64_t x = v.AsInt();
+      switch (specs[j].func) {
+        case AggFunc::kCount:
+          cell = Value(cell.AsInt() + 1);
+          break;
+        case AggFunc::kSum:
+          cell = cell.is_null() ? Value(x) : Value(WrapAdd(cell.AsInt(), x));
+          break;
+        case AggFunc::kMin:
+          cell = cell.is_null() ? Value(x) : Value(std::min(cell.AsInt(), x));
+          break;
+        case AggFunc::kMax:
+          cell = cell.is_null() ? Value(x) : Value(std::max(cell.AsInt(), x));
+          break;
+        default:
+          return Status::Internal("non-decomposed aggregate in kernel path");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 /// Dispatches fn(0..n-1) per the parallel/pool options (shared contract
 /// across every fragment: execution mode never changes results).
 void RunScatter(bool parallel, common::ThreadPool* pool, int n,
@@ -608,10 +787,11 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
   n_ = static_cast<int>(serving_.size());
   stats_.num_serving = n_;
 
-  // Opt-in auto-refresh: rebuild stale columnar shards before the snapshot
-  // opens, so writes between queries do not silently demote shards to the
-  // row path. Fresh shards are untouched (RefreshColumnar rebuilds only
-  // stale ones), so a quiescent cluster pays nothing.
+  // Opt-in auto-refresh: force-merge the delta tails of the scanned tables
+  // before the snapshot opens, so the scan runs against freshly sealed
+  // chunks instead of paying the row-path union over a long tail. Purely a
+  // latency knob — results are identical either way — and a quiescent
+  // cluster pays nothing (merging an empty tail is a no-op).
   if (opts_.auto_refresh_columnar) {
     const DistOp* scans[2] = {left_scan != nullptr ? left_scan : core,
                               right_scan};
@@ -620,10 +800,10 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
       if (s->path != ScanPath::kColumnar || !cluster_->IsColumnar(s->table)) {
         continue;
       }
-      OFI_ASSIGN_OR_RETURN(size_t rebuilt, cluster_->RefreshColumnar(s->table));
-      if (rebuilt > 0) {
+      OFI_ASSIGN_OR_RETURN(size_t merged, cluster_->RefreshColumnar(s->table));
+      if (merged > 0) {
         cluster_->metrics().Add("columnar.auto_refreshes",
-                                static_cast<int64_t>(rebuilt));
+                                static_cast<int64_t>(merged));
       }
     }
   }
@@ -710,6 +890,8 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
     m.Add("columnar.rows_filtered",
           static_cast<int64_t>(stats_.scan_stats.rows_matched));
     m.Add("columnar.morsels", static_cast<int64_t>(stats_.scan_stats.morsels));
+    m.Add("columnar.delta_rows",
+          static_cast<int64_t>(stats_.scan_stats.delta_rows));
   }
 
   SimTime parallel_done = scatter_start_;
@@ -799,10 +981,10 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
   }
 
   // Columnar eligibility. The filter must be kernel-recognizable (checked
-  // once for the fragment), and each shard's copy must be fresh: built with
-  // no transaction in flight AND no heap mutation since (the mutation epoch
-  // detects deletes that version counts cannot). Stale shards fall back to
-  // the row store individually — results are identical either way.
+  // once for the fragment). Freshness is never a reason to fall back: every
+  // delta shard unions its sealed chunks with the row-format tail the heap
+  // listener feeds, evaluated under this transaction's own snapshot, so the
+  // columnar result is bit-identical to the row path at any point in time.
   std::optional<ColumnarPredicate> pred;
   if (scan.path == ScanPath::kColumnar && cluster_->IsColumnar(table)) {
     pred = RecognizeFilter(scan.filter);
@@ -810,8 +992,8 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       cluster_->metrics().Add("columnar.fallback_filter");
     }
   }
-  std::vector<const DataNode::ColumnarShard*> col_shards(serving_.size(),
-                                                         nullptr);
+  std::vector<std::shared_ptr<storage::DeltaShard>> col_shards(
+      serving_.size());
   bool kernel_path = false;
   bool forced_materialize = false;
   KernelSupport support = KernelSupport::kOk;
@@ -831,14 +1013,8 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       }
     }
     for (int i = 0; i < n_; ++i) {
-      const DataNode::ColumnarShard* shard =
+      col_shards[static_cast<size_t>(i)] =
           cluster_->dn(serving_[i])->GetColumnarShard(table);
-      if (shard != nullptr && shard->table != nullptr && shard->settled &&
-          shard->heap_epoch == shard_tables[static_cast<size_t>(i)]->epoch()) {
-        col_shards[static_cast<size_t>(i)] = shard;
-      } else if (shard != nullptr) {
-        cluster_->metrics().Add("columnar.fallback_stale");
-      }
     }
   }
 
@@ -886,13 +1062,62 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
     }
 
     if (col_shards[static_cast<size_t>(i)] != nullptr) {
-      const storage::ColumnTable& ct = *col_shards[static_cast<size_t>(i)]->table;
+      // Snapshot the delta shard under this transaction's own visibility:
+      // a pinned sealed table, the sealed rows whose delete is visible, and
+      // the visible row-format tail. The union below reproduces the row
+      // path bit for bit at this snapshot.
+      auto vis = reader_->VisibilityForPrepared(dn);
+      if (!vis.ok()) {
+        slot.status = vis.status();
+        return;
+      }
+      storage::DeltaShard::View view =
+          col_shards[static_cast<size_t>(i)]->Snapshot(*vis);
+      const storage::ColumnTable& ct = *view.sealed;
       slot.columnar = true;
-      if (count_naive) slot.naive_bytes = ct.PlainBytes();
+      slot.stats.delta_rows += view.delta_examined;
+      if (count_naive) {
+        slot.naive_bytes = ct.PlainBytes();
+        for (const auto& row : view.delta_rows) {
+          slot.naive_bytes += sql::RowByteSize(row);
+        }
+      }
       auto sel = RunColumnarFilter(ct, *pred, sopts, &slot.stats);
       if (!sel.ok()) {
         slot.status = sel.status();
         return;
+      }
+      // Fold snapshot exclusions into the selection so every downstream
+      // consumer sees one sorted selection (kernel filter output is
+      // ascending; View::excluded is sorted).
+      if (!view.excluded.empty()) {
+        std::vector<uint32_t> kept;
+        if (sel->has_value()) {
+          kept.reserve((*sel)->size());
+          std::set_difference((*sel)->begin(), (*sel)->end(),
+                              view.excluded.begin(), view.excluded.end(),
+                              std::back_inserter(kept));
+        } else {
+          kept.reserve(ct.sealed_rows() - view.excluded.size());
+          size_t e = 0;
+          for (uint32_t r = 0; r < ct.sealed_rows(); ++r) {
+            if (e < view.excluded.size() && view.excluded[e] == r) {
+              ++e;
+              continue;
+            }
+            kept.push_back(r);
+          }
+        }
+        *sel = std::move(kept);
+      }
+      // The delta half of the union: visible tail rows, filtered exactly as
+      // the kernels filter the sealed half.
+      std::vector<Row> delta_matched;
+      delta_matched.reserve(view.delta_rows.size());
+      for (auto& row : view.delta_rows) {
+        if (DeltaRowMatches(*pred, ct.schema(), row)) {
+          delta_matched.push_back(std::move(row));
+        }
       }
       auto materialize = [&](const std::vector<uint32_t>& s)
           -> Result<std::vector<Row>> {
@@ -912,23 +1137,36 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       if (fused) {
         auto compute = [&]() -> Result<Table> {
           if (kernel_path && agg_group_.empty()) {
-            return RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
-                                        pred->never, partial_specs, sopts,
-                                        &slot.stats);
+            OFI_ASSIGN_OR_RETURN(
+                Table partial,
+                RunColumnarKernelAgg(ct, sel->has_value() ? &**sel : nullptr,
+                                     pred->never, partial_specs, sopts,
+                                     &slot.stats));
+            OFI_RETURN_NOT_OK(MergeDeltaIntoKernelAgg(
+                &partial, partial_specs, ct.schema(), delta_matched));
+            return partial;
           }
           if (kernel_path) {
             // Grouped kernel. An unsatisfiable predicate arrives as an
             // empty selection; no filter at all means the whole table.
-            return RunColumnarGroupedAgg(ct, agg_group_,
-                                         sel->has_value() ? &**sel : nullptr,
-                                         partial_specs, sopts, &slot.stats);
+            OFI_ASSIGN_OR_RETURN(
+                Table partial,
+                RunColumnarGroupedAgg(ct, agg_group_,
+                                      sel->has_value() ? &**sel : nullptr,
+                                      partial_specs, sopts, &slot.stats));
+            OFI_RETURN_NOT_OK(MergeDeltaIntoGroupedAgg(
+                &partial, agg_group_, partial_specs, ct.schema(),
+                delta_matched));
+            return partial;
           }
-          // Materialize path: decode the selection into rows and run the
-          // ordinary partial aggregate (unsupported agg/group-key types).
+          // Materialize path: decode the selection into rows, append the
+          // matching delta-tail rows, and run the ordinary partial
+          // aggregate (unsupported agg/group-key types).
           std::vector<uint32_t> all = all_rows();
           OFI_ASSIGN_OR_RETURN(
               std::vector<Row> rows,
               materialize(sel->has_value() ? **sel : all));
+          for (auto& row : delta_matched) rows.push_back(std::move(row));
           sql::Catalog shard_catalog;
           shard_catalog.Register("shard", Table(ct.schema(), std::move(rows)));
           // Filter already applied by the kernel — scan without it.
@@ -946,15 +1184,17 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
         slot.table = std::move(*partial);
         return;
       }
-      // Plain columnar scan: materialize the (filtered) selection. Note the
-      // row order is the columnar registration order (clustered), not the
-      // MVCC heap order; consumers treat shard output as unordered.
+      // Plain columnar scan: materialize the (filtered) selection and
+      // append the matching delta-tail rows. Note the row order is the
+      // columnar clustering order with the tail last, not the MVCC heap
+      // order; consumers treat shard output as unordered.
       std::vector<uint32_t> all = all_rows();
       auto rows = materialize(sel->has_value() ? **sel : all);
       if (!rows.ok()) {
         slot.status = rows.status();
         return;
       }
+      for (auto& row : delta_matched) rows->push_back(std::move(row));
       slot.table = Table(ct.schema(), std::move(*rows));
       return;
     }
@@ -1011,12 +1251,15 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
   RunScatter(opts_.parallel, opts_.pool, n_, run_shard);
 
   // Deferred latency for columnar shards: fixed setup + per-chunk service
-  // for chunks actually scanned. Zone-map-pruned chunks cost nothing.
+  // for chunks actually scanned + per-block service for delta-tail records
+  // examined. Zone-map-pruned chunks cost nothing; a long unmerged tail
+  // shows up directly in sim_latency_us (the incentive to merge).
   for (int i = 0; i < n_; ++i) {
     if (col_shards[static_cast<size_t>(i)] == nullptr) continue;
     frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnColumnarScan(
         serving_[i], frontier_[static_cast<size_t>(i)],
-        slots[static_cast<size_t>(i)].stats.chunks_scanned);
+        slots[static_cast<size_t>(i)].stats.chunks_scanned,
+        slots[static_cast<size_t>(i)].stats.delta_rows);
   }
 
   // Per-DN realized-path record (EXPLAIN / shell reporting).
@@ -1037,8 +1280,8 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       } else {
         info.path = KernelSupportDetail(!agg_group_.empty(), support);
       }
-    } else if (wanted_columnar) {
-      info.path = pred.has_value() ? "row(stale)" : "row(filter)";
+    } else if (wanted_columnar && !pred.has_value()) {
+      info.path = "row(filter)";
     } else {
       info.path = "row";
     }
@@ -1960,19 +2203,22 @@ std::string ExplainScanPaths(Cluster* cluster, const DistOpPtr& root) {
         s += "row(filter not recognized)\n";
         continue;
       }
-      auto heap = cluster->dn(dn)->GetTable(scan->table);
-      const DataNode::ColumnarShard* shard =
+      std::shared_ptr<storage::DeltaShard> shard =
           cluster->dn(dn)->GetColumnarShard(scan->table);
-      const bool fresh = heap.ok() && shard != nullptr &&
-                         shard->table != nullptr && shard->settled &&
-                         shard->heap_epoch == (*heap)->epoch();
-      if (!fresh) {
-        s += "row(stale columnar shard)\n";
+      if (shard == nullptr) {
+        s += "row\n";
         continue;
       }
-      const storage::ColumnTable& ct = *shard->table;
+      // Forecast against a fresh local snapshot: sealed chunk counts, prune
+      // estimates, and the delta-tail rows a scan issued now would union in.
+      txn::Snapshot snap = cluster->dn(dn)->txn_mgr().TakeSnapshot();
+      txn::VisibilityChecker vis(&snap, &cluster->dn(dn)->txn_mgr().clog(),
+                                 txn::kInvalidXid);
+      storage::DeltaShard::View view = shard->Snapshot(vis);
+      const storage::ColumnTable& ct = *view.sealed;
       s += scan->scan_detail.empty() ? "columnar" : scan->scan_detail;
       s += " chunks=" + std::to_string(ct.num_chunks());
+      s += " delta=" + std::to_string(view.delta_examined);
       storage::PruneEstimate est;
       bool have_est = false;
       if (pred->kind == ColumnarPredicate::Kind::kIntRange) {

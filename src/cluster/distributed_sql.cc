@@ -144,7 +144,8 @@ std::string DistributedSqlSession::LastScanReport() const {
       out += " chunks=" + std::to_string(info.stats.chunks_scanned) + "/" +
              std::to_string(info.stats.chunks_total) +
              " pruned=" + std::to_string(info.stats.chunks_pruned) +
-             " rows=" + std::to_string(info.stats.rows_decoded);
+             " rows=" + std::to_string(info.stats.rows_decoded) +
+             " delta=" + std::to_string(info.stats.delta_rows);
       if (info.stats.morsels > 1) {
         out += " morsels=" + std::to_string(info.stats.morsels);
       }

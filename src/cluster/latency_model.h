@@ -61,6 +61,14 @@ struct LatencyModel {
   /// Serialized DN work per column chunk actually scanned. Chunks pruned by
   /// zone maps are free — pruning shows up directly in sim_latency_us.
   SimTime columnar_chunk_service_us = 3;
+  /// Serialized DN work per 256 delta-tail records a columnar scan examines
+  /// (row-format pass unioned with the sealed kernels). Noticeably pricier
+  /// per row than sealed chunks — the incentive to merge.
+  SimTime columnar_delta_block_service_us = 2;
+  /// Serialized DN work per 256 delta-tail records a merge folds or drops
+  /// (classification + re-encode amortized). Charged when the merge runs,
+  /// off the query critical path for background merges.
+  SimTime columnar_merge_block_service_us = 4;
 };
 
 }  // namespace ofi::cluster

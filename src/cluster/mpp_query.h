@@ -47,11 +47,11 @@ struct DistributedOptions {
   /// Pool override; nullptr uses common::ThreadPool::Shared().
   common::ThreadPool* pool = nullptr;
   /// Serve partial scans from the table's columnar copy when one is
-  /// registered (Cluster::RegisterColumnar), the filter is a recognizable
-  /// column-vs-literal predicate, and the shard is fresh (heap mutation
-  /// epoch unchanged since the copy was built). Stale shards and
-  /// unsupported filters transparently fall back to the row store; results
-  /// are identical either way.
+  /// registered (Cluster::RegisterColumnar) and the filter is a
+  /// recognizable column-vs-literal predicate. Columnar shards are always
+  /// fresh — sealed chunks union with the delta tail the heap listener
+  /// feeds — so only unsupported filters fall back to the row store;
+  /// results are identical either way.
   bool use_columnar = true;
   /// Run each columnar shard scan morsel-parallel on the pool. Only valid
   /// when `parallel` is false (inline scatter): pool workers must not nest

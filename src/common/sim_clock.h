@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -27,10 +28,16 @@ using SimTime = int64_t;
 /// code order while their requests interleave correctly in simulated time —
 /// and a shared resource still saturates at 1/service-time requests per
 /// second, the bottleneck behaviour GTM-lite removes from the GTM.
+///
+/// Thread safety: all methods take an internal mutex. Because gap-fitting
+/// makes completion times independent of charge issue order, charging from
+/// background threads (e.g. delta-merge tasks) stays deterministic as long
+/// as the *set* of (resource, arrival, service) charges is deterministic.
 class SimScheduler {
  public:
   /// Registers a serialized resource; returns its id.
   int AddResource() {
+    std::lock_guard lock(mu_);
     resources_.emplace_back();
     return static_cast<int>(resources_.size()) - 1;
   }
@@ -39,6 +46,7 @@ class SimScheduler {
   /// arriving at `arrival`. Returns the completion time (the request waits
   /// for the first idle gap big enough to hold it).
   SimTime Charge(int resource, SimTime arrival, SimTime service_us) {
+    std::lock_guard lock(mu_);
     auto& busy = resources_[resource].busy;
     SimTime t = arrival;
     auto it = busy.upper_bound(t);
@@ -58,6 +66,7 @@ class SimScheduler {
   /// Total busy time charged to `resource` in [0, horizon) — utilization
   /// reporting for benches.
   SimTime BusyTime(int resource) const {
+    std::lock_guard lock(mu_);
     SimTime total = 0;
     for (const auto& [start, end] : resources_[resource].busy) total += end - start;
     return total + resources_[resource].trimmed_busy;
@@ -66,6 +75,7 @@ class SimScheduler {
   /// Drops interval bookkeeping that ended before `floor` (no future arrival
   /// will be earlier). Call periodically from closed-loop drivers.
   void Trim(SimTime floor) {
+    std::lock_guard lock(mu_);
     for (auto& r : resources_) {
       auto it = r.busy.begin();
       while (it != r.busy.end() && it->second < floor) {
@@ -76,6 +86,7 @@ class SimScheduler {
   }
 
   void Reset() {
+    std::lock_guard lock(mu_);
     for (auto& r : resources_) {
       r.busy.clear();
       r.trimmed_busy = 0;
@@ -87,6 +98,7 @@ class SimScheduler {
     std::map<SimTime, SimTime> busy;  // start -> end, non-overlapping
     SimTime trimmed_busy = 0;
   };
+  mutable std::mutex mu_;
   std::vector<Resource> resources_;
 };
 

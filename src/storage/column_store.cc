@@ -56,6 +56,7 @@ void ScanStats::MergeFrom(const ScanStats& o) {
   rows_decoded += o.rows_decoded;
   rows_matched += o.rows_matched;
   morsels += o.morsels;
+  delta_rows += o.delta_rows;
 }
 
 size_t Int64Chunk::CompressedBytes() const {

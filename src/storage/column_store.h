@@ -117,6 +117,10 @@ struct ScanStats {
   size_t rows_matched = 0;
   /// Morsels dispatched by the parallel driver (0 for metadata-only scans).
   size_t morsels = 0;
+  /// Delta-tail records examined when a scan unions a columnar shard's
+  /// row-format delta with its sealed chunks (see storage/delta_store.h);
+  /// 0 for pure sealed scans.
+  size_t delta_rows = 0;
 
   void MergeFrom(const ScanStats& o);
 };

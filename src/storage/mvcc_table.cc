@@ -26,6 +26,14 @@ Status MvccTable::Insert(const sql::Value& key, sql::Row row, txn::Xid xid,
   chain.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
   ++mutation_epoch_;
+  if (listener_) {
+    HeapChange c;
+    c.op = HeapChange::Op::kInsert;
+    c.xid = xid;
+    c.key = key;
+    c.row = chain.back().data;
+    Notify(c);
+  }
   return Status::OK();
 }
 
@@ -45,9 +53,24 @@ Status MvccTable::Update(const sql::Value& key, sql::Row row, txn::Xid xid,
     return Status::Aborted("write-write conflict on " + key.ToString());
   }
   cur.xmax = xid;
+  const txn::Xid replaced_xmin = cur.xmin;
   it->second.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
   ++mutation_epoch_;
+  if (listener_) {
+    HeapChange del;
+    del.op = HeapChange::Op::kMarkDeleted;
+    del.xid = xid;
+    del.key = key;
+    del.target_xmin = replaced_xmin;
+    Notify(del);
+    HeapChange ins;
+    ins.op = HeapChange::Op::kInsert;
+    ins.xid = xid;
+    ins.key = key;
+    ins.row = it->second.back().data;
+    Notify(ins);
+  }
   return Status::OK();
 }
 
@@ -64,6 +87,14 @@ Status MvccTable::Delete(const sql::Value& key, txn::Xid xid,
   }
   cur.xmax = xid;
   ++mutation_epoch_;
+  if (listener_) {
+    HeapChange c;
+    c.op = HeapChange::Op::kMarkDeleted;
+    c.xid = xid;
+    c.key = key;
+    c.target_xmin = cur.xmin;
+    Notify(c);
+  }
   return Status::OK();
 }
 
@@ -96,6 +127,12 @@ void MvccTable::RollbackXid(txn::Xid xid) {
     }
   }
   ++mutation_epoch_;
+  if (listener_) {
+    HeapChange c;
+    c.op = HeapChange::Op::kClearXmaxAll;
+    c.xid = xid;
+    Notify(c);
+  }
 }
 
 void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
@@ -106,6 +143,13 @@ void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
     if (v.xmax == xid) v.xmax = txn::kInvalidXid;
   }
   ++mutation_epoch_;
+  if (listener_) {
+    HeapChange c;
+    c.op = HeapChange::Op::kClearXmax;
+    c.xid = xid;
+    c.key = key;
+    Notify(c);
+  }
 }
 
 size_t MvccTable::Vacuum(txn::Xid horizon, const txn::CommitLog& clog) {
@@ -139,6 +183,20 @@ const std::vector<TupleVersion>* MvccTable::Versions(const sql::Value& key) cons
   std::shared_lock lock(mu_);
   auto it = chains_.find(key);
   return it == chains_.end() ? nullptr : &it->second;
+}
+
+HeapDump MvccTable::AttachChangeListener(HeapChangeListener listener) {
+  std::unique_lock lock(mu_);
+  HeapDump dump;
+  dump.reserve(chains_.size());
+  for (const auto& [key, chain] : chains_) dump.emplace_back(key, chain);
+  listener_ = std::move(listener);
+  return dump;
+}
+
+void MvccTable::DetachChangeListener() {
+  std::unique_lock lock(mu_);
+  listener_ = nullptr;
 }
 
 }  // namespace ofi::storage

@@ -5,10 +5,12 @@
 /// created by T1 and deleted by T3, tuple3 created by T3).
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -24,6 +26,31 @@ struct TupleVersion {
   txn::Xid xmax = txn::kInvalidXid;  // deleter (kInvalidXid = live)
   sql::Row data;
 };
+
+/// \brief One heap mutation, streamed to the columnar delta store (see
+/// storage/delta_store.h). Fired under the table's exclusive lock, so a
+/// listener observes changes in exactly the heap's serialization order.
+struct HeapChange {
+  enum class Op : uint8_t {
+    kInsert,        ///< new version appended (xid, key, row)
+    kMarkDeleted,   ///< xmax set on the version created by `target_xmin`
+    kClearXmax,     ///< rollback: clear xmax == xid on one key's chain
+    kClearXmaxAll,  ///< rollback: clear xmax == xid everywhere
+  };
+  Op op = Op::kInsert;
+  txn::Xid xid = txn::kInvalidXid;
+  sql::Value key;
+  sql::Row row;                            // kInsert only
+  txn::Xid target_xmin = txn::kInvalidXid; // kMarkDeleted only
+};
+
+/// Invoked under the heap's exclusive lock — must not re-enter the table
+/// and must not block on anything that can wait on a heap reader/writer.
+using HeapChangeListener = std::function<void(const HeapChange&)>;
+
+/// Full version-chain dump returned by AttachChangeListener: the base state
+/// a delta store builds from, atomic with the listener installation.
+using HeapDump = std::vector<std::pair<sql::Value, std::vector<TupleVersion>>>;
 
 /// \brief A keyed MVCC heap. Writes are first-updater-wins: updating or
 /// deleting a version whose xmax is already set by a live transaction
@@ -74,6 +101,13 @@ class MvccTable {
   /// Raw version chain for a key (tests and the Fig. 2 walkthrough).
   const std::vector<TupleVersion>* Versions(const sql::Value& key) const;
 
+  /// Atomically snapshots every version chain AND installs `listener`
+  /// under one exclusive lock, so no mutation can fall between the dump
+  /// and the first notification — the delta store's build contract.
+  /// Replaces any previously attached listener.
+  HeapDump AttachChangeListener(HeapChangeListener listener);
+  void DetachChangeListener();
+
   size_t num_keys() const {
     std::shared_lock lock(mu_);
     return chains_.size();
@@ -96,11 +130,17 @@ class MvccTable {
   int FindVisible(const std::vector<TupleVersion>& chain,
                   const txn::VisibilityChecker& vis) const;
 
+  // Fires `change` at the listener (if any). Caller holds mu_ exclusively.
+  void Notify(const HeapChange& change) const {
+    if (listener_) listener_(change);
+  }
+
   mutable std::shared_mutex mu_;  // guards chains_, num_versions_, epoch
   sql::Schema schema_;
   std::unordered_map<sql::Value, std::vector<TupleVersion>> chains_;
   size_t num_versions_ = 0;
   uint64_t mutation_epoch_ = 0;
+  HeapChangeListener listener_;  // guarded by mu_; fired under unique_lock
 };
 
 }  // namespace ofi::storage

@@ -1,11 +1,13 @@
 #include "txn/gtm.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace ofi::txn {
 
 Gxid Gtm::BeginGlobal() {
-  ++requests_;
+  std::unique_lock lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
   Gxid gxid = next_gxid_++;
   // Record the oldest transaction this one's snapshot can reference.
   snapshot_xmin_[gxid] = active_.empty() ? gxid : *active_.begin();
@@ -15,6 +17,7 @@ Gxid Gtm::BeginGlobal() {
 }
 
 Gxid Gtm::SafeHorizon() const {
+  std::shared_lock lock(mu_);
   Gxid horizon = next_gxid_;
   for (Gxid g : active_) {
     auto it = snapshot_xmin_.find(g);
@@ -24,7 +27,8 @@ Gxid Gtm::SafeHorizon() const {
 }
 
 Snapshot Gtm::TakeGlobalSnapshot() {
-  ++requests_;
+  std::shared_lock lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
   Snapshot s;
   s.xmax = next_gxid_;
   s.xmin = active_.empty() ? s.xmax : *active_.begin();
@@ -33,7 +37,8 @@ Snapshot Gtm::TakeGlobalSnapshot() {
 }
 
 Status Gtm::CommitGlobal(Gxid gxid) {
-  ++requests_;
+  std::unique_lock lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
   auto it = states_.find(gxid);
   if (it == states_.end()) return Status::NotFound("gtm: unknown gxid");
   if (it->second == TxnState::kAborted) {
@@ -46,7 +51,8 @@ Status Gtm::CommitGlobal(Gxid gxid) {
 }
 
 Status Gtm::AbortGlobal(Gxid gxid) {
-  ++requests_;
+  std::unique_lock lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
   auto it = states_.find(gxid);
   if (it == states_.end()) return Status::NotFound("gtm: unknown gxid");
   if (it->second == TxnState::kCommitted) {

@@ -6,8 +6,10 @@
 /// multi-shard transactions call in.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -18,6 +20,11 @@ namespace ofi::txn {
 
 /// \brief The global transaction authority: GXID allocation, the global
 /// active-transaction list, global snapshots, and the global commit record.
+///
+/// Thread safety: mutators take the internal lock exclusive; read-only
+/// queries (IsCommitted / IsAborted / SafeHorizon / accessors) take it
+/// shared, so background delta-merge tasks can poll the safe horizon while
+/// the foreground runs transactions.
 class Gtm {
  public:
   /// Allocates a GXID and enqueues it on the active list. One serialized
@@ -37,18 +44,28 @@ class Gtm {
 
   /// True once CommitGlobal succeeded.
   bool IsCommitted(Gxid gxid) const {
+    std::shared_lock lock(mu_);
     auto it = states_.find(gxid);
     return it != states_.end() && it->second == TxnState::kCommitted;
   }
   bool IsAborted(Gxid gxid) const {
+    std::shared_lock lock(mu_);
     auto it = states_.find(gxid);
     return it != states_.end() && it->second == TxnState::kAborted;
   }
 
   /// Total serialized requests served — the bench's GTM load measure.
-  uint64_t requests_served() const { return requests_; }
-  uint64_t active_count() const { return active_.size(); }
-  Gxid next_gxid() const { return next_gxid_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t active_count() const {
+    std::shared_lock lock(mu_);
+    return active_.size();
+  }
+  Gxid next_gxid() const {
+    std::shared_lock lock(mu_);
+    return next_gxid_;
+  }
 
   /// A gxid below which every transaction is finished AND visible in every
   /// snapshot still held by an active global transaction. Data nodes may
@@ -57,11 +74,12 @@ class Gtm {
   Gxid SafeHorizon() const;
 
  private:
+  mutable std::shared_mutex mu_;
   Gxid next_gxid_ = 1;
   std::set<Gxid> active_;  // ordered so xmin = *begin()
   std::unordered_map<Gxid, Gxid> snapshot_xmin_;  // active gxid -> xmin at begin
   std::unordered_map<Gxid, TxnState> states_;
-  uint64_t requests_ = 0;
+  std::atomic<uint64_t> requests_{0};
 };
 
 }  // namespace ofi::txn

@@ -1,8 +1,9 @@
 /// The columnar MPP scan path: every DistributedAggregate shape must return
 /// exactly what the row path returns (zone maps, kernels, morsels and the
-/// gather fallback are pure execution detail), freshness must be policed by
-/// the heap mutation epoch, and zone-map pruning must be visible in the
-/// simulated latency (pruned chunks are free).
+/// gather fallback are pure execution detail), writes must be served
+/// immediately through the delta-tail union (freshness is a property, not a
+/// fallback), and zone-map pruning must be visible in the simulated latency
+/// (pruned chunks are free).
 #include <algorithm>
 
 #include <gtest/gtest.h>
@@ -177,26 +178,31 @@ TEST_F(ColumnarMppTest, UnsupportedFilterFallsBackToRowStore) {
   EXPECT_GE(cluster_.metrics().Get("columnar.fallback_filter"), 1);
 }
 
-TEST_F(ColumnarMppTest, WriteStalesOnlyTheMutatedShard) {
-  // Delete one row: exactly one DN's heap epoch moves. (Deletes are the
-  // mutation that version-count freshness checks miss.)
+TEST_F(ColumnarMppTest, WritesAreServedColumnarWithoutRefresh) {
+  // Delete one row: the mutated shard marks the sealed row's sidecar xmax
+  // and every shard stays columnar — the delete is visible immediately,
+  // with no stale fallback and no refresh.
   Txn t = cluster_.Begin(TxnScope::kSingleShard);
   ASSERT_TRUE(t.Delete("sales", Value(7)).ok());
   ASSERT_TRUE(t.Commit().ok());
 
   auto res = RunBoth([] { return sql::ExprPtr{}; }, {},
                      {{AggFunc::kCount, "", "n"}, {AggFunc::kSum, "amount", "s"}});
-  EXPECT_EQ(res.columnar_shards, 3u);
-  EXPECT_GE(cluster_.metrics().Get("columnar.fallback_stale"), 1);
+  EXPECT_EQ(res.columnar_shards, 4u);
   ASSERT_EQ(res.table.num_rows(), 1u);
   EXPECT_EQ(res.table.rows()[0][0].AsInt(), 399);
 
-  // Re-registering rebuilds from the current heap: all shards fresh again.
-  ASSERT_TRUE(cluster_.RegisterColumnar("sales").ok());
+  // An insert is served from the delta tail the same way.
+  Txn t2 = cluster_.Begin(TxnScope::kSingleShard);
+  ASSERT_TRUE(t2.Insert("sales", Value(int64_t{100000}),
+                        {Value(int64_t{100000}), Value(0), Value(int64_t{5})})
+                  .ok());
+  ASSERT_TRUE(t2.Commit().ok());
   auto fresh = RunBoth([] { return sql::ExprPtr{}; }, {},
                        {{AggFunc::kCount, "", "n"}});
   EXPECT_EQ(fresh.columnar_shards, 4u);
-  EXPECT_EQ(fresh.table.rows()[0][0].AsInt(), 399);
+  EXPECT_EQ(fresh.table.rows()[0][0].AsInt(), 400);
+  EXPECT_GE(fresh.scan_stats.delta_rows, 1u);
 }
 
 TEST_F(ColumnarMppTest, DropColumnarRestoresPureRowPath) {
@@ -299,10 +305,10 @@ TEST_F(ColumnarMppTest, EmptyTableRegisteredColumnar) {
 }
 
 // Failover: the promoted backup's heap absorbed the failed primary's rows
-// under a recovery transaction, so its columnar copy is stale by epoch and
-// that node falls back to the row store; untouched nodes stay columnar.
-// Either way every row is counted exactly once.
-TEST(ColumnarMppFailoverTest, PromotedBackupFallsBackToRowStore) {
+// under a recovery transaction; the heap listener fed those rows into the
+// backup's delta tail, so the promoted node serves the columnar path too —
+// no stale fallback. Every row is counted exactly once.
+TEST(ColumnarMppFailoverTest, PromotedBackupServesColumnarFromDeltaTail) {
   Cluster cluster(4, Protocol::kGtmLite);
   ASSERT_TRUE(cluster.EnableReplication().ok());
   Schema schema({Column{"k", TypeId::kInt64, ""}, Column{"v", TypeId::kInt64, ""}});
@@ -322,8 +328,8 @@ TEST(ColumnarMppFailoverTest, PromotedBackupFallsBackToRowStore) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->table.rows()[0][0].AsInt(), 120);
   EXPECT_EQ(res->table.rows()[0][1].AsInt(), total);
-  // 3 serving nodes; the promoted backup (DN 1) is stale.
-  EXPECT_EQ(res->columnar_shards, 2u);
+  // 3 serving nodes, every one columnar — the promoted backup included.
+  EXPECT_EQ(res->columnar_shards, 3u);
 }
 
 // The tentpole's latency story: a selective range over clustered keys prunes

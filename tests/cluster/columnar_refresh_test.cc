@@ -1,7 +1,9 @@
-/// Cluster::RefreshColumnar — incremental re-snapshotting of stale columnar
-/// shards (only mutated DNs rebuild; fresh shards are untouched) — and the
-/// columnar_morsel_parallel footgun: combining it with a parallel scatter
-/// is now an InvalidArgument instead of a silent no-op.
+/// Cluster::RefreshColumnar — synchronous force-merge of the columnar delta
+/// tails (only DNs with outstanding tail records or dead sealed rows do
+/// work; quiescent shards are untouched) — and the columnar_morsel_parallel
+/// footgun: combining it with a parallel scatter is now an InvalidArgument
+/// instead of a silent no-op. Columnar scans are fresh with or without a
+/// refresh; the merge only moves work off the scan path.
 #include <gtest/gtest.h>
 
 #include "cluster/mpp_query.h"
@@ -55,37 +57,49 @@ TEST_F(ColumnarRefreshTest, RefreshIsNoOpWhenEverythingIsFresh) {
   EXPECT_EQ(cluster_.metrics().Get("columnar.refreshes"), 0);
 }
 
-TEST_F(ColumnarRefreshTest, RefreshRebuildsOnlyStaleShards) {
-  // One insert stales exactly one DN's shard.
+TEST_F(ColumnarRefreshTest, RefreshMergesOnlyTheMutatedShard) {
+  // One insert lands one delta-tail record on exactly one DN. Every shard
+  // STAYS columnar — the new row is served from the tail immediately.
   Insert({Value(int64_t{100000}), Value(int64_t{42})});
-  ASSERT_EQ(ColumnarShardsUsed(), 3u);
+  ASSERT_EQ(ColumnarShardsUsed(), 4u);
+  auto before = DistributedAggregate(&cluster_, "sales", nullptr, {},
+                                     {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->table.rows()[0][0].AsInt(), 201);
+  EXPECT_EQ(before->scan_stats.delta_rows, 1u);
 
+  // Force-merge folds the record into sealed chunks; only the mutated
+  // shard does work.
   auto n = cluster_.RefreshColumnar("sales");
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 1u);
   EXPECT_EQ(cluster_.metrics().Get("columnar.refreshes"), 1);
 
-  // The rebuilt shard serves the new row: all 4 shards columnar again and
-  // the aggregate sees 201 rows.
+  // Same answer, now entirely from sealed chunks.
   auto res = DistributedAggregate(&cluster_, "sales", nullptr, {},
                                   {{AggFunc::kCount, "", "n"}});
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->columnar_shards, 4u);
   EXPECT_EQ(res->table.rows()[0][0].AsInt(), 201);
+  EXPECT_EQ(res->scan_stats.delta_rows, 0u);
 
-  // Refreshing again rebuilds nothing.
+  // Refreshing again merges nothing.
   auto again = cluster_.RefreshColumnar("sales");
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*again, 0u);
 }
 
-TEST_F(ColumnarRefreshTest, DeleteStalesAndRefreshCatchesIt) {
-  // Deletes move the heap epoch without changing row counts upward — the
-  // staleness signal RefreshColumnar must honor.
+TEST_F(ColumnarRefreshTest, DeleteIsVisibleImmediatelyAndMergeDropsTheRow) {
+  // Deletes mark the sealed row's sidecar xmax; scans exclude it at once
+  // (no tail record involved) and the merge physically drops it.
   Txn t = cluster_.Begin(TxnScope::kSingleShard);
   ASSERT_TRUE(t.Delete("sales", Value(7)).ok());
   ASSERT_TRUE(t.Commit().ok());
-  ASSERT_EQ(ColumnarShardsUsed(), 3u);
+  ASSERT_EQ(ColumnarShardsUsed(), 4u);
+  auto before = DistributedAggregate(&cluster_, "sales", nullptr, {},
+                                     {{AggFunc::kCount, "", "n"}});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->table.rows()[0][0].AsInt(), 199);
 
   auto n = cluster_.RefreshColumnar("sales");
   ASSERT_TRUE(n.ok());

@@ -118,7 +118,6 @@ TEST_F(DistributedGroupByTest, RandomizedGroupedKernelEquivalence) {
   CreateAndLoadSales(/*seed=*/31, /*rows=*/300);
   ASSERT_TRUE(dist_.RegisterColumnar("sales").ok());
   const int64_t filter0 = Metric("columnar.fallback_filter");
-  const int64_t stale0 = Metric("columnar.fallback_stale");
   const int64_t agg0 = Metric("columnar.fallback_agg");
   const int64_t gb0 = Metric("columnar.fallback_groupby_type");
 
@@ -153,7 +152,6 @@ TEST_F(DistributedGroupByTest, RandomizedGroupedKernelEquivalence) {
     }
   }
   EXPECT_EQ(Metric("columnar.fallback_filter"), filter0);
-  EXPECT_EQ(Metric("columnar.fallback_stale"), stale0);
   EXPECT_EQ(Metric("columnar.fallback_agg"), agg0);
   EXPECT_EQ(Metric("columnar.fallback_groupby_type"), gb0);
 }
@@ -259,36 +257,34 @@ TEST_F(DistributedGroupByTest, EveryFallbackReasonHasItsOwnCounter) {
     EXPECT_EQ(info.path, "columnar(materialize:groupby-type)");
   }
 
-  // Stale shard: a write after registration demotes the mutated shard only.
-  const int64_t stale0 = Metric("columnar.fallback_stale");
+  // A write after registration is NOT a fallback reason: the mutated shard
+  // serves the new row from its delta tail and stays on the grouped kernel.
+  const int64_t delta0 = Metric("columnar.delta_rows");
   Exec("INSERT INTO mixed VALUES (5, 'west', 50, 5.0)");
   Query("SELECT k, SUM(amount) AS s FROM mixed GROUP BY k");
-  EXPECT_GT(Metric("columnar.fallback_stale"), stale0);
-  bool saw_stale = false, saw_kernel = false;
-  for (const auto& info : dist_.last().stats.per_dn) {
-    if (info.path == "row(stale)") saw_stale = true;
-    if (info.path == "columnar(grouped-kernel)") saw_kernel = true;
-  }
-  EXPECT_TRUE(saw_stale);
-  EXPECT_TRUE(saw_kernel);
-}
-
-TEST_F(DistributedGroupByTest, AutoRefreshRebuildsStaleShardsBeforeTheScan) {
-  CreateAndLoadSales(/*seed=*/43, /*rows=*/100);
-  ASSERT_TRUE(dist_.RegisterColumnar("sales").ok());
-  Exec("INSERT INTO sales VALUES (1000, 7, 'east', 99)");  // stales shard(s)
-
-  dist_.exec_options().auto_refresh_columnar = true;
-  const int64_t stale0 = Metric("columnar.fallback_stale");
-  const int64_t refresh0 = Metric("columnar.auto_refreshes");
-  Query("SELECT region, SUM(amount) AS s FROM sales GROUP BY region");
-  EXPECT_GT(Metric("columnar.auto_refreshes"), refresh0);
-  EXPECT_EQ(Metric("columnar.fallback_stale"), stale0);
-  EXPECT_EQ(dist_.last().stats.columnar_shards, 4u);
+  EXPECT_GT(Metric("columnar.delta_rows"), delta0);
   for (const auto& info : dist_.last().stats.per_dn) {
     EXPECT_EQ(info.path, "columnar(grouped-kernel)");
   }
-  // Quiescent cluster: the next query rebuilds nothing.
+  EXPECT_GE(dist_.last().stats.scan_stats.delta_rows, 1u);
+}
+
+TEST_F(DistributedGroupByTest, AutoRefreshMergesDeltaTailsBeforeTheScan) {
+  CreateAndLoadSales(/*seed=*/43, /*rows=*/100);
+  ASSERT_TRUE(dist_.RegisterColumnar("sales").ok());
+  Exec("INSERT INTO sales VALUES (1000, 7, 'east', 99)");  // one tail record
+
+  dist_.exec_options().auto_refresh_columnar = true;
+  const int64_t refresh0 = Metric("columnar.auto_refreshes");
+  Query("SELECT region, SUM(amount) AS s FROM sales GROUP BY region");
+  // The pre-scan force-merge folded the tail: the scan itself saw no delta.
+  EXPECT_GT(Metric("columnar.auto_refreshes"), refresh0);
+  EXPECT_EQ(dist_.last().stats.columnar_shards, 4u);
+  EXPECT_EQ(dist_.last().stats.scan_stats.delta_rows, 0u);
+  for (const auto& info : dist_.last().stats.per_dn) {
+    EXPECT_EQ(info.path, "columnar(grouped-kernel)");
+  }
+  // Quiescent cluster: the next query merges nothing.
   const int64_t refresh1 = Metric("columnar.auto_refreshes");
   Query("SELECT k, COUNT(*) AS n FROM sales GROUP BY k");
   EXPECT_EQ(Metric("columnar.auto_refreshes"), refresh1);

@@ -193,7 +193,7 @@ TEST_F(DistributedSqlTest, FailoverServesEveryShardExactlyOnce) {
   EXPECT_TRUE(dist_.last().distributed) << dist_.last().fallback_reason;
 }
 
-TEST_F(DistributedSqlTest, ColumnarPathMatchesAndRefreshCures) {
+TEST_F(DistributedSqlTest, ColumnarPathStaysFreshAndRefreshMerges) {
   CreateOrdersCustomers();
   LoadRandom(909, 120, 15);
   ASSERT_TRUE(dist_.RegisterColumnar("orders").ok());
@@ -203,18 +203,21 @@ TEST_F(DistributedSqlTest, ColumnarPathMatchesAndRefreshCures) {
   EXPECT_TRUE(dist_.last().distributed);
   EXPECT_EQ(dist_.last().stats.columnar_shards, 4u);
 
-  // A write stales one shard; the query still matches (row fallback there),
-  // and RefreshColumnar restores the full columnar path.
+  // A write lands in the mutated shard's delta tail; every shard stays
+  // columnar and the new row is visible immediately. RefreshColumnar then
+  // folds the tail so the next scan is all sealed chunks again.
   Exec("INSERT INTO orders VALUES (100000, 1, 300, 1)");
   Query("SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders WHERE "
         "amount > 250");
-  EXPECT_EQ(dist_.last().stats.columnar_shards, 3u);
-  auto rebuilt = dist_.RefreshColumnar("orders");
-  ASSERT_TRUE(rebuilt.ok());
-  EXPECT_EQ(*rebuilt, 1u);
+  EXPECT_EQ(dist_.last().stats.columnar_shards, 4u);
+  EXPECT_GE(dist_.last().stats.scan_stats.delta_rows, 1u);
+  auto merged = dist_.RefreshColumnar("orders");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 1u);
   Query("SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders WHERE "
         "amount > 250");
   EXPECT_EQ(dist_.last().stats.columnar_shards, 4u);
+  EXPECT_EQ(dist_.last().stats.scan_stats.delta_rows, 0u);
 }
 
 TEST_F(DistributedSqlTest, FallbackShapesStillAnswerCorrectly) {
