@@ -1,0 +1,297 @@
+/// \file bench_index_lookup.cc
+/// \brief Experiment E22 — the secondary-index point-lookup curve: simulated
+/// query latency for the optimizer-chosen DistIndexScan vs the full
+/// distributed scan, swept over
+///   * table size     : 4k → 64k rows (the scan grows linearly, the probe
+///                      stays flat — the ROADMAP's "millions-of-users point
+///                      lookups" regime in miniature)
+///   * selectivity    : range width over an ORDERED index from 0.1% to 50%
+///                      of the table, showing where the crossover heuristic
+///                      flips from probe to scan
+///   * write stream   : probe latency re-measured while batches of inserts
+///                      land (index maintenance rides the heap listener;
+///                      the probe must not degrade as the heap grows only
+///                      the scan should)
+///
+/// Besides the plain-text tables, the binary writes the full sweep as
+/// machine-readable JSON (default `BENCH_index_lookup.json`, override with
+/// the OFI_BENCH_JSON env var) so trajectory tooling can diff runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/distributed_sql.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace ofi;           // NOLINT
+using namespace ofi::cluster;  // NOLINT
+
+constexpr int kDns = 4;
+constexpr int64_t kGroups = 1000;  // grp cardinality for the range sweep
+
+/// Bulk-loads pts(k, grp, val) through the SQL front-end in multi-row
+/// INSERT batches: k unique (the shard key), grp uniform in [0, kGroups).
+void Load(DistributedSqlSession* sess, int64_t from, int64_t to) {
+  Rng rng(900 + from);
+  constexpr int64_t kBatch = 512;
+  for (int64_t base = from; base < to; base += kBatch) {
+    std::string stmt = "INSERT INTO pts VALUES ";
+    for (int64_t k = base; k < std::min(to, base + kBatch); ++k) {
+      if (k != base) stmt += ",";
+      stmt += "(" + std::to_string(k) + "," +
+              std::to_string(rng.Uniform(0, kGroups - 1)) + "," +
+              std::to_string(k * 3) + ")";
+    }
+    auto r = sess->Execute(stmt);
+    if (!r.ok()) {
+      fprintf(stderr, "load failed: %s\n", r.status().ToString().c_str());
+      return;
+    }
+  }
+}
+
+std::unique_ptr<DistributedSqlSession> FreshSession(int64_t rows) {
+  auto sess = std::make_unique<DistributedSqlSession>(kDns);
+  auto r = sess->Execute("CREATE TABLE pts (k BIGINT, grp BIGINT, val BIGINT)");
+  if (!r.ok()) fprintf(stderr, "%s\n", r.status().ToString().c_str());
+  Load(sess.get(), 0, rows);
+  return sess;
+}
+
+/// One measured query; returns its simulated latency and records the
+/// realized access path. The simulation is deterministic, so a single shot
+/// is the whole sample. Sim time resets first: queries are measured on an
+/// idle cluster (pure service cost), not queued behind the bulk load.
+long long Measure(DistributedSqlSession* sess, const std::string& query,
+                  std::string* path_out = nullptr) {
+  sess->cluster().ResetSimTime();
+  auto r = sess->Execute(query);
+  if (!r.ok()) {
+    fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+    return -1;
+  }
+  if (path_out != nullptr) {
+    *path_out = sess->last().stats.per_dn.empty()
+                    ? "?"
+                    : sess->last().stats.per_dn[0].path;
+  }
+  return sess->last().stats.sim_latency_us;
+}
+
+struct SizeLeg {
+  int64_t rows;
+  long long index_us;
+  long long scan_us;
+};
+
+std::vector<SizeLeg> RunSizeSweep() {
+  std::vector<SizeLeg> legs;
+  for (int64_t rows : {int64_t{4096}, int64_t{16384}, int64_t{65536}}) {
+    auto sess = FreshSession(rows);
+    auto st = sess->Execute("CREATE INDEX pts_k ON pts (k)");
+    if (!st.ok()) fprintf(stderr, "%s\n", st.status().ToString().c_str());
+    std::string probe =
+        "SELECT * FROM pts WHERE k = " + std::to_string(rows / 2);
+    long long index_us = Measure(sess.get(), probe);
+    sess->exec_options().use_index = false;
+    long long scan_us = Measure(sess.get(), probe);
+    legs.push_back(SizeLeg{rows, index_us, scan_us});
+  }
+  return legs;
+}
+
+struct SelLeg {
+  double pct;          // fraction of the grp domain the range covers
+  std::string path;    // what the planner actually chose
+  long long chosen_us;
+  long long scan_us;   // forced full scan for the same predicate
+};
+
+std::vector<SelLeg> RunSelectivitySweep() {
+  auto sess = FreshSession(16384);
+  auto st = sess->Execute("CREATE INDEX pts_grp ON pts (grp) ORDERED");
+  if (!st.ok()) fprintf(stderr, "%s\n", st.status().ToString().c_str());
+  sess->Analyze();  // the crossover heuristic needs ndv / selectivity
+  std::vector<SelLeg> legs;
+  for (double pct : {0.001, 0.01, 0.10, 0.50}) {
+    int64_t width = static_cast<int64_t>(pct * kGroups);
+    if (width < 1) width = 1;
+    std::string pred = "grp >= 100 AND grp <= " + std::to_string(99 + width);
+    std::string query = "SELECT * FROM pts WHERE " + pred;
+    SelLeg leg;
+    leg.pct = pct;
+    leg.chosen_us = Measure(sess.get(), query, &leg.path);
+    sess->exec_options().use_index = false;
+    leg.scan_us = Measure(sess.get(), query);
+    sess->exec_options().use_index = true;
+    legs.push_back(std::move(leg));
+  }
+  return legs;
+}
+
+struct WriteLeg {
+  int64_t rows;  // heap size when measured
+  long long index_us;
+  long long scan_us;
+  long long maintenance_ops;
+};
+
+std::vector<WriteLeg> RunWriteStream() {
+  constexpr int64_t kStart = 4096, kBatchWrites = 4096, kBatches = 4;
+  auto sess = FreshSession(kStart);
+  auto st = sess->Execute("CREATE INDEX pts_k ON pts (k)");
+  if (!st.ok()) fprintf(stderr, "%s\n", st.status().ToString().c_str());
+  std::vector<WriteLeg> legs;
+  int64_t rows = kStart;
+  for (int64_t b = 0; b <= kBatches; ++b) {
+    WriteLeg leg;
+    leg.rows = rows;
+    std::string probe = "SELECT * FROM pts WHERE k = " + std::to_string(rows / 2);
+    leg.index_us = Measure(sess.get(), probe);
+    sess->exec_options().use_index = false;
+    leg.scan_us = Measure(sess.get(), probe);
+    sess->exec_options().use_index = true;
+    leg.maintenance_ops = sess->cluster().metrics().Get("index.maintenance_ops");
+    legs.push_back(leg);
+    if (b < kBatches) {
+      Load(sess.get(), rows, rows + kBatchWrites);
+      rows += kBatchWrites;
+    }
+  }
+  return legs;
+}
+
+void BM_E22(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  long long index_us = 0, scan_us = 0;
+  for (auto _ : state) {
+    auto sess = FreshSession(rows);
+    auto st = sess->Execute("CREATE INDEX pts_k ON pts (k)");
+    benchmark::DoNotOptimize(st.ok());
+    std::string probe =
+        "SELECT * FROM pts WHERE k = " + std::to_string(rows / 2);
+    index_us = Measure(sess.get(), probe);
+    sess->exec_options().use_index = false;
+    scan_us = Measure(sess.get(), probe);
+  }
+  state.counters["index_us"] = static_cast<double>(index_us);
+  state.counters["scan_us"] = static_cast<double>(scan_us);
+  state.counters["speedup"] =
+      index_us > 0 ? static_cast<double>(scan_us) / index_us : 0.0;
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("E22/point_lookup/rows:16384", BM_E22)
+      ->Args({16384})
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void PrintTables(const std::vector<SizeLeg>& sizes,
+                 const std::vector<SelLeg>& sels,
+                 const std::vector<WriteLeg>& writes) {
+  printf("\n=== E22: point lookup vs table size (4 DNs, hash index on the "
+         "shard key) ===\n");
+  printf("%10s %10s %10s %8s\n", "rows", "index_us", "scan_us", "speedup");
+  for (const SizeLeg& l : sizes) {
+    printf("%10lld %10lld %10lld %7.1fx\n", static_cast<long long>(l.rows),
+           l.index_us, l.scan_us,
+           l.index_us > 0 ? static_cast<double>(l.scan_us) / l.index_us : 0.0);
+  }
+  printf("(expect: scan grows with rows, probe stays flat; >=5x at 16k)\n");
+
+  printf("\n=== E22: range selectivity sweep (16k rows, ORDERED index, "
+         "ANALYZEd) ===\n");
+  printf("%8s %-12s %10s %10s\n", "sel", "chosen", "chosen_us", "scan_us");
+  for (const SelLeg& l : sels) {
+    printf("%7.1f%% %-12s %10lld %10lld\n", l.pct * 100, l.path.c_str(),
+           l.chosen_us, l.scan_us);
+  }
+  printf("(expect: index at low selectivity, crossover back to scan as the "
+         "range widens)\n");
+
+  printf("\n=== E22: probe latency under a write stream (hash index riding "
+         "the heap listener) ===\n");
+  printf("%10s %10s %10s %16s\n", "rows", "index_us", "scan_us",
+         "maintenance_ops");
+  for (const WriteLeg& l : writes) {
+    printf("%10lld %10lld %10lld %16lld\n", static_cast<long long>(l.rows),
+           l.index_us, l.scan_us, l.maintenance_ops);
+  }
+  printf("(expect: scan_us grows with the heap, index_us flat, maintenance "
+         "counted per landed write)\n\n");
+}
+
+void WriteJson(const std::vector<SizeLeg>& sizes,
+               const std::vector<SelLeg>& sels,
+               const std::vector<WriteLeg>& writes) {
+  const char* path = std::getenv("OFI_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_index_lookup.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const LatencyModel model;
+  fprintf(f, "{\n  \"bench\": \"index_lookup\",\n");
+  fprintf(f,
+          "  \"config\": {\"dns\": %d, \"protocol\": \"gtm_lite\", "
+          "\"groups\": %lld, \"index_probe_service_us\": %lld, "
+          "\"index_row_service_us\": %lld, "
+          "\"row_scan_block_service_us\": %lld},\n",
+          kDns, static_cast<long long>(kGroups),
+          static_cast<long long>(model.index_probe_service_us),
+          static_cast<long long>(model.index_row_service_us),
+          static_cast<long long>(model.row_scan_block_service_us));
+  fprintf(f, "  \"point_lookup\": [\n");
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const SizeLeg& l = sizes[i];
+    fprintf(f,
+            "    {\"rows\": %lld, \"index_us\": %lld, \"scan_us\": %lld, "
+            "\"speedup\": %.2f}%s\n",
+            static_cast<long long>(l.rows), l.index_us, l.scan_us,
+            l.index_us > 0 ? static_cast<double>(l.scan_us) / l.index_us : 0.0,
+            i + 1 == sizes.size() ? "" : ",");
+  }
+  fprintf(f, "  ],\n  \"range_selectivity\": [\n");
+  for (size_t i = 0; i < sels.size(); ++i) {
+    const SelLeg& l = sels[i];
+    fprintf(f,
+            "    {\"selectivity\": %.3f, \"chosen\": \"%s\", "
+            "\"chosen_us\": %lld, \"scan_us\": %lld}%s\n",
+            l.pct, l.path.c_str(), l.chosen_us, l.scan_us,
+            i + 1 == sels.size() ? "" : ",");
+  }
+  fprintf(f, "  ],\n  \"write_stream\": [\n");
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const WriteLeg& l = writes[i];
+    fprintf(f,
+            "    {\"rows\": %lld, \"index_us\": %lld, \"scan_us\": %lld, "
+            "\"maintenance_ops\": %lld}%s\n",
+            static_cast<long long>(l.rows), l.index_us, l.scan_us,
+            l.maintenance_ops, i + 1 == writes.size() ? "" : ",");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::vector<SizeLeg> sizes = RunSizeSweep();
+  std::vector<SelLeg> sels = RunSelectivitySweep();
+  std::vector<WriteLeg> writes = RunWriteStream();
+  PrintTables(sizes, sels, writes);
+  WriteJson(sizes, sels, writes);
+  return 0;
+}

@@ -29,6 +29,8 @@
 /// `--pipeline[=workers]` runs producer and consumer fragments
 /// concurrently (pipelined exchange; falls back to barrier under
 /// --strict-exchange) with an optional executor thread count.
+/// `--no-index` disables the optimizer's secondary-index fast path
+/// (every SELECT scans) — the escape hatch for comparing plans.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   int pipeline_workers = 0;
   long long delta_merge_threshold = -1;  // -1 = keep the cluster default
   bool no_auto_merge = false;
+  bool no_index = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--distributed") == 0) {
       num_dns = 3;
@@ -84,20 +87,23 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-auto-merge") == 0) {
       no_auto_merge = true;
+    } else if (std::strcmp(argv[i], "--no-index") == 0) {
+      no_index = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--distributed[=N]] [--exchange-cap=BYTES] "
                    "[--spill-dir=PATH] [--spill-budget=BYTES] "
                    "[--build-cap=BYTES] [--strict-exchange] "
                    "[--pipeline[=workers]] [--delta-merge-threshold=N] "
-                   "[--no-auto-merge]\n",
+                   "[--no-auto-merge] [--no-index]\n",
                    argv[0]);
       return 1;
     }
   }
   if (num_dns == 0 && (exchange_cap || spill_budget || build_cap ||
                        !spill_dir.empty() || strict_exchange || pipeline ||
-                       delta_merge_threshold >= 0 || no_auto_merge)) {
+                       delta_merge_threshold >= 0 || no_auto_merge ||
+                       no_index)) {
     std::fprintf(stderr, "exchange/spill knobs need --distributed\n");
     return 1;
   }
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
     dist->exec_options().max_build_bytes = build_cap;
     dist->exec_options().pipeline = pipeline;
     dist->exec_options().pipeline_workers = pipeline_workers;
+    dist->exec_options().use_index = !no_index;
     if (delta_merge_threshold >= 0) {
       dist->cluster().set_delta_merge_threshold(
           static_cast<size_t>(delta_merge_threshold));

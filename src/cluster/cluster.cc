@@ -33,15 +33,37 @@ Status BuildColumnarShard(DataNode* dn, const std::string& name,
                           const txn::Gtm& gtm) {
   OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(name));
   auto shard = std::make_shared<storage::DeltaShard>(heap->schema());
+  storage::ListenerId listener = 0;
   storage::HeapDump dump = heap->AttachChangeListener(
-      [shard](const storage::HeapChange& c) { shard->OnHeapChange(c); });
+      [shard](const storage::HeapChange& c) { shard->OnHeapChange(c); },
+      &listener);
   // The DN-local horizon (Vacuum's convention) and the GTM safe horizon
   // bound what the base build may fold into sealed chunks; the rest of the
   // dump starts life in the delta tail.
   txn::Xid horizon = dn->txn_mgr().TakeSnapshot().xmin;
   shard->InstallBase(std::move(dump), &dn->txn_mgr().clog(), horizon,
                      gtm.SafeHorizon(), heap->epoch());
-  dn->RegisterColumnar(name, std::move(shard));
+  dn->RegisterColumnar(name, std::move(shard), listener);
+  return Status::OK();
+}
+
+/// Builds one DN's index shard: AttachChangeListener's atomic dump+install
+/// guarantees the base postings plus the event stream cover every heap
+/// version exactly once. The build itself is synchronous and takes no pool
+/// task and no heap lock while installing (the dump is a copy), so it can
+/// never deadlock against background delta merges sharing the thread pool.
+Status BuildIndexShard(DataNode* dn, const std::string& table,
+                       const std::string& column,
+                       storage::SecondaryIndex::Kind kind) {
+  OFI_ASSIGN_OR_RETURN(storage::MvccTable * heap, dn->GetTable(table));
+  OFI_ASSIGN_OR_RETURN(auto index, storage::SecondaryIndex::Make(
+                                       heap->schema(), column, kind));
+  storage::ListenerId listener = 0;
+  storage::HeapDump dump = heap->AttachChangeListener(
+      [index](const storage::HeapChange& c) { index->OnHeapChange(c); },
+      &listener);
+  index->InstallBase(std::move(dump));
+  dn->RegisterIndex(table, std::move(index), listener);
   return Status::OK();
 }
 
@@ -127,6 +149,63 @@ void Cluster::DropColumnar(const std::string& name) {
   columnar_tables_.erase(name);
 }
 
+Status Cluster::CreateIndex(const std::string& table, const std::string& column,
+                            bool ordered) {
+  if (HasIndex(table, column)) {
+    return Status::AlreadyExists("index exists: " + table + "(" + column + ")");
+  }
+  storage::SecondaryIndex::Kind kind = ordered
+                                           ? storage::SecondaryIndex::Kind::kOrdered
+                                           : storage::SecondaryIndex::Kind::kHash;
+  for (auto& dn : dns_) {
+    OFI_RETURN_NOT_OK(BuildIndexShard(dn.get(), table, column, kind));
+  }
+  {
+    std::lock_guard<std::mutex> lock(indexed_tables_mu_);
+    ++indexed_tables_[table];
+  }
+  metrics_.Add("index.created");
+  return Status::OK();
+}
+
+void Cluster::DropIndexes(const std::string& table) {
+  for (auto& dn : dns_) dn->DropIndexes(table);
+  std::lock_guard<std::mutex> lock(indexed_tables_mu_);
+  indexed_tables_.erase(table);
+}
+
+bool Cluster::HasIndex(const std::string& table,
+                       const std::string& column) const {
+  if (dns_.empty()) return false;
+  for (const auto& idx : dns_[0]->Indexes(table)) {
+    if (idx->column() == column) return true;
+    // Accept a bare name against the registered qualified one.
+    const std::string& q = idx->column();
+    size_t dot = q.rfind('.');
+    if (dot != std::string::npos && q.compare(dot + 1, std::string::npos,
+                                              column) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<storage::SecondaryIndex> Cluster::IndexOn(
+    int dn, const std::string& table, size_t col) const {
+  return dns_[dn]->GetIndex(table, col);
+}
+
+void Cluster::NoteIndexWrite(const std::string& table) {
+  int count = 0;
+  {
+    std::lock_guard<std::mutex> lock(indexed_tables_mu_);
+    auto it = indexed_tables_.find(table);
+    if (it == indexed_tables_.end()) return;
+    count = it->second;
+  }
+  metrics_.Add("index.maintenance_ops", count);
+}
+
 SimTime Cluster::ChargeGtm(SimTime arrival) {
   SimTime a = arrival + latency_.network_hop_us;
   SimTime done = scheduler_.Charge(gtm_resource_, a, latency_.gtm_service_us);
@@ -170,6 +249,28 @@ SimTime Cluster::ChargeDnColumnarScan(int dn, SimTime arrival,
                         latency_.columnar_chunk_service_us +
                     static_cast<SimTime>((delta_rows + 255) / 256) *
                         latency_.columnar_delta_block_service_us;
+  SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnIndexProbe(int dn, SimTime arrival,
+                                    size_t rows_returned) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime service = latency_.index_probe_service_us +
+                    static_cast<SimTime>(rows_returned) *
+                        latency_.index_row_service_us;
+  SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
+  metrics_.Add("index.lookups");
+  metrics_.Add("index.rows_returned", static_cast<int64_t>(rows_returned));
+  return done + latency_.network_hop_us;
+}
+
+SimTime Cluster::ChargeDnRowScan(int dn, SimTime arrival,
+                                 size_t rows_examined) {
+  SimTime a = arrival + latency_.network_hop_us;
+  SimTime service = latency_.dn_stmt_service_us +
+                    static_cast<SimTime>((rows_examined + 255) / 256) *
+                        latency_.row_scan_block_service_us;
   SimTime done = scheduler_.Charge(dn_resources_[dn], a, service);
   return done + latency_.network_hop_us;
 }
@@ -242,6 +343,14 @@ size_t Cluster::Vacuum() {
     txn::Xid horizon = snap.xmin;
     for (auto& [name, table] : dn->mutable_tables()) {
       removed += table->Vacuum(horizon, dn->txn_mgr().clog());
+      // Index postings age out under the same horizon rule; the heap fires
+      // no vacuum events, so indexes compact themselves here.
+      for (const auto& idx : dn->Indexes(name)) {
+        size_t pruned = idx->Compact(dn->txn_mgr().clog(), horizon);
+        if (pruned > 0) {
+          metrics_.Add("index.compacted", static_cast<int64_t>(pruned));
+        }
+      }
     }
   }
   metrics_.Add("vacuum.removed", static_cast<int64_t>(removed));
@@ -379,6 +488,14 @@ Result<sql::Row> Txn::Read(const std::string& table, const sql::Value& key) {
   if (finished_) return Status::InvalidArgument("txn finished");
   int dn = cluster_->EffectiveDn(cluster_->ShardFor(key));
   OFI_ASSIGN_OR_RETURN(DnContext * ctx, Touch(dn));
+  // OLTP fast path: any index on the table carries covering heap-key
+  // postings, so a point read is an index probe (cheap per-probe service)
+  // instead of a heap statement — same snapshot, same visible row.
+  if (auto idx = cluster_->dn(dn)->GetAnyIndex(table)) {
+    Result<sql::Row> row = idx->ProbeHeapKey(key, CheckerFor(dn, *ctx));
+    now_ = cluster_->ChargeDnIndexProbe(dn, now_, row.ok() ? 1 : 0);
+    return row;
+  }
   OFI_ASSIGN_OR_RETURN(storage::MvccTable * t, cluster_->dn(dn)->GetTable(table));
   now_ = cluster_->ChargeDnStmt(dn, now_);
   return t->Read(key, CheckerFor(dn, *ctx));
@@ -402,6 +519,7 @@ Status Txn::Insert(const std::string& table, const sql::Value& key, sql::Row row
   OFI_RETURN_NOT_OK(t->Insert(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
   cluster_->NoteColumnarWrite(dn, table, now_);
+  cluster_->NoteIndexWrite(table);
   return Status::OK();
 }
 
@@ -415,6 +533,7 @@ Status Txn::Update(const std::string& table, const sql::Value& key, sql::Row row
   OFI_RETURN_NOT_OK(t->Update(key, std::move(row), ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, row_copy, false});
   cluster_->NoteColumnarWrite(dn, table, now_);
+  cluster_->NoteIndexWrite(table);
   return Status::OK();
 }
 
@@ -427,6 +546,7 @@ Status Txn::Delete(const std::string& table, const sql::Value& key) {
   OFI_RETURN_NOT_OK(t->Delete(key, ctx->xid, CheckerFor(dn, *ctx)));
   ctx->writes.push_back(WriteRecord{table, key, {}, true});
   cluster_->NoteColumnarWrite(dn, table, now_);
+  cluster_->NoteIndexWrite(table);
   return Status::OK();
 }
 

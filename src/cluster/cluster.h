@@ -197,6 +197,25 @@ class Cluster {
   bool IsColumnar(const std::string& name) const;
   void DropColumnar(const std::string& name);
 
+  // --- Secondary indexes (storage/secondary_index.h) -------------------------
+  /// Builds a secondary index on `table`(`column`) on every DN: each shard
+  /// attaches a heap-change listener (atomic dump + install, the same
+  /// contract as the columnar delta store) so postings stay transactionally
+  /// current from then on. `ordered` selects the std::map variant that also
+  /// serves range probes. Fails with AlreadyExists when the (table, column)
+  /// pair is already indexed.
+  Status CreateIndex(const std::string& table, const std::string& column,
+                     bool ordered = false);
+  /// Detaches and drops every index on `table` on every DN.
+  void DropIndexes(const std::string& table);
+  /// True when (table, column) is indexed (checked on DN 0 — index DDL is
+  /// all-or-nothing across DNs, like columnar registration).
+  bool HasIndex(const std::string& table, const std::string& column) const;
+  /// The index shard serving (table, column-position) on `dn`, or nullptr.
+  std::shared_ptr<storage::SecondaryIndex> IndexOn(int dn,
+                                                   const std::string& table,
+                                                   size_t col) const;
+
   /// Starts a transaction whose simulated clock begins at `start_time`
   /// (closed-loop clients pass their own current time).
   Txn Begin(TxnScope scope, SimTime start_time = 0);
@@ -289,6 +308,15 @@ class Cluster {
   /// DN-internal merge work: per-256-record folding cost, charged on the
   /// DN's serialized resource but without network hops (no CN round trip).
   SimTime ChargeDnMerge(int dn, SimTime arrival, size_t records);
+  /// One index-probe round trip: fixed probe setup (bucket lookup +
+  /// visibility checks) plus a per-returned-row term — the point-lookup
+  /// fast path never pays the full scan's per-block cost. Bumps the
+  /// index.lookups / index.rows_returned counters.
+  SimTime ChargeDnIndexProbe(int dn, SimTime arrival, size_t rows_returned);
+  /// One full-shard row-path scan round trip: statement setup plus a
+  /// per-256-row examination term, so scan cost scales with shard size the
+  /// way columnar scans already do (and index probes visibly do not).
+  SimTime ChargeDnRowScan(int dn, SimTime arrival, size_t rows_examined);
 
   void ResetSimTime() { scheduler_.Reset(); }
 
@@ -316,8 +344,18 @@ class Cluster {
   bool delay_commit_confirm_ = false;
   std::function<int(const sql::Value&)> sharder_;
   std::atomic<int> begins_since_maintenance_{0};
+  /// Bumps index.maintenance_ops once per index on `table` — called by the
+  /// Txn write paths after a successful heap mutation (the listener already
+  /// applied the change; this is the metrics mirror).
+  void NoteIndexWrite(const std::string& table);
+
   bool replication_enabled_ = false;
   std::set<std::string> columnar_tables_;
+  /// table → number of indexes; mirrors DN-side registries so the write
+  /// path can bump maintenance metrics without a per-write DN lookup.
+  /// Guarded by indexed_tables_mu_: DDL mutates it while writers read it.
+  mutable std::mutex indexed_tables_mu_;
+  std::unordered_map<std::string, int> indexed_tables_;
   size_t delta_merge_threshold_ = 4096;
   bool auto_merge_ = true;
   std::mutex merge_wait_mu_;

@@ -1,6 +1,7 @@
 #include "cluster/distributed_plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <latch>
 #include <map>
@@ -118,7 +119,10 @@ struct FragSlot {
   size_t naive_bytes = 0;
   size_t build_spill_bytes = 0;  // join build partition spooled to disk
   bool columnar = false;
-  storage::ScanStats stats;  // columnar shards only
+  storage::ScanStats stats;  // columnar and index-probe shards
+  /// Heap rows a row-path scan walked (visible versions before the filter);
+  /// drives the deferred per-block row-scan latency charge.
+  size_t rows_examined = 0;
 };
 
 // --- Columnar scan path (storage/column_store) -------------------------------
@@ -655,6 +659,8 @@ class DistPlanExecutor {
  private:
   Status ExecScanFragment(const DistOp& scan, bool fused, bool count_naive,
                           std::vector<FragSlot>* slots_out);
+  Status ExecIndexScanFragment(const DistOp& scan, bool fused,
+                               std::vector<FragSlot>* slots_out);
   Status ExecJoinFragment(const DistOp& join, const DistOp& left_scan,
                           const DistOp& right_scan, bool fused,
                           std::vector<FragSlot>* slots_out);
@@ -769,9 +775,12 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
       return Status::InvalidArgument(
           "DistHashJoin inputs must be DistScans (optionally exchange-wrapped)");
     }
-  } else if (core->kind != DistOpKind::kDistScan) {
+  } else if (core->kind != DistOpKind::kDistScan &&
+             core->kind != DistOpKind::kDistIndexScan) {
     return Status::InvalidArgument("unsupported distributed core operator");
   }
+  const DistOp* index_scan =
+      core->kind == DistOpKind::kDistIndexScan ? core : nullptr;
 
   // Aggregate decomposition before any transaction begins (same order as
   // the old entry point: plan validation errors surface first).
@@ -784,6 +793,14 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
   }
 
   serving_ = ServingDns(cluster_);
+  // A point probe whose key is the shard key can only match on one shard:
+  // route to that DN alone, under the cheap single-shard snapshot (no GTM
+  // round trip in GTM-lite) — the core of the index fast path's 5x win.
+  const bool single_shard_probe =
+      index_scan != nullptr && index_scan->probe_shard >= 0;
+  if (single_shard_probe) {
+    serving_ = {cluster_->EffectiveDn(index_scan->probe_shard)};
+  }
   n_ = static_cast<int>(serving_.size());
   stats_.num_serving = n_;
 
@@ -823,8 +840,10 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
     OFI_ASSIGN_OR_RETURN(right_key_idx_, right_schema_.IndexOf(core->right_key));
   }
 
-  // One consistent snapshot across every shard.
-  Txn reader = cluster_->Begin(TxnScope::kMultiShard);
+  // One consistent snapshot across every shard (single-shard scope when an
+  // index probe pinned the plan to one DN).
+  Txn reader = cluster_->Begin(single_shard_probe ? TxnScope::kSingleShard
+                                                  : TxnScope::kMultiShard);
   reader_ = &reader;
   scatter_start_ = reader.now();
   frontier_.assign(static_cast<size_t>(n_), scatter_start_);
@@ -833,6 +852,8 @@ Result<DistPlanResult> DistPlanExecutor::Run(const DistOpPtr& root) {
   if (left_scan != nullptr) {
     OFI_RETURN_NOT_OK(
         ExecJoinFragment(*core, *left_scan, *right_scan, fused, &slots));
+  } else if (index_scan != nullptr) {
+    OFI_RETURN_NOT_OK(ExecIndexScanFragment(*core, fused, &slots));
   } else {
     OFI_RETURN_NOT_OK(
         ExecScanFragment(*core, fused, /*count_naive=*/true, &slots));
@@ -1021,18 +1042,15 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
   // Phase 1 (coordinator thread): open every shard context and charge the
   // simulated fan-out. Opening an already-open shard is free — the second
   // scan fragment of a join chains its statement right after the first
-  // fragment's, exactly as the old single-loop code did. Columnar shards
-  // charge per chunk actually scanned, so their statement cost is only
-  // known after phase 2 — record the merge completion now and charge the
-  // scan afterwards (each DN's resource is independent, so the deferred
-  // charge stays deterministic).
+  // fragment's, exactly as the old single-loop code did. Both scan flavors
+  // charge by work actually done (chunks scanned / heap rows walked), so
+  // their statement cost is only known after phase 2 — record the prepare
+  // completion now and charge the scan afterwards (each DN's resource is
+  // independent, so the deferred charge stays deterministic).
   for (int i = 0; i < n_; ++i) {
     const int dn = serving_[i];
     OFI_ASSIGN_OR_RETURN(frontier_[static_cast<size_t>(i)],
                          reader_->PrepareShard(dn, frontier_[static_cast<size_t>(i)]));
-    if (col_shards[static_cast<size_t>(i)] != nullptr) continue;
-    frontier_[static_cast<size_t>(i)] =
-        cluster_->ChargeDnStmt(dn, frontier_[static_cast<size_t>(i)]);
   }
 
   // Phase 2 (thread pool): per-DN scan (+ fused partial aggregation). Row
@@ -1204,6 +1222,7 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
       slot.status = rows.status();
       return;
     }
+    slot.rows_examined = rows->size();
     if (count_naive) {
       for (const auto& row : *rows) slot.naive_bytes += sql::RowByteSize(row);
     }
@@ -1250,16 +1269,24 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
   };
   RunScatter(opts_.parallel, opts_.pool, n_, run_shard);
 
-  // Deferred latency for columnar shards: fixed setup + per-chunk service
-  // for chunks actually scanned + per-block service for delta-tail records
-  // examined. Zone-map-pruned chunks cost nothing; a long unmerged tail
-  // shows up directly in sim_latency_us (the incentive to merge).
+  // Deferred latency. Columnar shards: fixed setup + per-chunk service for
+  // chunks actually scanned + per-block service for delta-tail records
+  // examined (zone-map-pruned chunks cost nothing; a long unmerged tail
+  // shows up directly in sim_latency_us — the incentive to merge). Row
+  // shards: statement setup + per-256-row block service for the heap rows
+  // walked, so scan cost scales with shard size — the baseline an index
+  // probe beats.
   for (int i = 0; i < n_; ++i) {
-    if (col_shards[static_cast<size_t>(i)] == nullptr) continue;
-    frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnColumnarScan(
-        serving_[i], frontier_[static_cast<size_t>(i)],
-        slots[static_cast<size_t>(i)].stats.chunks_scanned,
-        slots[static_cast<size_t>(i)].stats.delta_rows);
+    if (col_shards[static_cast<size_t>(i)] != nullptr) {
+      frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnColumnarScan(
+          serving_[i], frontier_[static_cast<size_t>(i)],
+          slots[static_cast<size_t>(i)].stats.chunks_scanned,
+          slots[static_cast<size_t>(i)].stats.delta_rows);
+    } else {
+      frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnRowScan(
+          serving_[i], frontier_[static_cast<size_t>(i)],
+          slots[static_cast<size_t>(i)].rows_examined);
+    }
   }
 
   // Per-DN realized-path record (EXPLAIN / shell reporting).
@@ -1285,6 +1312,128 @@ Status DistPlanExecutor::ExecScanFragment(const DistOp& scan, bool fused,
     } else {
       info.path = "row";
     }
+    stats_.per_dn.push_back(std::move(info));
+  }
+  return Status::OK();
+}
+
+Status DistPlanExecutor::ExecIndexScanFragment(const DistOp& scan, bool fused,
+                                               std::vector<FragSlot>* slots_out) {
+  const std::string& table = scan.table;
+  std::vector<storage::MvccTable*> shard_tables(serving_.size(), nullptr);
+  std::vector<std::shared_ptr<storage::SecondaryIndex>> shard_indexes(
+      serving_.size());
+  for (int i = 0; i < n_; ++i) {
+    OFI_ASSIGN_OR_RETURN(shard_tables[static_cast<size_t>(i)],
+                         cluster_->dn(serving_[i])->GetTable(table));
+    shard_indexes[static_cast<size_t>(i)] =
+        cluster_->IndexOn(serving_[i], table, scan.index_col);
+    if (shard_indexes[static_cast<size_t>(i)] == nullptr) {
+      // Dropped between lowering and execution; the caller retries via scan.
+      return Status::NotFound("index on " + scan.index_column +
+                              " no longer exists on dn" +
+                              std::to_string(serving_[i]));
+    }
+  }
+
+  // Phase 1: open every shard context; the probe itself is charged after
+  // phase 2, when the returned-row count is known (deferred like the scans:
+  // per-DN resources are independent, so order does not change the result).
+  for (int i = 0; i < n_; ++i) {
+    OFI_ASSIGN_OR_RETURN(
+        frontier_[static_cast<size_t>(i)],
+        reader_->PrepareShard(serving_[i], frontier_[static_cast<size_t>(i)]));
+  }
+
+  // Phase 2: probe each shard's index under this transaction's snapshot,
+  // re-apply the FULL original predicate as the residual (the probe only
+  // guarantees the indexed conjunct), then optionally fuse the partial
+  // aggregate — result rows are bit-identical to the scan this replaced,
+  // up to shard-output order, which consumers treat as unordered.
+  std::vector<FragSlot>& slots = *slots_out;
+  auto run_shard = [&](int i) {
+    const int dn = serving_[i];
+    FragSlot& slot = slots[static_cast<size_t>(i)];
+    auto vis = reader_->VisibilityForPrepared(dn);
+    if (!vis.ok()) {
+      slot.status = vis.status();
+      return;
+    }
+    std::vector<Row> probed;
+    if (scan.probe_is_range) {
+      probed = shard_indexes[static_cast<size_t>(i)]->RangeProbe(
+          scan.probe_lo, scan.probe_hi, *vis);
+    } else {
+      probed =
+          shard_indexes[static_cast<size_t>(i)]->Probe(scan.probe_eq, *vis);
+    }
+    slot.stats.index_rows = probed.size();
+    for (const auto& row : probed) slot.naive_bytes += sql::RowByteSize(row);
+
+    if (scan.filter) {
+      // Cloned per worker: Bind() caches column indices in place.
+      sql::ExprPtr f = scan.filter->Clone();
+      Status bind = f->Bind(shard_tables[static_cast<size_t>(i)]->schema());
+      if (!bind.ok()) {
+        slot.status = bind;
+        return;
+      }
+      std::vector<Row> kept;
+      kept.reserve(probed.size());
+      for (auto& row : probed) {
+        Value v = f->Eval(row);
+        if (!v.is_null() && v.AsBool()) kept.push_back(std::move(row));
+      }
+      probed = std::move(kept);
+    }
+
+    if (fused) {
+      std::vector<AggSpec> partial_specs;
+      for (const auto& p : plans_) {
+        for (const auto& spec : p.partial) {
+          partial_specs.push_back(AggSpec{
+              spec.func, spec.arg ? spec.arg->Clone() : nullptr, spec.name});
+        }
+      }
+      sql::Catalog shard_catalog;
+      shard_catalog.Register(
+          "shard", Table(shard_tables[static_cast<size_t>(i)]->schema(),
+                         std::move(probed)));
+      // Residual already applied above — aggregate without a filter.
+      sql::PlanPtr agg_plan = sql::MakeAggregate(sql::MakeScan("shard"),
+                                                 agg_group_, partial_specs);
+      sql::Executor exec(&shard_catalog);
+      auto partial = exec.Execute(agg_plan);
+      if (!partial.ok()) {
+        slot.status = partial.status();
+        return;
+      }
+      slot.partial_bytes = TableBytes(*partial);
+      slot.table = std::move(*partial);
+      return;
+    }
+    slot.table = Table(shard_tables[static_cast<size_t>(i)]->schema(),
+                       std::move(probed));
+  };
+  RunScatter(opts_.parallel, opts_.pool, n_, run_shard);
+
+  // Deferred probe charge: fixed probe setup + per-returned-row copy-out.
+  // No heap walk, no per-block scan service — this asymmetry is the whole
+  // point-lookup win the optimizer's crossover banks on.
+  for (int i = 0; i < n_; ++i) {
+    frontier_[static_cast<size_t>(i)] = cluster_->ChargeDnIndexProbe(
+        serving_[i], frontier_[static_cast<size_t>(i)],
+        slots[static_cast<size_t>(i)].stats.index_rows);
+  }
+
+  for (int i = 0; i < n_; ++i) {
+    DistExecStats::DnScanInfo info;
+    info.dn = serving_[i];
+    info.table = table;
+    info.path = "index(" + BareName(scan.index_column) + ")";
+    info.stats = slots[static_cast<size_t>(i)].stats;
+    stats_.scan_stats.index_rows +=
+        slots[static_cast<size_t>(i)].stats.index_rows;
     stats_.per_dn.push_back(std::move(info));
   }
   return Status::OK();
@@ -1777,6 +1926,18 @@ DistOpPtr MakeDistScan(std::string table, sql::ExprPtr filter, ScanPath path) {
   return op;
 }
 
+DistOpPtr MakeDistIndexScan(std::string table, sql::ExprPtr filter,
+                            std::string index_column, size_t index_col) {
+  auto op = std::make_shared<DistOp>();
+  op->kind = DistOpKind::kDistIndexScan;
+  op->table = std::move(table);
+  op->filter = std::move(filter);
+  op->path = ScanPath::kRow;
+  op->index_column = std::move(index_column);
+  op->index_col = index_col;
+  return op;
+}
+
 DistOpPtr MakeDistExchange(DistOpPtr child, ExchangeMode mode,
                            std::string partition_key) {
   auto op = std::make_shared<DistOp>();
@@ -1842,6 +2003,22 @@ std::string DistOp::ToString(int indent) const {
         s += " est=" + std::to_string(static_cast<long long>(est_bytes)) + "B";
       }
       break;
+    case DistOpKind::kDistIndexScan: {
+      s += "INDEXSCAN " + table + " index=" + index_column + " probe=";
+      if (probe_is_range) {
+        s += "range[" + probe_lo.ToString() + ".." + probe_hi.ToString() + "]";
+      } else {
+        s += "eq(" + probe_eq.ToString() + ")";
+      }
+      if (probe_shard >= 0) {
+        s += " shard=" + std::to_string(probe_shard);
+      }
+      if (filter) s += " residual=[" + filter->ToCanonicalString() + "]";
+      if (est_rows >= 0) {
+        s += " est_rows~" + std::to_string(static_cast<long long>(est_rows));
+      }
+      break;
+    }
     case DistOpKind::kDistExchange:
       s += "EXCHANGE ";
       s += mode == ExchangeMode::kBroadcast
@@ -1996,6 +2173,91 @@ DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
     return scan;
   };
 
+  // Index fast path: when the predicate is a recognizable equality (or, on
+  // an ordered index, range) conjunct on an indexed column and the
+  // ANALYZE-derived selectivity predicts fewer rows than the scan
+  // crossover, the DistScan core is replaced with a DistIndexScan. Only
+  // the single-scan core qualifies — join inputs want whole relations, so
+  // they keep the scan path.
+  auto try_index_scan = [&](const sql::PlanNode& s, const sql::Schema& schema,
+                            DistOpPtr core_in) -> DistOpPtr {
+    if (!options.use_index || s.predicate == nullptr) return core_in;
+    auto pred = RecognizeFilter(s.predicate);
+    if (!pred.has_value() || pred->never ||
+        pred->kind == ColumnarPredicate::Kind::kAll) {
+      return core_in;
+    }
+    auto col = schema.IndexOf(pred->column);
+    if (!col.ok()) return core_in;
+    auto index = cluster->IndexOn(serving[0], s.table_name, *col);
+    if (index == nullptr) return core_in;
+    const bool is_point = pred->kind == ColumnarPredicate::Kind::kStringEq ||
+                          pred->lo == pred->hi;
+    if (!is_point &&
+        index->kind() != storage::SecondaryIndex::Kind::kOrdered) {
+      return core_in;  // a hash index cannot serve a range
+    }
+
+    // Crossover: per-DN probe cost (setup + copy-out per estimated
+    // matching row) against the per-DN heap walk it replaces. Without
+    // stats, trust a point probe — the OLTP case CREATE INDEX exists for —
+    // but never a blind range.
+    const LatencyModel& lat = cluster->latency();
+    double est_rows = -1;
+    const optimizer::TableStats* ts =
+        stats != nullptr ? stats->Get(s.table_name) : nullptr;
+    if (ts != nullptr && ts->num_rows > 0) {
+      if (const optimizer::ColumnStats* cs = ts->Column(BareName(pred->column))) {
+        double sel;
+        if (pred->kind == ColumnarPredicate::Kind::kStringEq) {
+          sel = cs->EqSelectivity(sql::Value(pred->needle));
+        } else if (is_point) {
+          sel = cs->EqSelectivity(sql::Value(pred->lo));
+        } else {
+          const double hi_sel =
+              pred->hi == std::numeric_limits<int64_t>::max()
+                  ? 1.0
+                  : cs->LtSelectivity(sql::Value(pred->hi + 1));
+          sel = std::max(0.0, hi_sel - cs->LtSelectivity(sql::Value(pred->lo)));
+        }
+        est_rows = sel * static_cast<double>(ts->num_rows);
+      }
+    }
+    const double n = static_cast<double>(serving.size());
+    if (est_rows >= 0) {
+      const double rows_per_dn = static_cast<double>(ts->num_rows) / n;
+      const double probe_cost =
+          static_cast<double>(lat.index_probe_service_us) +
+          (est_rows / n) * static_cast<double>(lat.index_row_service_us);
+      const double scan_cost =
+          static_cast<double>(lat.dn_stmt_service_us) +
+          std::ceil(rows_per_dn / 256.0) *
+              static_cast<double>(lat.row_scan_block_service_us);
+      if (probe_cost >= scan_cost) return core_in;
+    } else if (!is_point) {
+      return core_in;
+    }
+
+    DistOpPtr idx = MakeDistIndexScan(s.table_name, s.predicate->Clone(),
+                                      index->column(), *col);
+    if (is_point) {
+      idx->probe_eq = pred->kind == ColumnarPredicate::Kind::kStringEq
+                          ? sql::Value(pred->needle)
+                          : sql::Value(pred->lo);
+      // Equality on the shard key (schema column 0 — INSERT routes rows by
+      // row[0]) pins every possible match to one shard.
+      if (*col == 0) idx->probe_shard = cluster->ShardFor(idx->probe_eq);
+    } else {
+      idx->probe_is_range = true;
+      idx->probe_lo = sql::Value(pred->lo);
+      idx->probe_hi = sql::Value(pred->hi);
+    }
+    idx->est_rows = est_rows;
+    idx->est_bytes = core_in->est_bytes;
+    idx->scan_detail = "index(" + BareName(pred->column) + ")";
+    return idx;
+  };
+
   // Lower the core: a single table scan, or an inner equi-join of two scans.
   DistOpPtr core;
   sql::Schema core_schema;
@@ -2005,7 +2267,7 @@ DistLowering LowerSelectPlan(const sql::PlanPtr& logical, Cluster* cluster,
       out.fallback_reason = scan.status().message();
       return out;
     }
-    core = std::move(*scan);
+    core = try_index_scan(*node, core_schema, std::move(*scan));
   } else if (node->kind == sql::PlanKind::kJoin) {
     if (node->join_type != sql::JoinType::kInner) {
       out.fallback_reason = "only inner joins run distributed";
@@ -2177,7 +2439,10 @@ namespace {
 
 void CollectScans(const DistOpPtr& op, std::vector<const DistOp*>* out) {
   if (op == nullptr) return;
-  if (op->kind == DistOpKind::kDistScan) out->push_back(op.get());
+  if (op->kind == DistOpKind::kDistScan ||
+      op->kind == DistOpKind::kDistIndexScan) {
+    out->push_back(op.get());
+  }
   for (const auto& c : op->children) CollectScans(c, out);
 }
 
@@ -2190,23 +2455,49 @@ std::string ExplainScanPaths(Cluster* cluster, const DistOpPtr& root) {
   std::string s;
   const std::vector<int> serving = ServingDns(cluster);
   for (const DistOp* scan : scans) {
+    if (scan->kind == DistOpKind::kDistIndexScan) {
+      // Index probes: one line per DN the probe will touch (a shard-key
+      // equality pins the plan to one DN), with the ANALYZE estimate the
+      // crossover was decided on. Realized rows land in the post-run scan
+      // report (DistExecStats::per_dn) for the estimated-vs-actual check.
+      std::vector<int> probed = serving;
+      if (scan->probe_shard >= 0) {
+        probed = {cluster->EffectiveDn(scan->probe_shard)};
+      }
+      for (int dn : probed) {
+        s += "  dn" + std::to_string(dn) + " " + scan->table +
+             ": access=index(" + BareName(scan->index_column) + ")";
+        if (scan->probe_is_range) {
+          s += " probe=range[" + scan->probe_lo.ToString() + ".." +
+               scan->probe_hi.ToString() + "]";
+        } else {
+          s += " probe=eq(" + scan->probe_eq.ToString() + ")";
+        }
+        if (scan->est_rows >= 0) {
+          s += " est_rows~" +
+               std::to_string(static_cast<long long>(scan->est_rows));
+        }
+        s += "\n";
+      }
+      continue;
+    }
     for (int dn : serving) {
       s += "  dn" + std::to_string(dn) + " " + scan->table + ": ";
       if (scan->path != ScanPath::kColumnar ||
           !cluster->IsColumnar(scan->table)) {
         s += scan->scan_detail.empty() ? "row" : scan->scan_detail;
-        s += "\n";
+        s += " access=scan\n";
         continue;
       }
       auto pred = RecognizeFilter(scan->filter);
       if (!pred.has_value()) {
-        s += "row(filter not recognized)\n";
+        s += "row(filter not recognized) access=scan\n";
         continue;
       }
       std::shared_ptr<storage::DeltaShard> shard =
           cluster->dn(dn)->GetColumnarShard(scan->table);
       if (shard == nullptr) {
-        s += "row\n";
+        s += "row access=scan\n";
         continue;
       }
       // Forecast against a fresh local snapshot: sealed chunk counts, prune
@@ -2240,7 +2531,7 @@ std::string ExplainScanPaths(Cluster* cluster, const DistOpPtr& root) {
         s += " prune~" + std::to_string(est.chunks_prunable) + "/" +
              std::to_string(est.chunks_total);
       }
-      s += "\n";
+      s += " access=scan\n";
     }
   }
   return s;

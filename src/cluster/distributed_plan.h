@@ -46,6 +46,7 @@ namespace ofi::cluster {
 
 enum class DistOpKind : uint8_t {
   kDistScan,
+  kDistIndexScan,
   kDistExchange,
   kDistHashJoin,
   kDistPartialAgg,
@@ -75,6 +76,23 @@ struct DistOp {
   std::string table;
   sql::ExprPtr filter;  // pushed below the exchange; owned by this plan
   ScanPath path = ScanPath::kRow;
+
+  // kDistIndexScan — replaces a kDistScan when LowerSelectPlan finds an
+  // equality (or, on an ordered index, range) conjunct binding an indexed
+  // column and ANALYZE stats predict fewer matching rows than the scan
+  // crossover. The FULL original predicate rides along in `filter` as the
+  // residual, so results are bit-identical to the scan it replaces.
+  std::string index_column;  // qualified name the index was created on
+  size_t index_col = 0;      // its resolved position in the shard schema
+  bool probe_is_range = false;
+  sql::Value probe_eq;             // equality probe key
+  sql::Value probe_lo, probe_hi;   // inclusive range bounds (ordered index)
+  /// >= 0: the equality key is the shard key (schema column 0), so only
+  /// this shard can hold matches — the executor routes to that one DN
+  /// under a single-shard snapshot. -1 = probe every serving DN.
+  int probe_shard = -1;
+  /// ANALYZE-estimated matching rows across the table; -1 = no stats.
+  double est_rows = -1;
 
   // kDistExchange
   ExchangeMode mode = ExchangeMode::kNone;
@@ -114,6 +132,8 @@ struct DistOp {
 // --- Builder helpers ---------------------------------------------------------
 DistOpPtr MakeDistScan(std::string table, sql::ExprPtr filter,
                        ScanPath path = ScanPath::kRow);
+DistOpPtr MakeDistIndexScan(std::string table, sql::ExprPtr filter,
+                            std::string index_column, size_t index_col);
 DistOpPtr MakeDistExchange(DistOpPtr child, ExchangeMode mode,
                            std::string partition_key = "");
 DistOpPtr MakeDistHashJoin(DistOpPtr left, DistOpPtr right,
@@ -133,6 +153,11 @@ DistOpPtr MakeGather(DistOpPtr child, bool gather_rows);
 /// DistributedOptions and DistributedJoinOptions knobs).
 struct DistExecOptions {
   bool parallel = true;
+  /// Let LowerSelectPlan choose a DistIndexScan when a predicate binds an
+  /// indexed column and stats predict it is cheaper than the scan. Off =
+  /// always scan (the sql_shell --no-index escape hatch); execution of an
+  /// already-lowered index plan is unaffected.
+  bool use_index = true;
   common::ThreadPool* pool = nullptr;
   bool use_columnar = true;
   /// Morsel-parallel columnar shard scans. Only valid with parallel ==

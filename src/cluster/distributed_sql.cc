@@ -109,6 +109,20 @@ Result<sql::Table> DistributedSqlSession::Execute(
     case sql::StatementKind::kDropTable: {
       OFI_RETURN_NOT_OK(catalog_.Drop(stmt.drop_table->table));
       cluster_.DropColumnar(stmt.drop_table->table);
+      cluster_.DropIndexes(stmt.drop_table->table);
+      return sql::Table{};
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& create = *stmt.create_index;
+      if (!catalog_.Contains(create.table)) {
+        return Status::NotFound("no such table: " + create.table);
+      }
+      OFI_RETURN_NOT_OK(
+          cluster_.CreateIndex(create.table, create.column, create.ordered));
+      return sql::Table{};
+    }
+    case sql::StatementKind::kDropIndex: {
+      cluster_.DropIndexes(stmt.drop_index->table);
       return sql::Table{};
     }
     case sql::StatementKind::kInsert: {
@@ -149,6 +163,9 @@ std::string DistributedSqlSession::LastScanReport() const {
       if (info.stats.morsels > 1) {
         out += " morsels=" + std::to_string(info.stats.morsels);
       }
+    } else if (info.path.rfind("index", 0) == 0) {
+      // Realized probe output — pairs with EXPLAIN's est_rows forecast.
+      out += " rows=" + std::to_string(info.stats.index_rows);
     }
     out += "\n";
   }

@@ -69,6 +69,17 @@ struct LatencyModel {
   /// (classification + re-encode amortized). Charged when the merge runs,
   /// off the query critical path for background merges.
   SimTime columnar_merge_block_service_us = 4;
+  /// Serialized DN work per 256 heap rows a full row-path scan examines
+  /// (version-chain walk + visibility checks + predicate evaluation,
+  /// ~47ns/row). Scan cost scales with shard size — the baseline an index
+  /// probe beats; at the 4096-rows-per-shard seed scale the gap is >5x.
+  SimTime row_scan_block_service_us = 12;
+  /// Serialized DN work to open one secondary-index probe (bucket lookup +
+  /// posting visibility checks). Far below dn_stmt_service_us: no heap walk,
+  /// a handful of postings touched.
+  SimTime index_probe_service_us = 6;
+  /// Serialized DN work per row an index probe returns (posting copy-out).
+  SimTime index_row_service_us = 1;
 };
 
 }  // namespace ofi::cluster

@@ -42,6 +42,18 @@ Result<sql::Table> SqlSession::Execute(const std::string& statement) {
       OFI_RETURN_NOT_OK(catalog_.Drop(stmt.drop_table->table));
       return sql::Table{};
     }
+    case sql::StatementKind::kCreateIndex: {
+      // Secondary indexes are a physical access-path choice; the
+      // single-node executor always scans, so the statement only needs to
+      // validate (scripts stay portable between this session and the
+      // distributed one).
+      if (!catalog_.Contains(stmt.create_index->table)) {
+        return Status::NotFound("no such table: " + stmt.create_index->table);
+      }
+      return sql::Table{};
+    }
+    case sql::StatementKind::kDropIndex:
+      return sql::Table{};
     case sql::StatementKind::kInsert: {
       const auto& insert = *stmt.insert;
       OFI_ASSIGN_OR_RETURN(auto table, catalog_.Get(insert.table));

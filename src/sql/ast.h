@@ -76,7 +76,29 @@ struct DropTableStatement {
   std::string table;
 };
 
-enum class StatementKind : uint8_t { kSelect, kInsert, kCreateTable, kDropTable };
+/// CREATE INDEX name ON t (col) [ORDERED]. ORDERED builds a range-capable
+/// index (probe-able by <, <=, BETWEEN); the default is a hash index for
+/// equality probes only.
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table;
+  std::string column;
+  bool ordered = false;
+};
+
+/// DROP INDEX ON t — drops every secondary index on the table.
+struct DropIndexStatement {
+  std::string table;
+};
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kInsert,
+  kCreateTable,
+  kDropTable,
+  kCreateIndex,
+  kDropIndex,
+};
 
 /// A parsed statement (tagged union; exactly one member is set).
 struct Statement {
@@ -85,6 +107,8 @@ struct Statement {
   std::unique_ptr<InsertStatement> insert;
   std::unique_ptr<CreateTableStatement> create_table;
   std::unique_ptr<DropTableStatement> drop_table;
+  std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<DropIndexStatement> drop_index;
 };
 
 }  // namespace ofi::sql

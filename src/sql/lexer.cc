@@ -16,7 +16,8 @@ const std::unordered_set<std::string>& Keywords() {
       "INSERT",  "INTO",   "VALUES", "CREATE",   "TABLE",  "ASC",    "DESC",
       "COUNT",   "SUM",    "AVG",    "MIN",      "MAX",    "BETWEEN", "LIKE",
       "BIGINT",  "DOUBLE", "VARCHAR", "BOOLEAN", "TIMESTAMP", "DISTINCT",
-      "SEMI",    "DELETE", "DROP",   "UPDATE",   "SET"};
+      "SEMI",    "DELETE", "DROP",   "UPDATE",   "SET",    "INDEX",
+      "ORDERED"};
   return kKeywords;
 }
 

@@ -77,6 +77,8 @@ class Parser {
   Result<Statement> ParseInsert();
   Result<Statement> ParseCreateTable();
   Result<Statement> ParseDropTable();
+  Result<Statement> ParseCreateIndex();
+  Result<Statement> ParseDropIndex();
   Result<SelectItem> ParseSelectItem();
 
   Cursor cur_;
@@ -469,8 +471,50 @@ Result<Statement> Parser::ParseInsert() {
   return stmt;
 }
 
+Result<Statement> Parser::ParseCreateIndex() {
+  // CREATE already consumed; cursor sits on INDEX.
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("INDEX"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected index name");
+  }
+  auto create = std::make_unique<CreateIndexStatement>();
+  create->index_name = cur_.Next().text;
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("ON"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected table name");
+  }
+  create->table = cur_.Next().text;
+  OFI_RETURN_NOT_OK(cur_.ExpectSymbol("("));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected column name");
+  }
+  create->column = cur_.Next().text;
+  OFI_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+  create->ordered = cur_.AcceptKeyword("ORDERED");
+  Statement stmt;
+  stmt.kind = StatementKind::kCreateIndex;
+  stmt.create_index = std::move(create);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDropIndex() {
+  // DROP already consumed; cursor sits on INDEX.
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("INDEX"));
+  OFI_RETURN_NOT_OK(cur_.ExpectKeyword("ON"));
+  if (cur_.Peek().type != TokenType::kIdentifier) {
+    return cur_.Error("expected table name");
+  }
+  auto drop = std::make_unique<DropIndexStatement>();
+  drop->table = cur_.Next().text;
+  Statement stmt;
+  stmt.kind = StatementKind::kDropIndex;
+  stmt.drop_index = std::move(drop);
+  return stmt;
+}
+
 Result<Statement> Parser::ParseCreateTable() {
   OFI_RETURN_NOT_OK(cur_.ExpectKeyword("CREATE"));
+  if (cur_.Peek().IsKeyword("INDEX")) return ParseCreateIndex();
   OFI_RETURN_NOT_OK(cur_.ExpectKeyword("TABLE"));
   if (cur_.Peek().type != TokenType::kIdentifier) {
     return cur_.Error("expected table name");
@@ -515,6 +559,7 @@ Result<Statement> Parser::ParseCreateTable() {
 
 Result<Statement> Parser::ParseDropTable() {
   OFI_RETURN_NOT_OK(cur_.ExpectKeyword("DROP"));
+  if (cur_.Peek().IsKeyword("INDEX")) return ParseDropIndex();
   OFI_RETURN_NOT_OK(cur_.ExpectKeyword("TABLE"));
   if (cur_.Peek().type != TokenType::kIdentifier) {
     return cur_.Error("expected table name");

@@ -57,6 +57,7 @@ void ScanStats::MergeFrom(const ScanStats& o) {
   rows_matched += o.rows_matched;
   morsels += o.morsels;
   delta_rows += o.delta_rows;
+  index_rows += o.index_rows;
 }
 
 size_t Int64Chunk::CompressedBytes() const {

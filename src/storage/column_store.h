@@ -121,6 +121,9 @@ struct ScanStats {
   /// row-format delta with its sealed chunks (see storage/delta_store.h);
   /// 0 for pure sealed scans.
   size_t delta_rows = 0;
+  /// Rows served by a secondary-index probe instead of a heap or chunk
+  /// walk (see storage/secondary_index.h); 0 for scan paths.
+  size_t index_rows = 0;
 
   void MergeFrom(const ScanStats& o);
 };

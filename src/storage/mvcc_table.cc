@@ -26,7 +26,7 @@ Status MvccTable::Insert(const sql::Value& key, sql::Row row, txn::Xid xid,
   chain.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
   ++mutation_epoch_;
-  if (listener_) {
+  if (HasListeners()) {
     HeapChange c;
     c.op = HeapChange::Op::kInsert;
     c.xid = xid;
@@ -57,7 +57,7 @@ Status MvccTable::Update(const sql::Value& key, sql::Row row, txn::Xid xid,
   it->second.push_back(TupleVersion{xid, txn::kInvalidXid, std::move(row)});
   ++num_versions_;
   ++mutation_epoch_;
-  if (listener_) {
+  if (HasListeners()) {
     HeapChange del;
     del.op = HeapChange::Op::kMarkDeleted;
     del.xid = xid;
@@ -87,7 +87,7 @@ Status MvccTable::Delete(const sql::Value& key, txn::Xid xid,
   }
   cur.xmax = xid;
   ++mutation_epoch_;
-  if (listener_) {
+  if (HasListeners()) {
     HeapChange c;
     c.op = HeapChange::Op::kMarkDeleted;
     c.xid = xid;
@@ -127,7 +127,7 @@ void MvccTable::RollbackXid(txn::Xid xid) {
     }
   }
   ++mutation_epoch_;
-  if (listener_) {
+  if (HasListeners()) {
     HeapChange c;
     c.op = HeapChange::Op::kClearXmaxAll;
     c.xid = xid;
@@ -143,7 +143,7 @@ void MvccTable::RollbackKey(const sql::Value& key, txn::Xid xid) {
     if (v.xmax == xid) v.xmax = txn::kInvalidXid;
   }
   ++mutation_epoch_;
-  if (listener_) {
+  if (HasListeners()) {
     HeapChange c;
     c.op = HeapChange::Op::kClearXmax;
     c.xid = xid;
@@ -185,18 +185,26 @@ const std::vector<TupleVersion>* MvccTable::Versions(const sql::Value& key) cons
   return it == chains_.end() ? nullptr : &it->second;
 }
 
-HeapDump MvccTable::AttachChangeListener(HeapChangeListener listener) {
+HeapDump MvccTable::AttachChangeListener(HeapChangeListener listener,
+                                         ListenerId* id_out) {
   std::unique_lock lock(mu_);
   HeapDump dump;
   dump.reserve(chains_.size());
   for (const auto& [key, chain] : chains_) dump.emplace_back(key, chain);
-  listener_ = std::move(listener);
+  ListenerId id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  if (id_out != nullptr) *id_out = id;
   return dump;
 }
 
-void MvccTable::DetachChangeListener() {
+void MvccTable::DetachChangeListener(ListenerId id) {
   std::unique_lock lock(mu_);
-  listener_ = nullptr;
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 }  // namespace ofi::storage

@@ -52,6 +52,10 @@ using HeapChangeListener = std::function<void(const HeapChange&)>;
 /// a delta store builds from, atomic with the listener installation.
 using HeapDump = std::vector<std::pair<sql::Value, std::vector<TupleVersion>>>;
 
+/// Handle for one attached listener; pass it to DetachChangeListener.
+/// 0 is never issued, so a zero-initialized id means "not attached".
+using ListenerId = uint64_t;
+
 /// \brief A keyed MVCC heap. Writes are first-updater-wins: updating or
 /// deleting a version whose xmax is already set by a live transaction
 /// aborts the second writer (write-write conflict).
@@ -104,9 +108,13 @@ class MvccTable {
   /// Atomically snapshots every version chain AND installs `listener`
   /// under one exclusive lock, so no mutation can fall between the dump
   /// and the first notification — the delta store's build contract.
-  /// Replaces any previously attached listener.
-  HeapDump AttachChangeListener(HeapChangeListener listener);
-  void DetachChangeListener();
+  /// Multiple listeners can coexist (a columnar delta store and any number
+  /// of secondary indexes); each gets every change in heap serialization
+  /// order. The issued id (written to `id_out` when non-null) detaches
+  /// exactly this listener.
+  HeapDump AttachChangeListener(HeapChangeListener listener,
+                                ListenerId* id_out = nullptr);
+  void DetachChangeListener(ListenerId id);
 
   size_t num_keys() const {
     std::shared_lock lock(mu_);
@@ -130,17 +138,21 @@ class MvccTable {
   int FindVisible(const std::vector<TupleVersion>& chain,
                   const txn::VisibilityChecker& vis) const;
 
-  // Fires `change` at the listener (if any). Caller holds mu_ exclusively.
+  // Fires `change` at every listener. Caller holds mu_ exclusively.
   void Notify(const HeapChange& change) const {
-    if (listener_) listener_(change);
+    for (const auto& [id, fn] : listeners_) fn(change);
   }
+  bool HasListeners() const { return !listeners_.empty(); }
 
   mutable std::shared_mutex mu_;  // guards chains_, num_versions_, epoch
   sql::Schema schema_;
   std::unordered_map<sql::Value, std::vector<TupleVersion>> chains_;
   size_t num_versions_ = 0;
   uint64_t mutation_epoch_ = 0;
-  HeapChangeListener listener_;  // guarded by mu_; fired under unique_lock
+  // Attached listeners, fired in attach order under the unique_lock.
+  // A small vector keeps Notify allocation-free on the hot write path.
+  std::vector<std::pair<ListenerId, HeapChangeListener>> listeners_;
+  ListenerId next_listener_id_ = 1;
 };
 
 }  // namespace ofi::storage

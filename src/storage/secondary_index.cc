@@ -1,0 +1,221 @@
+#include "storage/secondary_index.h"
+
+#include <algorithm>
+
+namespace ofi::storage {
+
+Result<std::shared_ptr<SecondaryIndex>> SecondaryIndex::Make(
+    const sql::Schema& schema, const std::string& column, Kind kind) {
+  OFI_ASSIGN_OR_RETURN(size_t col, schema.IndexOf(column));
+  return std::shared_ptr<SecondaryIndex>(
+      new SecondaryIndex(schema.column(col).QualifiedName(), col, kind));
+}
+
+void SecondaryIndex::InstallBase(HeapDump dump) {
+  std::unique_lock lock(mu_);
+  for (const auto& [key, chain] : dump) {
+    for (const auto& v : chain) {
+      AddPostingLocked(key, v.xmin, v.data);
+      by_key_[key].back().xmax = v.xmax;
+    }
+  }
+  // Drain events that landed between the atomic dump+attach and this
+  // install, in heap order. They are strictly newer than the dump.
+  for (const auto& c : pending_) ApplyLocked(c);
+  pending_.clear();
+  ready_ = true;
+}
+
+void SecondaryIndex::OnHeapChange(const HeapChange& change) {
+  std::unique_lock lock(mu_);
+  if (!ready_) {
+    pending_.push_back(change);
+    return;
+  }
+  ApplyLocked(change);
+}
+
+void SecondaryIndex::AddPostingLocked(const sql::Value& heap_key,
+                                      txn::Xid xmin, const sql::Row& row) {
+  Posting p;
+  p.xmin = xmin;
+  p.row = row;
+  by_key_[heap_key].push_back(std::move(p));
+  ++num_postings_;
+  if (col_ < row.size()) {
+    Bucket& b = kind_ == Kind::kHash ? hash_buckets_[row[col_]]
+                                     : ordered_buckets_[row[col_]];
+    ++b[heap_key];
+  }
+}
+
+void SecondaryIndex::BucketUnref(const sql::Value& indexed,
+                                 const sql::Value& heap_key, uint32_t count) {
+  auto unref = [&](auto& buckets) {
+    auto bit = buckets.find(indexed);
+    if (bit == buckets.end()) return;
+    auto kit = bit->second.find(heap_key);
+    if (kit == bit->second.end()) return;
+    kit->second = kit->second > count ? kit->second - count : 0;
+    if (kit->second == 0) bit->second.erase(kit);
+    if (bit->second.empty()) buckets.erase(bit);
+  };
+  if (kind_ == Kind::kHash) {
+    unref(hash_buckets_);
+  } else {
+    unref(ordered_buckets_);
+  }
+}
+
+void SecondaryIndex::ApplyLocked(const HeapChange& change) {
+  maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
+  switch (change.op) {
+    case HeapChange::Op::kInsert:
+      AddPostingLocked(change.key, change.xid, change.row);
+      break;
+    case HeapChange::Op::kMarkDeleted: {
+      auto it = by_key_.find(change.key);
+      if (it == by_key_.end()) break;
+      // The heap marked the visible version created by target_xmin; mirror
+      // onto the newest live posting with that xmin (delete/reinsert by the
+      // same xid can leave several postings sharing an xmin).
+      for (auto pit = it->second.rbegin(); pit != it->second.rend(); ++pit) {
+        if (pit->xmin == change.target_xmin &&
+            (pit->xmax == txn::kInvalidXid || pit->xmax == change.xid)) {
+          pit->xmax = change.xid;
+          break;
+        }
+      }
+      break;
+    }
+    case HeapChange::Op::kClearXmax: {
+      auto it = by_key_.find(change.key);
+      if (it == by_key_.end()) break;
+      for (auto& p : it->second) {
+        if (p.xmax == change.xid) p.xmax = txn::kInvalidXid;
+      }
+      break;
+    }
+    case HeapChange::Op::kClearXmaxAll:
+      for (auto& [key, postings] : by_key_) {
+        for (auto& p : postings) {
+          if (p.xmax == change.xid) p.xmax = txn::kInvalidXid;
+        }
+      }
+      break;
+  }
+}
+
+void SecondaryIndex::CollectVisibleLocked(const sql::Value& heap_key,
+                                          const sql::Value* want,
+                                          const txn::VisibilityChecker& vis,
+                                          std::vector<sql::Row>* out,
+                                          size_t* examined) const {
+  auto it = by_key_.find(heap_key);
+  if (it == by_key_.end()) return;
+  // Newest-to-oldest, exactly like MvccTable::FindVisible: a consistent
+  // snapshot sees at most one version per heap key.
+  for (auto pit = it->second.rbegin(); pit != it->second.rend(); ++pit) {
+    ++*examined;
+    if (!vis.TupleVisible(pit->xmin, pit->xmax)) continue;
+    // Re-check the indexed value: an update may have moved this heap key
+    // to a different bucket while old postings still reference it.
+    if (want == nullptr ||
+        (col_ < pit->row.size() && pit->row[col_].Equals(*want))) {
+      out->push_back(pit->row);
+    }
+    return;  // the one visible version has been judged
+  }
+}
+
+std::vector<sql::Row> SecondaryIndex::Probe(const sql::Value& v,
+                                            const txn::VisibilityChecker& vis,
+                                            size_t* postings_examined) const {
+  std::shared_lock lock(mu_);
+  std::vector<sql::Row> out;
+  size_t examined = 0;
+  const Bucket* bucket = nullptr;
+  if (kind_ == Kind::kHash) {
+    auto it = hash_buckets_.find(v);
+    if (it != hash_buckets_.end()) bucket = &it->second;
+  } else {
+    auto it = ordered_buckets_.find(v);
+    if (it != ordered_buckets_.end()) bucket = &it->second;
+  }
+  if (bucket != nullptr) {
+    for (const auto& [heap_key, refs] : *bucket) {
+      CollectVisibleLocked(heap_key, &v, vis, &out, &examined);
+    }
+  }
+  if (postings_examined != nullptr) *postings_examined = examined;
+  return out;
+}
+
+std::vector<sql::Row> SecondaryIndex::RangeProbe(
+    const sql::Value& lo, const sql::Value& hi,
+    const txn::VisibilityChecker& vis, size_t* postings_examined) const {
+  std::vector<sql::Row> out;
+  size_t examined = 0;
+  if (kind_ == Kind::kOrdered) {
+    std::shared_lock lock(mu_);
+    // Heap keys can appear in several buckets of the range (an update that
+    // moved the value within [lo, hi]); each visible version matches in
+    // exactly one bucket, but guard against emitting a key twice.
+    std::unordered_map<sql::Value, bool> seen;
+    for (auto it = ordered_buckets_.lower_bound(lo);
+         it != ordered_buckets_.end() && !(hi < it->first); ++it) {
+      for (const auto& [heap_key, refs] : it->second) {
+        if (!seen.emplace(heap_key, true).second) continue;
+        size_t before = out.size();
+        CollectVisibleLocked(heap_key, nullptr, vis, &out, &examined);
+        if (out.size() > before && col_ < out.back().size()) {
+          const sql::Value& got = out.back()[col_];
+          if (got < lo || hi < got) out.pop_back();  // moved out of range
+        }
+      }
+    }
+  }
+  if (postings_examined != nullptr) *postings_examined = examined;
+  return out;
+}
+
+Result<sql::Row> SecondaryIndex::ProbeHeapKey(
+    const sql::Value& heap_key, const txn::VisibilityChecker& vis) const {
+  std::shared_lock lock(mu_);
+  auto it = by_key_.find(heap_key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("index probe: " + heap_key.ToString());
+  }
+  for (auto pit = it->second.rbegin(); pit != it->second.rend(); ++pit) {
+    if (vis.TupleVisible(pit->xmin, pit->xmax)) return pit->row;
+  }
+  return Status::NotFound("index probe: " + heap_key.ToString());
+}
+
+size_t SecondaryIndex::Compact(const txn::CommitLog& clog, txn::Xid horizon) {
+  std::unique_lock lock(mu_);
+  size_t removed = 0;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    auto& postings = it->second;
+    auto dead = [&](const Posting& p) {
+      // Same rule as MvccTable::Vacuum: no snapshot can still see it.
+      if (clog.IsAborted(p.xmin)) return true;
+      return p.xmax != txn::kInvalidXid && p.xmax < horizon &&
+             clog.IsCommitted(p.xmax);
+    };
+    for (const auto& p : postings) {
+      if (dead(p) && col_ < p.row.size()) {
+        BucketUnref(p.row[col_], it->first, 1);
+      }
+    }
+    auto keep = std::remove_if(postings.begin(), postings.end(), dead);
+    removed += static_cast<size_t>(postings.end() - keep);
+    postings.erase(keep, postings.end());
+    it = postings.empty() ? by_key_.erase(it) : std::next(it);
+  }
+  num_postings_ -= removed;
+  if (removed > 0) maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
+  return removed;
+}
+
+}  // namespace ofi::storage
